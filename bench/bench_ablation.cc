@@ -1,0 +1,105 @@
+// Ablations over CoPhy's design choices (DESIGN.md §4):
+//   1. Lagrangian relaxation on/off — bound quality and solve time.
+//   2. Warm starts on/off — interactive retune cost.
+//   3. INUM vs direct what-if inside the advisor loop — the speedup
+//      fast what-if provides (the paper's foundational assumption).
+//   4. Candidate-set richness (extra variants on/off) — quality impact
+//      of CGen's no-pruning philosophy.
+#include <cstdlib>
+
+#include "bench/bench_util.h"
+#include "core/bipgen.h"
+#include "core/cophy.h"
+#include "index/candidates.h"
+
+using namespace cophy;
+using namespace cophy::bench;
+
+namespace {
+int EnvInt(const char* name, int def) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atoi(v) : def;
+}
+}  // namespace
+
+int main() {
+  const int n = EnvInt("COPHY_BENCH_N", 500);
+  Title("Ablation 1: Lagrangian relaxation (hom workload, M=0.5)");
+  {
+    Env e = Env::Make(0.0, false, n, false);
+    ConstraintSet cs = e.BudgetConstraint(0.5);
+    for (bool lagrangian : {true, false}) {
+      CoPhyOptions opts = DefaultCoPhyOptions();
+      opts.lagrangian = lagrangian;
+      opts.time_limit_seconds = 60;
+      CoPhy advisor(e.system.get(), &e.pool, e.workload, opts);
+      advisor.Prepare();
+      const Recommendation rec = advisor.Tune(cs);
+      Row({{"lagrangian", lagrangian ? "on" : "off"},
+           {"solve_s", Fmt("%.1f", rec.timings.solve_seconds)},
+           {"gap_pct", Fmt("%.1f", 100 * rec.gap)},
+           {"objective", Fmt("%.4g", rec.objective)}});
+    }
+  }
+
+  Title("Ablation 2: warm starts for retuning");
+  {
+    Env e = Env::Make(0.0, false, n, false);
+    ConstraintSet cs = e.BudgetConstraint(1.0);
+    CoPhyOptions opts = DefaultCoPhyOptions();
+    opts.time_limit_seconds = 60;
+    CoPhy advisor(e.system.get(), &e.pool, e.workload, opts);
+    advisor.Prepare();
+    const Recommendation first = advisor.Tune(cs);
+    const Recommendation warm = advisor.Retune(cs);   // warm-started
+    const Recommendation cold = advisor.Tune(cs);     // from scratch
+    Row({{"initial_s", Fmt("%.1f", first.timings.solve_seconds)},
+         {"warm_retune_s", Fmt("%.1f", warm.timings.solve_seconds)},
+         {"cold_resolve_s", Fmt("%.1f", cold.timings.solve_seconds)}});
+  }
+
+  Title("Ablation 3: INUM vs direct what-if costing (per 1000 cost evals)");
+  {
+    Env e = Env::Make(0.0, false, 50, false);
+    std::vector<IndexId> cands =
+        GenerateCandidates(e.workload, e.catalog, CandidateOptions{}, e.pool);
+    Inum inum(e.system.get());
+    inum.Prepare(e.workload, cands);
+    const Configuration x(cands);
+    Stopwatch w1;
+    double sink = 0;
+    for (int i = 0; i < 1000; ++i) {
+      sink += inum.ShellCost(i % e.workload.size(), x);
+    }
+    const double inum_s = w1.Elapsed();
+    Stopwatch w2;
+    for (int i = 0; i < 1000; ++i) {
+      sink += e.system->Cost(e.workload[i % e.workload.size()], x);
+    }
+    const double whatif_s = w2.Elapsed();
+    Row({{"inum_s", Fmt("%.3f", inum_s)},
+         {"whatif_s", Fmt("%.3f", whatif_s)},
+         {"speedup_x", Fmt("%.0f", whatif_s / std::max(1e-9, inum_s))},
+         {"checksum", Fmt("%.3g", sink)}});
+  }
+
+  Title("Ablation 4: candidate-set richness (extra variants)");
+  {
+    for (bool extra : {false, true}) {
+      Env e = Env::Make(0.0, false, n, false);
+      ConstraintSet cs = e.BudgetConstraint(1.0);
+      CoPhyOptions opts = DefaultCoPhyOptions();
+      opts.candidates.extra_variants = extra;
+      opts.time_limit_seconds = 60;
+      CoPhy advisor(e.system.get(), &e.pool, e.workload, opts);
+      advisor.Prepare();
+      const Recommendation rec = advisor.Tune(cs);
+      Row({{"extra_variants", extra ? "on" : "off"},
+           {"candidates", std::to_string(rec.num_candidates)},
+           {"perf_pct",
+            Fmt("%.1f", 100 * Perf(*e.system, e.workload, rec.configuration))},
+           {"total_s", Fmt("%.1f", rec.timings.Total())}});
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Figure 10: CoPhy vs ILP total execution time as the workload grows
+// (250/500/1000 homogeneous statements, full candidate set), with the
+// INUM/build/solve breakdown. Expected shape: ILP at least ~5x slower
+// at every size, dominated by its configuration enumeration.
+#include <cstdlib>
+
+#include "bench/bench_util.h"
+#include "core/cophy.h"
+
+using namespace cophy;
+using namespace cophy::bench;
+
+namespace {
+int EnvInt(const char* name, int def) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atoi(v) : def;
+}
+}  // namespace
+
+int main() {
+  const double scale = EnvInt("COPHY_BENCH_SCALE_PCT", 100) / 100.0;
+  Title("Figure 10: CoPhy vs ILP execution time vs workload size");
+  std::printf("%-6s %-8s %8s %8s %8s %8s\n", "|W|", "tech", "inum", "build",
+              "solve", "total");
+  for (int base_n : {250, 500, 1000}) {
+    const int n = static_cast<int>(base_n * scale);
+    Env e = Env::Make(0.0, false, n, false);
+    ConstraintSet cs = e.BudgetConstraint(1.0);
+    {
+      CoPhyOptions opts = DefaultCoPhyOptions();
+      opts.time_limit_seconds = 120;
+      CoPhyAdvisor advisor(e.system.get(), &e.pool, e.workload, opts);
+      const AdvisorResult r = advisor.Recommend(cs);
+      std::printf("%-6d %-8s %8.1f %8.1f %8.1f %8.1f\n", n, "CoPhy",
+                  r.timings.inum_seconds, r.timings.build_seconds,
+                  r.timings.solve_seconds, r.TotalSeconds());
+    }
+    {
+      IlpOptions opts;
+      opts.time_limit_seconds = 120;
+      IlpAdvisor advisor(e.system.get(), &e.pool, e.workload, opts);
+      const AdvisorResult r = advisor.Recommend(cs);
+      std::printf("%-6d %-8s %8.1f %8.1f %8.1f %8.1f\n", n, "ILP",
+                  r.timings.inum_seconds, r.timings.build_seconds,
+                  r.timings.solve_seconds, r.TotalSeconds());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Figure 4: advisor wall-clock time vs workload size (250/500/1000,
+// homogeneous, z = 0, M = 1). Left panel: Tool-A vs CoPhyA on
+// System-A; right panel: Tool-B vs CoPhyB on System-B. The expected
+// shape: Tool-A grows super-linearly, CoPhy stays flat-ish and is the
+// fastest at 500/1000.
+#include <cstdlib>
+
+#include "bench/bench_util.h"
+
+using namespace cophy;
+using namespace cophy::bench;
+
+namespace {
+int EnvInt(const char* name, int def) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atoi(v) : def;
+}
+}  // namespace
+
+int main() {
+  const double scale = EnvInt("COPHY_BENCH_SCALE_PCT", 100) / 100.0;
+  const double toola_cap = EnvInt("COPHY_TOOLA_TIMECAP", 300);
+
+  Title("Figure 4: execution time vs workload size (seconds)");
+  std::printf("%-6s %10s %10s %10s %10s\n", "|W|", "Tool-A", "CoPhyA",
+              "Tool-B", "CoPhyB");
+  for (int base_n : {250, 500, 1000}) {
+    const int n = static_cast<int>(base_n * scale);
+    // System A: Tool-A vs CoPhyA.
+    Env ea = Env::Make(0.0, false, n, false);
+    ConstraintSet cs_a = ea.BudgetConstraint(1.0);
+    RelaxationOptions ra;
+    ra.time_limit_seconds = toola_cap;
+    RelaxationAdvisor tool_a(ea.system.get(), &ea.pool, ea.workload, ra);
+    const AdvisorResult rta = tool_a.Recommend(cs_a);
+    CoPhyAdvisor cophy_a(ea.system.get(), &ea.pool, ea.workload,
+                         DefaultCoPhyOptions());
+    const AdvisorResult rca = cophy_a.Recommend(cs_a);
+
+    // System B: Tool-B vs CoPhyB.
+    Env eb = Env::Make(0.0, true, n, false);
+    ConstraintSet cs_b = eb.BudgetConstraint(1.0);
+    GreedyAdvisor tool_b(eb.system.get(), &eb.pool, eb.workload,
+                         GreedyOptions{});
+    const AdvisorResult rtb = tool_b.Recommend(cs_b);
+    CoPhyAdvisor cophy_b(eb.system.get(), &eb.pool, eb.workload,
+                         DefaultCoPhyOptions());
+    const AdvisorResult rcb = cophy_b.Recommend(cs_b);
+
+    std::printf("%-6d %9.1f%s %10.1f %10.1f %10.1f\n", n,
+                rta.TotalSeconds(), rta.timed_out ? "*" : " ",
+                rca.TotalSeconds(), rtb.TotalSeconds(), rcb.TotalSeconds());
+  }
+  std::printf("(* = Tool-A hit its %.0fs wall-clock cap)\n", toola_cap);
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Figure 5: CoPhy vs ILP total execution time as the candidate set
+// grows, with the INUM / build / solve breakdown. The paper sweeps
+// S_500 ⊂ S_1000 ⊂ S_ALL(=1933) ⊂ S_L(=10000, random padding); our
+// CGen saturates lower on W_hom, so the sweep is {S_ALL/4, S_ALL/2,
+// S_ALL, 10000-padded} — same shape: ILP's build time (configuration
+// enumeration + pruning) dominates and grows, CoPhy stays an order of
+// magnitude cheaper.
+#include <cstdlib>
+
+#include "bench/bench_util.h"
+#include "core/cophy.h"
+#include "index/candidates.h"
+
+using namespace cophy;
+using namespace cophy::bench;
+
+namespace {
+int EnvInt(const char* name, int def) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atoi(v) : def;
+}
+}  // namespace
+
+int main() {
+  const int n = EnvInt("COPHY_BENCH_N", 1000);
+  Env e = Env::Make(0.0, false, n, false);
+  ConstraintSet cs = e.BudgetConstraint(1.0);
+
+  // Build the full candidate universe once (CGen + random padding).
+  std::vector<IndexId> all =
+      GenerateCandidates(e.workload, e.catalog, CandidateOptions{}, e.pool);
+  Rng rng(2024);
+  std::vector<IndexId> padded = all;
+  for (IndexId id : PadWithRandomIndexes(e.catalog, 10000 - static_cast<int>(all.size()),
+                                         rng, e.pool)) {
+    padded.push_back(id);
+  }
+
+  std::vector<std::pair<std::string, std::vector<IndexId>>> sweeps;
+  sweeps.push_back({"S" + std::to_string(all.size() / 4),
+                    {all.begin(), all.begin() + all.size() / 4}});
+  sweeps.push_back({"S" + std::to_string(all.size() / 2),
+                    {all.begin(), all.begin() + all.size() / 2}});
+  sweeps.push_back({"S_ALL=" + std::to_string(all.size()), all});
+  sweeps.push_back({"S_L=" + std::to_string(padded.size()), padded});
+
+  Title("Figure 5: CoPhy vs ILP execution time vs candidate-set size");
+  std::printf("%-14s %-8s %8s %8s %8s %8s\n", "candidates", "tech", "inum",
+              "build", "solve", "total");
+  for (const auto& [name, cands] : sweeps) {
+    // CoPhy with the given candidate subset.
+    {
+      CoPhyOptions opts = DefaultCoPhyOptions();
+      opts.time_limit_seconds = 120;
+      CoPhy advisor(e.system.get(), &e.pool, e.workload, opts);
+      if (!advisor.PrepareWithCandidates(cands).ok()) return 1;
+      const Recommendation rec = advisor.Tune(cs);
+      std::printf("%-14s %-8s %8.1f %8.1f %8.1f %8.1f\n", name.c_str(),
+                  "CoPhy", rec.timings.inum_seconds,
+                  rec.timings.build_seconds, rec.timings.solve_seconds,
+                  rec.timings.Total());
+    }
+    // ILP with the same candidates.
+    {
+      IlpOptions opts;
+      opts.time_limit_seconds = 120;
+      IlpAdvisor advisor(e.system.get(), &e.pool, e.workload, opts);
+      advisor.SetCandidates(cands);
+      const AdvisorResult r = advisor.Recommend(cs);
+      std::printf("%-14s %-8s %8.1f %8.1f %8.1f %8.1f  (configs=%lld)\n",
+                  name.c_str(), "ILP", r.timings.inum_seconds,
+                  r.timings.build_seconds, r.timings.solve_seconds,
+                  r.TotalSeconds(),
+                  static_cast<long long>(advisor.configurations_enumerated()));
+    }
+  }
+  return 0;
+}

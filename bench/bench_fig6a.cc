@@ -1,0 +1,59 @@
+// Figure 6(a): the solver's continuous solution-quality feedback —
+// estimated distance from the optimum over time, for W_250/500/1000.
+// Expected shape: the bound drops sharply in the first seconds, then
+// decays slowly (the paper's curve; their W_1000 hits 5% after ~4 min
+// on CPLEX). Each sample line is "workload time_s gap_pct".
+#include <cstdlib>
+
+#include "bench/bench_util.h"
+#include "core/cophy.h"
+
+using namespace cophy;
+using namespace cophy::bench;
+
+namespace {
+int EnvInt(const char* name, int def) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atoi(v) : def;
+}
+}  // namespace
+
+int main() {
+  const double scale = EnvInt("COPHY_BENCH_SCALE_PCT", 100) / 100.0;
+  Title("Figure 6(a): estimated distance from optimal over time");
+  for (int base_n : {250, 500, 1000}) {
+    const int n = static_cast<int>(base_n * scale);
+    Env e = Env::Make(0.0, false, n, false);
+    ConstraintSet cs = e.BudgetConstraint(1.0);
+
+    CoPhyOptions opts;
+    opts.gap_target = 0.0;  // run to the node/time limit: show the curve
+    opts.node_limit = 40000;
+    opts.time_limit_seconds = 60;
+    double last_reported = -1;
+    std::vector<std::pair<double, double>> samples;
+    opts.callback = [&](const lp::MipProgress& p) {
+      if (p.has_incumbent && p.seconds - last_reported > 0.25) {
+        samples.push_back({p.seconds, 100 * p.gap});
+        last_reported = p.seconds;
+      }
+      return true;
+    };
+    CoPhy advisor(e.system.get(), &e.pool, e.workload, opts);
+    if (!advisor.Prepare().ok()) return 1;
+    const Recommendation rec = advisor.Tune(cs);
+    std::printf("W_%d (final gap %.1f%%, %lld nodes):\n", n, 100 * rec.gap,
+                static_cast<long long>(rec.nodes));
+    // Downsample to ~12 points per curve.
+    const size_t stride = std::max<size_t>(1, samples.size() / 12);
+    for (size_t i = 0; i < samples.size(); i += stride) {
+      std::printf("  t=%6.1fs gap=%5.1f%%\n", samples[i].first,
+                  samples[i].second);
+    }
+    if (!samples.empty()) {
+      std::printf("  t=%6.1fs gap=%5.1f%% (last)\n", samples.back().first,
+                  samples.back().second);
+    }
+  }
+  return 0;
+}

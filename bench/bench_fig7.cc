@@ -1,0 +1,55 @@
+// Figure 7: solution quality (% workload speedup vs the clustered-PK
+// baseline) across workload sizes 250/500/1000 — Tool-A vs CoPhyA on
+// System-A and Tool-B vs CoPhyB on System-B. Expected shape: CoPhy's
+// quality is flat in |W| and the highest; Tool-A degrades with |W|.
+#include <cstdlib>
+
+#include "bench/bench_util.h"
+
+using namespace cophy;
+using namespace cophy::bench;
+
+namespace {
+int EnvInt(const char* name, int def) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atoi(v) : def;
+}
+}  // namespace
+
+int main() {
+  const double scale = EnvInt("COPHY_BENCH_SCALE_PCT", 100) / 100.0;
+  const double toola_cap = EnvInt("COPHY_TOOLA_TIMECAP", 300);
+
+  Title("Figure 7: % speedup vs workload size (hom, z=0, M=1)");
+  std::printf("%-6s %10s %10s %10s %10s\n", "|W|", "Tool-A", "CoPhyA",
+              "Tool-B", "CoPhyB");
+  for (int base_n : {250, 500, 1000}) {
+    const int n = static_cast<int>(base_n * scale);
+    Env ea = Env::Make(0.0, false, n, false);
+    ConstraintSet cs_a = ea.BudgetConstraint(1.0);
+    RelaxationOptions ra;
+    ra.time_limit_seconds = toola_cap;
+    RelaxationAdvisor tool_a(ea.system.get(), &ea.pool, ea.workload, ra);
+    const double perf_ta =
+        Perf(*ea.system, ea.workload, tool_a.Recommend(cs_a).configuration);
+    CoPhyAdvisor cophy_a(ea.system.get(), &ea.pool, ea.workload,
+                         DefaultCoPhyOptions());
+    const double perf_ca =
+        Perf(*ea.system, ea.workload, cophy_a.Recommend(cs_a).configuration);
+
+    Env eb = Env::Make(0.0, true, n, false);
+    ConstraintSet cs_b = eb.BudgetConstraint(1.0);
+    GreedyAdvisor tool_b(eb.system.get(), &eb.pool, eb.workload,
+                         GreedyOptions{});
+    const double perf_tb =
+        Perf(*eb.system, eb.workload, tool_b.Recommend(cs_b).configuration);
+    CoPhyAdvisor cophy_b(eb.system.get(), &eb.pool, eb.workload,
+                         DefaultCoPhyOptions());
+    const double perf_cb =
+        Perf(*eb.system, eb.workload, cophy_b.Recommend(cs_b).configuration);
+
+    std::printf("%-6d %9.1f%% %9.1f%% %9.1f%% %9.1f%%\n", n, 100 * perf_ta,
+                100 * perf_ca, 100 * perf_tb, 100 * perf_cb);
+  }
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Figure 8: speedup *ratios* (CoPhyA/Tool-A and CoPhyB/Tool-B) as the
+// space budget M varies over {0.5, 1, 2} on W_hom_1000. Expected
+// shape: ratios ≥ 1 everywhere; the Tool-A gap shrinks as the budget
+// loosens (easy instances need less search).
+#include <cstdlib>
+
+#include "bench/bench_util.h"
+
+using namespace cophy;
+using namespace cophy::bench;
+
+namespace {
+int EnvInt(const char* name, int def) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atoi(v) : def;
+}
+}  // namespace
+
+int main() {
+  const int n = EnvInt("COPHY_BENCH_N", 1000);
+  const double toola_cap = EnvInt("COPHY_TOOLA_TIMECAP", 300);
+
+  Title("Figure 8: speedup ratios vs space budget (hom, z=0)");
+  std::printf("%-8s %16s %16s\n", "budget", "CoPhyA/Tool-A", "CoPhyB/Tool-B");
+  for (double m : {0.5, 1.0, 2.0}) {
+    Env ea = Env::Make(0.0, false, n, false);
+    ConstraintSet cs_a = ea.BudgetConstraint(m);
+    RelaxationOptions ra;
+    ra.time_limit_seconds = toola_cap;
+    RelaxationAdvisor tool_a(ea.system.get(), &ea.pool, ea.workload, ra);
+    const double perf_ta =
+        Perf(*ea.system, ea.workload, tool_a.Recommend(cs_a).configuration);
+    CoPhyAdvisor cophy_a(ea.system.get(), &ea.pool, ea.workload,
+                         DefaultCoPhyOptions());
+    const double perf_ca =
+        Perf(*ea.system, ea.workload, cophy_a.Recommend(cs_a).configuration);
+
+    Env eb = Env::Make(0.0, true, n, false);
+    ConstraintSet cs_b = eb.BudgetConstraint(m);
+    GreedyAdvisor tool_b(eb.system.get(), &eb.pool, eb.workload,
+                         GreedyOptions{});
+    const double perf_tb =
+        Perf(*eb.system, eb.workload, tool_b.Recommend(cs_b).configuration);
+    CoPhyAdvisor cophy_b(eb.system.get(), &eb.pool, eb.workload,
+                         DefaultCoPhyOptions());
+    const double perf_cb =
+        Perf(*eb.system, eb.workload, cophy_b.Recommend(cs_b).configuration);
+
+    std::printf("M=%-6.1f %16s %16s\n", m,
+                Fmt("%.2f", perf_ta > 1e-9 ? perf_ca / perf_ta : 99).c_str(),
+                Fmt("%.2f", perf_tb > 1e-9 ? perf_cb / perf_tb : 99).c_str());
+  }
+  return 0;
+}

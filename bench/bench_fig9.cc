@@ -1,0 +1,39 @@
+// Figure 9: % speedup on System-B for the *heterogeneous* workloads
+// W_het_{250,500,1000} — Tool-B vs CoPhyB. Expected shape: Tool-B's
+// sampling-based workload compression misses most of the diverse query
+// shapes, so CoPhy wins by a clear margin at every size (contrast with
+// the homogeneous Fig. 7 where Tool-B is close).
+#include <cstdlib>
+
+#include "bench/bench_util.h"
+
+using namespace cophy;
+using namespace cophy::bench;
+
+namespace {
+int EnvInt(const char* name, int def) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atoi(v) : def;
+}
+}  // namespace
+
+int main() {
+  const double scale = EnvInt("COPHY_BENCH_SCALE_PCT", 100) / 100.0;
+  Title("Figure 9: % speedup on System-B, heterogeneous workload");
+  std::printf("%-6s %10s %10s\n", "|W|", "Tool-B", "CoPhyB");
+  for (int base_n : {250, 500, 1000}) {
+    const int n = static_cast<int>(base_n * scale);
+    Env e = Env::Make(0.0, true, n, true);
+    ConstraintSet cs = e.BudgetConstraint(1.0);
+    GreedyAdvisor tool_b(e.system.get(), &e.pool, e.workload, GreedyOptions{});
+    const double perf_t =
+        Perf(*e.system, e.workload, tool_b.Recommend(cs).configuration);
+    CoPhyOptions copts = DefaultCoPhyOptions();
+    copts.time_limit_seconds = 90;
+    CoPhyAdvisor cophy(e.system.get(), &e.pool, e.workload, copts);
+    const double perf_c =
+        Perf(*e.system, e.workload, cophy.Recommend(cs).configuration);
+    std::printf("%-6d %9.1f%% %9.1f%%\n", n, 100 * perf_t, 100 * perf_c);
+  }
+  return 0;
+}

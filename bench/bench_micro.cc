@@ -1,0 +1,122 @@
+// Micro-benchmarks (google-benchmark): the primitive costs behind the
+// system-level numbers — what-if optimization vs INUM lookup, BIP
+// construction rate, structured-solver node throughput, and Zipf
+// selectivity math.
+#include <benchmark/benchmark.h>
+
+#include "catalog/catalog.h"
+#include "core/bipgen.h"
+#include "index/candidates.h"
+#include "inum/inum.h"
+#include "lp/choice_problem.h"
+#include "workload/generator.h"
+
+namespace cophy {
+namespace {
+
+struct MicroEnv {
+  Catalog cat = MakeTpchCatalog(1.0, 0.0);
+  IndexPool pool;
+  SystemSimulator sim{&cat, &pool, CostModel::SystemA()};
+  Workload w;
+  std::vector<IndexId> cands;
+  Inum inum{&sim};
+
+  MicroEnv() {
+    WorkloadOptions o;
+    o.num_statements = 50;
+    o.seed = 9;
+    w = MakeHomogeneousWorkload(cat, o);
+    cands = GenerateCandidates(w, cat, CandidateOptions{}, pool);
+    inum.Prepare(w, cands);
+  }
+};
+
+MicroEnv& GetEnv() {
+  static MicroEnv env;
+  return env;
+}
+
+void BM_WhatIfOptimization(benchmark::State& state) {
+  MicroEnv& e = GetEnv();
+  const Configuration x(e.cands);
+  int i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(e.sim.Cost(e.w[i++ % e.w.size()], x));
+  }
+}
+BENCHMARK(BM_WhatIfOptimization);
+
+void BM_InumCostLookup(benchmark::State& state) {
+  MicroEnv& e = GetEnv();
+  const Configuration x(e.cands);
+  int i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(e.inum.ShellCost(i++ % e.w.size(), x));
+  }
+}
+BENCHMARK(BM_InumCostLookup);
+
+void BM_InumPrepitPerStatement(benchmark::State& state) {
+  MicroEnv& e = GetEnv();
+  for (auto _ : state) {
+    Inum inum(&e.sim);
+    Workload one;
+    one.Add(e.w[0]);
+    inum.Prepare(one, e.cands);
+    benchmark::DoNotOptimize(inum.TotalGammaEntries());
+  }
+}
+BENCHMARK(BM_InumPrepitPerStatement);
+
+void BM_BipGeneration(benchmark::State& state) {
+  MicroEnv& e = GetEnv();
+  ConstraintSet cs;
+  cs.SetStorageBudget(e.cat.TotalDataBytes());
+  for (auto _ : state) {
+    lp::ChoiceProblem p = BuildChoiceProblem(e.inum, e.cands, cs);
+    benchmark::DoNotOptimize(p.NumOptionEntries());
+  }
+}
+BENCHMARK(BM_BipGeneration);
+
+void BM_SolverNodeBound(benchmark::State& state) {
+  MicroEnv& e = GetEnv();
+  ConstraintSet cs;
+  cs.SetStorageBudget(0.5 * e.cat.TotalDataBytes());
+  static lp::ChoiceProblem p = BuildChoiceProblem(e.inum, e.cands, cs);
+  static lp::ChoiceSolver solver(&p);
+  std::vector<int8_t> fixed(p.num_indexes, -1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.DebugNodeBound(fixed));
+  }
+}
+BENCHMARK(BM_SolverNodeBound);
+
+void BM_ZipfSelectivity(benchmark::State& state) {
+  Catalog cat = MakeTpchCatalog(1.0, 2.0);
+  const TableId li = cat.FindTable("lineitem");
+  const ColumnId sd = cat.FindColumn(li, "l_shipdate");
+  double q = 0.0;
+  for (auto _ : state) {
+    q += 0.001;
+    if (q >= 1) q = 0;
+    benchmark::DoNotOptimize(cat.RangeSelectivity(sd, q, 0.1));
+  }
+}
+BENCHMARK(BM_ZipfSelectivity);
+
+void BM_CandidateGeneration(benchmark::State& state) {
+  MicroEnv& e = GetEnv();
+  for (auto _ : state) {
+    IndexPool pool;
+    benchmark::DoNotOptimize(
+        GenerateCandidates(e.w, e.cat, CandidateOptions{}, pool));
+  }
+}
+BENCHMARK(BM_CandidateGeneration);
+
+}  // namespace
+}  // namespace cophy
+
+BENCHMARK_MAIN();

@@ -1,0 +1,89 @@
+// Table 1: perf(CoPhy)/perf(commercial advisor) ratios across data skew
+// z ∈ {0, 2} and workload {W_hom_1000, W_het_1000}, on System-A
+// (vs Tool-A) and System-B (vs Tool-B). Also prints the §5.2 candidate
+// counts (Tool-A ≈ 170, Tool-B ≈ 45, CoPhy ≈ 2K).
+//
+// Environment knobs: COPHY_BENCH_N (workload size, default 1000),
+// COPHY_TOOLA_TIMECAP (seconds, default 480 — the paper reports Tool-A
+// timing out on the hardest cell).
+#include <cstdlib>
+
+#include "bench/bench_util.h"
+#include "core/cophy.h"
+
+using namespace cophy;
+using namespace cophy::bench;
+
+namespace {
+
+int EnvInt(const char* name, int def) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atoi(v) : def;
+}
+
+struct Cell {
+  double ratio = 0;
+  bool tool_timed_out = false;
+  int cophy_candidates = 0, tool_candidates = 0;
+};
+
+Cell RunSystem(double z, bool het, bool system_b, int n, double toola_cap) {
+  Env e = Env::Make(z, system_b, n, het);
+  ConstraintSet cs = e.BudgetConstraint(1.0);  // M = 1 (paper default)
+
+  CoPhyOptions copts = DefaultCoPhyOptions();
+  copts.time_limit_seconds = 90;  // anytime cap for the large het BIPs
+  CoPhyAdvisor cophy(e.system.get(), &e.pool, e.workload, copts);
+  const AdvisorResult rc = cophy.Recommend(cs);
+
+  AdvisorResult rt;
+  if (!system_b) {
+    RelaxationOptions opts;
+    opts.time_limit_seconds = toola_cap;
+    RelaxationAdvisor tool(e.system.get(), &e.pool, e.workload, opts);
+    rt = tool.Recommend(cs);
+  } else {
+    GreedyAdvisor tool(e.system.get(), &e.pool, e.workload, GreedyOptions{});
+    rt = tool.Recommend(cs);
+  }
+
+  Cell cell;
+  cell.tool_timed_out = rt.timed_out;
+  cell.cophy_candidates = rc.candidates_considered;
+  cell.tool_candidates = rt.candidates_considered;
+  const double perf_cophy = Perf(*e.system, e.workload, rc.configuration);
+  const double perf_tool = Perf(*e.system, e.workload, rt.configuration);
+  cell.ratio = perf_tool > 1e-9 ? perf_cophy / perf_tool : 99.0;
+  return cell;
+}
+
+}  // namespace
+
+int main() {
+  const int n = EnvInt("COPHY_BENCH_N", 1000);
+  const double toola_cap = EnvInt("COPHY_TOOLA_TIMECAP", 480);
+
+  Title("Table 1: perf(X*_CoPhy)/perf(Y*_tool) — M = 1");
+  std::printf("%-6s %-10s %-22s %-22s\n", "skew", "workload",
+              "CoPhyA/Tool-A (Sys-A)", "CoPhyB/Tool-B (Sys-B)");
+  Cell last_a{}, last_b{};
+  for (double z : {0.0, 2.0}) {
+    for (bool het : {false, true}) {
+      const Cell a = RunSystem(z, het, /*system_b=*/false, n, toola_cap);
+      const Cell b = RunSystem(z, het, /*system_b=*/true, n, toola_cap);
+      const std::string wname =
+          std::string(het ? "W_het_" : "W_hom_") + std::to_string(n);
+      std::printf("z=%-4.0f %-10s %-22s %-22s\n", z, wname.c_str(),
+                  a.tool_timed_out ? "Tool-A timed out"
+                                   : Fmt("%.2f", a.ratio).c_str(),
+                  Fmt("%.2f", b.ratio).c_str());
+      last_a = a;
+      last_b = b;
+    }
+  }
+  Title("§5.2 candidate counts (last homogeneous cell)");
+  Row({{"cophy", std::to_string(last_a.cophy_candidates)},
+       {"tool-a", std::to_string(last_a.tool_candidates)},
+       {"tool-b", std::to_string(last_b.tool_candidates)}});
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Shared setup for the reproduction benchmarks: experiment fixtures
+// (catalog + system + workload + advisors) and the table printer used
+// to emit paper-style rows. Every bench binary regenerates one table
+// or figure of the paper (see DESIGN.md §3 for the index).
+#ifndef COPHY_BENCH_BENCH_UTIL_H_
+#define COPHY_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/advisor.h"
+#include "baselines/cophy_advisor.h"
+#include "baselines/greedy_advisor.h"
+#include "baselines/ilp_advisor.h"
+#include "baselines/relaxation_advisor.h"
+#include "catalog/catalog.h"
+#include "common/stopwatch.h"
+#include "workload/generator.h"
+
+namespace cophy::bench {
+
+/// One experiment environment: a skewable TPC-H catalog, a shared index
+/// pool, and a simulated system (profile A or B).
+struct Env {
+  Catalog catalog;
+  IndexPool pool;
+  std::unique_ptr<SystemSimulator> system;
+  Workload workload;
+
+  static Env Make(double z, bool system_b, int num_statements, bool het,
+                  uint64_t seed = 42, double sf = 1.0) {
+    Env e;
+    e.catalog = MakeTpchCatalog(sf, z);
+    e.system = std::make_unique<SystemSimulator>(
+        &e.catalog, &e.pool,
+        system_b ? CostModel::SystemB() : CostModel::SystemA());
+    WorkloadOptions o;
+    o.num_statements = num_statements;
+    o.seed = seed;
+    e.workload = het ? MakeHeterogeneousWorkload(e.catalog, o)
+                     : MakeHomogeneousWorkload(e.catalog, o);
+    return e;
+  }
+
+  /// The paper's space budget: a fraction M of the total data size.
+  ConstraintSet BudgetConstraint(double m) const {
+    ConstraintSet cs;
+    cs.SetStorageBudget(m * catalog.TotalDataBytes());
+    return cs;
+  }
+};
+
+/// Default solver knobs used across benches (paper setup: return the
+/// first solution within 5% of optimal; node cap bounds the anytime
+/// search on hard instances).
+inline CoPhyOptions DefaultCoPhyOptions() {
+  CoPhyOptions opts;
+  opts.gap_target = 0.05;
+  opts.node_limit = 8000;
+  return opts;
+}
+
+/// Prints a separator + table title.
+inline void Title(const std::string& t) {
+  std::printf("\n=== %s ===\n", t.c_str());
+}
+
+/// Prints one row of "name: value" pairs (fixed widths keep the output
+/// diffable across runs).
+inline void Row(const std::vector<std::pair<std::string, std::string>>& cells) {
+  for (const auto& [k, v] : cells) {
+    std::printf("%s=%-14s ", k.c_str(), v.c_str());
+  }
+  std::printf("\n");
+}
+
+inline std::string Fmt(const char* fmt, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, v);
+  return buf;
+}
+
+}  // namespace cophy::bench
+
+#endif  // COPHY_BENCH_BENCH_UTIL_H_

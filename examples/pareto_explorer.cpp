@@ -1,0 +1,65 @@
+// Soft constraints and the Pareto frontier (§4.1, Fig. 6(c), App. D):
+// replace the hard storage budget with a soft one and explore the
+// storage-vs-cost trade-off, first on the fixed λ grid and then with
+// the Chord algorithm's adaptive probing.
+//
+//   $ ./pareto_explorer [num_queries]
+#include <cstdio>
+#include <cstdlib>
+
+#include "catalog/catalog.h"
+#include "core/cophy.h"
+#include "workload/generator.h"
+
+using namespace cophy;
+
+namespace {
+
+void PrintCurve(const char* title, const std::vector<ParetoPoint>& points) {
+  std::printf("%s\n", title);
+  std::printf("  %-6s %12s %12s %6s %9s\n", "λ", "est. cost", "size (MB)",
+              "|X|", "time (s)");
+  for (const ParetoPoint& p : points) {
+    std::printf("  %-6.3f %12.4g %12.1f %6d %9.2f\n", p.lambda,
+                p.workload_cost, p.soft_value / 1e6, p.configuration.size(),
+                p.seconds);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int num_queries = argc > 1 ? std::atoi(argv[1]) : 120;
+
+  Catalog catalog = MakeTpchCatalog(1.0, 0.0);
+  IndexPool pool;
+  SystemSimulator system(&catalog, &pool, CostModel::SystemA());
+  WorkloadOptions wopts;
+  wopts.num_statements = num_queries;
+  wopts.seed = 4;
+  Workload workload = MakeHomogeneousWorkload(catalog, wopts);
+
+  CoPhyOptions opts;
+  opts.gap_target = 0.05;
+  CoPhy advisor(&system, &pool, workload, opts);
+  if (!advisor.Prepare().ok()) return 1;
+
+  // The DBA makes storage *soft*: solutions may use space freely, but
+  // every extra byte must buy workload cost (§5.4 sets the soft budget
+  // to zero to expose the whole trade-off curve).
+  ConstraintSet cs;
+  cs.AddSoftStorage(0.0);
+
+  PrintCurve("fixed λ grid (Fig. 6(c)):",
+             advisor.TuneSoftGrid(cs, {1.0, 0.75, 0.5, 0.25, 0.0}));
+
+  std::printf("\n");
+  PrintCurve("Chord algorithm (adaptive, ε = 2%):",
+             advisor.TuneSoftChord(cs, /*epsilon=*/0.02, /*max_points=*/9));
+
+  std::printf(
+      "\nReading the curve: pick the knee — beyond it, additional storage "
+      "buys little cost.\nHard constraints (e.g. a count limit) can be "
+      "combined with the soft sweep through the same ConstraintSet.\n");
+  return 0;
+}

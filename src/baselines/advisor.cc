@@ -1,0 +1,21 @@
+#include "baselines/advisor.h"
+
+namespace cophy {
+
+double WorkloadCost(WhatIfOptimizer& opt, const Workload& w,
+                    const Configuration& x) {
+  double total = 0;
+  for (const Query& q : w.statements()) {
+    total += q.weight * opt.Cost(q, x);
+  }
+  return total;
+}
+
+double Perf(WhatIfOptimizer& opt, const Workload& w, const Configuration& x) {
+  const double base = WorkloadCost(opt, w, Configuration::Empty());
+  const double with = WorkloadCost(opt, w, x);
+  if (base <= 0) return 0;
+  return 1.0 - with / base;
+}
+
+}  // namespace cophy

@@ -1,0 +1,48 @@
+// The common advisor interface and the paper's evaluation metric.
+// Every technique (CoPhy, ILP, Tool-A-like, Tool-B-like) implements
+// Advisor, and is scored with perf(X, W) computed by *direct* what-if
+// optimization — the ground truth of the underlying optimizer's cost
+// model, independent of any approximation the advisor used (§5.1).
+#ifndef COPHY_BASELINES_ADVISOR_H_
+#define COPHY_BASELINES_ADVISOR_H_
+
+#include <string>
+
+#include "constraints/constraints.h"
+#include "core/cophy.h"
+#include "optimizer/whatif.h"
+
+namespace cophy {
+
+/// Outcome of one advisor run.
+struct AdvisorResult {
+  Status status;
+  Configuration configuration;
+  TuningTimings timings;
+  int candidates_considered = 0;
+  int64_t whatif_calls = 0;  ///< optimizer invocations during the run
+  bool timed_out = false;    ///< advisor hit its wall-clock budget
+  double TotalSeconds() const { return timings.Total(); }
+};
+
+/// An index advisor: given constraints (at minimum a storage budget),
+/// recommend a configuration for the workload it was constructed with.
+class Advisor {
+ public:
+  virtual ~Advisor() = default;
+  virtual std::string name() const = 0;
+  virtual AdvisorResult Recommend(const ConstraintSet& constraints) = 0;
+};
+
+/// Σ_q f_q · cost(q, X), evaluated with direct what-if calls.
+double WorkloadCost(WhatIfOptimizer& opt, const Workload& w,
+                    const Configuration& x);
+
+/// perf(X, W) = 1 − cost(X ∪ X0, W) / cost(X0, W). The clustered-PK
+/// baseline X0 is implicit (the simulator always exposes it), so the
+/// empty configuration plays the role of X0.
+double Perf(WhatIfOptimizer& opt, const Workload& w, const Configuration& x);
+
+}  // namespace cophy
+
+#endif  // COPHY_BASELINES_ADVISOR_H_

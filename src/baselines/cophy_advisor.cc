@@ -1,0 +1,20 @@
+#include "baselines/cophy_advisor.h"
+
+namespace cophy {
+
+AdvisorResult CoPhyAdvisor::Recommend(const ConstraintSet& constraints) {
+  AdvisorResult result;
+  const int64_t calls_before = sim_->num_whatif_calls();
+  session_ = std::make_unique<CoPhy>(sim_, pool_, workload_, options_);
+  result.status = session_->Prepare();
+  if (!result.status.ok()) return result;
+  const Recommendation rec = session_->Tune(constraints);
+  result.status = rec.status;
+  result.configuration = rec.configuration;
+  result.timings = rec.timings;
+  result.candidates_considered = rec.num_candidates;
+  result.whatif_calls = sim_->num_whatif_calls() - calls_before;
+  return result;
+}
+
+}  // namespace cophy

@@ -1,0 +1,38 @@
+// CoPhy behind the common Advisor interface (used by the comparison
+// benchmarks; CoPhyA / CoPhyB are this adapter over the two cost-model
+// profiles).
+#ifndef COPHY_BASELINES_COPHY_ADVISOR_H_
+#define COPHY_BASELINES_COPHY_ADVISOR_H_
+
+#include <memory>
+
+#include "baselines/advisor.h"
+
+namespace cophy {
+
+class CoPhyAdvisor : public Advisor {
+ public:
+  CoPhyAdvisor(SystemSimulator* sim, IndexPool* pool, Workload workload,
+               CoPhyOptions options = {})
+      : sim_(sim), pool_(pool), workload_(std::move(workload)),
+        options_(std::move(options)) {}
+
+  std::string name() const override { return "cophy"; }
+
+  AdvisorResult Recommend(const ConstraintSet& constraints) override;
+
+  /// The underlying session (valid after Recommend), for interactive
+  /// follow-ups.
+  CoPhy* session() { return session_.get(); }
+
+ private:
+  SystemSimulator* sim_;
+  IndexPool* pool_;
+  Workload workload_;
+  CoPhyOptions options_;
+  std::unique_ptr<CoPhy> session_;
+};
+
+}  // namespace cophy
+
+#endif  // COPHY_BASELINES_COPHY_ADVISOR_H_

@@ -1,0 +1,128 @@
+#include "baselines/greedy_advisor.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/check.h"
+#include "common/random.h"
+#include "common/stopwatch.h"
+#include "index/candidates.h"
+
+namespace cophy {
+
+GreedyAdvisor::GreedyAdvisor(SystemSimulator* sim, IndexPool* pool,
+                             Workload workload, GreedyOptions options)
+    : sim_(sim), pool_(pool), workload_(std::move(workload)),
+      options_(options) {
+  COPHY_CHECK(sim != nullptr);
+}
+
+AdvisorResult GreedyAdvisor::Recommend(const ConstraintSet& constraints) {
+  AdvisorResult result;
+  Stopwatch watch;
+  const int64_t calls_before = sim_->num_whatif_calls();
+  Rng rng(options_.seed);
+  const Catalog& cat = sim_->catalog();
+  const double budget = constraints.storage_budget()
+                            ? *constraints.storage_budget()
+                            : lp::kInf;
+
+  // ---- Workload compression by random sampling -----------------------
+  std::vector<QueryId> sample;
+  {
+    std::vector<QueryId> all(workload_.size());
+    for (int i = 0; i < workload_.size(); ++i) all[i] = i;
+    const int k = std::min<int>(options_.sample_size, workload_.size());
+    for (int i = 0; i < k; ++i) {
+      std::swap(all[i], all[i + rng.Uniform(all.size() - i)]);
+    }
+    all.resize(k);
+    sample = std::move(all);
+  }
+  // Weight multiplier so the sample stands in for the full workload.
+  const double scale =
+      static_cast<double>(workload_.size()) / std::max<size_t>(1, sample.size());
+
+  // ---- Per-query candidate recommendation on the sample --------------
+  std::unordered_map<IndexId, double> benefit;
+  std::unordered_map<IndexId, std::vector<QueryId>> referencing;
+  for (QueryId qid : sample) {
+    const Query& q = workload_[qid];
+    const double base = sim_->Cost(q, Configuration::Empty());
+    std::vector<std::pair<double, IndexId>> scored;
+    for (const Index& idx : CandidatesForQuery(q, cat, CandidateOptions{})) {
+      const IndexId id = pool_->Add(idx);
+      const double with = sim_->Cost(q, Configuration({id}));
+      if (with < base) scored.push_back({q.weight * (base - with), id});
+    }
+    std::sort(scored.begin(), scored.end(),
+              [](const auto& a, const auto& b) { return a.first > b.first; });
+    scored.resize(
+        std::min<size_t>(scored.size(), options_.per_query_candidates));
+    for (const auto& [b, id] : scored) {
+      benefit[id] += b;
+      referencing[id].push_back(qid);
+    }
+  }
+  std::vector<std::pair<double, IndexId>> ranked;
+  for (const auto& [id, b] : benefit) ranked.push_back({b, id});
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  if (static_cast<int>(ranked.size()) > options_.max_candidates) {
+    ranked.resize(options_.max_candidates);
+  }
+  result.candidates_considered = static_cast<int>(ranked.size());
+
+  // ---- Greedy benefit-per-byte knapsack on the compressed workload ---
+  Configuration x;
+  double used = 0;
+  std::vector<double> cur(workload_.size(), 0);
+  for (QueryId qid : sample) {
+    cur[qid] = sim_->Cost(workload_[qid], Configuration::Empty());
+  }
+  std::vector<IndexId> pool_ids;
+  for (const auto& [b, id] : ranked) pool_ids.push_back(id);
+
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    double best_ratio = 0;
+    IndexId best_id = kInvalidIndex;
+    double best_delta = 0;
+    for (IndexId id : pool_ids) {
+      if (x.Contains(id)) continue;
+      const double sz = IndexSizeBytes((*pool_)[id], cat);
+      if (used + sz > budget) continue;
+      Configuration y = x;
+      y.Insert(id);
+      double delta = 0;
+      for (QueryId qid : referencing[id]) {
+        const Query& q = workload_[qid];
+        delta += q.weight * (cur[qid] - sim_->Cost(q, y));
+      }
+      delta *= scale;
+      const double ratio = delta / std::max(1.0, sz);
+      if (delta > 0 && ratio > best_ratio) {
+        best_ratio = ratio;
+        best_id = id;
+        best_delta = delta;
+      }
+    }
+    if (best_id != kInvalidIndex && best_delta > 0) {
+      x.Insert(best_id);
+      used += IndexSizeBytes((*pool_)[best_id], cat);
+      for (QueryId qid : referencing[best_id]) {
+        cur[qid] = sim_->Cost(workload_[qid], x);
+      }
+      improved = true;
+    }
+  }
+
+  result.configuration = std::move(x);
+  result.timings.solve_seconds = watch.Elapsed();
+  result.whatif_calls = sim_->num_whatif_calls() - calls_before;
+  result.status = Status::Ok();
+  return result;
+}
+
+}  // namespace cophy

@@ -1,0 +1,45 @@
+// "Tool-B": a DB2 Design-Advisor-style greedy tool (Zilio et al.,
+// VLDB'04), the technique the paper attributes to Tool-B. It first
+// *compresses* the workload by random sampling, recommends per-query
+// candidates on the sample, and fills the storage budget greedily by
+// benefit-per-byte with direct what-if pricing. Sampling works well on
+// homogeneous workloads (few templates) and poorly on heterogeneous
+// ones — the paper's Fig. 7 vs Fig. 9 contrast.
+#ifndef COPHY_BASELINES_GREEDY_ADVISOR_H_
+#define COPHY_BASELINES_GREEDY_ADVISOR_H_
+
+#include <vector>
+
+#include "baselines/advisor.h"
+
+namespace cophy {
+
+struct GreedyOptions {
+  /// Workload-compression sample size.
+  int sample_size = 40;
+  /// Global candidate cap (the paper traced Tool-B at ~45).
+  int max_candidates = 45;
+  /// Candidates kept per sampled query.
+  int per_query_candidates = 3;
+  uint64_t seed = 11;
+};
+
+class GreedyAdvisor : public Advisor {
+ public:
+  GreedyAdvisor(SystemSimulator* sim, IndexPool* pool, Workload workload,
+                GreedyOptions options = {});
+
+  std::string name() const override { return "tool-b"; }
+
+  AdvisorResult Recommend(const ConstraintSet& constraints) override;
+
+ private:
+  SystemSimulator* sim_;
+  IndexPool* pool_;
+  Workload workload_;
+  GreedyOptions options_;
+};
+
+}  // namespace cophy
+
+#endif  // COPHY_BASELINES_GREEDY_ADVISOR_H_

@@ -1,0 +1,197 @@
+#include "baselines/relaxation_advisor.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/check.h"
+#include "common/random.h"
+#include "common/stopwatch.h"
+#include "index/candidates.h"
+
+namespace cophy {
+
+RelaxationAdvisor::RelaxationAdvisor(SystemSimulator* sim, IndexPool* pool,
+                                     Workload workload,
+                                     RelaxationOptions options)
+    : sim_(sim), pool_(pool), workload_(std::move(workload)),
+      options_(options) {
+  COPHY_CHECK(sim != nullptr);
+}
+
+AdvisorResult RelaxationAdvisor::Recommend(const ConstraintSet& constraints) {
+  AdvisorResult result;
+  Stopwatch watch;
+  const int64_t calls_before = sim_->num_whatif_calls();
+  Rng rng(options_.seed);
+
+  const double budget = constraints.storage_budget()
+                            ? *constraints.storage_budget()
+                            : lp::kInf;
+  const Catalog& cat = sim_->catalog();
+
+  // ---- Seed: the best per-query indexes by direct what-if benefit ----
+  struct Scored {
+    IndexId id;
+    double benefit = 0;
+  };
+  std::unordered_map<IndexId, double> aggregated;
+  std::unordered_map<IndexId, std::vector<QueryId>> referencing;
+  for (const Query& q : workload_.statements()) {
+    if (watch.Elapsed() > options_.time_limit_seconds) {
+      result.timed_out = true;  // seed with what has been priced so far
+      break;
+    }
+    const double base = sim_->Cost(q, Configuration::Empty());
+    std::vector<Scored> per_query;
+    for (const Index& idx : CandidatesForQuery(q, cat, CandidateOptions{})) {
+      const IndexId id = pool_->Add(idx);
+      const double with = sim_->Cost(q, Configuration({id}));
+      if (with < base) per_query.push_back({id, q.weight * (base - with)});
+    }
+    std::sort(per_query.begin(), per_query.end(),
+              [](const Scored& a, const Scored& b) {
+                return a.benefit > b.benefit;
+              });
+    per_query.resize(std::min<size_t>(per_query.size(),
+                                      options_.per_query_candidates));
+    for (const Scored& s : per_query) {
+      aggregated[s.id] += s.benefit;
+      referencing[s.id].push_back(q.id);
+    }
+  }
+
+  std::vector<Scored> ranked;
+  ranked.reserve(aggregated.size());
+  for (const auto& [id, benefit] : aggregated) ranked.push_back({id, benefit});
+  std::sort(ranked.begin(), ranked.end(),
+            [](const Scored& a, const Scored& b) {
+              return a.benefit > b.benefit;
+            });
+  if (static_cast<int>(ranked.size()) > options_.max_candidates) {
+    ranked.resize(options_.max_candidates);
+  }
+  result.candidates_considered = static_cast<int>(ranked.size());
+
+  Configuration x;
+  for (const Scored& s : ranked) x.Insert(s.id);
+
+  // ---- Relaxation loop: shrink until the budget holds ----------------
+  auto size_of = [&](const Configuration& c) {
+    return c.SizeBytes(*pool_, cat);
+  };
+  // Penalty of replacing `x` by `y` (y ⊆ x or a merged variant),
+  // estimated on a sample of the queries that referenced removed parts.
+  auto penalty = [&](const Configuration& y,
+                     const std::vector<QueryId>& affected) {
+    double delta = 0;
+    std::vector<QueryId> sample = affected;
+    if (static_cast<int>(sample.size()) > options_.penalty_sample) {
+      for (int i = 0; i < options_.penalty_sample; ++i) {
+        std::swap(sample[i], sample[i + rng.Uniform(sample.size() - i)]);
+      }
+      sample.resize(options_.penalty_sample);
+    }
+    const double scale =
+        affected.empty()
+            ? 1.0
+            : static_cast<double>(affected.size()) / std::max<size_t>(1, sample.size());
+    for (QueryId qid : sample) {
+      const Query& q = workload_[qid];
+      delta += q.weight * (sim_->Cost(q, y) - sim_->Cost(q, x));
+    }
+    return std::max(0.0, delta * scale);
+  };
+
+  while (size_of(x) > budget && !x.empty()) {
+    if (watch.Elapsed() > options_.time_limit_seconds) {
+      result.timed_out = true;
+      // Budget fallback: shed the largest indexes.
+      while (size_of(x) > budget && !x.empty()) {
+        std::vector<IndexId> ids = x.ids();
+        IndexId largest = ids[0];
+        for (IndexId id : ids) {
+          if (IndexSizeBytes((*pool_)[id], cat) >
+              IndexSizeBytes((*pool_)[largest], cat)) {
+            largest = id;
+          }
+        }
+        x.Remove(largest);
+      }
+      break;
+    }
+    struct Move {
+      Configuration next;
+      double ratio;  // penalty per byte saved
+    };
+    bool have_move = false;
+    Move best{Configuration(), 0};
+
+    // Sample transformations: removals and same-table merges.
+    std::vector<IndexId> ids = x.ids();
+    for (int t = 0; t < options_.transformations_per_step; ++t) {
+      Configuration y = x;
+      std::vector<QueryId> affected;
+      if (t % 3 != 2 || ids.size() < 2) {
+        // Removal.
+        const IndexId victim = ids[rng.Uniform(ids.size())];
+        y.Remove(victim);
+        affected = referencing.count(victim) ? referencing[victim]
+                                             : std::vector<QueryId>{};
+      } else {
+        // Merge two indexes on the same table: key = first's key plus
+        // the second's unmatched columns (classic index merging).
+        const IndexId a = ids[rng.Uniform(ids.size())];
+        const IndexId b = ids[rng.Uniform(ids.size())];
+        if (a == b || (*pool_)[a].table != (*pool_)[b].table) continue;
+        Index merged;
+        merged.table = (*pool_)[a].table;
+        merged.key_columns = (*pool_)[a].key_columns;
+        for (ColumnId c : (*pool_)[b].key_columns) {
+          if (std::find(merged.key_columns.begin(), merged.key_columns.end(),
+                        c) == merged.key_columns.end()) {
+            merged.key_columns.push_back(c);
+          }
+        }
+        const IndexId mid = pool_->Add(merged);
+        y.Remove(a);
+        y.Remove(b);
+        y.Insert(mid);
+        for (IndexId v : {a, b}) {
+          if (referencing.count(v)) {
+            affected.insert(affected.end(), referencing[v].begin(),
+                            referencing[v].end());
+          }
+        }
+        referencing[mid] = affected;
+      }
+      const double saved = size_of(x) - size_of(y);
+      if (saved <= 0) continue;
+      const double ratio = penalty(y, affected) / saved;
+      if (!have_move || ratio < best.ratio) {
+        best = {std::move(y), ratio};
+        have_move = true;
+      }
+    }
+    if (!have_move) {
+      // Fall back: drop the largest index.
+      IndexId largest = ids[0];
+      for (IndexId id : ids) {
+        if (IndexSizeBytes((*pool_)[id], cat) >
+            IndexSizeBytes((*pool_)[largest], cat)) {
+          largest = id;
+        }
+      }
+      x.Remove(largest);
+      continue;
+    }
+    x = std::move(best.next);
+  }
+
+  result.configuration = std::move(x);
+  result.timings.solve_seconds = watch.Elapsed();
+  result.whatif_calls = sim_->num_whatif_calls() - calls_before;
+  result.status = Status::Ok();
+  return result;
+}
+
+}  // namespace cophy

@@ -1,0 +1,246 @@
+#include "catalog/catalog.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace cophy {
+
+TableId Catalog::AddTable(std::string name, uint64_t row_count) {
+  COPHY_CHECK_GT(row_count, 0u);
+  Table t;
+  t.id = static_cast<TableId>(tables_.size());
+  t.name = std::move(name);
+  t.row_count = row_count;
+  tables_.push_back(std::move(t));
+  return tables_.back().id;
+}
+
+ColumnId Catalog::AddColumn(TableId table, std::string name, int width_bytes,
+                            uint64_t distinct, double zipf_z) {
+  COPHY_CHECK_GE(table, 0);
+  COPHY_CHECK_LT(table, num_tables());
+  COPHY_CHECK_GT(width_bytes, 0);
+  Column c;
+  c.id = static_cast<ColumnId>(columns_.size());
+  c.table = table;
+  c.name = std::move(name);
+  c.width_bytes = width_bytes;
+  // A column cannot have more distinct values than the table has rows.
+  c.distinct = std::max<uint64_t>(1, std::min(distinct, tables_[table].row_count));
+  c.zipf_z = zipf_z;
+  columns_.push_back(c);
+  tables_[table].columns.push_back(c.id);
+  zipf_cache_.emplace_back(nullptr);
+  return c.id;
+}
+
+void Catalog::SetPrimaryKey(TableId table, std::vector<ColumnId> key) {
+  COPHY_CHECK(!key.empty());
+  for (ColumnId c : key) COPHY_CHECK_EQ(column(c).table, table);
+  tables_[table].primary_key = std::move(key);
+}
+
+TableId Catalog::FindTable(const std::string& name) const {
+  for (const Table& t : tables_) {
+    if (t.name == name) return t.id;
+  }
+  return kInvalidTable;
+}
+
+ColumnId Catalog::FindColumn(TableId table, const std::string& name) const {
+  for (ColumnId c : tables_[table].columns) {
+    if (columns_[c].name == name) return c;
+  }
+  return kInvalidColumn;
+}
+
+double Catalog::RowWidth(TableId t) const {
+  double w = 0;
+  for (ColumnId c : tables_[t].columns) w += columns_[c].width_bytes;
+  return w;
+}
+
+double Catalog::TablePages(TableId t) const {
+  return std::max(1.0, std::ceil(tables_[t].row_count * RowWidth(t) / kPageSize));
+}
+
+double Catalog::TotalDataBytes() const {
+  double total = 0;
+  for (const Table& t : tables_) total += t.row_count * RowWidth(t.id);
+  return total;
+}
+
+const Zipf& Catalog::ZipfFor(ColumnId c) const {
+  auto& slot = zipf_cache_[c];
+  if (!slot) {
+    slot = std::make_unique<Zipf>(columns_[c].distinct, columns_[c].zipf_z);
+  }
+  return *slot;
+}
+
+double Catalog::EqSelectivity(ColumnId c, double quantile) const {
+  quantile = std::clamp(quantile, 0.0, 1.0 - 1e-12);
+  const Column& col = columns_[c];
+  const uint64_t rank =
+      1 + static_cast<uint64_t>(quantile * static_cast<double>(col.distinct));
+  return ZipfFor(c).Pmf(std::min(rank, col.distinct));
+}
+
+double Catalog::RangeSelectivity(ColumnId c, double quantile,
+                                 double width) const {
+  quantile = std::clamp(quantile, 0.0, 1.0);
+  width = std::clamp(width, 0.0, 1.0);
+  const Column& col = columns_[c];
+  const double n = static_cast<double>(col.distinct);
+  const uint64_t lo = static_cast<uint64_t>(quantile * n);  // ranks (lo, hi]
+  const uint64_t hi = std::min(
+      col.distinct, lo + std::max<uint64_t>(1, static_cast<uint64_t>(width * n)));
+  const Zipf& zipf = ZipfFor(c);
+  return std::max(0.0, zipf.Cdf(hi) - zipf.Cdf(lo));
+}
+
+namespace {
+
+/// Shorthand builder for the TPC-H tables below.
+struct TableBuilder {
+  Catalog* cat;
+  TableId id;
+  double z;  // skew applied to non-unique columns
+
+  /// Unique column (distinct == row count, never skewed: a key's
+  /// frequency histogram is flat by definition).
+  ColumnId Key(const std::string& name, int width) {
+    return cat->AddColumn(id, name, width, cat->table(id).row_count, 0.0);
+  }
+  /// Regular data/FK column with `distinct` values and catalog skew.
+  ColumnId Col(const std::string& name, int width, uint64_t distinct) {
+    return cat->AddColumn(id, name, width, distinct, z);
+  }
+};
+
+uint64_t Scaled(double sf, uint64_t base) {
+  return std::max<uint64_t>(1, static_cast<uint64_t>(base * sf));
+}
+
+}  // namespace
+
+Catalog MakeTpchCatalog(double sf, double z) {
+  COPHY_CHECK_GT(sf, 0.0);
+  Catalog cat;
+
+  // REGION
+  {
+    TableId t = cat.AddTable("region", 5);
+    TableBuilder b{&cat, t, z};
+    ColumnId rk = b.Key("r_regionkey", 4);
+    b.Col("r_name", 25, 5);
+    b.Col("r_comment", 80, 5);
+    cat.SetPrimaryKey(t, {rk});
+  }
+  // NATION
+  {
+    TableId t = cat.AddTable("nation", 25);
+    TableBuilder b{&cat, t, z};
+    ColumnId nk = b.Key("n_nationkey", 4);
+    b.Col("n_name", 25, 25);
+    b.Col("n_regionkey", 4, 5);
+    b.Col("n_comment", 100, 25);
+    cat.SetPrimaryKey(t, {nk});
+  }
+  // SUPPLIER
+  {
+    TableId t = cat.AddTable("supplier", Scaled(sf, 10000));
+    TableBuilder b{&cat, t, z};
+    ColumnId sk = b.Key("s_suppkey", 4);
+    b.Col("s_name", 25, Scaled(sf, 10000));
+    b.Col("s_address", 40, Scaled(sf, 10000));
+    b.Col("s_nationkey", 4, 25);
+    b.Col("s_phone", 15, Scaled(sf, 10000));
+    b.Col("s_acctbal", 8, Scaled(sf, 9999));
+    b.Col("s_comment", 100, Scaled(sf, 10000));
+    cat.SetPrimaryKey(t, {sk});
+  }
+  // CUSTOMER
+  {
+    TableId t = cat.AddTable("customer", Scaled(sf, 150000));
+    TableBuilder b{&cat, t, z};
+    ColumnId ck = b.Key("c_custkey", 4);
+    b.Col("c_name", 25, Scaled(sf, 150000));
+    b.Col("c_address", 40, Scaled(sf, 150000));
+    b.Col("c_nationkey", 4, 25);
+    b.Col("c_phone", 15, Scaled(sf, 150000));
+    b.Col("c_acctbal", 8, Scaled(sf, 140000));
+    b.Col("c_mktsegment", 10, 5);
+    b.Col("c_comment", 117, Scaled(sf, 150000));
+    cat.SetPrimaryKey(t, {ck});
+  }
+  // PART
+  {
+    TableId t = cat.AddTable("part", Scaled(sf, 200000));
+    TableBuilder b{&cat, t, z};
+    ColumnId pk = b.Key("p_partkey", 4);
+    b.Col("p_name", 55, Scaled(sf, 200000));
+    b.Col("p_mfgr", 25, 5);
+    b.Col("p_brand", 10, 25);
+    b.Col("p_type", 25, 150);
+    b.Col("p_size", 4, 50);
+    b.Col("p_container", 10, 40);
+    b.Col("p_retailprice", 8, Scaled(sf, 20000));
+    b.Col("p_comment", 23, Scaled(sf, 130000));
+    cat.SetPrimaryKey(t, {pk});
+  }
+  // PARTSUPP
+  {
+    TableId t = cat.AddTable("partsupp", Scaled(sf, 800000));
+    TableBuilder b{&cat, t, z};
+    ColumnId ppk = b.Col("ps_partkey", 4, Scaled(sf, 200000));
+    ColumnId psk = b.Col("ps_suppkey", 4, Scaled(sf, 10000));
+    b.Col("ps_availqty", 4, 9999);
+    b.Col("ps_supplycost", 8, 99901);
+    b.Col("ps_comment", 199, Scaled(sf, 800000));
+    cat.SetPrimaryKey(t, {ppk, psk});
+  }
+  // ORDERS
+  {
+    TableId t = cat.AddTable("orders", Scaled(sf, 1500000));
+    TableBuilder b{&cat, t, z};
+    ColumnId ok = b.Key("o_orderkey", 4);
+    b.Col("o_custkey", 4, Scaled(sf, 100000));
+    b.Col("o_orderstatus", 1, 3);
+    b.Col("o_totalprice", 8, Scaled(sf, 1500000));
+    b.Col("o_orderdate", 4, 2406);
+    b.Col("o_orderpriority", 15, 5);
+    b.Col("o_clerk", 15, Scaled(sf, 1000));
+    b.Col("o_shippriority", 4, 1);
+    b.Col("o_comment", 79, Scaled(sf, 1500000));
+    cat.SetPrimaryKey(t, {ok});
+  }
+  // LINEITEM
+  {
+    TableId t = cat.AddTable("lineitem", Scaled(sf, 6000000));
+    TableBuilder b{&cat, t, z};
+    ColumnId lok = b.Col("l_orderkey", 4, Scaled(sf, 1500000));
+    b.Col("l_partkey", 4, Scaled(sf, 200000));
+    b.Col("l_suppkey", 4, Scaled(sf, 10000));
+    ColumnId lln = b.Col("l_linenumber", 4, 7);
+    b.Col("l_quantity", 8, 50);
+    b.Col("l_extendedprice", 8, Scaled(sf, 933900));
+    b.Col("l_discount", 8, 11);
+    b.Col("l_tax", 8, 9);
+    b.Col("l_returnflag", 1, 3);
+    b.Col("l_linestatus", 1, 2);
+    b.Col("l_shipdate", 4, 2526);
+    b.Col("l_commitdate", 4, 2466);
+    b.Col("l_receiptdate", 4, 2555);
+    b.Col("l_shipinstruct", 25, 4);
+    b.Col("l_shipmode", 10, 7);
+    b.Col("l_comment", 44, Scaled(sf, 4500000));
+    cat.SetPrimaryKey(t, {lok, lln});
+  }
+
+  return cat;
+}
+
+}  // namespace cophy

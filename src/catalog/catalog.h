@@ -1,0 +1,103 @@
+// The statistics catalog: table/column metadata plus the per-column
+// value-distribution statistics that the what-if optimizer costs plans
+// from. There is no materialized data — like a real what-if optimizer,
+// everything downstream consumes only statistics (see DESIGN.md §1).
+#ifndef COPHY_CATALOG_CATALOG_H_
+#define COPHY_CATALOG_CATALOG_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+
+namespace cophy {
+
+using TableId = int32_t;
+using ColumnId = int32_t;
+
+inline constexpr TableId kInvalidTable = -1;
+inline constexpr ColumnId kInvalidColumn = -1;
+
+/// Column metadata + statistics. `distinct` is the number of distinct
+/// values; `zipf_z` is the skew of the value-frequency distribution
+/// (z = 0 uniform, z = 2 highly skewed, as in tpcdskew).
+struct Column {
+  ColumnId id = kInvalidColumn;
+  TableId table = kInvalidTable;
+  std::string name;
+  int width_bytes = 4;
+  uint64_t distinct = 1;
+  double zipf_z = 0.0;
+};
+
+/// Table metadata. `primary_key` is the clustered primary-key column
+/// sequence; the base configuration X0 in the paper consists of exactly
+/// these clustered PK indexes.
+struct Table {
+  TableId id = kInvalidTable;
+  std::string name;
+  uint64_t row_count = 0;
+  std::vector<ColumnId> columns;
+  std::vector<ColumnId> primary_key;
+};
+
+/// The database catalog: schema plus statistics, with Zipf-aware
+/// selectivity estimation primitives shared by the optimizer and the
+/// index size estimator.
+class Catalog {
+ public:
+  /// Bytes per page, used for all page-count estimates.
+  static constexpr double kPageSize = 8192.0;
+
+  TableId AddTable(std::string name, uint64_t row_count);
+  ColumnId AddColumn(TableId table, std::string name, int width_bytes,
+                     uint64_t distinct, double zipf_z = 0.0);
+  void SetPrimaryKey(TableId table, std::vector<ColumnId> key);
+
+  const Table& table(TableId t) const { return tables_[t]; }
+  const Column& column(ColumnId c) const { return columns_[c]; }
+  int num_tables() const { return static_cast<int>(tables_.size()); }
+  int num_columns() const { return static_cast<int>(columns_.size()); }
+
+  /// Looks up a table by name; kInvalidTable if absent.
+  TableId FindTable(const std::string& name) const;
+  /// Looks up a column by name within a table; kInvalidColumn if absent.
+  ColumnId FindColumn(TableId table, const std::string& name) const;
+
+  /// Width in bytes of one row of `t` (sum of column widths).
+  double RowWidth(TableId t) const;
+  /// Heap pages occupied by table `t`.
+  double TablePages(TableId t) const;
+  /// Total data size in bytes across all tables (the paper's storage
+  /// budgets are expressed as a fraction M of this).
+  double TotalDataBytes() const;
+
+  /// Selectivity of an equality predicate `col = v` where v is the value
+  /// of rank `1 + floor(quantile * distinct)` in the frequency-ordered
+  /// domain. Under skew, cold values give tiny selectivities and hot
+  /// values large ones — which is how skewed data changes index benefit.
+  double EqSelectivity(ColumnId c, double quantile) const;
+
+  /// Selectivity of a range predicate covering a `width` fraction of the
+  /// rank domain starting at `quantile`.
+  double RangeSelectivity(ColumnId c, double quantile, double width) const;
+
+ private:
+  const Zipf& ZipfFor(ColumnId c) const;
+
+  std::vector<Table> tables_;
+  std::vector<Column> columns_;
+  // Lazily built per-column distributions (index == ColumnId).
+  mutable std::vector<std::unique_ptr<Zipf>> zipf_cache_;
+};
+
+/// Builds the TPC-H schema (8 tables) at scale factor `sf` with skew
+/// parameter `z` applied to non-unique columns, mirroring the paper's
+/// tpcdskew-generated 1 GB databases with z in {0, 1, 2}.
+Catalog MakeTpchCatalog(double sf, double z);
+
+}  // namespace cophy
+
+#endif  // COPHY_CATALOG_CATALOG_H_

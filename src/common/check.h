@@ -1,0 +1,39 @@
+// CHECK/DCHECK invariant macros (terminate with a message on violation).
+// Used for programming errors; recoverable failures use Status instead.
+#ifndef COPHY_COMMON_CHECK_H_
+#define COPHY_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace cophy::internal {
+[[noreturn]] inline void CheckFail(const char* expr, const char* file,
+                                   int line) {
+  std::fprintf(stderr, "CHECK failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+}  // namespace cophy::internal
+
+#define COPHY_CHECK(expr)                                        \
+  do {                                                           \
+    if (!(expr)) {                                               \
+      ::cophy::internal::CheckFail(#expr, __FILE__, __LINE__);   \
+    }                                                            \
+  } while (0)
+
+#define COPHY_CHECK_GE(a, b) COPHY_CHECK((a) >= (b))
+#define COPHY_CHECK_GT(a, b) COPHY_CHECK((a) > (b))
+#define COPHY_CHECK_LE(a, b) COPHY_CHECK((a) <= (b))
+#define COPHY_CHECK_LT(a, b) COPHY_CHECK((a) < (b))
+#define COPHY_CHECK_EQ(a, b) COPHY_CHECK((a) == (b))
+#define COPHY_CHECK_NE(a, b) COPHY_CHECK((a) != (b))
+
+#ifndef NDEBUG
+#define COPHY_DCHECK(expr) COPHY_CHECK(expr)
+#else
+#define COPHY_DCHECK(expr) \
+  do {                     \
+  } while (0)
+#endif
+
+#endif  // COPHY_COMMON_CHECK_H_

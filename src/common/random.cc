@@ -1,0 +1,133 @@
+#include "common/random.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace cophy {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  uint64_t r = x;
+  r = (r ^ (r >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  r = (r ^ (r >> 27)) * 0x94d049bb133111ebULL;
+  return r ^ (r >> 31);
+}
+
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(sm);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+uint64_t Rng::Uniform(uint64_t n) {
+  COPHY_CHECK_GT(n, 0u);
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t limit = UINT64_MAX - UINT64_MAX % n;
+  uint64_t v;
+  do {
+    v = Next();
+  } while (v >= limit);
+  return v % n;
+}
+
+int64_t Rng::UniformInRange(int64_t lo, int64_t hi) {
+  COPHY_CHECK_LE(lo, hi);
+  return lo + static_cast<int64_t>(
+                  Uniform(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+bool Rng::Bernoulli(double p) { return NextDouble() < p; }
+
+Rng Rng::Fork() { return Rng(Next() ^ 0xa5a5a5a5deadbeefULL); }
+
+Zipf::Zipf(uint64_t n, double z) : n_(n), z_(z) {
+  COPHY_CHECK_GT(n, 0u);
+  COPHY_CHECK_GE(z, 0.0);
+  // Exact (unnormalized) prefix sums for the head of the distribution;
+  // the tail beyond kExactLimit is evaluated by Euler–Maclaurin in O(1).
+  const uint64_t head = n_ < kExactLimit ? n_ : kExactLimit;
+  exact_cdf_.resize(head + 1, 0.0);
+  double acc = 0.0;
+  for (uint64_t r = 1; r <= head; ++r) {
+    acc += std::pow(static_cast<double>(r), -z_);
+    exact_cdf_[r] = acc;
+  }
+  h_n_ = Harmonic(n_);
+}
+
+double Zipf::Harmonic(uint64_t k) const {
+  if (k == 0) return 0.0;
+  if (k < exact_cdf_.size()) return exact_cdf_[k];
+  // Exact head + Euler–Maclaurin tail for sum_{r=m..k} r^-z.
+  const uint64_t m = exact_cdf_.size() - 1;  // == kExactLimit here
+  const double head = exact_cdf_[m];
+  const double dm = static_cast<double>(m);
+  const double dk = static_cast<double>(k);
+  double integral;
+  if (std::abs(z_ - 1.0) < 1e-12) {
+    integral = std::log(dk) - std::log(dm);
+  } else {
+    integral = (std::pow(dk, 1.0 - z_) - std::pow(dm, 1.0 - z_)) / (1.0 - z_);
+  }
+  // The integral double-counts rank m relative to the head; the trapezoid
+  // correction accounts for the half-terms at both ends.
+  const double correction =
+      -0.5 * std::pow(dm, -z_) + 0.5 * std::pow(dk, -z_) +
+      z_ / 12.0 * (std::pow(dm, -z_ - 1.0) - std::pow(dk, -z_ - 1.0));
+  return head + integral + correction;
+}
+
+double Zipf::Pmf(uint64_t r) const {
+  COPHY_CHECK_GE(r, 1u);
+  COPHY_CHECK_LE(r, n_);
+  return std::pow(static_cast<double>(r), -z_) / h_n_;
+}
+
+double Zipf::Cdf(uint64_t r) const {
+  COPHY_CHECK_LE(r, n_);
+  if (r == 0) return 0.0;
+  return Harmonic(r) / h_n_;
+}
+
+uint64_t Zipf::RankAtQuantile(double q) const {
+  if (q <= 0.0) return 1;
+  if (q >= 1.0) return n_;
+  // Binary search over the CDF; both the exact and the approximated CDF
+  // are monotone in r.
+  uint64_t lo = 1, hi = n_;
+  while (lo < hi) {
+    const uint64_t mid = lo + (hi - lo) / 2;
+    if (Cdf(mid) > q) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+uint64_t Zipf::Sample(Rng& rng) const { return RankAtQuantile(rng.NextDouble()); }
+
+}  // namespace cophy

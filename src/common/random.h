@@ -1,0 +1,79 @@
+// Deterministic pseudo-random number generation and the Zipf distribution
+// used to model skewed data (tpcdskew-style column skew, parameter z).
+#ifndef COPHY_COMMON_RANDOM_H_
+#define COPHY_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace cophy {
+
+/// SplitMix64-seeded xoshiro256** generator. Deterministic across
+/// platforms: every experiment in this repository is reproducible
+/// bit-for-bit from its seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  uint64_t Uniform(uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInRange(int64_t lo, int64_t hi);
+
+  /// True with probability p.
+  bool Bernoulli(double p);
+
+  /// Forks an independent stream (stable under call-order changes).
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+};
+
+/// The Zipf(n, z) distribution over ranks 1..n: P(r) ~ r^{-z}.
+/// z = 0 is uniform; z = 2 is highly skewed (matching the paper's
+/// tpcdskew settings). Provides frequency and partial-sum queries used
+/// by the selectivity estimator, plus sampling.
+class Zipf {
+ public:
+  /// Builds the distribution over `n` ranks with exponent `z >= 0`.
+  Zipf(uint64_t n, double z);
+
+  uint64_t n() const { return n_; }
+  double z() const { return z_; }
+
+  /// P(rank r), 1-based. Requires 1 <= r <= n.
+  double Pmf(uint64_t r) const;
+
+  /// Sum of P over ranks 1..r (CDF). Requires 0 <= r <= n; Cdf(0) = 0.
+  double Cdf(uint64_t r) const;
+
+  /// The rank at quantile q in [0,1): smallest r with Cdf(r) > q.
+  uint64_t RankAtQuantile(double q) const;
+
+  /// Draws a rank using inverse-CDF sampling.
+  uint64_t Sample(Rng& rng) const;
+
+ private:
+  /// Generalized harmonic number H(k, z) = sum_{r=1..k} r^{-z},
+  /// computed exactly for small k and by Euler–Maclaurin otherwise.
+  double Harmonic(uint64_t k) const;
+
+  uint64_t n_;
+  double z_;
+  double h_n_;  // normalizing constant H(n, z)
+  // Exact prefix sums for small n (<= kExactLimit) to keep Cdf O(1).
+  std::vector<double> exact_cdf_;
+  static constexpr uint64_t kExactLimit = 4096;
+};
+
+}  // namespace cophy
+
+#endif  // COPHY_COMMON_RANDOM_H_

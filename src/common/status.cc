@@ -1,0 +1,39 @@
+#include "common/status.h"
+
+namespace cophy {
+
+namespace {
+const char* CodeName(StatusCode c) {
+  switch (c) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound:
+      return "NOT_FOUND";
+    case StatusCode::kInfeasible:
+      return "INFEASIBLE";
+    case StatusCode::kUnbounded:
+      return "UNBOUNDED";
+    case StatusCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
+    case StatusCode::kTimeout:
+      return "TIMEOUT";
+    case StatusCode::kInternal:
+      return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+}  // namespace
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string s = CodeName(code_);
+  if (!message_.empty()) {
+    s += ": ";
+    s += message_;
+  }
+  return s;
+}
+
+}  // namespace cophy

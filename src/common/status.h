@@ -1,0 +1,101 @@
+// Status / Result: exception-free error handling in the style of
+// absl::Status, as used throughout production database code.
+#ifndef COPHY_COMMON_STATUS_H_
+#define COPHY_COMMON_STATUS_H_
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace cophy {
+
+/// Error categories used across the library.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kInfeasible,    ///< Constraint system admits no solution.
+  kUnbounded,     ///< LP objective unbounded below.
+  kResourceExhausted,
+  kTimeout,
+  kInternal,
+};
+
+/// A lightweight success-or-error value. Functions that can fail return
+/// Status (or Result<T> below) instead of throwing.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status NotFound(std::string m) {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status Infeasible(std::string m) {
+    return Status(StatusCode::kInfeasible, std::move(m));
+  }
+  static Status Unbounded(std::string m) {
+    return Status(StatusCode::kUnbounded, std::move(m));
+  }
+  static Status Timeout(std::string m) {
+    return Status(StatusCode::kTimeout, std::move(m));
+  }
+  static Status Internal(std::string m) {
+    return Status(StatusCode::kInternal, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable rendering, e.g. "INFEASIBLE: storage budget".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value of type T or an error Status. Accessing the value of an
+/// errored Result is a programming error (asserts in debug builds).
+template <typename T>
+class Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}            // NOLINT(runtime/explicit)
+  Result(Status status) : v_(std::move(status)) {      // NOLINT(runtime/explicit)
+    assert(!std::get<Status>(v_).ok() && "Result<T> from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(std::get<T>(v_));
+  }
+  Status status() const {
+    return ok() ? Status::Ok() : std::get<Status>(v_);
+  }
+  const T& operator*() const& { return value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<T, Status> v_;
+};
+
+}  // namespace cophy
+
+#endif  // COPHY_COMMON_STATUS_H_

@@ -1,0 +1,36 @@
+// Wall-clock stopwatch used by every advisor to report the timing
+// breakdowns shown in the paper's figures (INUM / build / solve time).
+#ifndef COPHY_COMMON_STOPWATCH_H_
+#define COPHY_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace cophy {
+
+/// Measures elapsed wall-clock seconds. Starts running on construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch and returns the seconds elapsed so far.
+  double Lap() {
+    const auto now = Clock::now();
+    const double s = Seconds(start_, now);
+    start_ = now;
+    return s;
+  }
+
+  /// Seconds elapsed since construction or the last Lap().
+  double Elapsed() const { return Seconds(start_, Clock::now()); }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  static double Seconds(Clock::time_point a, Clock::time_point b) {
+    return std::chrono::duration<double>(b - a).count();
+  }
+  Clock::time_point start_;
+};
+
+}  // namespace cophy
+
+#endif  // COPHY_COMMON_STOPWATCH_H_

@@ -1,0 +1,21 @@
+// Small string helpers (printf-style formatting, joining) used for
+// EXPLAIN output, bench tables, and error messages.
+#ifndef COPHY_COMMON_STRINGS_H_
+#define COPHY_COMMON_STRINGS_H_
+
+#include <string>
+#include <vector>
+
+namespace cophy {
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Joins `parts` with `sep`.
+std::string StrJoin(const std::vector<std::string>& parts,
+                    const std::string& sep);
+
+}  // namespace cophy
+
+#endif  // COPHY_COMMON_STRINGS_H_

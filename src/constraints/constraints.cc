@@ -1,0 +1,114 @@
+#include "constraints/constraints.h"
+
+#include "common/strings.h"
+
+namespace cophy {
+
+void ConstraintSet::AddAtMostOneClusteredPerTable(const Catalog& cat) {
+  for (TableId t = 0; t < cat.num_tables(); ++t) {
+    IndexConstraint c;
+    c.name = StrFormat("clustered(%s) <= 1", cat.table(t).name.c_str());
+    c.filter = [t](const Index& idx, const Catalog&) {
+      return idx.table == t && idx.clustered;
+    };
+    c.weight = [](const Index&, const Catalog&) { return 1.0; };
+    c.op = CmpOp::kLe;
+    c.rhs = 1.0;
+    AddIndexConstraint(std::move(c));
+  }
+}
+
+void ConstraintSet::AddMaxIndexesPerTable(const Catalog& cat, int k) {
+  for (TableId t = 0; t < cat.num_tables(); ++t) {
+    IndexConstraint c;
+    c.name = StrFormat("count(%s) <= %d", cat.table(t).name.c_str(), k);
+    c.filter = [t](const Index& idx, const Catalog&) { return idx.table == t; };
+    c.weight = [](const Index&, const Catalog&) { return 1.0; };
+    c.op = CmpOp::kLe;
+    c.rhs = k;
+    AddIndexConstraint(std::move(c));
+  }
+}
+
+void ConstraintSet::AddMaxWideIndexes(int width, int k) {
+  IndexConstraint c;
+  c.name = StrFormat("count(key width > %d) <= %d", width, k);
+  c.filter = [width](const Index& idx, const Catalog&) {
+    return static_cast<int>(idx.key_columns.size()) > width;
+  };
+  c.weight = [](const Index&, const Catalog&) { return 1.0; };
+  c.op = CmpOp::kLe;
+  c.rhs = k;
+  AddIndexConstraint(std::move(c));
+}
+
+void ConstraintSet::ForEachQueryAssertSpeedup(const Workload& w,
+                                              double factor) {
+  for (const Query& q : w.statements()) {
+    if (!q.IsSelect()) continue;
+    AddQueryCostConstraint(QueryCostConstraint{q.id, factor, 0.0});
+  }
+}
+
+void ConstraintSet::AddSoftStorage(double target_bytes) {
+  SoftConstraint s;
+  s.name = "soft-storage";
+  s.weight = [](const Index& idx, const Catalog& cat) {
+    return IndexSizeBytes(idx, cat);
+  };
+  s.target = target_bytes;
+  AddSoftConstraint(std::move(s));
+}
+
+std::vector<lp::ZRow> TranslateIndexConstraints(
+    const ConstraintSet& cs, const std::vector<IndexId>& candidates,
+    const IndexPool& pool, const Catalog& cat) {
+  std::vector<lp::ZRow> rows;
+  for (const IndexConstraint& c : cs.index_constraints()) {
+    lp::ZRow row;
+    row.name = c.name;
+    switch (c.op) {
+      case CmpOp::kLe:
+        row.sense = lp::Sense::kLe;
+        break;
+      case CmpOp::kEq:
+        row.sense = lp::Sense::kEq;
+        break;
+      case CmpOp::kGe:
+        row.sense = lp::Sense::kGe;
+        break;
+    }
+    row.rhs = c.rhs;
+    for (int dense = 0; dense < static_cast<int>(candidates.size()); ++dense) {
+      const Index& idx = pool[candidates[dense]];
+      if (c.filter && !c.filter(idx, cat)) continue;
+      const double w = c.weight ? c.weight(idx, cat) : 1.0;
+      if (w != 0.0) row.terms.push_back({dense, w});
+    }
+    if (row.terms.empty()) {
+      // No candidate participates: the row is trivially 0 <op> rhs.
+      const bool satisfied =
+          (row.sense == lp::Sense::kLe && 0.0 <= row.rhs + 1e-12) ||
+          (row.sense == lp::Sense::kGe && 0.0 >= row.rhs - 1e-12) ||
+          (row.sense == lp::Sense::kEq && std::abs(row.rhs) <= 1e-12);
+      if (satisfied) continue;  // drop trivially-true rows
+      // Keep the empty row so the solver's feasibility precheck reports
+      // the contradiction to the DBA (§4.1 line 1-2).
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::vector<double> SoftConstraintWeights(const SoftConstraint& soft,
+                                          const std::vector<IndexId>& candidates,
+                                          const IndexPool& pool,
+                                          const Catalog& cat) {
+  std::vector<double> w(candidates.size(), 0.0);
+  for (int dense = 0; dense < static_cast<int>(candidates.size()); ++dense) {
+    w[dense] = soft.weight ? soft.weight(pool[candidates[dense]], cat) : 0.0;
+  }
+  return w;
+}
+
+}  // namespace cophy

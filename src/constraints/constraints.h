@@ -1,0 +1,128 @@
+// The constraint language of Bruno & Chaudhuri's constrained physical
+// design tuning, as adopted by the paper (§3.2, Appendix E): index
+// constraints (E.1), query-cost constraints (E.2), generators with
+// filters (E.3), and soft constraints (§4.1). Everything here
+// translates to linear rows over the z (index-selection) variables —
+// which is the paper's central observation about constraints.
+#ifndef COPHY_CONSTRAINTS_CONSTRAINTS_H_
+#define COPHY_CONSTRAINTS_CONSTRAINTS_H_
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "index/index.h"
+#include "lp/choice_problem.h"
+#include "query/query.h"
+
+namespace cophy {
+
+/// Comparison operator of a DBA constraint (the paper's `<=>`).
+enum class CmpOp { kLe, kEq, kGe };
+
+/// E.1: Σ_{a ∈ Sc} w_a · z_a  <op>  V, where Sc is a filtered subset of
+/// the candidates. The storage budget, count limits, and column-width
+/// rules are all instances.
+struct IndexConstraint {
+  std::string name;
+  /// Which candidates participate (the generator's Filter).
+  std::function<bool(const Index&, const Catalog&)> filter;
+  /// Per-index coefficient w_a (e.g. size(a), or 1 for counting).
+  std::function<double(const Index&, const Catalog&)> weight;
+  CmpOp op = CmpOp::kLe;
+  double rhs = 0.0;
+};
+
+/// E.2: cost(q, X*) ≤ factor · cost(q, X0) + absolute. The baseline
+/// cost is resolved by the advisor at tuning time (it depends on the
+/// optimizer), after which the row is linear in the BIP variables.
+struct QueryCostConstraint {
+  QueryId query = -1;
+  double factor = 1.0;
+  double absolute = 0.0;
+};
+
+/// A soft constraint (§3.2/§4.1): Σ w_a z_a should not exceed `target`,
+/// but may, trading excess against workload cost along a Pareto curve.
+struct SoftConstraint {
+  std::string name;
+  std::function<double(const Index&, const Catalog&)> weight;
+  double target = 0.0;
+};
+
+/// The DBA's constraint set C = C_hard ∪ C_soft.
+class ConstraintSet {
+ public:
+  /// The storage-budget constraint Σ size(a) z_a ≤ bytes (kept apart so
+  /// solvers can exploit its knapsack structure).
+  void SetStorageBudget(double bytes) { storage_budget_ = bytes; }
+  std::optional<double> storage_budget() const { return storage_budget_; }
+
+  void AddIndexConstraint(IndexConstraint c) {
+    index_constraints_.push_back(std::move(c));
+  }
+  void AddQueryCostConstraint(QueryCostConstraint c) {
+    query_cost_constraints_.push_back(c);
+  }
+  void AddSoftConstraint(SoftConstraint c) { soft_.push_back(std::move(c)); }
+
+  // --- Generator sugar (E.3) -------------------------------------------
+
+  /// FOR t IN tables ASSERT (Σ_{a clustered on t} z_a) ≤ 1 — Eq. (5).
+  void AddAtMostOneClusteredPerTable(const Catalog& cat);
+
+  /// FOR t IN tables [matching filter] ASSERT count(indexes on t) ≤ k.
+  void AddMaxIndexesPerTable(const Catalog& cat, int k);
+
+  /// "At most `k` indexes with more than `width` key columns" (the
+  /// paper's E.1 example).
+  void AddMaxWideIndexes(int width, int k);
+
+  /// FOR q IN W ASSERT cost(q, X*) ≤ factor · cost(q, X0) — the E.3
+  /// generator over query-cost constraints.
+  void ForEachQueryAssertSpeedup(const Workload& w, double factor);
+
+  /// Soft storage constraint Σ size(a) z_a ⇒ target (possibly 0, as in
+  /// §5.4's Pareto experiment).
+  void AddSoftStorage(double target_bytes);
+
+  const std::vector<IndexConstraint>& index_constraints() const {
+    return index_constraints_;
+  }
+  const std::vector<QueryCostConstraint>& query_cost_constraints() const {
+    return query_cost_constraints_;
+  }
+  const std::vector<SoftConstraint>& soft_constraints() const { return soft_; }
+
+  bool empty() const {
+    return !storage_budget_ && index_constraints_.empty() &&
+           query_cost_constraints_.empty() && soft_.empty();
+  }
+
+ private:
+  std::optional<double> storage_budget_;
+  std::vector<IndexConstraint> index_constraints_;
+  std::vector<QueryCostConstraint> query_cost_constraints_;
+  std::vector<SoftConstraint> soft_;
+};
+
+/// Translates the index constraints into linear rows over dense solver
+/// ids (`candidates[i]` ↦ dense id i). Zero-term rows with a satisfied
+/// RHS are dropped; unsatisfiable empty rows become an all-zero == rhs
+/// row so infeasibility surfaces in the solver's precheck.
+std::vector<lp::ZRow> TranslateIndexConstraints(
+    const ConstraintSet& cs, const std::vector<IndexId>& candidates,
+    const IndexPool& pool, const Catalog& cat);
+
+/// Per-index coefficients of one soft constraint under the dense id
+/// mapping (used to build scalarized objectives).
+std::vector<double> SoftConstraintWeights(const SoftConstraint& soft,
+                                          const std::vector<IndexId>& candidates,
+                                          const IndexPool& pool,
+                                          const Catalog& cat);
+
+}  // namespace cophy
+
+#endif  // COPHY_CONSTRAINTS_CONSTRAINTS_H_

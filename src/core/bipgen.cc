@@ -1,0 +1,255 @@
+#include "core/bipgen.h"
+
+#include <unordered_map>
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace cophy {
+
+namespace {
+
+/// Dense remap pool-id -> position in `candidates`.
+std::unordered_map<IndexId, int> DenseMap(const std::vector<IndexId>& candidates) {
+  std::unordered_map<IndexId, int> m;
+  m.reserve(candidates.size());
+  for (int i = 0; i < static_cast<int>(candidates.size()); ++i) {
+    m.emplace(candidates[i], i);
+  }
+  return m;
+}
+
+}  // namespace
+
+lp::ChoiceProblem BuildChoiceProblem(
+    const Inum& inum, const std::vector<IndexId>& candidates,
+    const ConstraintSet& constraints,
+    const std::vector<double>& baseline_shell_cost) {
+  const SystemSimulator& sim = inum.simulator();
+  const Catalog& cat = sim.catalog();
+  const IndexPool& pool = sim.pool();
+  const Workload& w = inum.workload();
+  const auto dense = DenseMap(candidates);
+
+  lp::ChoiceProblem p;
+  p.num_indexes = static_cast<int>(candidates.size());
+  p.fixed_cost.assign(p.num_indexes, 0.0);
+  p.size.resize(p.num_indexes);
+  for (int i = 0; i < p.num_indexes; ++i) {
+    p.size[i] = IndexSizeBytes(pool[candidates[i]], cat);
+  }
+
+  // Update statements: index-maintenance penalties f_q·ucost(a, q) and
+  // the configuration-independent base maintenance constant.
+  for (QueryId uid : w.UpdateIds()) {
+    const Query& uq = w[uid];
+    p.constant_cost += uq.weight * sim.BaseUpdateCost(uq);
+    for (int i = 0; i < p.num_indexes; ++i) {
+      p.fixed_cost[i] += uq.weight * inum.UpdateCost(candidates[i], uid);
+    }
+  }
+
+  // Query-cost caps (resolved against the baseline costs).
+  std::vector<double> caps(w.size(), lp::kInf);
+  for (const QueryCostConstraint& qc : constraints.query_cost_constraints()) {
+    COPHY_CHECK_GE(qc.query, 0);
+    COPHY_CHECK_LT(qc.query, w.size());
+    COPHY_CHECK(!baseline_shell_cost.empty());
+    const double cap =
+        qc.factor * baseline_shell_cost[qc.query] + qc.absolute;
+    caps[qc.query] = std::min(caps[qc.query], cap);
+  }
+
+  // Per-statement choice structure straight from the INUM caches.
+  p.queries.reserve(w.size());
+  for (const Query& q : w.statements()) {
+    const QueryCache& qc = inum.cache(q.id);
+    lp::ChoiceQuery cq;
+    cq.weight = q.weight;
+    cq.cost_cap = caps[q.id];
+    cq.plans.reserve(qc.templates.size());
+    for (const QueryCache::Template& t : qc.templates) {
+      lp::ChoicePlan plan;
+      plan.beta = t.beta;
+      plan.slots.reserve(t.order_idx.size());
+      bool plan_ok = true;
+      for (size_t slot = 0; slot < t.order_idx.size(); ++slot) {
+        const auto& list = qc.access[slot][t.order_idx[slot]];
+        if (list.empty()) {
+          plan_ok = false;  // no path can deliver this order
+          break;
+        }
+        lp::ChoiceSlot cs;
+        cs.options.reserve(list.size());
+        for (const SlotAccess& sa : list) {
+          lp::ChoiceOption o;
+          if (sa.index == kInvalidIndex) {
+            o.index = lp::kBaseOption;
+          } else {
+            auto it = dense.find(sa.index);
+            if (it == dense.end()) continue;  // not in this candidate set
+            o.index = it->second;
+          }
+          o.gamma = sa.gamma;
+          cs.options.push_back(o);
+        }
+        if (cs.options.empty()) {
+          plan_ok = false;
+          break;
+        }
+        plan.slots.push_back(std::move(cs));
+      }
+      if (plan_ok) cq.plans.push_back(std::move(plan));
+    }
+    COPHY_CHECK(!cq.plans.empty());
+    p.queries.push_back(std::move(cq));
+  }
+
+  if (constraints.storage_budget()) {
+    p.storage_budget = *constraints.storage_budget();
+  }
+  p.z_rows = TranslateIndexConstraints(constraints, candidates, pool, cat);
+  return p;
+}
+
+lp::Model BuildModel(const Inum& inum, const std::vector<IndexId>& candidates,
+                     const ConstraintSet& constraints,
+                     const std::vector<double>& baseline_shell_cost) {
+  const SystemSimulator& sim = inum.simulator();
+  const Catalog& cat = sim.catalog();
+  const IndexPool& pool = sim.pool();
+  const Workload& w = inum.workload();
+  const auto dense = DenseMap(candidates);
+
+  lp::Model m;
+
+  // z_a variables, with the update-maintenance objective term.
+  std::vector<lp::VarId> z(candidates.size());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    double ucost_term = 0;
+    for (QueryId uid : w.UpdateIds()) {
+      ucost_term += w[uid].weight * inum.UpdateCost(candidates[i], uid);
+    }
+    z[i] = m.AddBinary(ucost_term, StrFormat("z_%d", candidates[i]));
+  }
+  for (QueryId uid : w.UpdateIds()) {
+    m.AddObjectiveConstant(w[uid].weight * sim.BaseUpdateCost(w[uid]));
+  }
+
+  // Per statement: y_qk, x_qkia, assignment and linking rows, and the
+  // optional cost-cap row.
+  for (const Query& q : w.statements()) {
+    const QueryCache& qc = inum.cache(q.id);
+    lp::Row pick_one;
+    pick_one.sense = lp::Sense::kEq;
+    pick_one.rhs = 1.0;
+    pick_one.name = StrFormat("y[%d]", q.id);
+
+    double cap = lp::kInf;
+    for (const QueryCostConstraint& qcc : constraints.query_cost_constraints()) {
+      if (qcc.query == q.id) {
+        COPHY_CHECK(!baseline_shell_cost.empty());
+        cap = std::min(cap,
+                       qcc.factor * baseline_shell_cost[q.id] + qcc.absolute);
+      }
+    }
+    lp::Row cap_row;
+    cap_row.sense = lp::Sense::kLe;
+    cap_row.rhs = cap;
+    cap_row.name = StrFormat("cap[%d]", q.id);
+
+    for (size_t k = 0; k < qc.templates.size(); ++k) {
+      const QueryCache::Template& t = qc.templates[k];
+      const lp::VarId yk = m.AddBinary(q.weight * t.beta,
+                                       StrFormat("y[%d,%zu]", q.id, k));
+      pick_one.terms.push_back({yk, 1.0});
+      if (cap < lp::kInf) cap_row.terms.push_back({yk, t.beta});
+      for (size_t slot = 0; slot < t.order_idx.size(); ++slot) {
+        const auto& list = qc.access[slot][t.order_idx[slot]];
+        lp::Row fill;  // Σ_a x_qkia = y_qk
+        fill.sense = lp::Sense::kEq;
+        fill.rhs = 0.0;
+        fill.terms.push_back({yk, -1.0});
+        fill.name = StrFormat("fill[%d,%zu,%zu]", q.id, k, slot);
+        for (const SlotAccess& sa : list) {
+          int dense_id = -1;
+          if (sa.index != kInvalidIndex) {
+            auto it = dense.find(sa.index);
+            if (it == dense.end()) continue;
+            dense_id = it->second;
+          }
+          const lp::VarId x =
+              m.AddBinary(q.weight * sa.gamma,
+                          StrFormat("x[%d,%zu,%zu,%d]", q.id, k, slot, sa.index));
+          fill.terms.push_back({x, 1.0});
+          if (cap < lp::kInf) cap_row.terms.push_back({x, sa.gamma});
+          if (dense_id >= 0) {
+            lp::Row link;  // z_a >= x
+            link.sense = lp::Sense::kGe;
+            link.rhs = 0.0;
+            link.terms.push_back({z[dense_id], 1.0});
+            link.terms.push_back({x, -1.0});
+            m.AddRow(std::move(link));
+          }
+        }
+        m.AddRow(std::move(fill));
+      }
+    }
+    m.AddRow(std::move(pick_one));
+    if (cap < lp::kInf) m.AddRow(std::move(cap_row));
+  }
+
+  // Storage budget and other index constraints.
+  if (constraints.storage_budget()) {
+    lp::Row storage;
+    storage.sense = lp::Sense::kLe;
+    storage.rhs = *constraints.storage_budget();
+    storage.name = "storage";
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      storage.terms.push_back({z[i], IndexSizeBytes(pool[candidates[i]], cat)});
+    }
+    m.AddRow(std::move(storage));
+  }
+  for (const lp::ZRow& zr :
+       TranslateIndexConstraints(constraints, candidates, pool, cat)) {
+    lp::Row row;
+    row.sense = zr.sense;
+    row.rhs = zr.rhs;
+    row.name = zr.name;
+    for (const auto& [dense_id, coef] : zr.terms) {
+      row.terms.push_back({z[dense_id], coef});
+    }
+    m.AddRow(std::move(row));
+  }
+  return m;
+}
+
+BipStats ComputeBipStats(const Inum& inum,
+                         const std::vector<IndexId>& candidates,
+                         const ConstraintSet& constraints) {
+  BipStats s;
+  s.z_variables = static_cast<int64_t>(candidates.size());
+  const Workload& w = inum.workload();
+  for (const Query& q : w.statements()) {
+    const QueryCache& qc = inum.cache(q.id);
+    s.y_variables += static_cast<int64_t>(qc.templates.size());
+    ++s.assignment_rows;  // Σ y = 1
+    for (const QueryCache::Template& t : qc.templates) {
+      for (size_t slot = 0; slot < t.order_idx.size(); ++slot) {
+        const auto& list = qc.access[slot][t.order_idx[slot]];
+        ++s.assignment_rows;  // Σ x = y
+        s.x_variables += static_cast<int64_t>(list.size());
+        for (const SlotAccess& sa : list) {
+          if (sa.index != kInvalidIndex) ++s.linking_rows;
+        }
+      }
+    }
+  }
+  s.constraint_rows =
+      static_cast<int64_t>(constraints.index_constraints().size()) +
+      static_cast<int64_t>(constraints.query_cost_constraints().size()) +
+      (constraints.storage_budget() ? 1 : 0);
+  return s;
+}
+
+}  // namespace cophy

@@ -1,0 +1,57 @@
+// BIPGen (§4, Fig. 2): turns the INUM caches into the binary integer
+// program of Theorem 1. Two materializations are provided:
+//
+//  * BuildChoiceProblem — the structured form the scalable solver
+//    consumes (identical solution space; the y/x/z variables are
+//    implicit in the per-query choice structure).
+//  * BuildModel — the literal Theorem-1 BIP (explicit y_qk, x_qkia,
+//    z_a variables and rows), solvable by the generic MIP solver.
+//    Exponentially clearer, linearly bigger; used for validation and
+//    small instances.
+//
+// Both accept the DBA constraint set: index constraints become linear
+// z-rows (§3.2), query-cost constraints become per-query caps/rows.
+#ifndef COPHY_CORE_BIPGEN_H_
+#define COPHY_CORE_BIPGEN_H_
+
+#include <vector>
+
+#include "constraints/constraints.h"
+#include "inum/inum.h"
+#include "lp/choice_problem.h"
+#include "lp/model.h"
+
+namespace cophy {
+
+/// Statistics about the generated BIP (the paper's compactness story:
+/// variables grow linearly in |W|, |S|, and ΣK_q).
+struct BipStats {
+  int64_t y_variables = 0;     ///< Σ_q K_q
+  int64_t x_variables = 0;     ///< Σ γ entries (pre-pruning count)
+  int64_t z_variables = 0;     ///< |S|
+  int64_t linking_rows = 0;    ///< z_a ≥ x_qkia rows
+  int64_t assignment_rows = 0; ///< Σ y = 1 and Σ x = y rows
+  int64_t constraint_rows = 0; ///< DBA constraint rows
+};
+
+/// Builds the structured problem over dense ids (candidates[i] ↦ i).
+/// `baseline_shell_cost[q]` must hold cost(q, X0) for statements with
+/// query-cost constraints (pass {} when none are used).
+lp::ChoiceProblem BuildChoiceProblem(
+    const Inum& inum, const std::vector<IndexId>& candidates,
+    const ConstraintSet& constraints,
+    const std::vector<double>& baseline_shell_cost = {});
+
+/// Builds the literal Theorem-1 model (y/x/z variables and rows).
+lp::Model BuildModel(const Inum& inum, const std::vector<IndexId>& candidates,
+                     const ConstraintSet& constraints,
+                     const std::vector<double>& baseline_shell_cost = {});
+
+/// Variable/row statistics without materializing the model.
+BipStats ComputeBipStats(const Inum& inum,
+                         const std::vector<IndexId>& candidates,
+                         const ConstraintSet& constraints);
+
+}  // namespace cophy
+
+#endif  // COPHY_CORE_BIPGEN_H_

@@ -1,0 +1,140 @@
+// The CoPhy index advisor (§4, Fig. 2): CGen + INUM + BIPGen + Solver,
+// with the paper's distinguishing features — hard & soft constraints,
+// continuous solution-quality feedback with early termination,
+// interactive (warm-started) re-tuning, and Pareto exploration of soft
+// constraints via the Chord algorithm.
+#ifndef COPHY_CORE_COPHY_H_
+#define COPHY_CORE_COPHY_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "constraints/constraints.h"
+#include "core/bipgen.h"
+#include "index/candidates.h"
+#include "inum/inum.h"
+#include "lp/choice_problem.h"
+
+namespace cophy {
+
+/// Tuning-session knobs.
+struct CoPhyOptions {
+  CandidateOptions candidates;
+  /// Stop at the first solution provably within this fraction of the
+  /// optimum (paper default 5%).
+  double gap_target = 0.05;
+  double time_limit_seconds = lp::kInf;
+  int64_t node_limit = 50'000;
+  /// Apply the Lagrangian relaxation step (§4.1 line 3).
+  bool lagrangian = true;
+  /// Progress feedback; return false to terminate early with the
+  /// current solution (§4.2).
+  std::function<bool(const lp::MipProgress&)> callback;
+};
+
+/// Timing breakdown matching the paper's stacked bars (Figs. 5/10).
+struct TuningTimings {
+  double inum_seconds = 0;   ///< what-if preprocessing (Prepare)
+  double build_seconds = 0;  ///< BIP generation
+  double solve_seconds = 0;  ///< solver time
+  double Total() const { return inum_seconds + build_seconds + solve_seconds; }
+};
+
+/// A tuning outcome.
+struct Recommendation {
+  Status status;
+  Configuration configuration;     ///< X* (pool index ids)
+  double objective = 0;            ///< BIP objective (est. workload cost)
+  double lower_bound = 0;
+  double gap = 0;                  ///< proven optimality gap at return
+  int64_t nodes = 0;
+  TuningTimings timings;
+  BipStats bip;
+  int num_candidates = 0;
+};
+
+/// One point of a Pareto sweep over a soft constraint.
+struct ParetoPoint {
+  double lambda = 0;
+  Configuration configuration;
+  double workload_cost = 0;  ///< Σ f_q cost(q, X) (INUM estimate)
+  double soft_value = 0;     ///< Σ w_a for the selected set (e.g. bytes)
+  double seconds = 0;        ///< time to produce this point
+};
+
+/// The advisor. Typical use:
+///   CoPhy advisor(&sim, workload, options);
+///   advisor.Prepare();                    // CGen + INUM
+///   auto rec = advisor.Tune(constraints); // solve the BIP
+///   advisor.AddCandidates(more);          // interactive tweak
+///   auto rec2 = advisor.Retune(constraints);  // warm-started delta solve
+class CoPhy {
+ public:
+  /// `pool` must be the pool the simulator reads (CGen inserts the
+  /// generated candidates into it).
+  CoPhy(SystemSimulator* sim, IndexPool* pool, Workload workload,
+        CoPhyOptions options = {});
+
+  /// Runs CGen over the workload (plus S_DBA) and builds the INUM
+  /// caches. Must be called before tuning.
+  Status Prepare(const std::vector<Index>& dba_indexes = {});
+
+  /// Uses an explicit candidate set instead of CGen (the ids must be in
+  /// the simulator's pool).
+  Status PrepareWithCandidates(std::vector<IndexId> candidate_ids);
+
+  /// Restricts tuning to a subset of the prepared candidates (INUM
+  /// caches are reused; used by the candidate-set scaling experiments).
+  Status RestrictCandidates(std::vector<IndexId> subset);
+
+  /// Adds candidates incrementally; only their γ entries are computed.
+  Status AddCandidates(const std::vector<IndexId>& new_ids);
+
+  /// Solves the tuning BIP under the given constraints.
+  Recommendation Tune(const ConstraintSet& constraints);
+
+  /// Re-solves after small changes, warm-starting from the previous
+  /// solution (§4.2 "Interactive Tuning").
+  Recommendation Retune(const ConstraintSet& constraints);
+
+  /// Pareto sweep for a single soft constraint at fixed λ values
+  /// (Fig. 6(c) uses λ ∈ {0, .25, .5, .75, 1}). Hard constraints in
+  /// `constraints` still apply. Points are solved in order with warm
+  /// starts.
+  std::vector<ParetoPoint> TuneSoftGrid(const ConstraintSet& constraints,
+                                        const std::vector<double>& lambdas);
+
+  /// Chord-algorithm Pareto approximation (Appendix D): adaptively
+  /// chooses λ values until the curve is within `epsilon` (relative
+  /// objective-space distance) or `max_points` solutions were produced.
+  std::vector<ParetoPoint> TuneSoftChord(const ConstraintSet& constraints,
+                                         double epsilon = 0.05,
+                                         int max_points = 16);
+
+  const Inum& inum() const { return *inum_; }
+  const std::vector<IndexId>& candidates() const { return candidates_; }
+  double prepare_seconds() const { return prepare_seconds_; }
+
+ private:
+  Recommendation TuneInternal(const ConstraintSet& constraints,
+                              bool warm_start);
+  /// Solves one λ-scalarized instance (shared by both Pareto modes).
+  ParetoPoint SolveScalarized(const ConstraintSet& constraints,
+                              const SoftConstraint& soft, double lambda,
+                              std::vector<uint8_t>* warm);
+  std::vector<double> BaselineShellCosts(const ConstraintSet& constraints);
+
+  SystemSimulator* sim_;
+  IndexPool* pool_;
+  Workload workload_;
+  CoPhyOptions options_;
+  std::unique_ptr<Inum> inum_;
+  std::vector<IndexId> candidates_;
+  double prepare_seconds_ = 0;
+  std::vector<uint8_t> last_selection_;  // dense, for warm starts
+};
+
+}  // namespace cophy
+
+#endif  // COPHY_CORE_COPHY_H_

@@ -1,0 +1,117 @@
+#include "core/report.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/strings.h"
+
+namespace cophy {
+
+TuningReport AnalyzeRecommendation(const Inum& inum,
+                                   const Recommendation& rec) {
+  TuningReport report;
+  const Workload& w = inum.workload();
+  const Configuration& x = rec.configuration;
+  const Configuration empty;
+  const IndexPool& pool = inum.simulator().pool();
+  const Catalog& cat = inum.simulator().catalog();
+
+  std::unordered_map<IndexId, IndexImpact> index_impacts;
+  for (IndexId id : x.ids()) {
+    IndexImpact impact;
+    impact.index = id;
+    impact.size_bytes = IndexSizeBytes(pool[id], cat);
+    report.storage_bytes += impact.size_bytes;
+    for (QueryId uid : w.UpdateIds()) {
+      impact.update_penalty += w[uid].weight * inum.UpdateCost(id, uid);
+    }
+    index_impacts.emplace(id, impact);
+  }
+
+  for (const Query& q : w.statements()) {
+    StatementImpact si;
+    si.query = q.id;
+    si.weight = q.weight;
+    si.cost_before = inum.Cost(q.id, empty);
+    si.cost_after = inum.Cost(q.id, x);
+    si.indexes_used = inum.ChosenIndexes(q.id, x);
+    report.total_before += q.weight * si.cost_before;
+    report.total_after += q.weight * si.cost_after;
+
+    // Attribute the statement's gain evenly across the indexes its
+    // plan uses (a simple, explainable split).
+    const double gain = q.weight * (si.cost_before - si.cost_after);
+    if (!si.indexes_used.empty()) {
+      const double share = gain / static_cast<double>(si.indexes_used.size());
+      for (IndexId id : si.indexes_used) {
+        auto it = index_impacts.find(id);
+        if (it != index_impacts.end()) {
+          ++it->second.statements_served;
+          it->second.weighted_benefit += share;
+        }
+      }
+    }
+    report.statements.push_back(std::move(si));
+  }
+
+  std::sort(report.statements.begin(), report.statements.end(),
+            [](const StatementImpact& a, const StatementImpact& b) {
+              return a.weight * (a.cost_before - a.cost_after) >
+                     b.weight * (b.cost_before - b.cost_after);
+            });
+  for (auto& [id, impact] : index_impacts) {
+    report.indexes.push_back(impact);
+  }
+  std::sort(report.indexes.begin(), report.indexes.end(),
+            [](const IndexImpact& a, const IndexImpact& b) {
+              return a.weighted_benefit > b.weighted_benefit;
+            });
+  return report;
+}
+
+std::string RenderTuningReport(const TuningReport& report, const Inum& inum,
+                               int top_k) {
+  const Catalog& cat = inum.simulator().catalog();
+  const IndexPool& pool = inum.simulator().pool();
+  const Workload& w = inum.workload();
+
+  std::string out;
+  const double reduction =
+      report.total_before > 0
+          ? 100.0 * (1.0 - report.total_after / report.total_before)
+          : 0.0;
+  out += StrFormat(
+      "Estimated workload cost: %.4g -> %.4g (%.1f%% reduction)\n",
+      report.total_before, report.total_after, reduction);
+  out += StrFormat("Storage used: %.1f MB across %zu indexes\n\n",
+                   report.storage_bytes / 1e6, report.indexes.size());
+
+  out += "Top improved statements:\n";
+  int listed = 0;
+  for (const StatementImpact& si : report.statements) {
+    if (top_k > 0 && listed >= top_k) break;
+    if (si.cost_before <= si.cost_after) break;  // sorted: rest are flat
+    std::string stmt = w[si.query].ToString(cat);
+    if (stmt.size() > 68) stmt = stmt.substr(0, 65) + "...";
+    out += StrFormat("  [q%03d] -%5.1f%%  %s\n", si.query,
+                     100.0 * si.Improvement(), stmt.c_str());
+    ++listed;
+  }
+
+  out += "\nSelected indexes by contribution:\n";
+  listed = 0;
+  for (const IndexImpact& ii : report.indexes) {
+    if (top_k > 0 && listed >= top_k) break;
+    out += StrFormat("  %7.1f MB  serves %3d stmt  benefit %.3g%s  %s\n",
+                     ii.size_bytes / 1e6, ii.statements_served,
+                     ii.weighted_benefit,
+                     ii.update_penalty > 0
+                         ? StrFormat(" (upkeep %.3g)", ii.update_penalty).c_str()
+                         : "",
+                     pool[ii.index].ToString(cat).c_str());
+    ++listed;
+  }
+  return out;
+}
+
+}  // namespace cophy

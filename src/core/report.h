@@ -1,0 +1,57 @@
+// Human-readable tuning reports: what the recommendation changes, per
+// statement and per index. This is the artifact a DBA reads after a
+// session — which statements improve and by how much, which index
+// serves which statements, and where the storage budget went.
+#ifndef COPHY_CORE_REPORT_H_
+#define COPHY_CORE_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "core/cophy.h"
+
+namespace cophy {
+
+/// Per-statement impact of a recommendation.
+struct StatementImpact {
+  QueryId query = -1;
+  double cost_before = 0;   ///< INUM shell cost under X0
+  double cost_after = 0;    ///< INUM shell cost under X*
+  double weight = 1.0;
+  std::vector<IndexId> indexes_used;  ///< X* members its plan uses
+  double Improvement() const {
+    return cost_before > 0 ? 1.0 - cost_after / cost_before : 0.0;
+  }
+};
+
+/// Per-index usage summary.
+struct IndexImpact {
+  IndexId index = kInvalidIndex;
+  double size_bytes = 0;
+  int statements_served = 0;          ///< plans that use it under X*
+  double weighted_benefit = 0;        ///< Σ f_q (before − after) share
+  double update_penalty = 0;          ///< Σ f_q ucost(a, q)
+};
+
+/// The full report.
+struct TuningReport {
+  double total_before = 0;  ///< Σ f_q cost(q, X0)
+  double total_after = 0;   ///< Σ f_q cost(q, X*) incl. maintenance
+  double storage_bytes = 0;
+  std::vector<StatementImpact> statements;  ///< sorted by absolute gain
+  std::vector<IndexImpact> indexes;         ///< sorted by benefit
+};
+
+/// Computes the report from a finished tuning session. Uses only INUM
+/// lookups (no what-if calls).
+TuningReport AnalyzeRecommendation(const Inum& inum,
+                                   const Recommendation& rec);
+
+/// Renders the report as a fixed-width text block. `top_k` bounds the
+/// number of statements/indexes listed (≤ 0 = all).
+std::string RenderTuningReport(const TuningReport& report, const Inum& inum,
+                               int top_k = 10);
+
+}  // namespace cophy
+
+#endif  // COPHY_CORE_REPORT_H_

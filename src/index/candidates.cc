@@ -1,0 +1,247 @@
+#include "index/candidates.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace cophy {
+
+namespace {
+
+/// Appends idx to out if not already present by definition.
+void Emit(std::vector<Index>& out, Index idx) {
+  std::sort(idx.include_columns.begin(), idx.include_columns.end());
+  for (const Index& e : out) {
+    if (e.SameDefinition(idx)) return;
+  }
+  out.push_back(std::move(idx));
+}
+
+/// Key-column orderings worth emitting for a table: equality columns
+/// first (any equality prefix enables prefix matching), then at most one
+/// range column, then order-providing columns.
+void EmitKeyVariants(std::vector<Index>& out, TableId t,
+                     const std::vector<ColumnId>& eq_cols,
+                     const std::vector<ColumnId>& range_cols,
+                     const std::vector<ColumnId>& order_cols,
+                     const std::vector<ColumnId>& all_used, int max_key,
+                     bool covering, bool extra) {
+  std::vector<std::vector<ColumnId>> keys;
+
+  // Single-column keys for every interesting column.
+  for (ColumnId c : eq_cols) keys.push_back({c});
+  for (ColumnId c : range_cols) keys.push_back({c});
+  for (ColumnId c : order_cols) keys.push_back({c});
+
+  // Equality pairs (both orders — the optimizer benefits differ).
+  for (size_t i = 0; i < eq_cols.size() && max_key >= 2; ++i) {
+    for (size_t j = 0; j < eq_cols.size(); ++j) {
+      if (i == j) continue;
+      keys.push_back({eq_cols[i], eq_cols[j]});
+    }
+  }
+  // Equality prefix + range suffix.
+  for (ColumnId e : eq_cols) {
+    for (ColumnId r : range_cols) {
+      if (max_key >= 2 && e != r) keys.push_back({e, r});
+    }
+  }
+  // Equality prefix + order suffix (serves sorted access after filter).
+  for (ColumnId e : eq_cols) {
+    for (ColumnId o : order_cols) {
+      if (max_key >= 2 && e != o) keys.push_back({e, o});
+    }
+  }
+  if (extra) {
+    // Range-leading pairs (useful when the range predicate dominates).
+    for (ColumnId r : range_cols) {
+      for (ColumnId e : eq_cols) {
+        if (max_key >= 2 && e != r) keys.push_back({r, e});
+      }
+      for (ColumnId o : order_cols) {
+        if (max_key >= 2 && o != r) keys.push_back({r, o});
+      }
+    }
+    // Keys extended with non-predicate used columns (narrow "index-only
+    // plan" enablers), capped to keep S from exploding quadratically.
+    int emitted = 0;
+    for (ColumnId lead : eq_cols) {
+      for (ColumnId tail : all_used) {
+        if (tail == lead || max_key < 2 || emitted >= 6) continue;
+        keys.push_back({lead, tail});
+        ++emitted;
+      }
+    }
+    emitted = 0;
+    for (ColumnId lead : range_cols) {
+      for (ColumnId tail : all_used) {
+        if (tail == lead || max_key < 2 || emitted >= 6) continue;
+        keys.push_back({lead, tail});
+        ++emitted;
+      }
+    }
+    // Order column + each used column.
+    emitted = 0;
+    for (ColumnId lead : order_cols) {
+      for (ColumnId tail : all_used) {
+        if (tail == lead || max_key < 2 || emitted >= 4) continue;
+        keys.push_back({lead, tail});
+        ++emitted;
+      }
+    }
+  }
+
+  // Three-column: eq + eq + range/order.
+  if (max_key >= 3 && eq_cols.size() >= 2) {
+    for (size_t i = 0; i < eq_cols.size(); ++i) {
+      for (size_t j = 0; j < eq_cols.size(); ++j) {
+        if (i == j) continue;
+        for (ColumnId tail : range_cols) {
+          if (tail != eq_cols[i] && tail != eq_cols[j]) {
+            keys.push_back({eq_cols[i], eq_cols[j], tail});
+          }
+        }
+        for (ColumnId tail : order_cols) {
+          if (tail != eq_cols[i] && tail != eq_cols[j]) {
+            keys.push_back({eq_cols[i], eq_cols[j], tail});
+          }
+        }
+      }
+    }
+  }
+
+  for (auto& key : keys) {
+    // Drop duplicate columns within a key while preserving order.
+    std::vector<ColumnId> dedup;
+    for (ColumnId c : key) {
+      if (std::find(dedup.begin(), dedup.end(), c) == dedup.end()) {
+        dedup.push_back(c);
+      }
+    }
+    if (dedup.empty()) continue;
+    Index idx;
+    idx.table = t;
+    idx.key_columns = dedup;
+    Emit(out, idx);
+    if (covering) {
+      // Covering variant: INCLUDE the statement's remaining columns.
+      Index cov = idx;
+      for (ColumnId c : all_used) {
+        if (std::find(dedup.begin(), dedup.end(), c) == dedup.end()) {
+          cov.include_columns.push_back(c);
+        }
+      }
+      if (!cov.include_columns.empty()) {
+        if (extra && cov.include_columns.size() >= 2) {
+          // Partial-INCLUDE variants: each single column, and the
+          // first half (cheaper, partially covering alternatives the
+          // solver can trade against the full covering index).
+          for (ColumnId c : cov.include_columns) {
+            Index single = idx;
+            single.include_columns = {c};
+            Emit(out, std::move(single));
+          }
+          Index half = idx;
+          half.include_columns.assign(
+              cov.include_columns.begin(),
+              cov.include_columns.begin() + cov.include_columns.size() / 2);
+          if (!half.include_columns.empty()) Emit(out, std::move(half));
+        }
+        Emit(out, std::move(cov));
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Index> CandidatesForQuery(const Query& q, const Catalog& cat,
+                                      const CandidateOptions& opts) {
+  std::vector<Index> out;
+  std::vector<TableId> tables = q.tables;
+  if (q.IsUpdate() && q.update_table != kInvalidTable &&
+      std::find(tables.begin(), tables.end(), q.update_table) == tables.end()) {
+    tables.push_back(q.update_table);
+  }
+  for (TableId t : tables) {
+    std::vector<ColumnId> eq_cols, range_cols, order_cols;
+    for (const Predicate& p : q.PredicatesOn(t, cat)) {
+      if (p.op == Predicate::Op::kEq) {
+        eq_cols.push_back(p.column);
+      } else {
+        range_cols.push_back(p.column);
+      }
+    }
+    if (opts.order_candidates) {
+      for (const JoinPredicate& j : q.joins) {
+        if (cat.column(j.left).table == t) order_cols.push_back(j.left);
+        if (cat.column(j.right).table == t) order_cols.push_back(j.right);
+      }
+      for (ColumnId c : q.group_by) {
+        if (cat.column(c).table == t) order_cols.push_back(c);
+      }
+      for (ColumnId c : q.order_by) {
+        if (cat.column(c).table == t) order_cols.push_back(c);
+      }
+    }
+    EmitKeyVariants(out, t, eq_cols, range_cols, order_cols,
+                    q.ColumnsUsed(t, cat), opts.max_key_columns,
+                    opts.covering_variants, opts.extra_variants);
+  }
+  return out;
+}
+
+std::vector<IndexId> GenerateCandidates(const Workload& w, const Catalog& cat,
+                                        const CandidateOptions& opts,
+                                        IndexPool& pool,
+                                        const std::vector<Index>& dba_indexes) {
+  std::vector<IndexId> ids;
+  std::vector<uint8_t> emitted;  // dedup for the returned list
+  auto add = [&](Index idx) {
+    const IndexId id = pool.Add(std::move(idx));
+    if (static_cast<size_t>(id) >= emitted.size()) {
+      emitted.resize(id + 1, 0);
+    }
+    if (!emitted[id]) {
+      emitted[id] = 1;
+      ids.push_back(id);
+    }
+  };
+  for (const Query& q : w.statements()) {
+    for (Index& idx : CandidatesForQuery(q, cat, opts)) {
+      add(std::move(idx));
+    }
+  }
+  for (const Index& idx : dba_indexes) add(idx);
+  return ids;
+}
+
+std::vector<IndexId> PadWithRandomIndexes(const Catalog& cat, int count,
+                                          Rng& rng, IndexPool& pool) {
+  std::vector<IndexId> ids;
+  int attempts = 0;
+  while (static_cast<int>(ids.size()) < count && attempts < count * 20) {
+    ++attempts;
+    const TableId t =
+        static_cast<TableId>(rng.Uniform(static_cast<uint64_t>(cat.num_tables())));
+    const Table& tab = cat.table(t);
+    const int ncols = 1 + static_cast<int>(rng.Uniform(3));
+    Index idx;
+    idx.table = t;
+    for (int i = 0; i < ncols; ++i) {
+      const ColumnId c =
+          tab.columns[rng.Uniform(static_cast<uint64_t>(tab.columns.size()))];
+      if (std::find(idx.key_columns.begin(), idx.key_columns.end(), c) ==
+          idx.key_columns.end()) {
+        idx.key_columns.push_back(c);
+      }
+    }
+    if (idx.key_columns.empty()) continue;
+    const int before = pool.size();
+    const IndexId id = pool.Add(std::move(idx));
+    if (pool.size() > before) ids.push_back(id);
+  }
+  return ids;
+}
+
+}  // namespace cophy

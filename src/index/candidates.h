@@ -1,0 +1,53 @@
+// CGen (§4, Fig. 2): per-query candidate-index generation. Examines
+// each statement's sargable/join/grouping/ordering columns and emits a
+// large candidate set without aggressive pruning — pruning is delegated
+// to the BIP solver, which is the point of the paper.
+#ifndef COPHY_INDEX_CANDIDATES_H_
+#define COPHY_INDEX_CANDIDATES_H_
+
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/random.h"
+#include "index/index.h"
+#include "query/query.h"
+
+namespace cophy {
+
+/// Knobs for candidate generation.
+struct CandidateOptions {
+  /// Emit multi-column keys (predicate-column permutations capped by
+  /// `max_key_columns`).
+  int max_key_columns = 3;
+  /// Also emit covering variants (key + INCLUDE of the statement's
+  /// remaining referenced columns).
+  bool covering_variants = true;
+  /// Emit candidates for join columns / group-by / order-by prefixes.
+  bool order_candidates = true;
+  /// Emit the wider variant families (range-leading keys, keys extended
+  /// with output columns, partial-INCLUDE variants). CGen deliberately
+  /// does not prune (§4): a large S is the point, the solver prunes.
+  bool extra_variants = true;
+};
+
+/// Generates candidates for one statement (SELECT or UPDATE shell).
+std::vector<Index> CandidatesForQuery(const Query& q, const Catalog& cat,
+                                      const CandidateOptions& opts);
+
+/// Forms the full candidate set S = ∪_q candidates(q) ∪ S_DBA,
+/// deduplicated through `pool`. Returns the ids added (ALL distinct
+/// candidates, in pool id order).
+std::vector<IndexId> GenerateCandidates(const Workload& w, const Catalog& cat,
+                                        const CandidateOptions& opts,
+                                        IndexPool& pool,
+                                        const std::vector<Index>& dba_indexes = {});
+
+/// Pads the pool with `count` random (syntactically valid, semantically
+/// useless-to-random) indexes — used by the paper's S_L = 10K-candidate
+/// scaling experiment (§5.3).
+std::vector<IndexId> PadWithRandomIndexes(const Catalog& cat, int count,
+                                          Rng& rng, IndexPool& pool);
+
+}  // namespace cophy
+
+#endif  // COPHY_INDEX_CANDIDATES_H_

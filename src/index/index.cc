@@ -1,0 +1,89 @@
+#include "index/index.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace cophy {
+
+bool Index::SameDefinition(const Index& other) const {
+  return table == other.table && clustered == other.clustered &&
+         key_columns == other.key_columns &&
+         include_columns == other.include_columns;
+}
+
+bool Index::Covers(const std::vector<ColumnId>& cols) const {
+  if (clustered) return true;
+  for (ColumnId c : cols) {
+    const bool in_key =
+        std::find(key_columns.begin(), key_columns.end(), c) != key_columns.end();
+    const bool in_inc = std::find(include_columns.begin(),
+                                  include_columns.end(), c) != include_columns.end();
+    if (!in_key && !in_inc) return false;
+  }
+  return true;
+}
+
+std::string Index::ToString(const Catalog& cat) const {
+  std::vector<std::string> keys, incs;
+  for (ColumnId c : key_columns) keys.push_back(cat.column(c).name);
+  for (ColumnId c : include_columns) incs.push_back(cat.column(c).name);
+  std::string s = StrFormat("%sINDEX ON %s(%s)", clustered ? "CLUSTERED " : "",
+                            cat.table(table).name.c_str(),
+                            StrJoin(keys, ", ").c_str());
+  if (!incs.empty()) s += " INCLUDE(" + StrJoin(incs, ", ") + ")";
+  return s;
+}
+
+double IndexLeafPages(const Index& idx, const Catalog& cat) {
+  const Table& t = cat.table(idx.table);
+  if (idx.clustered) return cat.TablePages(idx.table);
+  double entry = 8.0;  // row locator
+  for (ColumnId c : idx.key_columns) entry += cat.column(c).width_bytes;
+  for (ColumnId c : idx.include_columns) entry += cat.column(c).width_bytes;
+  const double fill = 0.7;  // B-tree fill factor
+  return std::max(
+      1.0, std::ceil(t.row_count * entry / (Catalog::kPageSize * fill)));
+}
+
+double IndexSizeBytes(const Index& idx, const Catalog& cat) {
+  // Leaf level plus ~0.5% inner-node overhead.
+  return IndexLeafPages(idx, cat) * Catalog::kPageSize * 1.005;
+}
+
+namespace {
+std::string DefinitionKey(const Index& idx) {
+  std::string k = std::to_string(idx.table);
+  k += idx.clustered ? "C:" : ":";
+  for (ColumnId c : idx.key_columns) k += std::to_string(c) + ",";
+  k += "|";
+  for (ColumnId c : idx.include_columns) k += std::to_string(c) + ",";
+  return k;
+}
+}  // namespace
+
+IndexId IndexPool::Add(Index idx) {
+  COPHY_CHECK(!idx.key_columns.empty());
+  // INCLUDE columns are a set; canonicalize so equivalent definitions
+  // deduplicate regardless of the order the generator emitted them in.
+  std::sort(idx.include_columns.begin(), idx.include_columns.end());
+  const std::string key = DefinitionKey(idx);
+  auto it = by_definition_.find(key);
+  if (it != by_definition_.end()) return it->second;
+  idx.id = static_cast<IndexId>(indexes_.size());
+  by_definition_.emplace(key, idx.id);
+  indexes_.push_back(std::move(idx));
+  return indexes_.back().id;
+}
+
+std::vector<IndexId> IndexPool::OnTable(TableId t) const {
+  std::vector<IndexId> out;
+  for (const Index& idx : indexes_) {
+    if (idx.table == t) out.push_back(idx.id);
+  }
+  return out;
+}
+
+}  // namespace cophy

@@ -1,0 +1,69 @@
+// Index definitions, the deduplicating index pool, and size estimation.
+// An index is defined on exactly one table (no join indexes, per §2) and
+// has an ordered key, optional INCLUDE columns, and a clustered flag.
+#ifndef COPHY_INDEX_INDEX_H_
+#define COPHY_INDEX_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "catalog/catalog.h"
+
+namespace cophy {
+
+using IndexId = int32_t;
+inline constexpr IndexId kInvalidIndex = -1;
+
+/// A candidate (or materialized) index.
+struct Index {
+  IndexId id = kInvalidIndex;
+  TableId table = kInvalidTable;
+  std::vector<ColumnId> key_columns;      ///< ordered search key
+  std::vector<ColumnId> include_columns;  ///< non-key covered columns
+  bool clustered = false;
+
+  /// True if the key (and clustered flag) equal `other`'s — identity for
+  /// deduplication; INCLUDE columns participate too.
+  bool SameDefinition(const Index& other) const;
+
+  /// Does key ∪ include contain every column in `cols`? (Clustered
+  /// indexes cover everything: the leaf level is the row.)
+  bool Covers(const std::vector<ColumnId>& cols) const;
+
+  /// "CREATE INDEX"-style rendering.
+  std::string ToString(const Catalog& cat) const;
+};
+
+/// Estimated on-disk size of the index in bytes (leaf level dominated;
+/// clustered indexes are counted as the table itself plus key overhead).
+double IndexSizeBytes(const Index& idx, const Catalog& cat);
+
+/// Estimated leaf page count.
+double IndexLeafPages(const Index& idx, const Catalog& cat);
+
+/// The global registry of candidate indexes. Deduplicates by
+/// definition; ids are dense and stable, so solvers use them as variable
+/// indices directly.
+class IndexPool {
+ public:
+  /// Adds an index if new, returning its id (or the existing duplicate's
+  /// id).
+  IndexId Add(Index idx);
+
+  const Index& operator[](IndexId id) const { return indexes_[id]; }
+  int size() const { return static_cast<int>(indexes_.size()); }
+  const std::vector<Index>& all() const { return indexes_; }
+
+  /// Ids of indexes on table `t`.
+  std::vector<IndexId> OnTable(TableId t) const;
+
+ private:
+  std::vector<Index> indexes_;
+  std::unordered_map<std::string, IndexId> by_definition_;
+};
+
+}  // namespace cophy
+
+#endif  // COPHY_INDEX_INDEX_H_

@@ -1,0 +1,193 @@
+#include "inum/inum.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace cophy {
+
+Inum::Inum(SystemSimulator* sim) : sim_(sim) { COPHY_CHECK(sim != nullptr); }
+
+void Inum::BuildGammaFor(QueryCache& qc, const Query& q,
+                         const std::vector<IndexId>& candidates, bool append) {
+  const IndexPool& pool = sim_->pool();
+  for (size_t slot = 0; slot < qc.slot_orders.size(); ++slot) {
+    const TableId t = q.tables[slot];
+    for (size_t oi = 0; oi < qc.slot_orders[slot].size(); ++oi) {
+      const OrderSpec& order = qc.slot_orders[slot][oi];
+      auto& list = qc.access[slot][oi];
+      double base_gamma;
+      if (!append) {
+        base_gamma =
+            sim_->AccessCost(q, static_cast<int>(slot), order, kInvalidIndex);
+        if (base_gamma < kInfiniteCost) {
+          list.push_back({kInvalidIndex, base_gamma});
+          ++qc.raw_gamma_entries;
+        }
+      } else {
+        base_gamma = kInfiniteCost;
+        for (const SlotAccess& sa : list) {
+          if (sa.index == kInvalidIndex) base_gamma = sa.gamma;
+        }
+      }
+      for (IndexId id : candidates) {
+        if (pool[id].table != t) continue;
+        const double g =
+            sim_->AccessCost(q, static_cast<int>(slot), order, id);
+        if (g == kInfiniteCost) continue;
+        ++qc.raw_gamma_entries;
+        // Domination pruning: the base path is always available, so an
+        // index that does not beat it can never be the arg-min.
+        if (g >= base_gamma) continue;
+        list.push_back({id, g});
+      }
+      std::sort(list.begin(), list.end(),
+                [](const SlotAccess& a, const SlotAccess& b) {
+                  return a.gamma < b.gamma;
+                });
+    }
+  }
+}
+
+void Inum::Prepare(const Workload& w, const std::vector<IndexId>& candidates) {
+  workload_ = w;
+  candidates_ = candidates;
+  caches_.clear();
+  caches_.resize(w.size());
+  for (const Query& q : w.statements()) {
+    QueryCache& qc = caches_[q.id];
+    qc.qid = q.id;
+    qc.weight = q.weight;
+    qc.is_update = q.IsUpdate();
+
+    // Distinct per-slot orders and the template -> order-index mapping.
+    qc.slot_orders = sim_->SlotOrderCandidates(q);
+    const std::vector<TemplatePlan> templates = sim_->EnumerateTemplates(q);
+    qc.templates.reserve(templates.size());
+    for (const TemplatePlan& tp : templates) {
+      QueryCache::Template t;
+      t.beta = tp.internal_cost;
+      t.order_idx.resize(tp.slot_orders.size());
+      for (size_t slot = 0; slot < tp.slot_orders.size(); ++slot) {
+        const auto& orders = qc.slot_orders[slot];
+        auto it = std::find(orders.begin(), orders.end(), tp.slot_orders[slot]);
+        COPHY_CHECK(it != orders.end());
+        t.order_idx[slot] = static_cast<int>(it - orders.begin());
+      }
+      qc.templates.push_back(std::move(t));
+    }
+
+    qc.access.resize(qc.slot_orders.size());
+    for (size_t slot = 0; slot < qc.slot_orders.size(); ++slot) {
+      qc.access[slot].resize(qc.slot_orders[slot].size());
+    }
+    BuildGammaFor(qc, q, candidates, /*append=*/false);
+  }
+}
+
+void Inum::AddCandidates(const std::vector<IndexId>& new_candidates) {
+  for (const Query& q : workload_.statements()) {
+    BuildGammaFor(caches_[q.id], q, new_candidates, /*append=*/true);
+  }
+  candidates_.insert(candidates_.end(), new_candidates.begin(),
+                     new_candidates.end());
+}
+
+double Inum::ShellCost(QueryId qid, const Configuration& x) const {
+  const QueryCache& qc = caches_[qid];
+  double best = kInfiniteCost;
+  for (const QueryCache::Template& t : qc.templates) {
+    double c = t.beta;
+    bool ok = true;
+    for (size_t slot = 0; slot < t.order_idx.size(); ++slot) {
+      const auto& list = qc.access[slot][t.order_idx[slot]];
+      double g = kInfiniteCost;
+      for (const SlotAccess& sa : list) {  // sorted ascending by γ
+        if (sa.index == kInvalidIndex || x.Contains(sa.index)) {
+          g = sa.gamma;
+          break;
+        }
+      }
+      if (g == kInfiniteCost) {
+        ok = false;
+        break;
+      }
+      c += g;
+    }
+    if (ok) best = std::min(best, c);
+  }
+  return best;
+}
+
+double Inum::Cost(QueryId qid, const Configuration& x) const {
+  const Query& q = workload_[qid];
+  double c = ShellCost(qid, x);
+  if (q.IsUpdate()) {
+    c += sim_->BaseUpdateCost(q);
+    for (IndexId a : x.ids()) c += sim_->UpdateCost(a, q);
+  }
+  return c;
+}
+
+double Inum::UpdateCost(IndexId a, QueryId qid) const {
+  return sim_->UpdateCost(a, workload_[qid]);
+}
+
+std::vector<IndexId> Inum::ChosenIndexes(QueryId qid,
+                                         const Configuration& x) const {
+  const QueryCache& qc = caches_[qid];
+  double best = kInfiniteCost;
+  std::vector<IndexId> chosen;
+  for (const QueryCache::Template& t : qc.templates) {
+    double c = t.beta;
+    std::vector<IndexId> used;
+    bool ok = true;
+    for (size_t slot = 0; slot < t.order_idx.size(); ++slot) {
+      const auto& list = qc.access[slot][t.order_idx[slot]];
+      double g = kInfiniteCost;
+      IndexId pick = kInvalidIndex;
+      for (const SlotAccess& sa : list) {
+        if (sa.index == kInvalidIndex || x.Contains(sa.index)) {
+          g = sa.gamma;
+          pick = sa.index;
+          break;
+        }
+      }
+      if (g == kInfiniteCost) {
+        ok = false;
+        break;
+      }
+      if (pick != kInvalidIndex) used.push_back(pick);
+      c += g;
+    }
+    if (ok && c < best) {
+      best = c;
+      chosen = std::move(used);
+    }
+  }
+  return chosen;
+}
+
+int64_t Inum::TotalTemplates() const {
+  int64_t n = 0;
+  for (const QueryCache& qc : caches_) n += qc.templates.size();
+  return n;
+}
+
+int64_t Inum::TotalGammaEntries() const {
+  int64_t n = 0;
+  for (const QueryCache& qc : caches_) {
+    for (const auto& per_slot : qc.access) {
+      for (const auto& list : per_slot) n += list.size();
+    }
+  }
+  return n;
+}
+
+int64_t Inum::TotalRawGammaEntries() const {
+  int64_t n = 0;
+  for (const QueryCache& qc : caches_) n += qc.raw_gamma_entries;
+  return n;
+}
+
+}  // namespace cophy

@@ -1,0 +1,105 @@
+// INUM (Papadomanolakis, Dash, Ailamaki, VLDB'07): the fast what-if
+// layer. Prepare() pays a few what-if optimizations per statement to
+// cache template plans (β_qk) and the per-slot access-cost tables
+// (γ_qkia); afterwards Cost(q, X) is a pure table-lookup min — orders of
+// magnitude cheaper than a what-if call. CoPhy's BIPGen reads these
+// caches directly (they ARE the BIP coefficients of Theorem 1).
+#ifndef COPHY_INUM_INUM_H_
+#define COPHY_INUM_INUM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "optimizer/simulator.h"
+#include "query/query.h"
+
+namespace cophy {
+
+/// One γ-table entry: an access path and its cost for (query, slot,
+/// order). kInvalidIndex denotes the base path I∅.
+struct SlotAccess {
+  IndexId index = kInvalidIndex;
+  double gamma = 0.0;
+};
+
+/// The per-statement INUM cache.
+struct QueryCache {
+  QueryId qid = -1;
+  double weight = 1.0;
+  bool is_update = false;
+  /// Distinct interesting orders per slot (order 0 is always "none").
+  std::vector<std::vector<OrderSpec>> slot_orders;
+  /// Template plans: β plus, per slot, the index into `slot_orders`.
+  struct Template {
+    double beta = 0.0;
+    std::vector<int> order_idx;  // one per slot
+  };
+  std::vector<Template> templates;
+  /// access[slot][order_idx] = candidate paths sorted by γ ascending.
+  /// Contains the base path I∅ plus every candidate that beats it
+  /// (paths costlier than I∅ can never be chosen by the min and are
+  /// dropped losslessly; see DESIGN.md).
+  std::vector<std::vector<std::vector<SlotAccess>>> access;
+  /// Number of γ entries before the domination pruning (the x-variable
+  /// count a naive BIP materialization would have).
+  int64_t raw_gamma_entries = 0;
+};
+
+/// The INUM module. Holds the caches for one workload + candidate set.
+class Inum {
+ public:
+  explicit Inum(SystemSimulator* sim);
+
+  /// Builds caches for all statements of `w` against candidate set
+  /// `candidates` (ids into the simulator's pool). This is the "INUM
+  /// time" component of the paper's figures.
+  void Prepare(const Workload& w, const std::vector<IndexId>& candidates);
+
+  /// Adds candidates incrementally (interactive tuning): only γ entries
+  /// for the new indexes are computed; β templates are reused.
+  void AddCandidates(const std::vector<IndexId>& new_candidates);
+
+  /// Fast cost(q, X): min over templates × atomic configurations.
+  /// For UPDATE statements this covers the query shell only (the BIP
+  /// accounts for ucost terms separately, as in §2).
+  double ShellCost(QueryId qid, const Configuration& x) const;
+
+  /// Full statement cost including update maintenance of indexes in X —
+  /// the INUM-equivalent of WhatIfOptimizer::Cost.
+  double Cost(QueryId qid, const Configuration& x) const;
+
+  /// Cached ucost(a, q) (0 unless q updates a's table and touches its
+  /// columns).
+  double UpdateCost(IndexId a, QueryId qid) const;
+
+  /// The indexes the statement's optimal plan under X actually uses
+  /// (the arg-min access paths of the winning template; empty when the
+  /// base paths win everywhere).
+  std::vector<IndexId> ChosenIndexes(QueryId qid, const Configuration& x) const;
+
+  const QueryCache& cache(QueryId qid) const { return caches_[qid]; }
+  int num_statements() const { return static_cast<int>(caches_.size()); }
+  const Workload& workload() const { return workload_; }
+  const std::vector<IndexId>& candidates() const { return candidates_; }
+  SystemSimulator& simulator() const { return *sim_; }
+
+  /// Total template count across statements (Σ K_q).
+  int64_t TotalTemplates() const;
+  /// Total γ entries kept after domination pruning.
+  int64_t TotalGammaEntries() const;
+  /// Total γ entries before pruning (the paper-facing x count).
+  int64_t TotalRawGammaEntries() const;
+
+ private:
+  void BuildGammaFor(QueryCache& qc, const Query& q,
+                     const std::vector<IndexId>& candidates, bool append);
+
+  SystemSimulator* sim_;
+  Workload workload_;
+  std::vector<IndexId> candidates_;
+  std::vector<QueryCache> caches_;
+};
+
+}  // namespace cophy
+
+#endif  // COPHY_INUM_INUM_H_

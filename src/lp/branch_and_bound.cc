@@ -1,0 +1,196 @@
+#include "lp/branch_and_bound.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <queue>
+
+#include "common/check.h"
+#include "common/stopwatch.h"
+#include "lp/simplex.h"
+
+namespace cophy::lp {
+
+namespace {
+
+constexpr double kIntEps = 1e-6;
+
+/// A search node: variable-bound overrides along the path from the root.
+struct Node {
+  double bound;  // LP relaxation value (lower bound for the subtree)
+  std::vector<std::pair<VarId, std::pair<double, double>>> fixes;
+};
+
+struct NodeOrder {
+  bool operator()(const std::shared_ptr<Node>& a,
+                  const std::shared_ptr<Node>& b) const {
+    return a->bound > b->bound;  // min-heap on bound (best-first)
+  }
+};
+
+/// Picks the integer variable whose LP value is most fractional.
+int MostFractional(const Model& model, const std::vector<double>& x) {
+  int best = -1;
+  double best_frac = kIntEps;
+  for (int i = 0; i < model.num_variables(); ++i) {
+    if (!model.variable(i).is_integer) continue;
+    const double f = std::abs(x[i] - std::round(x[i]));
+    if (f > best_frac) {
+      best_frac = f;
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+Status CheckFeasible(const Model& model) {
+  return SolveLp(model).status;
+}
+
+MipSolution SolveMip(const Model& model, const MipOptions& options) {
+  Stopwatch watch;
+  MipSolution result;
+  result.status = Status::Ok();
+
+  std::vector<double> base_lo(model.num_variables()),
+      base_hi(model.num_variables());
+  for (int i = 0; i < model.num_variables(); ++i) {
+    base_lo[i] = model.variable(i).lower;
+    base_hi[i] = model.variable(i).upper;
+  }
+
+  // Seed the incumbent from the warm start if it is feasible.
+  bool has_incumbent = false;
+  if (!options.warm_start.empty() &&
+      model.IsFeasible(options.warm_start)) {
+    result.x = options.warm_start;
+    result.objective = model.ObjectiveValue(options.warm_start);
+    has_incumbent = true;
+  }
+
+  auto report = [&](double best_open_bound) -> bool {
+    MipProgress p;
+    p.seconds = watch.Elapsed();
+    p.nodes = result.nodes;
+    p.has_incumbent = has_incumbent;
+    p.incumbent = result.objective;
+    p.lower_bound = best_open_bound;
+    if (has_incumbent) {
+      p.gap = (result.objective - best_open_bound) /
+              std::max(1e-12, std::abs(result.objective));
+      p.gap = std::max(0.0, p.gap);
+    }
+    result.lower_bound = best_open_bound;
+    result.gap = p.gap;
+    if (options.callback && !options.callback(p)) return false;
+    return true;
+  };
+
+  std::priority_queue<std::shared_ptr<Node>, std::vector<std::shared_ptr<Node>>,
+                      NodeOrder>
+      open;
+
+  // Root relaxation.
+  {
+    const LpSolution root = SolveLp(model);
+    if (!root.status.ok()) {
+      result.status = root.status;
+      return result;
+    }
+    auto node = std::make_shared<Node>();
+    node->bound = root.objective;
+    open.push(std::move(node));
+  }
+
+  std::vector<double> lo = base_lo, hi = base_hi;
+  while (!open.empty()) {
+    if (result.nodes >= options.node_limit ||
+        watch.Elapsed() > options.time_limit_seconds) {
+      result.status = has_incumbent
+                          ? Status::Ok()
+                          : Status::Timeout("no incumbent within limits");
+      break;
+    }
+    auto node = open.top();
+    open.pop();
+    const double best_open =
+        has_incumbent ? std::min(node->bound, result.objective) : node->bound;
+    if (has_incumbent) {
+      const double gap = (result.objective - best_open) /
+                         std::max(1e-12, std::abs(result.objective));
+      if (gap <= options.gap_target + 1e-12) {
+        if (!report(best_open)) break;
+        break;  // incumbent provably within the gap target
+      }
+      if (node->bound >= result.objective - 1e-9) continue;  // pruned
+    }
+
+    // Materialize this node's bounds.
+    lo = base_lo;
+    hi = base_hi;
+    for (const auto& [v, b] : node->fixes) {
+      lo[v] = std::max(lo[v], b.first);
+      hi[v] = std::min(hi[v], b.second);
+    }
+    const LpSolution relax = SolveLp(model, &lo, &hi);
+    ++result.nodes;
+    if (!relax.status.ok()) continue;  // infeasible subtree
+    if (has_incumbent && relax.objective >= result.objective - 1e-9) continue;
+
+    const int frac = MostFractional(model, relax.x);
+    if (frac < 0) {
+      // Integral: new incumbent.
+      std::vector<double> x = relax.x;
+      for (int i = 0; i < model.num_variables(); ++i) {
+        if (model.variable(i).is_integer) x[i] = std::round(x[i]);
+      }
+      if (!has_incumbent || relax.objective < result.objective) {
+        result.x = std::move(x);
+        result.objective = relax.objective;
+        has_incumbent = true;
+        if (!report(open.empty() ? relax.objective
+                                 : std::min(open.top()->bound, relax.objective))) {
+          break;
+        }
+      }
+      continue;
+    }
+
+    // Branch on the fractional variable.
+    const double v = relax.x[frac];
+    auto down = std::make_shared<Node>();
+    down->fixes = node->fixes;
+    down->fixes.push_back({frac, {base_lo[frac], std::floor(v)}});
+    down->bound = relax.objective;
+    auto up = std::make_shared<Node>();
+    up->fixes = node->fixes;
+    up->fixes.push_back({frac, {std::ceil(v), base_hi[frac]}});
+    up->bound = relax.objective;
+    open.push(std::move(down));
+    open.push(std::move(up));
+
+    if ((result.nodes & 0x3f) == 0) {
+      const double bound =
+          open.empty() ? result.objective : open.top()->bound;
+      if (!report(has_incumbent ? std::min(bound, result.objective) : bound)) {
+        break;
+      }
+    }
+  }
+
+  if (!has_incumbent && result.status.ok()) {
+    result.status = Status::Infeasible("no integral solution found");
+  }
+  if (has_incumbent) {
+    const double bound = open.empty() ? result.objective : open.top()->bound;
+    result.lower_bound = std::min(bound, result.objective);
+    result.gap = std::max(0.0, (result.objective - result.lower_bound) /
+                                   std::max(1e-12, std::abs(result.objective)));
+    result.status = Status::Ok();
+  }
+  return result;
+}
+
+}  // namespace cophy::lp

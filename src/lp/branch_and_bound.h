@@ -1,0 +1,66 @@
+// Generic branch-and-bound MIP solver over lp::Model, using the dense
+// simplex for node relaxations. Exposes the "off-the-shelf solver"
+// behaviours CoPhy leans on: anytime incumbents, a global lower bound
+// with an optimality-gap readout, early termination at a gap target,
+// warm starts, and a feasibility pre-check.
+#ifndef COPHY_LP_BRANCH_AND_BOUND_H_
+#define COPHY_LP_BRANCH_AND_BOUND_H_
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "common/status.h"
+#include "lp/model.h"
+
+namespace cophy::lp {
+
+/// Progress snapshot passed to the solve callback (drives the paper's
+/// Fig. 6(a) feedback curve and early termination).
+struct MipProgress {
+  double seconds = 0;       ///< elapsed wall-clock time
+  double incumbent = std::numeric_limits<double>::infinity();
+  double lower_bound = -std::numeric_limits<double>::infinity();
+  double gap = std::numeric_limits<double>::infinity();  ///< relative
+  int64_t nodes = 0;
+  bool has_incumbent = false;
+};
+
+/// Options for a MIP solve.
+struct MipOptions {
+  /// Terminate once (incumbent - bound)/|incumbent| <= gap_target
+  /// (paper default: the CPLEX run returns the first solution within 5%
+  /// of optimal).
+  double gap_target = 0.0;
+  double time_limit_seconds = std::numeric_limits<double>::infinity();
+  int64_t node_limit = 2'000'000;
+  /// Called on progress updates; return false to stop (early
+  /// termination with the current incumbent).
+  std::function<bool(const MipProgress&)> callback;
+  /// Optional starting point: if feasible it seeds the incumbent (the
+  /// mechanism behind fast interactive re-tuning).
+  std::vector<double> warm_start;
+};
+
+/// Result of a MIP solve.
+struct MipSolution {
+  Status status;            ///< Ok (possibly early-terminated), Infeasible, …
+  std::vector<double> x;
+  double objective = std::numeric_limits<double>::infinity();
+  double lower_bound = -std::numeric_limits<double>::infinity();
+  double gap = std::numeric_limits<double>::infinity();
+  int64_t nodes = 0;
+};
+
+/// Solves the MIP with best-first branch-and-bound.
+MipSolution SolveMip(const Model& model, const MipOptions& options = {});
+
+/// Cheap feasibility probe (solves one LP relaxation): does the model
+/// admit any fractional solution? Infeasible relaxation implies an
+/// infeasible BIP — CoPhy's Solver uses this as its line-1 check.
+Status CheckFeasible(const Model& model);
+
+}  // namespace cophy::lp
+
+#endif  // COPHY_LP_BRANCH_AND_BOUND_H_

@@ -1,0 +1,1032 @@
+#include "lp/choice_problem.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "common/check.h"
+#include "common/stopwatch.h"
+
+namespace cophy::lp {
+
+namespace {
+constexpr double kTol = 1e-9;
+}
+
+// ---------------------------------------------------------------------------
+// ChoiceProblem evaluation
+
+double ChoiceProblem::QueryCost(int q, const std::vector<uint8_t>& selected) const {
+  const ChoiceQuery& query = queries[q];
+  double best = kInf;
+  for (const ChoicePlan& plan : query.plans) {
+    double c = plan.beta;
+    bool ok = true;
+    for (const ChoiceSlot& slot : plan.slots) {
+      double g = kInf;
+      for (const ChoiceOption& o : slot.options) {  // sorted by gamma
+        if (o.index == kBaseOption || selected[o.index]) {
+          g = o.gamma;
+          break;
+        }
+      }
+      if (g == kInf) {
+        ok = false;
+        break;
+      }
+      c += g;
+    }
+    if (ok) best = std::min(best, c);
+  }
+  return best;
+}
+
+double ChoiceProblem::Objective(const std::vector<uint8_t>& selected) const {
+  double total = constant_cost;
+  for (int a = 0; a < num_indexes; ++a) {
+    if (selected[a]) total += fixed_cost[a];
+  }
+  for (int q = 0; q < static_cast<int>(queries.size()); ++q) {
+    const double c = QueryCost(q, selected);
+    if (c == kInf) return kInf;
+    total += queries[q].weight * c;
+  }
+  return total;
+}
+
+bool ChoiceProblem::Feasible(const std::vector<uint8_t>& selected) const {
+  double used = 0;
+  for (int a = 0; a < num_indexes; ++a) {
+    if (selected[a]) used += size[a];
+  }
+  if (used > storage_budget * (1 + kTol) + kTol) return false;
+  for (const ZRow& row : z_rows) {
+    double lhs = 0;
+    for (const auto& [a, c] : row.terms) {
+      if (selected[a]) lhs += c;
+    }
+    switch (row.sense) {
+      case Sense::kLe:
+        if (lhs > row.rhs + 1e-6) return false;
+        break;
+      case Sense::kGe:
+        if (lhs < row.rhs - 1e-6) return false;
+        break;
+      case Sense::kEq:
+        if (std::abs(lhs - row.rhs) > 1e-6) return false;
+        break;
+    }
+  }
+  for (int q = 0; q < static_cast<int>(queries.size()); ++q) {
+    if (queries[q].cost_cap < kInf &&
+        QueryCost(q, selected) > queries[q].cost_cap * (1 + 1e-9)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int64_t ChoiceProblem::NumOptionEntries() const {
+  int64_t n = 0;
+  for (const ChoiceQuery& q : queries) {
+    for (const ChoicePlan& p : q.plans) {
+      for (const ChoiceSlot& s : p.slots) n += s.options.size();
+    }
+  }
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// Solver construction
+
+ChoiceSolver::ChoiceSolver(const ChoiceProblem* problem) : p_(problem) {
+  COPHY_CHECK(problem != nullptr);
+  for (int a = 0; a < p_->num_indexes; ++a) {
+    COPHY_CHECK_GE(p_->fixed_cost[a], 0.0);
+    COPHY_CHECK_GE(p_->size[a], 0.0);
+  }
+  // Precondition of the aggregated (query, index) Lagrangian: within any
+  // plan, different slots must offer disjoint index sets. This holds by
+  // construction for index-tuning problems (slots are distinct tables)
+  // and is what makes one multiplier per (query, index) exact.
+  {
+    std::vector<int> last_slot_of(p_->num_indexes, -1);
+    int plan_counter = 0;
+    for (const ChoiceQuery& q : p_->queries) {
+      for (const ChoicePlan& plan : q.plans) {
+        int slot_counter = 0;
+        for (const ChoiceSlot& slot : plan.slots) {
+          const int tag = plan_counter * 1000 + slot_counter;
+          for (const ChoiceOption& o : slot.options) {
+            if (o.index == kBaseOption) continue;
+            const int prev = last_slot_of[o.index];
+            COPHY_CHECK(prev / 1000 != plan_counter || prev == tag ||
+                        prev < 0);
+            last_slot_of[o.index] = tag;
+          }
+          ++slot_counter;
+        }
+        ++plan_counter;
+      }
+    }
+  }
+  queries_of_index_.assign(p_->num_indexes, {});
+  // Assign one μ-slot per distinct (query, index) pair and map every
+  // option entry (canonical iteration order) to its slot.
+  std::vector<int32_t> mu_slot_of(p_->num_indexes, -1);
+  for (int q = 0; q < static_cast<int>(p_->queries.size()); ++q) {
+    std::vector<int> touched;
+    for (const ChoicePlan& plan : p_->queries[q].plans) {
+      for (const ChoiceSlot& slot : plan.slots) {
+        for (const ChoiceOption& o : slot.options) {
+          if (o.index == kBaseOption) continue;
+          if (mu_slot_of[o.index] < 0) {
+            mu_slot_of[o.index] = static_cast<int32_t>(mu_owner_index_.size());
+            mu_owner_index_.push_back(o.index);
+            mu_owner_query_.push_back(q);
+            queries_of_index_[o.index].push_back(q);
+            touched.push_back(o.index);
+          }
+          entry_mu_idx_.push_back(mu_slot_of[o.index]);
+        }
+      }
+    }
+    for (int a : touched) mu_slot_of[a] = -1;  // reset for the next query
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Bounds
+
+double ChoiceSolver::NodeBound(const std::vector<int8_t>& fixed,
+                               std::vector<double>* branch_score) const {
+  double total = p_->constant_cost;
+  double budget_left = p_->storage_budget;
+  for (int a = 0; a < p_->num_indexes; ++a) {
+    if (fixed[a] == 1) {
+      total += p_->fixed_cost[a];
+      budget_left -= p_->size[a];
+    }
+  }
+  const bool budgeted = p_->storage_budget < kInf;
+
+  // Per-index attributed penalties: each query attributes the cost
+  // increase of losing its most load-bearing free index to that single
+  // index, which keeps the penalties additive across queries (a valid
+  // joint lower bound; see the knapsack correction below).
+  scratch_penalty_.assign(p_->num_indexes, 0.0);
+
+  // Evaluates the query's optimistic cost with one extra index banned.
+  auto optimistic_without = [&](const ChoiceQuery& query, int banned) {
+    double best = kInf;
+    for (const ChoicePlan& plan : query.plans) {
+      double c = plan.beta;
+      bool ok = true;
+      for (const ChoiceSlot& slot : plan.slots) {
+        double g = kInf;
+        for (const ChoiceOption& o : slot.options) {
+          if (o.index == banned) continue;
+          if (o.index == kBaseOption || fixed[o.index] != 0) {
+            g = o.gamma;
+            break;
+          }
+        }
+        if (g == kInf) {
+          ok = false;
+          break;
+        }
+        c += g;
+      }
+      if (ok && c < best) best = c;
+    }
+    return best;
+  };
+
+  for (int q = 0; q < static_cast<int>(p_->queries.size()); ++q) {
+    const ChoiceQuery& query = p_->queries[q];
+    double qbest = kInf;
+    const ChoicePlan* best_plan = nullptr;
+    for (const ChoicePlan& plan : query.plans) {
+      double c = plan.beta;
+      bool ok = true;
+      for (const ChoiceSlot& slot : plan.slots) {
+        double g = kInf;
+        for (const ChoiceOption& o : slot.options) {
+          if (o.index == kBaseOption || fixed[o.index] != 0) {
+            g = o.gamma;
+            break;
+          }
+        }
+        if (g == kInf) {
+          ok = false;
+          break;
+        }
+        c += g;
+      }
+      if (ok && c < qbest) {
+        qbest = c;
+        best_plan = &plan;
+      }
+    }
+    if (qbest == kInf) return kInf;                       // unsatisfiable
+    if (qbest > query.cost_cap * (1 + 1e-9)) return kInf;  // cap unreachable
+    total += query.weight * qbest;
+
+    if (best_plan != nullptr) {
+      // Distinct free first-choice indexes of the winning plan.
+      int banned_ids[16];
+      int num_banned = 0;
+      for (const ChoiceSlot& slot : best_plan->slots) {
+        for (const ChoiceOption& o : slot.options) {
+          if (o.index == kBaseOption || fixed[o.index] != 0) {
+            if (o.index != kBaseOption && fixed[o.index] == -1 &&
+                num_banned < 16) {
+              bool dup = false;
+              for (int i = 0; i < num_banned; ++i) {
+                dup |= banned_ids[i] == o.index;
+              }
+              if (!dup) banned_ids[num_banned++] = o.index;
+            }
+            break;
+          }
+        }
+      }
+      double best_delta = 0;
+      int best_idx = -1;
+      for (int i = 0; i < num_banned; ++i) {
+        const double without = optimistic_without(query, banned_ids[i]);
+        const double delta = without - qbest;  // >= 0
+        if (delta > best_delta) {
+          best_delta = delta;
+          best_idx = banned_ids[i];
+        }
+      }
+      if (best_idx >= 0) {
+        scratch_penalty_[best_idx] += query.weight * best_delta;
+      }
+    }
+  }
+
+  // Knapsack correction: the free indexes carrying penalties cannot all
+  // fit into the remaining budget; any feasible completion must drop a
+  // subset whose sizes close the overflow, forfeiting at least the
+  // fractional-knapsack value of the dropped penalties.
+  double correction = 0.0;
+  if (budgeted) {
+    double used = 0;
+    std::vector<std::pair<double, int>> carriers;  // (penalty/size, index)
+    for (int a = 0; a < p_->num_indexes; ++a) {
+      if (scratch_penalty_[a] > 0) {
+        used += p_->size[a];
+        carriers.push_back(
+            {scratch_penalty_[a] / std::max(1.0, p_->size[a]), a});
+      }
+    }
+    if (used > budget_left) {
+      // Keep the densest carriers within budget; forfeit the rest.
+      std::sort(carriers.begin(), carriers.end(),
+                [](const auto& x, const auto& y) { return x.first > y.first; });
+      double room = std::max(0.0, budget_left);
+      for (const auto& [density, a] : carriers) {
+        const double sz = std::max(1.0, p_->size[a]);
+        if (room >= sz) {
+          room -= sz;
+        } else {
+          correction += scratch_penalty_[a] * (1.0 - room / sz);
+          room = 0;
+        }
+      }
+    }
+  }
+
+  if (branch_score != nullptr) *branch_score = scratch_penalty_;
+  return total + correction;
+}
+
+double ChoiceSolver::LagrangianNodeBound(const std::vector<int8_t>& fixed) const {
+  if (!mu_ready_) return -kInf;
+  double total = p_->constant_cost;
+  const bool budgeted = p_->storage_budget < kInf;
+  if (budgeted) total -= lambda_;  // λ · (normalized budget of 1)
+  for (int a = 0; a < p_->num_indexes; ++a) {
+    const double coef = p_->fixed_cost[a] +
+                        (budgeted ? lambda_ * sigma_[a] : 0.0) - mu_sum_[a];
+    if (fixed[a] == 1) {
+      total += coef;
+    } else if (fixed[a] == -1) {
+      total += std::min(0.0, coef);
+    }
+  }
+  size_t e = 0;  // cursor over entry_mu_idx_ (canonical iteration order)
+  for (const ChoiceQuery& query : p_->queries) {
+    double qbest = kInf;
+    for (const ChoicePlan& plan : query.plans) {
+      double c = query.weight * plan.beta;
+      bool ok = true;
+      // Every slot/option is visited (no early exit) so the entry
+      // cursor stays aligned.
+      for (const ChoiceSlot& slot : plan.slots) {
+        double g = kInf;
+        for (const ChoiceOption& o : slot.options) {
+          double price;
+          if (o.index == kBaseOption) {
+            price = query.weight * o.gamma;
+          } else {
+            price = query.weight * o.gamma + mu_[entry_mu_idx_[e]];
+            ++e;
+          }
+          if ((o.index == kBaseOption || fixed[o.index] != 0) && price < g) {
+            g = price;
+          }
+        }
+        if (g == kInf) {
+          ok = false;
+        } else {
+          c += g;
+        }
+      }
+      if (ok) qbest = std::min(qbest, c);
+    }
+    if (qbest == kInf) return kInf;
+    total += qbest;
+  }
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// Lagrangian dual (subgradient on the linking constraints + storage)
+
+double ChoiceSolver::OptimizeLagrangian(double upper_bound, int iterations) {
+  const size_t num_mu = mu_owner_index_.size();
+  mu_.assign(num_mu, 0.0);
+  mu_sum_.assign(p_->num_indexes, 0.0);
+  lambda_ = 0.0;
+
+  const bool budgeted = p_->storage_budget < kInf;
+  sigma_.assign(p_->num_indexes, 0.0);
+  if (budgeted) {
+    const double m = std::max(1.0, p_->storage_budget);
+    for (int a = 0; a < p_->num_indexes; ++a) sigma_[a] = p_->size[a] / m;
+  }
+  std::vector<int8_t> x(num_mu);        // x_{q,a} of the inner solution
+  std::vector<uint8_t> z(p_->num_indexes);
+  std::vector<double> best_mu;
+  std::vector<double> best_mu_sum;
+  double best_lambda = 0.0;
+  double best = -kInf;
+  double alpha = 1.0;
+  int stall = 0;
+
+  if (!std::isfinite(upper_bound)) {
+    upper_bound = std::abs(p_->constant_cost) + 1.0;
+  }
+
+  for (int it = 0; it < iterations; ++it) {
+    // z subproblem: open index a iff its reduced coefficient is negative.
+    double value = p_->constant_cost;
+    if (budgeted) value -= lambda_;  // λ · (normalized budget of 1)
+    double storage_sel = 0.0;  // in normalized (budget) units
+    for (int a = 0; a < p_->num_indexes; ++a) {
+      const double coef = p_->fixed_cost[a] +
+                          (budgeted ? lambda_ * sigma_[a] : 0.0) - mu_sum_[a];
+      z[a] = coef < 0 ? 1 : 0;
+      if (z[a]) {
+        value += coef;
+        storage_sel += sigma_[a];
+      }
+    }
+
+    // x subproblem: per query, the μ-priced min plan. Mark chosen
+    // (query, index) pairs in x.
+    std::fill(x.begin(), x.end(), 0);
+    size_t e = 0;
+    for (const ChoiceQuery& query : p_->queries) {
+      double qbest = kInf;
+      int best_plan = -1;
+      std::vector<std::pair<double, std::vector<int32_t>>> plan_costs;
+      plan_costs.reserve(query.plans.size());
+      for (const ChoicePlan& plan : query.plans) {
+        double c = query.weight * plan.beta;
+        bool ok = true;
+        std::vector<int32_t> chosen;
+        for (const ChoiceSlot& slot : plan.slots) {
+          double g = kInf;
+          int32_t g_mu = -1;
+          for (const ChoiceOption& o : slot.options) {
+            double price;
+            int32_t mu_idx = -1;
+            if (o.index == kBaseOption) {
+              price = query.weight * o.gamma;
+            } else {
+              mu_idx = entry_mu_idx_[e];
+              price = query.weight * o.gamma + mu_[mu_idx];
+              ++e;
+            }
+            if (price < g) {
+              g = price;
+              g_mu = mu_idx;
+            }
+          }
+          if (g == kInf) {
+            ok = false;
+          } else {
+            if (g_mu >= 0) chosen.push_back(g_mu);
+            c += g;
+          }
+        }
+        if (!ok) c = kInf;
+        plan_costs.push_back({c, std::move(chosen)});
+      }
+      for (int k = 0; k < static_cast<int>(plan_costs.size()); ++k) {
+        if (plan_costs[k].first < qbest) {
+          qbest = plan_costs[k].first;
+          best_plan = k;
+        }
+      }
+      COPHY_CHECK(best_plan >= 0);
+      value += qbest;
+      for (int32_t id : plan_costs[best_plan].second) x[id] = 1;
+    }
+    COPHY_CHECK_EQ(e, entry_mu_idx_.size());
+
+    if (value > best + 1e-9) {
+      best = value;
+      best_mu = mu_;
+      best_mu_sum = mu_sum_;
+      best_lambda = lambda_;
+      stall = 0;
+    } else if (++stall >= 4) {
+      alpha *= 0.6;
+      stall = 0;
+      if (alpha < 1e-5) break;
+    }
+
+    // Polyak subgradient step on g_{q,a} = x_{q,a} - z_a and
+    // g_λ = Σ size·z - M.
+    double norm2 = 0.0;
+    for (size_t m = 0; m < num_mu; ++m) {
+      const double g = x[m] - z[mu_owner_index_[m]];
+      norm2 += g * g;
+    }
+    double g_lambda = 0.0;
+    if (budgeted) {
+      g_lambda = storage_sel - 1.0;  // normalized budget units
+      norm2 += g_lambda * g_lambda;
+    }
+    if (norm2 < 1e-12) break;  // inner solution is primal feasible
+    const double step = alpha * std::max(1e-9, upper_bound - value) / norm2;
+
+    for (size_t m = 0; m < num_mu; ++m) {
+      const int a = mu_owner_index_[m];
+      const double g = x[m] - z[a];
+      if (g == 0.0) continue;
+      const double old = mu_[m];
+      mu_[m] = std::max(0.0, old + step * g);
+      mu_sum_[a] += mu_[m] - old;
+    }
+    if (budgeted) lambda_ = std::max(0.0, lambda_ + step * g_lambda);
+  }
+
+  if (!best_mu.empty()) {
+    mu_ = std::move(best_mu);
+    mu_sum_ = std::move(best_mu_sum);
+    lambda_ = best_lambda;
+  }
+  mu_ready_ = true;
+  return best;
+}
+
+// ---------------------------------------------------------------------------
+// Constraint admissibility (interval propagation)
+
+bool ChoiceSolver::ConstraintsAdmissible(const std::vector<int8_t>& fixed) const {
+  if (p_->storage_budget < kInf) {
+    double used = 0;
+    for (int a = 0; a < p_->num_indexes; ++a) {
+      if (fixed[a] == 1) used += p_->size[a];
+    }
+    if (used > p_->storage_budget * (1 + kTol) + kTol) return false;
+  }
+  for (const ZRow& row : p_->z_rows) {
+    double lo = 0, hi = 0;
+    for (const auto& [a, c] : row.terms) {
+      if (fixed[a] == 1) {
+        lo += c;
+        hi += c;
+      } else if (fixed[a] == -1) {
+        if (c > 0) {
+          hi += c;
+        } else {
+          lo += c;
+        }
+      }
+    }
+    switch (row.sense) {
+      case Sense::kLe:
+        if (lo > row.rhs + 1e-6) return false;
+        break;
+      case Sense::kGe:
+        if (hi < row.rhs - 1e-6) return false;
+        break;
+      case Sense::kEq:
+        if (lo > row.rhs + 1e-6 || hi < row.rhs - 1e-6) return false;
+        break;
+    }
+  }
+  return true;
+}
+
+Status ChoiceSolver::CheckFeasible() const {
+  std::vector<int8_t> fixed(p_->num_indexes, -1);
+  if (!ConstraintsAdmissible(fixed)) {
+    return Status::Infeasible("z-constraints admit no assignment");
+  }
+  const double bound = NodeBound(fixed, nullptr);
+  if (bound == kInf) {
+    return Status::Infeasible(
+        "a query cost cap is unreachable even with all candidates");
+  }
+  // Storage: the cheapest assignment satisfying >=/= rows must fit.
+  if (p_->storage_budget < kInf) {
+    double forced = 0;
+    // Greedy lower estimate: for each >=/= row needing positive mass,
+    // assume the smallest-size index can serve it. (Approximate probe;
+    // exact infeasibility still surfaces during search.)
+    for (const ZRow& row : p_->z_rows) {
+      if (row.sense == Sense::kLe || row.rhs <= 0) continue;
+      double smallest = kInf;
+      for (const auto& [a, c] : row.terms) {
+        if (c > 0) smallest = std::min(smallest, p_->size[a]);
+      }
+      if (smallest < kInf) forced += smallest;
+    }
+    if (forced > p_->storage_budget * (1 + kTol)) {
+      return Status::Infeasible("required indexes exceed the storage budget");
+    }
+  }
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// Greedy incumbent (lazy-greedy benefit/size dive)
+
+bool ChoiceSolver::GreedyIncumbent(const std::vector<int8_t>& fixed,
+                                   std::vector<uint8_t>& out) const {
+  const int n = p_->num_indexes;
+  std::vector<uint8_t> sel(n, 0);
+  double used = 0;
+  for (int a = 0; a < n; ++a) {
+    if (fixed[a] == 1) {
+      sel[a] = 1;
+      used += p_->size[a];
+    }
+  }
+
+  auto query_cost_with = [&](int q, int extra) {
+    const ChoiceQuery& query = p_->queries[q];
+    double best = kInf;
+    for (const ChoicePlan& plan : query.plans) {
+      double c = plan.beta;
+      bool ok = true;
+      for (const ChoiceSlot& slot : plan.slots) {
+        double g = kInf;
+        for (const ChoiceOption& o : slot.options) {
+          if (o.index == kBaseOption || sel[o.index] || o.index == extra) {
+            g = o.gamma;
+            break;
+          }
+        }
+        if (g == kInf) {
+          ok = false;
+          break;
+        }
+        c += g;
+      }
+      if (ok) best = std::min(best, c);
+    }
+    return best;
+  };
+
+  const int nq = static_cast<int>(p_->queries.size());
+  std::vector<double> cur(nq);
+
+  // Satisfaction pass: queries with no base fallback need their plan's
+  // indexes selected (ILP-form problems).
+  auto can_add = [&](int a) {
+    if (fixed[a] == 0 || sel[a]) return false;
+    if (used + p_->size[a] > p_->storage_budget * (1 + kTol)) return false;
+    for (const ZRow& row : p_->z_rows) {
+      if (row.sense == Sense::kGe) continue;  // adding never hurts >=
+      double lhs = 0, coef_a = 0;
+      for (const auto& [b, c] : row.terms) {
+        if (sel[b]) lhs += c;
+        if (b == a) coef_a = c;
+      }
+      if (coef_a > 0 && lhs + coef_a > row.rhs + 1e-6) return false;
+    }
+    return true;
+  };
+  auto add = [&](int a) {
+    sel[a] = 1;
+    used += p_->size[a];
+    for (int q : queries_of_index_[a]) cur[q] = query_cost_with(q, kBaseOption);
+  };
+
+  for (int q = 0; q < nq; ++q) cur[q] = query_cost_with(q, kBaseOption);
+  for (int q = 0; q < nq; ++q) {
+    if (cur[q] < kInf) continue;
+    // Pick the cheapest plan completion.
+    const ChoiceQuery& query = p_->queries[q];
+    double best_cost = kInf;
+    std::vector<int> best_need;
+    for (const ChoicePlan& plan : query.plans) {
+      double c = plan.beta;
+      std::vector<int> need;
+      bool ok = true;
+      for (const ChoiceSlot& slot : plan.slots) {
+        double g = kInf;
+        int need_idx = -2;
+        for (const ChoiceOption& o : slot.options) {
+          if (o.index == kBaseOption || sel[o.index]) {
+            g = o.gamma;
+            need_idx = -2;
+            break;
+          }
+          if (fixed[o.index] != 0) {  // selectable
+            g = o.gamma;
+            need_idx = o.index;
+            break;
+          }
+        }
+        if (g == kInf) {
+          ok = false;
+          break;
+        }
+        if (need_idx >= 0) need.push_back(need_idx);
+        c += g;
+      }
+      if (ok && c < best_cost) {
+        best_cost = c;
+        best_need = std::move(need);
+      }
+    }
+    if (best_cost == kInf) return false;
+    for (int a : best_need) {
+      if (!sel[a]) {
+        if (!can_add(a)) return false;
+        add(a);
+      }
+    }
+    cur[q] = query_cost_with(q, kBaseOption);
+  }
+
+  // Repair >=/= rows that demand positive mass.
+  for (const ZRow& row : p_->z_rows) {
+    if (row.sense == Sense::kLe) continue;
+    double lhs = 0;
+    for (const auto& [a, c] : row.terms) {
+      if (sel[a]) lhs += c;
+    }
+    // Add positive-coefficient indexes (smallest size first).
+    std::vector<std::pair<double, int>> adds;
+    for (const auto& [a, c] : row.terms) {
+      if (c > 0 && !sel[a] && fixed[a] != 0) adds.push_back({p_->size[a], a});
+    }
+    std::sort(adds.begin(), adds.end());
+    for (const auto& [sz, a] : adds) {
+      if (lhs >= row.rhs - 1e-6) break;
+      (void)sz;
+      if (!can_add(a)) continue;
+      double coef = 0;
+      for (const auto& [b, c] : row.terms) {
+        if (b == a) coef = c;
+      }
+      add(a);
+      lhs += coef;
+    }
+    if (lhs < row.rhs - 1e-6) return false;
+  }
+
+  // Lazy-greedy improvement on benefit / size.
+  auto benefit_of = [&](int a) {
+    double b = -p_->fixed_cost[a];
+    for (int q : queries_of_index_[a]) {
+      const double with = query_cost_with(q, a);
+      if (cur[q] < kInf && with < cur[q]) {
+        b += p_->queries[q].weight * (cur[q] - with);
+      }
+    }
+    return b;
+  };
+  struct Cand {
+    double ratio;
+    int index;
+    uint64_t version;
+  };
+  auto cmp = [](const Cand& a, const Cand& b) { return a.ratio < b.ratio; };
+  std::priority_queue<Cand, std::vector<Cand>, decltype(cmp)> heap(cmp);
+  const bool budgeted = p_->storage_budget < kInf;
+  auto ratio_of = [&](int a, double benefit) {
+    return budgeted ? benefit / std::max(1.0, p_->size[a]) : benefit;
+  };
+  uint64_t version = 0;
+  for (int a = 0; a < n; ++a) {
+    if (fixed[a] == 0 || sel[a]) continue;
+    const double b = benefit_of(a);
+    if (b > kTol) heap.push({ratio_of(a, b), a, version});
+  }
+  while (!heap.empty()) {
+    Cand top = heap.top();
+    heap.pop();
+    if (sel[top.index]) continue;
+    if (top.version != version) {  // stale: re-price (lazy greedy)
+      const double b = benefit_of(top.index);
+      if (b > kTol) heap.push({ratio_of(top.index, b), top.index, version});
+      continue;
+    }
+    if (!can_add(top.index)) continue;
+    add(top.index);
+    ++version;
+  }
+
+  // Local-search polish: try dropping each selected (non-forced) index
+  // and greedily refilling the freed budget; keep strict improvements.
+  auto total_objective = [&]() {
+    double t = p_->constant_cost;
+    for (int a = 0; a < n; ++a) {
+      if (sel[a]) t += p_->fixed_cost[a];
+    }
+    for (int q = 0; q < nq; ++q) {
+      if (cur[q] == kInf) return kInf;
+      t += p_->queries[q].weight * cur[q];
+    }
+    return t;
+  };
+  auto drop = [&](int a) {
+    sel[a] = 0;
+    used -= p_->size[a];
+    for (int q : queries_of_index_[a]) cur[q] = query_cost_with(q, kBaseOption);
+  };
+  for (int pass = 0; pass < 2; ++pass) {
+    bool any_improvement = false;
+    for (int a = 0; a < n; ++a) {
+      if (!sel[a] || fixed[a] == 1) continue;
+      const double before = total_objective();
+      // Tentatively drop `a`, then refill greedily.
+      std::vector<uint8_t> sel_backup = sel;
+      std::vector<double> cur_backup = cur;
+      const double used_backup = used;
+      drop(a);
+      if (total_objective() == kInf) {  // a was load-bearing (no base)
+        sel = std::move(sel_backup);
+        cur = std::move(cur_backup);
+        used = used_backup;
+        continue;
+      }
+      bool grew = true;
+      while (grew) {
+        grew = false;
+        double best_b = kTol;
+        int best_i = -1;
+        for (int b = 0; b < n; ++b) {
+          if (sel[b] || b == a || fixed[b] == 0) continue;
+          if (!can_add(b)) continue;
+          const double gain = benefit_of(b);
+          if (gain > best_b) {
+            best_b = gain;
+            best_i = b;
+          }
+        }
+        if (best_i >= 0) {
+          add(best_i);
+          grew = true;
+        }
+      }
+      if (total_objective() < before - kTol) {
+        any_improvement = true;  // keep the move
+      } else {
+        sel = std::move(sel_backup);
+        cur = std::move(cur_backup);
+        used = used_backup;
+      }
+    }
+    if (!any_improvement) break;
+  }
+
+  // Enforce query caps by forced additions where possible.
+  for (int q = 0; q < nq; ++q) {
+    int guard = 0;
+    while (cur[q] > p_->queries[q].cost_cap * (1 + 1e-9) && guard++ < 64) {
+      double best_gain = 0;
+      int best_a = -1;
+      // Scan this query's candidate indexes for the largest reduction.
+      for (const ChoicePlan& plan : p_->queries[q].plans) {
+        for (const ChoiceSlot& slot : plan.slots) {
+          for (const ChoiceOption& o : slot.options) {
+            if (o.index == kBaseOption || sel[o.index]) continue;
+            if (!can_add(o.index)) continue;
+            const double with = query_cost_with(q, o.index);
+            const double gain = cur[q] - with;
+            if (gain > best_gain) {
+              best_gain = gain;
+              best_a = o.index;
+            }
+          }
+        }
+      }
+      if (best_a < 0) break;
+      add(best_a);
+      ++version;
+    }
+    if (cur[q] > p_->queries[q].cost_cap * (1 + 1e-9)) return false;
+  }
+
+  if (!p_->Feasible(sel)) return false;
+  out = std::move(sel);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Main search
+
+ChoiceSolution ChoiceSolver::Solve(const ChoiceSolveOptions& options) {
+  Stopwatch watch;
+  ChoiceSolution result;
+  result.status = CheckFeasible();
+  if (!result.status.ok()) return result;
+
+  const int n = p_->num_indexes;
+  std::vector<int8_t> root_fixed(n, -1);
+
+  bool has_incumbent = false;
+  std::vector<uint8_t> incumbent;
+  double incumbent_obj = kInf;
+  auto offer = [&](const std::vector<uint8_t>& sel) {
+    if (!p_->Feasible(sel)) return false;
+    const double obj = p_->Objective(sel);
+    if (obj < incumbent_obj - kTol) {
+      incumbent = sel;
+      incumbent_obj = obj;
+      has_incumbent = true;
+      return true;
+    }
+    return false;
+  };
+
+  if (!options.warm_start.empty() &&
+      static_cast<int>(options.warm_start.size()) == n) {
+    offer(options.warm_start);
+  }
+  {
+    std::vector<uint8_t> greedy;
+    if (GreedyIncumbent(root_fixed, greedy)) offer(greedy);
+  }
+
+  // Root bounds.
+  std::vector<double> scores;
+  double root_plain = NodeBound(root_fixed, &scores);
+  if (root_plain == kInf) {
+    result.status = Status::Infeasible("root bound infinite");
+    return result;
+  }
+  double root_lagr = -kInf;
+  if (options.lagrangian) {
+    root_lagr = OptimizeLagrangian(
+        has_incumbent ? incumbent_obj : root_plain * 2 + 1,
+        options.lagrangian_iterations);
+    result.root_lagrangian_bound = root_lagr;
+  }
+  struct Node {
+    double bound;
+    int branch;  // chosen branching index (-1: leaf)
+    std::vector<std::pair<int, int8_t>> fixes;
+  };
+  auto node_cmp = [](const Node& a, const Node& b) { return a.bound > b.bound; };
+  std::priority_queue<Node, std::vector<Node>, decltype(node_cmp)> open(node_cmp);
+
+  auto pick_branch = [&](const std::vector<double>& sc) {
+    int best = -1;
+    double best_v = 0;
+    for (int a = 0; a < n; ++a) {
+      if (sc[a] > best_v) {
+        best_v = sc[a];
+        best = a;
+      }
+    }
+    return best;
+  };
+
+  {
+    Node root{std::max(root_plain, root_lagr), pick_branch(scores), {}};
+    open.push(std::move(root));
+  }
+
+  auto current_lb = [&]() {
+    double lb = has_incumbent ? incumbent_obj : kInf;
+    if (!open.empty()) lb = std::min(lb, open.top().bound);
+    return std::max(lb == kInf ? -kInf : lb, root_lagr);
+  };
+  auto report = [&]() -> bool {
+    MipProgress pr;
+    pr.seconds = watch.Elapsed();
+    pr.nodes = result.nodes;
+    pr.has_incumbent = has_incumbent;
+    pr.incumbent = incumbent_obj;
+    pr.lower_bound = current_lb();
+    if (has_incumbent) {
+      pr.gap = std::max(0.0, (incumbent_obj - pr.lower_bound) /
+                                 std::max(1e-12, std::abs(incumbent_obj)));
+    }
+    if (options.callback && !options.callback(pr)) return false;
+    return true;
+  };
+
+  std::vector<int8_t> fixed(n);
+  bool stopped = false;
+  if (!report()) stopped = true;  // root feedback (bounds + first incumbent)
+  while (!open.empty() && !stopped) {
+    if (result.nodes >= options.node_limit ||
+        watch.Elapsed() > options.time_limit_seconds) {
+      break;
+    }
+    Node node = open.top();
+    open.pop();
+    if (has_incumbent) {
+      // The popped node's subtree is not in the queue yet, so it must
+      // participate in the proven lower bound.
+      const double lb = std::min(node.bound, current_lb());
+      const double gap = std::max(
+          0.0, (incumbent_obj - lb) / std::max(1e-12, std::abs(incumbent_obj)));
+      if (gap <= options.gap_target + 1e-12) {
+        // Push the node back so the final bound accounting sees it.
+        open.push(std::move(node));
+        break;
+      }
+      if (node.bound >= incumbent_obj - kTol) continue;  // prune
+    }
+    if (node.branch < 0) continue;  // resolved leaf
+
+    for (int8_t val : {static_cast<int8_t>(1), static_cast<int8_t>(0)}) {
+      std::fill(fixed.begin(), fixed.end(), -1);
+      for (const auto& [a, v] : node.fixes) fixed[a] = v;
+      fixed[node.branch] = val;
+      ++result.nodes;
+      if (!ConstraintsAdmissible(fixed)) continue;
+      std::vector<double> child_scores;
+      double bound = NodeBound(fixed, &child_scores);
+      if (bound == kInf) continue;
+      bound = std::max(bound, LagrangianNodeBound(fixed));
+      if (has_incumbent && bound >= incumbent_obj - kTol) continue;
+
+      const int branch = pick_branch(child_scores);
+      if (branch < 0) {
+        // Every query settles on base/selected options: the fixed set
+        // itself (plus nothing) is the best completion of this node.
+        std::vector<uint8_t> sel(n, 0);
+        for (int a = 0; a < n; ++a) sel[a] = fixed[a] == 1 ? 1 : 0;
+        if (offer(sel) && !report()) {
+          stopped = true;
+          break;
+        }
+        continue;
+      }
+      Node child;
+      child.bound = bound;
+      child.branch = branch;
+      child.fixes = node.fixes;
+      child.fixes.push_back({node.branch, val});
+      open.push(std::move(child));
+    }
+
+    if ((result.nodes & 0xff) == 0) {
+      if (!report()) break;
+    }
+    // Periodic dives to refresh the incumbent from a promising node.
+    if ((result.nodes & 0x1ff) == 0 && !open.empty()) {
+      std::fill(fixed.begin(), fixed.end(), -1);
+      for (const auto& [a, v] : open.top().fixes) fixed[a] = v;
+      std::vector<uint8_t> dive;
+      if (GreedyIncumbent(fixed, dive) && offer(dive)) {
+        if (!report()) break;
+      }
+    }
+  }
+
+  if (!has_incumbent) {
+    result.status = Status::Infeasible("no feasible selection found");
+    return result;
+  }
+  result.selected = std::move(incumbent);
+  result.objective = incumbent_obj;
+  result.lower_bound = open.empty() && !stopped &&
+                               result.nodes < options.node_limit
+                           ? incumbent_obj
+                           : current_lb();
+  result.gap = std::max(
+      0.0, (result.objective - result.lower_bound) /
+               std::max(1e-12, std::abs(result.objective)));
+  result.status = Status::Ok();
+  return result;
+}
+
+}  // namespace cophy::lp

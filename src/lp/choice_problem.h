@@ -1,0 +1,200 @@
+// The structured BIP core shared by CoPhy's Theorem-1 formulation and
+// the ILP baseline's per-configuration formulation.
+//
+// Both programs have the shape: every query picks exactly one plan
+// alternative (y_qk = 1); each plan fills its slots with one access
+// option each (x_qkia); selecting a non-base option requires activating
+// its index (z_a >= x_qkia); index activation carries a fixed objective
+// term (update cost) plus resource footprints (storage, arbitrary
+// linear z-constraints). The solver below is a best-first
+// branch-and-bound on the z variables whose node bounds combine an
+// optimistic-completion bound with a Lagrangian-relaxation bound
+// (subgradient on the linking constraints — the paper's relax(B) step),
+// and which exposes anytime incumbents, gap feedback, early
+// termination, and warm starts.
+#ifndef COPHY_LP_CHOICE_PROBLEM_H_
+#define COPHY_LP_CHOICE_PROBLEM_H_
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "lp/branch_and_bound.h"
+#include "lp/model.h"
+
+namespace cophy::lp {
+
+inline constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// One access option of a slot. `index` is a solver-local dense index
+/// id, or kBaseOption for the always-available base path (I∅).
+inline constexpr int kBaseOption = -1;
+struct ChoiceOption {
+  int index = kBaseOption;
+  double gamma = 0.0;
+};
+
+/// A slot: options sorted ascending by gamma. A slot without a base
+/// option is satisfiable only if one of its indexes is selected (the
+/// ILP formulation uses this to encode "configuration requires index").
+struct ChoiceSlot {
+  std::vector<ChoiceOption> options;
+};
+
+/// One plan alternative (a template plan, or one atomic configuration
+/// in the ILP formulation).
+struct ChoicePlan {
+  double beta = 0.0;
+  std::vector<ChoiceSlot> slots;
+};
+
+/// Per-query structure. The query's cost under selection S is
+///   min_plans [ beta + sum_slots min_{option available in S} gamma ].
+struct ChoiceQuery {
+  double weight = 1.0;
+  std::vector<ChoicePlan> plans;
+  /// Optional per-query cost cap (query-cost constraints, §E.2);
+  /// the weightless cost min(...) must be <= cost_cap.
+  double cost_cap = kInf;
+};
+
+/// A linear constraint over the z (index-selection) variables.
+struct ZRow {
+  std::vector<std::pair<int, double>> terms;  // (dense index id, coef)
+  Sense sense = Sense::kLe;
+  double rhs = 0.0;
+  std::string name;
+};
+
+/// The full structured problem.
+struct ChoiceProblem {
+  int num_indexes = 0;
+  std::vector<double> fixed_cost;  ///< per-index objective term (>= 0)
+  std::vector<double> size;        ///< per-index storage footprint
+  double storage_budget = kInf;    ///< sum(size[z=1]) <= budget
+  std::vector<ZRow> z_rows;        ///< additional linear z constraints
+  std::vector<ChoiceQuery> queries;
+  double constant_cost = 0.0;      ///< e.g. base-table update costs
+
+  /// Cost of query q (unweighted) under a 0/1 selection; kInf if no
+  /// plan is satisfiable.
+  double QueryCost(int q, const std::vector<uint8_t>& selected) const;
+  /// Full objective (weighted query costs + fixed costs + constant);
+  /// kInf if any query is unsatisfiable.
+  double Objective(const std::vector<uint8_t>& selected) const;
+  /// Do storage budget, z_rows, and query caps hold under `selected`?
+  bool Feasible(const std::vector<uint8_t>& selected) const;
+  /// Total number of (plan, slot, option) entries — the x-variable
+  /// count of the underlying BIP.
+  int64_t NumOptionEntries() const;
+};
+
+/// Solve options (mirrors MipOptions; defaults match the paper's
+/// experimental setup: stop at the first solution within 5% of optimal).
+struct ChoiceSolveOptions {
+  double gap_target = 0.05;
+  double time_limit_seconds = kInf;
+  int64_t node_limit = 50'000;
+  std::function<bool(const MipProgress&)> callback;
+  /// Warm start: previous selection (dense ids). Used for interactive
+  /// re-tuning and Pareto sweeps.
+  std::vector<uint8_t> warm_start;
+  /// Use the Lagrangian-relaxation root bound (ablation knob).
+  bool lagrangian = true;
+  int lagrangian_iterations = 300;
+};
+
+/// Solve result.
+struct ChoiceSolution {
+  Status status;
+  std::vector<uint8_t> selected;
+  double objective = kInf;
+  double lower_bound = -kInf;
+  double gap = kInf;
+  int64_t nodes = 0;
+  double root_lagrangian_bound = -kInf;
+};
+
+/// The structured branch-and-bound solver.
+class ChoiceSolver {
+ public:
+  explicit ChoiceSolver(const ChoiceProblem* problem);
+
+  /// Quick feasibility probe (interval propagation on z constraints and
+  /// best-case query costs vs caps).
+  Status CheckFeasible() const;
+
+  ChoiceSolution Solve(const ChoiceSolveOptions& options = {});
+
+  /// Test/diagnostic hooks: the two node bounds for an explicit fixing
+  /// vector (-1 free, 0 excluded, 1 selected). Valid bounds never
+  /// exceed the optimum of any completion consistent with `fixed`.
+  double DebugNodeBound(const std::vector<int8_t>& fixed) const {
+    return NodeBound(fixed, nullptr);
+  }
+  double DebugLagrangianBound(const std::vector<int8_t>& fixed) const {
+    return LagrangianNodeBound(fixed);
+  }
+  /// Runs the root dual optimization (test hook).
+  double DebugOptimizeLagrangian(double upper_bound, int iterations) {
+    return OptimizeLagrangian(upper_bound, iterations);
+  }
+  const std::vector<double>& DebugMu() const { return mu_; }
+  const std::vector<double>& DebugMuSum() const { return mu_sum_; }
+  const std::vector<int32_t>& DebugMuOwnerIndex() const {
+    return mu_owner_index_;
+  }
+  const std::vector<int32_t>& DebugEntryMuIdx() const { return entry_mu_idx_; }
+  double DebugLambda() const { return lambda_; }
+
+ private:
+  struct NodeState;
+
+  /// Optimistic completion bound for the current fixings (optionally
+  /// priced with the Lagrangian multipliers). Also gathers branching
+  /// scores.
+  double NodeBound(const std::vector<int8_t>& fixed,
+                   std::vector<double>* branch_score) const;
+  double LagrangianNodeBound(const std::vector<int8_t>& fixed) const;
+  /// Greedy benefit/size dive producing a feasible incumbent; returns
+  /// false if no feasible completion was found.
+  bool GreedyIncumbent(const std::vector<int8_t>& fixed,
+                       std::vector<uint8_t>& out) const;
+  /// Subgradient optimization of the Lagrangian dual at the root;
+  /// fills mu_/lambda_ and returns the best dual bound.
+  double OptimizeLagrangian(double upper_bound, int iterations);
+  /// Interval-based constraint pruning. Returns false if the fixings
+  /// already violate a constraint.
+  bool ConstraintsAdmissible(const std::vector<int8_t>& fixed) const;
+
+  const ChoiceProblem* p_;
+  // Inverted list: dense index id -> queries whose plans reference it.
+  std::vector<std::vector<int>> queries_of_index_;
+
+  // Lagrangian state. Multipliers are aggregated per (query, index) —
+  // exact for this structure because a query's chosen plan uses an
+  // index in at most one slot — which keeps the dual space small and
+  // subgradient components in {-1, 0, +1}.
+  //   entry_mu_idx_[e]  μ-slot of the e-th non-base option in canonical
+  //                     (query, plan, slot, option) iteration order
+  //   mu_owner_index_/mu_owner_query_: per μ-slot owners
+  std::vector<int32_t> entry_mu_idx_;
+  std::vector<int32_t> mu_owner_index_;
+  std::vector<int32_t> mu_owner_query_;
+  std::vector<double> mu_;
+  std::vector<double> mu_sum_;  // per index: Σ_q μ_{q,a}
+  // Storage sizes normalized to budget units (σ_a = size_a / M), so the
+  // storage dual λ lives in objective units.
+  std::vector<double> sigma_;
+  double lambda_ = 0.0;
+  bool mu_ready_ = false;
+  // Scratch for NodeBound's attributed penalties (single-threaded).
+  mutable std::vector<double> scratch_penalty_;
+};
+
+}  // namespace cophy::lp
+
+#endif  // COPHY_LP_CHOICE_PROBLEM_H_

@@ -1,0 +1,63 @@
+#include "lp/model.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace cophy::lp {
+
+VarId Model::AddVariable(double lower, double upper, double objective,
+                         bool is_integer, std::string name) {
+  COPHY_CHECK_LE(lower, upper);
+  vars_.push_back(Variable{lower, upper, objective, is_integer, std::move(name)});
+  return static_cast<VarId>(vars_.size()) - 1;
+}
+
+VarId Model::AddBinary(double objective, std::string name) {
+  return AddVariable(0.0, 1.0, objective, /*is_integer=*/true, std::move(name));
+}
+
+int Model::AddRow(Row row) {
+  for (const auto& [v, c] : row.terms) {
+    COPHY_CHECK_GE(v, 0);
+    COPHY_CHECK_LT(v, num_variables());
+    (void)c;
+  }
+  rows_.push_back(std::move(row));
+  return num_rows() - 1;
+}
+
+double Model::ObjectiveValue(const std::vector<double>& x) const {
+  COPHY_CHECK_EQ(x.size(), vars_.size());
+  double obj = objective_constant_;
+  for (size_t i = 0; i < vars_.size(); ++i) obj += vars_[i].objective * x[i];
+  return obj;
+}
+
+bool Model::IsFeasible(const std::vector<double>& x, double eps) const {
+  if (x.size() != vars_.size()) return false;
+  for (size_t i = 0; i < vars_.size(); ++i) {
+    if (x[i] < vars_[i].lower - eps || x[i] > vars_[i].upper + eps) return false;
+    if (vars_[i].is_integer && std::abs(x[i] - std::round(x[i])) > eps) {
+      return false;
+    }
+  }
+  for (const Row& r : rows_) {
+    double lhs = 0;
+    for (const auto& [v, c] : r.terms) lhs += c * x[v];
+    switch (r.sense) {
+      case Sense::kLe:
+        if (lhs > r.rhs + eps) return false;
+        break;
+      case Sense::kGe:
+        if (lhs < r.rhs - eps) return false;
+        break;
+      case Sense::kEq:
+        if (std::abs(lhs - r.rhs) > eps) return false;
+        break;
+    }
+  }
+  return true;
+}
+
+}  // namespace cophy::lp

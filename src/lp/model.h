@@ -1,0 +1,72 @@
+// A sparse (mixed) binary integer program: minimize c'x subject to
+// linear rows, variable bounds, and integrality marks. This is the
+// "off-the-shelf solver" input format: CoPhy's BIPGen emits exactly the
+// program of Theorem 1 into this structure.
+#ifndef COPHY_LP_MODEL_H_
+#define COPHY_LP_MODEL_H_
+
+#include <string>
+#include <vector>
+
+namespace cophy::lp {
+
+using VarId = int;
+
+/// Row sense of a linear constraint.
+enum class Sense { kLe, kEq, kGe };
+
+/// One sparse row: sum(coef_i * x_i) <sense> rhs.
+struct Row {
+  std::vector<std::pair<VarId, double>> terms;
+  Sense sense = Sense::kLe;
+  double rhs = 0.0;
+  std::string name;
+};
+
+/// Variable metadata.
+struct Variable {
+  double lower = 0.0;
+  double upper = 1.0;
+  double objective = 0.0;
+  bool is_integer = false;
+  std::string name;
+};
+
+/// The program. Objective is always minimization (negate to maximize).
+class Model {
+ public:
+  /// Adds a variable, returning its id.
+  VarId AddVariable(double lower, double upper, double objective,
+                    bool is_integer, std::string name = "");
+  /// Convenience: binary decision variable.
+  VarId AddBinary(double objective, std::string name = "");
+  /// Adds a constraint row, returning its index.
+  int AddRow(Row row);
+
+  /// Adds `offset` to every solution's objective value (constant term).
+  void AddObjectiveConstant(double c) { objective_constant_ += c; }
+  double objective_constant() const { return objective_constant_; }
+
+  int num_variables() const { return static_cast<int>(vars_.size()); }
+  int num_rows() const { return static_cast<int>(rows_.size()); }
+  const Variable& variable(VarId v) const { return vars_[v]; }
+  Variable& variable(VarId v) { return vars_[v]; }
+  const Row& row(int r) const { return rows_[r]; }
+  const std::vector<Variable>& variables() const { return vars_; }
+  const std::vector<Row>& rows() const { return rows_; }
+
+  /// Objective value of a full assignment (including the constant).
+  double ObjectiveValue(const std::vector<double>& x) const;
+  /// Is `x` feasible w.r.t. rows, bounds, and integrality (tolerance
+  /// `eps`)?
+  bool IsFeasible(const std::vector<double>& x, double eps = 1e-6) const;
+
+ private:
+  std::vector<Variable> vars_;
+  std::vector<Row> rows_;
+  double objective_constant_ = 0.0;
+};
+
+}  // namespace cophy::lp
+
+#endif  // COPHY_LP_MODEL_H_

@@ -1,0 +1,31 @@
+// A dense two-phase primal simplex for the LP relaxations of small and
+// medium models (the generic solver path; the structured ChoiceSolver
+// handles production-scale instances). Bland's rule guards against
+// cycling.
+#ifndef COPHY_LP_SIMPLEX_H_
+#define COPHY_LP_SIMPLEX_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "lp/model.h"
+
+namespace cophy::lp {
+
+/// Result of an LP solve.
+struct LpSolution {
+  Status status;          ///< Ok, Infeasible, or Unbounded
+  std::vector<double> x;  ///< primal values (valid when status ok)
+  double objective = 0.0; ///< includes the model's objective constant
+};
+
+/// Solves the LP relaxation of `model` (integrality dropped). Variable
+/// bounds are honored. `var_lower`/`var_upper` optionally override the
+/// model bounds (used by branch-and-bound to fix variables).
+LpSolution SolveLp(const Model& model,
+                   const std::vector<double>* var_lower = nullptr,
+                   const std::vector<double>* var_upper = nullptr);
+
+}  // namespace cophy::lp
+
+#endif  // COPHY_LP_SIMPLEX_H_

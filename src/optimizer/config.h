@@ -1,0 +1,79 @@
+// Configuration X: the set of (hypothetical) secondary indexes visible
+// to the what-if optimizer. The clustered primary-key indexes (the
+// paper's baseline X0) are always implicitly present.
+#ifndef COPHY_OPTIMIZER_CONFIG_H_
+#define COPHY_OPTIMIZER_CONFIG_H_
+
+#include <algorithm>
+#include <vector>
+
+#include "index/index.h"
+
+namespace cophy {
+
+/// An index configuration, stored as a sorted id vector for O(log n)
+/// membership tests.
+class Configuration {
+ public:
+  Configuration() = default;
+  explicit Configuration(std::vector<IndexId> ids) : ids_(std::move(ids)) {
+    Normalize();
+  }
+
+  static Configuration Empty() { return Configuration(); }
+
+  bool Contains(IndexId id) const {
+    return std::binary_search(ids_.begin(), ids_.end(), id);
+  }
+  void Insert(IndexId id) {
+    auto it = std::lower_bound(ids_.begin(), ids_.end(), id);
+    if (it == ids_.end() || *it != id) ids_.insert(it, id);
+  }
+  void Remove(IndexId id) {
+    auto it = std::lower_bound(ids_.begin(), ids_.end(), id);
+    if (it != ids_.end() && *it == id) ids_.erase(it);
+  }
+
+  const std::vector<IndexId>& ids() const { return ids_; }
+  int size() const { return static_cast<int>(ids_.size()); }
+  bool empty() const { return ids_.empty(); }
+
+  /// Indexes of this configuration defined on table `t`.
+  std::vector<IndexId> OnTable(TableId t, const IndexPool& pool) const {
+    std::vector<IndexId> out;
+    for (IndexId id : ids_) {
+      if (pool[id].table == t) out.push_back(id);
+    }
+    return out;
+  }
+
+  /// Total estimated size in bytes.
+  double SizeBytes(const IndexPool& pool, const Catalog& cat) const {
+    double s = 0;
+    for (IndexId id : ids_) s += IndexSizeBytes(pool[id], cat);
+    return s;
+  }
+
+  /// Set union.
+  Configuration Union(const Configuration& other) const {
+    std::vector<IndexId> merged;
+    std::set_union(ids_.begin(), ids_.end(), other.ids_.begin(),
+                   other.ids_.end(), std::back_inserter(merged));
+    return Configuration(std::move(merged));
+  }
+
+  bool operator==(const Configuration& other) const {
+    return ids_ == other.ids_;
+  }
+
+ private:
+  void Normalize() {
+    std::sort(ids_.begin(), ids_.end());
+    ids_.erase(std::unique(ids_.begin(), ids_.end()), ids_.end());
+  }
+  std::vector<IndexId> ids_;
+};
+
+}  // namespace cophy
+
+#endif  // COPHY_OPTIMIZER_CONFIG_H_

@@ -1,0 +1,25 @@
+#include "optimizer/cost_model.h"
+
+namespace cophy {
+
+CostModel CostModel::SystemA() {
+  CostModel m;
+  m.name = "system-a";
+  return m;
+}
+
+CostModel CostModel::SystemB() {
+  CostModel m;
+  m.name = "system-b";
+  m.seq_page = 0.8;
+  m.rand_page = 2.0;
+  m.cpu_tuple = 0.016;
+  m.cpu_oper = 0.009;
+  m.sort_factor = 2.0;
+  m.hash_factor = 1.2;
+  m.btree_descent = 8.0;
+  m.update_leaf = 3.0;
+  return m;
+}
+
+}  // namespace cophy

@@ -1,0 +1,35 @@
+// Cost-model constants for the simulated DBMS optimizer. Two profiles
+// ("System-A" and "System-B") mirror the paper's two commercial systems:
+// the same plan space priced with different constants, which is what
+// makes CoPhyA and CoPhyB recommend different configurations.
+#ifndef COPHY_OPTIMIZER_COST_MODEL_H_
+#define COPHY_OPTIMIZER_COST_MODEL_H_
+
+#include <string>
+
+namespace cophy {
+
+/// Plan-costing constants (PostgreSQL-style units: 1.0 = one sequential
+/// page read).
+struct CostModel {
+  std::string name = "system-a";
+  double seq_page = 1.0;       ///< sequential page read
+  double rand_page = 4.0;      ///< random page read
+  double cpu_tuple = 0.01;     ///< per-tuple processing
+  double cpu_oper = 0.005;     ///< per-tuple operator work (hash/compare)
+  double sort_factor = 1.2;    ///< multiplier on n·log2(n)·cpu_oper sorts
+  double hash_factor = 1.6;    ///< multiplier on build-side hash work
+  double btree_descent = 12.0; ///< fixed root-to-leaf descent cost
+  double update_leaf = 4.5;    ///< per-row index-maintenance cost
+  double sort_mem_rows = 1e6;  ///< rows fitting in sort memory (spill knee)
+
+  /// "System-A": disk-oriented, expensive random I/O, cheap CPU.
+  static CostModel SystemA();
+  /// "System-B": faster random I/O (SSD-like) but costlier CPU and
+  /// sorts; favors different index choices than System-A.
+  static CostModel SystemB();
+};
+
+}  // namespace cophy
+
+#endif  // COPHY_OPTIMIZER_COST_MODEL_H_

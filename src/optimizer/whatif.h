@@ -1,0 +1,43 @@
+// The what-if optimizer interface (§2): the only DBMS-facing surface in
+// the whole system. CoPhy, INUM, and every baseline advisor consume the
+// DBMS exclusively through this interface, which is what makes the
+// advisor portable across systems (CoPhyA / CoPhyB).
+#ifndef COPHY_OPTIMIZER_WHATIF_H_
+#define COPHY_OPTIMIZER_WHATIF_H_
+
+#include <cstdint>
+
+#include "catalog/catalog.h"
+#include "index/index.h"
+#include "optimizer/config.h"
+#include "query/query.h"
+
+namespace cophy {
+
+/// Abstract what-if optimizer. `Cost(q, X)` is the cost of the optimal
+/// plan for q when exactly the hypothetical indexes in X (plus the
+/// clustered PKs) exist; `UpdateCost(a, q)` is the paper's ucost(a, q).
+class WhatIfOptimizer {
+ public:
+  virtual ~WhatIfOptimizer() = default;
+
+  /// Full statement cost under configuration X. For UPDATE statements
+  /// this includes the query-shell cost, the base-table maintenance
+  /// cost, and the maintenance of every affected index in X.
+  virtual double Cost(const Query& q, const Configuration& x) = 0;
+
+  /// Maintenance cost of index `a` for update statement `q`
+  /// (0 for SELECTs and unaffected indexes).
+  virtual double UpdateCost(IndexId a, const Query& q) = 0;
+
+  virtual const Catalog& catalog() const = 0;
+  virtual const IndexPool& pool() const = 0;
+
+  /// Number of what-if optimizations performed so far (each Cost() call
+  /// is a full re-optimization, as with a real what-if interface).
+  virtual int64_t num_whatif_calls() const = 0;
+};
+
+}  // namespace cophy
+
+#endif  // COPHY_OPTIMIZER_WHATIF_H_

@@ -1,0 +1,161 @@
+#include "query/query.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace cophy {
+
+std::string Predicate::ToString(const Catalog& cat) const {
+  const std::string& c = cat.column(column).name;
+  if (op == Op::kEq) {
+    return StrFormat("%s = :v%.3f", c.c_str(), quantile);
+  }
+  return StrFormat("%s BETWEEN :v%.3f AND :v%.3f", c.c_str(), quantile,
+                   quantile + width);
+}
+
+std::string JoinPredicate::ToString(const Catalog& cat) const {
+  return cat.column(left).name + " = " + cat.column(right).name;
+}
+
+bool Query::References(TableId t) const {
+  return std::find(tables.begin(), tables.end(), t) != tables.end();
+}
+
+int Query::TableSlot(TableId t) const {
+  for (size_t i = 0; i < tables.size(); ++i) {
+    if (tables[i] == t) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::vector<Predicate> Query::PredicatesOn(TableId t,
+                                           const Catalog& cat) const {
+  std::vector<Predicate> out;
+  for (const Predicate& p : predicates) {
+    if (p.column != kInvalidColumn && cat.column(p.column).table == t) {
+      out.push_back(p);
+    }
+  }
+  return out;
+}
+
+std::vector<ColumnId> Query::ColumnsUsed(TableId t, const Catalog& cat) const {
+  std::vector<ColumnId> cols;
+  auto add = [&](ColumnId c) {
+    if (c == kInvalidColumn) return;
+    if (cat.column(c).table != t) return;
+    if (std::find(cols.begin(), cols.end(), c) == cols.end()) cols.push_back(c);
+  };
+  for (const Predicate& p : predicates) add(p.column);
+  for (const JoinPredicate& j : joins) {
+    add(j.left);
+    add(j.right);
+  }
+  for (const OutputExpr& o : outputs) add(o.column);
+  for (ColumnId c : group_by) add(c);
+  for (ColumnId c : order_by) add(c);
+  for (ColumnId c : set_columns) add(c);
+  return cols;
+}
+
+namespace {
+const char* AggName(AggFunc f) {
+  switch (f) {
+    case AggFunc::kNone:
+      return "";
+    case AggFunc::kCount:
+      return "COUNT";
+    case AggFunc::kSum:
+      return "SUM";
+    case AggFunc::kMin:
+      return "MIN";
+    case AggFunc::kMax:
+      return "MAX";
+    case AggFunc::kAvg:
+      return "AVG";
+  }
+  return "?";
+}
+}  // namespace
+
+std::string Query::ToString(const Catalog& cat) const {
+  std::vector<std::string> parts;
+  if (IsUpdate()) {
+    std::vector<std::string> sets;
+    for (ColumnId c : set_columns) {
+      sets.push_back(cat.column(c).name + " = :new");
+    }
+    std::string s = "UPDATE " + cat.table(update_table).name + " SET " +
+                    StrJoin(sets, ", ");
+    if (!predicates.empty()) {
+      std::vector<std::string> preds;
+      for (const Predicate& p : predicates) preds.push_back(p.ToString(cat));
+      s += " WHERE " + StrJoin(preds, " AND ");
+    }
+    return s;
+  }
+  std::vector<std::string> sel;
+  for (const OutputExpr& o : outputs) {
+    if (o.func == AggFunc::kNone) {
+      sel.push_back(cat.column(o.column).name);
+    } else if (o.column == kInvalidColumn) {
+      sel.push_back(std::string(AggName(o.func)) + "(*)");
+    } else {
+      sel.push_back(std::string(AggName(o.func)) + "(" +
+                    cat.column(o.column).name + ")");
+    }
+  }
+  std::string s = "SELECT " + StrJoin(sel, ", ");
+  std::vector<std::string> froms;
+  for (TableId t : tables) froms.push_back(cat.table(t).name);
+  s += " FROM " + StrJoin(froms, ", ");
+  std::vector<std::string> conds;
+  for (const JoinPredicate& j : joins) conds.push_back(j.ToString(cat));
+  for (const Predicate& p : predicates) conds.push_back(p.ToString(cat));
+  if (!conds.empty()) s += " WHERE " + StrJoin(conds, " AND ");
+  if (!group_by.empty()) {
+    std::vector<std::string> g;
+    for (ColumnId c : group_by) g.push_back(cat.column(c).name);
+    s += " GROUP BY " + StrJoin(g, ", ");
+  }
+  if (!order_by.empty()) {
+    std::vector<std::string> o;
+    for (ColumnId c : order_by) o.push_back(cat.column(c).name);
+    s += " ORDER BY " + StrJoin(o, ", ");
+  }
+  return s;
+}
+
+QueryId Workload::Add(Query q) {
+  q.id = static_cast<QueryId>(statements_.size());
+  COPHY_CHECK(!q.tables.empty() || q.IsUpdate());
+  statements_.push_back(std::move(q));
+  return statements_.back().id;
+}
+
+std::vector<QueryId> Workload::SelectIds() const {
+  std::vector<QueryId> out;
+  for (const Query& q : statements_) {
+    if (q.IsSelect()) out.push_back(q.id);
+  }
+  return out;
+}
+
+std::vector<QueryId> Workload::UpdateIds() const {
+  std::vector<QueryId> out;
+  for (const Query& q : statements_) {
+    if (q.IsUpdate()) out.push_back(q.id);
+  }
+  return out;
+}
+
+Workload Workload::Prefix(int n) const {
+  Workload w;
+  for (int i = 0; i < n && i < size(); ++i) w.Add(statements_[i]);
+  return w;
+}
+
+}  // namespace cophy

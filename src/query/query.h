@@ -1,0 +1,118 @@
+// Query AST: SELECT (SPJ + group-by/order-by/aggregation) and UPDATE
+// statements, plus the weighted Workload of §2. Following the paper's
+// simplification, each statement references a table at most once, so a
+// column reference is just a global ColumnId.
+#ifndef COPHY_QUERY_QUERY_H_
+#define COPHY_QUERY_QUERY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+
+namespace cophy {
+
+using QueryId = int32_t;
+
+/// A sargable single-column predicate. `quantile` locates the constant
+/// in the frequency-ordered value domain and `width` is the covered rank
+/// fraction for range predicates; the optimizer turns these into
+/// selectivities through the skew-aware catalog statistics.
+struct Predicate {
+  enum class Op { kEq, kRange };
+  ColumnId column = kInvalidColumn;
+  Op op = Op::kEq;
+  double quantile = 0.0;
+  double width = 0.0;  // only for kRange
+
+  std::string ToString(const Catalog& cat) const;
+};
+
+/// An equi-join predicate `left = right` between columns of two tables.
+struct JoinPredicate {
+  ColumnId left = kInvalidColumn;
+  ColumnId right = kInvalidColumn;
+
+  std::string ToString(const Catalog& cat) const;
+};
+
+/// Aggregate functions that can appear in the SELECT list.
+enum class AggFunc { kNone, kCount, kSum, kMin, kMax, kAvg };
+
+/// One SELECT-list item: a plain column or an aggregate over a column.
+struct OutputExpr {
+  AggFunc func = AggFunc::kNone;
+  ColumnId column = kInvalidColumn;  // kInvalidColumn allowed for COUNT(*)
+};
+
+/// Statement kinds in a workload (§2: W = W_r ∪ W_u).
+enum class StatementKind { kSelect, kUpdate };
+
+/// A statement. For kUpdate, the SELECT parts describe the *query shell*
+/// q_r (the scan that locates tuples to update) and `set_columns` the
+/// columns written by the update shell q_u.
+struct Query {
+  QueryId id = -1;
+  StatementKind kind = StatementKind::kSelect;
+  double weight = 1.0;  ///< f_q: frequency or DBA-assigned importance.
+
+  std::vector<TableId> tables;        ///< referenced tables (each once)
+  std::vector<JoinPredicate> joins;   ///< equi-join edges
+  std::vector<Predicate> predicates;  ///< sargable filters
+  std::vector<OutputExpr> outputs;    ///< SELECT list
+  std::vector<ColumnId> group_by;
+  std::vector<ColumnId> order_by;
+
+  // UPDATE-only:
+  TableId update_table = kInvalidTable;
+  std::vector<ColumnId> set_columns;
+
+  bool IsSelect() const { return kind == StatementKind::kSelect; }
+  bool IsUpdate() const { return kind == StatementKind::kUpdate; }
+
+  /// Does the statement reference table `t`?
+  bool References(TableId t) const;
+  /// Position of `t` in `tables`, or -1.
+  int TableSlot(TableId t) const;
+  /// All predicates that apply to table `t`.
+  std::vector<Predicate> PredicatesOn(TableId t, const Catalog& cat) const;
+  /// All columns of table `t` the statement touches anywhere (filters,
+  /// joins, outputs, group-by, order-by) — what an index must carry to
+  /// be covering for this statement.
+  std::vector<ColumnId> ColumnsUsed(TableId t, const Catalog& cat) const;
+
+  /// SQL-ish rendering for logs and examples.
+  std::string ToString(const Catalog& cat) const;
+};
+
+/// A weighted workload (the paper's W). Statements keep stable ids equal
+/// to their position.
+class Workload {
+ public:
+  Workload() = default;
+
+  /// Appends a statement, assigning its id. Returns the id.
+  QueryId Add(Query q);
+
+  const Query& operator[](QueryId id) const { return statements_[id]; }
+  int size() const { return static_cast<int>(statements_.size()); }
+  const std::vector<Query>& statements() const { return statements_; }
+
+  /// Ids of SELECT statements and query shells (the paper's W_r view is
+  /// "selects + shells"; shells are exposed through the Query itself).
+  std::vector<QueryId> SelectIds() const;
+  /// Ids of UPDATE statements (W_u).
+  std::vector<QueryId> UpdateIds() const;
+
+  /// A new workload holding the first `n` statements (used by the
+  /// workload-size sweeps W_250 ⊂ W_500 ⊂ W_1000).
+  Workload Prefix(int n) const;
+
+ private:
+  std::vector<Query> statements_;
+};
+
+}  // namespace cophy
+
+#endif  // COPHY_QUERY_QUERY_H_

@@ -1,0 +1,367 @@
+#include "workload/generator.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/random.h"
+
+namespace cophy {
+
+namespace {
+
+/// Cached column handles for the TPC-H schema.
+struct Schema {
+  const Catalog& cat;
+  TableId region, nation, supplier, customer, part, partsupp, orders, lineitem;
+
+  explicit Schema(const Catalog& c) : cat(c) {
+    region = c.FindTable("region");
+    nation = c.FindTable("nation");
+    supplier = c.FindTable("supplier");
+    customer = c.FindTable("customer");
+    part = c.FindTable("part");
+    partsupp = c.FindTable("partsupp");
+    orders = c.FindTable("orders");
+    lineitem = c.FindTable("lineitem");
+    COPHY_CHECK(lineitem != kInvalidTable);
+  }
+  ColumnId col(TableId t, const char* name) const {
+    const ColumnId c = cat.FindColumn(t, name);
+    COPHY_CHECK(c != kInvalidColumn);
+    return c;
+  }
+};
+
+Predicate Eq(ColumnId c, double quantile) {
+  Predicate p;
+  p.column = c;
+  p.op = Predicate::Op::kEq;
+  p.quantile = quantile;
+  return p;
+}
+
+Predicate Range(ColumnId c, double quantile, double width) {
+  Predicate p;
+  p.column = c;
+  p.op = Predicate::Op::kRange;
+  p.quantile = quantile;
+  p.width = width;
+  return p;
+}
+
+OutputExpr Out(ColumnId c) { return OutputExpr{AggFunc::kNone, c}; }
+OutputExpr Agg(AggFunc f, ColumnId c) { return OutputExpr{f, c}; }
+
+/// The 15 homogeneous templates (TPC-H-like shapes over our AST).
+Query HomTemplate(const Schema& s, int t, Rng& rng) {
+  Query q;
+  const double u0 = rng.NextDouble();
+  const double u1 = rng.NextDouble();
+  switch (t) {
+    case 0: {  // Q1: big scan + group on lineitem
+      q.tables = {s.lineitem};
+      q.predicates = {Range(s.col(s.lineitem, "l_shipdate"), u0 * 0.05, 0.9)};
+      q.group_by = {s.col(s.lineitem, "l_returnflag"),
+                    s.col(s.lineitem, "l_linestatus")};
+      q.outputs = {Out(q.group_by[0]), Out(q.group_by[1]),
+                   Agg(AggFunc::kSum, s.col(s.lineitem, "l_quantity")),
+                   Agg(AggFunc::kSum, s.col(s.lineitem, "l_extendedprice")),
+                   Agg(AggFunc::kAvg, s.col(s.lineitem, "l_discount")),
+                   Agg(AggFunc::kCount, kInvalidColumn)};
+      q.order_by = q.group_by;
+      break;
+    }
+    case 1: {  // Q3: shipping priority
+      q.tables = {s.customer, s.orders, s.lineitem};
+      q.joins = {{s.col(s.customer, "c_custkey"), s.col(s.orders, "o_custkey")},
+                 {s.col(s.orders, "o_orderkey"),
+                  s.col(s.lineitem, "l_orderkey")}};
+      q.predicates = {Eq(s.col(s.customer, "c_mktsegment"), u0),
+                      Range(s.col(s.orders, "o_orderdate"), u1 * 0.4, 0.45)};
+      q.group_by = {s.col(s.lineitem, "l_orderkey")};
+      q.outputs = {Out(q.group_by[0]),
+                   Agg(AggFunc::kSum, s.col(s.lineitem, "l_extendedprice"))};
+      break;
+    }
+    case 2: {  // Q4: order priority checking
+      q.tables = {s.orders, s.lineitem};
+      q.joins = {{s.col(s.orders, "o_orderkey"), s.col(s.lineitem, "l_orderkey")}};
+      q.predicates = {Range(s.col(s.orders, "o_orderdate"), u0 * 0.9, 0.04)};
+      q.group_by = {s.col(s.orders, "o_orderpriority")};
+      q.outputs = {Out(q.group_by[0]), Agg(AggFunc::kCount, kInvalidColumn)};
+      q.order_by = q.group_by;
+      break;
+    }
+    case 3: {  // Q5: local supplier volume (5-way join)
+      q.tables = {s.customer, s.orders, s.lineitem, s.supplier, s.nation};
+      q.joins = {{s.col(s.customer, "c_custkey"), s.col(s.orders, "o_custkey")},
+                 {s.col(s.orders, "o_orderkey"), s.col(s.lineitem, "l_orderkey")},
+                 {s.col(s.lineitem, "l_suppkey"), s.col(s.supplier, "s_suppkey")},
+                 {s.col(s.supplier, "s_nationkey"), s.col(s.nation, "n_nationkey")}};
+      q.predicates = {Eq(s.col(s.nation, "n_regionkey"), u0),
+                      Range(s.col(s.orders, "o_orderdate"), u1 * 0.8, 0.15)};
+      q.group_by = {s.col(s.nation, "n_name")};
+      q.outputs = {Out(q.group_by[0]),
+                   Agg(AggFunc::kSum, s.col(s.lineitem, "l_extendedprice"))};
+      break;
+    }
+    case 4: {  // Q6: forecasting revenue change
+      q.tables = {s.lineitem};
+      q.predicates = {Range(s.col(s.lineitem, "l_shipdate"), u0 * 0.8, 0.15),
+                      Range(s.col(s.lineitem, "l_discount"), u1 * 0.5, 0.2),
+                      Range(s.col(s.lineitem, "l_quantity"), 0.0, 0.48)};
+      q.outputs = {Agg(AggFunc::kSum, s.col(s.lineitem, "l_extendedprice"))};
+      break;
+    }
+    case 5: {  // Q10: returned items
+      q.tables = {s.customer, s.orders, s.lineitem};
+      q.joins = {{s.col(s.customer, "c_custkey"), s.col(s.orders, "o_custkey")},
+                 {s.col(s.orders, "o_orderkey"), s.col(s.lineitem, "l_orderkey")}};
+      q.predicates = {Range(s.col(s.orders, "o_orderdate"), u0 * 0.9, 0.08),
+                      Eq(s.col(s.lineitem, "l_returnflag"), u1)};
+      q.group_by = {s.col(s.customer, "c_custkey")};
+      q.outputs = {Out(q.group_by[0]),
+                   Agg(AggFunc::kSum, s.col(s.lineitem, "l_extendedprice"))};
+      break;
+    }
+    case 6: {  // Q12: shipping modes
+      q.tables = {s.orders, s.lineitem};
+      q.joins = {{s.col(s.orders, "o_orderkey"), s.col(s.lineitem, "l_orderkey")}};
+      q.predicates = {Eq(s.col(s.lineitem, "l_shipmode"), u0),
+                      Range(s.col(s.lineitem, "l_receiptdate"), u1 * 0.9, 0.08)};
+      q.group_by = {s.col(s.lineitem, "l_shipmode")};
+      q.outputs = {Out(q.group_by[0]), Agg(AggFunc::kCount, kInvalidColumn)};
+      break;
+    }
+    case 7: {  // Q14: promotion effect
+      q.tables = {s.lineitem, s.part};
+      q.joins = {{s.col(s.lineitem, "l_partkey"), s.col(s.part, "p_partkey")}};
+      q.predicates = {Range(s.col(s.lineitem, "l_shipdate"), u0 * 0.95, 0.03)};
+      q.outputs = {Agg(AggFunc::kSum, s.col(s.lineitem, "l_extendedprice"))};
+      break;
+    }
+    case 8: {  // Q11: important stock
+      q.tables = {s.partsupp, s.supplier, s.nation};
+      q.joins = {{s.col(s.partsupp, "ps_suppkey"), s.col(s.supplier, "s_suppkey")},
+                 {s.col(s.supplier, "s_nationkey"), s.col(s.nation, "n_nationkey")}};
+      q.predicates = {Eq(s.col(s.nation, "n_nationkey"), u0)};
+      q.group_by = {s.col(s.partsupp, "ps_partkey")};
+      q.outputs = {Out(q.group_by[0]),
+                   Agg(AggFunc::kSum, s.col(s.partsupp, "ps_supplycost"))};
+      break;
+    }
+    case 9: {  // Q16: part/supplier relationship
+      q.tables = {s.partsupp, s.part};
+      q.joins = {{s.col(s.partsupp, "ps_partkey"), s.col(s.part, "p_partkey")}};
+      q.predicates = {Eq(s.col(s.part, "p_brand"), u0),
+                      Range(s.col(s.part, "p_size"), u1 * 0.5, 0.2)};
+      q.group_by = {s.col(s.part, "p_type")};
+      q.outputs = {Out(q.group_by[0]), Agg(AggFunc::kCount, kInvalidColumn)};
+      break;
+    }
+    case 10: {  // Q19: discounted revenue
+      q.tables = {s.lineitem, s.part};
+      q.joins = {{s.col(s.lineitem, "l_partkey"), s.col(s.part, "p_partkey")}};
+      q.predicates = {Eq(s.col(s.part, "p_brand"), u0),
+                      Eq(s.col(s.part, "p_container"), u1),
+                      Range(s.col(s.lineitem, "l_quantity"), 0.1, 0.25)};
+      q.outputs = {Agg(AggFunc::kSum, s.col(s.lineitem, "l_extendedprice"))};
+      break;
+    }
+    case 11: {  // Q8-like: national market share (5-way)
+      q.tables = {s.part, s.lineitem, s.supplier, s.orders, s.nation};
+      q.joins = {{s.col(s.part, "p_partkey"), s.col(s.lineitem, "l_partkey")},
+                 {s.col(s.lineitem, "l_suppkey"), s.col(s.supplier, "s_suppkey")},
+                 {s.col(s.lineitem, "l_orderkey"), s.col(s.orders, "o_orderkey")},
+                 {s.col(s.supplier, "s_nationkey"), s.col(s.nation, "n_nationkey")}};
+      q.predicates = {Eq(s.col(s.part, "p_type"), u0),
+                      Range(s.col(s.orders, "o_orderdate"), u1 * 0.5, 0.3)};
+      q.outputs = {Agg(AggFunc::kSum, s.col(s.lineitem, "l_extendedprice"))};
+      break;
+    }
+    case 12: {  // Q15-like: top supplier
+      q.tables = {s.lineitem, s.supplier};
+      q.joins = {{s.col(s.lineitem, "l_suppkey"), s.col(s.supplier, "s_suppkey")}};
+      q.predicates = {Range(s.col(s.lineitem, "l_shipdate"), u0 * 0.9, 0.08)};
+      q.group_by = {s.col(s.lineitem, "l_suppkey")};
+      q.outputs = {Out(q.group_by[0]),
+                   Agg(AggFunc::kSum, s.col(s.lineitem, "l_extendedprice"))};
+      break;
+    }
+    case 13: {  // order lookup by customer + date
+      q.tables = {s.orders};
+      q.predicates = {Eq(s.col(s.orders, "o_custkey"), u0),
+                      Range(s.col(s.orders, "o_orderdate"), u1 * 0.7, 0.2)};
+      q.outputs = {Out(s.col(s.orders, "o_orderkey")),
+                   Out(s.col(s.orders, "o_totalprice"))};
+      q.order_by = {s.col(s.orders, "o_orderdate")};
+      break;
+    }
+    case 14: {  // Q17-like: small-quantity-order revenue
+      q.tables = {s.lineitem, s.part};
+      q.joins = {{s.col(s.lineitem, "l_partkey"), s.col(s.part, "p_partkey")}};
+      q.predicates = {Eq(s.col(s.part, "p_brand"), u0),
+                      Eq(s.col(s.part, "p_container"), u1)};
+      q.outputs = {Agg(AggFunc::kAvg, s.col(s.lineitem, "l_quantity"))};
+      break;
+    }
+    default:
+      COPHY_CHECK(false);
+  }
+  return q;
+}
+
+/// Update templates for mixed workloads.
+Query UpdateTemplate(const Schema& s, int t, Rng& rng) {
+  Query q;
+  q.kind = StatementKind::kUpdate;
+  const double u0 = rng.NextDouble();
+  switch (t % 3) {
+    case 0: {  // point-ish update of a customer's balance
+      q.update_table = s.customer;
+      q.tables = {s.customer};
+      q.predicates = {Eq(s.col(s.customer, "c_custkey"), u0)};
+      q.set_columns = {s.col(s.customer, "c_acctbal")};
+      break;
+    }
+    case 1: {  // reprice lineitems of one order
+      q.update_table = s.lineitem;
+      q.tables = {s.lineitem};
+      q.predicates = {Eq(s.col(s.lineitem, "l_orderkey"), u0)};
+      q.set_columns = {s.col(s.lineitem, "l_extendedprice"),
+                       s.col(s.lineitem, "l_discount")};
+      break;
+    }
+    default: {  // close a narrow band of orders
+      q.update_table = s.orders;
+      q.tables = {s.orders};
+      q.predicates = {Range(s.col(s.orders, "o_orderdate"), u0 * 0.95, 0.002)};
+      q.set_columns = {s.col(s.orders, "o_orderstatus")};
+      break;
+    }
+  }
+  return q;
+}
+
+double DrawWeight(const WorkloadOptions& opts, Rng& rng) {
+  if (!opts.randomize_weights) return 1.0;
+  return 1.0 + static_cast<double>(rng.Uniform(3));
+}
+
+}  // namespace
+
+int NumHomogeneousTemplates() { return 15; }
+
+Query MakeHomogeneousStatement(const Catalog& cat, int t, uint64_t seed) {
+  Schema s(cat);
+  Rng rng(seed);
+  return HomTemplate(s, t, rng);
+}
+
+Workload MakeHomogeneousWorkload(const Catalog& cat,
+                                 const WorkloadOptions& opts) {
+  Schema s(cat);
+  Rng rng(opts.seed);
+  Workload w;
+  for (int i = 0; i < opts.num_statements; ++i) {
+    if (rng.Bernoulli(opts.update_fraction)) {
+      Query q = UpdateTemplate(s, static_cast<int>(rng.Uniform(3)), rng);
+      q.weight = DrawWeight(opts, rng);
+      w.Add(std::move(q));
+      continue;
+    }
+    Query q = HomTemplate(s, static_cast<int>(rng.Uniform(15)), rng);
+    q.weight = DrawWeight(opts, rng);
+    w.Add(std::move(q));
+  }
+  return w;
+}
+
+Workload MakeHeterogeneousWorkload(const Catalog& cat,
+                                   const WorkloadOptions& opts) {
+  Schema s(cat);
+  Rng rng(opts.seed ^ 0x9e3779b9ULL);
+  Workload w;
+
+  // FK-style join edges of the schema graph.
+  struct Edge {
+    TableId a, b;
+    const char *ca, *cb;
+  };
+  const std::vector<Edge> edges = {
+      {s.customer, s.orders, "c_custkey", "o_custkey"},
+      {s.orders, s.lineitem, "o_orderkey", "l_orderkey"},
+      {s.part, s.lineitem, "p_partkey", "l_partkey"},
+      {s.supplier, s.lineitem, "s_suppkey", "l_suppkey"},
+      {s.part, s.partsupp, "p_partkey", "ps_partkey"},
+      {s.supplier, s.partsupp, "s_suppkey", "ps_suppkey"},
+      {s.nation, s.customer, "n_nationkey", "c_nationkey"},
+      {s.nation, s.supplier, "n_nationkey", "s_nationkey"},
+      {s.region, s.nation, "r_regionkey", "n_regionkey"},
+  };
+
+  for (int i = 0; i < opts.num_statements; ++i) {
+    if (rng.Bernoulli(opts.update_fraction)) {
+      Query q = UpdateTemplate(s, static_cast<int>(rng.Uniform(3)), rng);
+      q.weight = DrawWeight(opts, rng);
+      w.Add(std::move(q));
+      continue;
+    }
+    Query q;
+    // Grow a connected table set from a random seed table.
+    const int target_tables = 1 + static_cast<int>(rng.Uniform(4));  // 1..4
+    q.tables = {static_cast<TableId>(rng.Uniform(cat.num_tables()))};
+    int guard = 0;
+    while (static_cast<int>(q.tables.size()) < target_tables && guard++ < 32) {
+      const Edge& e = edges[rng.Uniform(edges.size())];
+      const bool has_a = q.References(e.a), has_b = q.References(e.b);
+      if (has_a == has_b) continue;  // need exactly one endpoint present
+      const TableId added = has_a ? e.b : e.a;
+      q.tables.push_back(added);
+      q.joins.push_back({s.col(e.a, e.ca), s.col(e.b, e.cb)});
+    }
+
+    // Random sargable predicates on random columns of referenced tables.
+    const int npreds = 1 + static_cast<int>(rng.Uniform(3));
+    for (int p = 0; p < npreds; ++p) {
+      const TableId t = q.tables[rng.Uniform(q.tables.size())];
+      const Table& tab = cat.table(t);
+      const ColumnId c = tab.columns[rng.Uniform(tab.columns.size())];
+      if (rng.Bernoulli(0.5)) {
+        q.predicates.push_back(Eq(c, rng.NextDouble()));
+      } else {
+        q.predicates.push_back(
+            Range(c, rng.NextDouble() * 0.8, 0.01 + rng.NextDouble() * 0.2));
+      }
+    }
+
+    // Outputs / aggregation.
+    const TableId ot = q.tables[rng.Uniform(q.tables.size())];
+    const Table& otab = cat.table(ot);
+    const ColumnId oc = otab.columns[rng.Uniform(otab.columns.size())];
+    if (rng.Bernoulli(0.45)) {
+      // Aggregate, possibly grouped.
+      if (rng.Bernoulli(0.7)) {
+        const TableId gt = q.tables[rng.Uniform(q.tables.size())];
+        const Table& gtab = cat.table(gt);
+        q.group_by = {gtab.columns[rng.Uniform(gtab.columns.size())]};
+        if (rng.Bernoulli(0.3) && gtab.columns.size() > 1) {
+          ColumnId g2 = gtab.columns[rng.Uniform(gtab.columns.size())];
+          if (g2 != q.group_by[0]) q.group_by.push_back(g2);
+        }
+        for (ColumnId g : q.group_by) q.outputs.push_back(Out(g));
+      }
+      q.outputs.push_back(Agg(rng.Bernoulli(0.5) ? AggFunc::kSum : AggFunc::kCount, oc));
+    } else {
+      q.outputs.push_back(Out(oc));
+      if (rng.Bernoulli(0.35)) {
+        q.order_by = {oc};
+      }
+    }
+    q.weight = DrawWeight(opts, rng);
+    w.Add(std::move(q));
+  }
+  return w;
+}
+
+}  // namespace cophy

@@ -1,0 +1,49 @@
+// Workload generators mirroring the paper's two synthetic workloads:
+//   W_hom — instances of 15 TPC-H-like query templates (qgen-style):
+//           few distinct shapes, many instances; favors advisors with
+//           workload compression.
+//   W_het — random SPJ queries with group-by/aggregation over random
+//           table subsets (the index-tuning benchmark's C2 suite
+//           style): hundreds of distinct shapes; compression-hostile.
+// Both are deterministic in the seed.
+#ifndef COPHY_WORKLOAD_GENERATOR_H_
+#define COPHY_WORKLOAD_GENERATOR_H_
+
+#include <cstdint>
+
+#include "catalog/catalog.h"
+#include "query/query.h"
+
+namespace cophy {
+
+/// Generation knobs.
+struct WorkloadOptions {
+  int num_statements = 100;
+  uint64_t seed = 1;
+  /// Fraction of UPDATE statements mixed in (the paper's W contains
+  /// SELECT and UPDATE statements; the headline experiments use
+  /// read-only workloads, update-cost experiments use > 0).
+  double update_fraction = 0.0;
+  /// If true, statement weights f_q are drawn from {1, 2, 3}
+  /// (frequency-style); otherwise all weights are 1.
+  bool randomize_weights = false;
+};
+
+/// The homogeneous workload W_hom (15 templates).
+Workload MakeHomogeneousWorkload(const Catalog& cat,
+                                 const WorkloadOptions& opts);
+
+/// The heterogeneous workload W_het (random SPJ + aggregation).
+Workload MakeHeterogeneousWorkload(const Catalog& cat,
+                                   const WorkloadOptions& opts);
+
+/// Number of distinct SELECT templates in the homogeneous generator.
+int NumHomogeneousTemplates();
+
+/// A single statement from homogeneous template `t` (0-based; used by
+/// tests to pin down per-template behaviour).
+Query MakeHomogeneousStatement(const Catalog& cat, int t, uint64_t seed);
+
+}  // namespace cophy
+
+#endif  // COPHY_WORKLOAD_GENERATOR_H_

@@ -1,0 +1,176 @@
+// Tests for core/bipgen: Theorem-1 BIP construction. The central
+// property: the literal y/x/z Model and the structured ChoiceProblem
+// describe the same optimization problem — solving both on small
+// instances yields the same optimum.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "catalog/catalog.h"
+#include "core/bipgen.h"
+#include "index/candidates.h"
+#include "lp/branch_and_bound.h"
+#include "workload/generator.h"
+
+namespace cophy {
+namespace {
+
+class BipGenTest : public ::testing::Test {
+ protected:
+  void Prepare(int num_queries, uint64_t seed, double update_fraction = 0.0,
+               bool covering = false) {
+    cat_ = MakeTpchCatalog(0.1, 0.0);
+    pool_ = IndexPool();
+    sim_ = std::make_unique<SystemSimulator>(&cat_, &pool_,
+                                             CostModel::SystemA());
+    WorkloadOptions o;
+    o.num_statements = num_queries;
+    o.seed = seed;
+    o.update_fraction = update_fraction;
+    w_ = MakeHomogeneousWorkload(cat_, o);
+    CandidateOptions copts;
+    copts.max_key_columns = 1;  // keep the model tiny
+    copts.covering_variants = covering;
+    candidates_ = GenerateCandidates(w_, cat_, copts, pool_);
+    inum_ = std::make_unique<Inum>(sim_.get());
+    inum_->Prepare(w_, candidates_);
+  }
+
+  Catalog cat_;
+  IndexPool pool_;
+  std::unique_ptr<SystemSimulator> sim_;
+  std::unique_ptr<Inum> inum_;
+  Workload w_;
+  std::vector<IndexId> candidates_;
+};
+
+TEST_F(BipGenTest, StatsCountVariablesAndRows) {
+  Prepare(6, 11);
+  ConstraintSet cs;
+  cs.SetStorageBudget(1e9);
+  const BipStats stats = ComputeBipStats(*inum_, candidates_, cs);
+  EXPECT_EQ(stats.z_variables, static_cast<int64_t>(candidates_.size()));
+  EXPECT_EQ(stats.y_variables, inum_->TotalTemplates());
+  EXPECT_GT(stats.x_variables, 0);
+  EXPECT_GT(stats.linking_rows, 0);
+  EXPECT_EQ(stats.constraint_rows, 1);  // storage only
+
+  const lp::Model m = BuildModel(*inum_, candidates_, cs);
+  EXPECT_EQ(m.num_variables(),
+            stats.y_variables + stats.x_variables + stats.z_variables);
+}
+
+TEST_F(BipGenTest, VariableCountGrowsLinearlyInWorkload) {
+  // Same seed → W30 is a statement-wise prefix of W60, so doubling the
+  // workload should roughly double ΣK_q (Theorem 1's linearity).
+  ConstraintSet cs;
+  Prepare(30, 13);
+  const BipStats s30 = ComputeBipStats(*inum_, candidates_, cs);
+  Prepare(60, 13);
+  const BipStats s60 = ComputeBipStats(*inum_, candidates_, cs);
+  EXPECT_GT(s60.y_variables, s30.y_variables);
+  EXPECT_LT(static_cast<double>(s60.y_variables),
+            2.8 * static_cast<double>(s30.y_variables));
+}
+
+TEST_F(BipGenTest, ChoiceProblemMirrorsInumCosts) {
+  Prepare(6, 17);
+  ConstraintSet cs;
+  lp::ChoiceProblem p = BuildChoiceProblem(*inum_, candidates_, cs);
+  ASSERT_EQ(static_cast<int>(p.queries.size()), w_.size());
+  // Selecting everything reproduces the INUM cost of the full set.
+  std::vector<uint8_t> all(candidates_.size(), 1);
+  const Configuration full(candidates_);
+  for (int q = 0; q < w_.size(); ++q) {
+    EXPECT_NEAR(p.QueryCost(q, all), inum_->ShellCost(q, full),
+                1e-9 + 1e-9 * inum_->ShellCost(q, full));
+  }
+  std::vector<uint8_t> none(candidates_.size(), 0);
+  for (int q = 0; q < w_.size(); ++q) {
+    EXPECT_NEAR(p.QueryCost(q, none),
+                inum_->ShellCost(q, Configuration::Empty()), 1e-6);
+  }
+}
+
+TEST_F(BipGenTest, UpdateCostsBecomeFixedCosts) {
+  // Covering variants INCLUDE the updated columns, so some candidates
+  // are maintenance-affected.
+  Prepare(12, 19, /*update_fraction=*/0.4, /*covering=*/true);
+  ASSERT_FALSE(w_.UpdateIds().empty());
+  ConstraintSet cs;
+  lp::ChoiceProblem p = BuildChoiceProblem(*inum_, candidates_, cs);
+  double expected_constant = 0;
+  for (QueryId uid : w_.UpdateIds()) {
+    expected_constant += w_[uid].weight * sim_->BaseUpdateCost(w_[uid]);
+  }
+  EXPECT_NEAR(p.constant_cost, expected_constant, 1e-6);
+  bool any_fixed = false;
+  for (double f : p.fixed_cost) any_fixed |= f > 0;
+  EXPECT_TRUE(any_fixed);  // some candidate is maintained by some update
+}
+
+TEST_F(BipGenTest, ModelAndChoiceProblemAgreeOnOptimum) {
+  Prepare(3, 23);
+  // Shrink further: only the first few candidates, else the literal
+  // model is too big for the dense simplex.
+  std::vector<IndexId> small(candidates_.begin(),
+                             candidates_.begin() +
+                                 std::min<size_t>(5, candidates_.size()));
+  ConstraintSet cs;
+  double budget = 0;
+  for (IndexId id : small) budget += IndexSizeBytes(pool_[id], cat_);
+  cs.SetStorageBudget(budget * 0.5);  // binding
+
+  lp::ChoiceProblem p = BuildChoiceProblem(*inum_, small, cs);
+  lp::ChoiceSolver structured(&p);
+  lp::ChoiceSolveOptions copts;
+  copts.gap_target = 0.0;
+  copts.node_limit = 1000000;
+  const lp::ChoiceSolution s1 = structured.Solve(copts);
+  ASSERT_TRUE(s1.status.ok());
+
+  const lp::Model m = BuildModel(*inum_, small, cs);
+  lp::MipOptions mopts;
+  mopts.gap_target = 0.0;
+  mopts.node_limit = 500000;
+  const lp::MipSolution s2 = SolveMip(m, mopts);
+  ASSERT_TRUE(s2.status.ok()) << s2.status.ToString();
+
+  EXPECT_NEAR(s1.objective, s2.objective,
+              1e-5 + 1e-6 * std::abs(s1.objective));
+}
+
+TEST_F(BipGenTest, QueryCapsPropagate) {
+  Prepare(4, 29);
+  ConstraintSet cs;
+  cs.AddQueryCostConstraint({0, 0.5, 0.0});
+  std::vector<double> baseline(w_.size(), 0.0);
+  baseline[0] = inum_->ShellCost(0, Configuration::Empty());
+  lp::ChoiceProblem p =
+      BuildChoiceProblem(*inum_, candidates_, cs, baseline);
+  EXPECT_NEAR(p.queries[0].cost_cap, 0.5 * baseline[0], 1e-9);
+  EXPECT_EQ(p.queries[1].cost_cap, lp::kInf);
+}
+
+TEST_F(BipGenTest, SubsetCandidatesProduceSubsetProblem) {
+  Prepare(6, 31);
+  ConstraintSet cs;
+  std::vector<IndexId> half(candidates_.begin(),
+                            candidates_.begin() + candidates_.size() / 2);
+  lp::ChoiceProblem p = BuildChoiceProblem(*inum_, half, cs);
+  EXPECT_EQ(p.num_indexes, static_cast<int>(half.size()));
+  // Options only reference dense ids within range.
+  for (const auto& q : p.queries) {
+    for (const auto& plan : q.plans) {
+      for (const auto& slot : plan.slots) {
+        for (const auto& o : slot.options) {
+          EXPECT_LT(o.index, p.num_indexes);
+          EXPECT_GE(o.index, lp::kBaseOption);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cophy

@@ -1,0 +1,182 @@
+// Unit + property tests for lp/branch_and_bound: the generic MIP solver
+// validated against brute force on random binary programs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "lp/branch_and_bound.h"
+#include "lp/simplex.h"
+
+namespace cophy::lp {
+namespace {
+
+/// Brute-force optimum over all 0/1 assignments of a pure-binary model.
+double BruteForce(const Model& m, std::vector<double>* arg = nullptr) {
+  const int n = m.num_variables();
+  double best = std::numeric_limits<double>::infinity();
+  std::vector<double> x(n);
+  for (uint64_t mask = 0; mask < (1ull << n); ++mask) {
+    for (int i = 0; i < n; ++i) x[i] = (mask >> i) & 1 ? 1.0 : 0.0;
+    if (!m.IsFeasible(x)) continue;
+    const double obj = m.ObjectiveValue(x);
+    if (obj < best) {
+      best = obj;
+      if (arg != nullptr) *arg = x;
+    }
+  }
+  return best;
+}
+
+TEST(BnbTest, SolvesSmallKnapsack) {
+  // max 10a + 6b + 4c s.t. 5a + 4b + 3c <= 8  → {a, c} = 14.
+  Model m;
+  const VarId a = m.AddBinary(-10);
+  const VarId b = m.AddBinary(-6);
+  const VarId c = m.AddBinary(-4);
+  m.AddRow({{{a, 5.0}, {b, 4.0}, {c, 3.0}}, Sense::kLe, 8.0, ""});
+  const MipSolution s = SolveMip(m);
+  ASSERT_TRUE(s.status.ok());
+  EXPECT_NEAR(s.objective, -14.0, 1e-6);
+  EXPECT_NEAR(s.x[a], 1.0, 1e-6);
+  EXPECT_NEAR(s.x[b], 0.0, 1e-6);
+  EXPECT_NEAR(s.x[c], 1.0, 1e-6);
+}
+
+TEST(BnbTest, InfeasibleModel) {
+  Model m;
+  const VarId a = m.AddBinary(1);
+  m.AddRow({{{a, 1.0}}, Sense::kGe, 2.0, ""});
+  EXPECT_EQ(SolveMip(m).status.code(), StatusCode::kInfeasible);
+}
+
+TEST(BnbTest, EqualityCoverConstraint) {
+  // Exactly two of three must be picked; minimize cost.
+  Model m;
+  const VarId a = m.AddBinary(3);
+  const VarId b = m.AddBinary(1);
+  const VarId c = m.AddBinary(2);
+  m.AddRow({{{a, 1.0}, {b, 1.0}, {c, 1.0}}, Sense::kEq, 2.0, ""});
+  const MipSolution s = SolveMip(m);
+  ASSERT_TRUE(s.status.ok());
+  EXPECT_NEAR(s.objective, 3.0, 1e-6);  // b + c
+}
+
+TEST(BnbTest, WarmStartAcceptedAsIncumbent) {
+  Model m;
+  const VarId a = m.AddBinary(-5);
+  const VarId b = m.AddBinary(-4);
+  m.AddRow({{{a, 1.0}, {b, 1.0}}, Sense::kLe, 1.0, ""});
+  MipOptions opts;
+  opts.warm_start = {0.0, 1.0};  // feasible but suboptimal
+  const MipSolution s = SolveMip(m, opts);
+  ASSERT_TRUE(s.status.ok());
+  EXPECT_NEAR(s.objective, -5.0, 1e-6);  // still finds the optimum
+}
+
+TEST(BnbTest, GapTargetStopsEarly) {
+  Model m;
+  std::vector<VarId> vars;
+  Rng rng(3);
+  Row cap{{}, Sense::kLe, 10.0, ""};
+  for (int i = 0; i < 12; ++i) {
+    const VarId v = m.AddBinary(-(1.0 + static_cast<double>(rng.Uniform(10))));
+    cap.terms.push_back({v, 1.0 + static_cast<double>(rng.Uniform(5))});
+    vars.push_back(v);
+  }
+  m.AddRow(cap);
+  MipOptions opts;
+  opts.gap_target = 0.5;  // very loose: accept the first decent incumbent
+  const MipSolution loose = SolveMip(m, opts);
+  ASSERT_TRUE(loose.status.ok());
+  EXPECT_LE(loose.gap, 0.5 + 1e-9);
+  const MipSolution exact = SolveMip(m);
+  EXPECT_LE(exact.objective, loose.objective + 1e-9);
+}
+
+TEST(BnbTest, CallbackCanTerminate) {
+  Model m;
+  Row cap{{}, Sense::kLe, 7.0, ""};
+  Rng rng(5);
+  for (int i = 0; i < 14; ++i) {
+    const VarId v = m.AddBinary(-(1.0 + static_cast<double>(rng.Uniform(9))));
+    cap.terms.push_back({v, 1.0 + static_cast<double>(rng.Uniform(4))});
+  }
+  m.AddRow(cap);
+  MipOptions opts;
+  int callbacks = 0;
+  opts.callback = [&](const MipProgress&) { return ++callbacks < 2; };
+  const MipSolution s = SolveMip(m, opts);
+  EXPECT_GE(callbacks, 1);
+  // Early termination still returns the current incumbent if any.
+  if (s.status.ok()) EXPECT_FALSE(s.x.empty());
+}
+
+TEST(BnbTest, MixedIntegerContinuous) {
+  // min -x - y with binary x and continuous y <= 2.5, x + y <= 3.
+  Model m;
+  const VarId x = m.AddBinary(-1);
+  const VarId y = m.AddVariable(0, 2.5, -1.0, false);
+  m.AddRow({{{x, 1.0}, {y, 1.0}}, Sense::kLe, 3.0, ""});
+  const MipSolution s = SolveMip(m);
+  ASSERT_TRUE(s.status.ok());
+  EXPECT_NEAR(s.x[x], 1.0, 1e-6);
+  EXPECT_NEAR(s.x[y], 2.0, 1e-6);
+  EXPECT_NEAR(s.objective, -3.0, 1e-6);
+}
+
+TEST(BnbTest, CheckFeasibleProbe) {
+  Model ok;
+  const VarId a = ok.AddBinary(1);
+  ok.AddRow({{{a, 1.0}}, Sense::kLe, 1.0, ""});
+  EXPECT_TRUE(CheckFeasible(ok).ok());
+
+  Model bad;
+  const VarId b = bad.AddBinary(1);
+  bad.AddRow({{{b, 1.0}}, Sense::kGe, 3.0, ""});
+  EXPECT_EQ(CheckFeasible(bad).code(), StatusCode::kInfeasible);
+}
+
+/// Property sweep: SolveMip matches brute force on random binary
+/// programs with mixed constraint senses.
+class BnbPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BnbPropertyTest, MatchesBruteForce) {
+  Rng rng(1000 + GetParam());
+  Model m;
+  const int n = 3 + static_cast<int>(rng.Uniform(8));  // 3..10 binaries
+  for (int i = 0; i < n; ++i) {
+    m.AddBinary(-5.0 + static_cast<double>(rng.Uniform(11)));
+  }
+  const int rows = 1 + static_cast<int>(rng.Uniform(4));
+  for (int r = 0; r < rows; ++r) {
+    Row row;
+    for (int i = 0; i < n; ++i) {
+      if (rng.Bernoulli(0.6)) {
+        row.terms.push_back({i, 1.0 + static_cast<double>(rng.Uniform(4))});
+      }
+    }
+    if (row.terms.empty()) continue;
+    row.sense = rng.Bernoulli(0.8) ? Sense::kLe : Sense::kGe;
+    double total = 0;
+    for (auto& [v, c] : row.terms) total += c;
+    row.rhs = total * (row.sense == Sense::kLe ? 0.5 : 0.2);
+    m.AddRow(std::move(row));
+  }
+
+  const double brute = BruteForce(m);
+  const MipSolution s = SolveMip(m);
+  if (!std::isfinite(brute)) {
+    EXPECT_EQ(s.status.code(), StatusCode::kInfeasible);
+  } else {
+    ASSERT_TRUE(s.status.ok()) << s.status.ToString();
+    EXPECT_NEAR(s.objective, brute, 1e-6 + 1e-6 * std::abs(brute));
+    EXPECT_TRUE(m.IsFeasible(s.x));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomPrograms, BnbPropertyTest,
+                         ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace cophy::lp

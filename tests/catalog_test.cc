@@ -1,0 +1,149 @@
+// Unit tests for catalog/: schema construction, statistics, and the
+// skew-aware selectivity primitives.
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+
+namespace cophy {
+namespace {
+
+TEST(CatalogTest, AddAndLookup) {
+  Catalog cat;
+  const TableId t = cat.AddTable("t", 1000);
+  const ColumnId a = cat.AddColumn(t, "a", 4, 100);
+  const ColumnId b = cat.AddColumn(t, "b", 8, 10);
+  EXPECT_EQ(cat.num_tables(), 1);
+  EXPECT_EQ(cat.num_columns(), 2);
+  EXPECT_EQ(cat.FindTable("t"), t);
+  EXPECT_EQ(cat.FindTable("missing"), kInvalidTable);
+  EXPECT_EQ(cat.FindColumn(t, "a"), a);
+  EXPECT_EQ(cat.FindColumn(t, "zzz"), kInvalidColumn);
+  EXPECT_EQ(cat.column(b).width_bytes, 8);
+  EXPECT_EQ(cat.table(t).row_count, 1000u);
+}
+
+TEST(CatalogTest, DistinctCappedByRowCount) {
+  Catalog cat;
+  const TableId t = cat.AddTable("t", 50);
+  const ColumnId c = cat.AddColumn(t, "c", 4, 1000000);
+  EXPECT_EQ(cat.column(c).distinct, 50u);
+}
+
+TEST(CatalogTest, RowWidthAndPages) {
+  Catalog cat;
+  const TableId t = cat.AddTable("t", 8192);
+  cat.AddColumn(t, "a", 4, 10);
+  cat.AddColumn(t, "b", 4, 10);
+  EXPECT_DOUBLE_EQ(cat.RowWidth(t), 8.0);
+  // 8192 rows * 8 bytes = 64 KiB = 8 pages.
+  EXPECT_DOUBLE_EQ(cat.TablePages(t), 8.0);
+}
+
+TEST(CatalogTest, PrimaryKeyValidation) {
+  Catalog cat;
+  const TableId t = cat.AddTable("t", 10);
+  const ColumnId c = cat.AddColumn(t, "c", 4, 10);
+  cat.SetPrimaryKey(t, {c});
+  EXPECT_EQ(cat.table(t).primary_key.size(), 1u);
+}
+
+TEST(CatalogTest, EqSelectivityUniform) {
+  Catalog cat;
+  const TableId t = cat.AddTable("t", 1000);
+  const ColumnId c = cat.AddColumn(t, "c", 4, 100, /*zipf_z=*/0.0);
+  EXPECT_NEAR(cat.EqSelectivity(c, 0.0), 0.01, 1e-12);
+  EXPECT_NEAR(cat.EqSelectivity(c, 0.5), 0.01, 1e-12);
+  EXPECT_NEAR(cat.EqSelectivity(c, 0.999), 0.01, 1e-12);
+}
+
+TEST(CatalogTest, EqSelectivitySkewHotVsCold) {
+  Catalog cat;
+  const TableId t = cat.AddTable("t", 100000);
+  const ColumnId c = cat.AddColumn(t, "c", 4, 1000, /*zipf_z=*/2.0);
+  const double hot = cat.EqSelectivity(c, 0.0);    // rank 1
+  const double cold = cat.EqSelectivity(c, 0.99);  // deep tail
+  EXPECT_GT(hot, 0.5);          // z=2 head carries most of the mass
+  EXPECT_LT(cold, 1e-5);        // tail values are very selective
+}
+
+TEST(CatalogTest, RangeSelectivityUniformMatchesWidth) {
+  Catalog cat;
+  const TableId t = cat.AddTable("t", 10000);
+  const ColumnId c = cat.AddColumn(t, "c", 4, 1000, 0.0);
+  EXPECT_NEAR(cat.RangeSelectivity(c, 0.2, 0.3), 0.3, 0.01);
+  EXPECT_NEAR(cat.RangeSelectivity(c, 0.0, 1.0), 1.0, 1e-9);
+}
+
+TEST(CatalogTest, RangeSelectivitySkewDependsOnPosition) {
+  Catalog cat;
+  const TableId t = cat.AddTable("t", 100000);
+  const ColumnId c = cat.AddColumn(t, "c", 4, 1000, 2.0);
+  const double head = cat.RangeSelectivity(c, 0.0, 0.1);
+  const double tail = cat.RangeSelectivity(c, 0.9, 0.1);
+  EXPECT_GT(head, 0.9);   // the hot head covers nearly all rows
+  EXPECT_LT(tail, 0.01);  // the same width in the tail covers few
+}
+
+// --- TPC-H schema ------------------------------------------------------
+
+TEST(TpchCatalogTest, AllEightTablesPresent) {
+  Catalog cat = MakeTpchCatalog(1.0, 0.0);
+  for (const char* name :
+       {"region", "nation", "supplier", "customer", "part", "partsupp",
+        "orders", "lineitem"}) {
+    EXPECT_NE(cat.FindTable(name), kInvalidTable) << name;
+  }
+  EXPECT_EQ(cat.num_tables(), 8);
+}
+
+TEST(TpchCatalogTest, RowCountsScale) {
+  Catalog sf1 = MakeTpchCatalog(1.0, 0.0);
+  Catalog sf01 = MakeTpchCatalog(0.1, 0.0);
+  const TableId l1 = sf1.FindTable("lineitem");
+  const TableId l01 = sf01.FindTable("lineitem");
+  EXPECT_EQ(sf1.table(l1).row_count, 6000000u);
+  EXPECT_EQ(sf01.table(l01).row_count, 600000u);
+}
+
+TEST(TpchCatalogTest, TotalSizeAboutOneGigabyte) {
+  // The paper uses a 1 GB TPC-H database; our statistics should agree
+  // to within a factor.
+  Catalog cat = MakeTpchCatalog(1.0, 0.0);
+  const double gb = cat.TotalDataBytes() / 1e9;
+  EXPECT_GT(gb, 0.6);
+  EXPECT_LT(gb, 2.0);
+}
+
+TEST(TpchCatalogTest, PrimaryKeysSet) {
+  Catalog cat = MakeTpchCatalog(1.0, 0.0);
+  for (TableId t = 0; t < cat.num_tables(); ++t) {
+    EXPECT_FALSE(cat.table(t).primary_key.empty())
+        << cat.table(t).name;
+  }
+  // Composite PKs where TPC-H has them.
+  EXPECT_EQ(cat.table(cat.FindTable("lineitem")).primary_key.size(), 2u);
+  EXPECT_EQ(cat.table(cat.FindTable("partsupp")).primary_key.size(), 2u);
+}
+
+TEST(TpchCatalogTest, KeysAreNeverSkewed) {
+  Catalog cat = MakeTpchCatalog(1.0, 2.0);
+  const TableId orders = cat.FindTable("orders");
+  const ColumnId ok = cat.FindColumn(orders, "o_orderkey");
+  const ColumnId cust = cat.FindColumn(orders, "o_custkey");
+  EXPECT_DOUBLE_EQ(cat.column(ok).zipf_z, 0.0);   // unique key: flat
+  EXPECT_DOUBLE_EQ(cat.column(cust).zipf_z, 2.0); // FK: skewed
+}
+
+TEST(TpchCatalogTest, SkewChangesSelectivities) {
+  Catalog flat = MakeTpchCatalog(1.0, 0.0);
+  Catalog skew = MakeTpchCatalog(1.0, 2.0);
+  const TableId li = flat.FindTable("lineitem");
+  const ColumnId sd_flat = flat.FindColumn(li, "l_shipdate");
+  const ColumnId sd_skew = skew.FindColumn(skew.FindTable("lineitem"),
+                                           "l_shipdate");
+  EXPECT_GT(skew.EqSelectivity(sd_skew, 0.0),
+            10 * flat.EqSelectivity(sd_flat, 0.0));
+}
+
+}  // namespace
+}  // namespace cophy

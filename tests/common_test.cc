@@ -1,0 +1,212 @@
+// Unit tests for common/: Status, Rng, Zipf.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/random.h"
+#include "common/status.h"
+
+namespace cophy {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::Infeasible("storage budget");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInfeasible);
+  EXPECT_EQ(s.ToString(), "INFEASIBLE: storage budget");
+}
+
+TEST(StatusTest, FactoryCodes) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::Unbounded("x").code(), StatusCode::kUnbounded);
+  EXPECT_EQ(Status::Timeout("x").code(), StatusCode::kTimeout);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("gone"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRespectsModulus) {
+  Rng rng(9);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t v = rng.Uniform(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all residues hit
+}
+
+TEST(RngTest, UniformInRangeInclusive) {
+  Rng rng(11);
+  bool hit_lo = false, hit_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = rng.UniformInRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    hit_lo |= v == -3;
+    hit_hi |= v == 3;
+  }
+  EXPECT_TRUE(hit_lo);
+  EXPECT_TRUE(hit_hi);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(13);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RngTest, ForkIndependence) {
+  Rng a(5);
+  Rng b = a.Fork();
+  EXPECT_NE(a.Next(), b.Next());
+}
+
+// --- Zipf ------------------------------------------------------------
+
+TEST(ZipfTest, UniformWhenZZero) {
+  Zipf z(100, 0.0);
+  for (uint64_t r = 1; r <= 100; ++r) {
+    EXPECT_NEAR(z.Pmf(r), 0.01, 1e-12);
+  }
+  EXPECT_NEAR(z.Cdf(50), 0.5, 1e-12);
+}
+
+TEST(ZipfTest, PmfSumsToOne) {
+  for (double s : {0.0, 0.5, 1.0, 2.0}) {
+    Zipf z(500, s);
+    double sum = 0;
+    for (uint64_t r = 1; r <= 500; ++r) sum += z.Pmf(r);
+    EXPECT_NEAR(sum, 1.0, 1e-9) << "z=" << s;
+  }
+}
+
+TEST(ZipfTest, CdfMonotoneAndComplete) {
+  Zipf z(10000, 1.5);
+  double prev = 0;
+  for (uint64_t r = 1; r <= 10000; r += 97) {
+    const double c = z.Cdf(r);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+  EXPECT_NEAR(z.Cdf(10000), 1.0, 1e-6);
+  EXPECT_DOUBLE_EQ(z.Cdf(0), 0.0);
+}
+
+TEST(ZipfTest, SkewConcentratesMassAtHead) {
+  Zipf uniform(1000, 0.0), skewed(1000, 2.0);
+  EXPECT_GT(skewed.Cdf(10), 0.8);            // head dominates under z=2
+  EXPECT_NEAR(uniform.Cdf(10), 0.01, 1e-12); // uniform head is tiny
+  EXPECT_GT(skewed.Pmf(1), 100 * skewed.Pmf(1000));
+}
+
+TEST(ZipfTest, LargeDomainApproximationContinuity) {
+  // The Euler–Maclaurin tail must join the exact head smoothly.
+  Zipf z(1000000, 1.0);
+  const double at_boundary = z.Cdf(4096);
+  const double after = z.Cdf(4097);
+  EXPECT_GT(after, at_boundary);
+  EXPECT_LT(after - at_boundary, 1e-4);
+  EXPECT_NEAR(z.Cdf(1000000), 1.0, 1e-4);
+}
+
+TEST(ZipfTest, RankAtQuantileInvertsCdf) {
+  Zipf z(1000, 1.2);
+  for (double q : {0.0, 0.1, 0.37, 0.5, 0.9, 0.999}) {
+    const uint64_t r = z.RankAtQuantile(q);
+    EXPECT_GT(z.Cdf(r), q);
+    if (r > 1) {
+      EXPECT_LE(z.Cdf(r - 1), q);
+    }
+  }
+}
+
+TEST(ZipfTest, SampleMatchesDistribution) {
+  Zipf z(10, 1.0);
+  Rng rng(17);
+  std::vector<int> counts(11, 0);
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) ++counts[z.Sample(rng)];
+  for (uint64_t r = 1; r <= 10; ++r) {
+    EXPECT_NEAR(static_cast<double>(counts[r]) / n, z.Pmf(r), 0.01);
+  }
+}
+
+/// Property sweep: Zipf invariants across (n, z) combinations.
+class ZipfPropertyTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, double>> {};
+
+TEST_P(ZipfPropertyTest, Invariants) {
+  const auto [n, s] = GetParam();
+  Zipf z(n, s);
+  EXPECT_NEAR(z.Cdf(n), 1.0, 1e-4);
+  // Pmf is non-increasing in rank.
+  double prev = z.Pmf(1);
+  for (uint64_t r = 2; r <= std::min<uint64_t>(n, 64); ++r) {
+    const double p = z.Pmf(r);
+    EXPECT_LE(p, prev + 1e-12);
+    prev = p;
+  }
+  // Quantile inversion at a few points.
+  for (double q : {0.25, 0.75}) {
+    const uint64_t r = z.RankAtQuantile(q);
+    EXPECT_GE(r, 1u);
+    EXPECT_LE(r, n);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ZipfPropertyTest,
+    ::testing::Combine(::testing::Values<uint64_t>(1, 2, 10, 1000, 100000),
+                       ::testing::Values(0.0, 0.5, 1.0, 2.0)));
+
+}  // namespace
+}  // namespace cophy

@@ -1,0 +1,191 @@
+// Unit tests for constraints/: the Bruno–Chaudhuri constraint language
+// and its translation to linear BIP rows (Appendix E).
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+#include "constraints/constraints.h"
+#include "index/index.h"
+
+namespace cophy {
+namespace {
+
+class ConstraintsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    cat_ = MakeTpchCatalog(0.1, 0.0);
+    orders_ = cat_.FindTable("orders");
+    lineitem_ = cat_.FindTable("lineitem");
+    // A small candidate pool: two on orders, one on lineitem, one wide.
+    Index a;
+    a.table = orders_;
+    a.key_columns = {cat_.FindColumn(orders_, "o_custkey")};
+    ids_.push_back(pool_.Add(a));
+    Index b;
+    b.table = orders_;
+    b.key_columns = {cat_.FindColumn(orders_, "o_orderdate")};
+    ids_.push_back(pool_.Add(b));
+    Index c;
+    c.table = lineitem_;
+    c.key_columns = {cat_.FindColumn(lineitem_, "l_shipdate")};
+    ids_.push_back(pool_.Add(c));
+    Index wide;
+    wide.table = lineitem_;
+    for (const char* col : {"l_orderkey", "l_partkey", "l_suppkey",
+                            "l_shipdate", "l_quantity", "l_discount"}) {
+      wide.key_columns.push_back(cat_.FindColumn(lineitem_, col));
+    }
+    ids_.push_back(pool_.Add(wide));
+  }
+
+  Catalog cat_;
+  IndexPool pool_;
+  std::vector<IndexId> ids_;
+  TableId orders_ = kInvalidTable, lineitem_ = kInvalidTable;
+};
+
+TEST_F(ConstraintsTest, EmptySetIsEmpty) {
+  ConstraintSet cs;
+  EXPECT_TRUE(cs.empty());
+  cs.SetStorageBudget(100);
+  EXPECT_FALSE(cs.empty());
+}
+
+TEST_F(ConstraintsTest, StorageBudgetStoredSeparately) {
+  ConstraintSet cs;
+  cs.SetStorageBudget(12345.0);
+  ASSERT_TRUE(cs.storage_budget().has_value());
+  EXPECT_DOUBLE_EQ(*cs.storage_budget(), 12345.0);
+  // The budget does not surface as a generic z-row.
+  EXPECT_TRUE(TranslateIndexConstraints(cs, ids_, pool_, cat_).empty());
+}
+
+TEST_F(ConstraintsTest, MaxIndexesPerTableRows) {
+  ConstraintSet cs;
+  cs.AddMaxIndexesPerTable(cat_, 2);
+  const auto rows = TranslateIndexConstraints(cs, ids_, pool_, cat_);
+  // One row per table that actually has candidates (others are
+  // trivially satisfied and dropped).
+  ASSERT_EQ(rows.size(), 2u);
+  for (const auto& row : rows) {
+    EXPECT_EQ(row.sense, lp::Sense::kLe);
+    EXPECT_DOUBLE_EQ(row.rhs, 2.0);
+    for (const auto& [dense, coef] : row.terms) {
+      EXPECT_DOUBLE_EQ(coef, 1.0);
+      EXPECT_GE(dense, 0);
+      EXPECT_LT(dense, static_cast<int>(ids_.size()));
+    }
+  }
+}
+
+TEST_F(ConstraintsTest, MaxWideIndexesFiltersByKeyWidth) {
+  ConstraintSet cs;
+  cs.AddMaxWideIndexes(/*width=*/5, /*k=*/0);  // forbid >5-column keys
+  const auto rows = TranslateIndexConstraints(cs, ids_, pool_, cat_);
+  ASSERT_EQ(rows.size(), 1u);
+  ASSERT_EQ(rows[0].terms.size(), 1u);  // only the 6-column index
+  EXPECT_EQ(ids_[rows[0].terms[0].first], ids_[3]);
+  EXPECT_DOUBLE_EQ(rows[0].rhs, 0.0);
+}
+
+TEST_F(ConstraintsTest, ClusteredRuleOnlyBindsClusteredCandidates) {
+  ConstraintSet cs;
+  cs.AddAtMostOneClusteredPerTable(cat_);
+  // No clustered candidates in the pool: all rows trivially satisfied.
+  EXPECT_TRUE(TranslateIndexConstraints(cs, ids_, pool_, cat_).empty());
+
+  Index clustered;
+  clustered.table = orders_;
+  clustered.clustered = true;
+  clustered.key_columns = {cat_.FindColumn(orders_, "o_orderdate")};
+  std::vector<IndexId> with_clustered = ids_;
+  with_clustered.push_back(pool_.Add(clustered));
+  const auto rows =
+      TranslateIndexConstraints(cs, with_clustered, pool_, cat_);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].terms.size(), 1u);
+  EXPECT_DOUBLE_EQ(rows[0].rhs, 1.0);
+}
+
+TEST_F(ConstraintsTest, CustomWeightedConstraint) {
+  ConstraintSet cs;
+  IndexConstraint c;
+  c.name = "total key width of orders indexes <= 8";
+  c.filter = [this](const Index& idx, const Catalog&) {
+    return idx.table == orders_;
+  };
+  c.weight = [](const Index& idx, const Catalog&) {
+    return static_cast<double>(idx.key_columns.size());
+  };
+  c.op = CmpOp::kLe;
+  c.rhs = 8;
+  cs.AddIndexConstraint(std::move(c));
+  const auto rows = TranslateIndexConstraints(cs, ids_, pool_, cat_);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].terms.size(), 2u);  // the two orders indexes
+}
+
+TEST_F(ConstraintsTest, UnsatisfiableEmptyRowKept) {
+  ConstraintSet cs;
+  IndexConstraint c;
+  c.name = "need a nation index";  // no candidate matches
+  c.filter = [this](const Index& idx, const Catalog&) {
+    return idx.table == cat_.FindTable("nation");
+  };
+  c.weight = [](const Index&, const Catalog&) { return 1.0; };
+  c.op = CmpOp::kGe;
+  c.rhs = 1;
+  cs.AddIndexConstraint(std::move(c));
+  const auto rows = TranslateIndexConstraints(cs, ids_, pool_, cat_);
+  // Kept (empty, unsatisfiable) so the solver's precheck reports it.
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_TRUE(rows[0].terms.empty());
+}
+
+TEST_F(ConstraintsTest, QueryCostGeneratorExpandsOverSelects) {
+  Workload w;
+  Query q;
+  q.tables = {orders_};
+  q.outputs = {{AggFunc::kNone, cat_.FindColumn(orders_, "o_orderkey")}};
+  w.Add(q);
+  Query u = q;
+  u.kind = StatementKind::kUpdate;
+  u.update_table = orders_;
+  u.set_columns = {cat_.FindColumn(orders_, "o_totalprice")};
+  w.Add(u);
+  ConstraintSet cs;
+  cs.ForEachQueryAssertSpeedup(w, 0.75);
+  ASSERT_EQ(cs.query_cost_constraints().size(), 1u);  // updates skipped
+  EXPECT_EQ(cs.query_cost_constraints()[0].query, 0);
+  EXPECT_DOUBLE_EQ(cs.query_cost_constraints()[0].factor, 0.75);
+}
+
+TEST_F(ConstraintsTest, SoftStorageWeightsAreSizes) {
+  ConstraintSet cs;
+  cs.AddSoftStorage(0.0);
+  ASSERT_EQ(cs.soft_constraints().size(), 1u);
+  const auto w =
+      SoftConstraintWeights(cs.soft_constraints()[0], ids_, pool_, cat_);
+  ASSERT_EQ(w.size(), ids_.size());
+  for (size_t i = 0; i < ids_.size(); ++i) {
+    EXPECT_DOUBLE_EQ(w[i], IndexSizeBytes(pool_[ids_[i]], cat_));
+  }
+}
+
+TEST_F(ConstraintsTest, EqualitySenseTranslated) {
+  ConstraintSet cs;
+  IndexConstraint c;
+  c.name = "exactly one orders index";
+  c.filter = [this](const Index& idx, const Catalog&) {
+    return idx.table == orders_;
+  };
+  c.weight = [](const Index&, const Catalog&) { return 1.0; };
+  c.op = CmpOp::kEq;
+  c.rhs = 1;
+  cs.AddIndexConstraint(std::move(c));
+  const auto rows = TranslateIndexConstraints(cs, ids_, pool_, cat_);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].sense, lp::Sense::kEq);
+}
+
+}  // namespace
+}  // namespace cophy

@@ -1,0 +1,266 @@
+// End-to-end tests for the CoPhy advisor: tuning under constraints,
+// interactive retuning, early termination, and Pareto exploration.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/advisor.h"
+#include "catalog/catalog.h"
+#include "core/cophy.h"
+#include "workload/generator.h"
+
+namespace cophy {
+namespace {
+
+class CoPhyTest : public ::testing::Test {
+ protected:
+  void Prepare(int num_queries, uint64_t seed = 42,
+               double update_fraction = 0.0, double z = 0.0) {
+    cat_ = MakeTpchCatalog(0.1, z);
+    pool_ = IndexPool();
+    sim_ = std::make_unique<SystemSimulator>(&cat_, &pool_,
+                                             CostModel::SystemA());
+    WorkloadOptions o;
+    o.num_statements = num_queries;
+    o.seed = seed;
+    o.update_fraction = update_fraction;
+    w_ = MakeHomogeneousWorkload(cat_, o);
+    CoPhyOptions opts;
+    opts.gap_target = 0.05;
+    opts.node_limit = 3000;
+    advisor_ = std::make_unique<CoPhy>(sim_.get(), &pool_, w_, opts);
+    ASSERT_TRUE(advisor_->Prepare().ok());
+  }
+
+  double DataBytes() const { return cat_.TotalDataBytes(); }
+
+  Catalog cat_;
+  IndexPool pool_;
+  std::unique_ptr<SystemSimulator> sim_;
+  std::unique_ptr<CoPhy> advisor_;
+  Workload w_;
+};
+
+TEST_F(CoPhyTest, RecommendsWithinBudget) {
+  Prepare(20);
+  ConstraintSet cs;
+  cs.SetStorageBudget(0.5 * DataBytes());
+  const Recommendation rec = advisor_->Tune(cs);
+  ASSERT_TRUE(rec.status.ok()) << rec.status.ToString();
+  EXPECT_FALSE(rec.configuration.empty());
+  EXPECT_LE(rec.configuration.SizeBytes(pool_, cat_), 0.5 * DataBytes());
+  EXPECT_GT(rec.objective, 0);
+  EXPECT_GE(rec.gap, 0);
+}
+
+TEST_F(CoPhyTest, RecommendationImprovesGroundTruth) {
+  Prepare(20);
+  ConstraintSet cs;
+  cs.SetStorageBudget(1.0 * DataBytes());
+  const Recommendation rec = advisor_->Tune(cs);
+  ASSERT_TRUE(rec.status.ok());
+  // perf measured by direct what-if calls (the paper's §5.1 metric).
+  EXPECT_GT(Perf(*sim_, w_, rec.configuration), 0.2);
+}
+
+TEST_F(CoPhyTest, MoreBudgetNeverHurtsMuch) {
+  Prepare(15);
+  std::vector<double> objectives;
+  for (double m : {0.25, 0.5, 1.0, 2.0}) {
+    ConstraintSet cs;
+    cs.SetStorageBudget(m * DataBytes());
+    const Recommendation rec = advisor_->Tune(cs);
+    ASSERT_TRUE(rec.status.ok());
+    objectives.push_back(rec.objective);
+  }
+  // Estimated workload cost should be non-increasing in the budget
+  // (allow the 5% gap as slack).
+  for (size_t i = 1; i < objectives.size(); ++i) {
+    EXPECT_LE(objectives[i], objectives[i - 1] * 1.06);
+  }
+}
+
+TEST_F(CoPhyTest, BipIsCompact) {
+  Prepare(25);
+  ConstraintSet cs;
+  cs.SetStorageBudget(DataBytes());
+  const Recommendation rec = advisor_->Tune(cs);
+  ASSERT_TRUE(rec.status.ok());
+  // The z count equals the candidate count; y is ΣK_q; x is the γ
+  // table volume — all linear in the input (Theorem 1's point).
+  EXPECT_EQ(rec.bip.z_variables, static_cast<int64_t>(rec.num_candidates));
+  EXPECT_GT(rec.bip.y_variables, 0);
+  EXPECT_GE(rec.bip.x_variables, rec.bip.y_variables);
+}
+
+TEST_F(CoPhyTest, InfeasibleConstraintsReported) {
+  Prepare(10);
+  ConstraintSet cs;
+  cs.SetStorageBudget(DataBytes());
+  // Impossible: every query 100x faster.
+  cs.ForEachQueryAssertSpeedup(w_, 0.01);
+  const Recommendation rec = advisor_->Tune(cs);
+  EXPECT_EQ(rec.status.code(), StatusCode::kInfeasible);
+}
+
+TEST_F(CoPhyTest, QueryCostConstraintHonored) {
+  Prepare(12);
+  // First, find what's achievable for statement 0.
+  ConstraintSet base;
+  base.SetStorageBudget(DataBytes());
+  const Recommendation unconstrained = advisor_->Tune(base);
+  ASSERT_TRUE(unconstrained.status.ok());
+  const double best0 =
+      advisor_->inum().ShellCost(0, Configuration(advisor_->candidates()));
+  const double base0 = advisor_->inum().ShellCost(0, Configuration::Empty());
+  if (best0 > 0.9 * base0) GTEST_SKIP() << "statement 0 not improvable";
+
+  const double factor = std::min(0.95, 1.2 * best0 / base0);
+  ConstraintSet cs;
+  cs.SetStorageBudget(DataBytes());
+  cs.AddQueryCostConstraint({0, factor, 0.0});
+  const Recommendation rec = advisor_->Tune(cs);
+  ASSERT_TRUE(rec.status.ok());
+  EXPECT_LE(advisor_->inum().ShellCost(0, rec.configuration),
+            factor * base0 * (1 + 1e-6));
+}
+
+TEST_F(CoPhyTest, EarlyTerminationCallback) {
+  Prepare(20);
+  int progress_reports = 0;
+  CoPhyOptions opts;
+  opts.gap_target = 0.0;  // would search long...
+  opts.node_limit = 100000;
+  opts.callback = [&](const lp::MipProgress& p) {
+    ++progress_reports;
+    return !(p.has_incumbent && p.gap < 0.5);  // ...but we stop early
+  };
+  CoPhy advisor(sim_.get(), &pool_, w_, opts);
+  ASSERT_TRUE(advisor.Prepare().ok());
+  ConstraintSet cs;
+  cs.SetStorageBudget(0.5 * DataBytes());
+  const Recommendation rec = advisor.Tune(cs);
+  ASSERT_TRUE(rec.status.ok());
+  EXPECT_GE(progress_reports, 1);
+  EXPECT_FALSE(rec.configuration.empty());
+}
+
+TEST_F(CoPhyTest, RetuneAfterAddingCandidatesIsConsistent) {
+  Prepare(15);
+  ConstraintSet cs;
+  cs.SetStorageBudget(0.8 * DataBytes());
+  const Recommendation first = advisor_->Tune(cs);
+  ASSERT_TRUE(first.status.ok());
+
+  // Hand-craft a few extra candidates (as the paper's §5.4 interactive
+  // scenario does) and retune.
+  Rng rng(1234);
+  std::vector<IndexId> extra =
+      PadWithRandomIndexes(cat_, 10, rng, pool_);
+  ASSERT_TRUE(advisor_->AddCandidates(extra).ok());
+  const Recommendation second = advisor_->Retune(cs);
+  ASSERT_TRUE(second.status.ok());
+  // More candidates can only improve the (estimated) objective, modulo
+  // the optimality gap.
+  EXPECT_LE(second.objective, first.objective * 1.06);
+  EXPECT_EQ(second.num_candidates, first.num_candidates + 10);
+  // INUM work for the retune is incremental only.
+  EXPECT_LT(second.timings.inum_seconds, first.timings.inum_seconds + 1.0);
+}
+
+TEST_F(CoPhyTest, RestrictCandidatesSubsets) {
+  Prepare(15);
+  const auto& all = advisor_->candidates();
+  std::vector<IndexId> half(all.begin(), all.begin() + all.size() / 2);
+  ASSERT_TRUE(advisor_->RestrictCandidates(half).ok());
+  ConstraintSet cs;
+  cs.SetStorageBudget(DataBytes());
+  const Recommendation rec = advisor_->Tune(cs);
+  ASSERT_TRUE(rec.status.ok());
+  for (IndexId id : rec.configuration.ids()) {
+    EXPECT_NE(std::find(half.begin(), half.end(), id), half.end());
+  }
+  EXPECT_FALSE(advisor_->RestrictCandidates({999999}).ok());
+}
+
+TEST_F(CoPhyTest, UpdateHeavyWorkloadAvoidsWriteHotIndexes) {
+  Prepare(40, 77, /*update_fraction=*/0.5);
+  ConstraintSet cs;
+  cs.SetStorageBudget(DataBytes());
+  const Recommendation rec = advisor_->Tune(cs);
+  ASSERT_TRUE(rec.status.ok());
+  // The chosen set must pay for itself: estimated total cost with the
+  // configuration (including maintenance) beats the base cost.
+  const double base = WorkloadCost(*sim_, w_, Configuration::Empty());
+  const double with = WorkloadCost(*sim_, w_, rec.configuration);
+  EXPECT_LT(with, base);
+}
+
+// --- Soft constraints / Pareto -----------------------------------------
+
+TEST_F(CoPhyTest, SoftGridSweepsTradeoff) {
+  Prepare(15);
+  ConstraintSet cs;
+  cs.AddSoftStorage(0.0);  // §5.4: soft budget of zero
+  const std::vector<double> lambdas{0.0, 0.25, 0.5, 0.75, 1.0};
+  const auto points = advisor_->TuneSoftGrid(cs, lambdas);
+  ASSERT_EQ(points.size(), lambdas.size());
+  // λ = 0: pure size minimization → empty configuration.
+  EXPECT_EQ(points[0].configuration.size(), 0);
+  EXPECT_DOUBLE_EQ(points[0].soft_value, 0.0);
+  // λ = 1: pure cost minimization → richest configuration.
+  EXPECT_GT(points.back().configuration.size(), 0);
+  // Monotone trade-off along λ (cost falls, size grows), modulo gap.
+  for (size_t i = 1; i < points.size(); ++i) {
+    EXPECT_LE(points[i].workload_cost, points[i - 1].workload_cost * 1.08);
+    EXPECT_GE(points[i].soft_value, points[i - 1].soft_value * 0.92 - 1.0);
+  }
+}
+
+TEST_F(CoPhyTest, ChordProducesParetoCurve) {
+  Prepare(12);
+  ConstraintSet cs;
+  cs.AddSoftStorage(0.0);
+  const auto points = advisor_->TuneSoftChord(cs, /*epsilon=*/0.02,
+                                              /*max_points=*/10);
+  ASSERT_GE(points.size(), 2u);
+  EXPECT_LE(points.size(), 10u);
+  // Sorted by λ descending; endpoints are λ=1 and λ=0.
+  EXPECT_DOUBLE_EQ(points.front().lambda, 1.0);
+  EXPECT_DOUBLE_EQ(points.back().lambda, 0.0);
+  for (size_t i = 1; i < points.size(); ++i) {
+    EXPECT_LE(points[i].lambda, points[i - 1].lambda);
+  }
+}
+
+TEST_F(CoPhyTest, SkewedDataStillTunes) {
+  Prepare(15, 42, 0.0, /*z=*/2.0);
+  ConstraintSet cs;
+  cs.SetStorageBudget(DataBytes());
+  const Recommendation rec = advisor_->Tune(cs);
+  ASSERT_TRUE(rec.status.ok());
+  EXPECT_GT(Perf(*sim_, w_, rec.configuration), 0.1);
+}
+
+TEST_F(CoPhyTest, PortableAcrossSystems) {
+  // The same tuning session logic runs against both cost models and
+  // produces valid (possibly different) recommendations.
+  Prepare(15);
+  ConstraintSet cs;
+  cs.SetStorageBudget(DataBytes());
+  const Recommendation rec_a = advisor_->Tune(cs);
+  ASSERT_TRUE(rec_a.status.ok());
+
+  IndexPool pool_b;
+  SystemSimulator sim_b(&cat_, &pool_b, CostModel::SystemB());
+  CoPhyOptions opts;
+  opts.node_limit = 3000;
+  CoPhy advisor_b(&sim_b, &pool_b, w_, opts);
+  ASSERT_TRUE(advisor_b.Prepare().ok());
+  const Recommendation rec_b = advisor_b.Tune(cs);
+  ASSERT_TRUE(rec_b.status.ok());
+  EXPECT_GT(Perf(sim_b, w_, rec_b.configuration), 0.1);
+}
+
+}  // namespace
+}  // namespace cophy

@@ -1,0 +1,238 @@
+// Unit tests for index/: definitions, size estimation, the pool, and
+// CGen candidate generation.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "catalog/catalog.h"
+#include "index/candidates.h"
+#include "index/index.h"
+#include "workload/generator.h"
+
+namespace cophy {
+namespace {
+
+class IndexTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    cat_ = MakeTpchCatalog(0.1, 0.0);
+    orders_ = cat_.FindTable("orders");
+    custkey_ = cat_.FindColumn(orders_, "o_custkey");
+    orderdate_ = cat_.FindColumn(orders_, "o_orderdate");
+    totalprice_ = cat_.FindColumn(orders_, "o_totalprice");
+  }
+  Index Make(std::vector<ColumnId> key, std::vector<ColumnId> inc = {}) {
+    Index i;
+    i.table = orders_;
+    i.key_columns = std::move(key);
+    i.include_columns = std::move(inc);
+    return i;
+  }
+  Catalog cat_;
+  TableId orders_ = kInvalidTable;
+  ColumnId custkey_ = kInvalidColumn, orderdate_ = kInvalidColumn,
+           totalprice_ = kInvalidColumn;
+};
+
+TEST_F(IndexTest, SameDefinitionComparesKeyAndIncludes) {
+  EXPECT_TRUE(Make({custkey_}).SameDefinition(Make({custkey_})));
+  EXPECT_FALSE(Make({custkey_}).SameDefinition(Make({orderdate_})));
+  EXPECT_FALSE(
+      Make({custkey_, orderdate_}).SameDefinition(Make({orderdate_, custkey_})));
+  EXPECT_FALSE(Make({custkey_}, {totalprice_}).SameDefinition(Make({custkey_})));
+}
+
+TEST_F(IndexTest, CoversChecksKeyAndInclude) {
+  const Index i = Make({custkey_}, {totalprice_});
+  EXPECT_TRUE(i.Covers({custkey_}));
+  EXPECT_TRUE(i.Covers({custkey_, totalprice_}));
+  EXPECT_FALSE(i.Covers({orderdate_}));
+  Index clustered = Make({custkey_});
+  clustered.clustered = true;
+  EXPECT_TRUE(clustered.Covers({orderdate_, totalprice_}));
+}
+
+TEST_F(IndexTest, SizeGrowsWithColumns) {
+  const double narrow = IndexSizeBytes(Make({custkey_}), cat_);
+  const double wide = IndexSizeBytes(Make({custkey_, orderdate_}), cat_);
+  const double covering =
+      IndexSizeBytes(Make({custkey_}, {totalprice_, orderdate_}), cat_);
+  EXPECT_GT(wide, narrow);
+  EXPECT_GT(covering, wide);
+}
+
+TEST_F(IndexTest, ClusteredIndexSizedAsTable) {
+  Index c = Make({custkey_});
+  c.clustered = true;
+  EXPECT_DOUBLE_EQ(IndexLeafPages(c, cat_), cat_.TablePages(orders_));
+}
+
+TEST_F(IndexTest, SizeScalesWithRowCount) {
+  Catalog big = MakeTpchCatalog(1.0, 0.0);
+  const TableId ot = big.FindTable("orders");
+  Index idx;
+  idx.table = ot;
+  idx.key_columns = {big.FindColumn(ot, "o_custkey")};
+  Index small_idx = Make({custkey_});
+  EXPECT_NEAR(IndexSizeBytes(idx, big) / IndexSizeBytes(small_idx, cat_), 10.0,
+              1.0);
+}
+
+TEST_F(IndexTest, PoolDeduplicates) {
+  IndexPool pool;
+  const IndexId a = pool.Add(Make({custkey_}));
+  const IndexId b = pool.Add(Make({custkey_}));
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(pool.size(), 1);
+  const IndexId c = pool.Add(Make({orderdate_}));
+  EXPECT_NE(a, c);
+  EXPECT_EQ(pool.size(), 2);
+}
+
+TEST_F(IndexTest, PoolCanonicalizesIncludeOrder) {
+  IndexPool pool;
+  const IndexId a = pool.Add(Make({custkey_}, {orderdate_, totalprice_}));
+  const IndexId b = pool.Add(Make({custkey_}, {totalprice_, orderdate_}));
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(IndexTest, PoolOnTable) {
+  IndexPool pool;
+  pool.Add(Make({custkey_}));
+  Index li;
+  li.table = cat_.FindTable("lineitem");
+  li.key_columns = {cat_.FindColumn(li.table, "l_shipdate")};
+  pool.Add(li);
+  EXPECT_EQ(pool.OnTable(orders_).size(), 1u);
+  EXPECT_EQ(pool.OnTable(li.table).size(), 1u);
+  EXPECT_TRUE(pool.OnTable(cat_.FindTable("part")).empty());
+}
+
+TEST_F(IndexTest, ToStringMentionsTableAndColumns) {
+  const std::string s = Make({custkey_}, {totalprice_}).ToString(cat_);
+  EXPECT_NE(s.find("orders"), std::string::npos);
+  EXPECT_NE(s.find("o_custkey"), std::string::npos);
+  EXPECT_NE(s.find("INCLUDE"), std::string::npos);
+}
+
+// --- CGen --------------------------------------------------------------
+
+class CandidateTest : public ::testing::Test {
+ protected:
+  Catalog cat_ = MakeTpchCatalog(0.1, 0.0);
+};
+
+TEST_F(CandidateTest, SingleColumnCandidatesForPredicates) {
+  const Query q = MakeHomogeneousStatement(cat_, 13, 3);  // orders lookup
+  const auto cands = CandidatesForQuery(q, cat_, CandidateOptions{});
+  ASSERT_FALSE(cands.empty());
+  const TableId orders = cat_.FindTable("orders");
+  const ColumnId custkey = cat_.FindColumn(orders, "o_custkey");
+  bool found_single = false;
+  for (const Index& idx : cands) {
+    EXPECT_TRUE(q.References(idx.table) ||
+                (q.IsUpdate() && idx.table == q.update_table));
+    if (idx.key_columns == std::vector<ColumnId>{custkey} &&
+        idx.include_columns.empty()) {
+      found_single = true;
+    }
+  }
+  EXPECT_TRUE(found_single);
+}
+
+TEST_F(CandidateTest, CoveringVariantsCoverTheQuery) {
+  const Query q = MakeHomogeneousStatement(cat_, 13, 3);
+  const auto cands = CandidatesForQuery(q, cat_, CandidateOptions{});
+  // At least one fully covering variant per referenced table with
+  // INCLUDE candidates; partial-INCLUDE variants are allowed besides.
+  bool any_fully_covering = false;
+  for (const Index& idx : cands) {
+    if (!idx.include_columns.empty() &&
+        idx.Covers(q.ColumnsUsed(idx.table, cat_))) {
+      any_fully_covering = true;
+    }
+  }
+  EXPECT_TRUE(any_fully_covering);
+}
+
+TEST_F(CandidateTest, ExtraVariantsWidenTheSet) {
+  const Query q = MakeHomogeneousStatement(cat_, 1, 3);
+  CandidateOptions rich, lean;
+  lean.extra_variants = false;
+  EXPECT_GT(CandidatesForQuery(q, cat_, rich).size(),
+            CandidatesForQuery(q, cat_, lean).size());
+}
+
+TEST_F(CandidateTest, NoDuplicateDefinitions) {
+  const Query q = MakeHomogeneousStatement(cat_, 1, 3);
+  const auto cands = CandidatesForQuery(q, cat_, CandidateOptions{});
+  for (size_t i = 0; i < cands.size(); ++i) {
+    for (size_t j = i + 1; j < cands.size(); ++j) {
+      EXPECT_FALSE(cands[i].SameDefinition(cands[j]));
+    }
+  }
+}
+
+TEST_F(CandidateTest, MaxKeyColumnsRespected) {
+  CandidateOptions opts;
+  opts.max_key_columns = 1;
+  const Query q = MakeHomogeneousStatement(cat_, 4, 3);  // Q6: 3 ranges
+  for (const Index& idx : CandidatesForQuery(q, cat_, opts)) {
+    EXPECT_LE(idx.key_columns.size(), 3u);  // singles + eq-pairs are capped
+  }
+}
+
+TEST_F(CandidateTest, GenerateCandidatesReturnsAllForWorkload) {
+  WorkloadOptions o;
+  o.num_statements = 30;
+  o.seed = 12;
+  Workload w = MakeHomogeneousWorkload(cat_, o);
+  IndexPool pool;
+  const auto first = GenerateCandidates(w, cat_, CandidateOptions{}, pool);
+  EXPECT_EQ(static_cast<int>(first.size()), pool.size());
+  // Re-running over the same pool returns the same (already present) set.
+  const auto second = GenerateCandidates(w, cat_, CandidateOptions{}, pool);
+  EXPECT_EQ(first.size(), second.size());
+  EXPECT_EQ(pool.size(), static_cast<int>(first.size()));
+}
+
+TEST_F(CandidateTest, DbaIndexesInjected) {
+  Workload w;
+  Query q = MakeHomogeneousStatement(cat_, 0, 3);
+  w.Add(q);
+  Index dba;
+  dba.table = cat_.FindTable("region");
+  dba.key_columns = {cat_.FindColumn(dba.table, "r_name")};
+  IndexPool pool;
+  const auto ids =
+      GenerateCandidates(w, cat_, CandidateOptions{}, pool, {dba});
+  bool found = false;
+  for (IndexId id : ids) found |= pool[id].SameDefinition(dba);
+  EXPECT_TRUE(found);
+}
+
+TEST_F(CandidateTest, RandomPaddingReachesTarget) {
+  IndexPool pool;
+  Rng rng(77);
+  const auto ids = PadWithRandomIndexes(cat_, 200, rng, pool);
+  EXPECT_EQ(ids.size(), 200u);
+  EXPECT_EQ(pool.size(), 200);
+  for (IndexId id : ids) {
+    EXPECT_FALSE(pool[id].key_columns.empty());
+    for (ColumnId c : pool[id].key_columns) {
+      EXPECT_EQ(cat_.column(c).table, pool[id].table);
+    }
+  }
+}
+
+TEST_F(CandidateTest, OrderCandidatesToggle) {
+  CandidateOptions with, without;
+  without.order_candidates = false;
+  const Query q = MakeHomogeneousStatement(cat_, 1, 3);  // Q3: join + group
+  const auto a = CandidatesForQuery(q, cat_, with);
+  const auto b = CandidatesForQuery(q, cat_, without);
+  EXPECT_GT(a.size(), b.size());
+}
+
+}  // namespace
+}  // namespace cophy

@@ -1,0 +1,283 @@
+// Unit tests for optimizer/: the cost model, access-path costing (γ),
+// interesting orders, template enumeration, and what-if costing.
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+#include "optimizer/simulator.h"
+#include "workload/generator.h"
+
+namespace cophy {
+namespace {
+
+class SimulatorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    cat_ = MakeTpchCatalog(0.1, 0.0);
+    sim_ = std::make_unique<SystemSimulator>(&cat_, &pool_,
+                                             CostModel::SystemA());
+    orders_ = cat_.FindTable("orders");
+    custkey_ = cat_.FindColumn(orders_, "o_custkey");
+    orderdate_ = cat_.FindColumn(orders_, "o_orderdate");
+    totalprice_ = cat_.FindColumn(orders_, "o_totalprice");
+  }
+
+  /// SELECT o_totalprice FROM orders WHERE o_custkey = :v
+  Query PointQuery(double quantile = 0.3) {
+    Query q;
+    q.tables = {orders_};
+    Predicate p;
+    p.column = custkey_;
+    p.op = Predicate::Op::kEq;
+    p.quantile = quantile;
+    q.predicates = {p};
+    q.outputs = {{AggFunc::kNone, totalprice_}};
+    return q;
+  }
+
+  IndexId AddIndex(std::vector<ColumnId> key, std::vector<ColumnId> inc = {}) {
+    Index i;
+    i.table = cat_.column(key[0]).table;
+    i.key_columns = std::move(key);
+    i.include_columns = std::move(inc);
+    return pool_.Add(i);
+  }
+
+  Catalog cat_;
+  IndexPool pool_;
+  std::unique_ptr<SystemSimulator> sim_;
+  TableId orders_ = kInvalidTable;
+  ColumnId custkey_ = kInvalidColumn, orderdate_ = kInvalidColumn,
+           totalprice_ = kInvalidColumn;
+};
+
+TEST_F(SimulatorTest, SelectiveIndexBeatsScan) {
+  const Query q = PointQuery();
+  const double scan = sim_->Cost(q, Configuration::Empty());
+  const IndexId idx = AddIndex({custkey_});
+  const double indexed = sim_->Cost(q, Configuration({idx}));
+  EXPECT_LT(indexed, scan / 10);  // selective point lookup: huge win
+}
+
+TEST_F(SimulatorTest, CoveringIndexBeatsNonCoveringOnWideScans) {
+  Query q;
+  q.tables = {orders_};
+  Predicate p;
+  p.column = orderdate_;
+  p.op = Predicate::Op::kRange;
+  p.quantile = 0.1;
+  p.width = 0.4;  // 40% of the table: fetches dominate
+  q.predicates = {p};
+  q.outputs = {{AggFunc::kSum, totalprice_}};
+  const IndexId plain = AddIndex({orderdate_});
+  const IndexId covering = AddIndex({orderdate_}, {totalprice_});
+  const double c_plain = sim_->Cost(q, Configuration({plain}));
+  const double c_cov = sim_->Cost(q, Configuration({covering}));
+  EXPECT_LT(c_cov, c_plain);
+}
+
+TEST_F(SimulatorTest, AddingIndexesNeverHurtsSelects) {
+  WorkloadOptions o;
+  o.num_statements = 15;
+  o.seed = 31;
+  Workload w = MakeHomogeneousWorkload(cat_, o);
+  const IndexId a = AddIndex({custkey_});
+  const IndexId b = AddIndex({orderdate_}, {custkey_, totalprice_});
+  for (const Query& q : w.statements()) {
+    const double none = sim_->Cost(q, Configuration::Empty());
+    const double some = sim_->Cost(q, Configuration({a}));
+    const double more = sim_->Cost(q, Configuration({a, b}));
+    EXPECT_LE(some, none * (1 + 1e-9));
+    EXPECT_LE(more, some * (1 + 1e-9));
+  }
+}
+
+TEST_F(SimulatorTest, AccessCostInfiniteForIncompatibleOrder) {
+  const Query q = PointQuery();
+  const IndexId idx = AddIndex({custkey_});
+  // The index delivers custkey order (bound) — not totalprice order.
+  EXPECT_EQ(sim_->AccessCost(q, 0, {totalprice_}, idx), kInfiniteCost);
+  EXPECT_LT(sim_->AccessCost(q, 0, {}, idx), kInfiniteCost);
+}
+
+TEST_F(SimulatorTest, BasePathProvidesPrimaryKeyOrder) {
+  Query q;
+  q.tables = {orders_};
+  q.outputs = {{AggFunc::kNone, totalprice_}};
+  const ColumnId orderkey = cat_.FindColumn(orders_, "o_orderkey");
+  // The clustered PK delivers o_orderkey order for free.
+  EXPECT_LT(sim_->AccessCost(q, 0, {orderkey}, kInvalidIndex), kInfiniteCost);
+  EXPECT_EQ(sim_->AccessCost(q, 0, {totalprice_}, kInvalidIndex),
+            kInfiniteCost);
+}
+
+TEST_F(SimulatorTest, EqualityPrefixUnlocksSuffixOrder) {
+  const Query q = PointQuery();  // o_custkey = :v
+  const IndexId idx = AddIndex({custkey_, orderdate_});
+  // With custkey bound, the index delivers orderdate order.
+  EXPECT_LT(sim_->AccessCost(q, 0, {orderdate_}, idx), kInfiniteCost);
+}
+
+TEST_F(SimulatorTest, OrderSatisfiedByRules) {
+  const ColumnId a = 1, b = 2, c = 3;
+  EXPECT_TRUE(OrderSatisfiedBy({}, {a, b}, 0));
+  EXPECT_TRUE(OrderSatisfiedBy({a}, {a, b}, 0));
+  EXPECT_TRUE(OrderSatisfiedBy({a, b}, {a, b}, 0));
+  EXPECT_FALSE(OrderSatisfiedBy({b}, {a, b}, 0));
+  EXPECT_TRUE(OrderSatisfiedBy({b}, {a, b}, 1));  // a equality-bound
+  EXPECT_FALSE(OrderSatisfiedBy({c}, {a, b}, 1));
+  EXPECT_FALSE(OrderSatisfiedBy({a, b, c}, {a, b}, 0));
+}
+
+TEST_F(SimulatorTest, SlotOutputRowsIndependentOfAccessPath) {
+  const Query q = PointQuery(0.4);
+  const double rows = sim_->SlotOutputRows(q, 0);
+  EXPECT_GT(rows, 0);
+  EXPECT_LT(rows, cat_.table(orders_).row_count);
+}
+
+TEST_F(SimulatorTest, TemplateEnumerationCountsWhatIfCalls) {
+  WorkloadOptions o;
+  o.num_statements = 1;
+  o.seed = 2;
+  Workload w = MakeHomogeneousWorkload(cat_, o);
+  const int64_t before = sim_->num_whatif_calls();
+  const auto templates = sim_->EnumerateTemplates(w[0]);
+  ASSERT_FALSE(templates.empty());
+  EXPECT_EQ(sim_->num_whatif_calls() - before,
+            static_cast<int64_t>(templates.size()));
+  for (const TemplatePlan& tp : templates) {
+    EXPECT_EQ(tp.slot_orders.size(), w[0].tables.size());
+    EXPECT_GT(tp.internal_cost, 0);
+  }
+}
+
+TEST_F(SimulatorTest, FirstTemplateHasNoOrderRequirements) {
+  const Query q = PointQuery();
+  const auto templates = sim_->EnumerateTemplates(q);
+  ASSERT_FALSE(templates.empty());
+  for (const OrderSpec& o : templates[0].slot_orders) {
+    EXPECT_TRUE(o.empty());
+  }
+}
+
+TEST_F(SimulatorTest, JoinQueryTemplatesIncludeJoinColumnOrders) {
+  const Query q = MakeHomogeneousStatement(cat_, 2, 3);  // orders ⋈ lineitem
+  const auto candidates = sim_->SlotOrderCandidates(q);
+  ASSERT_EQ(candidates.size(), 2u);
+  EXPECT_GE(candidates[0].size(), 2u);  // none + join column at least
+  EXPECT_GE(candidates[1].size(), 2u);
+}
+
+TEST_F(SimulatorTest, SystemProfilesPriceDifferently) {
+  IndexPool pool_b;
+  SystemSimulator sim_b(&cat_, &pool_b, CostModel::SystemB());
+  const Query q = PointQuery();
+  const double a = sim_->Cost(q, Configuration::Empty());
+  const double b = sim_b.Cost(q, Configuration::Empty());
+  EXPECT_NE(a, b);
+}
+
+TEST_F(SimulatorTest, UpdateCostOnlyForAffectedIndexes) {
+  Query u;
+  u.kind = StatementKind::kUpdate;
+  u.update_table = orders_;
+  u.tables = {orders_};
+  Predicate p;
+  p.column = custkey_;
+  p.op = Predicate::Op::kEq;
+  p.quantile = 0.2;
+  u.predicates = {p};
+  u.set_columns = {totalprice_};
+
+  const IndexId touched = AddIndex({orderdate_}, {totalprice_});
+  const IndexId untouched = AddIndex({orderdate_}, {custkey_});
+  EXPECT_GT(sim_->UpdateCost(touched, u), 0);
+  EXPECT_DOUBLE_EQ(sim_->UpdateCost(untouched, u), 0);
+  // Index on another table is never affected.
+  Index li;
+  li.table = cat_.FindTable("lineitem");
+  li.key_columns = {cat_.FindColumn(li.table, "l_shipdate")};
+  EXPECT_DOUBLE_EQ(sim_->UpdateCost(pool_.Add(li), u), 0);
+}
+
+TEST_F(SimulatorTest, UpdateStatementCostIncludesMaintenance) {
+  Query u;
+  u.kind = StatementKind::kUpdate;
+  u.update_table = orders_;
+  u.tables = {orders_};
+  Predicate p;
+  p.column = custkey_;
+  p.op = Predicate::Op::kEq;
+  p.quantile = 0.2;
+  u.predicates = {p};
+  u.set_columns = {totalprice_};
+
+  const IndexId helper = AddIndex({custkey_});             // helps the shell
+  const IndexId burden = AddIndex({totalprice_});          // pure overhead
+  const double with_helper = sim_->Cost(u, Configuration({helper}));
+  const double with_burden = sim_->Cost(u, Configuration({burden}));
+  const double base = sim_->Cost(u, Configuration::Empty());
+  EXPECT_LT(with_helper, base);            // shell speedup dominates
+  EXPECT_GT(with_burden, base);            // maintenance with no benefit
+}
+
+TEST_F(SimulatorTest, GroupByOrderEnablesCheaperTemplate) {
+  // A query grouping on an indexable column: stream aggregation via an
+  // order-providing index must beat hash aggregation + scan.
+  Query q;
+  q.tables = {orders_};
+  q.group_by = {custkey_};
+  q.outputs = {{AggFunc::kNone, custkey_}, {AggFunc::kSum, totalprice_}};
+  const double scan = sim_->Cost(q, Configuration::Empty());
+  const IndexId idx = AddIndex({custkey_}, {totalprice_});
+  const double indexed = sim_->Cost(q, Configuration({idx}));
+  EXPECT_LT(indexed, scan);
+}
+
+TEST_F(SimulatorTest, ExplainDescribesPlan) {
+  const Query q = PointQuery();
+  const IndexId idx = AddIndex({custkey_});
+  const std::string plan = sim_->Explain(q, Configuration({idx}));
+  EXPECT_NE(plan.find("slot 0"), std::string::npos);
+  EXPECT_NE(plan.find("o_custkey"), std::string::npos);
+}
+
+TEST_F(SimulatorTest, CostCountsAsWhatIfCall) {
+  const Query q = PointQuery();
+  const int64_t before = sim_->num_whatif_calls();
+  sim_->Cost(q, Configuration::Empty());
+  EXPECT_EQ(sim_->num_whatif_calls(), before + 1);
+}
+
+/// Property sweep: what-if costs are finite and positive across both
+/// workloads, profiles, and skews.
+class SimulatorPropertyTest
+    : public ::testing::TestWithParam<std::tuple<double, bool, bool>> {};
+
+TEST_P(SimulatorPropertyTest, CostsFiniteAndPositive) {
+  const auto [z, heterogeneous, system_b] = GetParam();
+  Catalog cat = MakeTpchCatalog(0.1, z);
+  IndexPool pool;
+  SystemSimulator sim(&cat, &pool,
+                      system_b ? CostModel::SystemB() : CostModel::SystemA());
+  WorkloadOptions o;
+  o.num_statements = 12;
+  o.seed = 17;
+  o.update_fraction = 0.2;
+  Workload w = heterogeneous ? MakeHeterogeneousWorkload(cat, o)
+                             : MakeHomogeneousWorkload(cat, o);
+  for (const Query& q : w.statements()) {
+    const double c = sim.Cost(q, Configuration::Empty());
+    EXPECT_GT(c, 0) << q.ToString(cat);
+    EXPECT_TRUE(std::isfinite(c)) << q.ToString(cat);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SimulatorPropertyTest,
+    ::testing::Combine(::testing::Values(0.0, 1.0, 2.0), ::testing::Bool(),
+                       ::testing::Bool()));
+
+}  // namespace
+}  // namespace cophy

@@ -1,0 +1,137 @@
+// Unit tests for query/: the AST and the Workload container.
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+#include "query/query.h"
+
+namespace cophy {
+namespace {
+
+class QueryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    cat_ = MakeTpchCatalog(0.1, 0.0);
+    orders_ = cat_.FindTable("orders");
+    lineitem_ = cat_.FindTable("lineitem");
+    o_orderkey_ = cat_.FindColumn(orders_, "o_orderkey");
+    o_orderdate_ = cat_.FindColumn(orders_, "o_orderdate");
+    l_orderkey_ = cat_.FindColumn(lineitem_, "l_orderkey");
+    l_quantity_ = cat_.FindColumn(lineitem_, "l_quantity");
+  }
+
+  Query MakeJoinQuery() {
+    Query q;
+    q.tables = {orders_, lineitem_};
+    q.joins = {{o_orderkey_, l_orderkey_}};
+    Predicate p;
+    p.column = o_orderdate_;
+    p.op = Predicate::Op::kRange;
+    p.quantile = 0.1;
+    p.width = 0.2;
+    q.predicates = {p};
+    q.outputs = {{AggFunc::kSum, l_quantity_}};
+    q.group_by = {};
+    return q;
+  }
+
+  Catalog cat_;
+  TableId orders_ = kInvalidTable, lineitem_ = kInvalidTable;
+  ColumnId o_orderkey_ = kInvalidColumn, o_orderdate_ = kInvalidColumn,
+           l_orderkey_ = kInvalidColumn, l_quantity_ = kInvalidColumn;
+};
+
+TEST_F(QueryTest, ReferencesAndSlots) {
+  const Query q = MakeJoinQuery();
+  EXPECT_TRUE(q.References(orders_));
+  EXPECT_TRUE(q.References(lineitem_));
+  EXPECT_FALSE(q.References(cat_.FindTable("part")));
+  EXPECT_EQ(q.TableSlot(orders_), 0);
+  EXPECT_EQ(q.TableSlot(lineitem_), 1);
+  EXPECT_EQ(q.TableSlot(cat_.FindTable("part")), -1);
+}
+
+TEST_F(QueryTest, PredicatesOnFiltersByTable) {
+  const Query q = MakeJoinQuery();
+  EXPECT_EQ(q.PredicatesOn(orders_, cat_).size(), 1u);
+  EXPECT_TRUE(q.PredicatesOn(lineitem_, cat_).empty());
+}
+
+TEST_F(QueryTest, ColumnsUsedCollectsEverything) {
+  const Query q = MakeJoinQuery();
+  const auto o_cols = q.ColumnsUsed(orders_, cat_);
+  EXPECT_NE(std::find(o_cols.begin(), o_cols.end(), o_orderkey_), o_cols.end());
+  EXPECT_NE(std::find(o_cols.begin(), o_cols.end(), o_orderdate_),
+            o_cols.end());
+  const auto l_cols = q.ColumnsUsed(lineitem_, cat_);
+  EXPECT_NE(std::find(l_cols.begin(), l_cols.end(), l_orderkey_), l_cols.end());
+  EXPECT_NE(std::find(l_cols.begin(), l_cols.end(), l_quantity_), l_cols.end());
+}
+
+TEST_F(QueryTest, ColumnsUsedDeduplicates) {
+  Query q = MakeJoinQuery();
+  q.order_by = {o_orderdate_};  // already used by a predicate
+  const auto cols = q.ColumnsUsed(orders_, cat_);
+  EXPECT_EQ(std::count(cols.begin(), cols.end(), o_orderdate_), 1);
+}
+
+TEST_F(QueryTest, ToStringRendersSql) {
+  const Query q = MakeJoinQuery();
+  const std::string sql = q.ToString(cat_);
+  EXPECT_NE(sql.find("SELECT"), std::string::npos);
+  EXPECT_NE(sql.find("FROM orders, lineitem"), std::string::npos);
+  EXPECT_NE(sql.find("o_orderkey = l_orderkey"), std::string::npos);
+  EXPECT_NE(sql.find("SUM(l_quantity)"), std::string::npos);
+}
+
+TEST_F(QueryTest, UpdateToString) {
+  Query q;
+  q.kind = StatementKind::kUpdate;
+  q.update_table = orders_;
+  q.tables = {orders_};
+  Predicate p;
+  p.column = o_orderkey_;
+  p.op = Predicate::Op::kEq;
+  p.quantile = 0.5;
+  q.predicates = {p};
+  q.set_columns = {o_orderdate_};
+  const std::string sql = q.ToString(cat_);
+  EXPECT_NE(sql.find("UPDATE orders"), std::string::npos);
+  EXPECT_NE(sql.find("o_orderdate = :new"), std::string::npos);
+  EXPECT_TRUE(q.IsUpdate());
+  EXPECT_FALSE(q.IsSelect());
+}
+
+TEST_F(QueryTest, WorkloadAssignsIds) {
+  Workload w;
+  const QueryId a = w.Add(MakeJoinQuery());
+  const QueryId b = w.Add(MakeJoinQuery());
+  EXPECT_EQ(a, 0);
+  EXPECT_EQ(b, 1);
+  EXPECT_EQ(w.size(), 2);
+  EXPECT_EQ(w[a].id, 0);
+}
+
+TEST_F(QueryTest, WorkloadSelectAndUpdateIds) {
+  Workload w;
+  w.Add(MakeJoinQuery());
+  Query u;
+  u.kind = StatementKind::kUpdate;
+  u.update_table = orders_;
+  u.tables = {orders_};
+  u.set_columns = {o_orderdate_};
+  w.Add(u);
+  EXPECT_EQ(w.SelectIds(), std::vector<QueryId>{0});
+  EXPECT_EQ(w.UpdateIds(), std::vector<QueryId>{1});
+}
+
+TEST_F(QueryTest, WorkloadPrefix) {
+  Workload w;
+  for (int i = 0; i < 5; ++i) w.Add(MakeJoinQuery());
+  Workload p = w.Prefix(3);
+  EXPECT_EQ(p.size(), 3);
+  EXPECT_EQ(p[2].id, 2);  // ids re-assigned densely
+  EXPECT_EQ(w.Prefix(100).size(), 5);
+}
+
+}  // namespace
+}  // namespace cophy

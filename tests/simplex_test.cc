@@ -1,0 +1,156 @@
+// Unit tests for lp/: the Model container and the dense two-phase
+// simplex.
+#include <gtest/gtest.h>
+
+#include "lp/model.h"
+#include "lp/simplex.h"
+
+namespace cophy::lp {
+namespace {
+
+TEST(ModelTest, VariablesAndRows) {
+  Model m;
+  const VarId x = m.AddVariable(0, 10, 1.0, false, "x");
+  const VarId y = m.AddBinary(-2.0, "y");
+  EXPECT_EQ(m.num_variables(), 2);
+  EXPECT_FALSE(m.variable(x).is_integer);
+  EXPECT_TRUE(m.variable(y).is_integer);
+  m.AddRow({{{x, 1.0}, {y, 1.0}}, Sense::kLe, 5.0, "r"});
+  EXPECT_EQ(m.num_rows(), 1);
+}
+
+TEST(ModelTest, ObjectiveValueWithConstant) {
+  Model m;
+  m.AddVariable(0, 10, 2.0, false);
+  m.AddObjectiveConstant(7.0);
+  EXPECT_DOUBLE_EQ(m.ObjectiveValue({3.0}), 13.0);
+}
+
+TEST(ModelTest, FeasibilityChecks) {
+  Model m;
+  const VarId x = m.AddBinary(1.0);
+  m.AddRow({{{x, 1.0}}, Sense::kGe, 1.0, ""});
+  EXPECT_TRUE(m.IsFeasible({1.0}));
+  EXPECT_FALSE(m.IsFeasible({0.0}));   // row violated
+  EXPECT_FALSE(m.IsFeasible({0.5}));   // integrality violated
+  EXPECT_FALSE(m.IsFeasible({2.0}));   // bound violated
+}
+
+// --- Simplex -----------------------------------------------------------
+
+TEST(SimplexTest, SimpleTwoVariableLp) {
+  // min -x - 2y  s.t. x + y <= 4, x <= 3, y <= 2  (opt at x=2, y=2: -6)
+  Model m;
+  const VarId x = m.AddVariable(0, 3, -1.0, false, "x");
+  const VarId y = m.AddVariable(0, 2, -2.0, false, "y");
+  m.AddRow({{{x, 1.0}, {y, 1.0}}, Sense::kLe, 4.0, ""});
+  const LpSolution s = SolveLp(m);
+  ASSERT_TRUE(s.status.ok());
+  EXPECT_NEAR(s.objective, -6.0, 1e-7);
+  EXPECT_NEAR(s.x[x], 2.0, 1e-7);
+  EXPECT_NEAR(s.x[y], 2.0, 1e-7);
+}
+
+TEST(SimplexTest, EqualityConstraint) {
+  // min x + y  s.t. x + y = 3, x,y in [0, 5]  (objective 3 everywhere)
+  Model m;
+  const VarId x = m.AddVariable(0, 5, 1.0, false);
+  const VarId y = m.AddVariable(0, 5, 1.0, false);
+  m.AddRow({{{x, 1.0}, {y, 1.0}}, Sense::kEq, 3.0, ""});
+  const LpSolution s = SolveLp(m);
+  ASSERT_TRUE(s.status.ok());
+  EXPECT_NEAR(s.objective, 3.0, 1e-7);
+  EXPECT_NEAR(s.x[x] + s.x[y], 3.0, 1e-7);
+}
+
+TEST(SimplexTest, GreaterEqualConstraint) {
+  // min 2x + 3y  s.t. x + y >= 4, x <= 2  → x=2, y=2, obj=10
+  Model m;
+  const VarId x = m.AddVariable(0, 2, 2.0, false);
+  const VarId y = m.AddVariable(0, 100, 3.0, false);
+  m.AddRow({{{x, 1.0}, {y, 1.0}}, Sense::kGe, 4.0, ""});
+  const LpSolution s = SolveLp(m);
+  ASSERT_TRUE(s.status.ok());
+  EXPECT_NEAR(s.objective, 10.0, 1e-6);
+}
+
+TEST(SimplexTest, InfeasibleDetected) {
+  Model m;
+  const VarId x = m.AddVariable(0, 1, 1.0, false);
+  m.AddRow({{{x, 1.0}}, Sense::kGe, 2.0, ""});
+  const LpSolution s = SolveLp(m);
+  EXPECT_EQ(s.status.code(), StatusCode::kInfeasible);
+}
+
+TEST(SimplexTest, UnboundedDetected) {
+  Model m;
+  const VarId x = m.AddVariable(0, std::numeric_limits<double>::infinity(),
+                                -1.0, false);
+  (void)x;
+  const LpSolution s = SolveLp(m);
+  EXPECT_EQ(s.status.code(), StatusCode::kUnbounded);
+}
+
+TEST(SimplexTest, NegativeRhsNormalization) {
+  // min x  s.t. -x <= -2  (i.e. x >= 2)
+  Model m;
+  const VarId x = m.AddVariable(0, 10, 1.0, false);
+  m.AddRow({{{x, -1.0}}, Sense::kLe, -2.0, ""});
+  const LpSolution s = SolveLp(m);
+  ASSERT_TRUE(s.status.ok());
+  EXPECT_NEAR(s.x[x], 2.0, 1e-7);
+}
+
+TEST(SimplexTest, BoundOverrides) {
+  Model m;
+  const VarId x = m.AddVariable(0, 10, -1.0, false);
+  std::vector<double> lo{0.0}, hi{4.0};
+  const LpSolution s = SolveLp(m, &lo, &hi);
+  ASSERT_TRUE(s.status.ok());
+  EXPECT_NEAR(s.x[x], 4.0, 1e-7);
+  std::vector<double> lo2{5.0}, hi2{4.0};
+  EXPECT_EQ(SolveLp(m, &lo2, &hi2).status.code(), StatusCode::kInfeasible);
+}
+
+TEST(SimplexTest, NonZeroLowerBounds) {
+  // min x + y s.t. x + y >= 5, x in [1,10], y in [2,10] → obj 5.
+  Model m;
+  const VarId x = m.AddVariable(1, 10, 1.0, false);
+  const VarId y = m.AddVariable(2, 10, 1.0, false);
+  m.AddRow({{{x, 1.0}, {y, 1.0}}, Sense::kGe, 5.0, ""});
+  const LpSolution s = SolveLp(m);
+  ASSERT_TRUE(s.status.ok());
+  EXPECT_NEAR(s.objective, 5.0, 1e-7);
+  EXPECT_GE(s.x[x], 1.0 - 1e-9);
+  EXPECT_GE(s.x[y], 2.0 - 1e-9);
+}
+
+TEST(SimplexTest, DegenerateProblemTerminates) {
+  // Multiple redundant constraints through the same vertex.
+  Model m;
+  const VarId x = m.AddVariable(0, 10, -1.0, false);
+  const VarId y = m.AddVariable(0, 10, -1.0, false);
+  m.AddRow({{{x, 1.0}, {y, 1.0}}, Sense::kLe, 4.0, ""});
+  m.AddRow({{{x, 2.0}, {y, 2.0}}, Sense::kLe, 8.0, ""});
+  m.AddRow({{{x, 1.0}}, Sense::kLe, 4.0, ""});
+  m.AddRow({{{y, 1.0}}, Sense::kLe, 4.0, ""});
+  const LpSolution s = SolveLp(m);
+  ASSERT_TRUE(s.status.ok());
+  EXPECT_NEAR(s.objective, -4.0, 1e-6);
+}
+
+TEST(SimplexTest, FractionalLpRelaxationOfKnapsack) {
+  // max 10a + 6b + 4c s.t. a+b+c <= 2 (binaries relaxed) → a=b=1... with
+  // upper bounds 1: relaxation picks a=1, b=1, obj=-16.
+  Model m;
+  const VarId a = m.AddBinary(-10);
+  const VarId b = m.AddBinary(-6);
+  const VarId c = m.AddBinary(-4);
+  m.AddRow({{{a, 1.0}, {b, 1.0}, {c, 1.0}}, Sense::kLe, 2.0, ""});
+  const LpSolution s = SolveLp(m);
+  ASSERT_TRUE(s.status.ok());
+  EXPECT_NEAR(s.objective, -16.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace cophy::lp

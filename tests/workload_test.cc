@@ -1,0 +1,192 @@
+// Unit tests for workload/: the homogeneous and heterogeneous
+// generators and their invariants.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "catalog/catalog.h"
+#include "workload/generator.h"
+
+namespace cophy {
+namespace {
+
+class WorkloadGenTest : public ::testing::Test {
+ protected:
+  Catalog cat_ = MakeTpchCatalog(0.1, 0.0);
+};
+
+/// Structural invariants every generated statement must satisfy.
+void CheckStatement(const Query& q, const Catalog& cat) {
+  ASSERT_FALSE(q.tables.empty());
+  // Each table referenced at most once (the paper's §2 simplification).
+  std::set<TableId> seen(q.tables.begin(), q.tables.end());
+  EXPECT_EQ(seen.size(), q.tables.size());
+  // Joins and predicates reference only tables in the FROM list.
+  for (const JoinPredicate& j : q.joins) {
+    EXPECT_TRUE(q.References(cat.column(j.left).table));
+    EXPECT_TRUE(q.References(cat.column(j.right).table));
+    EXPECT_NE(cat.column(j.left).table, cat.column(j.right).table);
+  }
+  for (const Predicate& p : q.predicates) {
+    EXPECT_TRUE(q.References(cat.column(p.column).table));
+    if (p.op == Predicate::Op::kRange) {
+      EXPECT_GT(p.width, 0.0);
+    }
+  }
+  if (q.IsUpdate()) {
+    EXPECT_NE(q.update_table, kInvalidTable);
+    EXPECT_FALSE(q.set_columns.empty());
+    for (ColumnId c : q.set_columns) {
+      EXPECT_EQ(cat.column(c).table, q.update_table);
+    }
+  } else {
+    EXPECT_FALSE(q.outputs.empty());
+  }
+  EXPECT_GT(q.weight, 0.0);
+}
+
+TEST_F(WorkloadGenTest, HomogeneousDeterministic) {
+  WorkloadOptions o;
+  o.num_statements = 50;
+  o.seed = 99;
+  Workload a = MakeHomogeneousWorkload(cat_, o);
+  Workload b = MakeHomogeneousWorkload(cat_, o);
+  ASSERT_EQ(a.size(), b.size());
+  for (int i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].ToString(cat_), b[i].ToString(cat_));
+  }
+}
+
+TEST_F(WorkloadGenTest, HomogeneousInvariants) {
+  WorkloadOptions o;
+  o.num_statements = 120;
+  o.seed = 1;
+  Workload w = MakeHomogeneousWorkload(cat_, o);
+  ASSERT_EQ(w.size(), 120);
+  for (const Query& q : w.statements()) CheckStatement(q, cat_);
+}
+
+TEST_F(WorkloadGenTest, AllFifteenTemplatesGenerate) {
+  for (int t = 0; t < NumHomogeneousTemplates(); ++t) {
+    const Query q = MakeHomogeneousStatement(cat_, t, 5);
+    CheckStatement(q, cat_);
+  }
+  EXPECT_EQ(NumHomogeneousTemplates(), 15);
+}
+
+TEST_F(WorkloadGenTest, HomogeneousHasFewDistinctShapes) {
+  WorkloadOptions o;
+  o.num_statements = 200;
+  o.seed = 3;
+  Workload w = MakeHomogeneousWorkload(cat_, o);
+  std::set<std::string> shapes;
+  for (const Query& q : w.statements()) {
+    std::string shape;
+    for (TableId t : q.tables) shape += cat_.table(t).name + ",";
+    shape += "|g";
+    for (ColumnId c : q.group_by) shape += cat_.column(c).name;
+    shapes.insert(shape);
+  }
+  EXPECT_LE(shapes.size(), 15u);
+  EXPECT_GE(shapes.size(), 10u);  // most templates hit at 200 statements
+}
+
+TEST_F(WorkloadGenTest, HeterogeneousHasManyDistinctShapes) {
+  WorkloadOptions o;
+  o.num_statements = 200;
+  o.seed = 3;
+  Workload w = MakeHeterogeneousWorkload(cat_, o);
+  std::set<std::string> shapes;
+  for (const Query& q : w.statements()) {
+    std::string shape;
+    for (TableId t : q.tables) shape += cat_.table(t).name + ",";
+    for (const Predicate& p : q.predicates) shape += cat_.column(p.column).name;
+    shapes.insert(shape);
+  }
+  // The het workload is the compression-hostile one: shape diversity
+  // must be far higher than the 15 homogeneous templates.
+  EXPECT_GE(shapes.size(), 100u);
+}
+
+TEST_F(WorkloadGenTest, HeterogeneousInvariants) {
+  WorkloadOptions o;
+  o.num_statements = 150;
+  o.seed = 21;
+  Workload w = MakeHeterogeneousWorkload(cat_, o);
+  for (const Query& q : w.statements()) CheckStatement(q, cat_);
+}
+
+TEST_F(WorkloadGenTest, HeterogeneousJoinsAreConnected) {
+  WorkloadOptions o;
+  o.num_statements = 100;
+  o.seed = 8;
+  Workload w = MakeHeterogeneousWorkload(cat_, o);
+  for (const Query& q : w.statements()) {
+    if (q.tables.size() < 2) continue;
+    // Union-find over tables through join edges: all in one component.
+    std::vector<int> parent(q.tables.size());
+    for (size_t i = 0; i < parent.size(); ++i) parent[i] = static_cast<int>(i);
+    std::function<int(int)> find = [&](int x) {
+      return parent[x] == x ? x : parent[x] = find(parent[x]);
+    };
+    for (const JoinPredicate& j : q.joins) {
+      const int a = q.TableSlot(cat_.column(j.left).table);
+      const int b = q.TableSlot(cat_.column(j.right).table);
+      parent[find(a)] = find(b);
+    }
+    std::set<int> roots;
+    for (size_t i = 0; i < parent.size(); ++i) roots.insert(find(static_cast<int>(i)));
+    EXPECT_EQ(roots.size(), 1u) << q.ToString(cat_);
+  }
+}
+
+TEST_F(WorkloadGenTest, UpdateFractionRespected) {
+  WorkloadOptions o;
+  o.num_statements = 400;
+  o.seed = 5;
+  o.update_fraction = 0.25;
+  Workload w = MakeHomogeneousWorkload(cat_, o);
+  const int updates = static_cast<int>(w.UpdateIds().size());
+  EXPECT_NEAR(static_cast<double>(updates) / w.size(), 0.25, 0.07);
+  for (QueryId uid : w.UpdateIds()) CheckStatement(w[uid], cat_);
+}
+
+TEST_F(WorkloadGenTest, ZeroUpdateFractionMeansReadOnly) {
+  WorkloadOptions o;
+  o.num_statements = 100;
+  o.seed = 5;
+  Workload w = MakeHomogeneousWorkload(cat_, o);
+  EXPECT_TRUE(w.UpdateIds().empty());
+}
+
+TEST_F(WorkloadGenTest, RandomizedWeights) {
+  WorkloadOptions o;
+  o.num_statements = 100;
+  o.seed = 5;
+  o.randomize_weights = true;
+  Workload w = MakeHomogeneousWorkload(cat_, o);
+  std::set<double> weights;
+  for (const Query& q : w.statements()) weights.insert(q.weight);
+  EXPECT_GE(weights.size(), 2u);
+  for (double f : weights) {
+    EXPECT_GE(f, 1.0);
+    EXPECT_LE(f, 3.0);
+  }
+}
+
+TEST_F(WorkloadGenTest, DifferentSeedsDiffer) {
+  WorkloadOptions a, b;
+  a.num_statements = b.num_statements = 30;
+  a.seed = 1;
+  b.seed = 2;
+  Workload wa = MakeHomogeneousWorkload(cat_, a);
+  Workload wb = MakeHomogeneousWorkload(cat_, b);
+  int same = 0;
+  for (int i = 0; i < 30; ++i) {
+    if (wa[i].ToString(cat_) == wb[i].ToString(cat_)) ++same;
+  }
+  EXPECT_LT(same, 10);
+}
+
+}  // namespace
+}  // namespace cophy
