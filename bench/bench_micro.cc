@@ -1,14 +1,19 @@
 // Micro-benchmarks (google-benchmark): the primitive costs behind the
 // system-level numbers — what-if optimization vs INUM lookup, BIP
-// construction rate, structured-solver node throughput, and Zipf
-// selectivity math.
+// construction rate, LP solves (sparse revised simplex vs the seed
+// dense tableau, with pivot counts), warm- vs cold-started
+// branch-and-bound node LPs, structured-solver node throughput, and
+// Zipf selectivity math.
 #include <benchmark/benchmark.h>
 
 #include "catalog/catalog.h"
 #include "core/bipgen.h"
 #include "index/candidates.h"
 #include "inum/inum.h"
+#include "lp/branch_and_bound.h"
 #include "lp/choice_problem.h"
+#include "lp/dense_simplex.h"
+#include "lp/simplex.h"
 #include "workload/generator.h"
 
 namespace cophy {
@@ -92,6 +97,127 @@ void BM_SolverNodeBound(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SolverNodeBound);
+
+// --- LP layer: sparse revised simplex vs the seed dense tableau --------
+//
+// The acceptance instance for the solver rewrite: the literal Theorem-1
+// BIP of a small workload, >= 200 binary variables. The revised solver
+// reports its pivot counts as benchmark counters; the dense tableau is
+// the "before" side of the comparison.
+struct BipLpEnv {
+  Catalog cat = MakeTpchCatalog(1.0, 0.0);
+  IndexPool pool;
+  SystemSimulator sim{&cat, &pool, CostModel::SystemA()};
+  Workload w;
+  std::vector<IndexId> cands;
+  Inum inum{&sim};
+  lp::Model model;
+  lp::Model tight_model;  // binding storage budget: the B&B branches
+
+  BipLpEnv() {
+    WorkloadOptions o;
+    o.num_statements = 2;
+    o.seed = 7;
+    w = MakeHomogeneousWorkload(cat, o);
+    CandidateOptions copts;
+    copts.max_key_columns = 1;
+    cands = GenerateCandidates(w, cat, copts, pool);
+    if (cands.size() > 8) cands.resize(8);
+    inum.Prepare(w, cands);
+    ConstraintSet cs;
+    cs.SetStorageBudget(0.25 * cat.TotalDataBytes());
+    model = BuildModel(inum, cands, cs);
+    double total = 0;
+    for (IndexId id : cands) total += IndexSizeBytes(pool[id], cat);
+    ConstraintSet tight;
+    tight.SetStorageBudget(0.3 * total);
+    tight_model = BuildModel(inum, cands, tight);
+  }
+};
+
+BipLpEnv& GetLpEnv() {
+  static BipLpEnv env;
+  return env;
+}
+
+void ReportLpCounters(benchmark::State& state, const lp::SolverCounters& c) {
+  const double solves = std::max<int64_t>(1, c.lp_solves);
+  state.counters["lp_solves"] =
+      benchmark::Counter(static_cast<double>(c.lp_solves));
+  state.counters["phase1_pivots_per_solve"] =
+      benchmark::Counter(static_cast<double>(c.phase1_pivots) / solves);
+  state.counters["phase2_pivots_per_solve"] =
+      benchmark::Counter(static_cast<double>(c.phase2_pivots) / solves);
+  state.counters["warm_starts"] =
+      benchmark::Counter(static_cast<double>(c.warm_starts));
+}
+
+void BM_LpSolveRevisedSimplex(benchmark::State& state) {
+  BipLpEnv& e = GetLpEnv();
+  const lp::SolverCounters before = lp::GlobalSolverCounters();
+  for (auto _ : state) {
+    const lp::LpSolution s = lp::SolveLp(e.model);
+    if (!s.status.ok()) state.SkipWithError("LP solve failed");
+    benchmark::DoNotOptimize(s.objective);
+  }
+  ReportLpCounters(state, lp::SolverCountersSince(before));
+  state.counters["binary_vars"] =
+      benchmark::Counter(static_cast<double>(e.model.num_variables()));
+}
+BENCHMARK(BM_LpSolveRevisedSimplex)->Unit(benchmark::kMillisecond);
+
+void BM_LpSolveDenseTableau(benchmark::State& state) {
+  BipLpEnv& e = GetLpEnv();
+  for (auto _ : state) {
+    const lp::LpSolution s = lp::SolveLpDense(e.model);
+    if (!s.status.ok()) state.SkipWithError("LP solve failed");
+    benchmark::DoNotOptimize(s.objective);
+  }
+  state.counters["binary_vars"] =
+      benchmark::Counter(static_cast<double>(e.model.num_variables()));
+}
+BENCHMARK(BM_LpSolveDenseTableau)->Unit(benchmark::kMillisecond);
+
+// Warm- vs cold-started node LPs on a branching B&B tree (binding
+// storage budget). The phase1_pivots_per_solve counter is the headline:
+// warm-started children restore feasibility in a couple of pivots
+// instead of re-deriving a basis from scratch.
+void BM_MipNodesWarmStarted(benchmark::State& state) {
+  BipLpEnv& e = GetLpEnv();
+  const lp::SolverCounters before = lp::GlobalSolverCounters();
+  int64_t nodes = 0;
+  for (auto _ : state) {
+    lp::MipOptions mo;
+    mo.gap_target = 0.0;
+    mo.node_limit = 200;
+    const lp::MipSolution s = lp::SolveMip(e.tight_model, mo);
+    if (!s.status.ok()) state.SkipWithError("MIP solve failed");
+    nodes += s.nodes;
+    benchmark::DoNotOptimize(s.objective);
+  }
+  ReportLpCounters(state, lp::SolverCountersSince(before));
+  state.counters["nodes"] = benchmark::Counter(static_cast<double>(nodes));
+}
+BENCHMARK(BM_MipNodesWarmStarted)->Unit(benchmark::kMillisecond);
+
+void BM_MipNodesColdStarted(benchmark::State& state) {
+  BipLpEnv& e = GetLpEnv();
+  const lp::SolverCounters before = lp::GlobalSolverCounters();
+  int64_t nodes = 0;
+  for (auto _ : state) {
+    lp::MipOptions mo;
+    mo.gap_target = 0.0;
+    mo.node_limit = 200;
+    mo.warm_start_nodes = false;
+    const lp::MipSolution s = lp::SolveMip(e.tight_model, mo);
+    if (!s.status.ok()) state.SkipWithError("MIP solve failed");
+    nodes += s.nodes;
+    benchmark::DoNotOptimize(s.objective);
+  }
+  ReportLpCounters(state, lp::SolverCountersSince(before));
+  state.counters["nodes"] = benchmark::Counter(static_cast<double>(nodes));
+}
+BENCHMARK(BM_MipNodesColdStarted)->Unit(benchmark::kMillisecond);
 
 void BM_ZipfSelectivity(benchmark::State& state) {
   Catalog cat = MakeTpchCatalog(1.0, 2.0);

@@ -10,6 +10,7 @@
 
 #include "constraints/constraints.h"
 #include "core/cophy.h"
+#include "lp/simplex.h"
 #include "optimizer/whatif.h"
 
 namespace cophy {
@@ -22,6 +23,11 @@ struct AdvisorResult {
   int candidates_considered = 0;
   int64_t whatif_calls = 0;  ///< optimizer invocations during the run
   bool timed_out = false;    ///< advisor hit its wall-clock budget
+  int64_t solver_nodes = 0;  ///< branch-and-bound nodes explored
+  int64_t solver_bound_evaluations = 0;  ///< structured-solver bound calls
+  /// LP pivot/pricing work performed during the run (delta of
+  /// lp::GlobalSolverCounters; zero for advisors that never solve LPs).
+  lp::SolverCounters lp_work;
   double TotalSeconds() const { return timings.Total(); }
 };
 

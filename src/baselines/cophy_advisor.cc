@@ -5,6 +5,7 @@ namespace cophy {
 AdvisorResult CoPhyAdvisor::Recommend(const ConstraintSet& constraints) {
   AdvisorResult result;
   const int64_t calls_before = sim_->num_whatif_calls();
+  const lp::SolverCounters lp_before = lp::GlobalSolverCounters();
   session_ = std::make_unique<CoPhy>(sim_, pool_, workload_, options_);
   result.status = session_->Prepare();
   if (!result.status.ok()) return result;
@@ -14,6 +15,9 @@ AdvisorResult CoPhyAdvisor::Recommend(const ConstraintSet& constraints) {
   result.timings = rec.timings;
   result.candidates_considered = rec.num_candidates;
   result.whatif_calls = sim_->num_whatif_calls() - calls_before;
+  result.solver_nodes = rec.nodes;
+  result.solver_bound_evaluations = rec.bound_evaluations;
+  result.lp_work = lp::SolverCountersSince(lp_before);
   return result;
 }
 

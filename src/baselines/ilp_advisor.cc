@@ -21,6 +21,7 @@ IlpAdvisor::IlpAdvisor(SystemSimulator* sim, IndexPool* pool, Workload workload,
 AdvisorResult IlpAdvisor::Recommend(const ConstraintSet& constraints) {
   AdvisorResult result;
   const int64_t calls_before = sim_->num_whatif_calls();
+  const lp::SolverCounters lp_before = lp::GlobalSolverCounters();
   configs_enumerated_ = 0;
 
   // --- INUM preprocessing (shared with CoPhy, as in §5.1) -------------
@@ -152,6 +153,9 @@ AdvisorResult IlpAdvisor::Recommend(const ConstraintSet& constraints) {
   const lp::ChoiceSolution sol = solver.Solve(so);
   result.timings.solve_seconds = solve_watch.Elapsed();
   result.whatif_calls = sim_->num_whatif_calls() - calls_before;
+  result.solver_nodes = sol.nodes;
+  result.solver_bound_evaluations = sol.bound_evaluations;
+  result.lp_work = lp::SolverCountersSince(lp_before);
   result.status = sol.status;
   if (!sol.status.ok()) return result;
 

@@ -22,6 +22,7 @@ AdvisorResult RelaxationAdvisor::Recommend(const ConstraintSet& constraints) {
   AdvisorResult result;
   Stopwatch watch;
   const int64_t calls_before = sim_->num_whatif_calls();
+  const lp::SolverCounters lp_before = lp::GlobalSolverCounters();
   Rng rng(options_.seed);
 
   const double budget = constraints.storage_budget()
@@ -190,6 +191,7 @@ AdvisorResult RelaxationAdvisor::Recommend(const ConstraintSet& constraints) {
   result.configuration = std::move(x);
   result.timings.solve_seconds = watch.Elapsed();
   result.whatif_calls = sim_->num_whatif_calls() - calls_before;
+  result.lp_work = lp::SolverCountersSince(lp_before);
   result.status = Status::Ok();
   return result;
 }

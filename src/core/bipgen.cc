@@ -137,13 +137,15 @@ lp::Model BuildModel(const Inum& inum, const std::vector<IndexId>& candidates,
   }
 
   // Per statement: y_qk, x_qkia, assignment and linking rows, and the
-  // optional cost-cap row.
+  // optional cost-cap row. Two-term link rows are streamed straight
+  // into the model's CSR arrays; rows whose terms interleave with
+  // variable creation (pick-one, fill, cap) accumulate in reusable
+  // scratch vectors and are emitted sparse in one call.
+  std::vector<std::pair<lp::VarId, double>> pick_one, cap_terms, fill;
   for (const Query& q : w.statements()) {
     const QueryCache& qc = inum.cache(q.id);
-    lp::Row pick_one;
-    pick_one.sense = lp::Sense::kEq;
-    pick_one.rhs = 1.0;
-    pick_one.name = StrFormat("y[%d]", q.id);
+    pick_one.clear();
+    cap_terms.clear();
 
     double cap = lp::kInf;
     for (const QueryCostConstraint& qcc : constraints.query_cost_constraints()) {
@@ -153,24 +155,17 @@ lp::Model BuildModel(const Inum& inum, const std::vector<IndexId>& candidates,
                        qcc.factor * baseline_shell_cost[q.id] + qcc.absolute);
       }
     }
-    lp::Row cap_row;
-    cap_row.sense = lp::Sense::kLe;
-    cap_row.rhs = cap;
-    cap_row.name = StrFormat("cap[%d]", q.id);
 
     for (size_t k = 0; k < qc.templates.size(); ++k) {
       const QueryCache::Template& t = qc.templates[k];
       const lp::VarId yk = m.AddBinary(q.weight * t.beta,
                                        StrFormat("y[%d,%zu]", q.id, k));
-      pick_one.terms.push_back({yk, 1.0});
-      if (cap < lp::kInf) cap_row.terms.push_back({yk, t.beta});
+      pick_one.push_back({yk, 1.0});
+      if (cap < lp::kInf) cap_terms.push_back({yk, t.beta});
       for (size_t slot = 0; slot < t.order_idx.size(); ++slot) {
         const auto& list = qc.access[slot][t.order_idx[slot]];
-        lp::Row fill;  // Σ_a x_qkia = y_qk
-        fill.sense = lp::Sense::kEq;
-        fill.rhs = 0.0;
-        fill.terms.push_back({yk, -1.0});
-        fill.name = StrFormat("fill[%d,%zu,%zu]", q.id, k, slot);
+        fill.clear();  // Σ_a x_qkia = y_qk
+        fill.push_back({yk, -1.0});
         for (const SlotAccess& sa : list) {
           int dense_id = -1;
           if (sa.index != kInvalidIndex) {
@@ -181,45 +176,41 @@ lp::Model BuildModel(const Inum& inum, const std::vector<IndexId>& candidates,
           const lp::VarId x =
               m.AddBinary(q.weight * sa.gamma,
                           StrFormat("x[%d,%zu,%zu,%d]", q.id, k, slot, sa.index));
-          fill.terms.push_back({x, 1.0});
-          if (cap < lp::kInf) cap_row.terms.push_back({x, sa.gamma});
+          fill.push_back({x, 1.0});
+          if (cap < lp::kInf) cap_terms.push_back({x, sa.gamma});
           if (dense_id >= 0) {
-            lp::Row link;  // z_a >= x
-            link.sense = lp::Sense::kGe;
-            link.rhs = 0.0;
-            link.terms.push_back({z[dense_id], 1.0});
-            link.terms.push_back({x, -1.0});
-            m.AddRow(std::move(link));
+            m.BeginRow(lp::Sense::kGe, 0.0,
+                       StrFormat("link[%d,%d]", q.id, sa.index));  // z_a >= x
+            m.AddTerm(z[dense_id], 1.0);
+            m.AddTerm(x, -1.0);
+            m.EndRow();
           }
         }
-        m.AddRow(std::move(fill));
+        m.AddRow(fill, lp::Sense::kEq, 0.0,
+                 StrFormat("fill[%d,%zu,%zu]", q.id, k, slot));
       }
     }
-    m.AddRow(std::move(pick_one));
-    if (cap < lp::kInf) m.AddRow(std::move(cap_row));
+    m.AddRow(pick_one, lp::Sense::kEq, 1.0, StrFormat("y[%d]", q.id));
+    if (cap < lp::kInf) {
+      m.AddRow(cap_terms, lp::Sense::kLe, cap, StrFormat("cap[%d]", q.id));
+    }
   }
 
   // Storage budget and other index constraints.
   if (constraints.storage_budget()) {
-    lp::Row storage;
-    storage.sense = lp::Sense::kLe;
-    storage.rhs = *constraints.storage_budget();
-    storage.name = "storage";
+    m.BeginRow(lp::Sense::kLe, *constraints.storage_budget(), "storage");
     for (size_t i = 0; i < candidates.size(); ++i) {
-      storage.terms.push_back({z[i], IndexSizeBytes(pool[candidates[i]], cat)});
+      m.AddTerm(z[i], IndexSizeBytes(pool[candidates[i]], cat));
     }
-    m.AddRow(std::move(storage));
+    m.EndRow();
   }
   for (const lp::ZRow& zr :
        TranslateIndexConstraints(constraints, candidates, pool, cat)) {
-    lp::Row row;
-    row.sense = zr.sense;
-    row.rhs = zr.rhs;
-    row.name = zr.name;
+    m.BeginRow(zr.sense, zr.rhs, zr.name);
     for (const auto& [dense_id, coef] : zr.terms) {
-      row.terms.push_back({z[dense_id], coef});
+      m.AddTerm(z[dense_id], coef);
     }
-    m.AddRow(std::move(row));
+    m.EndRow();
   }
   return m;
 }

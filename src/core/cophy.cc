@@ -146,6 +146,7 @@ Recommendation CoPhy::TuneInternal(const ConstraintSet& constraints,
   rec.lower_bound = sol.lower_bound;
   rec.gap = sol.gap;
   rec.nodes = sol.nodes;
+  rec.bound_evaluations = sol.bound_evaluations;
   return rec;
 }
 

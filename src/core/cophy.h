@@ -49,6 +49,7 @@ struct Recommendation {
   double lower_bound = 0;
   double gap = 0;                  ///< proven optimality gap at return
   int64_t nodes = 0;
+  int64_t bound_evaluations = 0;   ///< solver bound computations (work proxy)
   TuningTimings timings;
   BipStats bip;
   int num_candidates = 0;

@@ -69,6 +69,45 @@ TuningReport AnalyzeRecommendation(const Inum& inum,
   return report;
 }
 
+SolverActivity CaptureSolverActivity() {
+  SolverActivity activity;
+  activity.lp = lp::GlobalSolverCounters();
+  return activity;
+}
+
+SolverActivity SolverActivitySince(const SolverActivity& snapshot) {
+  SolverActivity activity;
+  activity.lp = lp::SolverCountersSince(snapshot.lp);
+  // mip_nodes / bound_evaluations are per-run values the caller fills
+  // in from its MipSolution / ChoiceSolution; they are not global.
+  return activity;
+}
+
+std::string RenderSolverActivity(const SolverActivity& activity) {
+  const lp::SolverCounters& c = activity.lp;
+  std::string out;
+  const double per_solve =
+      c.lp_solves > 0 ? static_cast<double>(c.phase1_pivots + c.phase2_pivots) /
+                            static_cast<double>(c.lp_solves)
+                      : 0.0;
+  out += StrFormat(
+      "LP solves %lld (warm %lld / cold %lld), pivots %lld "
+      "(phase-1 %lld, phase-2 %lld, flips %lld), %.1f pivots/solve\n",
+      static_cast<long long>(c.lp_solves),
+      static_cast<long long>(c.warm_starts),
+      static_cast<long long>(c.cold_starts),
+      static_cast<long long>(c.phase1_pivots + c.phase2_pivots),
+      static_cast<long long>(c.phase1_pivots),
+      static_cast<long long>(c.phase2_pivots),
+      static_cast<long long>(c.bound_flips), per_solve);
+  if (activity.mip_nodes > 0 || activity.bound_evaluations > 0) {
+    out += StrFormat("B&B nodes %lld, bound evaluations %lld\n",
+                     static_cast<long long>(activity.mip_nodes),
+                     static_cast<long long>(activity.bound_evaluations));
+  }
+  return out;
+}
+
 std::string RenderTuningReport(const TuningReport& report, const Inum& inum,
                                int top_k) {
   const Catalog& cat = inum.simulator().catalog();

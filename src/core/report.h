@@ -5,10 +5,12 @@
 #ifndef COPHY_CORE_REPORT_H_
 #define COPHY_CORE_REPORT_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "core/cophy.h"
+#include "lp/simplex.h"
 
 namespace cophy {
 
@@ -51,6 +53,26 @@ TuningReport AnalyzeRecommendation(const Inum& inum,
 /// number of statements/indexes listed (≤ 0 = all).
 std::string RenderTuningReport(const TuningReport& report, const Inum& inum,
                                int top_k = 10);
+
+/// Solver work accounting: what the LP layer actually did — pivots and
+/// warm-start hits, not just wall time. Benchmarks snapshot the global
+/// counters around a run and report the delta next to the timings.
+struct SolverActivity {
+  lp::SolverCounters lp;            ///< revised-simplex pivot/pricing work
+  int64_t mip_nodes = 0;            ///< optional: branch-and-bound nodes
+  int64_t bound_evaluations = 0;    ///< optional: structured-solver bounds
+};
+
+/// Snapshot of the process-wide LP counters (pair with
+/// SolverActivitySince to attribute work to a run).
+SolverActivity CaptureSolverActivity();
+/// Delta of the global LP counters against an earlier snapshot.
+SolverActivity SolverActivitySince(const SolverActivity& snapshot);
+
+/// Renders the activity as a short fixed-width block, e.g. for the
+/// benchmark tables: pivots split by phase, bound flips, warm/cold
+/// starts, and pivots-per-solve.
+std::string RenderSolverActivity(const SolverActivity& activity);
 
 }  // namespace cophy
 

@@ -11,6 +11,9 @@ Inum::Inum(SystemSimulator* sim) : sim_(sim) { COPHY_CHECK(sim != nullptr); }
 void Inum::BuildGammaFor(QueryCache& qc, const Query& q,
                          const std::vector<IndexId>& candidates, bool append) {
   const IndexPool& pool = sim_->pool();
+  const auto by_gamma = [](const SlotAccess& a, const SlotAccess& b) {
+    return a.gamma < b.gamma;
+  };
   for (size_t slot = 0; slot < qc.slot_orders.size(); ++slot) {
     const TableId t = q.tables[slot];
     for (size_t oi = 0; oi < qc.slot_orders[slot].size(); ++oi) {
@@ -30,6 +33,7 @@ void Inum::BuildGammaFor(QueryCache& qc, const Query& q,
           if (sa.index == kInvalidIndex) base_gamma = sa.gamma;
         }
       }
+      const size_t old_size = list.size();
       for (IndexId id : candidates) {
         if (pool[id].table != t) continue;
         const double g =
@@ -41,10 +45,16 @@ void Inum::BuildGammaFor(QueryCache& qc, const Query& q,
         if (g >= base_gamma) continue;
         list.push_back({id, g});
       }
-      std::sort(list.begin(), list.end(),
-                [](const SlotAccess& a, const SlotAccess& b) {
-                  return a.gamma < b.gamma;
-                });
+      if (list.size() == old_size) continue;  // nothing appended
+      if (append && old_size > 0) {
+        // The existing prefix is already sorted: sort only the new
+        // entries and merge in place instead of re-sorting everything.
+        std::sort(list.begin() + old_size, list.end(), by_gamma);
+        std::inplace_merge(list.begin(), list.begin() + old_size, list.end(),
+                           by_gamma);
+      } else {
+        std::sort(list.begin(), list.end(), by_gamma);
+      }
     }
   }
 }
@@ -93,18 +103,22 @@ void Inum::AddCandidates(const std::vector<IndexId>& new_candidates) {
                      new_candidates.end());
 }
 
-double Inum::ShellCost(QueryId qid, const Configuration& x) const {
-  const QueryCache& qc = caches_[qid];
+double Inum::BestTemplate(const QueryCache& qc, const Configuration& x,
+                          std::vector<IndexId>* chosen) const {
   double best = kInfiniteCost;
+  std::vector<IndexId> used;  // reused across templates when recording
   for (const QueryCache::Template& t : qc.templates) {
     double c = t.beta;
+    if (chosen != nullptr) used.clear();
     bool ok = true;
     for (size_t slot = 0; slot < t.order_idx.size(); ++slot) {
       const auto& list = qc.access[slot][t.order_idx[slot]];
       double g = kInfiniteCost;
+      IndexId pick = kInvalidIndex;
       for (const SlotAccess& sa : list) {  // sorted ascending by γ
         if (sa.index == kInvalidIndex || x.Contains(sa.index)) {
           g = sa.gamma;
+          pick = sa.index;
           break;
         }
       }
@@ -112,11 +126,19 @@ double Inum::ShellCost(QueryId qid, const Configuration& x) const {
         ok = false;
         break;
       }
+      if (chosen != nullptr && pick != kInvalidIndex) used.push_back(pick);
       c += g;
     }
-    if (ok) best = std::min(best, c);
+    if (ok && c < best) {
+      best = c;
+      if (chosen != nullptr) *chosen = used;
+    }
   }
   return best;
+}
+
+double Inum::ShellCost(QueryId qid, const Configuration& x) const {
+  return BestTemplate(caches_[qid], x, nullptr);
 }
 
 double Inum::Cost(QueryId qid, const Configuration& x) const {
@@ -135,36 +157,8 @@ double Inum::UpdateCost(IndexId a, QueryId qid) const {
 
 std::vector<IndexId> Inum::ChosenIndexes(QueryId qid,
                                          const Configuration& x) const {
-  const QueryCache& qc = caches_[qid];
-  double best = kInfiniteCost;
   std::vector<IndexId> chosen;
-  for (const QueryCache::Template& t : qc.templates) {
-    double c = t.beta;
-    std::vector<IndexId> used;
-    bool ok = true;
-    for (size_t slot = 0; slot < t.order_idx.size(); ++slot) {
-      const auto& list = qc.access[slot][t.order_idx[slot]];
-      double g = kInfiniteCost;
-      IndexId pick = kInvalidIndex;
-      for (const SlotAccess& sa : list) {
-        if (sa.index == kInvalidIndex || x.Contains(sa.index)) {
-          g = sa.gamma;
-          pick = sa.index;
-          break;
-        }
-      }
-      if (g == kInfiniteCost) {
-        ok = false;
-        break;
-      }
-      if (pick != kInvalidIndex) used.push_back(pick);
-      c += g;
-    }
-    if (ok && c < best) {
-      best = c;
-      chosen = std::move(used);
-    }
-  }
+  BestTemplate(caches_[qid], x, &chosen);
   return chosen;
 }
 

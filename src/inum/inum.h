@@ -93,6 +93,11 @@ class Inum {
  private:
   void BuildGammaFor(QueryCache& qc, const Query& q,
                      const std::vector<IndexId>& candidates, bool append);
+  /// Single traversal behind ShellCost and ChosenIndexes: the cost of
+  /// the best template under `x`, optionally recording the winning
+  /// template's arg-min index picks into `chosen`.
+  double BestTemplate(const QueryCache& qc, const Configuration& x,
+                      std::vector<IndexId>* chosen) const;
 
   SystemSimulator* sim_;
   Workload workload_;

@@ -15,10 +15,13 @@ namespace {
 
 constexpr double kIntEps = 1e-6;
 
-/// A search node: variable-bound overrides along the path from the root.
+/// A search node: variable-bound overrides along the path from the
+/// root, plus the parent's optimal basis for warm-starting this node's
+/// relaxation (shared between both children).
 struct Node {
   double bound;  // LP relaxation value (lower bound for the subtree)
   std::vector<std::pair<VarId, std::pair<double, double>>> fixes;
+  std::shared_ptr<const LpBasis> parent_basis;
 };
 
 struct NodeOrder {
@@ -61,6 +64,14 @@ MipSolution SolveMip(const Model& model, const MipOptions& options) {
     base_hi[i] = model.variable(i).upper;
   }
 
+  auto account = [&result](const LpSolution& lp) {
+    result.lp.lp_solves += 1;
+    result.lp.phase1_pivots += lp.stats.phase1_pivots;
+    result.lp.phase2_pivots += lp.stats.phase2_pivots;
+    result.lp.bound_flips += lp.stats.bound_flips;
+    if (lp.stats.warm_started) result.lp.warm_started_nodes += 1;
+  };
+
   // Seed the incumbent from the warm start if it is feasible.
   bool has_incumbent = false;
   if (!options.warm_start.empty() &&
@@ -92,15 +103,19 @@ MipSolution SolveMip(const Model& model, const MipOptions& options) {
                       NodeOrder>
       open;
 
-  // Root relaxation.
+  // Root relaxation (always a cold solve).
   {
     const LpSolution root = SolveLp(model);
+    account(root);
     if (!root.status.ok()) {
       result.status = root.status;
       return result;
     }
     auto node = std::make_shared<Node>();
     node->bound = root.objective;
+    if (options.warm_start_nodes) {
+      node->parent_basis = std::make_shared<const LpBasis>(root.basis);
+    }
     open.push(std::move(node));
   }
 
@@ -134,7 +149,9 @@ MipSolution SolveMip(const Model& model, const MipOptions& options) {
       lo[v] = std::max(lo[v], b.first);
       hi[v] = std::min(hi[v], b.second);
     }
-    const LpSolution relax = SolveLp(model, &lo, &hi);
+    const LpSolution relax =
+        SolveLp(model, &lo, &hi, node->parent_basis.get());
+    account(relax);
     ++result.nodes;
     if (!relax.status.ok()) continue;  // infeasible subtree
     if (has_incumbent && relax.objective >= result.objective - 1e-9) continue;
@@ -158,16 +175,23 @@ MipSolution SolveMip(const Model& model, const MipOptions& options) {
       continue;
     }
 
-    // Branch on the fractional variable.
+    // Branch on the fractional variable; both children inherit this
+    // node's optimal basis as their warm start.
+    std::shared_ptr<const LpBasis> child_basis;
+    if (options.warm_start_nodes) {
+      child_basis = std::make_shared<const LpBasis>(relax.basis);
+    }
     const double v = relax.x[frac];
     auto down = std::make_shared<Node>();
     down->fixes = node->fixes;
     down->fixes.push_back({frac, {base_lo[frac], std::floor(v)}});
     down->bound = relax.objective;
+    down->parent_basis = child_basis;
     auto up = std::make_shared<Node>();
     up->fixes = node->fixes;
     up->fixes.push_back({frac, {std::ceil(v), base_hi[frac]}});
     up->bound = relax.objective;
+    up->parent_basis = child_basis;
     open.push(std::move(down));
     open.push(std::move(up));
 

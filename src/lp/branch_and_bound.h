@@ -1,8 +1,10 @@
-// Generic branch-and-bound MIP solver over lp::Model, using the dense
-// simplex for node relaxations. Exposes the "off-the-shelf solver"
-// behaviours CoPhy leans on: anytime incumbents, a global lower bound
-// with an optimality-gap readout, early termination at a gap target,
-// warm starts, and a feasibility pre-check.
+// Generic branch-and-bound MIP solver over lp::Model, using the sparse
+// revised simplex for node relaxations. Exposes the "off-the-shelf
+// solver" behaviours CoPhy leans on: anytime incumbents, a global lower
+// bound with an optimality-gap readout, early termination at a gap
+// target, warm starts, and a feasibility pre-check. Node LPs warm-start
+// from their parent's exported basis and fall back to a cold phase-1
+// solve only when the import is unusable.
 #ifndef COPHY_LP_BRANCH_AND_BOUND_H_
 #define COPHY_LP_BRANCH_AND_BOUND_H_
 
@@ -13,6 +15,7 @@
 
 #include "common/status.h"
 #include "lp/model.h"
+#include "lp/simplex.h"
 
 namespace cophy::lp {
 
@@ -41,6 +44,18 @@ struct MipOptions {
   /// Optional starting point: if feasible it seeds the incumbent (the
   /// mechanism behind fast interactive re-tuning).
   std::vector<double> warm_start;
+  /// Warm-start each node LP from its parent's basis (ablation knob;
+  /// off = every node solves cold from the slack basis).
+  bool warm_start_nodes = true;
+};
+
+/// Aggregated LP work across all node relaxations of one MIP solve.
+struct MipLpStats {
+  int64_t lp_solves = 0;
+  int64_t phase1_pivots = 0;
+  int64_t phase2_pivots = 0;
+  int64_t bound_flips = 0;
+  int64_t warm_started_nodes = 0;  ///< node LPs that accepted a basis
 };
 
 /// Result of a MIP solve.
@@ -51,6 +66,7 @@ struct MipSolution {
   double lower_bound = -std::numeric_limits<double>::infinity();
   double gap = std::numeric_limits<double>::infinity();
   int64_t nodes = 0;
+  MipLpStats lp;
 };
 
 /// Solves the MIP with best-first branch-and-bound.

@@ -130,6 +130,16 @@ ChoiceSolver::ChoiceSolver(const ChoiceProblem* problem) : p_(problem) {
       }
     }
   }
+  // Flatten the z constraints into CSR form once; ConstraintsAdmissible
+  // runs on every node and should not chase row-of-vectors pointers.
+  zrow_start_.assign(1, 0);
+  for (const ZRow& row : p_->z_rows) {
+    for (const auto& [a, c] : row.terms) {
+      zrow_idx_.push_back(a);
+      zrow_coef_.push_back(c);
+    }
+    zrow_start_.push_back(static_cast<int32_t>(zrow_idx_.size()));
+  }
   queries_of_index_.assign(p_->num_indexes, {});
   // Assign one μ-slot per distinct (query, index) pair and map every
   // option entry (canonical iteration order) to its slot.
@@ -507,9 +517,12 @@ bool ChoiceSolver::ConstraintsAdmissible(const std::vector<int8_t>& fixed) const
     }
     if (used > p_->storage_budget * (1 + kTol) + kTol) return false;
   }
-  for (const ZRow& row : p_->z_rows) {
+  for (size_t r = 0; r < p_->z_rows.size(); ++r) {
+    const ZRow& row = p_->z_rows[r];
     double lo = 0, hi = 0;
-    for (const auto& [a, c] : row.terms) {
+    for (int32_t k = zrow_start_[r]; k < zrow_start_[r + 1]; ++k) {
+      const int a = zrow_idx_[k];
+      const double c = zrow_coef_[k];
       if (fixed[a] == 1) {
         lo += c;
         hi += c;
@@ -883,9 +896,12 @@ ChoiceSolution ChoiceSolver::Solve(const ChoiceSolveOptions& options) {
   }
 
   // Root bounds.
+  int64_t bound_evals = 0;
   std::vector<double> scores;
   double root_plain = NodeBound(root_fixed, &scores);
+  ++bound_evals;
   if (root_plain == kInf) {
+    result.bound_evaluations = bound_evals;
     result.status = Status::Infeasible("root bound infinite");
     return result;
   }
@@ -974,8 +990,10 @@ ChoiceSolution ChoiceSolver::Solve(const ChoiceSolveOptions& options) {
       if (!ConstraintsAdmissible(fixed)) continue;
       std::vector<double> child_scores;
       double bound = NodeBound(fixed, &child_scores);
+      ++bound_evals;
       if (bound == kInf) continue;
       bound = std::max(bound, LagrangianNodeBound(fixed));
+      if (mu_ready_) ++bound_evals;
       if (has_incumbent && bound >= incumbent_obj - kTol) continue;
 
       const int branch = pick_branch(child_scores);
@@ -1013,10 +1031,12 @@ ChoiceSolution ChoiceSolver::Solve(const ChoiceSolveOptions& options) {
   }
 
   if (!has_incumbent) {
+    result.bound_evaluations = bound_evals;
     result.status = Status::Infeasible("no feasible selection found");
     return result;
   }
   result.selected = std::move(incumbent);
+  result.bound_evaluations = bound_evals;
   result.objective = incumbent_obj;
   result.lower_bound = open.empty() && !stopped &&
                                result.nodes < options.node_limit

@@ -115,6 +115,7 @@ struct ChoiceSolution {
   double lower_bound = -kInf;
   double gap = kInf;
   int64_t nodes = 0;
+  int64_t bound_evaluations = 0;  ///< NodeBound/Lagrangian bound calls
   double root_lagrangian_bound = -kInf;
 };
 
@@ -173,6 +174,12 @@ class ChoiceSolver {
   const ChoiceProblem* p_;
   // Inverted list: dense index id -> queries whose plans reference it.
   std::vector<std::vector<int>> queries_of_index_;
+
+  // CSR copy of p_->z_rows (flat index/coefficient arrays) for the hot
+  // admissibility scans — same layout idea as lp::Model's row storage.
+  std::vector<int32_t> zrow_start_;
+  std::vector<int32_t> zrow_idx_;
+  std::vector<double> zrow_coef_;
 
   // Lagrangian state. Multipliers are aggregated per (query, index) —
   // exact for this structure because a query's chosen plan uses an

@@ -10,6 +10,7 @@ VarId Model::AddVariable(double lower, double upper, double objective,
                          bool is_integer, std::string name) {
   COPHY_CHECK_LE(lower, upper);
   vars_.push_back(Variable{lower, upper, objective, is_integer, std::move(name)});
+  columns_ready_ = false;  // col_start_ needs a slot for the new column
   return static_cast<VarId>(vars_.size()) - 1;
 }
 
@@ -18,13 +19,82 @@ VarId Model::AddBinary(double objective, std::string name) {
 }
 
 int Model::AddRow(Row row) {
-  for (const auto& [v, c] : row.terms) {
-    COPHY_CHECK_GE(v, 0);
-    COPHY_CHECK_LT(v, num_variables());
-    (void)c;
-  }
-  rows_.push_back(std::move(row));
+  BeginRow(row.sense, row.rhs, std::move(row.name));
+  for (const auto& [v, c] : row.terms) AddTerm(v, c);
+  return EndRow();
+}
+
+int Model::AddRow(const std::vector<std::pair<VarId, double>>& terms,
+                  Sense sense, double rhs, std::string name) {
+  BeginRow(sense, rhs, std::move(name));
+  for (const auto& [v, c] : terms) AddTerm(v, c);
+  return EndRow();
+}
+
+void Model::BeginRow(Sense sense, double rhs, std::string name) {
+  COPHY_CHECK(!row_open_);
+  row_open_ = true;
+  senses_.push_back(sense);
+  rhs_.push_back(rhs);
+  row_names_.push_back(std::move(name));
+}
+
+void Model::AddTerm(VarId v, double coef) {
+  COPHY_CHECK(row_open_);
+  COPHY_CHECK_GE(v, 0);
+  COPHY_CHECK_LT(v, num_variables());
+  cols_.push_back(v);
+  vals_.push_back(coef);
+}
+
+int Model::EndRow() {
+  COPHY_CHECK(row_open_);
+  row_open_ = false;
+  row_start_.push_back(static_cast<int64_t>(cols_.size()));
+  columns_ready_ = false;
   return num_rows() - 1;
+}
+
+RowView Model::row(int r) const {
+  COPHY_CHECK(!row_open_);
+  RowView view;
+  const int64_t begin = row_start_[r];
+  view.cols = cols_.data() + begin;
+  view.vals = vals_.data() + begin;
+  view.nnz = static_cast<int>(row_start_[r + 1] - begin);
+  view.sense = senses_[r];
+  view.rhs = rhs_[r];
+  return view;
+}
+
+void Model::EnsureColumns() const {
+  if (columns_ready_) return;
+  const int nv = num_variables();
+  col_start_.assign(nv + 1, 0);
+  for (VarId v : cols_) ++col_start_[v + 1];
+  for (int v = 0; v < nv; ++v) col_start_[v + 1] += col_start_[v];
+  col_rows_.resize(cols_.size());
+  col_vals_.resize(cols_.size());
+  std::vector<int64_t> cursor(col_start_.begin(), col_start_.end() - 1);
+  for (int r = 0; r < num_rows(); ++r) {
+    for (int64_t k = row_start_[r]; k < row_start_[r + 1]; ++k) {
+      const int64_t at = cursor[cols_[k]]++;
+      col_rows_[at] = r;
+      col_vals_[at] = vals_[k];
+    }
+  }
+  columns_ready_ = true;
+}
+
+ColumnView Model::column(VarId v) const {
+  COPHY_CHECK(!row_open_);
+  EnsureColumns();
+  ColumnView view;
+  const int64_t begin = col_start_[v];
+  view.rows = col_rows_.data() + begin;
+  view.vals = col_vals_.data() + begin;
+  view.nnz = static_cast<int>(col_start_[v + 1] - begin);
+  return view;
 }
 
 double Model::ObjectiveValue(const std::vector<double>& x) const {
@@ -42,18 +112,19 @@ bool Model::IsFeasible(const std::vector<double>& x, double eps) const {
       return false;
     }
   }
-  for (const Row& r : rows_) {
+  for (int r = 0; r < num_rows(); ++r) {
+    const RowView rv = row(r);
     double lhs = 0;
-    for (const auto& [v, c] : r.terms) lhs += c * x[v];
-    switch (r.sense) {
+    for (int k = 0; k < rv.nnz; ++k) lhs += rv.vals[k] * x[rv.cols[k]];
+    switch (rv.sense) {
       case Sense::kLe:
-        if (lhs > r.rhs + eps) return false;
+        if (lhs > rv.rhs + eps) return false;
         break;
       case Sense::kGe:
-        if (lhs < r.rhs - eps) return false;
+        if (lhs < rv.rhs - eps) return false;
         break;
       case Sense::kEq:
-        if (std::abs(lhs - r.rhs) > eps) return false;
+        if (std::abs(lhs - rv.rhs) > eps) return false;
         break;
     }
   }

@@ -2,9 +2,16 @@
 // linear rows, variable bounds, and integrality marks. This is the
 // "off-the-shelf solver" input format: CoPhy's BIPGen emits exactly the
 // program of Theorem 1 into this structure.
+//
+// Rows are stored in CSR form (one flat column-id array and one flat
+// coefficient array, plus per-row offsets); a CSC transpose (per-column
+// views) is built lazily for the revised simplex's pricing loops.
+// Producers can either pass a Row literal, or stream terms directly
+// into the CSR arrays with BeginRow/AddTerm/EndRow.
 #ifndef COPHY_LP_MODEL_H_
 #define COPHY_LP_MODEL_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -15,7 +22,8 @@ using VarId = int;
 /// Row sense of a linear constraint.
 enum class Sense { kLe, kEq, kGe };
 
-/// One sparse row: sum(coef_i * x_i) <sense> rhs.
+/// One sparse row literal: sum(coef_i * x_i) <sense> rhs. Construction
+/// convenience only — the model copies the terms into its CSR arrays.
 struct Row {
   std::vector<std::pair<VarId, double>> terms;
   Sense sense = Sense::kLe;
@@ -32,6 +40,22 @@ struct Variable {
   std::string name;
 };
 
+/// Read-only view of one CSR row.
+struct RowView {
+  const VarId* cols = nullptr;
+  const double* vals = nullptr;
+  int nnz = 0;
+  Sense sense = Sense::kLe;
+  double rhs = 0.0;
+};
+
+/// Read-only view of one CSC column: the rows a variable appears in.
+struct ColumnView {
+  const int* rows = nullptr;
+  const double* vals = nullptr;
+  int nnz = 0;
+};
+
 /// The program. Objective is always minimization (negate to maximize).
 class Model {
  public:
@@ -40,20 +64,38 @@ class Model {
                     bool is_integer, std::string name = "");
   /// Convenience: binary decision variable.
   VarId AddBinary(double objective, std::string name = "");
-  /// Adds a constraint row, returning its index.
+
+  /// Adds a constraint row from a literal, returning its index.
   int AddRow(Row row);
+  /// Adds a constraint row from a term list (no Row object needed).
+  int AddRow(const std::vector<std::pair<VarId, double>>& terms, Sense sense,
+             double rhs, std::string name = "");
+
+  /// Streaming row emission: terms go straight into the CSR arrays.
+  /// Exactly one row may be open at a time; EndRow returns its index.
+  void BeginRow(Sense sense, double rhs, std::string name = "");
+  void AddTerm(VarId v, double coef);
+  int EndRow();
 
   /// Adds `offset` to every solution's objective value (constant term).
   void AddObjectiveConstant(double c) { objective_constant_ += c; }
   double objective_constant() const { return objective_constant_; }
 
   int num_variables() const { return static_cast<int>(vars_.size()); }
-  int num_rows() const { return static_cast<int>(rows_.size()); }
+  int num_rows() const { return static_cast<int>(rhs_.size()); }
+  /// Total structural nonzeros across all rows.
+  int64_t num_nonzeros() const { return static_cast<int64_t>(cols_.size()); }
+
   const Variable& variable(VarId v) const { return vars_[v]; }
   Variable& variable(VarId v) { return vars_[v]; }
-  const Row& row(int r) const { return rows_[r]; }
   const std::vector<Variable>& variables() const { return vars_; }
-  const std::vector<Row>& rows() const { return rows_; }
+
+  RowView row(int r) const;
+  const std::string& row_name(int r) const { return row_names_[r]; }
+
+  /// Per-column view over the rows (CSC). Built on first use after a
+  /// row mutation; cheap thereafter.
+  ColumnView column(VarId v) const;
 
   /// Objective value of a full assignment (including the constant).
   double ObjectiveValue(const std::vector<double>& x) const;
@@ -62,8 +104,25 @@ class Model {
   bool IsFeasible(const std::vector<double>& x, double eps = 1e-6) const;
 
  private:
+  void EnsureColumns() const;
+
   std::vector<Variable> vars_;
-  std::vector<Row> rows_;
+
+  // CSR row storage.
+  std::vector<int64_t> row_start_{0};  // num_rows + 1 offsets into cols_/vals_
+  std::vector<VarId> cols_;
+  std::vector<double> vals_;
+  std::vector<Sense> senses_;
+  std::vector<double> rhs_;
+  std::vector<std::string> row_names_;
+  bool row_open_ = false;
+
+  // Lazily built CSC transpose (per-column views).
+  mutable bool columns_ready_ = false;
+  mutable std::vector<int64_t> col_start_;
+  mutable std::vector<int> col_rows_;
+  mutable std::vector<double> col_vals_;
+
   double objective_constant_ = 0.0;
 };
 

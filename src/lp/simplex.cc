@@ -1,3 +1,22 @@
+// Bounded-variable revised primal simplex over the CSR/CSC model.
+//
+// Internal layout: columns [0, nv) are the structural variables, column
+// nv + r is the slack of row r with coefficient +1 and sense encoded in
+// its bounds (kLe: [0, inf), kGe: (-inf, 0], kEq: [0, 0]), so every row
+// is an equality A'x' = b over bounded variables and the slack basis is
+// the identity. The basis inverse is kept explicitly (column-major,
+// O(m^2) per pivot); pricing uses the model's sparse column views, and
+// in phase 2 the reduced-cost row is updated incrementally from the
+// pivot row instead of being re-derived (O(nnz) instead of O(m*n)).
+//
+// Phase 1 is artificial-free: starting from any basis (slack or
+// imported), it minimizes the total bound violation of the basic
+// variables with the composite-objective rule — an infeasible-below
+// basic prices with sigma = -1 and blocks the ratio test at its lower
+// bound, an infeasible-above basic with sigma = +1 at its upper bound.
+// This is what makes branch-and-bound warm starts cheap: a parent basis
+// re-imported under tightened child bounds is usually one or two
+// restoring pivots away from feasibility.
 #include "lp/simplex.h"
 
 #include <algorithm>
@@ -10,221 +29,688 @@ namespace cophy::lp {
 
 namespace {
 
-constexpr double kEps = 1e-9;
+constexpr double kPivotEps = 1e-9;
+constexpr double kLeaveEps = 1e-7;  // min |w_r| to accept a pivot element
+constexpr double kDualEps = 1e-7;
 constexpr double kFeasEps = 1e-7;
+constexpr double kInfeasTotal = 1e-6;
+constexpr int kRefactorInterval = 96;  // pivots between basis re-inversions
+constexpr double kInf = std::numeric_limits<double>::infinity();
 
-/// Dense tableau state for the two-phase method.
-struct Tableau {
-  int m = 0;                      // rows
-  int n = 0;                      // columns (structural + slack + artificial)
-  std::vector<std::vector<double>> a;  // m x n
-  std::vector<double> b;          // m (kept nonnegative)
-  std::vector<int> basis;         // basis[r] = column basic in row r
-  std::vector<bool> allowed;      // column may enter
+enum class IterStatus { kOptimal, kUnbounded, kStalled, kIterLimit };
 
-  void Pivot(int r, int j) {
-    const double p = a[r][j];
-    COPHY_CHECK(std::abs(p) > kEps);
-    const double inv = 1.0 / p;
-    for (int k = 0; k < n; ++k) a[r][k] *= inv;
-    b[r] *= inv;
-    a[r][j] = 1.0;  // fight roundoff
-    for (int i = 0; i < m; ++i) {
-      if (i == r) continue;
-      const double f = a[i][j];
-      if (std::abs(f) < kEps) continue;
-      for (int k = 0; k < n; ++k) a[i][k] -= f * a[r][k];
-      a[i][j] = 0.0;
-      b[i] -= f * b[r];
+class RevisedSimplex {
+ public:
+  RevisedSimplex(const Model& model, const std::vector<double>& lo_struct,
+                 const std::vector<double>& hi_struct)
+      : model_(model),
+        nv_(model.num_variables()),
+        m_(model.num_rows()),
+        n_(nv_ + m_) {
+    lo_.resize(n_);
+    hi_.resize(n_);
+    cost_.assign(n_, 0.0);
+    b_.resize(m_);
+    for (int j = 0; j < nv_; ++j) {
+      lo_[j] = lo_struct[j];
+      hi_[j] = hi_struct[j];
+      cost_[j] = model.variable(j).objective;
     }
-    basis[r] = j;
-  }
-};
-
-enum class IterStatus { kOptimal, kUnbounded, kIterLimit };
-
-/// Runs primal simplex iterations for cost vector `c`, returning on
-/// optimality or unboundedness. Dantzig rule with a Bland fallback.
-IterStatus Iterate(Tableau& t, const std::vector<double>& c) {
-  const int iter_limit = 200 * (t.m + t.n) + 2000;
-  for (int iter = 0; iter < iter_limit; ++iter) {
-    const bool bland = iter > iter_limit / 2;
-    // Reduced costs: c_j - c_B' T_j.
-    int enter = -1;
-    double best = -kFeasEps;
-    for (int j = 0; j < t.n; ++j) {
-      if (!t.allowed[j]) continue;
-      double red = c[j];
-      for (int r = 0; r < t.m; ++r) {
-        const double cb = c[t.basis[r]];
-        if (cb != 0.0) red -= cb * t.a[r][j];
+    // Row equilibration: divide each row by its largest |coefficient| so
+    // rows of wildly different magnitude (storage bytes next to 0/1
+    // linking rows) don't wreck the conditioning of the basis inverse.
+    // Slack bounds are 0 / +-inf, so they are invariant under positive
+    // row scaling and the structural solution is unchanged.
+    row_scale_.assign(m_, 1.0);
+    for (int r = 0; r < m_; ++r) {
+      const RowView row = model.row(r);
+      double big = 0;
+      for (int k = 0; k < row.nnz; ++k) big = std::max(big, std::abs(row.vals[k]));
+      if (big > 0) row_scale_[r] = 1.0 / big;
+    }
+    for (int r = 0; r < m_; ++r) {
+      const RowView row = model.row(r);
+      b_[r] = row.rhs * row_scale_[r];
+      const int s = nv_ + r;
+      switch (row.sense) {
+        case Sense::kLe:
+          lo_[s] = 0.0;
+          hi_[s] = kInf;
+          break;
+        case Sense::kGe:
+          lo_[s] = -kInf;
+          hi_[s] = 0.0;
+          break;
+        case Sense::kEq:
+          lo_[s] = 0.0;
+          hi_[s] = 0.0;
+          break;
       }
-      if (red < best) {
-        if (bland) {  // first improving column
+    }
+    basis_.resize(m_);
+    vstat_.assign(n_, VarStatus::kAtLower);
+    xval_.assign(n_, 0.0);
+    d_.assign(n_, 0.0);
+    binv_.assign(static_cast<size_t>(m_) * m_, 0.0);
+    w_.resize(m_);
+    rho_.resize(m_);
+    y_.resize(m_);
+    scratch_.resize(m_);
+  }
+
+  /// Installs the all-slack basis with structurals at their nearest
+  /// finite bound.
+  void ColdStart() {
+    for (int j = 0; j < nv_; ++j) SetNonbasicAtBound(j, VarStatus::kAtLower);
+    for (int r = 0; r < m_; ++r) {
+      basis_[r] = nv_ + r;
+      vstat_[nv_ + r] = VarStatus::kBasic;
+    }
+    std::fill(binv_.begin(), binv_.end(), 0.0);
+    for (int r = 0; r < m_; ++r) binv_[static_cast<size_t>(r) * m_ + r] = 1.0;
+    ComputeBasicValues();
+  }
+
+  /// Installs an imported basis; false if it is unusable (wrong shape,
+  /// wrong basic count, or singular basis matrix).
+  bool WarmStart(const LpBasis& wb) {
+    if (static_cast<int>(wb.variables.size()) != nv_ ||
+        static_cast<int>(wb.slacks.size()) != m_) {
+      return false;
+    }
+    std::vector<int> basic_cols;
+    basic_cols.reserve(m_);
+    for (int j = 0; j < nv_; ++j) {
+      if (wb.variables[j] == VarStatus::kBasic) basic_cols.push_back(j);
+    }
+    for (int r = 0; r < m_; ++r) {
+      if (wb.slacks[r] == VarStatus::kBasic) basic_cols.push_back(nv_ + r);
+    }
+    if (static_cast<int>(basic_cols.size()) != m_) return false;
+    if (!Factorize(basic_cols)) return false;
+    for (int j = 0; j < n_; ++j) {
+      const VarStatus st =
+          j < nv_ ? wb.variables[j] : wb.slacks[j - nv_];
+      if (st == VarStatus::kBasic) continue;  // set by Factorize
+      SetNonbasicAtBound(j, st);
+    }
+    ComputeBasicValues();
+    return true;
+  }
+
+  /// Restores primal feasibility of the current basis (phase 1).
+  IterStatus Phase1(LpSolveStats* stats) {
+    return Iterate(/*phase1=*/true, stats);
+  }
+  /// Optimizes the real objective from a primal-feasible basis.
+  IterStatus Phase2(LpSolveStats* stats) {
+    RecomputeReducedCosts();
+    return Iterate(/*phase1=*/false, stats);
+  }
+
+  /// Total bound violation of the basic variables.
+  double Infeasibility() const {
+    double total = 0;
+    for (int r = 0; r < m_; ++r) {
+      const int j = basis_[r];
+      if (xval_[j] < lo_[j]) total += lo_[j] - xval_[j];
+      if (xval_[j] > hi_[j]) total += xval_[j] - hi_[j];
+    }
+    return total;
+  }
+
+  /// Largest single bound violation among the basic variables.
+  double MaxViolation() const {
+    double worst = 0;
+    for (int r = 0; r < m_; ++r) {
+      const int j = basis_[r];
+      worst = std::max(worst, lo_[j] - xval_[j]);
+      worst = std::max(worst, xval_[j] - hi_[j]);
+    }
+    return worst;
+  }
+
+  std::vector<double> ExtractPrimal() const {
+    std::vector<double> x(xval_.begin(), xval_.begin() + nv_);
+    for (int j = 0; j < nv_; ++j) {
+      if (std::isfinite(lo_[j])) x[j] = std::max(x[j], lo_[j]);
+      if (std::isfinite(hi_[j])) x[j] = std::min(x[j], hi_[j]);
+    }
+    return x;
+  }
+
+  LpBasis ExportBasis() const {
+    LpBasis basis;
+    basis.variables.assign(vstat_.begin(), vstat_.begin() + nv_);
+    basis.slacks.assign(vstat_.begin() + nv_, vstat_.end());
+    return basis;
+  }
+
+ private:
+  /// Applies `f(row, value)` to every nonzero of internal column `j`,
+  /// in the row-equilibrated space.
+  template <typename F>
+  void ForEachEntry(int j, F&& f) const {
+    if (j < nv_) {
+      const ColumnView col = model_.column(j);
+      for (int k = 0; k < col.nnz; ++k) {
+        f(col.rows[k], col.vals[k] * row_scale_[col.rows[k]]);
+      }
+    } else {
+      f(j - nv_, 1.0);
+    }
+  }
+
+  void SetNonbasicAtBound(int j, VarStatus preferred) {
+    const bool lo_finite = std::isfinite(lo_[j]);
+    const bool hi_finite = std::isfinite(hi_[j]);
+    VarStatus st = preferred;
+    if (st == VarStatus::kBasic) st = VarStatus::kAtLower;
+    if (st == VarStatus::kAtLower && !lo_finite) {
+      st = hi_finite ? VarStatus::kAtUpper : VarStatus::kFree;
+    } else if (st == VarStatus::kAtUpper && !hi_finite) {
+      st = lo_finite ? VarStatus::kAtLower : VarStatus::kFree;
+    } else if (st == VarStatus::kFree && (lo_finite || hi_finite)) {
+      st = lo_finite ? VarStatus::kAtLower : VarStatus::kAtUpper;
+    }
+    vstat_[j] = st;
+    xval_[j] = st == VarStatus::kAtLower   ? lo_[j]
+               : st == VarStatus::kAtUpper ? hi_[j]
+                                           : 0.0;
+  }
+
+  /// w = B^{-1} * (column j). O(m * nnz_j) with the explicit inverse.
+  void Ftran(int j) {
+    std::fill(w_.begin(), w_.end(), 0.0);
+    ForEachEntry(j, [&](int row, double v) {
+      const double* col = binv_.data() + static_cast<size_t>(row) * m_;
+      for (int i = 0; i < m_; ++i) w_[i] += v * col[i];
+    });
+  }
+
+  /// y^T = cb^T * B^{-1}. O(m^2).
+  void Btran(const std::vector<double>& cb) {
+    for (int k = 0; k < m_; ++k) {
+      const double* col = binv_.data() + static_cast<size_t>(k) * m_;
+      double acc = 0;
+      for (int i = 0; i < m_; ++i) acc += cb[i] * col[i];
+      y_[k] = acc;
+    }
+  }
+
+  /// x_B = B^{-1} (b - N x_N); nonbasic values are already in xval_.
+  void ComputeBasicValues() {
+    std::copy(b_.begin(), b_.end(), scratch_.begin());
+    for (int j = 0; j < n_; ++j) {
+      if (vstat_[j] == VarStatus::kBasic || xval_[j] == 0.0) continue;
+      const double xj = xval_[j];
+      ForEachEntry(j, [&](int row, double v) { scratch_[row] -= v * xj; });
+    }
+    std::fill(w_.begin(), w_.end(), 0.0);
+    for (int k = 0; k < m_; ++k) {
+      const double rk = scratch_[k];
+      if (rk == 0.0) continue;
+      const double* col = binv_.data() + static_cast<size_t>(k) * m_;
+      for (int i = 0; i < m_; ++i) w_[i] += rk * col[i];
+    }
+    for (int r = 0; r < m_; ++r) xval_[basis_[r]] = w_[r];
+  }
+
+  /// Full re-pricing of the phase-2 reduced-cost row (also the periodic
+  /// numerical refresh).
+  void RecomputeReducedCosts() {
+    for (int r = 0; r < m_; ++r) scratch_[r] = cost_[basis_[r]];
+    Btran(scratch_);
+    for (int j = 0; j < n_; ++j) {
+      if (vstat_[j] == VarStatus::kBasic) {
+        d_[j] = 0.0;
+        continue;
+      }
+      double acc = cost_[j];
+      ForEachEntry(j, [&](int row, double v) { acc -= y_[row] * v; });
+      d_[j] = acc;
+    }
+  }
+
+  /// Phase-1 pricing: reduced costs of the composite infeasibility
+  /// objective (sigma on violating basics, zero elsewhere).
+  void RecomputePhase1Costs() {
+    for (int r = 0; r < m_; ++r) {
+      const int j = basis_[r];
+      if (xval_[j] < lo_[j] - kFeasEps) {
+        scratch_[r] = -1.0;
+      } else if (xval_[j] > hi_[j] + kFeasEps) {
+        scratch_[r] = 1.0;
+      } else {
+        scratch_[r] = 0.0;
+      }
+    }
+    Btran(scratch_);
+    for (int j = 0; j < n_; ++j) {
+      d_[j] = 0.0;
+      if (vstat_[j] == VarStatus::kBasic) continue;
+      double acc = 0;
+      ForEachEntry(j, [&](int row, double v) { acc -= y_[row] * v; });
+      d_[j] = acc;
+    }
+  }
+
+  /// Gauss-Jordan inversion of the basis matrix given by `basic_cols`,
+  /// assigning each column to its pivot row. False if singular.
+  bool Factorize(const std::vector<int>& basic_cols) {
+    // Row-major scratch for contiguous row operations; binv_ gets the
+    // transpose at the end.
+    std::vector<double> mat(static_cast<size_t>(m_) * m_, 0.0);
+    std::vector<double> inv(static_cast<size_t>(m_) * m_, 0.0);
+    for (int c = 0; c < m_; ++c) {
+      ForEachEntry(basic_cols[c],
+                   [&](int row, double v) { mat[static_cast<size_t>(row) * m_ + c] = v; });
+    }
+    for (int i = 0; i < m_; ++i) inv[static_cast<size_t>(i) * m_ + i] = 1.0;
+    std::vector<bool> assigned(m_, false);
+    for (int c = 0; c < m_; ++c) {
+      int pivot_row = -1;
+      double best = kPivotEps;
+      for (int i = 0; i < m_; ++i) {
+        if (assigned[i]) continue;
+        const double a = std::abs(mat[static_cast<size_t>(i) * m_ + c]);
+        if (a > best) {
+          best = a;
+          pivot_row = i;
+        }
+      }
+      if (pivot_row < 0) return false;
+      assigned[pivot_row] = true;
+      basis_[pivot_row] = basic_cols[c];
+      vstat_[basic_cols[c]] = VarStatus::kBasic;
+      double* mp = mat.data() + static_cast<size_t>(pivot_row) * m_;
+      double* ip = inv.data() + static_cast<size_t>(pivot_row) * m_;
+      const double scale = 1.0 / mp[c];
+      for (int k = 0; k < m_; ++k) {
+        mp[k] *= scale;
+        ip[k] *= scale;
+      }
+      mp[c] = 1.0;
+      for (int i = 0; i < m_; ++i) {
+        if (i == pivot_row) continue;
+        double* mi = mat.data() + static_cast<size_t>(i) * m_;
+        const double f = mi[c];
+        if (f == 0.0) continue;
+        double* ii = inv.data() + static_cast<size_t>(i) * m_;
+        for (int k = 0; k < m_; ++k) {
+          mi[k] -= f * mp[k];
+          ii[k] -= f * ip[k];
+        }
+        mi[c] = 0.0;
+      }
+    }
+    for (int i = 0; i < m_; ++i) {
+      for (int k = 0; k < m_; ++k) {
+        binv_[static_cast<size_t>(k) * m_ + i] = inv[static_cast<size_t>(i) * m_ + k];
+      }
+    }
+    GlobalSolverCounters().factorizations += 1;
+    return true;
+  }
+
+  /// Re-inverts the current basis from scratch. The eta-style
+  /// UpdateInverse accumulates roundoff with every pivot; a periodic
+  /// fresh inversion keeps the inverse (and everything priced through
+  /// it) healthy. Keeps the previous inverse if the matrix has gone
+  /// numerically singular.
+  bool Refactorize() {
+    const std::vector<int> cols(basis_.begin(), basis_.end());
+    const std::vector<int> basis_backup = basis_;
+    if (!Factorize(cols)) {
+      basis_ = basis_backup;  // Factorize may have permuted assignments
+      return false;
+    }
+    return true;
+  }
+
+  /// Elementary update of the explicit inverse after pivoting column q
+  /// into row r (w_ = B^{-1} a_q from the ratio test).
+  void UpdateInverse(int r) {
+    const double inv_pivot = 1.0 / w_[r];
+    for (int k = 0; k < m_; ++k) {
+      double* col = binv_.data() + static_cast<size_t>(k) * m_;
+      const double br = col[r] * inv_pivot;
+      col[r] = br;
+      if (br == 0.0) continue;
+      for (int i = 0; i < m_; ++i) {
+        if (i != r) col[i] -= w_[i] * br;
+      }
+    }
+  }
+
+  /// Shared primal iteration loop. In phase 1 the composite objective
+  /// is re-priced each iteration (it changes whenever a violation
+  /// clears); in phase 2 the reduced-cost row is updated incrementally
+  /// from the pivot row, with a periodic full refresh.
+  IterStatus Iterate(bool phase1, LpSolveStats* stats) {
+    const int64_t iter_limit = 200 * (static_cast<int64_t>(m_) + n_) + 2000;
+    int64_t pivots_since_refresh = 0;
+    int64_t pivots_since_factor = 0;
+    for (int64_t iter = 0; iter < iter_limit; ++iter) {
+      const bool bland = iter > iter_limit / 2;
+      if (pivots_since_factor >= kRefactorInterval) {
+        if (Refactorize()) {
+          ComputeBasicValues();
+          if (!phase1) RecomputeReducedCosts();
+          pivots_since_refresh = 0;
+        }
+        pivots_since_factor = 0;
+      }
+      if (phase1) {
+        // Done when no basic variable violates its bounds beyond the
+        // per-variable tolerance (the same criterion that assigns the
+        // composite sigma costs).
+        if (MaxViolation() <= kFeasEps) return IterStatus::kOptimal;
+        RecomputePhase1Costs();
+      } else if (pivots_since_refresh >= 64) {
+        RecomputeReducedCosts();
+        ComputeBasicValues();
+        pivots_since_refresh = 0;
+      }
+
+      // --- Pricing: pick the entering variable. ---
+      int enter = -1;
+      double best_score = kDualEps;
+      int dir = 0;
+      for (int j = 0; j < n_; ++j) {
+        const VarStatus st = vstat_[j];
+        if (st == VarStatus::kBasic) continue;
+        if (lo_[j] == hi_[j]) continue;  // fixed: can never move
+        double score = 0;
+        int jdir = 0;
+        if (st == VarStatus::kAtLower && d_[j] < -kDualEps) {
+          score = -d_[j];
+          jdir = 1;
+        } else if (st == VarStatus::kAtUpper && d_[j] > kDualEps) {
+          score = d_[j];
+          jdir = -1;
+        } else if (st == VarStatus::kFree && std::abs(d_[j]) > kDualEps) {
+          score = std::abs(d_[j]);
+          jdir = d_[j] < 0 ? 1 : -1;
+        } else {
+          continue;
+        }
+        if (bland) {  // first eligible column
           enter = j;
+          dir = jdir;
           break;
         }
-        best = red;
-        enter = j;
-      }
-    }
-    if (enter < 0) return IterStatus::kOptimal;
-    // Ratio test.
-    int leave = -1;
-    double best_ratio = std::numeric_limits<double>::infinity();
-    for (int r = 0; r < t.m; ++r) {
-      if (t.a[r][enter] > kEps) {
-        const double ratio = t.b[r] / t.a[r][enter];
-        if (ratio < best_ratio - kEps ||
-            (ratio < best_ratio + kEps && leave >= 0 &&
-             t.basis[r] < t.basis[leave])) {
-          best_ratio = ratio;
-          leave = r;
+        if (score > best_score) {
+          best_score = score;
+          enter = j;
+          dir = jdir;
         }
       }
+      if (enter < 0) {
+        if (phase1 && MaxViolation() > kInfeasTotal) {
+          return IterStatus::kStalled;
+        }
+        if (!phase1 && pivots_since_refresh > 0) {
+          // The incremental reduced costs say "optimal" — confirm with a
+          // from-scratch re-pricing before accepting (guards against
+          // drift-induced premature termination).
+          RecomputeReducedCosts();
+          ComputeBasicValues();
+          pivots_since_refresh = 0;
+          continue;
+        }
+        return IterStatus::kOptimal;
+      }
+
+      Ftran(enter);
+
+      if (!phase1) {
+        // Confirm the candidate against its exact reduced cost
+        // c_j - c_B . w (O(m), w is already available). The incremental
+        // d row can drift badly after a small-pivot update; a pivot
+        // driven by a phantom reduced cost stalls convergence. Columns
+        // that fail the check get their entry corrected in place and
+        // pricing just runs again.
+        double exact = cost_[enter];
+        for (int i = 0; i < m_; ++i) {
+          const double cb = cost_[basis_[i]];
+          if (cb != 0.0) exact -= cb * w_[i];
+        }
+        d_[enter] = exact;
+        const bool improving = dir > 0 ? exact < -kDualEps : exact > kDualEps;
+        if (!improving) continue;
+      }
+
+      // --- Bounded-variable ratio test. ---
+      // The entering variable moves by t >= 0 in direction `dir`; basic
+      // variable in row i changes at rate -dir * w_[i].
+      double t_flip = kInf;  // entering reaches its opposite bound
+      if (std::isfinite(lo_[enter]) && std::isfinite(hi_[enter])) {
+        t_flip = hi_[enter] - lo_[enter];
+      }
+      double t = t_flip;
+      int leave = -1;
+      double leave_target = 0;
+      VarStatus leave_stat = VarStatus::kAtLower;
+      double leave_w = 0;
+      for (int i = 0; i < m_; ++i) {
+        const double wi = w_[i];
+        // A pivot element this small would poison the updated inverse;
+        // treat the row as non-blocking instead.
+        if (std::abs(wi) <= kLeaveEps) continue;
+        const int j = basis_[i];
+        const double rate = -dir * wi;
+        double target;
+        VarStatus target_stat;
+        if (phase1 && xval_[j] < lo_[j] - kFeasEps) {
+          // Infeasible below: blocks only when rising to its lower bound.
+          if (rate <= 0) continue;
+          target = lo_[j];
+          target_stat = VarStatus::kAtLower;
+        } else if (phase1 && xval_[j] > hi_[j] + kFeasEps) {
+          if (rate >= 0) continue;
+          target = hi_[j];
+          target_stat = VarStatus::kAtUpper;
+        } else if (rate > 0) {
+          target = hi_[j];
+          target_stat = VarStatus::kAtUpper;
+        } else {
+          target = lo_[j];
+          target_stat = VarStatus::kAtLower;
+        }
+        if (!std::isfinite(target)) continue;
+        double ti = (target - xval_[j]) / rate;
+        if (ti < 0) ti = 0;  // degenerate (or tiny violation) pivot
+        // Near-tied ratios (within the feasibility tolerance) resolve
+        // toward the largest pivot element — small pivots poison both
+        // the updated inverse and the incremental reduced costs.
+        const bool take =
+            ti < t - kFeasEps ||
+            (ti < t + kFeasEps && leave >= 0 &&
+             (bland ? basis_[i] < basis_[leave]
+                    : std::abs(wi) > std::abs(leave_w)));
+        if (take) {
+          t = ti;
+          leave = i;
+          leave_target = target;
+          leave_stat = target_stat;
+          leave_w = wi;
+        }
+      }
+
+      if (!std::isfinite(t)) {
+        return phase1 ? IterStatus::kStalled : IterStatus::kUnbounded;
+      }
+
+      if (leave < 0) {
+        // Bound flip: the entering variable crosses to its other bound;
+        // no basis change, reduced costs unchanged.
+        for (int i = 0; i < m_; ++i) {
+          if (w_[i] != 0.0) xval_[basis_[i]] += -dir * w_[i] * t;
+        }
+        vstat_[enter] = vstat_[enter] == VarStatus::kAtLower
+                            ? VarStatus::kAtUpper
+                            : VarStatus::kAtLower;
+        xval_[enter] =
+            vstat_[enter] == VarStatus::kAtLower ? lo_[enter] : hi_[enter];
+        stats->bound_flips += 1;
+        GlobalSolverCounters().bound_flips += 1;
+        continue;
+      }
+
+      // --- Pivot: update values, statuses, inverse, reduced costs. ---
+      for (int i = 0; i < m_; ++i) {
+        if (w_[i] != 0.0) xval_[basis_[i]] += -dir * w_[i] * t;
+      }
+      xval_[enter] += dir * t;
+      const int leaving_var = basis_[leave];
+      xval_[leaving_var] = leave_target;  // snap exactly onto its bound
+      vstat_[leaving_var] = lo_[leaving_var] == hi_[leaving_var]
+                                ? VarStatus::kAtLower
+                                : leave_stat;
+      vstat_[enter] = VarStatus::kBasic;
+      basis_[leave] = enter;
+
+      if (!phase1) {
+        // Incremental reduced-cost row update from the (pre-update)
+        // pivot row rho = e_r B^{-1}: d_j -= (d_q / w_r) * (rho . a_j).
+        for (int k = 0; k < m_; ++k) {
+          rho_[k] = binv_[static_cast<size_t>(k) * m_ + leave];
+        }
+        const double theta = d_[enter] / w_[leave];
+        if (theta != 0.0) {
+          for (int j = 0; j < n_; ++j) {
+            if (vstat_[j] == VarStatus::kBasic) {
+              d_[j] = 0.0;
+              continue;
+            }
+            double alpha = 0;
+            if (j < nv_) {
+              const ColumnView col = model_.column(j);
+              for (int k = 0; k < col.nnz; ++k) {
+                alpha +=
+                    rho_[col.rows[k]] * col.vals[k] * row_scale_[col.rows[k]];
+              }
+            } else {
+              alpha = rho_[j - nv_];
+            }
+            if (alpha != 0.0) d_[j] -= theta * alpha;
+          }
+        } else {
+          d_[leaving_var] = 0.0;
+        }
+        d_[enter] = 0.0;
+        stats->phase2_pivots += 1;
+        GlobalSolverCounters().phase2_pivots += 1;
+        ++pivots_since_refresh;
+      } else {
+        stats->phase1_pivots += 1;
+        GlobalSolverCounters().phase1_pivots += 1;
+      }
+      ++pivots_since_factor;
+      UpdateInverse(leave);
     }
-    if (leave < 0) return IterStatus::kUnbounded;
-    t.Pivot(leave, enter);
+    return IterStatus::kIterLimit;
   }
-  return IterStatus::kIterLimit;
-}
+
+  const Model& model_;
+  const int nv_;  // structural variables
+  const int m_;   // rows
+  const int n_;   // structural + slacks
+
+  std::vector<double> lo_, hi_;   // per internal column
+  std::vector<double> cost_;      // phase-2 objective (slacks zero)
+  std::vector<double> b_;         // row-equilibrated rhs
+  std::vector<double> row_scale_; // 1 / max|coef| per row
+  std::vector<double> binv_;      // column-major explicit inverse
+  std::vector<int> basis_;        // basis_[r] = column basic in row r
+  std::vector<VarStatus> vstat_;  // per internal column
+  std::vector<double> xval_;      // all variable values
+  std::vector<double> d_;         // reduced costs
+  std::vector<double> w_;         // FTRAN scratch
+  std::vector<double> rho_;       // pivot-row scratch
+  std::vector<double> y_;         // BTRAN scratch
+  std::vector<double> scratch_;   // cb / residual scratch
+};
 
 }  // namespace
 
+SolverCounters& GlobalSolverCounters() {
+  static SolverCounters counters;
+  return counters;
+}
+
+void ResetSolverCounters() { GlobalSolverCounters() = SolverCounters{}; }
+
+SolverCounters SolverCountersSince(const SolverCounters& snapshot) {
+  const SolverCounters& now = GlobalSolverCounters();
+  SolverCounters delta;
+  delta.lp_solves = now.lp_solves - snapshot.lp_solves;
+  delta.phase1_pivots = now.phase1_pivots - snapshot.phase1_pivots;
+  delta.phase2_pivots = now.phase2_pivots - snapshot.phase2_pivots;
+  delta.bound_flips = now.bound_flips - snapshot.bound_flips;
+  delta.warm_starts = now.warm_starts - snapshot.warm_starts;
+  delta.cold_starts = now.cold_starts - snapshot.cold_starts;
+  delta.factorizations = now.factorizations - snapshot.factorizations;
+  return delta;
+}
+
 LpSolution SolveLp(const Model& model, const std::vector<double>* var_lower,
-                   const std::vector<double>* var_upper) {
+                   const std::vector<double>* var_upper,
+                   const LpBasis* warm_basis) {
   const int nv = model.num_variables();
   std::vector<double> lo(nv), hi(nv);
   for (int i = 0; i < nv; ++i) {
     lo[i] = var_lower != nullptr ? (*var_lower)[i] : model.variable(i).lower;
     hi[i] = var_upper != nullptr ? (*var_upper)[i] : model.variable(i).upper;
     if (lo[i] > hi[i]) {
-      return {Status::Infeasible("contradictory variable bounds"), {}, 0.0};
+      return {Status::Infeasible("contradictory variable bounds"), {}, 0.0,
+              {}, {}};
     }
   }
 
-  // Shift x = lo + x'; upper bounds become explicit rows x' <= hi - lo.
-  struct NormRow {
-    std::vector<std::pair<int, double>> terms;
-    Sense sense;
-    double rhs;
-  };
-  std::vector<NormRow> rows;
-  rows.reserve(model.num_rows() + nv);
-  for (const Row& r : model.rows()) {
-    NormRow nr{r.terms, r.sense, r.rhs};
-    for (const auto& [v, coef] : r.terms) nr.rhs -= coef * lo[v];
-    rows.push_back(std::move(nr));
-  }
-  for (int i = 0; i < nv; ++i) {
-    const double span = hi[i] - lo[i];
-    if (std::isfinite(span)) {
-      rows.push_back(NormRow{{{i, 1.0}}, Sense::kLe, span});
-    }
+  SolverCounters& counters = GlobalSolverCounters();
+  counters.lp_solves += 1;
+
+  RevisedSimplex simplex(model, lo, hi);
+  LpSolution sol;
+  if (warm_basis != nullptr && !warm_basis->empty() &&
+      simplex.WarmStart(*warm_basis)) {
+    sol.stats.warm_started = true;
+    counters.warm_starts += 1;
+  } else {
+    simplex.ColdStart();
+    counters.cold_starts += 1;
   }
 
-  const int m = static_cast<int>(rows.size());
-  // Column layout: [0, nv) structural, then one slack/surplus per
-  // inequality, then artificials as needed.
-  int n = nv;
-  std::vector<int> slack_col(m, -1);
-  for (int r = 0; r < m; ++r) {
-    // Normalize rhs >= 0.
-    if (rows[r].rhs < 0) {
-      rows[r].rhs = -rows[r].rhs;
-      for (auto& [v, c] : rows[r].terms) c = -c;
-      if (rows[r].sense == Sense::kLe) {
-        rows[r].sense = Sense::kGe;
-      } else if (rows[r].sense == Sense::kGe) {
-        rows[r].sense = Sense::kLe;
-      }
-    }
-    if (rows[r].sense != Sense::kEq) slack_col[r] = n++;
+  IterStatus st = simplex.Phase1(&sol.stats);
+  if (st == IterStatus::kStalled) {
+    sol.status = Status::Infeasible("phase-1 optimum positive");
+    return sol;
   }
-  std::vector<int> art_col(m, -1);
-  for (int r = 0; r < m; ++r) {
-    // kLe rows with slack start basic; kGe and kEq need artificials.
-    if (rows[r].sense != Sense::kLe) art_col[r] = n++;
-  }
-
-  Tableau t;
-  t.m = m;
-  t.n = n;
-  t.a.assign(m, std::vector<double>(n, 0.0));
-  t.b.resize(m);
-  t.basis.resize(m);
-  t.allowed.assign(n, true);
-  for (int r = 0; r < m; ++r) {
-    for (const auto& [v, c] : rows[r].terms) t.a[r][v] += c;
-    t.b[r] = rows[r].rhs;
-    if (slack_col[r] >= 0) {
-      t.a[r][slack_col[r]] = rows[r].sense == Sense::kLe ? 1.0 : -1.0;
-    }
-    if (art_col[r] >= 0) {
-      t.a[r][art_col[r]] = 1.0;
-      t.basis[r] = art_col[r];
-    } else {
-      t.basis[r] = slack_col[r];
-    }
-  }
-
-  // Phase 1: minimize the sum of artificials.
-  bool need_phase1 = false;
-  std::vector<double> c1(n, 0.0);
-  for (int r = 0; r < m; ++r) {
-    if (art_col[r] >= 0) {
-      c1[art_col[r]] = 1.0;
-      need_phase1 = true;
-    }
-  }
-  if (need_phase1) {
-    const IterStatus st = Iterate(t, c1);
-    if (st == IterStatus::kIterLimit) {
-      return {Status::Internal("simplex iteration limit (phase 1)"), {}, 0.0};
-    }
-    double art_sum = 0;
-    for (int r = 0; r < m; ++r) {
-      if (c1[t.basis[r]] != 0.0) art_sum += t.b[r];
-    }
-    if (art_sum > 1e-6) {
-      return {Status::Infeasible("phase-1 optimum positive"), {}, 0.0};
-    }
-    // Drive remaining (degenerate) artificials out of the basis.
-    for (int r = 0; r < m; ++r) {
-      if (t.basis[r] >= nv && c1[t.basis[r]] != 0.0) {
-        int piv = -1;
-        for (int j = 0; j < nv && piv < 0; ++j) {
-          if (std::abs(t.a[r][j]) > kEps) piv = j;
-        }
-        if (piv >= 0) t.Pivot(r, piv);
-        // If no pivot exists the row is redundant; harmless to keep.
-      }
-    }
-    // Artificials may not re-enter.
-    for (int r = 0; r < m; ++r) {
-      if (art_col[r] >= 0) t.allowed[art_col[r]] = false;
-    }
-  }
-
-  // Phase 2: the real objective (on shifted variables).
-  std::vector<double> c2(n, 0.0);
-  for (int i = 0; i < nv; ++i) c2[i] = model.variable(i).objective;
-  const IterStatus st = Iterate(t, c2);
   if (st == IterStatus::kIterLimit) {
-    return {Status::Internal("simplex iteration limit (phase 2)"), {}, 0.0};
+    sol.status = Status::Internal("simplex iteration limit (phase 1)");
+    return sol;
+  }
+  if (simplex.MaxViolation() > kInfeasTotal) {
+    sol.status = Status::Infeasible("phase-1 optimum positive");
+    return sol;
+  }
+
+  st = simplex.Phase2(&sol.stats);
+  if (st == IterStatus::kIterLimit) {
+    sol.status = Status::Internal("simplex iteration limit (phase 2)");
+    return sol;
   }
   if (st == IterStatus::kUnbounded) {
-    return {Status::Unbounded("LP relaxation unbounded"), {}, 0.0};
+    sol.status = Status::Unbounded("LP relaxation unbounded");
+    return sol;
   }
 
-  LpSolution sol;
   sol.status = Status::Ok();
-  sol.x.assign(nv, 0.0);
-  for (int r = 0; r < m; ++r) {
-    if (t.basis[r] < nv) sol.x[t.basis[r]] = t.b[r];
-  }
-  for (int i = 0; i < nv; ++i) sol.x[i] += lo[i];
+  sol.x = simplex.ExtractPrimal();
   sol.objective = model.ObjectiveValue(sol.x);
+  sol.basis = simplex.ExportBasis();
   return sol;
 }
 

@@ -1,10 +1,20 @@
-// A dense two-phase primal simplex for the LP relaxations of small and
-// medium models (the generic solver path; the structured ChoiceSolver
-// handles production-scale instances). Bland's rule guards against
-// cycling.
+// A sparse bounded-variable revised primal simplex for the LP
+// relaxations solved by the generic MIP path. Variable bounds
+// `lo <= x <= hi` are handled implicitly through nonbasic-at-lower /
+// nonbasic-at-upper states (no synthetic bound rows), pricing walks the
+// model's CSC column views, and the reduced-cost row is maintained
+// incrementally across pivots. Phase 1 is artificial-free: it restores
+// primal feasibility of an arbitrary starting basis by minimizing the
+// total bound violation of the basic variables, which is also what
+// makes warm starts from a parent basis cheap. Dantzig pricing with a
+// Bland fallback guards against cycling.
+//
+// The old dense tableau implementation survives as SolveLpDense in
+// lp/dense_simplex.h (differential-test oracle and benchmark baseline).
 #ifndef COPHY_LP_SIMPLEX_H_
 #define COPHY_LP_SIMPLEX_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "common/status.h"
@@ -12,19 +22,66 @@
 
 namespace cophy::lp {
 
+/// Simplex status of one variable (structural or row slack).
+enum class VarStatus : int8_t {
+  kAtLower = 0,  ///< nonbasic at its lower bound
+  kAtUpper = 1,  ///< nonbasic at its upper bound
+  kBasic = 2,
+  kFree = 3,     ///< nonbasic with no finite bound (value 0)
+};
+
+/// An exported simplex basis: one status per structural variable and
+/// one per row (the row's slack). Feed it back into SolveLp to
+/// warm-start a related solve (same model shape, perturbed bounds).
+struct LpBasis {
+  std::vector<VarStatus> variables;
+  std::vector<VarStatus> slacks;
+  bool empty() const { return variables.empty() && slacks.empty(); }
+};
+
+/// Per-solve work counters.
+struct LpSolveStats {
+  int64_t phase1_pivots = 0;   ///< feasibility-restoring pivots
+  int64_t phase2_pivots = 0;   ///< optimality pivots
+  int64_t bound_flips = 0;     ///< nonbasic lower<->upper moves (no pivot)
+  bool warm_started = false;   ///< an imported basis was accepted
+};
+
 /// Result of an LP solve.
 struct LpSolution {
   Status status;          ///< Ok, Infeasible, or Unbounded
   std::vector<double> x;  ///< primal values (valid when status ok)
   double objective = 0.0; ///< includes the model's objective constant
+  LpBasis basis;          ///< final basis (valid when status ok)
+  LpSolveStats stats;
 };
+
+/// Process-wide pivot/pricing accounting, accumulated by every SolveLp
+/// call (single-threaded; benchmarks snapshot and diff it).
+struct SolverCounters {
+  int64_t lp_solves = 0;
+  int64_t phase1_pivots = 0;
+  int64_t phase2_pivots = 0;
+  int64_t bound_flips = 0;
+  int64_t warm_starts = 0;     ///< solves that accepted an imported basis
+  int64_t cold_starts = 0;     ///< solves from the slack basis
+  int64_t factorizations = 0;  ///< basis matrix inversions (warm imports)
+};
+SolverCounters& GlobalSolverCounters();
+void ResetSolverCounters();
+/// Counter delta since a snapshot (work attribution for one run).
+SolverCounters SolverCountersSince(const SolverCounters& snapshot);
 
 /// Solves the LP relaxation of `model` (integrality dropped). Variable
 /// bounds are honored. `var_lower`/`var_upper` optionally override the
 /// model bounds (used by branch-and-bound to fix variables).
+/// `warm_basis`, if given and structurally compatible, seeds the solve
+/// with that basis; an unusable basis silently falls back to a cold
+/// start from the slack basis.
 LpSolution SolveLp(const Model& model,
                    const std::vector<double>* var_lower = nullptr,
-                   const std::vector<double>* var_upper = nullptr);
+                   const std::vector<double>* var_upper = nullptr,
+                   const LpBasis* warm_basis = nullptr);
 
 }  // namespace cophy::lp
 

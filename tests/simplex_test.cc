@@ -1,12 +1,46 @@
-// Unit tests for lp/: the Model container and the dense two-phase
-// simplex.
+// Unit tests for lp/: the CSR/CSC Model container and the sparse
+// bounded-variable revised simplex, differentially validated against
+// the retained dense tableau oracle (lp/dense_simplex.h).
 #include <gtest/gtest.h>
 
+#include <cmath>
+
+#include "common/random.h"
+#include "lp/dense_simplex.h"
 #include "lp/model.h"
 #include "lp/simplex.h"
 
 namespace cophy::lp {
 namespace {
+
+/// Feasibility of an LP point w.r.t. rows and (possibly overridden)
+/// bounds, ignoring integrality.
+bool LpFeasible(const Model& m, const std::vector<double>& x,
+                double eps = 1e-6) {
+  if (static_cast<int>(x.size()) != m.num_variables()) return false;
+  for (int i = 0; i < m.num_variables(); ++i) {
+    if (x[i] < m.variable(i).lower - eps || x[i] > m.variable(i).upper + eps) {
+      return false;
+    }
+  }
+  for (int r = 0; r < m.num_rows(); ++r) {
+    const RowView rv = m.row(r);
+    double lhs = 0;
+    for (int k = 0; k < rv.nnz; ++k) lhs += rv.vals[k] * x[rv.cols[k]];
+    switch (rv.sense) {
+      case Sense::kLe:
+        if (lhs > rv.rhs + eps) return false;
+        break;
+      case Sense::kGe:
+        if (lhs < rv.rhs - eps) return false;
+        break;
+      case Sense::kEq:
+        if (std::abs(lhs - rv.rhs) > eps) return false;
+        break;
+    }
+  }
+  return true;
+}
 
 TEST(ModelTest, VariablesAndRows) {
   Model m;
@@ -151,6 +185,233 @@ TEST(SimplexTest, FractionalLpRelaxationOfKnapsack) {
   ASSERT_TRUE(s.status.ok());
   EXPECT_NEAR(s.objective, -16.0, 1e-6);
 }
+
+// --- CSR/CSC storage ----------------------------------------------------
+
+TEST(ModelTest, RowAndColumnViews) {
+  Model m;
+  const VarId x = m.AddVariable(0, 10, 1.0, false, "x");
+  const VarId y = m.AddVariable(0, 10, 2.0, false, "y");
+  const VarId z = m.AddVariable(0, 10, 3.0, false, "z");
+  m.AddRow({{{x, 1.0}, {z, 3.0}}, Sense::kLe, 5.0, "r0"});
+  m.BeginRow(Sense::kGe, 2.0, "r1");
+  m.AddTerm(y, 4.0);
+  m.AddTerm(z, -1.0);
+  EXPECT_EQ(m.EndRow(), 1);
+  m.AddRow({{x, 7.0}}, Sense::kEq, 7.0, "r2");  // term-list overload
+  EXPECT_EQ(m.num_rows(), 3);
+  EXPECT_EQ(m.num_nonzeros(), 5);
+
+  const RowView r0 = m.row(0);
+  ASSERT_EQ(r0.nnz, 2);
+  EXPECT_EQ(r0.cols[0], x);
+  EXPECT_DOUBLE_EQ(r0.vals[1], 3.0);
+  EXPECT_EQ(r0.sense, Sense::kLe);
+  EXPECT_EQ(m.row_name(1), "r1");
+
+  // Column views are the exact transpose.
+  const ColumnView cz = m.column(z);
+  ASSERT_EQ(cz.nnz, 2);
+  EXPECT_EQ(cz.rows[0], 0);
+  EXPECT_DOUBLE_EQ(cz.vals[0], 3.0);
+  EXPECT_EQ(cz.rows[1], 1);
+  EXPECT_DOUBLE_EQ(cz.vals[1], -1.0);
+  const ColumnView cx = m.column(x);
+  ASSERT_EQ(cx.nnz, 2);
+  EXPECT_EQ(cx.rows[1], 2);
+}
+
+TEST(ModelTest, ColumnViewsRebuildAfterNewRows) {
+  Model m;
+  const VarId x = m.AddVariable(0, 1, 0.0, false);
+  m.AddRow({{{x, 1.0}}, Sense::kLe, 1.0, ""});
+  EXPECT_EQ(m.column(x).nnz, 1);
+  m.AddRow({{{x, 2.0}}, Sense::kLe, 2.0, ""});
+  EXPECT_EQ(m.column(x).nnz, 2);  // cache invalidated and rebuilt
+}
+
+// --- Bounded-variable edge cases ----------------------------------------
+
+TEST(SimplexTest, FixedVariableBounds) {
+  // lo == hi pins the variable; the rest optimizes around it.
+  Model m;
+  const VarId x = m.AddVariable(3, 3, 5.0, false);   // fixed at 3
+  const VarId y = m.AddVariable(0, 10, -1.0, false);
+  m.AddRow({{{x, 1.0}, {y, 1.0}}, Sense::kLe, 8.0, ""});
+  const LpSolution s = SolveLp(m);
+  ASSERT_TRUE(s.status.ok());
+  EXPECT_NEAR(s.x[x], 3.0, 1e-9);
+  EXPECT_NEAR(s.x[y], 5.0, 1e-7);
+  EXPECT_NEAR(s.objective, 10.0, 1e-6);
+}
+
+TEST(SimplexTest, InfiniteUpperBoundWithBindingRow) {
+  // min -x st x <= 7 as a row; variable itself unbounded above.
+  Model m;
+  const VarId x = m.AddVariable(0, std::numeric_limits<double>::infinity(),
+                                -1.0, false);
+  m.AddRow({{{x, 1.0}}, Sense::kLe, 7.0, ""});
+  const LpSolution s = SolveLp(m);
+  ASSERT_TRUE(s.status.ok());
+  EXPECT_NEAR(s.x[x], 7.0, 1e-7);
+}
+
+TEST(SimplexTest, NegativeLowerBounds) {
+  // min x + y st x + y >= -3, x,y in [-5, 5] → objective -3.
+  Model m;
+  const VarId x = m.AddVariable(-5, 5, 1.0, false);
+  const VarId y = m.AddVariable(-5, 5, 1.0, false);
+  m.AddRow({{{x, 1.0}, {y, 1.0}}, Sense::kGe, -3.0, ""});
+  const LpSolution s = SolveLp(m);
+  ASSERT_TRUE(s.status.ok());
+  EXPECT_NEAR(s.objective, -3.0, 1e-6);
+}
+
+TEST(SimplexTest, MixedMagnitudeRowsStayAccurate) {
+  // A storage-style row with 1e9-scale coefficients next to unit
+  // linking rows (the conditioning case behind the row equilibration).
+  Model m;
+  const VarId a = m.AddBinary(-10);
+  const VarId b = m.AddBinary(-6);
+  const VarId z = m.AddBinary(1);
+  m.AddRow({{{a, 2e9}, {b, 3e9}}, Sense::kLe, 4e9, ""});
+  m.AddRow({{{z, 1.0}, {a, -1.0}}, Sense::kGe, 0.0, ""});
+  const LpSolution s = SolveLp(m);
+  ASSERT_TRUE(s.status.ok());
+  // a = 1 (forces z = 1), b = 2/3: -10 + 1 - 4 = -13.
+  EXPECT_NEAR(s.objective, -13.0, 1e-6);
+}
+
+// --- Pivot accounting and basis export/import ----------------------------
+
+TEST(SimplexTest, StatsAndGlobalCountersAccumulate) {
+  Model m;
+  const VarId x = m.AddVariable(0, 3, -1.0, false);
+  const VarId y = m.AddVariable(0, 2, -2.0, false);
+  m.AddRow({{{x, 1.0}, {y, 1.0}}, Sense::kLe, 4.0, ""});
+  ResetSolverCounters();
+  const LpSolution s = SolveLp(m);
+  ASSERT_TRUE(s.status.ok());
+  const SolverCounters& c = GlobalSolverCounters();
+  EXPECT_EQ(c.lp_solves, 1);
+  EXPECT_EQ(c.cold_starts, 1);
+  EXPECT_EQ(c.warm_starts, 0);
+  EXPECT_EQ(c.phase1_pivots + c.phase2_pivots + c.bound_flips,
+            s.stats.phase1_pivots + s.stats.phase2_pivots +
+                s.stats.bound_flips);
+  EXPECT_GT(s.stats.phase2_pivots + s.stats.bound_flips, 0);
+}
+
+TEST(SimplexTest, ReimportedBasisSolvesWithZeroPivots) {
+  Model m;
+  const VarId x = m.AddVariable(0, 3, -1.0, false);
+  const VarId y = m.AddVariable(0, 2, -2.0, false);
+  m.AddRow({{{x, 1.0}, {y, 1.0}}, Sense::kLe, 4.0, ""});
+  const LpSolution first = SolveLp(m);
+  ASSERT_TRUE(first.status.ok());
+  ASSERT_FALSE(first.basis.empty());
+  const LpSolution again = SolveLp(m, nullptr, nullptr, &first.basis);
+  ASSERT_TRUE(again.status.ok());
+  EXPECT_TRUE(again.stats.warm_started);
+  EXPECT_EQ(again.stats.phase1_pivots, 0);
+  EXPECT_EQ(again.stats.phase2_pivots, 0);
+  EXPECT_NEAR(again.objective, first.objective, 1e-9);
+}
+
+TEST(SimplexTest, WarmStartUnderTightenedBoundsMatchesCold) {
+  // Branch-and-bound's exact usage: re-solve with one binary fixed.
+  Model m;
+  const VarId a = m.AddBinary(-10);
+  const VarId b = m.AddBinary(-6);
+  const VarId c = m.AddBinary(-4);
+  m.AddRow({{{a, 5.0}, {b, 4.0}, {c, 3.0}}, Sense::kLe, 8.0, ""});
+  const LpSolution root = SolveLp(m);
+  ASSERT_TRUE(root.status.ok());
+  std::vector<double> lo{0, 0, 0}, hi{1, 1, 1};
+  hi[a] = 0.0;  // fix the branched variable to zero
+  const LpSolution cold = SolveLp(m, &lo, &hi);
+  const LpSolution warm = SolveLp(m, &lo, &hi, &root.basis);
+  ASSERT_TRUE(cold.status.ok());
+  ASSERT_TRUE(warm.status.ok());
+  EXPECT_TRUE(warm.stats.warm_started);
+  EXPECT_NEAR(warm.objective, cold.objective, 1e-7);
+}
+
+TEST(SimplexTest, UnusableBasisFallsBackToColdStart) {
+  Model m;
+  const VarId x = m.AddVariable(0, 3, -1.0, false);
+  m.AddRow({{{x, 1.0}}, Sense::kLe, 2.0, ""});
+  LpBasis junk;
+  junk.variables = {VarStatus::kBasic};  // wrong slack count
+  const LpSolution s = SolveLp(m, nullptr, nullptr, &junk);
+  ASSERT_TRUE(s.status.ok());
+  EXPECT_FALSE(s.stats.warm_started);
+  EXPECT_NEAR(s.x[x], 2.0, 1e-7);
+}
+
+// --- Differential sweep against the dense tableau oracle ----------------
+
+class SimplexDifferentialTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimplexDifferentialTest, MatchesDenseOracle) {
+  Rng rng(4000 + GetParam());
+  Model m;
+  const int n = 3 + static_cast<int>(rng.Uniform(8));
+  for (int i = 0; i < n; ++i) {
+    const double c = -6.0 + static_cast<double>(rng.Uniform(13));
+    if (rng.Bernoulli(0.15)) {
+      const double v = static_cast<double>(rng.Uniform(4));
+      m.AddVariable(v, v, c, false);  // fixed variable
+    } else if (rng.Bernoulli(0.15)) {
+      m.AddVariable(0, std::numeric_limits<double>::infinity(), c, false);
+    } else if (rng.Bernoulli(0.2)) {
+      m.AddVariable(-2.0 - static_cast<double>(rng.Uniform(3)),
+                    1.0 + static_cast<double>(rng.Uniform(5)), c, false);
+    } else {
+      m.AddVariable(0, 1.0 + static_cast<double>(rng.Uniform(6)), c, false);
+    }
+  }
+  const int rows = 1 + static_cast<int>(rng.Uniform(5));
+  for (int r = 0; r < rows; ++r) {
+    Row row;
+    for (int i = 0; i < n; ++i) {
+      if (rng.Bernoulli(0.5)) {
+        row.terms.push_back(
+            {i, -3.0 + static_cast<double>(rng.Uniform(7))});
+      }
+    }
+    if (row.terms.empty()) continue;
+    const uint64_t pick = rng.Uniform(10);
+    row.sense = pick < 6 ? Sense::kLe : (pick < 9 ? Sense::kGe : Sense::kEq);
+    row.rhs = -4.0 + static_cast<double>(rng.Uniform(16));
+    m.AddRow(std::move(row));
+  }
+  // An unbounded objective needs at least one unbounded variable with
+  // negative cost; those cases are covered by UnboundedDetected.
+  const LpSolution revised = SolveLp(m);
+  const LpSolution dense = SolveLpDense(m);
+  if (revised.status.ok()) {
+    EXPECT_TRUE(LpFeasible(m, revised.x)) << "revised solution infeasible";
+  }
+  if (revised.status.ok() && dense.status.ok() && LpFeasible(m, dense.x)) {
+    // The oracle produced a genuinely feasible optimum: objectives must
+    // agree. (The dense tableau has a known flaw where a degenerate
+    // artificial drifts in phase 2 — those runs report an infeasible
+    // point and are excluded.)
+    EXPECT_NEAR(revised.objective, dense.objective,
+                1e-5 + 1e-7 * std::abs(dense.objective));
+  }
+  if (!revised.status.ok() && dense.status.ok()) {
+    // Revised claims infeasible/unbounded: the oracle must not hold a
+    // feasible bounded optimum.
+    EXPECT_FALSE(LpFeasible(m, dense.x))
+        << "revised=" << revised.status.ToString()
+        << " but dense found a feasible point";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomLps, SimplexDifferentialTest,
+                         ::testing::Range(0, 60));
 
 }  // namespace
 }  // namespace cophy::lp
