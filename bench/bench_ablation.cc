@@ -89,7 +89,7 @@ int main() {
       Env e = Env::Make(0.0, false, n, false);
       ConstraintSet cs = e.BudgetConstraint(1.0);
       CoPhyOptions opts = DefaultCoPhyOptions();
-      opts.candidates.extra_variants = extra;
+      opts.prepare.candidates.extra_variants = extra;
       opts.time_limit_seconds = 60;
       CoPhy advisor(e.system.get(), &e.pool, e.workload, opts);
       advisor.Prepare();

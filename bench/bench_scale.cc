@@ -1,0 +1,187 @@
+// Workload-scaling benchmark for the preparation pipeline: statement
+// count (1k → 50k) × {compression off/on} × {1..N threads}, reporting
+// Prepare/build/solve seconds, compression ratio, and the thread
+// speedup. Emits the same JSON shape as bench_micro (a "context" block
+// plus a "benchmarks" array) so CI uploads one perf-trajectory artifact
+// per commit.
+//
+//   bench_scale [max_statements] [threads_csv] [out.json]
+//
+// Defaults: 10000, "1,2,4,8", bench_scale.json. Pass 50000 for the full
+// paper-scale sweep.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/strings.h"
+#include "core/cophy.h"
+
+namespace cophy::bench {
+namespace {
+
+struct Sample {
+  int statements = 0;
+  const char* mode = "";
+  int threads = 0;
+  PrepareStats prepare;
+  double prepare_seconds = 0;
+  double build_seconds = 0;  // only measured for the tuned configs
+  double solve_seconds = 0;
+  double speedup_vs_1thread = 0;
+  double objective = 0;
+};
+
+std::vector<int> ParseThreads(const char* csv) {
+  std::vector<int> out;
+  std::string s(csv);
+  size_t pos = 0;
+  while (pos < s.size()) {
+    out.push_back(std::atoi(s.c_str() + pos));
+    const size_t comma = s.find(',', pos);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+Sample RunOne(int n, CompressionMode mode, bool share_templates, int threads,
+              bool tune) {
+  // A fresh environment per run: Prepare must start cold.
+  Env e = Env::Make(0.0, false, n, /*het=*/false, /*seed=*/42);
+  CoPhyOptions opts = DefaultCoPhyOptions();
+  opts.prepare.compression.mode = mode;
+  opts.prepare.share_templates = share_templates;
+  opts.prepare.num_threads = threads;
+  CoPhy advisor(e.system.get(), &e.pool, e.workload, opts);
+
+  Sample s;
+  s.statements = n;
+  s.threads = threads;
+  Stopwatch watch;
+  if (!advisor.Prepare().ok()) {
+    std::fprintf(stderr, "prepare failed (n=%d)\n", n);
+    std::exit(1);
+  }
+  s.prepare_seconds = watch.Elapsed();
+  s.prepare = advisor.prepared().stats();
+  if (tune) {
+    ConstraintSet cs = e.BudgetConstraint(0.5);
+    const Recommendation rec = advisor.Tune(cs);
+    s.build_seconds = rec.timings.build_seconds;
+    s.solve_seconds = rec.timings.solve_seconds;
+    s.objective = rec.objective;
+  }
+  return s;
+}
+
+void WriteJson(const char* path, const std::vector<Sample>& samples) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path);
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n  \"context\": {\"benchmark\": \"bench_scale\", "
+                  "\"hardware_threads\": %u},\n  \"benchmarks\": [\n",
+               std::thread::hardware_concurrency());
+  for (size_t i = 0; i < samples.size(); ++i) {
+    const Sample& s = samples[i];
+    std::fprintf(
+        f,
+        "    {\"name\": \"scale/n=%d/mode=%s/threads=%d\", "
+        "\"statements\": %d, \"mode\": \"%s\", \"threads\": %d, "
+        "\"prepare_seconds\": %.6f, \"compress_seconds\": %.6f, "
+        "\"cgen_seconds\": %.6f, \"inum_seconds\": %.6f, "
+        "\"build_seconds\": %.6f, \"solve_seconds\": %.6f, "
+        "\"compression_ratio\": %.3f, \"compressed_statements\": %d, "
+        "\"shared_statements\": %d, \"speedup_vs_1thread\": %.3f, "
+        "\"objective\": %.6f}%s\n",
+        s.statements, s.mode, s.threads, s.statements, s.mode, s.threads,
+        s.prepare_seconds, s.prepare.compression.seconds, s.prepare.cgen_seconds,
+        s.prepare.inum_seconds, s.build_seconds, s.solve_seconds,
+        s.prepare.compression.Ratio(), s.prepare.compression.output_statements,
+        s.prepare.shared_statements, s.speedup_vs_1thread, s.objective,
+        i + 1 < samples.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+int Main(int argc, char** argv) {
+  const int max_n = argc > 1 ? std::atoi(argv[1]) : 10000;
+  std::vector<int> thread_counts = ParseThreads(argc > 2 ? argv[2] : "1,2,4,8");
+  // speedup_vs_1thread needs the 1-thread baseline measured FIRST.
+  thread_counts.erase(
+      std::remove(thread_counts.begin(), thread_counts.end(), 1),
+      thread_counts.end());
+  thread_counts.insert(thread_counts.begin(), 1);
+  const char* out_path = argc > 3 ? argv[3] : "bench_scale.json";
+
+  std::vector<int> sizes;
+  for (int n : {1000, 5000, 10000, 50000}) {
+    if (n <= max_n) sizes.push_back(n);
+  }
+  if (sizes.empty()) sizes.push_back(max_n);
+
+  std::vector<Sample> samples;
+  for (int n : sizes) {
+    Title(StrFormat("W_hom scaling, %d statements", n));
+
+    // Naive pipeline: no compression, no template sharing, 1 thread —
+    // the per-statement INUM loop the refactor replaces. Skipped above
+    // 10k where it dominates the whole run.
+    if (n <= 10000) {
+      Sample naive = RunOne(n, CompressionMode::kNone,
+                            /*share_templates=*/false, 1, /*tune=*/false);
+      naive.mode = "naive";
+      naive.speedup_vs_1thread = 1.0;
+      Row({{"mode", "naive"},
+           {"threads", "1"},
+           {"prepare_s", Fmt("%.3f", naive.prepare_seconds)},
+           {"ratio", "1.0"}});
+      samples.push_back(naive);
+    }
+
+    // Compression off but shared templates (isolates the sharing win).
+    Sample shared = RunOne(n, CompressionMode::kNone, true, 1, false);
+    shared.mode = "shared";
+    shared.speedup_vs_1thread = 1.0;
+    Row({{"mode", "shared"},
+         {"threads", "1"},
+         {"prepare_s", Fmt("%.3f", shared.prepare_seconds)},
+         {"shared_stmts", Fmt("%.0f", 1.0 * shared.prepare.shared_statements)}});
+    samples.push_back(shared);
+
+    // Lossless compression × thread sweep, solving once per (n, threads)
+    // so the JSON also tracks build/solve alongside Prepare.
+    double base_seconds = 0;
+    for (int t : thread_counts) {
+      Sample s = RunOne(n, CompressionMode::kLossless, true, t, /*tune=*/true);
+      s.mode = "lossless";
+      if (t == 1) base_seconds = s.prepare_seconds;
+      s.speedup_vs_1thread =
+          s.prepare_seconds > 0 ? base_seconds / s.prepare_seconds : 0.0;
+      Row({{"mode", "lossless"},
+           {"threads", std::to_string(t)},
+           {"prepare_s", Fmt("%.3f", s.prepare_seconds)},
+           {"ratio", Fmt("%.1f", s.prepare.compression.Ratio())},
+           {"speedup", Fmt("%.2f", s.speedup_vs_1thread)},
+           {"build_s", Fmt("%.3f", s.build_seconds)},
+           {"solve_s", Fmt("%.3f", s.solve_seconds)}});
+      samples.push_back(s);
+    }
+  }
+
+  WriteJson(out_path, samples);
+  std::printf("\nwrote %s (%zu samples)\n", out_path, samples.size());
+  return 0;
+}
+
+}  // namespace
+}  // namespace cophy::bench
+
+int main(int argc, char** argv) { return cophy::bench::Main(argc, argv); }

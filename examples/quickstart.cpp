@@ -32,15 +32,18 @@ int main(int argc, char** argv) {
   std::printf("sample statement: %s\n",
               workload[0].ToString(catalog).c_str());
 
-  // 3. Tune with CoPhy: candidate generation + INUM + BIP solve.
+  // 3. Tune with CoPhy: compression + candidate generation + parallel
+  // INUM + BIP solve.
   CoPhyOptions opts;
-  opts.gap_target = 0.05;  // stop within 5% of optimal
+  opts.gap_target = 0.05;           // stop within 5% of optimal
+  opts.prepare.num_threads = 0;     // use every core for preparation
   CoPhy advisor(&system, &pool, workload, opts);
   if (Status s = advisor.Prepare(); !s.ok()) {
     std::fprintf(stderr, "prepare failed: %s\n", s.ToString().c_str());
     return 1;
   }
   std::printf("candidates generated: %zu\n", advisor.candidates().size());
+  std::printf("%s", RenderPrepareStats(advisor.prepared().stats()).c_str());
 
   ConstraintSet constraints;
   constraints.SetStorageBudget(budget_fraction * catalog.TotalDataBytes());

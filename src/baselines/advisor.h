@@ -28,6 +28,10 @@ struct AdvisorResult {
   /// LP pivot/pricing work performed during the run (delta of
   /// lp::GlobalSolverCounters; zero for advisors that never solve LPs).
   lp::SolverCounters lp_work;
+  /// Preparation-stage accounting: workload compression and (for
+  /// INUM-based advisors) threading/sharing. All four techniques now
+  /// run their compression through the shared compressor.
+  PrepareStats prepare;
   double TotalSeconds() const { return timings.Total(); }
 };
 

@@ -14,6 +14,7 @@ AdvisorResult CoPhyAdvisor::Recommend(const ConstraintSet& constraints) {
   result.configuration = rec.configuration;
   result.timings = rec.timings;
   result.candidates_considered = rec.num_candidates;
+  result.prepare = rec.prepare;
   result.whatif_calls = sim_->num_whatif_calls() - calls_before;
   result.solver_nodes = rec.nodes;
   result.solver_bound_evaluations = rec.bound_evaluations;

@@ -4,9 +4,9 @@
 #include <unordered_map>
 
 #include "common/check.h"
-#include "common/random.h"
 #include "common/stopwatch.h"
 #include "index/candidates.h"
+#include "workload/compressor.h"
 
 namespace cophy {
 
@@ -21,33 +21,31 @@ AdvisorResult GreedyAdvisor::Recommend(const ConstraintSet& constraints) {
   AdvisorResult result;
   Stopwatch watch;
   const int64_t calls_before = sim_->num_whatif_calls();
-  Rng rng(options_.seed);
   const Catalog& cat = sim_->catalog();
   const double budget = constraints.storage_budget()
                             ? *constraints.storage_budget()
                             : lp::kInf;
 
   // ---- Workload compression by random sampling -----------------------
-  std::vector<QueryId> sample;
-  {
-    std::vector<QueryId> all(workload_.size());
-    for (int i = 0; i < workload_.size(); ++i) all[i] = i;
-    const int k = std::min<int>(options_.sample_size, workload_.size());
-    for (int i = 0; i < k; ++i) {
-      std::swap(all[i], all[i + rng.Uniform(all.size() - i)]);
-    }
-    all.resize(k);
-    sample = std::move(all);
-  }
-  // Weight multiplier so the sample stands in for the full workload.
-  const double scale =
-      static_cast<double>(workload_.size()) / std::max<size_t>(1, sample.size());
+  // Tool-B's compression is the shared compressor's lossy mode with
+  // shape clustering off: a weight-rescaled random sample stands in for
+  // the full workload.
+  CompressionOptions copts;
+  copts.mode = CompressionMode::kLossy;
+  copts.cluster_by_shape = false;
+  copts.max_statements = options_.sample_size;
+  copts.seed = options_.seed;
+  const CompressedWorkload cw = CompressWorkload(workload_, cat, copts);
+  result.prepare.compression = cw.stats;
+  // Preparation (compression) and solve report as separate stages, like
+  // the INUM-based advisors.
+  result.timings.inum_seconds = cw.stats.seconds;
+  const Workload& sample = cw.workload;
 
   // ---- Per-query candidate recommendation on the sample --------------
   std::unordered_map<IndexId, double> benefit;
   std::unordered_map<IndexId, std::vector<QueryId>> referencing;
-  for (QueryId qid : sample) {
-    const Query& q = workload_[qid];
+  for (const Query& q : sample.statements()) {
     const double base = sim_->Cost(q, Configuration::Empty());
     std::vector<std::pair<double, IndexId>> scored;
     for (const Index& idx : CandidatesForQuery(q, cat, CandidateOptions{})) {
@@ -61,7 +59,7 @@ AdvisorResult GreedyAdvisor::Recommend(const ConstraintSet& constraints) {
         std::min<size_t>(scored.size(), options_.per_query_candidates));
     for (const auto& [b, id] : scored) {
       benefit[id] += b;
-      referencing[id].push_back(qid);
+      referencing[id].push_back(q.id);
     }
   }
   std::vector<std::pair<double, IndexId>> ranked;
@@ -74,11 +72,13 @@ AdvisorResult GreedyAdvisor::Recommend(const ConstraintSet& constraints) {
   result.candidates_considered = static_cast<int>(ranked.size());
 
   // ---- Greedy benefit-per-byte knapsack on the compressed workload ---
+  // The compressor already rescaled sample weights to stand in for the
+  // full workload, so deltas need no extra scale factor.
   Configuration x;
   double used = 0;
-  std::vector<double> cur(workload_.size(), 0);
-  for (QueryId qid : sample) {
-    cur[qid] = sim_->Cost(workload_[qid], Configuration::Empty());
+  std::vector<double> cur(sample.size(), 0);
+  for (const Query& q : sample.statements()) {
+    cur[q.id] = sim_->Cost(q, Configuration::Empty());
   }
   std::vector<IndexId> pool_ids;
   for (const auto& [b, id] : ranked) pool_ids.push_back(id);
@@ -97,10 +97,9 @@ AdvisorResult GreedyAdvisor::Recommend(const ConstraintSet& constraints) {
       y.Insert(id);
       double delta = 0;
       for (QueryId qid : referencing[id]) {
-        const Query& q = workload_[qid];
+        const Query& q = sample[qid];
         delta += q.weight * (cur[qid] - sim_->Cost(q, y));
       }
-      delta *= scale;
       const double ratio = delta / std::max(1.0, sz);
       if (delta > 0 && ratio > best_ratio) {
         best_ratio = ratio;
@@ -112,14 +111,14 @@ AdvisorResult GreedyAdvisor::Recommend(const ConstraintSet& constraints) {
       x.Insert(best_id);
       used += IndexSizeBytes((*pool_)[best_id], cat);
       for (QueryId qid : referencing[best_id]) {
-        cur[qid] = sim_->Cost(workload_[qid], x);
+        cur[qid] = sim_->Cost(sample[qid], x);
       }
       improved = true;
     }
   }
 
   result.configuration = std::move(x);
-  result.timings.solve_seconds = watch.Elapsed();
+  result.timings.solve_seconds = watch.Elapsed() - cw.stats.seconds;
   result.whatif_calls = sim_->num_whatif_calls() - calls_before;
   result.status = Status::Ok();
   return result;

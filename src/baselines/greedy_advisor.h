@@ -15,7 +15,8 @@
 namespace cophy {
 
 struct GreedyOptions {
-  /// Workload-compression sample size.
+  /// Workload-compression sample size (runs through the shared
+  /// compressor's lossy mode, shape clustering off — pure sampling).
   int sample_size = 40;
   /// Global candidate cap (the paper traced Tool-B at ~45).
   int max_candidates = 45;

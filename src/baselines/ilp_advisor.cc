@@ -24,16 +24,23 @@ AdvisorResult IlpAdvisor::Recommend(const ConstraintSet& constraints) {
   const lp::SolverCounters lp_before = lp::GlobalSolverCounters();
   configs_enumerated_ = 0;
 
-  // --- INUM preprocessing (shared with CoPhy, as in §5.1) -------------
+  // --- Shared preparation stage (same path as CoPhy, as in §5.1) ------
   Stopwatch inum_watch;
-  std::vector<IndexId> candidates = explicit_candidates_;
-  if (candidates.empty()) {
-    candidates = GenerateCandidates(workload_, sim_->catalog(),
-                                    CandidateOptions{}, *pool_);
+  PreparedWorkload prep;
+  const Status prep_status =
+      explicit_candidates_.empty()
+          ? prep.Prepare(sim_, pool_, workload_, options_.prepare)
+          : prep.PrepareWithCandidates(sim_, pool_, workload_,
+                                       options_.prepare, explicit_candidates_);
+  if (!prep_status.ok()) {
+    result.status = prep_status;
+    return result;
   }
-  Inum inum(sim_);
-  inum.Prepare(workload_, candidates);
+  const Inum& inum = prep.inum();
+  const Workload& w = prep.tuned();
+  const std::vector<IndexId>& candidates = prep.candidates();
   result.timings.inum_seconds = inum_watch.Elapsed();
+  result.prepare = prep.stats();
   result.candidates_considered = static_cast<int>(candidates.size());
 
   // --- Build: enumerate + cost + prune atomic configurations ---------
@@ -50,8 +57,8 @@ AdvisorResult IlpAdvisor::Recommend(const ConstraintSet& constraints) {
   for (int i = 0; i < p.num_indexes; ++i) {
     p.size[i] = IndexSizeBytes((*pool_)[candidates[i]], sim_->catalog());
   }
-  for (QueryId uid : workload_.UpdateIds()) {
-    const Query& uq = workload_[uid];
+  for (QueryId uid : w.UpdateIds()) {
+    const Query& uq = w[uid];
     p.constant_cost += uq.weight * sim_->BaseUpdateCost(uq);
     for (int i = 0; i < p.num_indexes; ++i) {
       p.fixed_cost[i] += uq.weight * inum.UpdateCost(candidates[i], uid);
@@ -59,7 +66,7 @@ AdvisorResult IlpAdvisor::Recommend(const ConstraintSet& constraints) {
   }
 
   const Configuration empty;
-  for (const Query& q : workload_.statements()) {
+  for (const Query& q : w.statements()) {
     const double base_cost = inum.ShellCost(q.id, empty);
 
     // Per-slot top-P candidates by individual benefit. As in the

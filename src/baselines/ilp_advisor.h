@@ -13,12 +13,17 @@
 #include <vector>
 
 #include "baselines/advisor.h"
+#include "core/prepared.h"
 #include "inum/inum.h"
 
 namespace cophy {
 
 /// Pruning knobs (the counterpart of [13]'s heuristics).
 struct IlpOptions {
+  /// Shared preparation stage (compression + CGen + parallel INUM) —
+  /// identical to CoPhy's, as in §5.1, so the comparison isolates the
+  /// formulation difference.
+  PrepareOptions prepare;
   /// Candidate indexes kept per referenced table when enumerating
   /// atomic configurations.
   int per_table_candidates = 8;

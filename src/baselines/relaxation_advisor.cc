@@ -30,6 +30,17 @@ AdvisorResult RelaxationAdvisor::Recommend(const ConstraintSet& constraints) {
                             : lp::kInf;
   const Catalog& cat = sim_->catalog();
 
+  // ---- Shared preparation: workload compression ----------------------
+  // Lossless by default: what-if pricing below then runs once per
+  // distinct statement with aggregated weights.
+  const CompressedWorkload cw =
+      CompressWorkload(workload_, cat, options_.compression);
+  result.prepare.compression = cw.stats;
+  // Preparation (compression) and solve report as separate stages, like
+  // the INUM-based advisors.
+  result.timings.inum_seconds = cw.stats.seconds;
+  const Workload& w = cw.workload;
+
   // ---- Seed: the best per-query indexes by direct what-if benefit ----
   struct Scored {
     IndexId id;
@@ -37,7 +48,7 @@ AdvisorResult RelaxationAdvisor::Recommend(const ConstraintSet& constraints) {
   };
   std::unordered_map<IndexId, double> aggregated;
   std::unordered_map<IndexId, std::vector<QueryId>> referencing;
-  for (const Query& q : workload_.statements()) {
+  for (const Query& q : w.statements()) {
     if (watch.Elapsed() > options_.time_limit_seconds) {
       result.timed_out = true;  // seed with what has been priced so far
       break;
@@ -97,7 +108,7 @@ AdvisorResult RelaxationAdvisor::Recommend(const ConstraintSet& constraints) {
             ? 1.0
             : static_cast<double>(affected.size()) / std::max<size_t>(1, sample.size());
     for (QueryId qid : sample) {
-      const Query& q = workload_[qid];
+      const Query& q = w[qid];
       delta += q.weight * (sim_->Cost(q, y) - sim_->Cost(q, x));
     }
     return std::max(0.0, delta * scale);
@@ -189,7 +200,7 @@ AdvisorResult RelaxationAdvisor::Recommend(const ConstraintSet& constraints) {
   }
 
   result.configuration = std::move(x);
-  result.timings.solve_seconds = watch.Elapsed();
+  result.timings.solve_seconds = watch.Elapsed() - cw.stats.seconds;
   result.whatif_calls = sim_->num_whatif_calls() - calls_before;
   result.lp_work = lp::SolverCountersSince(lp_before);
   result.status = Status::Ok();

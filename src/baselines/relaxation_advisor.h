@@ -14,10 +14,16 @@
 #include <vector>
 
 #include "baselines/advisor.h"
+#include "workload/compressor.h"
 
 namespace cophy {
 
 struct RelaxationOptions {
+  /// Workload compression applied before seeding (shared compressor).
+  /// Lossless by default: cost-equivalent statements are priced once
+  /// with aggregated weights, which changes nothing semantically but
+  /// removes redundant what-if calls.
+  CompressionOptions compression;
   /// Best indexes kept per query when seeding the initial configuration.
   int per_query_candidates = 2;
   /// Global cap on the candidate set (the paper traced Tool-A at ~170).

@@ -72,6 +72,10 @@ double Catalog::TotalDataBytes() const {
   return total;
 }
 
+void Catalog::WarmStatistics() const {
+  for (ColumnId c = 0; c < num_columns(); ++c) ZipfFor(c);
+}
+
 const Zipf& Catalog::ZipfFor(ColumnId c) const {
   auto& slot = zipf_cache_[c];
   if (!slot) {
@@ -97,8 +101,7 @@ double Catalog::RangeSelectivity(ColumnId c, double quantile,
   const uint64_t lo = static_cast<uint64_t>(quantile * n);  // ranks (lo, hi]
   const uint64_t hi = std::min(
       col.distinct, lo + std::max<uint64_t>(1, static_cast<uint64_t>(width * n)));
-  const Zipf& zipf = ZipfFor(c);
-  return std::max(0.0, zipf.Cdf(hi) - zipf.Cdf(lo));
+  return ZipfFor(c).Mass(lo, hi);
 }
 
 namespace {

@@ -84,6 +84,13 @@ class Catalog {
   /// rank domain starting at `quantile`.
   double RangeSelectivity(ColumnId c, double quantile, double width) const;
 
+  /// Forces the lazy per-column distribution cache to be fully built.
+  /// The selectivity getters are const but populate that cache on first
+  /// touch, so concurrent first touches would race; parallel consumers
+  /// (Inum::Prepare with a thread pool) call this once up front, after
+  /// which every selectivity query is a pure read.
+  void WarmStatistics() const;
+
  private:
   const Zipf& ZipfFor(ColumnId c) const;
 

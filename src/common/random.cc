@@ -1,5 +1,6 @@
 #include "common/random.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/check.h"
@@ -109,6 +110,12 @@ double Zipf::Cdf(uint64_t r) const {
   COPHY_CHECK_LE(r, n_);
   if (r == 0) return 0.0;
   return Harmonic(r) / h_n_;
+}
+
+double Zipf::Mass(uint64_t lo, uint64_t hi) const {
+  COPHY_CHECK_LE(lo, hi);
+  COPHY_CHECK_LE(hi, n_);
+  return std::max(0.0, (Harmonic(hi) - Harmonic(lo)) / h_n_);
 }
 
 uint64_t Zipf::RankAtQuantile(double q) const {

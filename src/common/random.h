@@ -55,6 +55,13 @@ class Zipf {
   /// Sum of P over ranks 1..r (CDF). Requires 0 <= r <= n; Cdf(0) = 0.
   double Cdf(uint64_t r) const;
 
+  /// Probability mass of the rank interval (lo, hi]. Equivalent to
+  /// Cdf(hi) - Cdf(lo) but computed with a single normalization, so
+  /// intervals of equal unnormalized mass give bit-identical results
+  /// wherever they sit (e.g. uniform z = 0: exactly (hi - lo) / n) —
+  /// the property the workload compressor's lossless mode leans on.
+  double Mass(uint64_t lo, uint64_t hi) const;
+
   /// The rank at quantile q in [0,1): smallest r with Cdf(r) > q.
   uint64_t RankAtQuantile(double q) const;
 

@@ -1,0 +1,142 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace cophy {
+
+namespace {
+/// Set while a pool worker (or a caller inside ParallelFor) is running
+/// job iterations; nested ParallelFor calls detect it and run inline.
+thread_local bool tls_in_parallel_region = false;
+}  // namespace
+
+int ResolveThreadCount(int num_threads) {
+  if (num_threads > 0) return num_threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return std::max(1u, hw);
+}
+
+ThreadPool::ThreadPool(int num_threads) {
+  const int n = ResolveThreadCount(num_threads);
+  workers_.reserve(static_cast<size_t>(n - 1));
+  for (int i = 0; i < n - 1; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::RunJob(Job& job) {
+  const bool was_in_region = tls_in_parallel_region;
+  tls_in_parallel_region = true;
+  while (true) {
+    const int64_t i = job.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= job.n) break;
+    try {
+      (*job.fn)(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(job.error_mu);
+      if (!job.error) job.error = std::current_exception();
+    }
+    if (job.completed.fetch_add(1, std::memory_order_release) + 1 == job.n) {
+      // Last item done: wake the (possibly sleeping) caller. Taking the
+      // pool mutex orders this against the caller's predicate check.
+      std::lock_guard<std::mutex> lock(mu_);
+      done_cv_.notify_all();
+    }
+  }
+  tls_in_parallel_region = was_in_region;
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen_generation = 0;
+  while (true) {
+    Job* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] {
+        return stop_ || (job_ != nullptr && generation_ != seen_generation);
+      });
+      if (stop_) return;
+      seen_generation = generation_;
+      job = job_;
+      job->in_flight.fetch_add(1, std::memory_order_relaxed);
+    }
+    RunJob(*job);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      job->in_flight.fetch_sub(1, std::memory_order_release);
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(int64_t n,
+                             const std::function<void(int64_t)>& fn) {
+  if (n <= 0) return;
+  // Nested use (a worker's iteration body fans out again) and trivially
+  // small loops run inline: correct, deterministic, no deadlock.
+  if (tls_in_parallel_region || workers_.empty() || n == 1) {
+    struct RegionReset {
+      bool prior;
+      ~RegionReset() { tls_in_parallel_region = prior; }
+    } reset{tls_in_parallel_region};
+    tls_in_parallel_region = true;
+    std::exception_ptr error;
+    for (int64_t i = 0; i < n; ++i) {
+      try {
+        fn(i);
+      } catch (...) {
+        if (!error) error = std::current_exception();
+      }
+    }
+    if (error) std::rethrow_exception(error);
+    return;
+  }
+
+  std::lock_guard<std::mutex> call_lock(call_mu_);
+  Job job;
+  job.n = n;
+  job.fn = &fn;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = &job;
+    ++generation_;
+  }
+  cv_.notify_all();
+  // The calling thread works too; by the time it runs out of items every
+  // iteration has been claimed, so it only has to wait (blocking, not
+  // spinning — stragglers may run for seconds) for the rest.
+  RunJob(job);
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] {
+      return job.completed.load(std::memory_order_acquire) >= n;
+    });
+    // Unpublish the job, then wait for workers that already hold a
+    // pointer to it to leave RunJob — `job` lives on this stack frame.
+    job_ = nullptr;
+    done_cv_.wait(lock, [&] {
+      return job.in_flight.load(std::memory_order_acquire) == 0;
+    });
+  }
+  if (job.error) std::rethrow_exception(job.error);
+}
+
+void ParallelFor(ThreadPool* pool, int64_t n,
+                 const std::function<void(int64_t)>& fn) {
+  if (pool != nullptr) {
+    pool->ParallelFor(n, fn);
+    return;
+  }
+  for (int64_t i = 0; i < n; ++i) fn(i);
+}
+
+}  // namespace cophy

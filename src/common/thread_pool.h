@@ -1,0 +1,84 @@
+// A small persistent worker pool with a ParallelFor helper, used by the
+// preparation pipeline (parallel INUM what-if preprocessing). Work items
+// are claimed through an atomic counter, so scheduling is dynamic but
+// callers that write result i into slot i get output that is
+// bit-identical regardless of thread count or interleaving.
+#ifndef COPHY_COMMON_THREAD_POOL_H_
+#define COPHY_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cophy {
+
+/// Resolves a thread-count knob: values <= 0 mean "use the hardware"
+/// (std::thread::hardware_concurrency, at least 1).
+int ResolveThreadCount(int num_threads);
+
+/// A fixed-size pool of worker threads. The only entry point is
+/// ParallelFor; the pool is reusable across calls but one call runs at
+/// a time (concurrent ParallelFor calls from different threads are
+/// serialized by an internal mutex).
+class ThreadPool {
+ public:
+  /// Spawns `num_threads - 1` workers (the calling thread participates
+  /// in every ParallelFor, so a pool of size 1 spawns nothing and runs
+  /// purely inline). num_threads <= 0 resolves to the hardware count.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total parallelism including the calling thread.
+  int size() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Runs fn(i) for every i in [0, n). Blocks until all iterations
+  /// finished. If any iteration throws, the first exception (in claim
+  /// order) is rethrown here after the loop drains; remaining claimed
+  /// iterations still run. Nested calls from inside a worker run the
+  /// loop inline on that worker (no deadlock, no oversubscription).
+  /// n <= 0 is a no-op.
+  void ParallelFor(int64_t n, const std::function<void(int64_t)>& fn);
+
+ private:
+  struct Job {
+    std::atomic<int64_t> next{0};
+    int64_t n = 0;
+    const std::function<void(int64_t)>* fn = nullptr;
+    std::atomic<int64_t> completed{0};
+    /// Workers currently holding a pointer to this job (claimed under
+    /// the pool mutex) — the caller must not destroy the job until this
+    /// drains back to zero.
+    std::atomic<int> in_flight{0};
+    std::mutex error_mu;
+    std::exception_ptr error;  // first exception wins
+  };
+
+  void WorkerLoop();
+  void RunJob(Job& job);
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;                    // protects job_/generation_/stop_
+  std::condition_variable cv_;       // workers wait here for a new job
+  std::condition_variable done_cv_;  // caller waits for completion/drain
+  std::mutex call_mu_;               // serializes ParallelFor callers
+  Job* job_ = nullptr;
+  uint64_t generation_ = 0;
+  bool stop_ = false;
+};
+
+/// Convenience wrapper: runs fn(i) over [0, n) on `pool`, or inline when
+/// `pool` is null (the serial path used when num_threads == 1).
+void ParallelFor(ThreadPool* pool, int64_t n,
+                 const std::function<void(int64_t)>& fn);
+
+}  // namespace cophy
+
+#endif  // COPHY_COMMON_THREAD_POOL_H_

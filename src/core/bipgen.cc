@@ -19,6 +19,37 @@ std::unordered_map<IndexId, int> DenseMap(const std::vector<IndexId>& candidates
   return m;
 }
 
+/// Groups statements by their INUM leader in first-occurrence order,
+/// aggregating weights. When `caps` is given, each member's cost cap is
+/// folded (min) into its leader's entry. Cap semantics for merged
+/// duplicates are deliberately the *intersection*: a cap on any member
+/// binds the whole block. That is conservative (every solution remains
+/// feasible for the original per-statement constraints — never the
+/// reverse) and matches what lossless compression produces when the
+/// constraint is translated onto the shared representative, keeping the
+/// compressed and uncompressed problems bit-identical. With uniform
+/// generators like ForEachQueryAssertSpeedup, duplicate members carry
+/// identical caps and the intersection is exact.
+std::vector<std::pair<QueryId, double>> CanonicalQueryBlocks(
+    const Inum& inum, const Workload& w, std::vector<double>* caps) {
+  std::vector<std::pair<QueryId, double>> blocks;
+  std::vector<int> block_of(w.size(), -1);
+  for (const Query& q : w.statements()) {
+    const QueryId lead = inum.leader(q.id);
+    int b = block_of[lead];
+    if (b < 0) {
+      b = static_cast<int>(blocks.size());
+      block_of[lead] = b;
+      blocks.push_back({lead, 0.0});
+    }
+    blocks[b].second += q.weight;
+    if (caps != nullptr && lead != q.id) {
+      (*caps)[lead] = std::min((*caps)[lead], (*caps)[q.id]);
+    }
+  }
+  return blocks;
+}
+
 }  // namespace
 
 lp::ChoiceProblem BuildChoiceProblem(
@@ -39,16 +70,6 @@ lp::ChoiceProblem BuildChoiceProblem(
     p.size[i] = IndexSizeBytes(pool[candidates[i]], cat);
   }
 
-  // Update statements: index-maintenance penalties f_q·ucost(a, q) and
-  // the configuration-independent base maintenance constant.
-  for (QueryId uid : w.UpdateIds()) {
-    const Query& uq = w[uid];
-    p.constant_cost += uq.weight * sim.BaseUpdateCost(uq);
-    for (int i = 0; i < p.num_indexes; ++i) {
-      p.fixed_cost[i] += uq.weight * inum.UpdateCost(candidates[i], uid);
-    }
-  }
-
   // Query-cost caps (resolved against the baseline costs).
   std::vector<double> caps(w.size(), lp::kInf);
   for (const QueryCostConstraint& qc : constraints.query_cost_constraints()) {
@@ -60,12 +81,33 @@ lp::ChoiceProblem BuildChoiceProblem(
     caps[qc.query] = std::min(caps[qc.query], cap);
   }
 
-  // Per-statement choice structure straight from the INUM caches.
-  p.queries.reserve(w.size());
-  for (const Query& q : w.statements()) {
+  // Canonical query blocks: statements sharing an INUM leader have
+  // bit-identical caches, so they collapse into one block with
+  // aggregated weight and intersected cost cap. A workload compressed
+  // losslessly up front and an uncompressed one therefore materialize
+  // the *same* ChoiceProblem bit for bit — which is what makes the
+  // compression equivalence guarantee exact — and the solver's per-node
+  // bound work scales with distinct statements either way.
+  const std::vector<std::pair<QueryId, double>> blocks =
+      CanonicalQueryBlocks(inum, w, &caps);
+
+  // Update blocks: index-maintenance penalties f_q·ucost(a, q) and the
+  // configuration-independent base maintenance constant.
+  for (const auto& [lead, weight] : blocks) {
+    if (!w[lead].IsUpdate()) continue;
+    p.constant_cost += weight * sim.BaseUpdateCost(w[lead]);
+    for (int i = 0; i < p.num_indexes; ++i) {
+      p.fixed_cost[i] += weight * inum.UpdateCost(candidates[i], lead);
+    }
+  }
+
+  // Per-block choice structure straight from the INUM caches.
+  p.queries.reserve(blocks.size());
+  for (const auto& [lead, weight] : blocks) {
+    const Query& q = w[lead];
     const QueryCache& qc = inum.cache(q.id);
     lp::ChoiceQuery cq;
-    cq.weight = q.weight;
+    cq.weight = weight;
     cq.cost_cap = caps[q.id];
     cq.plans.reserve(qc.templates.size());
     for (const QueryCache::Template& t : qc.templates) {
@@ -221,8 +263,10 @@ BipStats ComputeBipStats(const Inum& inum,
   BipStats s;
   s.z_variables = static_cast<int64_t>(candidates.size());
   const Workload& w = inum.workload();
-  for (const Query& q : w.statements()) {
-    const QueryCache& qc = inum.cache(q.id);
+  // Mirror BuildChoiceProblem's canonical blocks.
+  for (const auto& [lead, weight] : CanonicalQueryBlocks(inum, w, nullptr)) {
+    (void)weight;
+    const QueryCache& qc = inum.cache(lead);
     s.y_variables += static_cast<int64_t>(qc.templates.size());
     ++s.assignment_rows;  // Σ y = 1
     for (const QueryCache::Template& t : qc.templates) {

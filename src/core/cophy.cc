@@ -17,15 +17,14 @@ CoPhy::CoPhy(SystemSimulator* sim, IndexPool* pool, Workload workload,
   COPHY_CHECK(sim != nullptr);
   COPHY_CHECK(pool != nullptr);
   COPHY_CHECK_EQ(&sim->pool(), pool);
-  inum_ = std::make_unique<Inum>(sim_);
 }
 
 Status CoPhy::Prepare(const std::vector<Index>& dba_indexes) {
   Stopwatch watch;
-  std::vector<IndexId> ids = GenerateCandidates(
-      workload_, sim_->catalog(), options_.candidates, *pool_, dba_indexes);
-  inum_->Prepare(workload_, ids);
-  candidates_ = std::move(ids);
+  Status s = prepared_.Prepare(sim_, pool_, workload_, options_.prepare,
+                               dba_indexes);
+  if (!s.ok()) return s;
+  candidates_ = prepared_.candidates();
   last_selection_.clear();
   prepare_seconds_ += watch.Elapsed();
   return Status::Ok();
@@ -33,22 +32,22 @@ Status CoPhy::Prepare(const std::vector<Index>& dba_indexes) {
 
 Status CoPhy::PrepareWithCandidates(std::vector<IndexId> candidate_ids) {
   Stopwatch watch;
-  for (IndexId id : candidate_ids) {
-    if (id < 0 || id >= pool_->size()) {
-      return Status::InvalidArgument("candidate id outside the pool");
-    }
-  }
-  inum_->Prepare(workload_, candidate_ids);
-  candidates_ = std::move(candidate_ids);
+  Status s = prepared_.PrepareWithCandidates(
+      sim_, pool_, workload_, options_.prepare, std::move(candidate_ids));
+  if (!s.ok()) return s;
+  candidates_ = prepared_.candidates();
   last_selection_.clear();
   prepare_seconds_ += watch.Elapsed();
   return Status::Ok();
 }
 
 Status CoPhy::RestrictCandidates(std::vector<IndexId> subset) {
+  if (!prepared_.prepared()) {
+    return Status::InvalidArgument("Prepare must run first");
+  }
+  const std::vector<IndexId>& all = prepared_.inum().candidates();
   for (IndexId id : subset) {
-    if (std::find(inum_->candidates().begin(), inum_->candidates().end(), id) ==
-        inum_->candidates().end()) {
+    if (std::find(all.begin(), all.end(), id) == all.end()) {
       return Status::InvalidArgument("subset index was never prepared");
     }
   }
@@ -59,16 +58,28 @@ Status CoPhy::RestrictCandidates(std::vector<IndexId> subset) {
 
 Status CoPhy::AddCandidates(const std::vector<IndexId>& new_ids) {
   Stopwatch watch;
+  if (!prepared_.prepared()) {
+    return Status::InvalidArgument("Prepare must run first");
+  }
   for (IndexId id : new_ids) {
-    if (id < 0 || id >= pool_->size()) {
-      return Status::InvalidArgument("candidate id outside the pool");
-    }
     if (std::find(candidates_.begin(), candidates_.end(), id) !=
         candidates_.end()) {
       return Status::InvalidArgument("candidate already present");
     }
   }
-  inum_->AddCandidates(new_ids);
+  // Ids excluded earlier via RestrictCandidates still have live INUM
+  // caches — only genuinely new ids need incremental γ preparation.
+  const std::vector<IndexId>& already = prepared_.inum().candidates();
+  std::vector<IndexId> unprepared;
+  for (IndexId id : new_ids) {
+    if (std::find(already.begin(), already.end(), id) == already.end()) {
+      unprepared.push_back(id);
+    }
+  }
+  if (!unprepared.empty()) {
+    Status s = prepared_.AddCandidates(unprepared);
+    if (!s.ok()) return s;
+  }
   candidates_.insert(candidates_.end(), new_ids.begin(), new_ids.end());
   // Keep the warm start valid: new candidates start unselected.
   if (!last_selection_.empty()) {
@@ -79,12 +90,13 @@ Status CoPhy::AddCandidates(const std::vector<IndexId>& new_ids) {
 }
 
 std::vector<double> CoPhy::BaselineShellCosts(const ConstraintSet& constraints) {
+  // `constraints` must already be in the compressed statement space.
   std::vector<double> base;
   if (constraints.query_cost_constraints().empty()) return base;
-  base.resize(workload_.size(), 0.0);
+  base.resize(prepared_.tuned().size(), 0.0);
   const Configuration empty;
   for (const QueryCostConstraint& qc : constraints.query_cost_constraints()) {
-    base[qc.query] = inum_->ShellCost(qc.query, empty);
+    base[qc.query] = prepared_.inum().ShellCost(qc.query, empty);
   }
   return base;
 }
@@ -100,15 +112,24 @@ Recommendation CoPhy::Retune(const ConstraintSet& constraints) {
 Recommendation CoPhy::TuneInternal(const ConstraintSet& constraints,
                                    bool warm_start) {
   Recommendation rec;
+  if (!prepared_.prepared()) {
+    rec.status = Status::InvalidArgument("Prepare must run first");
+    return rec;
+  }
   rec.num_candidates = static_cast<int>(candidates_.size());
   rec.timings.inum_seconds = prepare_seconds_;
+  rec.prepare = prepared_.stats();
   prepare_seconds_ = 0;  // consumed by this report
 
   Stopwatch build_watch;
-  const std::vector<double> baseline = BaselineShellCosts(constraints);
+  // Per-query constraints are expressed over the original workload;
+  // rewrite them into the compressed statement space tuning runs on.
+  const ConstraintSet local = prepared_.TranslateConstraints(constraints);
+  const std::vector<double> baseline = BaselineShellCosts(local);
+  const Inum& inum = prepared_.inum();
   lp::ChoiceProblem problem =
-      BuildChoiceProblem(*inum_, candidates_, constraints, baseline);
-  rec.bip = ComputeBipStats(*inum_, candidates_, constraints);
+      BuildChoiceProblem(inum, candidates_, local, baseline);
+  rec.bip = ComputeBipStats(inum, candidates_, local);
   lp::ChoiceSolver solver(&problem);
   rec.timings.build_seconds = build_watch.Elapsed();
 
@@ -160,9 +181,10 @@ ParetoPoint CoPhy::SolveScalarized(const ConstraintSet& constraints,
   ParetoPoint point;
   point.lambda = lambda;
 
-  const std::vector<double> baseline = BaselineShellCosts(constraints);
+  const ConstraintSet local = prepared_.TranslateConstraints(constraints);
+  const std::vector<double> baseline = BaselineShellCosts(local);
   lp::ChoiceProblem problem =
-      BuildChoiceProblem(*inum_, candidates_, constraints, baseline);
+      BuildChoiceProblem(prepared_.inum(), candidates_, local, baseline);
   const std::vector<double> soft_w_raw = SoftConstraintWeights(
       soft, candidates_, sim_->pool(), sim_->catalog());
   std::vector<double> soft_w = soft_w_raw;

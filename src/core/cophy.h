@@ -12,6 +12,7 @@
 
 #include "constraints/constraints.h"
 #include "core/bipgen.h"
+#include "core/prepared.h"
 #include "index/candidates.h"
 #include "inum/inum.h"
 #include "lp/choice_problem.h"
@@ -20,7 +21,8 @@ namespace cophy {
 
 /// Tuning-session knobs.
 struct CoPhyOptions {
-  CandidateOptions candidates;
+  /// Preparation stage: compression, CGen, INUM threading.
+  PrepareOptions prepare;
   /// Stop at the first solution provably within this fraction of the
   /// optimum (paper default 5%).
   double gap_target = 0.05;
@@ -34,8 +36,10 @@ struct CoPhyOptions {
 };
 
 /// Timing breakdown matching the paper's stacked bars (Figs. 5/10).
+/// `inum_seconds` covers the whole preparation stage (compression +
+/// CGen + INUM); the finer split lives in Recommendation::prepare.
 struct TuningTimings {
-  double inum_seconds = 0;   ///< what-if preprocessing (Prepare)
+  double inum_seconds = 0;   ///< preparation (Compress + CGen + INUM)
   double build_seconds = 0;  ///< BIP generation
   double solve_seconds = 0;  ///< solver time
   double Total() const { return inum_seconds + build_seconds + solve_seconds; }
@@ -53,6 +57,9 @@ struct Recommendation {
   TuningTimings timings;
   BipStats bip;
   int num_candidates = 0;
+  /// Preparation-stage accounting (compression ratio, thread count,
+  /// stage timings) for the session that produced this recommendation.
+  PrepareStats prepare;
 };
 
 /// One point of a Pareto sweep over a soft constraint.
@@ -113,7 +120,11 @@ class CoPhy {
                                          double epsilon = 0.05,
                                          int max_points = 16);
 
-  const Inum& inum() const { return *inum_; }
+  const Inum& inum() const { return prepared_.inum(); }
+  /// The shared preparation stage (compressed view, mapping, stats).
+  const PreparedWorkload& prepared() const { return prepared_; }
+  /// The active candidate set tuning runs over (a subset of the
+  /// prepared candidates after RestrictCandidates).
   const std::vector<IndexId>& candidates() const { return candidates_; }
   double prepare_seconds() const { return prepare_seconds_; }
 
@@ -130,7 +141,7 @@ class CoPhy {
   IndexPool* pool_;
   Workload workload_;
   CoPhyOptions options_;
-  std::unique_ptr<Inum> inum_;
+  PreparedWorkload prepared_;
   std::vector<IndexId> candidates_;
   double prepare_seconds_ = 0;
   std::vector<uint8_t> last_selection_;  // dense, for warm starts

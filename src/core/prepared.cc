@@ -1,0 +1,125 @@
+#include "core/prepared.h"
+
+#include "common/check.h"
+#include "common/stopwatch.h"
+
+namespace cophy {
+
+Status PreparedWorkload::Begin(SystemSimulator* sim, IndexPool* pool,
+                               const Workload& w, const PrepareOptions& opts) {
+  COPHY_CHECK(sim != nullptr);
+  COPHY_CHECK(pool != nullptr);
+  COPHY_CHECK_EQ(&sim->pool(), pool);
+  sim_ = sim;
+  pool_ = pool;
+  options_ = opts;
+  stats_ = PrepareStats();
+
+  compressed_ = CompressWorkload(w, sim_->catalog(), opts.compression);
+  stats_.compression = compressed_.stats;
+  if (compressed_.workload.size() == 0 && w.size() > 0) {
+    return Status::InvalidArgument("compression dropped every statement");
+  }
+
+  InumOptions io;
+  io.num_threads = opts.num_threads;
+  // After lossless compression no two surviving statements are
+  // cost-equivalent by construction — skip INUM's signature pass.
+  io.share_templates = opts.share_templates &&
+                       opts.compression.mode != CompressionMode::kLossless;
+  inum_ = std::make_unique<Inum>(sim_, io);
+  return Status::Ok();
+}
+
+void PreparedWorkload::RunInum() {
+  Stopwatch watch;
+  inum_->Prepare(compressed_.workload, candidates_);
+  stats_.inum_seconds = watch.Elapsed();
+  stats_.num_threads = inum_->num_threads_used();
+  stats_.shared_statements = inum_->num_shared_statements();
+  // Inum holds its own copy now; keep only the statement mapping (the
+  // retained duplicate matters at 50k-statement scale).
+  compressed_.workload = Workload();
+}
+
+Status PreparedWorkload::Prepare(SystemSimulator* sim, IndexPool* pool,
+                                 const Workload& w, const PrepareOptions& opts,
+                                 const std::vector<Index>& dba_indexes) {
+  Status s = Begin(sim, pool, w, opts);
+  if (!s.ok()) return s;
+  Stopwatch watch;
+  candidates_ = GenerateCandidates(compressed_.workload, sim_->catalog(),
+                                   opts.candidates, *pool_, dba_indexes);
+  stats_.cgen_seconds = watch.Elapsed();
+  RunInum();
+  return Status::Ok();
+}
+
+Status PreparedWorkload::PrepareWithCandidates(SystemSimulator* sim,
+                                               IndexPool* pool,
+                                               const Workload& w,
+                                               const PrepareOptions& opts,
+                                               std::vector<IndexId> candidate_ids) {
+  for (IndexId id : candidate_ids) {
+    if (id < 0 || id >= pool->size()) {
+      return Status::InvalidArgument("candidate id outside the pool");
+    }
+  }
+  Status s = Begin(sim, pool, w, opts);
+  if (!s.ok()) return s;
+  candidates_ = std::move(candidate_ids);
+  RunInum();
+  return Status::Ok();
+}
+
+Status PreparedWorkload::AddCandidates(const std::vector<IndexId>& new_ids) {
+  COPHY_CHECK(prepared());
+  for (IndexId id : new_ids) {
+    if (id < 0 || id >= pool_->size()) {
+      return Status::InvalidArgument("candidate id outside the pool");
+    }
+    for (IndexId have : candidates_) {
+      if (have == id) {
+        return Status::InvalidArgument("candidate already present");
+      }
+    }
+  }
+  Stopwatch watch;
+  inum_->AddCandidates(new_ids);
+  candidates_.insert(candidates_.end(), new_ids.begin(), new_ids.end());
+  stats_.inum_seconds += watch.Elapsed();
+  return Status::Ok();
+}
+
+QueryId PreparedWorkload::CompressedId(QueryId original) const {
+  if (original < 0 || original >= static_cast<QueryId>(compressed_.map.size())) {
+    return -1;
+  }
+  return compressed_.map[original];
+}
+
+ConstraintSet PreparedWorkload::TranslateConstraints(
+    const ConstraintSet& cs) const {
+  ConstraintSet out;
+  if (cs.storage_budget()) out.SetStorageBudget(*cs.storage_budget());
+  for (const IndexConstraint& c : cs.index_constraints()) {
+    out.AddIndexConstraint(c);
+  }
+  for (const SoftConstraint& c : cs.soft_constraints()) {
+    out.AddSoftConstraint(c);
+  }
+  // Per-query constraints move to the representative. Several originals
+  // can land on one representative; keeping every translated row makes
+  // the effective cap the min over them — exactly the intersection of
+  // the original constraints (identical statements have identical
+  // costs, so each original row is equivalent to its translation).
+  for (const QueryCostConstraint& c : cs.query_cost_constraints()) {
+    QueryCostConstraint t = c;
+    t.query = CompressedId(c.query);
+    if (t.query < 0) continue;  // dropped by lossy sampling
+    out.AddQueryCostConstraint(t);
+  }
+  return out;
+}
+
+}  // namespace cophy

@@ -1,0 +1,116 @@
+// The explicit preparation stage of the advisor pipeline:
+//
+//   Workload ── Compress ──> representatives ── CGen ──> candidates
+//            ── INUM (parallel, template-sharing) ──> QueryCaches
+//
+// Every consumer of "a prepared workload" — CoPhy's Tune/Retune, BIPGen,
+// and the baseline advisors — goes through this one path instead of
+// wiring compression/CGen/INUM privately (see docs/architecture.md).
+#ifndef COPHY_CORE_PREPARED_H_
+#define COPHY_CORE_PREPARED_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/check.h"
+#include "constraints/constraints.h"
+#include "index/candidates.h"
+#include "inum/inum.h"
+#include "workload/compressor.h"
+
+namespace cophy {
+
+/// Knobs of the preparation stage.
+struct PrepareOptions {
+  CandidateOptions candidates;
+  /// Workload compression; kLossless by default (provably equivalent
+  /// recommendations, see compressor.h), kNone to disable, kLossy for
+  /// paper-style sampling on heterogeneous workloads.
+  CompressionOptions compression;
+  /// INUM preparation threads (<= 0: hardware count).
+  int num_threads = 1;
+  /// Share template discovery across cost-equivalent statements that
+  /// survive compression (only relevant with compression off or lossy).
+  bool share_templates = true;
+};
+
+/// What preparation did — threaded into Recommendation and reports.
+/// Compression time lives in compression.seconds (single source).
+struct PrepareStats {
+  CompressionStats compression;
+  int num_threads = 1;          ///< threads INUM actually used
+  int shared_statements = 0;    ///< INUM caches cloned from a leader
+  double cgen_seconds = 0;
+  double inum_seconds = 0;
+  double Total() const {
+    return compression.seconds + cgen_seconds + inum_seconds;
+  }
+};
+
+/// A workload that has been compressed, candidate-generated, and
+/// INUM-prepared. Reusable across Tune/Retune calls and advisors.
+class PreparedWorkload {
+ public:
+  PreparedWorkload() = default;
+
+  /// Runs the full stage: compress `w`, CGen over the representatives
+  /// (plus S_DBA), build INUM caches. `pool` must be the pool `sim`
+  /// reads.
+  Status Prepare(SystemSimulator* sim, IndexPool* pool, const Workload& w,
+                 const PrepareOptions& opts,
+                 const std::vector<Index>& dba_indexes = {});
+
+  /// Same, but with an explicit candidate set instead of CGen (the ids
+  /// must already be in the pool).
+  Status PrepareWithCandidates(SystemSimulator* sim, IndexPool* pool,
+                               const Workload& w, const PrepareOptions& opts,
+                               std::vector<IndexId> candidate_ids);
+
+  /// Incremental candidate addition: only the new γ entries are
+  /// computed (in parallel); β templates are reused.
+  Status AddCandidates(const std::vector<IndexId>& new_ids);
+
+  bool prepared() const { return inum_ != nullptr; }
+  /// The compressed view tuning actually runs on. Requires prepared().
+  const Workload& tuned() const {
+    COPHY_CHECK(prepared());
+    return inum_->workload();
+  }
+  Inum& inum() {
+    COPHY_CHECK(prepared());
+    return *inum_;
+  }
+  const Inum& inum() const {
+    COPHY_CHECK(prepared());
+    return *inum_;
+  }
+  const std::vector<IndexId>& candidates() const { return candidates_; }
+  const PrepareStats& stats() const { return stats_; }
+
+  /// Maps an original statement id into the compressed space (-1 if the
+  /// statement was dropped by lossy sampling).
+  QueryId CompressedId(QueryId original) const;
+
+  /// Rewrites per-query constraints into the compressed statement
+  /// space. Constraints on statements dropped by lossy sampling are
+  /// discarded (documented lossy-mode caveat); everything else is
+  /// preserved verbatim.
+  ConstraintSet TranslateConstraints(const ConstraintSet& cs) const;
+
+ private:
+  Status Begin(SystemSimulator* sim, IndexPool* pool, const Workload& w,
+               const PrepareOptions& opts);
+  void RunInum();
+
+  SystemSimulator* sim_ = nullptr;
+  IndexPool* pool_ = nullptr;
+  PrepareOptions options_;
+  CompressedWorkload compressed_;
+  std::unique_ptr<Inum> inum_;
+  std::vector<IndexId> candidates_;
+  PrepareStats stats_;
+};
+
+}  // namespace cophy
+
+#endif  // COPHY_CORE_PREPARED_H_

@@ -108,6 +108,24 @@ std::string RenderSolverActivity(const SolverActivity& activity) {
   return out;
 }
 
+std::string RenderPrepareStats(const PrepareStats& stats) {
+  std::string out;
+  const CompressionStats& c = stats.compression;
+  out += StrFormat(
+      "Compression: %d -> %d statements (%.1fx, %s), weight %.4g -> %.4g\n",
+      c.input_statements, c.output_statements, c.Ratio(),
+      c.lossless ? "lossless" : "lossy", c.input_weight, c.output_weight);
+  out += StrFormat(
+      "INUM: %d thread%s, %d cache%s cloned from cost-equivalent leaders\n",
+      stats.num_threads, stats.num_threads == 1 ? "" : "s",
+      stats.shared_statements, stats.shared_statements == 1 ? "" : "s");
+  out += StrFormat(
+      "Prepare: compress %.3fs + cgen %.3fs + inum %.3fs = %.3fs\n",
+      stats.compression.seconds, stats.cgen_seconds, stats.inum_seconds,
+      stats.Total());
+  return out;
+}
+
 std::string RenderTuningReport(const TuningReport& report, const Inum& inum,
                                int top_k) {
   const Catalog& cat = inum.simulator().catalog();

@@ -74,6 +74,11 @@ SolverActivity SolverActivitySince(const SolverActivity& snapshot);
 /// starts, and pivots-per-solve.
 std::string RenderSolverActivity(const SolverActivity& activity);
 
+/// Renders the preparation-stage accounting (compression ratio, INUM
+/// threads, cache sharing, stage timings) — the pipeline counterpart of
+/// RenderSolverActivity.
+std::string RenderPrepareStats(const PrepareStats& stats);
+
 }  // namespace cophy
 
 #endif  // COPHY_CORE_REPORT_H_

@@ -3,10 +3,24 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "workload/compressor.h"
 
 namespace cophy {
 
-Inum::Inum(SystemSimulator* sim) : sim_(sim) { COPHY_CHECK(sim != nullptr); }
+Inum::Inum(SystemSimulator* sim, InumOptions options)
+    : sim_(sim), options_(options) {
+  COPHY_CHECK(sim != nullptr);
+}
+
+ThreadPool* Inum::pool() {
+  const int n = ResolveThreadCount(options_.num_threads);
+  num_threads_used_ = n;
+  if (n <= 1) return nullptr;
+  if (thread_pool_ == nullptr || thread_pool_->size() != n) {
+    thread_pool_ = std::make_unique<ThreadPool>(n);
+  }
+  return thread_pool_.get();
+}
 
 void Inum::BuildGammaFor(QueryCache& qc, const Query& q,
                          const std::vector<IndexId>& candidates, bool append) {
@@ -59,46 +73,106 @@ void Inum::BuildGammaFor(QueryCache& qc, const Query& q,
   }
 }
 
+void Inum::PrepareStatement(const Query& q,
+                            const std::vector<IndexId>& candidates) {
+  QueryCache& qc = caches_[q.id];
+  qc.qid = q.id;
+  qc.weight = q.weight;
+  qc.is_update = q.IsUpdate();
+
+  // Distinct per-slot orders and the template -> order-index mapping.
+  qc.slot_orders = sim_->SlotOrderCandidates(q);
+  const std::vector<TemplatePlan> templates = sim_->EnumerateTemplates(q);
+  qc.templates.reserve(templates.size());
+  for (const TemplatePlan& tp : templates) {
+    QueryCache::Template t;
+    t.beta = tp.internal_cost;
+    t.order_idx.resize(tp.slot_orders.size());
+    for (size_t slot = 0; slot < tp.slot_orders.size(); ++slot) {
+      const auto& orders = qc.slot_orders[slot];
+      auto it = std::find(orders.begin(), orders.end(), tp.slot_orders[slot]);
+      COPHY_CHECK(it != orders.end());
+      t.order_idx[slot] = static_cast<int>(it - orders.begin());
+    }
+    qc.templates.push_back(std::move(t));
+  }
+
+  qc.access.resize(qc.slot_orders.size());
+  for (size_t slot = 0; slot < qc.slot_orders.size(); ++slot) {
+    qc.access[slot].resize(qc.slot_orders[slot].size());
+  }
+  BuildGammaFor(qc, q, candidates, /*append=*/false);
+}
+
+void Inum::CloneFromLeader(QueryId qid) {
+  const QueryCache& src = caches_[leader_[qid]];
+  QueryCache& qc = caches_[qid];
+  const Query& q = workload_[qid];
+  qc.slot_orders = src.slot_orders;
+  qc.templates = src.templates;
+  qc.access = src.access;
+  qc.raw_gamma_entries = src.raw_gamma_entries;
+  qc.qid = qid;
+  qc.weight = q.weight;
+  qc.is_update = q.IsUpdate();
+}
+
+void Inum::ComputeLeaders() {
+  num_shared_statements_ = 0;
+  if (!options_.share_templates) {
+    leader_.resize(workload_.size());
+    for (QueryId q = 0; q < workload_.size(); ++q) leader_[q] = q;
+    return;
+  }
+  // Shared with CompressWorkload: the same clustering keeps the
+  // compressed and uncompressed pipelines in exact agreement.
+  leader_ = ClusterLeaders(workload_, sim_->catalog(), /*by_shape=*/false);
+  for (QueryId q = 0; q < workload_.size(); ++q) {
+    if (leader_[q] != q) ++num_shared_statements_;
+  }
+}
+
 void Inum::Prepare(const Workload& w, const std::vector<IndexId>& candidates) {
   workload_ = w;
   candidates_ = candidates;
   caches_.clear();
   caches_.resize(w.size());
-  for (const Query& q : w.statements()) {
-    QueryCache& qc = caches_[q.id];
-    qc.qid = q.id;
-    qc.weight = q.weight;
-    qc.is_update = q.IsUpdate();
-
-    // Distinct per-slot orders and the template -> order-index mapping.
-    qc.slot_orders = sim_->SlotOrderCandidates(q);
-    const std::vector<TemplatePlan> templates = sim_->EnumerateTemplates(q);
-    qc.templates.reserve(templates.size());
-    for (const TemplatePlan& tp : templates) {
-      QueryCache::Template t;
-      t.beta = tp.internal_cost;
-      t.order_idx.resize(tp.slot_orders.size());
-      for (size_t slot = 0; slot < tp.slot_orders.size(); ++slot) {
-        const auto& orders = qc.slot_orders[slot];
-        auto it = std::find(orders.begin(), orders.end(), tp.slot_orders[slot]);
-        COPHY_CHECK(it != orders.end());
-        t.order_idx[slot] = static_cast<int>(it - orders.begin());
-      }
-      qc.templates.push_back(std::move(t));
-    }
-
-    qc.access.resize(qc.slot_orders.size());
-    for (size_t slot = 0; slot < qc.slot_orders.size(); ++slot) {
-      qc.access[slot].resize(qc.slot_orders[slot].size());
-    }
-    BuildGammaFor(qc, q, candidates, /*append=*/false);
+  ComputeLeaders();
+  std::vector<QueryId> leaders;
+  leaders.reserve(w.size());
+  for (QueryId q = 0; q < w.size(); ++q) {
+    if (leader_[q] == q) leaders.push_back(q);
   }
+
+  ThreadPool* tp = pool();
+  // The selectivity cache inside the catalog is populated lazily; force
+  // it now so the workers only ever read shared state.
+  sim_->catalog().WarmStatistics();
+  ParallelFor(tp, static_cast<int64_t>(leaders.size()), [&](int64_t i) {
+    PrepareStatement(workload_[leaders[i]], candidates);
+  });
+  ParallelFor(tp, w.size(), [&](int64_t q) {
+    if (leader_[q] != q) CloneFromLeader(static_cast<QueryId>(q));
+  });
 }
 
 void Inum::AddCandidates(const std::vector<IndexId>& new_candidates) {
-  for (const Query& q : workload_.statements()) {
-    BuildGammaFor(caches_[q.id], q, new_candidates, /*append=*/true);
-  }
+  ThreadPool* tp = pool();
+  sim_->catalog().WarmStatistics();
+  ParallelFor(tp, workload_.size(), [&](int64_t q) {
+    if (leader_[q] == q) {
+      BuildGammaFor(caches_[q], workload_[static_cast<QueryId>(q)],
+                    new_candidates, /*append=*/true);
+    }
+  });
+  // Followers re-take only the γ tables: slot orders and templates are
+  // untouched by an incremental candidate addition.
+  ParallelFor(tp, workload_.size(), [&](int64_t q) {
+    if (leader_[q] == q) return;
+    const QueryCache& src = caches_[leader_[q]];
+    caches_[q].access = src.access;
+    caches_[q].raw_gamma_entries = src.raw_gamma_entries;
+  });
   candidates_.insert(candidates_.end(), new_candidates.begin(),
                      new_candidates.end());
 }

@@ -8,8 +8,10 @@
 #define COPHY_INUM_INUM_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "optimizer/simulator.h"
 #include "query/query.h"
 
@@ -45,14 +47,28 @@ struct QueryCache {
   int64_t raw_gamma_entries = 0;
 };
 
+/// Preparation knobs. Prepare's output is a pure function of
+/// (workload, candidates): it is bit-identical for every thread count
+/// and whether or not template sharing is on.
+struct InumOptions {
+  /// Worker threads for Prepare/AddCandidates (<= 0: hardware count).
+  int num_threads = 1;
+  /// Compute template plans and γ tables once per group of
+  /// cost-equivalent statements (StatementCostSignature) and clone the
+  /// cache for the rest — the W_hom redundancy INUM time is dominated
+  /// by. Lossless by construction.
+  bool share_templates = true;
+};
+
 /// The INUM module. Holds the caches for one workload + candidate set.
 class Inum {
  public:
-  explicit Inum(SystemSimulator* sim);
+  explicit Inum(SystemSimulator* sim, InumOptions options = {});
 
   /// Builds caches for all statements of `w` against candidate set
   /// `candidates` (ids into the simulator's pool). This is the "INUM
-  /// time" component of the paper's figures.
+  /// time" component of the paper's figures. Statements are prepared in
+  /// parallel per InumOptions; the result is thread-count independent.
   void Prepare(const Workload& w, const std::vector<IndexId>& candidates);
 
   /// Adds candidates incrementally (interactive tuning): only γ entries
@@ -78,6 +94,11 @@ class Inum {
   std::vector<IndexId> ChosenIndexes(QueryId qid, const Configuration& x) const;
 
   const QueryCache& cache(QueryId qid) const { return caches_[qid]; }
+  /// The statement whose cache `qid` shares (== qid for leaders).
+  /// Statements with the same leader are cost-equivalent: identical
+  /// templates, γ tables, and update costs — BIPGen aggregates them
+  /// into one weighted query block.
+  QueryId leader(QueryId qid) const { return leader_[qid]; }
   int num_statements() const { return static_cast<int>(caches_.size()); }
   const Workload& workload() const { return workload_; }
   const std::vector<IndexId>& candidates() const { return candidates_; }
@@ -90,9 +111,24 @@ class Inum {
   /// Total γ entries before pruning (the paper-facing x count).
   int64_t TotalRawGammaEntries() const;
 
+  /// Statements whose cache was cloned from a cost-equivalent leader
+  /// instead of re-running template discovery (0 when sharing is off).
+  int num_shared_statements() const { return num_shared_statements_; }
+  /// The thread count Prepare actually used.
+  int num_threads_used() const { return num_threads_used_; }
+  const InumOptions& options() const { return options_; }
+
  private:
   void BuildGammaFor(QueryCache& qc, const Query& q,
                      const std::vector<IndexId>& candidates, bool append);
+  /// Full per-statement preparation (orders, templates, γ) for a leader.
+  void PrepareStatement(const Query& q, const std::vector<IndexId>& candidates);
+  /// Copies the shareable cache parts (orders/templates/γ) from the
+  /// statement's leader, keeping its own qid/weight/is_update.
+  void CloneFromLeader(QueryId qid);
+  /// Groups statements by cost equivalence; fills leader_.
+  void ComputeLeaders();
+  ThreadPool* pool();
   /// Single traversal behind ShellCost and ChosenIndexes: the cost of
   /// the best template under `x`, optionally recording the winning
   /// template's arg-min index picks into `chosen`.
@@ -100,9 +136,16 @@ class Inum {
                       std::vector<IndexId>* chosen) const;
 
   SystemSimulator* sim_;
+  InumOptions options_;
   Workload workload_;
   std::vector<IndexId> candidates_;
   std::vector<QueryCache> caches_;
+  /// leader_[q] == q for leaders; otherwise the id of the earlier,
+  /// cost-equivalent statement whose cache q shares.
+  std::vector<QueryId> leader_;
+  std::unique_ptr<ThreadPool> thread_pool_;  // lazily created
+  int num_shared_statements_ = 0;
+  int num_threads_used_ = 1;
 };
 
 }  // namespace cophy

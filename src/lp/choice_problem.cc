@@ -11,6 +11,9 @@ namespace cophy::lp {
 
 namespace {
 constexpr double kTol = 1e-9;
+/// Branch score for a zero-delta tie (see NodeBound): small enough that
+/// any real penalty dominates, positive so pick_branch still branches.
+constexpr double kTieScore = 1e-30;
 }
 
 // ---------------------------------------------------------------------------
@@ -185,6 +188,7 @@ double ChoiceSolver::NodeBound(const std::vector<int8_t>& fixed,
   // index, which keeps the penalties additive across queries (a valid
   // joint lower bound; see the knapsack correction below).
   scratch_penalty_.assign(p_->num_indexes, 0.0);
+  int tie_branch = -1;  // free first-choice index with a zero-delta tie
 
   // Evaluates the query's optimistic cost with one extra index banned.
   auto optimistic_without = [&](const ChoiceQuery& query, int banned) {
@@ -273,6 +277,17 @@ double ChoiceSolver::NodeBound(const std::vector<int8_t>& fixed,
       }
       if (best_idx >= 0) {
         scratch_penalty_[best_idx] += query.weight * best_delta;
+      } else if (num_banned > 0 && tie_branch < 0) {
+        // The winning plan leans on free indexes, but banning any single
+        // one costs nothing (another free index ties for the slot). No
+        // penalty may be charged (the bound must stay valid), yet the
+        // node is NOT a resolved leaf: dropping all tied indexes at once
+        // can lose real value. Remember one of them so pick_branch has
+        // something to branch on — without this the search would close
+        // the subtree around its "fixed-only" completion and could prune
+        // the true optimum (observed as two bit-equivalent BIPs "proving"
+        // different optima).
+        tie_branch = banned_ids[0];
       }
     }
   }
@@ -309,7 +324,15 @@ double ChoiceSolver::NodeBound(const std::vector<int8_t>& fixed,
     }
   }
 
-  if (branch_score != nullptr) *branch_score = scratch_penalty_;
+  if (branch_score != nullptr) {
+    *branch_score = scratch_penalty_;
+    // Zero-delta ties: surface one tied index with an infinitesimal
+    // score so the node keeps branching when no real penalty exists.
+    // The bound itself is untouched.
+    if (tie_branch >= 0 && (*branch_score)[tie_branch] <= 0.0) {
+      (*branch_score)[tie_branch] = kTieScore;
+    }
+  }
   return total + correction;
 }
 

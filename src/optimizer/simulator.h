@@ -11,6 +11,7 @@
 #ifndef COPHY_OPTIMIZER_SIMULATOR_H_
 #define COPHY_OPTIMIZER_SIMULATOR_H_
 
+#include <atomic>
 #include <cstdint>
 #include <limits>
 #include <string>
@@ -97,7 +98,9 @@ class SystemSimulator : public WhatIfOptimizer {
   const Catalog* cat_;
   const IndexPool* pool_;
   CostModel model_;
-  int64_t whatif_calls_ = 0;
+  /// Atomic so concurrent Prepare workers can cost templates in
+  /// parallel; the total is interleaving-independent.
+  std::atomic<int64_t> whatif_calls_{0};
 };
 
 /// Returns true if `order` is satisfied by an access path delivering

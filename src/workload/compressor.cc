@@ -1,0 +1,252 @@
+#include "workload/compressor.h"
+
+#include <cstring>
+#include <unordered_map>
+
+#include "common/check.h"
+#include "common/random.h"
+#include "common/stopwatch.h"
+
+namespace cophy {
+
+namespace {
+
+/// SplitMix64-style hash combiner (deterministic across platforms).
+struct Hasher {
+  uint64_t state = 0x9e3779b97f4a7c15ULL;
+  void Mix(uint64_t v) {
+    uint64_t z = state + 0x9e3779b97f4a7c15ULL + v;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    state = z ^ (z >> 31);
+  }
+  void MixDouble(double v) {
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v), "double must be 64-bit");
+    std::memcpy(&bits, &v, sizeof(bits));
+    Mix(bits);
+  }
+};
+
+/// The per-predicate digest the cost model observes: which column, eq
+/// vs range, and the catalog selectivity of the constant. Two
+/// predicates with equal digests are interchangeable inside every cost
+/// function (AnalyzeSlot keeps exactly (column, op, selectivity)).
+double PredicateSelectivity(const Predicate& p, const Catalog& cat) {
+  if (p.op == Predicate::Op::kEq) {
+    return cat.EqSelectivity(p.column, p.quantile);
+  }
+  return cat.RangeSelectivity(p.column, p.quantile, p.width);
+}
+
+template <typename Fn>
+void HashStatement(const Query& q, Hasher& h, const Fn& mix_predicate) {
+  h.Mix(static_cast<uint64_t>(q.kind));
+  h.Mix(q.tables.size());
+  for (TableId t : q.tables) h.Mix(static_cast<uint64_t>(t));
+  h.Mix(q.joins.size());
+  for (const JoinPredicate& j : q.joins) {
+    h.Mix(static_cast<uint64_t>(j.left));
+    h.Mix(static_cast<uint64_t>(j.right));
+  }
+  h.Mix(q.predicates.size());
+  for (const Predicate& p : q.predicates) mix_predicate(p, h);
+  h.Mix(q.outputs.size());
+  for (const OutputExpr& o : q.outputs) {
+    h.Mix(static_cast<uint64_t>(o.func));
+    h.Mix(static_cast<uint64_t>(o.column));
+  }
+  h.Mix(q.group_by.size());
+  for (ColumnId c : q.group_by) h.Mix(static_cast<uint64_t>(c));
+  h.Mix(q.order_by.size());
+  for (ColumnId c : q.order_by) h.Mix(static_cast<uint64_t>(c));
+  h.Mix(static_cast<uint64_t>(q.update_table));
+  h.Mix(q.set_columns.size());
+  for (ColumnId c : q.set_columns) h.Mix(static_cast<uint64_t>(c));
+}
+
+}  // namespace
+
+uint64_t StatementCostSignature(const Query& q, const Catalog& cat) {
+  Hasher h;
+  HashStatement(q, h, [&cat](const Predicate& p, Hasher& hh) {
+    hh.Mix(static_cast<uint64_t>(p.column));
+    hh.Mix(static_cast<uint64_t>(p.op));
+    hh.MixDouble(PredicateSelectivity(p, cat));
+  });
+  return h.state;
+}
+
+uint64_t StatementShapeSignature(const Query& q) {
+  Hasher h;
+  HashStatement(q, h, [](const Predicate& p, Hasher& hh) {
+    hh.Mix(static_cast<uint64_t>(p.column));
+    hh.Mix(static_cast<uint64_t>(p.op));
+  });
+  return h.state;
+}
+
+namespace {
+
+bool StructurallyEquivalent(const Query& a, const Query& b) {
+  if (a.kind != b.kind || a.tables != b.tables) return false;
+  if (a.joins.size() != b.joins.size()) return false;
+  for (size_t i = 0; i < a.joins.size(); ++i) {
+    if (a.joins[i].left != b.joins[i].left ||
+        a.joins[i].right != b.joins[i].right) {
+      return false;
+    }
+  }
+  if (a.predicates.size() != b.predicates.size()) return false;
+  for (size_t i = 0; i < a.predicates.size(); ++i) {
+    if (a.predicates[i].column != b.predicates[i].column ||
+        a.predicates[i].op != b.predicates[i].op) {
+      return false;
+    }
+  }
+  if (a.outputs.size() != b.outputs.size()) return false;
+  for (size_t i = 0; i < a.outputs.size(); ++i) {
+    if (a.outputs[i].func != b.outputs[i].func ||
+        a.outputs[i].column != b.outputs[i].column) {
+      return false;
+    }
+  }
+  return a.group_by == b.group_by && a.order_by == b.order_by &&
+         a.update_table == b.update_table && a.set_columns == b.set_columns;
+}
+
+}  // namespace
+
+bool CostEquivalent(const Query& a, const Query& b, const Catalog& cat) {
+  if (!StructurallyEquivalent(a, b)) return false;
+  // Constants must resolve to bit-identical selectivities: the cost
+  // functions consume nothing finer, so equality here implies equal β,
+  // γ, ucost, and candidate sets.
+  for (size_t i = 0; i < a.predicates.size(); ++i) {
+    if (PredicateSelectivity(a.predicates[i], cat) !=
+        PredicateSelectivity(b.predicates[i], cat)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool ShapeEquivalent(const Query& a, const Query& b) {
+  return StructurallyEquivalent(a, b);
+}
+
+std::vector<QueryId> ClusterLeaders(const Workload& w, const Catalog& cat,
+                                    bool by_shape) {
+  std::vector<QueryId> leaders(w.size(), -1);
+  std::unordered_map<uint64_t, std::vector<QueryId>> buckets;
+  for (const Query& q : w.statements()) {
+    const uint64_t sig = by_shape ? StatementShapeSignature(q)
+                                  : StatementCostSignature(q, cat);
+    std::vector<QueryId>& bucket = buckets[sig];
+    QueryId found = -1;
+    for (QueryId lead : bucket) {
+      const bool equal = by_shape ? ShapeEquivalent(q, w[lead])
+                                  : CostEquivalent(q, w[lead], cat);
+      if (equal) {
+        found = lead;
+        break;
+      }
+    }
+    if (found < 0) {
+      bucket.push_back(q.id);
+      found = q.id;
+    }
+    leaders[q.id] = found;
+  }
+  return leaders;
+}
+
+CompressedWorkload CompressWorkload(const Workload& w, const Catalog& cat,
+                                    const CompressionOptions& opts) {
+  Stopwatch watch;
+  CompressedWorkload out;
+  out.map.assign(w.size(), -1);
+  out.stats.input_statements = w.size();
+  for (const Query& q : w.statements()) out.stats.input_weight += q.weight;
+
+  // --- Cluster ----------------------------------------------------------
+  // clusters[i] = (representative original id, aggregated weight).
+  struct Cluster {
+    QueryId rep = -1;
+    double weight = 0.0;
+  };
+  std::vector<Cluster> clusters;
+  std::vector<int> cluster_of(w.size(), -1);
+
+  const bool merge =
+      opts.mode == CompressionMode::kLossless ||
+      (opts.mode == CompressionMode::kLossy && opts.cluster_by_shape);
+  if (merge) {
+    const std::vector<QueryId> leaders =
+        ClusterLeaders(w, cat, /*by_shape=*/opts.mode == CompressionMode::kLossy);
+    std::vector<int> cluster_of_leader(w.size(), -1);
+    for (const Query& q : w.statements()) {
+      const QueryId lead = leaders[q.id];
+      int ci = cluster_of_leader[lead];
+      if (ci < 0) {
+        ci = static_cast<int>(clusters.size());
+        cluster_of_leader[lead] = ci;
+        clusters.push_back({lead, 0.0});
+      }
+      clusters[ci].weight += q.weight;
+      cluster_of[q.id] = ci;
+    }
+  } else {
+    clusters.reserve(w.size());
+    for (const Query& q : w.statements()) {
+      cluster_of[q.id] = static_cast<int>(clusters.size());
+      clusters.push_back({q.id, q.weight});
+    }
+  }
+
+  // --- Sample (lossy only) ---------------------------------------------
+  std::vector<uint8_t> kept(clusters.size(), 1);
+  double weight_scale = 1.0;
+  if (opts.mode == CompressionMode::kLossy && opts.max_statements > 0 &&
+      static_cast<int>(clusters.size()) > opts.max_statements) {
+    // Deterministic partial Fisher–Yates over cluster indices.
+    Rng rng(opts.seed);
+    std::vector<int> order(clusters.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+    const int k = opts.max_statements;
+    for (int i = 0; i < k; ++i) {
+      std::swap(order[i], order[i + rng.Uniform(order.size() - i)]);
+    }
+    kept.assign(clusters.size(), 0);
+    double kept_weight = 0.0;
+    for (int i = 0; i < k; ++i) {
+      kept[order[i]] = 1;
+      kept_weight += clusters[order[i]].weight;
+    }
+    // Rescale so the sample stands in for the full workload's weight
+    // mass (unbiased objective estimate).
+    weight_scale = kept_weight > 0 ? out.stats.input_weight / kept_weight : 1.0;
+  }
+
+  // --- Emit representatives in first-occurrence order -------------------
+  std::vector<QueryId> compressed_id(clusters.size(), -1);
+  for (const Query& q : w.statements()) {
+    const int ci = cluster_of[q.id];
+    if (!kept[ci]) continue;
+    if (compressed_id[ci] < 0 && clusters[ci].rep == q.id) {
+      Query rep = q;  // keeps predicates/constants of the representative
+      rep.weight = clusters[ci].weight * weight_scale;
+      compressed_id[ci] = out.workload.Add(std::move(rep));
+      out.representative_of.push_back(q.id);
+      out.stats.output_weight += out.workload[compressed_id[ci]].weight;
+    }
+    out.map[q.id] = compressed_id[ci];
+  }
+
+  out.stats.output_statements = out.workload.size();
+  out.stats.lossless = opts.mode != CompressionMode::kLossy;
+  out.stats.seconds = watch.Elapsed();
+  return out;
+}
+
+}  // namespace cophy

@@ -1,0 +1,116 @@
+// Workload compression, the first stage of the advisor pipeline
+// (Compress → CGen → INUM → BIPGen → Solve; see docs/architecture.md).
+//
+// Two notions of statement equivalence drive it:
+//
+//  * Cost equivalence (lossless): two statements are merged only when
+//    every quantity the what-if optimizer can observe about them is
+//    bit-identical — same tables/joins/outputs/grouping/ordering, and
+//    the same (column, op, selectivity) digest per predicate, where the
+//    selectivity comes from the catalog statistics. Merged statements
+//    have identical template plans, γ tables, candidate sets, and
+//    update costs, so replacing N instances by one representative with
+//    weight Σ f_q leaves the tuning BIP's objective and feasible set
+//    unchanged. On W_hom-style workloads (few templates, many
+//    instances) this is the paper's "large workload" lever.
+//
+//  * Shape equivalence (lossy): constants/selectivities are ignored, so
+//    instances of one query template land in one cluster even under
+//    skewed statistics. The representative's weight is the cluster's
+//    total weight; costs are approximated by the representative's.
+//
+// Lossy mode may additionally cap the output by weight-rescaled random
+// sampling (the Tool-B-style compression of Zilio et al., now shared by
+// GreedyAdvisor): k statements are kept and every kept weight is scaled
+// by (total input weight) / (total kept weight), which keeps the
+// compressed objective an unbiased estimate of the true one.
+#ifndef COPHY_WORKLOAD_COMPRESSOR_H_
+#define COPHY_WORKLOAD_COMPRESSOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "query/query.h"
+
+namespace cophy {
+
+/// How aggressively to compress.
+enum class CompressionMode {
+  kNone,      ///< pass-through (identity mapping, stats still filled)
+  kLossless,  ///< merge cost-equivalent statements only
+  kLossy,     ///< shape clustering and/or sampling
+};
+
+struct CompressionOptions {
+  CompressionMode mode = CompressionMode::kLossless;
+  /// kLossy: merge statements that differ only in constants.
+  bool cluster_by_shape = true;
+  /// kLossy: cap on output statements (<= 0 = uncapped). Applied after
+  /// clustering by deterministic weight-rescaled random sampling.
+  int max_statements = 0;
+  /// Sampling seed (kLossy with max_statements > 0).
+  uint64_t seed = 1;
+};
+
+/// What the compressor did (threaded into Recommendation/reports).
+struct CompressionStats {
+  int input_statements = 0;
+  int output_statements = 0;
+  double input_weight = 0.0;   ///< Σ f_q before
+  double output_weight = 0.0;  ///< Σ f_q after (== before unless sampled)
+  bool lossless = true;        ///< true for kNone/kLossless
+  double seconds = 0.0;
+  double Ratio() const {
+    return output_statements > 0
+               ? static_cast<double>(input_statements) / output_statements
+               : 1.0;
+  }
+};
+
+/// A compressed workload plus the statement mapping. Representative
+/// statements keep their original first-occurrence order, so candidate
+/// generation and BIP layout are deterministic.
+struct CompressedWorkload {
+  Workload workload;  ///< representatives with aggregated weights
+  /// compressed id -> the original id of the representative statement.
+  std::vector<QueryId> representative_of;
+  /// original id -> compressed id, or -1 if the statement was dropped
+  /// by lossy sampling.
+  std::vector<QueryId> map;
+  CompressionStats stats;
+};
+
+/// 64-bit digest of everything the cost model observes about `q`
+/// (catalog selectivities included). Equal signatures are a fast
+/// necessary condition for cost equivalence; CompressWorkload always
+/// confirms with CostEquivalent before merging.
+uint64_t StatementCostSignature(const Query& q, const Catalog& cat);
+
+/// Digest of the statement's shape only (constants ignored).
+uint64_t StatementShapeSignature(const Query& q);
+
+/// Exact comparator behind lossless merging: true iff the optimizer's
+/// cost functions cannot distinguish `a` from `b` (weights excluded).
+bool CostEquivalent(const Query& a, const Query& b, const Catalog& cat);
+
+/// Exact comparator behind shape clustering.
+bool ShapeEquivalent(const Query& a, const Query& b);
+
+/// leaders[q] = id of the first statement equivalent to q (== q for
+/// first occurrences). `by_shape` picks shape vs cost equivalence.
+/// Signature buckets confirmed by the exact comparator, so a hash
+/// collision can never alias two distinct statements. This single
+/// helper backs both CompressWorkload's clustering and Inum's
+/// template-sharing groups — keeping them byte-for-byte in agreement
+/// is what makes the compressed/uncompressed BIPs bit-identical.
+std::vector<QueryId> ClusterLeaders(const Workload& w, const Catalog& cat,
+                                    bool by_shape);
+
+/// Compresses `w` per `opts`. Deterministic in (w, opts).
+CompressedWorkload CompressWorkload(const Workload& w, const Catalog& cat,
+                                    const CompressionOptions& opts);
+
+}  // namespace cophy
+
+#endif  // COPHY_WORKLOAD_COMPRESSOR_H_

@@ -18,7 +18,7 @@ namespace {
 class BipGenTest : public ::testing::Test {
  protected:
   void Prepare(int num_queries, uint64_t seed, double update_fraction = 0.0,
-               bool covering = false) {
+               bool covering = false, bool share_templates = true) {
     cat_ = MakeTpchCatalog(0.1, 0.0);
     pool_ = IndexPool();
     sim_ = std::make_unique<SystemSimulator>(&cat_, &pool_,
@@ -32,7 +32,12 @@ class BipGenTest : public ::testing::Test {
     copts.max_key_columns = 1;  // keep the model tiny
     copts.covering_variants = covering;
     candidates_ = GenerateCandidates(w_, cat_, copts, pool_);
-    inum_ = std::make_unique<Inum>(sim_.get());
+    InumOptions io;
+    // With sharing off every statement is its own leader, so BIPGen
+    // materializes one query block per statement (the per-statement
+    // structure these tests pin down).
+    io.share_templates = share_templates;
+    inum_ = std::make_unique<Inum>(sim_.get(), io);
     inum_->Prepare(w_, candidates_);
   }
 
@@ -45,7 +50,7 @@ class BipGenTest : public ::testing::Test {
 };
 
 TEST_F(BipGenTest, StatsCountVariablesAndRows) {
-  Prepare(6, 11);
+  Prepare(6, 11, 0.0, false, /*share_templates=*/false);
   ConstraintSet cs;
   cs.SetStorageBudget(1e9);
   const BipStats stats = ComputeBipStats(*inum_, candidates_, cs);
@@ -58,6 +63,21 @@ TEST_F(BipGenTest, StatsCountVariablesAndRows) {
   const lp::Model m = BuildModel(*inum_, candidates_, cs);
   EXPECT_EQ(m.num_variables(),
             stats.y_variables + stats.x_variables + stats.z_variables);
+}
+
+TEST_F(BipGenTest, CanonicalBlocksShrinkStatsLosslessly) {
+  // With template sharing on, cost-equivalent statements collapse into
+  // one weighted query block: y/x counts shrink while z stays put.
+  Prepare(20, 11, 0.0, false, /*share_templates=*/false);
+  ConstraintSet cs;
+  cs.SetStorageBudget(1e9);
+  const BipStats per_statement = ComputeBipStats(*inum_, candidates_, cs);
+  Prepare(20, 11, 0.0, false, /*share_templates=*/true);
+  const BipStats merged = ComputeBipStats(*inum_, candidates_, cs);
+  EXPECT_EQ(merged.z_variables, per_statement.z_variables);
+  EXPECT_LT(merged.y_variables, per_statement.y_variables);
+  EXPECT_LT(merged.x_variables, per_statement.x_variables);
+  EXPECT_GT(inum_->num_shared_statements(), 0);
 }
 
 TEST_F(BipGenTest, VariableCountGrowsLinearlyInWorkload) {
@@ -74,7 +94,7 @@ TEST_F(BipGenTest, VariableCountGrowsLinearlyInWorkload) {
 }
 
 TEST_F(BipGenTest, ChoiceProblemMirrorsInumCosts) {
-  Prepare(6, 17);
+  Prepare(6, 17, 0.0, false, /*share_templates=*/false);
   ConstraintSet cs;
   lp::ChoiceProblem p = BuildChoiceProblem(*inum_, candidates_, cs);
   ASSERT_EQ(static_cast<int>(p.queries.size()), w_.size());

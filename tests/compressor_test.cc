@@ -1,0 +1,279 @@
+// Tests for the workload compressor: signature/equivalence semantics,
+// lossless dedup, lossy clustering + sampling, and the end-to-end
+// equivalence guarantees the pipeline rests on (compressed and
+// uncompressed tuning agree exactly in lossless mode, and within a
+// documented bound in lossy mode).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "baselines/advisor.h"
+#include "catalog/catalog.h"
+#include "core/cophy.h"
+#include "workload/compressor.h"
+#include "workload/generator.h"
+
+namespace cophy {
+namespace {
+
+class CompressorTest : public ::testing::Test {
+ protected:
+  void Make(double z = 0.0) { cat_ = MakeTpchCatalog(0.1, z); }
+  Catalog cat_;
+};
+
+TEST_F(CompressorTest, InstancesOfOneTemplateAreCostEquivalentWhenUniform) {
+  Make(0.0);
+  // Under uniform statistics, eq-selectivity ignores the constant and
+  // range width is fixed per template, so instances differ only in
+  // quantiles the cost model cannot observe.
+  const Query a = MakeHomogeneousStatement(cat_, 3, /*seed=*/1);
+  const Query b = MakeHomogeneousStatement(cat_, 3, /*seed=*/99);
+  EXPECT_TRUE(ShapeEquivalent(a, b));
+  EXPECT_TRUE(CostEquivalent(a, b, cat_));
+  EXPECT_EQ(StatementCostSignature(a, cat_), StatementCostSignature(b, cat_));
+  EXPECT_EQ(StatementShapeSignature(a), StatementShapeSignature(b));
+}
+
+TEST_F(CompressorTest, DifferentTemplatesAreNotEquivalent) {
+  Make(0.0);
+  const Query a = MakeHomogeneousStatement(cat_, 0, 1);
+  const Query b = MakeHomogeneousStatement(cat_, 1, 1);
+  EXPECT_FALSE(ShapeEquivalent(a, b));
+  EXPECT_FALSE(CostEquivalent(a, b, cat_));
+  EXPECT_NE(StatementShapeSignature(a), StatementShapeSignature(b));
+}
+
+TEST_F(CompressorTest, SkewSeparatesCostButNotShape) {
+  Make(2.0);
+  // Template 1 has an equality predicate on a skewed column: different
+  // constants now hit different frequencies, so costs differ while the
+  // shape is unchanged.
+  const Query a = MakeHomogeneousStatement(cat_, 1, 1);
+  const Query b = MakeHomogeneousStatement(cat_, 1, 99);
+  EXPECT_TRUE(ShapeEquivalent(a, b));
+  EXPECT_EQ(StatementShapeSignature(a), StatementShapeSignature(b));
+  EXPECT_FALSE(CostEquivalent(a, b, cat_));
+}
+
+TEST_F(CompressorTest, LosslessDedupAggregatesWeights) {
+  Make(0.0);
+  WorkloadOptions o;
+  o.num_statements = 500;
+  o.seed = 5;
+  o.randomize_weights = true;
+  const Workload w = MakeHomogeneousWorkload(cat_, o);
+
+  CompressionOptions opts;
+  opts.mode = CompressionMode::kLossless;
+  const CompressedWorkload cw = CompressWorkload(w, cat_, opts);
+
+  // 15 select templates under uniform stats -> at most 15 outputs.
+  EXPECT_LE(cw.workload.size(), 15);
+  EXPECT_GE(cw.stats.Ratio(), 20.0);
+  EXPECT_TRUE(cw.stats.lossless);
+  EXPECT_EQ(cw.stats.input_statements, 500);
+  EXPECT_EQ(cw.stats.output_statements, cw.workload.size());
+
+  // Weight mass is preserved exactly per cluster.
+  EXPECT_NEAR(cw.stats.output_weight, cw.stats.input_weight, 1e-9);
+  std::vector<double> cluster_weight(cw.workload.size(), 0.0);
+  for (const Query& q : w.statements()) {
+    const QueryId cid = cw.map[q.id];
+    ASSERT_GE(cid, 0);
+    ASSERT_LT(cid, cw.workload.size());
+    EXPECT_TRUE(CostEquivalent(q, cw.workload[cid], cat_));
+    cluster_weight[cid] += q.weight;
+  }
+  for (QueryId cid = 0; cid < cw.workload.size(); ++cid) {
+    EXPECT_NEAR(cw.workload[cid].weight, cluster_weight[cid], 1e-9);
+  }
+}
+
+TEST_F(CompressorTest, NoneModeIsIdentity) {
+  Make(0.0);
+  WorkloadOptions o;
+  o.num_statements = 40;
+  const Workload w = MakeHomogeneousWorkload(cat_, o);
+  CompressionOptions opts;
+  opts.mode = CompressionMode::kNone;
+  const CompressedWorkload cw = CompressWorkload(w, cat_, opts);
+  ASSERT_EQ(cw.workload.size(), w.size());
+  for (QueryId q = 0; q < w.size(); ++q) {
+    EXPECT_EQ(cw.map[q], q);
+    EXPECT_EQ(cw.representative_of[q], q);
+    EXPECT_DOUBLE_EQ(cw.workload[q].weight, w[q].weight);
+  }
+  EXPECT_DOUBLE_EQ(cw.stats.Ratio(), 1.0);
+}
+
+TEST_F(CompressorTest, LossySamplingCapsAndRescales) {
+  Make(0.0);
+  WorkloadOptions o;
+  o.num_statements = 200;
+  o.seed = 11;
+  const Workload w = MakeHeterogeneousWorkload(cat_, o);
+
+  CompressionOptions opts;
+  opts.mode = CompressionMode::kLossy;
+  opts.cluster_by_shape = false;
+  opts.max_statements = 25;
+  opts.seed = 7;
+  const CompressedWorkload cw = CompressWorkload(w, cat_, opts);
+  EXPECT_EQ(cw.workload.size(), 25);
+  EXPECT_FALSE(cw.stats.lossless);
+  // Weight-rescaled: the sample's mass equals the input mass.
+  EXPECT_NEAR(cw.stats.output_weight, cw.stats.input_weight, 1e-6);
+  // Dropped statements map to -1; kept ones map to their own instance.
+  int dropped = 0;
+  for (QueryId q = 0; q < w.size(); ++q) {
+    if (cw.map[q] < 0) {
+      ++dropped;
+    } else {
+      EXPECT_EQ(cw.representative_of[cw.map[q]], q);
+    }
+  }
+  EXPECT_EQ(dropped, 200 - 25);
+  // Deterministic in the seed.
+  const CompressedWorkload again = CompressWorkload(w, cat_, opts);
+  EXPECT_EQ(again.map, cw.map);
+}
+
+TEST_F(CompressorTest, LossyShapeClusteringMergesSkewedInstances) {
+  Make(2.0);
+  WorkloadOptions o;
+  o.num_statements = 300;
+  o.seed = 3;
+  const Workload w = MakeHomogeneousWorkload(cat_, o);
+
+  CompressionOptions lossless;
+  const int lossless_out =
+      CompressWorkload(w, cat_, lossless).workload.size();
+
+  CompressionOptions lossy;
+  lossy.mode = CompressionMode::kLossy;
+  const CompressedWorkload cw = CompressWorkload(w, cat_, lossy);
+  // Skew makes most instances cost-distinct, but shapes still collapse
+  // to the 15 templates.
+  EXPECT_LE(cw.workload.size(), 15);
+  EXPECT_LT(cw.workload.size(), lossless_out);
+  EXPECT_NEAR(cw.stats.output_weight, cw.stats.input_weight, 1e-9);
+}
+
+// --- End-to-end equivalence ---------------------------------------------
+
+class CompressionEquivalenceTest : public ::testing::Test {
+ protected:
+  struct Run {
+    Recommendation rec;
+    std::vector<IndexId> config;
+  };
+
+  Run Tune(CompressionMode mode, int num_statements, double update_fraction,
+           bool het, uint64_t seed) {
+    cat_ = MakeTpchCatalog(0.1, 0.0);
+    pool_ = IndexPool();
+    sim_ = std::make_unique<SystemSimulator>(&cat_, &pool_,
+                                             CostModel::SystemA());
+    WorkloadOptions o;
+    o.num_statements = num_statements;
+    o.seed = seed;
+    o.update_fraction = update_fraction;
+    w_ = het ? MakeHeterogeneousWorkload(cat_, o)
+             : MakeHomogeneousWorkload(cat_, o);
+    CoPhyOptions opts;
+    // BIPGen's canonical query blocks make the compressed and
+    // uncompressed runs materialize bit-identical problems, so the
+    // solver follows the identical trajectory at ANY gap/node budget —
+    // no need to solve to proven optimality for exact agreement.
+    opts.gap_target = 0.05;
+    opts.node_limit = 20000;
+    opts.prepare.compression.mode = mode;
+    CoPhy advisor(sim_.get(), &pool_, w_, opts);
+    EXPECT_TRUE(advisor.Prepare().ok());
+    Run run;
+    run.rec = advisor.Tune(ConstraintSetWithBudget());
+    run.config = run.rec.configuration.ids();
+    std::sort(run.config.begin(), run.config.end());
+    return run;
+  }
+
+  ConstraintSet ConstraintSetWithBudget() {
+    ConstraintSet cs;
+    cs.SetStorageBudget(0.5 * cat_.TotalDataBytes());
+    return cs;
+  }
+
+  Catalog cat_;
+  IndexPool pool_;
+  std::unique_ptr<SystemSimulator> sim_;
+  Workload w_;
+};
+
+TEST_F(CompressionEquivalenceTest, LosslessMatchesUncompressedOnHomogeneous) {
+  // The acceptance property: on W_hom, compressed and uncompressed runs
+  // produce the same recommendation and the same objective (the BIPs
+  // are mathematically identical; only summation order differs).
+  const Run plain = Tune(CompressionMode::kNone, 200, 0.0, false, 42);
+  const Run compressed = Tune(CompressionMode::kLossless, 200, 0.0, false, 42);
+  ASSERT_TRUE(plain.rec.status.ok());
+  ASSERT_TRUE(compressed.rec.status.ok());
+  EXPECT_EQ(plain.config, compressed.config);
+  EXPECT_NEAR(compressed.rec.objective, plain.rec.objective,
+              1e-6 * plain.rec.objective);
+  EXPECT_GE(compressed.rec.prepare.compression.Ratio(), 10.0);
+  EXPECT_DOUBLE_EQ(plain.rec.prepare.compression.Ratio(), 1.0);
+}
+
+TEST_F(CompressionEquivalenceTest, LosslessMatchesWithUpdates) {
+  const Run plain = Tune(CompressionMode::kNone, 150, 0.3, false, 7);
+  const Run compressed = Tune(CompressionMode::kLossless, 150, 0.3, false, 7);
+  ASSERT_TRUE(plain.rec.status.ok());
+  ASSERT_TRUE(compressed.rec.status.ok());
+  EXPECT_EQ(plain.config, compressed.config);
+  EXPECT_NEAR(compressed.rec.objective, plain.rec.objective,
+              1e-6 * plain.rec.objective);
+}
+
+TEST_F(CompressionEquivalenceTest, LossyStaysWithinObjectiveBound) {
+  // Documented bound (docs/architecture.md): weight-rescaled sampling
+  // keeps the compressed objective an unbiased estimate of the true
+  // one; on W_het with updates the lossy recommendation's ground-truth
+  // workload cost must stay within 25% of the uncompressed run's.
+  const Run plain = Tune(CompressionMode::kNone, 120, 0.2, true, 19);
+  ASSERT_TRUE(plain.rec.status.ok());
+  const double plain_cost = WorkloadCost(*sim_, w_, plain.rec.configuration);
+
+  cat_ = MakeTpchCatalog(0.1, 0.0);
+  IndexPool pool2;
+  SystemSimulator sim2(&cat_, &pool2, CostModel::SystemA());
+  WorkloadOptions o;
+  o.num_statements = 120;
+  o.seed = 19;
+  o.update_fraction = 0.2;
+  const Workload w = MakeHeterogeneousWorkload(cat_, o);
+  CoPhyOptions opts;
+  opts.gap_target = 0.05;
+  opts.node_limit = 20000;
+  opts.prepare.compression.mode = CompressionMode::kLossy;
+  opts.prepare.compression.cluster_by_shape = true;
+  opts.prepare.compression.max_statements = 40;
+  CoPhy advisor(&sim2, &pool2, w, opts);
+  ASSERT_TRUE(advisor.Prepare().ok());
+  ConstraintSet cs;
+  cs.SetStorageBudget(0.5 * cat_.TotalDataBytes());
+  const Recommendation lossy = advisor.Tune(cs);
+  ASSERT_TRUE(lossy.status.ok());
+  EXPECT_GT(lossy.prepare.compression.Ratio(), 1.0);
+  EXPECT_FALSE(lossy.prepare.compression.lossless);
+
+  const double lossy_cost = WorkloadCost(sim2, w, lossy.configuration);
+  const double base_cost = WorkloadCost(sim2, w, Configuration::Empty());
+  // The lossy recommendation must still clearly improve the workload
+  // and land within the documented bound of the exact run.
+  EXPECT_LT(lossy_cost, base_cost);
+  EXPECT_LE(lossy_cost, 1.25 * plain_cost);
+}
+
+}  // namespace
+}  // namespace cophy

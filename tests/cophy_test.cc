@@ -168,6 +168,21 @@ TEST_F(CoPhyTest, RetuneAfterAddingCandidatesIsConsistent) {
   EXPECT_LT(second.timings.inum_seconds, first.timings.inum_seconds + 1.0);
 }
 
+TEST_F(CoPhyTest, RestrictThenReAddCandidate) {
+  // A candidate excluded via RestrictCandidates can come back through
+  // AddCandidates without re-preparation (its INUM cache is live).
+  Prepare(10);
+  const std::vector<IndexId> all = advisor_->candidates();
+  ASSERT_GE(all.size(), 4u);
+  std::vector<IndexId> subset(all.begin(), all.end() - 2);
+  ASSERT_TRUE(advisor_->RestrictCandidates(subset).ok());
+  const std::vector<IndexId> back(all.end() - 2, all.end());
+  ASSERT_TRUE(advisor_->AddCandidates(back).ok());
+  EXPECT_EQ(advisor_->candidates().size(), all.size());
+  // Re-adding an active candidate still fails.
+  EXPECT_FALSE(advisor_->AddCandidates({all[0]}).ok());
+}
+
 TEST_F(CoPhyTest, RestrictCandidatesSubsets) {
   Prepare(15);
   const auto& all = advisor_->candidates();

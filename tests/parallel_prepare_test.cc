@@ -1,0 +1,168 @@
+// Determinism tests for the parallel preparation pipeline: INUM caches
+// and final Tune output must be bit-identical for 1, 2, and 8 threads,
+// with and without template sharing.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "catalog/catalog.h"
+#include "core/cophy.h"
+#include "index/candidates.h"
+#include "inum/inum.h"
+#include "workload/generator.h"
+
+namespace cophy {
+namespace {
+
+/// Exact (bit-level) comparison of two INUM caches.
+void ExpectCachesIdentical(const Inum& a, const Inum& b) {
+  ASSERT_EQ(a.num_statements(), b.num_statements());
+  for (QueryId q = 0; q < a.num_statements(); ++q) {
+    const QueryCache& ca = a.cache(q);
+    const QueryCache& cb = b.cache(q);
+    EXPECT_EQ(ca.qid, cb.qid);
+    EXPECT_EQ(ca.weight, cb.weight);
+    EXPECT_EQ(ca.is_update, cb.is_update);
+    EXPECT_EQ(ca.raw_gamma_entries, cb.raw_gamma_entries);
+    ASSERT_EQ(ca.slot_orders, cb.slot_orders) << "q=" << q;
+    ASSERT_EQ(ca.templates.size(), cb.templates.size()) << "q=" << q;
+    for (size_t t = 0; t < ca.templates.size(); ++t) {
+      EXPECT_EQ(ca.templates[t].beta, cb.templates[t].beta);  // exact bits
+      EXPECT_EQ(ca.templates[t].order_idx, cb.templates[t].order_idx);
+    }
+    ASSERT_EQ(ca.access.size(), cb.access.size()) << "q=" << q;
+    for (size_t s = 0; s < ca.access.size(); ++s) {
+      ASSERT_EQ(ca.access[s].size(), cb.access[s].size());
+      for (size_t o = 0; o < ca.access[s].size(); ++o) {
+        ASSERT_EQ(ca.access[s][o].size(), cb.access[s][o].size())
+            << "q=" << q << " slot=" << s << " order=" << o;
+        for (size_t e = 0; e < ca.access[s][o].size(); ++e) {
+          EXPECT_EQ(ca.access[s][o][e].index, cb.access[s][o][e].index);
+          EXPECT_EQ(ca.access[s][o][e].gamma, cb.access[s][o][e].gamma);
+        }
+      }
+    }
+  }
+}
+
+class ParallelPrepareTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    cat_ = MakeTpchCatalog(0.1, 1.0);  // skew: fewer shared statements
+    WorkloadOptions o;
+    o.num_statements = 60;
+    o.seed = 21;
+    o.update_fraction = 0.2;
+    w_ = MakeHomogeneousWorkload(cat_, o);
+  }
+
+  Catalog cat_;
+  Workload w_;
+};
+
+TEST_F(ParallelPrepareTest, PrepareIsThreadCountIndependent) {
+  IndexPool ref_pool;
+  SystemSimulator ref_sim(&cat_, &ref_pool, CostModel::SystemA());
+  const std::vector<IndexId> ref_cands =
+      GenerateCandidates(w_, cat_, CandidateOptions{}, ref_pool);
+  InumOptions serial;
+  serial.num_threads = 1;
+  Inum reference(&ref_sim, serial);
+  reference.Prepare(w_, ref_cands);
+
+  for (int threads : {2, 8}) {
+    IndexPool pool;
+    SystemSimulator sim(&cat_, &pool, CostModel::SystemA());
+    const std::vector<IndexId> cands =
+        GenerateCandidates(w_, cat_, CandidateOptions{}, pool);
+    ASSERT_EQ(cands, ref_cands);
+    InumOptions io;
+    io.num_threads = threads;
+    Inum inum(&sim, io);
+    inum.Prepare(w_, cands);
+    EXPECT_EQ(inum.num_threads_used(), threads);
+    ExpectCachesIdentical(reference, inum);
+    EXPECT_EQ(reference.TotalTemplates(), inum.TotalTemplates());
+    EXPECT_EQ(reference.TotalGammaEntries(), inum.TotalGammaEntries());
+    EXPECT_EQ(reference.TotalRawGammaEntries(), inum.TotalRawGammaEntries());
+  }
+}
+
+TEST_F(ParallelPrepareTest, TemplateSharingIsLossless) {
+  IndexPool pool_a, pool_b;
+  SystemSimulator sim_a(&cat_, &pool_a, CostModel::SystemA());
+  SystemSimulator sim_b(&cat_, &pool_b, CostModel::SystemA());
+  const std::vector<IndexId> cands_a =
+      GenerateCandidates(w_, cat_, CandidateOptions{}, pool_a);
+  const std::vector<IndexId> cands_b =
+      GenerateCandidates(w_, cat_, CandidateOptions{}, pool_b);
+  ASSERT_EQ(cands_a, cands_b);
+
+  InumOptions shared;
+  shared.share_templates = true;
+  InumOptions unshared;
+  unshared.share_templates = false;
+  Inum a(&sim_a, shared), b(&sim_b, unshared);
+  a.Prepare(w_, cands_a);
+  b.Prepare(w_, cands_b);
+  EXPECT_GT(a.num_shared_statements(), 0);
+  EXPECT_EQ(b.num_shared_statements(), 0);
+  // Sharing skips redundant what-if optimizations...
+  EXPECT_LT(sim_a.num_whatif_calls(), sim_b.num_whatif_calls());
+  // ...but the caches are bit-identical.
+  ExpectCachesIdentical(a, b);
+}
+
+TEST_F(ParallelPrepareTest, AddCandidatesIsThreadCountIndependent) {
+  auto run = [&](int threads) {
+    auto pool = std::make_unique<IndexPool>();
+    auto sim = std::make_unique<SystemSimulator>(&cat_, pool.get(),
+                                                 CostModel::SystemA());
+    std::vector<IndexId> cands =
+        GenerateCandidates(w_, cat_, CandidateOptions{}, *pool);
+    // Hold back a quarter of the candidates for the incremental path.
+    const size_t split = cands.size() - cands.size() / 4;
+    std::vector<IndexId> extra(cands.begin() + split, cands.end());
+    cands.resize(split);
+    InumOptions io;
+    io.num_threads = threads;
+    auto inum = std::make_unique<Inum>(sim.get(), io);
+    inum->Prepare(w_, cands);
+    inum->AddCandidates(extra);
+    return std::make_tuple(std::move(inum), std::move(sim), std::move(pool));
+  };
+  auto [ref, ref_sim, ref_pool] = run(1);
+  for (int threads : {2, 8}) {
+    auto [inum, sim, pool] = run(threads);
+    ExpectCachesIdentical(*ref, *inum);
+  }
+}
+
+TEST_F(ParallelPrepareTest, TuneOutputIsThreadCountIndependent) {
+  auto tune = [&](int threads) {
+    IndexPool pool;
+    SystemSimulator sim(&cat_, &pool, CostModel::SystemA());
+    CoPhyOptions opts;
+    opts.gap_target = 0.05;
+    opts.node_limit = 3000;
+    opts.prepare.num_threads = threads;
+    CoPhy advisor(&sim, &pool, w_, opts);
+    EXPECT_TRUE(advisor.Prepare().ok());
+    ConstraintSet cs;
+    cs.SetStorageBudget(0.5 * cat_.TotalDataBytes());
+    const Recommendation rec = advisor.Tune(cs);
+    EXPECT_TRUE(rec.status.ok());
+    std::vector<IndexId> ids = rec.configuration.ids();
+    std::sort(ids.begin(), ids.end());
+    return std::make_pair(ids, rec.objective);
+  };
+  const auto ref = tune(1);
+  for (int threads : {2, 8}) {
+    const auto got = tune(threads);
+    EXPECT_EQ(ref.first, got.first) << "threads=" << threads;
+    EXPECT_EQ(ref.second, got.second) << "threads=" << threads;  // exact bits
+  }
+}
+
+}  // namespace
+}  // namespace cophy

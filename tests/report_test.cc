@@ -30,6 +30,11 @@ class ReportTest : public ::testing::Test {
     ASSERT_TRUE(rec_.status.ok());
   }
 
+  /// The workload view the report describes: tuning runs on the
+  /// (losslessly) compressed representatives, whose aggregated weights
+  /// make the totals match the full workload.
+  const Workload& tuned() const { return advisor_->prepared().tuned(); }
+
   Catalog cat_;
   IndexPool pool_;
   std::unique_ptr<SystemSimulator> sim_;
@@ -41,18 +46,33 @@ class ReportTest : public ::testing::Test {
 TEST_F(ReportTest, TotalsMatchInumCosts) {
   const TuningReport report = AnalyzeRecommendation(advisor_->inum(), rec_);
   double before = 0, after = 0;
-  for (const Query& q : w_.statements()) {
+  for (const Query& q : tuned().statements()) {
     before += q.weight * advisor_->inum().Cost(q.id, Configuration::Empty());
     after += q.weight * advisor_->inum().Cost(q.id, rec_.configuration);
   }
   EXPECT_NEAR(report.total_before, before, 1e-6 * before);
   EXPECT_NEAR(report.total_after, after, 1e-6 * after);
   EXPECT_LT(report.total_after, report.total_before);
+
+  // The compressed view's aggregated weights make the report totals
+  // stand for the FULL workload: cross-check against direct what-if
+  // costing of every original statement.
+  double full_before = 0;
+  for (const Query& q : w_.statements()) {
+    full_before += q.weight * sim_->Cost(q, Configuration::Empty());
+  }
+  EXPECT_NEAR(report.total_before, full_before, 1e-6 * full_before);
 }
 
 TEST_F(ReportTest, EveryStatementAccounted) {
   const TuningReport report = AnalyzeRecommendation(advisor_->inum(), rec_);
-  EXPECT_EQ(static_cast<int>(report.statements.size()), w_.size());
+  EXPECT_EQ(static_cast<int>(report.statements.size()), tuned().size());
+  // Lossless compression merged duplicates, but every original
+  // statement is represented (none dropped).
+  EXPECT_LE(tuned().size(), w_.size());
+  for (QueryId q = 0; q < w_.size(); ++q) {
+    EXPECT_GE(advisor_->prepared().CompressedId(q), 0);
+  }
   // Sorted by absolute gain, descending.
   for (size_t i = 1; i < report.statements.size(); ++i) {
     const auto gain = [](const StatementImpact& s) {
@@ -85,7 +105,7 @@ TEST_F(ReportTest, UsedIndexesBelongToConfiguration) {
     }
     // SELECT costs never increase under more indexes; UPDATE statements
     // may pay maintenance for indexes that benefit *other* statements.
-    if (w_[si.query].IsSelect()) {
+    if (tuned()[si.query].IsSelect()) {
       EXPECT_LE(si.cost_after, si.cost_before * (1 + 1e-9));
     }
   }
@@ -101,7 +121,7 @@ TEST_F(ReportTest, BenefitAttributionSumsToTotalGain) {
   // live in total_after but not in the attribution, so attributed gain
   // is the shell-cost delta.
   double shell_gain = 0;
-  for (const Query& q : w_.statements()) {
+  for (const Query& q : tuned().statements()) {
     shell_gain +=
         q.weight * (advisor_->inum().ShellCost(q.id, Configuration::Empty()) -
                     advisor_->inum().ShellCost(q.id, rec_.configuration));
@@ -121,7 +141,7 @@ TEST_F(ReportTest, RenderedReportMentionsKeyFacts) {
 TEST_F(ReportTest, ChosenIndexesMatchCostArgmin) {
   // Using exactly the chosen indexes reproduces the statement's cost
   // under the full configuration (they are the arg-min paths).
-  for (const Query& q : w_.statements()) {
+  for (const Query& q : tuned().statements()) {
     const auto used = advisor_->inum().ChosenIndexes(q.id, rec_.configuration);
     const double with_all =
         advisor_->inum().ShellCost(q.id, rec_.configuration);
