@@ -1,11 +1,17 @@
 // Ablations over CoPhy's design choices (DESIGN.md §4):
-//   1. Lagrangian relaxation on/off — bound quality and solve time.
+//   1. Root relaxation machinery on a *tight* budget — presolve, root
+//      LP (dual seed + reduced-cost fixing), and Lagrangian on/off.
+//      Emits bench_ablation.json; CI gates on the full configuration's
+//      proven gap (bench/ablation_gap_threshold.txt).
 //   2. Warm starts on/off — interactive retune cost.
 //   3. INUM vs direct what-if inside the advisor loop — the speedup
 //      fast what-if provides (the paper's foundational assumption).
 //   4. Candidate-set richness (extra variants on/off) — quality impact
 //      of CGen's no-pruning philosophy.
+#include <cmath>
+#include <cstdio>
 #include <cstdlib>
+#include <string>
 
 #include "bench/bench_util.h"
 #include "core/bipgen.h"
@@ -22,23 +28,75 @@ int EnvInt(const char* name, int def) {
 }
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   const int n = EnvInt("COPHY_BENCH_N", 500);
-  Title("Ablation 1: Lagrangian relaxation (hom workload, M=0.5)");
+  const double time_limit = EnvInt("COPHY_BENCH_TIME_LIMIT", 60);
+  const char* json_path = argc > 1 ? argv[1] : "bench_ablation.json";
+
+  Title("Ablation 1: root bounds on a tight budget (hom workload, M=0.25)");
+  std::string json;
   {
-    Env e = Env::Make(0.0, false, n, false);
-    ConstraintSet cs = e.BudgetConstraint(0.5);
-    for (bool lagrangian : {true, false}) {
+    struct Config {
+      const char* name;
+      bool presolve, root_lp, lagrangian;
+    };
+    const Config configs[] = {
+        {"full", true, true, true},
+        {"no_root_lp", true, false, true},
+        {"no_lagrangian", true, true, false},
+        {"baseline", false, false, false},
+    };
+    for (const Config& c : configs) {
+      Env e = Env::Make(0.0, false, n, false);
+      ConstraintSet cs = e.BudgetConstraint(0.25);
       CoPhyOptions opts = DefaultCoPhyOptions();
-      opts.lagrangian = lagrangian;
-      opts.time_limit_seconds = 60;
+      opts.presolve = c.presolve;
+      opts.root_lp = c.root_lp;
+      opts.lagrangian = c.lagrangian;
+      opts.time_limit_seconds = time_limit;
+      // Time-to-proof: first moment the *proven* gap reaches 10%.
+      double proof10_seconds = -1;
+      opts.callback = ProofTimer(&proof10_seconds);
       CoPhy advisor(e.system.get(), &e.pool, e.workload, opts);
       advisor.Prepare();
       const Recommendation rec = advisor.Tune(cs);
-      Row({{"lagrangian", lagrangian ? "on" : "off"},
+      const double root_gap = RootGapPct(rec.objective, rec.root_lp_bound);
+      Row({{"config", c.name},
            {"solve_s", Fmt("%.1f", rec.timings.solve_seconds)},
            {"gap_pct", Fmt("%.1f", 100 * rec.gap)},
+           {"root_gap_pct", Fmt("%.1f", root_gap)},
+           {"proof10_s", Fmt("%.2f", proof10_seconds)},
+           {"fixed", std::to_string(rec.variables_fixed)},
            {"objective", Fmt("%.4g", rec.objective)}});
+      char buf[512];
+      std::snprintf(
+          buf, sizeof(buf),
+          "    {\"name\": \"ablation1/%s\", \"config\": \"%s\", "
+          "\"statements\": %d, \"solve_seconds\": %.3f, "
+          "\"proven_gap_pct\": %.3f, \"root_gap_pct\": %.3f, "
+          "\"proof10_seconds\": %.3f, \"variables_fixed\": %lld, "
+          "\"presolve_plans_removed\": %lld, "
+          "\"presolve_indexes_removed\": %lld, \"objective\": %.6f},\n",
+          c.name, c.name, n, rec.timings.solve_seconds, 100 * rec.gap,
+          root_gap, proof10_seconds,
+          static_cast<long long>(rec.variables_fixed),
+          static_cast<long long>(rec.presolve.PlansRemoved()),
+          static_cast<long long>(rec.presolve.IndexesRemoved()),
+          rec.objective);
+      json += buf;
+    }
+  }
+  if (!json.empty()) {
+    json.erase(json.size() - 2, 1);  // drop the trailing comma
+    std::FILE* f = std::fopen(json_path, "w");
+    if (f != nullptr) {
+      std::fprintf(f,
+                   "{\n  \"context\": {\"benchmark\": \"bench_ablation\", "
+                   "\"statements\": %d, \"time_limit_seconds\": %.0f},\n"
+                   "  \"benchmarks\": [\n%s  ]\n}\n",
+                   n, time_limit, json.c_str());
+      std::fclose(f);
+      std::printf("wrote %s\n", json_path);
     }
   }
 

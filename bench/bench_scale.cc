@@ -10,6 +10,7 @@
 // Defaults: 10000, "1,2,4,8", bench_scale.json. Pass 50000 for the full
 // paper-scale sweep.
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -34,6 +35,11 @@ struct Sample {
   double solve_seconds = 0;
   double speedup_vs_1thread = 0;
   double objective = 0;
+  // Root-bound quality of the tuned configs (-1: not tuned / no bound).
+  double proven_gap_pct = -1;   ///< proven optimality gap at return
+  double root_gap_pct = -1;     ///< (objective - root LP bound) / objective
+  double proof10_seconds = -1;  ///< first time the proven gap hit 10%
+  int64_t variables_fixed = 0;  ///< z pinned by reduced-cost fixing
 };
 
 std::vector<int> ParseThreads(const char* csv) {
@@ -57,6 +63,8 @@ Sample RunOne(int n, CompressionMode mode, bool share_templates, int threads,
   opts.prepare.compression.mode = mode;
   opts.prepare.share_templates = share_templates;
   opts.prepare.num_threads = threads;
+  double proof10 = -1;  // first time the proven gap reaches 10%
+  opts.callback = ProofTimer(&proof10);
   CoPhy advisor(e.system.get(), &e.pool, e.workload, opts);
 
   Sample s;
@@ -75,6 +83,10 @@ Sample RunOne(int n, CompressionMode mode, bool share_templates, int threads,
     s.build_seconds = rec.timings.build_seconds;
     s.solve_seconds = rec.timings.solve_seconds;
     s.objective = rec.objective;
+    s.proven_gap_pct = 100 * rec.gap;
+    s.proof10_seconds = proof10;
+    s.variables_fixed = rec.variables_fixed;
+    s.root_gap_pct = RootGapPct(rec.objective, rec.root_lp_bound);
   }
   return s;
 }
@@ -99,12 +111,16 @@ void WriteJson(const char* path, const std::vector<Sample>& samples) {
         "\"build_seconds\": %.6f, \"solve_seconds\": %.6f, "
         "\"compression_ratio\": %.3f, \"compressed_statements\": %d, "
         "\"shared_statements\": %d, \"speedup_vs_1thread\": %.3f, "
-        "\"objective\": %.6f}%s\n",
+        "\"objective\": %.6f, \"proven_gap_pct\": %.3f, "
+        "\"root_gap_pct\": %.3f, \"proof10_seconds\": %.3f, "
+        "\"variables_fixed\": %lld}%s\n",
         s.statements, s.mode, s.threads, s.statements, s.mode, s.threads,
         s.prepare_seconds, s.prepare.compression.seconds, s.prepare.cgen_seconds,
         s.prepare.inum_seconds, s.build_seconds, s.solve_seconds,
         s.prepare.compression.Ratio(), s.prepare.compression.output_statements,
         s.prepare.shared_statements, s.speedup_vs_1thread, s.objective,
+        s.proven_gap_pct, s.root_gap_pct, s.proof10_seconds,
+        static_cast<long long>(s.variables_fixed),
         i + 1 < samples.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
@@ -171,7 +187,9 @@ int Main(int argc, char** argv) {
            {"ratio", Fmt("%.1f", s.prepare.compression.Ratio())},
            {"speedup", Fmt("%.2f", s.speedup_vs_1thread)},
            {"build_s", Fmt("%.3f", s.build_seconds)},
-           {"solve_s", Fmt("%.3f", s.solve_seconds)}});
+           {"solve_s", Fmt("%.3f", s.solve_seconds)},
+           {"gap_pct", Fmt("%.1f", s.proven_gap_pct)},
+           {"proof10_s", Fmt("%.2f", s.proof10_seconds)}});
       samples.push_back(s);
     }
   }

@@ -5,7 +5,9 @@
 #ifndef COPHY_BENCH_BENCH_UTIL_H_
 #define COPHY_BENCH_BENCH_UTIL_H_
 
+#include <cmath>
 #include <cstdio>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -60,6 +62,29 @@ inline CoPhyOptions DefaultCoPhyOptions() {
   opts.gap_target = 0.05;
   opts.node_limit = 8000;
   return opts;
+}
+
+/// Progress callback recording the first time the *proven* gap reached
+/// `target` into *out (initialized to -1 = never). Shared by the
+/// time-to-proof columns of bench_scale / bench_ablation / bench_micro
+/// so the JSON artifacts stay consistent.
+inline std::function<bool(const lp::MipProgress&)> ProofTimer(
+    double* out, double target = 0.10) {
+  *out = -1;
+  return [out, target](const lp::MipProgress& pr) {
+    if (*out < 0 && pr.has_incumbent && pr.gap <= target) {
+      *out = pr.seconds;
+    }
+    return true;
+  };
+}
+
+/// Root-gap column: 100·(objective − bound)/objective, or -1 when the
+/// bound is absent (LP skipped) or the objective degenerate.
+inline double RootGapPct(double objective, double bound) {
+  return objective > 0 && std::isfinite(bound)
+             ? 100 * (objective - bound) / objective
+             : -1.0;
 }
 
 /// Prints a separator + table title.

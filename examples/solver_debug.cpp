@@ -11,6 +11,7 @@
 #include "index/candidates.h"
 #include "lp/branch_and_bound.h"
 #include "lp/choice_problem.h"
+#include "lp/presolve.h"
 #include "workload/generator.h"
 
 using namespace cophy;
@@ -86,7 +87,6 @@ int main(int argc, char** argv) {
   cs.SetStorageBudget(budget_fraction * catalog.TotalDataBytes());
   lp::ChoiceProblem p = BuildChoiceProblem(inum, cands, cs);
 
-  lp::ChoiceSolver solver(&p);
   lp::ChoiceSolveOptions so;
   so.gap_target = 0.05;
   so.node_limit = node_limit;
@@ -96,11 +96,22 @@ int main(int argc, char** argv) {
                 pr.lower_bound, 100 * pr.gap);
     return true;
   };
-  const lp::ChoiceSolution sol = solver.Solve(so);
+  lp::PresolveStats presolve;
+  const lp::ChoiceSolution sol = lp::SolveChoiceProblem(p, so, &presolve);
   std::printf(
-      "status=%s nodes=%lld obj=%.6g lb=%.6g gap=%.2f%% root_lagr=%.6g\n",
+      "presolve: plans %lld->%lld, options %lld->%lld, indexes %lld->%lld\n",
+      static_cast<long long>(presolve.plans_in),
+      static_cast<long long>(presolve.plans_out),
+      static_cast<long long>(presolve.options_in),
+      static_cast<long long>(presolve.options_out),
+      static_cast<long long>(presolve.indexes_in),
+      static_cast<long long>(presolve.indexes_out));
+  std::printf(
+      "status=%s nodes=%lld obj=%.6g lb=%.6g gap=%.2f%% root_lp=%.6g "
+      "(rows=%lld) root_lagr=%.6g fixed=%lld\n",
       sol.status.ToString().c_str(), static_cast<long long>(sol.nodes),
-      sol.objective, sol.lower_bound, 100 * sol.gap,
-      sol.root_lagrangian_bound);
+      sol.objective, sol.lower_bound, 100 * sol.gap, sol.root_lp_bound,
+      static_cast<long long>(sol.root_lp_rows), sol.root_lagrangian_bound,
+      static_cast<long long>(sol.variables_fixed));
   return 0;
 }

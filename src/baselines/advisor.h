@@ -25,6 +25,9 @@ struct AdvisorResult {
   bool timed_out = false;    ///< advisor hit its wall-clock budget
   int64_t solver_nodes = 0;  ///< branch-and-bound nodes explored
   int64_t solver_bound_evaluations = 0;  ///< structured-solver bound calls
+  /// BIP presolve reductions applied before the solve (advisors that
+  /// never build a BIP leave it empty).
+  lp::PresolveStats presolve;
   /// LP pivot/pricing work performed during the run (delta of
   /// lp::GlobalSolverCounters; zero for advisors that never solve LPs).
   lp::SolverCounters lp_work;

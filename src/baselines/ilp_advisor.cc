@@ -1,12 +1,15 @@
 #include "baselines/ilp_advisor.h"
 
 #include <algorithm>
+#include <memory>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 #include "common/stopwatch.h"
 #include "core/bipgen.h"
 #include "index/candidates.h"
 #include "lp/choice_problem.h"
+#include "lp/presolve.h"
 
 namespace cophy {
 
@@ -16,6 +19,16 @@ IlpAdvisor::IlpAdvisor(SystemSimulator* sim, IndexPool* pool, Workload workload,
       options_(options) {
   COPHY_CHECK(sim != nullptr);
   COPHY_CHECK(pool != nullptr);
+}
+
+ThreadPool* IlpAdvisor::PresolvePool() {
+  // Presolve scans reuse the preparation stage's thread knob.
+  const int n = ResolveThreadCount(options_.prepare.num_threads);
+  if (n <= 1) return nullptr;
+  if (presolve_pool_ == nullptr || presolve_pool_->size() != n) {
+    presolve_pool_ = std::make_unique<ThreadPool>(n);
+  }
+  return presolve_pool_.get();
 }
 
 AdvisorResult IlpAdvisor::Recommend(const ConstraintSet& constraints) {
@@ -148,16 +161,16 @@ AdvisorResult IlpAdvisor::Recommend(const ConstraintSet& constraints) {
   }
   p.z_rows = TranslateIndexConstraints(constraints, candidates, *pool_,
                                        sim_->catalog());
-  lp::ChoiceSolver solver(&p);
   result.timings.build_seconds = build_watch.Elapsed();
 
-  // --- Solve ----------------------------------------------------------
+  // --- Solve (same presolve + root-LP path as CoPhy) ------------------
   Stopwatch solve_watch;
   lp::ChoiceSolveOptions so;
   so.gap_target = options_.gap_target;
   so.node_limit = options_.node_limit;
   so.time_limit_seconds = options_.time_limit_seconds;
-  const lp::ChoiceSolution sol = solver.Solve(so);
+  const lp::ChoiceSolution sol =
+      lp::SolveChoiceProblem(p, so, &result.presolve, PresolvePool());
   result.timings.solve_seconds = solve_watch.Elapsed();
   result.whatif_calls = sim_->num_whatif_calls() - calls_before;
   result.solver_nodes = sol.nodes;

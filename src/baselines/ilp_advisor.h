@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "baselines/advisor.h"
+#include "common/thread_pool.h"
 #include "core/prepared.h"
 #include "inum/inum.h"
 
@@ -53,12 +54,17 @@ class IlpAdvisor : public Advisor {
   int64_t configurations_enumerated() const { return configs_enumerated_; }
 
  private:
+  /// Worker pool for the presolve scans (prepare.num_threads; nullptr =
+  /// inline), lazily created and reused across Recommend calls.
+  ThreadPool* PresolvePool();
+
   SystemSimulator* sim_;
   IndexPool* pool_;
   Workload workload_;
   IlpOptions options_;
   std::vector<IndexId> explicit_candidates_;
   int64_t configs_enumerated_ = 0;
+  std::unique_ptr<ThreadPool> presolve_pool_;  // lazily created
 };
 
 }  // namespace cophy

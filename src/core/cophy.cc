@@ -89,6 +89,15 @@ Status CoPhy::AddCandidates(const std::vector<IndexId>& new_ids) {
   return Status::Ok();
 }
 
+ThreadPool* CoPhy::PresolvePool() {
+  const int n = ResolveThreadCount(options_.prepare.num_threads);
+  if (n <= 1) return nullptr;
+  if (presolve_pool_ == nullptr || presolve_pool_->size() != n) {
+    presolve_pool_ = std::make_unique<ThreadPool>(n);
+  }
+  return presolve_pool_.get();
+}
+
 std::vector<double> CoPhy::BaselineShellCosts(const ConstraintSet& constraints) {
   // `constraints` must already be in the compressed statement space.
   std::vector<double> base;
@@ -130,7 +139,6 @@ Recommendation CoPhy::TuneInternal(const ConstraintSet& constraints,
   lp::ChoiceProblem problem =
       BuildChoiceProblem(inum, candidates_, local, baseline);
   rec.bip = ComputeBipStats(inum, candidates_, local);
-  lp::ChoiceSolver solver(&problem);
   rec.timings.build_seconds = build_watch.Elapsed();
 
   Stopwatch solve_watch;
@@ -139,6 +147,8 @@ Recommendation CoPhy::TuneInternal(const ConstraintSet& constraints,
   so.time_limit_seconds = options_.time_limit_seconds;
   so.node_limit = options_.node_limit;
   so.lagrangian = options_.lagrangian;
+  so.presolve = options_.presolve;
+  so.root_lp = options_.root_lp;
   so.callback = options_.callback;
   if (warm_start && last_selection_.size() == candidates_.size()) {
     // Incremental re-solve: the previous solution seeds the incumbent
@@ -151,7 +161,8 @@ Recommendation CoPhy::TuneInternal(const ConstraintSet& constraints,
       so.time_limit_seconds = std::max(1.0, options_.time_limit_seconds / 8);
     }
   }
-  lp::ChoiceSolution sol = solver.Solve(so);
+  lp::ChoiceSolution sol =
+      lp::SolveChoiceProblem(problem, so, &rec.presolve, PresolvePool());
   rec.timings.solve_seconds = solve_watch.Elapsed();
 
   rec.status = sol.status;
@@ -168,6 +179,9 @@ Recommendation CoPhy::TuneInternal(const ConstraintSet& constraints,
   rec.gap = sol.gap;
   rec.nodes = sol.nodes;
   rec.bound_evaluations = sol.bound_evaluations;
+  rec.root_lp_bound = sol.root_lp_bound;
+  rec.root_lagrangian_bound = sol.root_lagrangian_bound;
+  rec.variables_fixed = sol.variables_fixed;
   return rec;
 }
 
@@ -210,12 +224,13 @@ ParetoPoint CoPhy::SolveScalarized(const ConstraintSet& constraints,
   scaled.constant_cost = lambda * problem.constant_cost -
                          (1 - lambda) * soft.target * soft_scale;
 
-  lp::ChoiceSolver solver(&scaled);
   lp::ChoiceSolveOptions so;
   so.gap_target = options_.gap_target;
   so.time_limit_seconds = options_.time_limit_seconds;
   so.node_limit = options_.node_limit;
   so.lagrangian = options_.lagrangian;
+  so.presolve = options_.presolve;
+  so.root_lp = options_.root_lp;
   so.callback = options_.callback;
   if (warm != nullptr &&
       warm->size() == static_cast<size_t>(scaled.num_indexes)) {
@@ -227,7 +242,8 @@ ParetoPoint CoPhy::SolveScalarized(const ConstraintSet& constraints,
       so.time_limit_seconds = std::max(1.0, options_.time_limit_seconds / 8);
     }
   }
-  const lp::ChoiceSolution sol = solver.Solve(so);
+  const lp::ChoiceSolution sol =
+      lp::SolveChoiceProblem(scaled, so, nullptr, PresolvePool());
   point.seconds = watch.Elapsed();
   if (!sol.status.ok()) return point;
 

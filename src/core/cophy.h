@@ -10,12 +10,14 @@
 #include <memory>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "constraints/constraints.h"
 #include "core/bipgen.h"
 #include "core/prepared.h"
 #include "index/candidates.h"
 #include "inum/inum.h"
 #include "lp/choice_problem.h"
+#include "lp/presolve.h"
 
 namespace cophy {
 
@@ -30,6 +32,13 @@ struct CoPhyOptions {
   int64_t node_limit = 50'000;
   /// Apply the Lagrangian relaxation step (§4.1 line 3).
   bool lagrangian = true;
+  /// Presolve the BIP before solving (plan dedup/dominance, option
+  /// pruning, index dropping — §5's shrinking story). Exact: identical
+  /// objectives and re-inflated recommendations either way.
+  bool presolve = true;
+  /// Solve the full root LP relaxation (tight root bound, dual-seeded
+  /// Lagrangian multipliers, reduced-cost variable fixing).
+  bool root_lp = true;
   /// Progress feedback; return false to terminate early with the
   /// current solution (§4.2).
   std::function<bool(const lp::MipProgress&)> callback;
@@ -54,6 +63,13 @@ struct Recommendation {
   double gap = 0;                  ///< proven optimality gap at return
   int64_t nodes = 0;
   int64_t bound_evaluations = 0;   ///< solver bound computations (work proxy)
+  /// Root bounds: the full LP relaxation optimum and the Lagrangian
+  /// dual after subgradient optimization (-inf when skipped/disabled).
+  double root_lp_bound = -lp::kInf;
+  double root_lagrangian_bound = -lp::kInf;
+  int64_t variables_fixed = 0;     ///< z fixed 0/1 by root reduced costs
+  /// BIP presolve reduction accounting for this solve.
+  lp::PresolveStats presolve;
   TuningTimings timings;
   BipStats bip;
   int num_candidates = 0;
@@ -136,6 +152,10 @@ class CoPhy {
                               const SoftConstraint& soft, double lambda,
                               std::vector<uint8_t>* warm);
   std::vector<double> BaselineShellCosts(const ConstraintSet& constraints);
+  /// Worker pool for the presolve scans, sized like the INUM stage
+  /// (prepare.num_threads; nullptr = inline). Lazily created and reused
+  /// across Tune/Retune/Pareto solves.
+  ThreadPool* PresolvePool();
 
   SystemSimulator* sim_;
   IndexPool* pool_;
@@ -145,6 +165,7 @@ class CoPhy {
   std::vector<IndexId> candidates_;
   double prepare_seconds_ = 0;
   std::vector<uint8_t> last_selection_;  // dense, for warm starts
+  std::unique_ptr<ThreadPool> presolve_pool_;  // lazily created
 };
 
 }  // namespace cophy

@@ -1,6 +1,7 @@
 #include "core/report.h"
 
 #include <algorithm>
+#include <cmath>
 #include <unordered_map>
 
 #include "common/strings.h"
@@ -104,6 +105,34 @@ std::string RenderSolverActivity(const SolverActivity& activity) {
     out += StrFormat("B&B nodes %lld, bound evaluations %lld\n",
                      static_cast<long long>(activity.mip_nodes),
                      static_cast<long long>(activity.bound_evaluations));
+  }
+  const lp::PresolveStats& ps = activity.presolve;
+  if (ps.plans_in > 0) {
+    out += StrFormat(
+        "Presolve: plans %lld -> %lld (%lld dup, %lld dominated), "
+        "options %lld -> %lld, indexes %lld -> %lld\n",
+        static_cast<long long>(ps.plans_in),
+        static_cast<long long>(ps.plans_out),
+        static_cast<long long>(ps.duplicate_plans),
+        static_cast<long long>(ps.dominated_plans),
+        static_cast<long long>(ps.options_in),
+        static_cast<long long>(ps.options_out),
+        static_cast<long long>(ps.indexes_in),
+        static_cast<long long>(ps.indexes_out));
+  }
+  const bool has_lp_bound = std::isfinite(activity.root_lp_bound);
+  const bool has_lagr_bound = std::isfinite(activity.root_lagrangian_bound);
+  if (has_lp_bound || has_lagr_bound) {
+    out += "Root bounds:";
+    if (has_lp_bound) {
+      out += StrFormat(" LP %.6g", activity.root_lp_bound);
+    }
+    if (has_lagr_bound) {
+      out += StrFormat("%s Lagrangian %.6g", has_lp_bound ? " |" : "",
+                       activity.root_lagrangian_bound);
+    }
+    out += StrFormat(", %lld z fixed by reduced costs\n",
+                     static_cast<long long>(activity.variables_fixed));
   }
   return out;
 }

@@ -61,6 +61,13 @@ struct SolverActivity {
   lp::SolverCounters lp;            ///< revised-simplex pivot/pricing work
   int64_t mip_nodes = 0;            ///< optional: branch-and-bound nodes
   int64_t bound_evaluations = 0;    ///< optional: structured-solver bounds
+  /// Optional (filled from a Recommendation/ChoiceSolution): presolve
+  /// reductions and the two root bounds side by side. Rendered only
+  /// when present.
+  lp::PresolveStats presolve;
+  double root_lp_bound = -lp::kInf;
+  double root_lagrangian_bound = -lp::kInf;
+  int64_t variables_fixed = 0;      ///< z pinned by reduced-cost fixing
 };
 
 /// Snapshot of the process-wide LP counters (pair with

@@ -49,7 +49,8 @@ int MostFractional(const Model& model, const std::vector<double>& x) {
 }  // namespace
 
 Status CheckFeasible(const Model& model) {
-  return SolveLp(model).status;
+  return SolveLp(model, nullptr, nullptr, nullptr, /*want_duals=*/false)
+      .status;
 }
 
 MipSolution SolveMip(const Model& model, const MipOptions& options) {
@@ -105,7 +106,8 @@ MipSolution SolveMip(const Model& model, const MipOptions& options) {
 
   // Root relaxation (always a cold solve).
   {
-    const LpSolution root = SolveLp(model);
+    const LpSolution root =
+        SolveLp(model, nullptr, nullptr, nullptr, /*want_duals=*/false);
     account(root);
     if (!root.status.ok()) {
       result.status = root.status;
@@ -149,8 +151,9 @@ MipSolution SolveMip(const Model& model, const MipOptions& options) {
       lo[v] = std::max(lo[v], b.first);
       hi[v] = std::min(hi[v], b.second);
     }
-    const LpSolution relax =
-        SolveLp(model, &lo, &hi, node->parent_basis.get());
+    const LpSolution relax = SolveLp(model, &lo, &hi,
+                                     node->parent_basis.get(),
+                                     /*want_duals=*/false);
     account(relax);
     ++result.nodes;
     if (!relax.status.ok()) continue;  // infeasible subtree

@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "common/stopwatch.h"
+#include "lp/simplex.h"
 
 namespace cophy::lp {
 
@@ -387,20 +388,227 @@ double ChoiceSolver::LagrangianNodeBound(const std::vector<int8_t>& fixed) const
 }
 
 // ---------------------------------------------------------------------------
+// Root LP relaxation: the full Theorem-1 LP over the choice structure,
+// solved with the sparse revised simplex. Its optimum is the exact LP
+// bound (>= any Lagrangian dual value), its link-row duals seed μ, and
+// its reduced costs drive variable fixing.
+
+bool ChoiceSolver::BuildRootLp(Model* model, RootLpLayout* layout,
+                               int64_t max_rows) const {
+  // Compact form: base options are substituted out (a slot with a base
+  // fallback charges its base gamma through y and lets each non-base x
+  // buy the *difference*, with Σ x <= y instead of Σ x = y), and the
+  // per-entry linking rows are aggregated per (query, index) —
+  // z_a >= Σ_e x_e — which is valid for every integral solution (a
+  // query's chosen plan uses an index in at most one slot), *tighter*
+  // than the per-entry rows, and emits exactly one row per μ slot, so
+  // the LP duals are the Lagrangian multipliers verbatim.
+  //
+  // Row estimate: one pick-one row per query, one fill row per
+  // (plan, slot) with any non-base option or no base, one link row per
+  // μ slot, plus caps, z-rows, and the storage row.
+  int64_t rows = static_cast<int64_t>(mu_owner_index_.size()) +
+                 static_cast<int64_t>(p_->z_rows.size());
+  for (const ChoiceQuery& q : p_->queries) {
+    rows += 1;
+    if (q.cost_cap < kInf) rows += 1;
+    for (const ChoicePlan& plan : q.plans) {
+      for (const ChoiceSlot& slot : plan.slots) {
+        const bool only_base =
+            slot.options.size() == 1 && slot.options[0].index == kBaseOption;
+        if (!only_base) rows += 1;
+      }
+    }
+  }
+  if (p_->storage_budget < kInf) rows += 1;
+  if (rows > max_rows) return false;
+
+  model->AddObjectiveConstant(p_->constant_cost);
+  for (int a = 0; a < p_->num_indexes; ++a) {
+    model->AddVariable(0.0, 1.0, p_->fixed_cost[a], /*is_integer=*/true);
+  }
+  layout->mu_link_row.assign(mu_owner_index_.size(), -1);
+  size_t e = 0;  // canonical non-base entry cursor (entry_mu_idx_ order)
+  std::vector<std::pair<VarId, double>> pick, fill, cap_terms;
+  std::vector<std::pair<int32_t, VarId>> links;  // (μ slot, x var)
+  for (const ChoiceQuery& q : p_->queries) {
+    pick.clear();
+    cap_terms.clear();
+    links.clear();
+    const bool has_cap = q.cost_cap < kInf;
+    for (const ChoicePlan& plan : q.plans) {
+      // The y objective carries beta plus every base fallback the plan
+      // would pay with nothing selected; x objectives carry the
+      // (non-positive after presolve) improvement over that fallback.
+      double base_cost = plan.beta;
+      for (const ChoiceSlot& slot : plan.slots) {
+        for (const ChoiceOption& o : slot.options) {
+          if (o.index == kBaseOption) {
+            base_cost += o.gamma;
+            break;
+          }
+        }
+      }
+      const VarId y = model->AddVariable(0.0, 1.0, q.weight * base_cost, true);
+      pick.push_back({y, 1.0});
+      if (has_cap) cap_terms.push_back({y, base_cost});
+      for (const ChoiceSlot& slot : plan.slots) {
+        double base_gamma = kInf;
+        for (const ChoiceOption& o : slot.options) {
+          if (o.index == kBaseOption) base_gamma = o.gamma;
+        }
+        const bool has_base = base_gamma < kInf;
+        fill.clear();
+        fill.push_back({y, -1.0});
+        for (const ChoiceOption& o : slot.options) {
+          if (o.index == kBaseOption) continue;
+          const double delta = has_base ? o.gamma - base_gamma : o.gamma;
+          const VarId x =
+              model->AddVariable(0.0, 1.0, q.weight * delta, true);
+          fill.push_back({x, 1.0});
+          if (has_cap) cap_terms.push_back({x, delta});
+          links.push_back({entry_mu_idx_[e], x});
+          ++e;
+        }
+        if (fill.size() > 1 || !has_base) {
+          // Σ_a x <= y with a base fallback (the slack is the base
+          // path); Σ_a x = y when the slot has no fallback.
+          model->AddRow(fill, has_base ? Sense::kLe : Sense::kEq, 0.0);
+        }
+      }
+    }
+    model->AddRow(pick, Sense::kEq, 1.0);  // Σ_k y = 1
+    if (has_cap) model->AddRow(cap_terms, Sense::kLe, q.cost_cap);
+    // Aggregated linking rows, one per μ slot of this query, in slot
+    // creation (first-touch) order.
+    std::stable_sort(links.begin(), links.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.first < b.first;
+                     });
+    for (size_t k = 0; k < links.size();) {
+      const int32_t mu = links[k].first;
+      model->BeginRow(Sense::kGe, 0.0);  // z_a >= Σ x
+      model->AddTerm(mu_owner_index_[mu], 1.0);
+      while (k < links.size() && links[k].first == mu) {
+        model->AddTerm(links[k].second, -1.0);
+        ++k;
+      }
+      layout->mu_link_row[mu] = model->EndRow();
+    }
+  }
+  COPHY_CHECK_EQ(e, entry_mu_idx_.size());
+  layout->storage_row = -1;
+  if (p_->storage_budget < kInf) {
+    model->BeginRow(Sense::kLe, p_->storage_budget);
+    for (int a = 0; a < p_->num_indexes; ++a) {
+      model->AddTerm(a, p_->size[a]);
+    }
+    layout->storage_row = model->EndRow();
+  }
+  for (const ZRow& row : p_->z_rows) {
+    model->BeginRow(row.sense, row.rhs, row.name);
+    for (const auto& [a, c] : row.terms) model->AddTerm(a, c);
+    model->EndRow();
+  }
+  return true;
+}
+
+void ChoiceSolver::EnsureSigma() {
+  sigma_.assign(p_->num_indexes, 0.0);
+  if (p_->storage_budget < kInf) {
+    const double m = std::max(1.0, p_->storage_budget);
+    for (int a = 0; a < p_->num_indexes; ++a) sigma_[a] = p_->size[a] / m;
+  }
+}
+
+void ChoiceSolver::SeedLagrangianFromDuals(const LpSolution& lp,
+                                           const RootLpLayout& layout) {
+  const size_t num_mu = mu_owner_index_.size();
+  mu_.assign(num_mu, 0.0);
+  // The aggregated link row z_a >= Σ x is the relaxed constraint
+  // Σ x - z_a <= 0; its dual (>= 0 under the solver's sign convention
+  // for >= rows) is exactly the Lagrangian multiplier μ_{q,a}.
+  for (size_t m = 0; m < num_mu; ++m) {
+    const int32_t row = layout.mu_link_row[m];
+    if (row >= 0) mu_[m] = std::max(0.0, lp.duals[row]);
+  }
+  mu_sum_.assign(p_->num_indexes, 0.0);
+  for (size_t m = 0; m < num_mu; ++m) {
+    mu_sum_[mu_owner_index_[m]] += mu_[m];
+  }
+  EnsureSigma();
+  lambda_ = 0.0;
+  if (layout.storage_row >= 0) {
+    // Binding <= row: dual y <= 0, true multiplier λ = -y; the solver
+    // keeps λ in normalized budget units (σ_a = size_a / M), so scale
+    // by M.
+    lambda_ = std::max(0.0, -lp.duals[layout.storage_row]) *
+              std::max(1.0, p_->storage_budget);
+  }
+  mu_ready_ = true;
+  mu_seeded_ = true;
+}
+
+int ChoiceSolver::ApplyReducedCostFixing(double upper_bound) {
+  if (!std::isfinite(upper_bound)) return 0;
+  const bool lp = !rc_status_.empty();
+  const bool lagr = std::isfinite(lag_bound_) && !lag_coef_.empty();
+  if (!lp && !lagr) return 0;
+  int fixed = 0;
+  for (int a = 0; a < p_->num_indexes; ++a) {
+    if (root_fix_[a] != -1) continue;
+    // Moving a nonbasic z off its LP-optimal bound costs at least |d|
+    // on top of the LP optimum, so the opposite bound is provably no
+    // better than the incumbent: fix the variable permanently.
+    if (lp) {
+      const double d = rc_d_[a];
+      if (rc_status_[a] == VarStatus::kAtLower && d > 0 &&
+          root_lp_bound_ + d >= upper_bound - kTol) {
+        root_fix_[a] = 0;
+        ++fixed;
+        continue;
+      }
+      if (rc_status_[a] == VarStatus::kAtUpper && d < 0 &&
+          root_lp_bound_ - d >= upper_bound - kTol) {
+        root_fix_[a] = 1;
+        ++fixed;
+        continue;
+      }
+    }
+    // Same argument on the Lagrangian: z separates additively, so a
+    // solution with z_a flipped off its subproblem minimizer has
+    // Lagrangian value (a lower bound on its true objective) of at
+    // least lag_bound_ + |coef_a|.
+    if (lagr) {
+      const double c = lag_coef_[a];
+      if (c >= 0 && lag_bound_ + c >= upper_bound - kTol) {
+        root_fix_[a] = 0;
+        ++fixed;
+      } else if (c < 0 && lag_bound_ - c >= upper_bound - kTol) {
+        root_fix_[a] = 1;
+        ++fixed;
+      }
+    }
+  }
+  return fixed;
+}
+
+// ---------------------------------------------------------------------------
 // Lagrangian dual (subgradient on the linking constraints + storage)
 
 double ChoiceSolver::OptimizeLagrangian(double upper_bound, int iterations) {
   const size_t num_mu = mu_owner_index_.size();
-  mu_.assign(num_mu, 0.0);
-  mu_sum_.assign(p_->num_indexes, 0.0);
-  lambda_ = 0.0;
+  if (!mu_seeded_) {
+    // Cold start from zero multipliers (the §4.1 schedule); a prior
+    // SeedLagrangianFromDuals call leaves μ/λ/σ at the LP duals instead
+    // and the first iteration evaluates that point.
+    mu_.assign(num_mu, 0.0);
+    mu_sum_.assign(p_->num_indexes, 0.0);
+    lambda_ = 0.0;
+    EnsureSigma();
+  }
 
   const bool budgeted = p_->storage_budget < kInf;
-  sigma_.assign(p_->num_indexes, 0.0);
-  if (budgeted) {
-    const double m = std::max(1.0, p_->storage_budget);
-    for (int a = 0; a < p_->num_indexes; ++a) sigma_[a] = p_->size[a] / m;
-  }
   std::vector<int8_t> x(num_mu);        // x_{q,a} of the inner solution
   std::vector<uint8_t> z(p_->num_indexes);
   std::vector<double> best_mu;
@@ -526,6 +734,20 @@ double ChoiceSolver::OptimizeLagrangian(double upper_bound, int iterations) {
     lambda_ = best_lambda;
   }
   mu_ready_ = true;
+  // Subsequent calls continue the subgradient from the best multipliers
+  // (the mid-search refreshes with a tightened upper bound).
+  mu_seeded_ = true;
+  if (std::isfinite(best) && best >= lag_bound_) {
+    // Snapshot the z-subproblem reduced coefficients at the best
+    // multipliers for Lagrangian reduced-cost fixing (bound and
+    // coefficients must come from the same multipliers).
+    lag_bound_ = best;
+    lag_coef_.resize(p_->num_indexes);
+    for (int a = 0; a < p_->num_indexes; ++a) {
+      lag_coef_[a] = p_->fixed_cost[a] +
+                     (budgeted ? lambda_ * sigma_[a] : 0.0) - mu_sum_[a];
+    }
+  }
   return best;
 }
 
@@ -892,7 +1114,14 @@ ChoiceSolution ChoiceSolver::Solve(const ChoiceSolveOptions& options) {
   if (!result.status.ok()) return result;
 
   const int n = p_->num_indexes;
-  std::vector<int8_t> root_fixed(n, -1);
+  root_fix_.assign(n, -1);
+  rc_status_.clear();
+  rc_d_.clear();
+  root_lp_bound_ = -kInf;
+  lag_coef_.clear();
+  lag_bound_ = -kInf;
+  mu_ready_ = false;
+  mu_seeded_ = false;
 
   bool has_incumbent = false;
   std::vector<uint8_t> incumbent;
@@ -904,6 +1133,12 @@ ChoiceSolution ChoiceSolver::Solve(const ChoiceSolveOptions& options) {
       incumbent = sel;
       incumbent_obj = obj;
       has_incumbent = true;
+      // A tighter incumbent may prove more variables out via their root
+      // reduced costs; the new fixings apply to every node expanded
+      // from here on.
+      if (options.reduced_cost_fixing) {
+        result.variables_fixed += ApplyReducedCostFixing(incumbent_obj);
+      }
       return true;
     }
     return false;
@@ -914,26 +1149,84 @@ ChoiceSolution ChoiceSolver::Solve(const ChoiceSolveOptions& options) {
     offer(options.warm_start);
   }
   {
+    std::vector<int8_t> all_free(n, -1);
     std::vector<uint8_t> greedy;
-    if (GreedyIncumbent(root_fixed, greedy)) offer(greedy);
+    if (GreedyIncumbent(all_free, greedy)) offer(greedy);
   }
 
-  // Root bounds.
+  // Root LP relaxation: exact LP bound, dual-seeded multipliers, and
+  // the reduced-cost data the fixing hook above consumes.
   int64_t bound_evals = 0;
-  std::vector<double> scores;
-  double root_plain = NodeBound(root_fixed, &scores);
-  ++bound_evals;
-  if (root_plain == kInf) {
+  if (options.root_lp) {
+    Model model;
+    RootLpLayout layout;
+    if (BuildRootLp(&model, &layout, options.root_lp_max_rows)) {
+      result.root_lp_rows = model.num_rows();
+      const LpSolution lp = SolveLp(model);
+      if (lp.status.ok()) {
+        root_lp_bound_ = lp.objective;
+        result.root_lp_bound = lp.objective;
+        rc_status_.assign(lp.basis.variables.begin(),
+                          lp.basis.variables.begin() + n);
+        rc_d_.assign(lp.reduced_costs.begin(), lp.reduced_costs.begin() + n);
+        SeedLagrangianFromDuals(lp, layout);
+        if (options.reduced_cost_fixing && has_incumbent) {
+          result.variables_fixed += ApplyReducedCostFixing(incumbent_obj);
+        }
+      }
+      // A non-OK LP (including an "infeasible" verdict, which on badly
+      // scaled instances can be a phase-1 tolerance artifact) just
+      // forfeits the LP bound: the combinatorial search remains the
+      // authority on feasibility, and a verified-feasible incumbent
+      // must never be discarded on the LP's word.
+    }
+  }
+
+  // Closes the solve when the root state (after reduced-cost fixing)
+  // admits no completion that could beat the incumbent.
+  auto proven_at_root = [&]() {
     result.bound_evaluations = bound_evals;
-    result.status = Status::Infeasible("root bound infinite");
+    if (has_incumbent) {
+      // Fixing closed the root: nothing beats the incumbent.
+      result.selected = std::move(incumbent);
+      result.objective = incumbent_obj;
+      result.lower_bound = incumbent_obj;
+      result.gap = 0.0;
+      result.status = Status::Ok();
+    } else {
+      result.status = Status::Infeasible("root bound infinite");
+    }
     return result;
+  };
+
+  std::vector<double> scores;
+  double root_plain = NodeBound(root_fix_, &scores);
+  ++bound_evals;
+  if (root_plain == kInf || !ConstraintsAdmissible(root_fix_)) {
+    return proven_at_root();
   }
   double root_lagr = -kInf;
+  double lagr_refresh_ub = kInf;  // incumbent at the last dual (re)solve
   if (options.lagrangian) {
+    const int64_t fixed_before = result.variables_fixed;
     root_lagr = OptimizeLagrangian(
         has_incumbent ? incumbent_obj : root_plain * 2 + 1,
         options.lagrangian_iterations);
     result.root_lagrangian_bound = root_lagr;
+    if (has_incumbent) lagr_refresh_ub = incumbent_obj;
+    // The optimized multipliers may immediately prove variables out; if
+    // they did, the root bound and branching scores must reflect the
+    // new fixings.
+    if (options.reduced_cost_fixing && has_incumbent) {
+      result.variables_fixed += ApplyReducedCostFixing(incumbent_obj);
+    }
+    if (result.variables_fixed != fixed_before) {
+      root_plain = NodeBound(root_fix_, &scores);
+      ++bound_evals;
+      if (root_plain == kInf || !ConstraintsAdmissible(root_fix_)) {
+        return proven_at_root();
+      }
+    }
   }
   struct Node {
     double bound;
@@ -956,14 +1249,26 @@ ChoiceSolution ChoiceSolver::Solve(const ChoiceSolveOptions& options) {
   };
 
   {
-    Node root{std::max(root_plain, root_lagr), pick_branch(scores), {}};
+    // Reduced-cost fixing can resolve the root outright (every variable
+    // pinned): popped leaves are only *pruned*, completions are offered
+    // at node creation — so the root's own completion must be offered
+    // here like any other leaf.
+    const int root_branch = pick_branch(scores);
+    if (root_branch < 0) {
+      std::vector<uint8_t> sel(n, 0);
+      for (int a = 0; a < n; ++a) sel[a] = root_fix_[a] == 1 ? 1 : 0;
+      offer(sel);
+    }
+    Node root{std::max({root_plain, root_lagr, root_lp_bound_}), root_branch,
+              {}};
     open.push(std::move(root));
   }
 
   auto current_lb = [&]() {
     double lb = has_incumbent ? incumbent_obj : kInf;
     if (!open.empty()) lb = std::min(lb, open.top().bound);
-    return std::max(lb == kInf ? -kInf : lb, root_lagr);
+    return std::max(lb == kInf ? -kInf : lb,
+                    std::max(root_lagr, root_lp_bound_));
   };
   auto report = [&]() -> bool {
     MipProgress pr;
@@ -1006,7 +1311,10 @@ ChoiceSolution ChoiceSolver::Solve(const ChoiceSolveOptions& options) {
     if (node.branch < 0) continue;  // resolved leaf
 
     for (int8_t val : {static_cast<int8_t>(1), static_cast<int8_t>(0)}) {
-      std::fill(fixed.begin(), fixed.end(), -1);
+      // Root reduced-cost fixings apply tree-wide; explicit node
+      // branching decisions overlay them (an older node's own fix wins,
+      // which merely forgoes the pruning for that subtree).
+      std::copy(root_fix_.begin(), root_fix_.end(), fixed.begin());
       for (const auto& [a, v] : node.fixes) fixed[a] = v;
       fixed[node.branch] = val;
       ++result.nodes;
@@ -1017,6 +1325,9 @@ ChoiceSolution ChoiceSolver::Solve(const ChoiceSolveOptions& options) {
       if (bound == kInf) continue;
       bound = std::max(bound, LagrangianNodeBound(fixed));
       if (mu_ready_) ++bound_evals;
+      // Every completion is a solution, so the global LP bound floors
+      // every node bound (tightens best-first ordering and gap checks).
+      bound = std::max(bound, root_lp_bound_);
       if (has_incumbent && bound >= incumbent_obj - kTol) continue;
 
       const int branch = pick_branch(child_scores);
@@ -1039,12 +1350,31 @@ ChoiceSolution ChoiceSolver::Solve(const ChoiceSolveOptions& options) {
       open.push(std::move(child));
     }
 
+    // Re-optimize the dual whenever the incumbent improved materially
+    // since the last (re)solve: the tighter Polyak target lifts the
+    // proven bound, and the refreshed coefficients may fix more
+    // variables for the rest of the search.
+    if (options.lagrangian && has_incumbent &&
+        lagr_refresh_ub - incumbent_obj >
+            0.02 * std::max(1.0, std::abs(incumbent_obj))) {
+      root_lagr = std::max(
+          root_lagr,
+          OptimizeLagrangian(incumbent_obj,
+                             options.lagrangian_iterations / 2 + 1));
+      result.root_lagrangian_bound =
+          std::max(result.root_lagrangian_bound, root_lagr);
+      lagr_refresh_ub = incumbent_obj;
+      if (options.reduced_cost_fixing) {
+        result.variables_fixed += ApplyReducedCostFixing(incumbent_obj);
+      }
+    }
+
     if ((result.nodes & 0xff) == 0) {
       if (!report()) break;
     }
     // Periodic dives to refresh the incumbent from a promising node.
     if ((result.nodes & 0x1ff) == 0 && !open.empty()) {
-      std::fill(fixed.begin(), fixed.end(), -1);
+      std::copy(root_fix_.begin(), root_fix_.end(), fixed.begin());
       for (const auto& [a, v] : open.top().fixes) fixed[a] = v;
       std::vector<uint8_t> dive;
       if (GreedyIncumbent(fixed, dive) && offer(dive)) {

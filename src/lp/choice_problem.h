@@ -105,6 +105,27 @@ struct ChoiceSolveOptions {
   /// Use the Lagrangian-relaxation root bound (ablation knob).
   bool lagrangian = true;
   int lagrangian_iterations = 300;
+  /// Presolve the problem before solving. Consumed by
+  /// SolveChoiceProblem (lp/presolve.h); ChoiceSolver itself always
+  /// solves exactly the problem it was given.
+  bool presolve = true;
+  /// Solve the full root LP relaxation with the sparse revised simplex:
+  /// the LP optimum is the tightest bound this relaxation family offers,
+  /// its duals warm-start the Lagrangian multipliers (instead of the
+  /// cold §4.1 subgradient schedule), and its reduced costs drive
+  /// variable fixing.
+  bool root_lp = true;
+  /// Skip the root LP above this row count (the explicit-inverse
+  /// simplex is O(rows^2) per pivot and O(rows^2) memory; the Lagrangian
+  /// bound and the Lagrangian reduced-cost fixing still run at any
+  /// size). The compact aggregated formulation keeps real instances
+  /// well under this.
+  int64_t root_lp_max_rows = 4'000;
+  /// Permanently fix z variables whose reduced cost — from the root LP
+  /// basis or from the Lagrangian z-subproblem coefficients at the best
+  /// multipliers — proves the opposite bound can never beat the
+  /// incumbent (re-applied as the incumbent drops).
+  bool reduced_cost_fixing = true;
 };
 
 /// Solve result.
@@ -117,6 +138,9 @@ struct ChoiceSolution {
   int64_t nodes = 0;
   int64_t bound_evaluations = 0;  ///< NodeBound/Lagrangian bound calls
   double root_lagrangian_bound = -kInf;
+  double root_lp_bound = -kInf;  ///< objective of the root LP relaxation
+  int64_t root_lp_rows = 0;      ///< rows of the root LP (0: skipped)
+  int64_t variables_fixed = 0;   ///< z fixed 0/1 by reduced costs
 };
 
 /// The structured branch-and-bound solver.
@@ -151,8 +175,25 @@ class ChoiceSolver {
   const std::vector<int32_t>& DebugEntryMuIdx() const { return entry_mu_idx_; }
   double DebugLambda() const { return lambda_; }
 
+  /// Test hook: materializes the root LP relaxation (z variables first)
+  /// and returns its row count, or -1 when the estimate exceeds
+  /// `max_rows`.
+  int64_t DebugBuildRootLp(Model* model, int64_t max_rows) const {
+    RootLpLayout layout;
+    return BuildRootLp(model, &layout, max_rows) ? model->num_rows() : -1;
+  }
+
  private:
   struct NodeState;
+
+  /// Bookkeeping of the root LP's rows: which row carries each μ slot's
+  /// aggregated link constraint (its dual is that multiplier's seed) and
+  /// where the storage row landed (for the λ seed). -1: no row (the μ
+  /// slot's entries were all pruned).
+  struct RootLpLayout {
+    int storage_row = -1;
+    std::vector<int32_t> mu_link_row;
+  };
 
   /// Optimistic completion bound for the current fixings (optionally
   /// priced with the Lagrangian multipliers). Also gathers branching
@@ -165,11 +206,28 @@ class ChoiceSolver {
   bool GreedyIncumbent(const std::vector<int8_t>& fixed,
                        std::vector<uint8_t>& out) const;
   /// Subgradient optimization of the Lagrangian dual at the root;
-  /// fills mu_/lambda_ and returns the best dual bound.
+  /// fills mu_/lambda_ and returns the best dual bound. Starts from the
+  /// LP-dual seed when SeedLagrangianFromDuals ran, else from zero.
   double OptimizeLagrangian(double upper_bound, int iterations);
   /// Interval-based constraint pruning. Returns false if the fixings
   /// already violate a constraint.
   bool ConstraintsAdmissible(const std::vector<int8_t>& fixed) const;
+  /// Emits the full root LP relaxation (Theorem-1 rows over the choice
+  /// structure, z variables first) through the model's CSR streaming
+  /// interface. False when the row estimate exceeds `max_rows`.
+  bool BuildRootLp(Model* model, RootLpLayout* layout, int64_t max_rows) const;
+  /// Seeds μ (per link-row duals, aggregated per (query, index)) and λ
+  /// (storage-row dual, rescaled to normalized budget units) from an
+  /// optimal root LP solution.
+  void SeedLagrangianFromDuals(const LpSolution& lp, const RootLpLayout& layout);
+  /// Normalized storage sizes (σ_a = size_a / M).
+  void EnsureSigma();
+  /// Fixes free z variables whose reduced cost proves that every
+  /// solution on the other bound costs at least `upper_bound`; returns
+  /// how many were newly fixed into root_fix_. Two proof sources: the
+  /// root LP basis (bound + |d_a|) and the Lagrangian z-subproblem
+  /// (bound + |coef_a|, exact because z separates additively).
+  int ApplyReducedCostFixing(double upper_bound);
 
   const ChoiceProblem* p_;
   // Inverted list: dense index id -> queries whose plans reference it.
@@ -198,6 +256,23 @@ class ChoiceSolver {
   std::vector<double> sigma_;
   double lambda_ = 0.0;
   bool mu_ready_ = false;
+  bool mu_seeded_ = false;  ///< μ/λ carry the root LP duals
+
+  // Root-LP state for reduced-cost fixing (valid while rc_status_ is
+  // non-empty): per-z basis status and reduced cost at the LP optimum,
+  // the LP bound itself, and the permanent 0/1 fixings every node
+  // inherits (-1 = free).
+  std::vector<VarStatus> rc_status_;
+  std::vector<double> rc_d_;
+  double root_lp_bound_ = -kInf;
+  std::vector<int8_t> root_fix_;
+  // Lagrangian fixing data: z-subproblem reduced coefficients
+  // fixed_cost + λσ − Σμ at the best multipliers, and the dual bound
+  // they certify (flipping z_a off its unconstrained minimizer costs
+  // at least |lag_coef_[a]| on top of lag_bound_).
+  std::vector<double> lag_coef_;
+  double lag_bound_ = -kInf;
+
   // Scratch for NodeBound's attributed penalties (single-threaded).
   mutable std::vector<double> scratch_penalty_;
 };

@@ -104,8 +104,9 @@ LpSolution SolveLpDense(const Model& model, const std::vector<double>* var_lower
     lo[i] = var_lower != nullptr ? (*var_lower)[i] : model.variable(i).lower;
     hi[i] = var_upper != nullptr ? (*var_upper)[i] : model.variable(i).upper;
     if (lo[i] > hi[i]) {
-      return {Status::Infeasible("contradictory variable bounds"), {}, 0.0,
-              {}, {}};
+      LpSolution bad;
+      bad.status = Status::Infeasible("contradictory variable bounds");
+      return bad;
     }
   }
 
@@ -152,6 +153,7 @@ LpSolution SolveLpDense(const Model& model, const std::vector<double>* var_lower
     }
     if (rows[r].sense != Sense::kEq) slack_col[r] = n++;
   }
+  const int art_begin = n;  // columns >= art_begin are artificial
   std::vector<int> art_col(m, -1);
   for (int r = 0; r < m; ++r) {
     // kLe rows with slack start basic; kGe and kEq need artificials.
@@ -191,25 +193,41 @@ LpSolution SolveLpDense(const Model& model, const std::vector<double>* var_lower
   if (need_phase1) {
     const IterStatus st = Iterate(t, c1);
     if (st == IterStatus::kIterLimit) {
-      return {Status::Internal("simplex iteration limit (phase 1)"), {}, 0.0,
-              {}, {}};
+      LpSolution bad;
+      bad.status = Status::Internal("simplex iteration limit (phase 1)");
+      return bad;
     }
     double art_sum = 0;
     for (int r = 0; r < m; ++r) {
       if (c1[t.basis[r]] != 0.0) art_sum += t.b[r];
     }
     if (art_sum > 1e-6) {
-      return {Status::Infeasible("phase-1 optimum positive"), {}, 0.0, {}, {}};
+      LpSolution bad;
+      bad.status = Status::Infeasible("phase-1 optimum positive");
+      return bad;
     }
-    // Drive remaining (degenerate) artificials out of the basis.
+    // Drive remaining (degenerate) artificials out of the basis through
+    // any structural *or slack* column (largest |pivot| for stability).
+    // Pivoting only on structural columns used to leave artificials
+    // basic whenever the row's nonzeros sat in slack columns; such an
+    // artificial could drift to a nonzero value during phase 2 and
+    // silently violate its row.
     for (int r = 0; r < m; ++r) {
-      if (t.basis[r] >= nv && c1[t.basis[r]] != 0.0) {
+      if (t.basis[r] >= art_begin && c1[t.basis[r]] != 0.0) {
         int piv = -1;
-        for (int j = 0; j < nv && piv < 0; ++j) {
-          if (std::abs(t.a[r][j]) > kEps) piv = j;
+        double best_piv = kEps;
+        for (int j = 0; j < art_begin; ++j) {
+          const double a = std::abs(t.a[r][j]);
+          if (a > best_piv) {
+            best_piv = a;
+            piv = j;
+          }
         }
         if (piv >= 0) t.Pivot(r, piv);
-        // If no pivot exists the row is redundant; harmless to keep.
+        // No pivot means the row is zero in every non-artificial
+        // column; its rhs is 0 and stays 0 through phase-2 pivots
+        // (every update scales by this row's zero entries), so the
+        // basic artificial is genuinely harmless.
       }
     }
     // Artificials may not re-enter.
@@ -223,11 +241,14 @@ LpSolution SolveLpDense(const Model& model, const std::vector<double>* var_lower
   for (int i = 0; i < nv; ++i) c2[i] = model.variable(i).objective;
   const IterStatus st = Iterate(t, c2);
   if (st == IterStatus::kIterLimit) {
-    return {Status::Internal("simplex iteration limit (phase 2)"), {}, 0.0,
-            {}, {}};
+    LpSolution bad;
+    bad.status = Status::Internal("simplex iteration limit (phase 2)");
+    return bad;
   }
   if (st == IterStatus::kUnbounded) {
-    return {Status::Unbounded("LP relaxation unbounded"), {}, 0.0, {}, {}};
+    LpSolution bad;
+    bad.status = Status::Unbounded("LP relaxation unbounded");
+    return bad;
   }
 
   LpSolution sol;

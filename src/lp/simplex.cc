@@ -186,6 +186,17 @@ class RevisedSimplex {
     return basis;
   }
 
+  /// Row duals (unscaled back to the model's original rows) and
+  /// structural reduced costs at the final basis. One BTRAN plus a full
+  /// pricing pass — called once per solve, after optimality.
+  void ExportDuals(std::vector<double>* duals,
+                   std::vector<double>* reduced_costs) {
+    RecomputeReducedCosts();  // leaves y_ = c_B B^{-1} (scaled rows)
+    duals->resize(m_);
+    for (int r = 0; r < m_; ++r) (*duals)[r] = y_[r] * row_scale_[r];
+    reduced_costs->assign(d_.begin(), d_.begin() + nv_);
+  }
+
  private:
   /// Applies `f(row, value)` to every nonzero of internal column `j`,
   /// in the row-equilibrated space.
@@ -657,15 +668,16 @@ SolverCounters SolverCountersSince(const SolverCounters& snapshot) {
 
 LpSolution SolveLp(const Model& model, const std::vector<double>* var_lower,
                    const std::vector<double>* var_upper,
-                   const LpBasis* warm_basis) {
+                   const LpBasis* warm_basis, bool want_duals) {
   const int nv = model.num_variables();
   std::vector<double> lo(nv), hi(nv);
   for (int i = 0; i < nv; ++i) {
     lo[i] = var_lower != nullptr ? (*var_lower)[i] : model.variable(i).lower;
     hi[i] = var_upper != nullptr ? (*var_upper)[i] : model.variable(i).upper;
     if (lo[i] > hi[i]) {
-      return {Status::Infeasible("contradictory variable bounds"), {}, 0.0,
-              {}, {}};
+      LpSolution bad;
+      bad.status = Status::Infeasible("contradictory variable bounds");
+      return bad;
     }
   }
 
@@ -711,6 +723,7 @@ LpSolution SolveLp(const Model& model, const std::vector<double>* var_lower,
   sol.x = simplex.ExtractPrimal();
   sol.objective = model.ObjectiveValue(sol.x);
   sol.basis = simplex.ExportBasis();
+  if (want_duals) simplex.ExportDuals(&sol.duals, &sol.reduced_costs);
   return sol;
 }
 

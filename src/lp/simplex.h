@@ -53,6 +53,14 @@ struct LpSolution {
   std::vector<double> x;  ///< primal values (valid when status ok)
   double objective = 0.0; ///< includes the model's objective constant
   LpBasis basis;          ///< final basis (valid when status ok)
+  /// Row duals y (one per constraint row, in the model's original row
+  /// scaling). Sign convention: minimize c'x with row + slack = rhs, so
+  /// a binding <= row has y <= 0 and a binding >= row has y >= 0.
+  std::vector<double> duals;
+  /// Reduced costs d_j = c_j - y'A_j per structural variable (zero for
+  /// basic variables; >= 0 at lower bound, <= 0 at upper bound, up to
+  /// the dual tolerance). The raw material for reduced-cost fixing.
+  std::vector<double> reduced_costs;
   LpSolveStats stats;
 };
 
@@ -77,11 +85,14 @@ SolverCounters SolverCountersSince(const SolverCounters& snapshot);
 /// model bounds (used by branch-and-bound to fix variables).
 /// `warm_basis`, if given and structurally compatible, seeds the solve
 /// with that basis; an unusable basis silently falls back to a cold
-/// start from the slack basis.
+/// start from the slack basis. `want_duals` controls whether the final
+/// row duals / reduced costs are exported (one extra BTRAN + pricing
+/// pass; node LPs that never read them pass false).
 LpSolution SolveLp(const Model& model,
                    const std::vector<double>* var_lower = nullptr,
                    const std::vector<double>* var_upper = nullptr,
-                   const LpBasis* warm_basis = nullptr);
+                   const LpBasis* warm_basis = nullptr,
+                   bool want_duals = true);
 
 }  // namespace cophy::lp
 

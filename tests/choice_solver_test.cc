@@ -218,6 +218,65 @@ TEST(ChoiceSolverTest, LagrangianBoundNeverExceedsOptimum) {
   }
 }
 
+TEST(ChoiceSolverTest, RootLpBoundNeverExceedsOptimum) {
+  for (uint64_t seed : {21u, 22u, 23u, 24u, 25u}) {
+    ChoiceProblem p = RandomProblem(seed, 8, 6, true, true);
+    const double brute = BruteForce(p);
+    if (!std::isfinite(brute)) continue;
+    ChoiceSolver solver(&p);
+    ChoiceSolveOptions opts;
+    opts.gap_target = 0.0;
+    opts.node_limit = 200000;
+    const ChoiceSolution s = solver.Solve(opts);
+    ASSERT_TRUE(s.status.ok());
+    ASSERT_GT(s.root_lp_rows, 0) << "root LP unexpectedly skipped";
+    EXPECT_LE(s.root_lp_bound, brute + 1e-6 + 1e-6 * std::abs(brute))
+        << "seed " << seed;
+    // The dual-seeded Lagrangian stays a valid bound too.
+    EXPECT_LE(s.root_lagrangian_bound, brute + 1e-6 + 1e-6 * std::abs(brute))
+        << "seed " << seed;
+  }
+}
+
+TEST(ChoiceSolverTest, RootLpAndFixingKnobsPreserveOptimum) {
+  for (uint64_t seed : {41u, 42u, 43u, 44u}) {
+    ChoiceProblem p = RandomProblem(seed, 9, 7, true, true);
+    const double brute = BruteForce(p);
+    if (!std::isfinite(brute)) continue;
+    ChoiceSolveOptions full;
+    full.gap_target = 0.0;
+    full.node_limit = 500000;
+    ChoiceSolveOptions bare = full;
+    bare.root_lp = false;
+    bare.reduced_cost_fixing = false;
+    bare.lagrangian = false;
+    ChoiceSolver s1(&p), s2(&p);
+    const ChoiceSolution with = s1.Solve(full);
+    const ChoiceSolution without = s2.Solve(bare);
+    ASSERT_TRUE(with.status.ok());
+    ASSERT_TRUE(without.status.ok());
+    EXPECT_NEAR(with.objective, brute, 1e-6 + 1e-6 * std::abs(brute))
+        << "seed " << seed;
+    EXPECT_NEAR(without.objective, brute, 1e-6 + 1e-6 * std::abs(brute))
+        << "seed " << seed;
+    EXPECT_EQ(without.root_lp_rows, 0);
+    EXPECT_EQ(without.variables_fixed, 0);
+  }
+}
+
+TEST(ChoiceSolverTest, RootLpRowCapSkipsTheLp) {
+  ChoiceProblem p = RandomProblem(9, 8, 6, true, false);
+  ChoiceSolver solver(&p);
+  Model m;
+  EXPECT_EQ(solver.DebugBuildRootLp(&m, 1), -1);
+  ChoiceSolveOptions opts;
+  opts.root_lp_max_rows = 1;
+  const ChoiceSolution s = solver.Solve(opts);
+  ASSERT_TRUE(s.status.ok());
+  EXPECT_EQ(s.root_lp_rows, 0);
+  EXPECT_EQ(s.root_lp_bound, -kInf);
+}
+
 TEST(ChoiceSolverTest, CallbackEarlyTermination) {
   ChoiceProblem p = RandomProblem(7, 10, 12, true, false);
   ChoiceSolver solver(&p);

@@ -1,0 +1,457 @@
+// Unit + property tests for lp/presolve: each reduction rule in
+// isolation, the exact-equivalence guarantee (presolve-on and
+// presolve-off solves return identical objectives and re-inflated
+// recommendations), objective preservation under arbitrary selections,
+// and bit-identical output across thread counts.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "common/thread_pool.h"
+#include "lp/choice_problem.h"
+#include "lp/presolve.h"
+
+namespace cophy::lp {
+namespace {
+
+/// Brute-force optimum over all index selections.
+double BruteForce(const ChoiceProblem& p, std::vector<uint8_t>* arg = nullptr) {
+  const int n = p.num_indexes;
+  double best = kInf;
+  std::vector<uint8_t> sel(n);
+  for (uint64_t mask = 0; mask < (1ull << n); ++mask) {
+    for (int i = 0; i < n; ++i) sel[i] = (mask >> i) & 1;
+    if (!p.Feasible(sel)) continue;
+    const double obj = p.Objective(sel);
+    if (obj < best) {
+      best = obj;
+      if (arg != nullptr) *arg = sel;
+    }
+  }
+  return best;
+}
+
+/// Random CoPhy-shaped problem (same invariants as choice_solver_test:
+/// slots draw from disjoint per-table index sets). Adds deliberate
+/// redundancy — duplicate plans, duplicate in-slot options, options
+/// sorted after base — so every reduction rule gets exercised.
+ChoiceProblem RandomProblem(uint64_t seed, int num_indexes, int num_queries,
+                            bool tight_budget, bool with_fixed_costs) {
+  Rng rng(seed);
+  constexpr int kTables = 3;
+  ChoiceProblem p;
+  p.num_indexes = num_indexes;
+  p.fixed_cost.assign(num_indexes, 0.0);
+  p.size.resize(num_indexes);
+  double total_size = 0;
+  for (int a = 0; a < num_indexes; ++a) {
+    p.size[a] = 1.0 + static_cast<double>(rng.Uniform(20));
+    total_size += p.size[a];
+    if (with_fixed_costs && rng.Bernoulli(0.3)) {
+      p.fixed_cost[a] = static_cast<double>(rng.Uniform(30));
+    }
+  }
+  for (int q = 0; q < num_queries; ++q) {
+    ChoiceQuery cq;
+    cq.weight = 1.0 + static_cast<double>(rng.Uniform(3));
+    const int plans = 1 + static_cast<int>(rng.Uniform(3));
+    const int slots = 1 + static_cast<int>(rng.Uniform(kTables));
+    std::vector<int> tables(kTables);
+    for (int t = 0; t < kTables; ++t) tables[t] = t;
+    for (int t = 0; t < kTables; ++t) {
+      std::swap(tables[t], tables[t + rng.Uniform(kTables - t)]);
+    }
+    for (int k = 0; k < plans; ++k) {
+      ChoicePlan plan;
+      plan.beta = 10.0 + static_cast<double>(rng.Uniform(100));
+      for (int s = 0; s < slots; ++s) {
+        const int table = tables[s];
+        ChoiceSlot slot;
+        const double base_gamma = 50.0 + static_cast<double>(rng.Uniform(200));
+        const int opts = static_cast<int>(rng.Uniform(4));
+        for (int o = 0; o < opts; ++o) {
+          ChoiceOption opt;
+          const int pick = static_cast<int>(rng.Uniform(num_indexes));
+          opt.index = pick - (pick % kTables) + table;
+          if (opt.index >= num_indexes) opt.index -= kTables;
+          if (opt.index < 0) continue;
+          // ~25% of options land above the base gamma (prunable).
+          opt.gamma = base_gamma * rng.NextDouble() * 1.34;
+          slot.options.push_back(opt);
+        }
+        slot.options.push_back({kBaseOption, base_gamma});
+        std::sort(slot.options.begin(), slot.options.end(),
+                  [](const ChoiceOption& a, const ChoiceOption& b) {
+                    return a.gamma < b.gamma;
+                  });
+        plan.slots.push_back(std::move(slot));
+      }
+      cq.plans.push_back(std::move(plan));
+      // Occasionally duplicate the plan verbatim (rule-2 food).
+      if (rng.Bernoulli(0.3)) cq.plans.push_back(cq.plans.back());
+    }
+    p.queries.push_back(std::move(cq));
+  }
+  if (tight_budget) p.storage_budget = total_size * 0.3;
+  return p;
+}
+
+// --- Reduction rules in isolation ---------------------------------------
+
+TEST(PresolveRuleTest, OptionsAfterBaseArePruned) {
+  ChoiceProblem p;
+  p.num_indexes = 2;
+  p.fixed_cost = {0, 0};
+  p.size = {1, 1};
+  ChoiceQuery q;
+  ChoicePlan plan;
+  plan.beta = 1;
+  ChoiceSlot slot;
+  // Sorted by gamma: index 0 improves, base, index 1 is unreachable.
+  slot.options = {{0, 2.0}, {kBaseOption, 5.0}, {1, 7.0}};
+  plan.slots.push_back(slot);
+  q.plans.push_back(plan);
+  p.queries.push_back(q);
+
+  const PresolvedChoiceProblem pre = PresolveChoiceProblem(p);
+  ASSERT_EQ(pre.problem.queries[0].plans[0].slots[0].options.size(), 2u);
+  EXPECT_EQ(pre.problem.queries[0].plans[0].slots[0].options[1].index,
+            kBaseOption);
+  // Index 1 lost its only option and is not constrained: dropped.
+  EXPECT_EQ(pre.problem.num_indexes, 1);
+  ASSERT_EQ(pre.kept_indexes.size(), 1u);
+  EXPECT_EQ(pre.kept_indexes[0], 0);
+  EXPECT_GT(pre.stats.OptionsRemoved(), 0);
+}
+
+TEST(PresolveRuleTest, ShadowedDuplicateIndexPruned) {
+  ChoiceProblem p;
+  p.num_indexes = 1;
+  p.fixed_cost = {0};
+  p.size = {1};
+  ChoiceQuery q;
+  ChoicePlan plan;
+  ChoiceSlot slot;
+  slot.options = {{0, 1.0}, {0, 2.0}, {kBaseOption, 5.0}};
+  plan.slots.push_back(slot);
+  q.plans.push_back(plan);
+  p.queries.push_back(q);
+
+  const PresolvedChoiceProblem pre = PresolveChoiceProblem(p);
+  const ChoiceSlot& s = pre.problem.queries[0].plans[0].slots[0];
+  ASSERT_EQ(s.options.size(), 2u);
+  EXPECT_EQ(s.options[0].index, 0);
+  EXPECT_DOUBLE_EQ(s.options[0].gamma, 1.0);
+}
+
+TEST(PresolveRuleTest, DuplicatePlansMerge) {
+  ChoiceProblem p;
+  p.num_indexes = 1;
+  p.fixed_cost = {0};
+  p.size = {1};
+  ChoiceQuery q;
+  ChoicePlan plan;
+  plan.beta = 10;
+  ChoiceSlot slot;
+  slot.options = {{0, 1.0}, {kBaseOption, 5.0}};
+  plan.slots.push_back(slot);
+  q.plans.push_back(plan);
+  q.plans.push_back(plan);  // exact duplicate
+  ChoicePlan pricier = plan;
+  pricier.beta = 12;  // identical slots, higher beta: dominated
+  q.plans.push_back(pricier);
+  p.queries.push_back(q);
+
+  const PresolvedChoiceProblem pre = PresolveChoiceProblem(p);
+  ASSERT_EQ(pre.problem.queries[0].plans.size(), 1u);
+  EXPECT_DOUBLE_EQ(pre.problem.queries[0].plans[0].beta, 10.0);
+  EXPECT_EQ(pre.stats.duplicate_plans, 1);
+  EXPECT_GE(pre.stats.dominated_plans, 1);
+}
+
+TEST(PresolveRuleTest, IntervalDominanceRemovesPlan) {
+  // Plan B costs 50 with nothing selected; plan A costs >= 100 even
+  // with everything selected. A can never win the per-query min.
+  ChoiceProblem p;
+  p.num_indexes = 1;
+  p.fixed_cost = {0};
+  p.size = {1};
+  ChoiceQuery q;
+  ChoicePlan a;
+  a.beta = 100;
+  ChoiceSlot sa;
+  sa.options = {{0, 3.0}, {kBaseOption, 8.0}};
+  a.slots.push_back(sa);
+  ChoicePlan b;
+  b.beta = 50;  // no slots: worst == best == 50
+  q.plans.push_back(a);
+  q.plans.push_back(b);
+  p.queries.push_back(q);
+
+  const PresolvedChoiceProblem pre = PresolveChoiceProblem(p);
+  ASSERT_EQ(pre.problem.queries[0].plans.size(), 1u);
+  EXPECT_DOUBLE_EQ(pre.problem.queries[0].plans[0].beta, 50.0);
+  EXPECT_EQ(pre.stats.dominated_plans, 1);
+}
+
+TEST(PresolveRuleTest, RequirementSubsetDominance) {
+  // ILP-form configurations: {0,1} at total 50 is dominated by {0} at
+  // total 45 (subset, no dearer); {0} at 45 vs {1} at 40 is kept (no
+  // inclusion either way).
+  ChoiceProblem p;
+  p.num_indexes = 2;
+  p.fixed_cost = {0, 0};
+  p.size = {1, 1};
+  ChoiceQuery q;
+  auto config = [](std::vector<int> idxs, double beta) {
+    ChoicePlan plan;
+    plan.beta = beta;
+    for (int i : idxs) {
+      ChoiceSlot s;
+      s.options = {{i, 0.0}};
+      plan.slots.push_back(std::move(s));
+    }
+    return plan;
+  };
+  q.plans.push_back(config({0, 1}, 50));
+  q.plans.push_back(config({0}, 45));
+  q.plans.push_back(config({1}, 40));
+  q.plans.push_back(config({}, 90));  // base configuration
+  p.queries.push_back(q);
+
+  const PresolvedChoiceProblem pre = PresolveChoiceProblem(p);
+  ASSERT_EQ(pre.problem.queries[0].plans.size(), 3u);
+  for (const ChoicePlan& plan : pre.problem.queries[0].plans) {
+    EXPECT_NE(plan.slots.size(), 2u) << "dominated config survived";
+  }
+  EXPECT_EQ(pre.stats.dominated_plans, 1);
+}
+
+TEST(PresolveRuleTest, TieOnlyIndexDroppedUnlessConstrained) {
+  // Index 1's only option exactly ties the base fallback: selecting it
+  // can never strictly improve any query, so it is dropped — unless a
+  // >= z-row needs it.
+  ChoiceProblem p;
+  p.num_indexes = 2;
+  p.fixed_cost = {0, 0};
+  p.size = {1, 1};
+  ChoiceQuery q;
+  ChoicePlan plan;
+  ChoiceSlot slot;
+  slot.options = {{0, 2.0}, {1, 5.0}, {kBaseOption, 5.0}};
+  plan.slots.push_back(slot);
+  q.plans.push_back(plan);
+  p.queries.push_back(q);
+
+  const PresolvedChoiceProblem dropped = PresolveChoiceProblem(p);
+  EXPECT_EQ(dropped.problem.num_indexes, 1);
+  EXPECT_EQ(dropped.stats.IndexesRemoved(), 1);
+
+  ChoiceProblem constrained = p;
+  constrained.z_rows.push_back({{{1, 1.0}}, Sense::kGe, 1.0, "need 1"});
+  const PresolvedChoiceProblem kept = PresolveChoiceProblem(constrained);
+  EXPECT_EQ(kept.problem.num_indexes, 2);
+}
+
+TEST(PresolveRuleTest, NegativeLeCoefficientKeepsIndex) {
+  // z_rows with negative coefficients in <= rows: selecting the index
+  // *relaxes* the row, so it must survive even without improving plans.
+  ChoiceProblem p;
+  p.num_indexes = 2;
+  p.fixed_cost = {0, 0};
+  p.size = {1, 1};
+  ChoiceQuery q;
+  ChoicePlan plan;
+  ChoiceSlot slot;
+  slot.options = {{0, 2.0}, {kBaseOption, 5.0}};
+  plan.slots.push_back(slot);
+  q.plans.push_back(plan);
+  p.queries.push_back(q);
+  p.z_rows.push_back({{{0, 1.0}, {1, -1.0}}, Sense::kLe, 0.0, "0 implies 1"});
+
+  const PresolvedChoiceProblem pre = PresolveChoiceProblem(p);
+  EXPECT_EQ(pre.problem.num_indexes, 2);
+}
+
+TEST(PresolveRuleTest, DegenerateInputsStayInfeasibleNotFatal) {
+  // An empty slot makes a plan unsatisfiable under every selection and
+  // a query may end up with no satisfiable plan at all; presolve must
+  // hand that through as an unsatisfiable problem (Status::Infeasible
+  // from the solver), never abort.
+  ChoiceProblem p;
+  p.num_indexes = 1;
+  p.fixed_cost = {0};
+  p.size = {1};
+  ChoiceQuery q;
+  ChoicePlan plan;
+  plan.slots.emplace_back();  // empty slot: never satisfiable
+  q.plans.push_back(plan);
+  p.queries.push_back(q);
+
+  const PresolvedChoiceProblem pre = PresolveChoiceProblem(p);
+  std::vector<uint8_t> none(pre.problem.num_indexes, 0);
+  EXPECT_EQ(pre.problem.Objective(none), kInf);
+  const ChoiceSolution sol = SolveChoiceProblem(p);
+  EXPECT_FALSE(sol.status.ok());
+
+  ChoiceProblem planless;
+  planless.num_indexes = 1;
+  planless.fixed_cost = {0};
+  planless.size = {1};
+  planless.queries.emplace_back();  // no plans at all
+  const ChoiceSolution sol2 = SolveChoiceProblem(planless);
+  EXPECT_FALSE(sol2.status.ok());
+}
+
+TEST(PresolveRuleTest, InflateRestrictRoundTrip) {
+  ChoiceProblem p = RandomProblem(17, 9, 5, true, true);
+  const PresolvedChoiceProblem pre = PresolveChoiceProblem(p);
+  std::vector<uint8_t> reduced(pre.problem.num_indexes, 0);
+  for (size_t i = 0; i < reduced.size(); i += 2) reduced[i] = 1;
+  const std::vector<uint8_t> full = pre.Inflate(reduced);
+  ASSERT_EQ(static_cast<int>(full.size()), p.num_indexes);
+  EXPECT_EQ(pre.Restrict(full), reduced);
+}
+
+// --- Exactness: every selection keeps its objective ----------------------
+
+TEST(PresolveTest, ObjectiveAndFeasibilityPreservedForEverySelection) {
+  for (uint64_t seed : {31u, 32u, 33u, 34u, 35u, 36u}) {
+    const ChoiceProblem p = RandomProblem(seed, 10, 6, seed % 2 == 0, true);
+    const PresolvedChoiceProblem pre = PresolveChoiceProblem(p);
+    ASSERT_LE(pre.problem.num_indexes, p.num_indexes);
+    // Enumerate selections over the *kept* indexes (dropped ones stay
+    // 0, which rule 4 guarantees loses nothing).
+    const int k = pre.problem.num_indexes;
+    ASSERT_LE(k, 12);
+    std::vector<uint8_t> reduced(k);
+    for (uint64_t mask = 0; mask < (1ull << k); ++mask) {
+      for (int i = 0; i < k; ++i) reduced[i] = (mask >> i) & 1;
+      const std::vector<uint8_t> full = pre.Inflate(reduced);
+      const double obj_red = pre.problem.Objective(reduced);
+      const double obj_full = p.Objective(full);
+      if (obj_full == kInf) {
+        EXPECT_EQ(obj_red, kInf) << "seed " << seed << " mask " << mask;
+      } else {
+        EXPECT_NEAR(obj_red, obj_full, 1e-9 + 1e-12 * std::abs(obj_full))
+            << "seed " << seed << " mask " << mask;
+      }
+      EXPECT_EQ(pre.problem.Feasible(reduced), p.Feasible(full))
+          << "seed " << seed << " mask " << mask;
+    }
+  }
+}
+
+// --- Equivalence suite: presolve on/off solves agree ---------------------
+
+class PresolveEquivalenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PresolveEquivalenceTest, OnOffIdenticalObjectiveAndRecommendation) {
+  const int seed = GetParam();
+  const ChoiceProblem p =
+      RandomProblem(200 + seed, 9, 7, seed % 2 == 0, seed % 3 == 0);
+  const double brute = BruteForce(p);
+
+  ChoiceSolveOptions opts;
+  opts.gap_target = 0.0;
+  opts.node_limit = 500000;
+
+  ChoiceSolveOptions off = opts;
+  off.presolve = false;
+  PresolveStats stats_on, stats_off;
+  const ChoiceSolution on = SolveChoiceProblem(p, opts, &stats_on);
+  const ChoiceSolution without = SolveChoiceProblem(p, off, &stats_off);
+
+  if (!std::isfinite(brute)) {
+    EXPECT_FALSE(on.status.ok());
+    EXPECT_FALSE(without.status.ok());
+    return;
+  }
+  ASSERT_TRUE(on.status.ok()) << on.status.ToString();
+  ASSERT_TRUE(without.status.ok()) << without.status.ToString();
+  EXPECT_NEAR(on.objective, brute, 1e-6 + 1e-6 * std::abs(brute));
+  EXPECT_NEAR(without.objective, brute, 1e-6 + 1e-6 * std::abs(brute));
+  // Both answers are selections over the original index space and are
+  // feasible and optimal there.
+  ASSERT_EQ(on.selected.size(), without.selected.size());
+  EXPECT_TRUE(p.Feasible(on.selected));
+  EXPECT_TRUE(p.Feasible(without.selected));
+  EXPECT_NEAR(p.Objective(on.selected), p.Objective(without.selected),
+              1e-6 + 1e-6 * std::abs(brute));
+  EXPECT_EQ(stats_off.PlansRemoved(), 0);
+  EXPECT_EQ(stats_on.plans_in,
+            static_cast<int64_t>([&] {
+              int64_t c = 0;
+              for (const auto& q : p.queries) c += q.plans.size();
+              return c;
+            }()));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, PresolveEquivalenceTest,
+                         ::testing::Range(0, 16));
+
+// --- Parallel determinism ------------------------------------------------
+
+bool ProblemsBitIdentical(const ChoiceProblem& a, const ChoiceProblem& b) {
+  if (a.num_indexes != b.num_indexes || a.fixed_cost != b.fixed_cost ||
+      a.size != b.size || a.storage_budget != b.storage_budget ||
+      a.constant_cost != b.constant_cost ||
+      a.queries.size() != b.queries.size() ||
+      a.z_rows.size() != b.z_rows.size()) {
+    return false;
+  }
+  for (size_t q = 0; q < a.queries.size(); ++q) {
+    const ChoiceQuery& qa = a.queries[q];
+    const ChoiceQuery& qb = b.queries[q];
+    if (qa.weight != qb.weight || qa.cost_cap != qb.cost_cap ||
+        qa.plans.size() != qb.plans.size()) {
+      return false;
+    }
+    for (size_t k = 0; k < qa.plans.size(); ++k) {
+      if (qa.plans[k].beta != qb.plans[k].beta ||
+          qa.plans[k].slots.size() != qb.plans[k].slots.size()) {
+        return false;
+      }
+      for (size_t s = 0; s < qa.plans[k].slots.size(); ++s) {
+        const auto& oa = qa.plans[k].slots[s].options;
+        const auto& ob = qb.plans[k].slots[s].options;
+        if (oa.size() != ob.size()) return false;
+        for (size_t o = 0; o < oa.size(); ++o) {
+          if (oa[o].index != ob[o].index || oa[o].gamma != ob[o].gamma) {
+            return false;
+          }
+        }
+      }
+    }
+  }
+  for (size_t r = 0; r < a.z_rows.size(); ++r) {
+    if (a.z_rows[r].terms != b.z_rows[r].terms ||
+        a.z_rows[r].sense != b.z_rows[r].sense ||
+        a.z_rows[r].rhs != b.z_rows[r].rhs) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(PresolveTest, BitIdenticalAcrossThreadCounts) {
+  for (uint64_t seed : {71u, 72u, 73u}) {
+    const ChoiceProblem p = RandomProblem(seed, 12, 24, true, true);
+    const PresolvedChoiceProblem serial = PresolveChoiceProblem(p, nullptr);
+    for (int threads : {1, 2, 8}) {
+      cophy::ThreadPool pool(threads);
+      const PresolvedChoiceProblem parallel = PresolveChoiceProblem(p, &pool);
+      EXPECT_TRUE(ProblemsBitIdentical(serial.problem, parallel.problem))
+          << "seed " << seed << " threads " << threads;
+      EXPECT_EQ(serial.kept_indexes, parallel.kept_indexes);
+      EXPECT_EQ(serial.stats.plans_out, parallel.stats.plans_out);
+      EXPECT_EQ(serial.stats.options_out, parallel.stats.options_out);
+      EXPECT_EQ(serial.stats.duplicate_plans, parallel.stats.duplicate_plans);
+      EXPECT_EQ(serial.stats.dominated_plans, parallel.stats.dominated_plans);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cophy::lp

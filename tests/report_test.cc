@@ -129,6 +129,27 @@ TEST_F(ReportTest, BenefitAttributionSumsToTotalGain) {
   EXPECT_NEAR(attributed, shell_gain, 1e-6 * std::max(1.0, shell_gain));
 }
 
+TEST_F(ReportTest, SolverActivityRendersPresolveAndRootBounds) {
+  SolverActivity activity;
+  activity.lp = lp::SolverCounters{};
+  activity.bound_evaluations = rec_.bound_evaluations;
+  activity.presolve = rec_.presolve;
+  activity.root_lp_bound = rec_.root_lp_bound;
+  activity.root_lagrangian_bound = rec_.root_lagrangian_bound;
+  activity.variables_fixed = rec_.variables_fixed;
+  const std::string text = RenderSolverActivity(activity);
+  // The tuning run presolved a real BIP and produced root bounds; both
+  // must appear side by side in the rendering.
+  EXPECT_NE(text.find("Presolve: plans"), std::string::npos) << text;
+  EXPECT_NE(text.find("Root bounds:"), std::string::npos) << text;
+  EXPECT_NE(text.find("Lagrangian"), std::string::npos) << text;
+  EXPECT_NE(text.find("fixed by reduced costs"), std::string::npos) << text;
+  // And an empty activity renders none of it.
+  const std::string empty = RenderSolverActivity(SolverActivity{});
+  EXPECT_EQ(empty.find("Presolve"), std::string::npos);
+  EXPECT_EQ(empty.find("Root bounds"), std::string::npos);
+}
+
 TEST_F(ReportTest, RenderedReportMentionsKeyFacts) {
   const TuningReport report = AnalyzeRecommendation(advisor_->inum(), rec_);
   const std::string text = RenderTuningReport(report, advisor_->inum(), 5);

@@ -302,6 +302,44 @@ TEST(SimplexTest, StatsAndGlobalCountersAccumulate) {
   EXPECT_GT(s.stats.phase2_pivots + s.stats.bound_flips, 0);
 }
 
+TEST(SimplexTest, ExportsDualsAndReducedCosts) {
+  // min -x - 2y  s.t. x + y <= 4, x in [0,3], y in [0,2]. Optimum
+  // x=2, y=2: the row binds with dual -1 (<= row in a minimization),
+  // x is basic (reduced cost 0), y sits at its upper bound with
+  // reduced cost -2 - (-1) = -1.
+  Model m;
+  const VarId x = m.AddVariable(0, 3, -1.0, false, "x");
+  const VarId y = m.AddVariable(0, 2, -2.0, false, "y");
+  m.AddRow({{{x, 1.0}, {y, 1.0}}, Sense::kLe, 4.0, ""});
+  const LpSolution s = SolveLp(m);
+  ASSERT_TRUE(s.status.ok());
+  ASSERT_EQ(s.duals.size(), 1u);
+  ASSERT_EQ(s.reduced_costs.size(), 2u);
+  EXPECT_NEAR(s.duals[0], -1.0, 1e-7);
+  EXPECT_NEAR(s.reduced_costs[x], 0.0, 1e-7);
+  EXPECT_NEAR(s.reduced_costs[y], -1.0, 1e-7);
+}
+
+TEST(SimplexTest, DualsUnscaledDespiteRowEquilibration) {
+  // A 1e9-scale row: the exported dual must be in the *original* row
+  // units (y ≈ -1e-9 per byte here), i.e. d_j = c_j - y'A_j holds with
+  // the model's own coefficients.
+  Model m;
+  const VarId a = m.AddBinary(-10);
+  const VarId b = m.AddBinary(-6);
+  m.AddRow({{{a, 2e9}, {b, 3e9}}, Sense::kLe, 4e9, ""});
+  const LpSolution s = SolveLp(m);
+  ASSERT_TRUE(s.status.ok());
+  for (VarId j : {a, b}) {
+    double d = m.variable(j).objective;
+    const RowView rv = m.row(0);
+    for (int k = 0; k < rv.nnz; ++k) {
+      if (rv.cols[k] == j) d -= s.duals[0] * rv.vals[k];
+    }
+    EXPECT_NEAR(d, s.reduced_costs[j], 1e-6) << "var " << j;
+  }
+}
+
 TEST(SimplexTest, ReimportedBasisSolvesWithZeroPivots) {
   Model m;
   const VarId x = m.AddVariable(0, 3, -1.0, false);
@@ -392,12 +430,33 @@ TEST_P(SimplexDifferentialTest, MatchesDenseOracle) {
   const LpSolution dense = SolveLpDense(m);
   if (revised.status.ok()) {
     EXPECT_TRUE(LpFeasible(m, revised.x)) << "revised solution infeasible";
+    // Exported duals satisfy d = c - y'A against the model's own rows
+    // (catches any row-scaling leak), and reduced costs carry the
+    // optimality signs.
+    std::vector<double> d(m.num_variables());
+    for (int j = 0; j < m.num_variables(); ++j) {
+      d[j] = m.variable(j).objective;
+    }
+    for (int r = 0; r < m.num_rows(); ++r) {
+      const RowView rv = m.row(r);
+      for (int k = 0; k < rv.nnz; ++k) {
+        d[rv.cols[k]] -= revised.duals[r] * rv.vals[k];
+      }
+    }
+    for (int j = 0; j < m.num_variables(); ++j) {
+      EXPECT_NEAR(d[j], revised.reduced_costs[j],
+                  1e-5 + 1e-7 * std::abs(d[j]))
+          << "var " << j;
+    }
   }
-  if (revised.status.ok() && dense.status.ok() && LpFeasible(m, dense.x)) {
-    // The oracle produced a genuinely feasible optimum: objectives must
-    // agree. (The dense tableau has a known flaw where a degenerate
-    // artificial drifts in phase 2 — those runs report an infeasible
-    // point and are excluded.)
+  if (dense.status.ok()) {
+    // The oracle's answer must be genuinely feasible. (This used to be
+    // a filter: degenerate artificials left basic after phase 1 could
+    // drift in phase 2 and yield an infeasible "optimum". Fixed by
+    // driving artificials out through slack columns too.)
+    EXPECT_TRUE(LpFeasible(m, dense.x)) << "dense oracle solution infeasible";
+  }
+  if (revised.status.ok() && dense.status.ok()) {
     EXPECT_NEAR(revised.objective, dense.objective,
                 1e-5 + 1e-7 * std::abs(dense.objective));
   }
