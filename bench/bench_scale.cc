@@ -21,6 +21,7 @@
 #include "bench/bench_util.h"
 #include "common/strings.h"
 #include "core/cophy.h"
+#include "core/session.h"
 
 namespace cophy::bench {
 namespace {
@@ -40,6 +41,10 @@ struct Sample {
   double root_gap_pct = -1;     ///< (objective - root LP bound) / objective
   double proof10_seconds = -1;  ///< first time the proven gap hit 10%
   int64_t variables_fixed = 0;  ///< z pinned by reduced-cost fixing
+  // Sharded-session columns (1 / -1 for the classic pipeline rows).
+  int shards = 1;               ///< session shard count
+  double delta_retune_ms = -1;  ///< 1% add/remove delta + warm Retune
+  double cold_retune_ms = -1;   ///< cold end-to-end Tune on the modified W
 };
 
 std::vector<int> ParseThreads(const char* csv) {
@@ -91,6 +96,80 @@ Sample RunOne(int n, CompressionMode mode, bool share_templates, int threads,
   return s;
 }
 
+/// Sharded-session benchmark: prepare a session over n statements, tune
+/// once cold, apply a 1% add/remove delta, and warm-Retune — against a
+/// cold end-to-end Tune over the equivalent modified workload (the
+/// incremental-speed acceptance gate lives on these columns).
+Sample RunSessionDelta(int n, int shards) {
+  Env e = Env::Make(0.0, false, n, /*het=*/false, /*seed=*/42);
+  SessionOptions so;
+  so.tuning = DefaultCoPhyOptions();
+  so.tuning.prepare.num_threads = 0;  // hardware
+  so.num_shards = shards;
+
+  Sample s;
+  s.statements = n;
+  s.mode = "session";
+  s.shards = shards;
+  s.threads = 0;
+
+  AdvisorSession session(e.system.get(), &e.pool, so);
+  const std::vector<QueryId> ids = session.AddWorkload(e.workload);
+  ConstraintSet cs = e.BudgetConstraint(0.5);
+  const Recommendation first = session.Tune(cs);
+  if (!first.status.ok()) {
+    std::fprintf(stderr, "session tune failed (n=%d)\n", n);
+    std::exit(1);
+  }
+  s.prepare_seconds = first.timings.inum_seconds;
+  s.build_seconds = first.timings.build_seconds;
+  s.solve_seconds = first.timings.solve_seconds;
+  s.objective = first.objective;
+  s.prepare = session.prepare_stats();
+
+  // The 1% delta: remove the first n/100 statements, add as many fresh
+  // instances (same generator, different seed).
+  const int delta = std::max(1, n / 100);
+  WorkloadOptions wo;
+  wo.num_statements = delta;
+  wo.seed = 43;
+  const Workload fresh = MakeHomogeneousWorkload(e.system->catalog(), wo);
+  Stopwatch delta_watch;
+  std::vector<QueryId> removed(ids.begin(), ids.begin() + delta);
+  if (!session.RemoveStatements(removed).ok()) {
+    std::fprintf(stderr, "remove failed\n");
+    std::exit(1);
+  }
+  session.AddWorkload(fresh);
+  const Recommendation rec = session.Retune(cs);
+  s.delta_retune_ms = delta_watch.Elapsed() * 1e3;
+  if (!rec.status.ok()) {
+    std::fprintf(stderr, "delta retune failed (n=%d)\n", n);
+    std::exit(1);
+  }
+
+  // Cold comparison: end-to-end Tune over the modified workload in a
+  // fresh environment.
+  Env cold_env = Env::Make(0.0, false, n, /*het=*/false, /*seed=*/42);
+  Workload modified;
+  for (const Query& q : cold_env.workload.statements()) {
+    if (q.id < delta) continue;
+    modified.Add(q);
+  }
+  for (const Query& q : fresh.statements()) modified.Add(q);
+  CoPhyOptions cold_opts = DefaultCoPhyOptions();
+  cold_opts.prepare.num_threads = 0;
+  CoPhy cold(cold_env.system.get(), &cold_env.pool, modified, cold_opts);
+  Stopwatch cold_watch;
+  if (!cold.Prepare().ok() ||
+      !cold.Tune(cold_env.BudgetConstraint(0.5)).status.ok()) {
+    std::fprintf(stderr, "cold retune failed (n=%d)\n", n);
+    std::exit(1);
+  }
+  s.cold_retune_ms = cold_watch.Elapsed() * 1e3;
+  return s;
+}
+
 void WriteJson(const char* path, const std::vector<Sample>& samples) {
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
@@ -113,14 +192,20 @@ void WriteJson(const char* path, const std::vector<Sample>& samples) {
         "\"shared_statements\": %d, \"speedup_vs_1thread\": %.3f, "
         "\"objective\": %.6f, \"proven_gap_pct\": %.3f, "
         "\"root_gap_pct\": %.3f, \"proof10_seconds\": %.3f, "
-        "\"variables_fixed\": %lld}%s\n",
+        "\"variables_fixed\": %lld, \"shards\": %d, "
+        "\"delta_retune_ms\": %.3f, \"cold_retune_ms\": %.3f, "
+        "\"delta_speedup\": %.2f}%s\n",
         s.statements, s.mode, s.threads, s.statements, s.mode, s.threads,
         s.prepare_seconds, s.prepare.compression.seconds, s.prepare.cgen_seconds,
         s.prepare.inum_seconds, s.build_seconds, s.solve_seconds,
         s.prepare.compression.Ratio(), s.prepare.compression.output_statements,
         s.prepare.shared_statements, s.speedup_vs_1thread, s.objective,
         s.proven_gap_pct, s.root_gap_pct, s.proof10_seconds,
-        static_cast<long long>(s.variables_fixed),
+        static_cast<long long>(s.variables_fixed), s.shards, s.delta_retune_ms,
+        s.cold_retune_ms,
+        s.delta_retune_ms > 0 && s.cold_retune_ms > 0
+            ? s.cold_retune_ms / s.delta_retune_ms
+            : -1.0,
         i + 1 < samples.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
@@ -190,6 +275,24 @@ int Main(int argc, char** argv) {
            {"solve_s", Fmt("%.3f", s.solve_seconds)},
            {"gap_pct", Fmt("%.1f", s.proven_gap_pct)},
            {"proof10_s", Fmt("%.2f", s.proof10_seconds)}});
+      samples.push_back(s);
+    }
+  }
+
+  // Sharded-session sweep at 1000 statements (the incremental-speed
+  // gate's scale): cold prepare+tune, then a 1% delta + warm Retune vs
+  // a cold end-to-end Tune on the modified workload.
+  if (max_n >= 1000) {
+    Title("sharded session, 1000 statements, 1% delta retune");
+    for (int shards : {1, 4}) {
+      Sample s = RunSessionDelta(1000, shards);
+      Row({{"mode", "session"},
+           {"shards", std::to_string(shards)},
+           {"prepare_s", Fmt("%.3f", s.prepare_seconds)},
+           {"delta_ms", Fmt("%.1f", s.delta_retune_ms)},
+           {"cold_ms", Fmt("%.1f", s.cold_retune_ms)},
+           {"speedup", Fmt("%.1f", s.cold_retune_ms /
+                                       std::max(1e-9, s.delta_retune_ms))}});
       samples.push_back(s);
     }
   }

@@ -6,15 +6,42 @@ AdvisorResult CoPhyAdvisor::Recommend(const ConstraintSet& constraints) {
   AdvisorResult result;
   const int64_t calls_before = sim_->num_whatif_calls();
   const lp::SolverCounters lp_before = lp::GlobalSolverCounters();
-  session_ = std::make_unique<CoPhy>(sim_, pool_, workload_, options_);
-  result.status = session_->Prepare();
-  if (!result.status.ok()) return result;
-  const Recommendation rec = session_->Tune(constraints);
+  Recommendation rec;
+  if (options_.prepare.compression.mode == CompressionMode::kLossy) {
+    // Sessions reject lossy compression (their class routing is what
+    // makes sharding exact); run the classic one-shot path instead.
+    // The prepared state is still reused across Recommend calls.
+    if (lossy_advisor_ == nullptr) {
+      lossy_advisor_ = std::make_unique<CoPhy>(sim_, pool_, workload_,
+                                               options_);
+      result.status = lossy_advisor_->Prepare();
+      if (!result.status.ok()) {
+        lossy_advisor_.reset();
+        return result;
+      }
+    }
+    rec = lossy_advisor_->Tune(constraints);
+  } else {
+    if (session_ == nullptr) {
+      SessionOptions so;
+      so.tuning = options_;
+      so.num_shards = num_shards_;
+      session_ = std::make_unique<AdvisorSession>(sim_, pool_, so);
+      session_->AddWorkload(workload_);
+    }
+    // Tune (not Retune): every Recommend solves with the full cold
+    // budget for benchmark comparability, but the prepared session
+    // state is reused verbatim across calls — a constraint-only
+    // re-Recommend pays no compression, CGen, or INUM work (and no
+    // what-if calls).
+    rec = session_->Tune(constraints);
+  }
   result.status = rec.status;
   result.configuration = rec.configuration;
   result.timings = rec.timings;
   result.candidates_considered = rec.num_candidates;
   result.prepare = rec.prepare;
+  result.presolve = rec.presolve;
   result.whatif_calls = sim_->num_whatif_calls() - calls_before;
   result.solver_nodes = rec.nodes;
   result.solver_bound_evaluations = rec.bound_evaluations;

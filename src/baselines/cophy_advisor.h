@@ -1,36 +1,47 @@
 // CoPhy behind the common Advisor interface (used by the comparison
 // benchmarks; CoPhyA / CoPhyB are this adapter over the two cost-model
-// profiles).
+// profiles). Runs through an AdvisorSession: the first Recommend call
+// prepares the session, later calls (constraint-only changes) reuse the
+// prepared state verbatim — zero what-if optimizer calls. Lossy
+// compression (a batch-mode feature sessions reject) falls back to the
+// classic one-shot CoPhy path with identical semantics.
 #ifndef COPHY_BASELINES_COPHY_ADVISOR_H_
 #define COPHY_BASELINES_COPHY_ADVISOR_H_
 
 #include <memory>
 
 #include "baselines/advisor.h"
+#include "core/session.h"
 
 namespace cophy {
 
 class CoPhyAdvisor : public Advisor {
  public:
+  /// `num_shards` feeds the underlying session; the recommendation is
+  /// shard-count invariant, so benchmarks use it purely as a
+  /// preparation-parallelism knob.
   CoPhyAdvisor(SystemSimulator* sim, IndexPool* pool, Workload workload,
-               CoPhyOptions options = {})
+               CoPhyOptions options = {}, int num_shards = 1)
       : sim_(sim), pool_(pool), workload_(std::move(workload)),
-        options_(std::move(options)) {}
+        options_(std::move(options)), num_shards_(num_shards) {}
 
   std::string name() const override { return "cophy"; }
 
   AdvisorResult Recommend(const ConstraintSet& constraints) override;
 
-  /// The underlying session (valid after Recommend), for interactive
-  /// follow-ups.
-  CoPhy* session() { return session_.get(); }
+  /// The underlying session (valid after Recommend, null in the lossy
+  /// fallback), for interactive follow-ups
+  /// (AddStatements/RemoveStatements/Retune).
+  AdvisorSession* session() { return session_.get(); }
 
  private:
   SystemSimulator* sim_;
   IndexPool* pool_;
   Workload workload_;
   CoPhyOptions options_;
-  std::unique_ptr<CoPhy> session_;
+  int num_shards_;
+  std::unique_ptr<AdvisorSession> session_;
+  std::unique_ptr<CoPhy> lossy_advisor_;  // kLossy fallback path
 };
 
 }  // namespace cophy

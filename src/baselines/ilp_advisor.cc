@@ -37,23 +37,58 @@ AdvisorResult IlpAdvisor::Recommend(const ConstraintSet& constraints) {
   const lp::SolverCounters lp_before = lp::GlobalSolverCounters();
   configs_enumerated_ = 0;
 
-  // --- Shared preparation stage (same path as CoPhy, as in §5.1) ------
+  // --- Shared preparation stage (same path as CoPhy, as in §5.1),
+  // through a persistent 1-shard session so repeated Recommend calls
+  // (constraint-only changes) reuse the prepared state verbatim. Lossy
+  // compression (rejected by sessions) keeps the classic one-shot
+  // PreparedWorkload path. ------
   Stopwatch inum_watch;
-  PreparedWorkload prep;
-  const Status prep_status =
-      explicit_candidates_.empty()
-          ? prep.Prepare(sim_, pool_, workload_, options_.prepare)
-          : prep.PrepareWithCandidates(sim_, pool_, workload_,
-                                       options_.prepare, explicit_candidates_);
-  if (!prep_status.ok()) {
-    result.status = prep_status;
-    return result;
+  PreparedWorkload lossy_prep;
+  const PreparedWorkload* prep = nullptr;
+  const std::vector<IndexId>* cand_ptr = nullptr;
+  if (options_.prepare.compression.mode == CompressionMode::kLossy) {
+    const Status st =
+        explicit_candidates_.empty()
+            ? lossy_prep.Prepare(sim_, pool_, workload_, options_.prepare)
+            : lossy_prep.PrepareWithCandidates(sim_, pool_, workload_,
+                                               options_.prepare,
+                                               explicit_candidates_);
+    if (!st.ok()) {
+      result.status = st;
+      return result;
+    }
+    prep = &lossy_prep;
+    cand_ptr = &lossy_prep.candidates();
+    result.prepare = lossy_prep.stats();
+  } else {
+    if (session_ == nullptr) {
+      SessionOptions so;
+      so.tuning.prepare = options_.prepare;
+      so.num_shards = 1;
+      session_ = std::make_unique<AdvisorSession>(sim_, pool_, so);
+      session_->AddWorkload(workload_);
+      if (!explicit_candidates_.empty()) {
+        const Status st = session_->SetExplicitCandidates(explicit_candidates_);
+        if (!st.ok()) {
+          result.status = st;
+          session_.reset();
+          return result;
+        }
+      }
+    }
+    const Status prep_status = session_->Refresh();
+    if (!prep_status.ok()) {
+      result.status = prep_status;
+      return result;
+    }
+    prep = &session_->shard_prepared(0);
+    cand_ptr = &session_->candidates();
+    result.prepare = session_->prepare_stats();
   }
-  const Inum& inum = prep.inum();
-  const Workload& w = prep.tuned();
-  const std::vector<IndexId>& candidates = prep.candidates();
+  const Inum& inum = prep->inum();
+  const Workload& w = prep->tuned();
+  const std::vector<IndexId>& candidates = *cand_ptr;
   result.timings.inum_seconds = inum_watch.Elapsed();
-  result.prepare = prep.stats();
   result.candidates_considered = static_cast<int>(candidates.size());
 
   // --- Build: enumerate + cost + prune atomic configurations ---------

@@ -15,6 +15,7 @@
 #include "baselines/advisor.h"
 #include "common/thread_pool.h"
 #include "core/prepared.h"
+#include "core/session.h"
 #include "inum/inum.h"
 
 namespace cophy {
@@ -48,6 +49,7 @@ class IlpAdvisor : public Advisor {
   /// implicit CGen, or use PrepareWithCandidates).
   void SetCandidates(std::vector<IndexId> candidates) {
     explicit_candidates_ = std::move(candidates);
+    session_.reset();  // next Recommend re-prepares with the new set
   }
 
   /// Total atomic configurations enumerated in the last run.
@@ -65,6 +67,9 @@ class IlpAdvisor : public Advisor {
   std::vector<IndexId> explicit_candidates_;
   int64_t configs_enumerated_ = 0;
   std::unique_ptr<ThreadPool> presolve_pool_;  // lazily created
+  /// The (1-shard) preparation session, reused across Recommend calls:
+  /// a constraint-only re-Recommend pays no compression/CGen/INUM work.
+  std::unique_ptr<AdvisorSession> session_;
 };
 
 }  // namespace cophy

@@ -50,6 +50,80 @@ std::vector<std::pair<QueryId, double>> CanonicalQueryBlocks(
   return blocks;
 }
 
+/// One weighted query block of the structured BIP, straight from the
+/// INUM caches. Shared by the unsharded build and the shard-merge path
+/// so both materialize byte-identical blocks.
+lp::ChoiceQuery BuildBlockChoice(const Inum& inum, QueryId lead, double weight,
+                                 double cap,
+                                 const std::unordered_map<IndexId, int>& dense) {
+  const QueryCache& qc = inum.cache(lead);
+  lp::ChoiceQuery cq;
+  cq.weight = weight;
+  cq.cost_cap = cap;
+  cq.plans.reserve(qc.templates.size());
+  for (const QueryCache::Template& t : qc.templates) {
+    lp::ChoicePlan plan;
+    plan.beta = t.beta;
+    plan.slots.reserve(t.order_idx.size());
+    bool plan_ok = true;
+    for (size_t slot = 0; slot < t.order_idx.size(); ++slot) {
+      const auto& list = qc.access[slot][t.order_idx[slot]];
+      if (list.empty()) {
+        plan_ok = false;  // no path can deliver this order
+        break;
+      }
+      lp::ChoiceSlot cs;
+      cs.options.reserve(list.size());
+      for (const SlotAccess& sa : list) {
+        lp::ChoiceOption o;
+        if (sa.index == kInvalidIndex) {
+          o.index = lp::kBaseOption;
+        } else {
+          auto it = dense.find(sa.index);
+          if (it == dense.end()) continue;  // not in this candidate set
+          o.index = it->second;
+        }
+        o.gamma = sa.gamma;
+        cs.options.push_back(o);
+      }
+      if (cs.options.empty()) {
+        plan_ok = false;
+        break;
+      }
+      plan.slots.push_back(std::move(cs));
+    }
+    if (plan_ok) cq.plans.push_back(std::move(plan));
+  }
+  COPHY_CHECK(!cq.plans.empty());
+  return cq;
+}
+
+/// Flattens the per-shard views into global block order: out[b] =
+/// (view, position within the view) for block b. Every block must be
+/// owned by exactly one shard.
+std::vector<std::pair<const ShardBlockView*, int>> BlocksInOrder(
+    const std::vector<ShardBlockView>& shards) {
+  int64_t total = 0;
+  for (const ShardBlockView& v : shards) {
+    COPHY_CHECK_EQ(v.stmt.size(), v.block.size());
+    COPHY_CHECK_EQ(v.stmt.size(), v.weight.size());
+    COPHY_CHECK_EQ(v.stmt.size(), v.cost_cap.size());
+    total += static_cast<int64_t>(v.stmt.size());
+  }
+  std::vector<std::pair<const ShardBlockView*, int>> by_block(
+      total, {nullptr, -1});
+  for (const ShardBlockView& v : shards) {
+    for (int i = 0; i < static_cast<int>(v.stmt.size()); ++i) {
+      const int b = v.block[i];
+      COPHY_CHECK_GE(b, 0);
+      COPHY_CHECK_LT(b, static_cast<int>(by_block.size()));
+      COPHY_CHECK(by_block[b].first == nullptr);
+      by_block[b] = {&v, i};
+    }
+  }
+  return by_block;
+}
+
 }  // namespace
 
 lp::ChoiceProblem BuildChoiceProblem(
@@ -104,47 +178,7 @@ lp::ChoiceProblem BuildChoiceProblem(
   // Per-block choice structure straight from the INUM caches.
   p.queries.reserve(blocks.size());
   for (const auto& [lead, weight] : blocks) {
-    const Query& q = w[lead];
-    const QueryCache& qc = inum.cache(q.id);
-    lp::ChoiceQuery cq;
-    cq.weight = weight;
-    cq.cost_cap = caps[q.id];
-    cq.plans.reserve(qc.templates.size());
-    for (const QueryCache::Template& t : qc.templates) {
-      lp::ChoicePlan plan;
-      plan.beta = t.beta;
-      plan.slots.reserve(t.order_idx.size());
-      bool plan_ok = true;
-      for (size_t slot = 0; slot < t.order_idx.size(); ++slot) {
-        const auto& list = qc.access[slot][t.order_idx[slot]];
-        if (list.empty()) {
-          plan_ok = false;  // no path can deliver this order
-          break;
-        }
-        lp::ChoiceSlot cs;
-        cs.options.reserve(list.size());
-        for (const SlotAccess& sa : list) {
-          lp::ChoiceOption o;
-          if (sa.index == kInvalidIndex) {
-            o.index = lp::kBaseOption;
-          } else {
-            auto it = dense.find(sa.index);
-            if (it == dense.end()) continue;  // not in this candidate set
-            o.index = it->second;
-          }
-          o.gamma = sa.gamma;
-          cs.options.push_back(o);
-        }
-        if (cs.options.empty()) {
-          plan_ok = false;
-          break;
-        }
-        plan.slots.push_back(std::move(cs));
-      }
-      if (plan_ok) cq.plans.push_back(std::move(plan));
-    }
-    COPHY_CHECK(!cq.plans.empty());
-    p.queries.push_back(std::move(cq));
+    p.queries.push_back(BuildBlockChoice(inum, lead, weight, caps[lead], dense));
   }
 
   if (constraints.storage_budget()) {
@@ -152,6 +186,88 @@ lp::ChoiceProblem BuildChoiceProblem(
   }
   p.z_rows = TranslateIndexConstraints(constraints, candidates, pool, cat);
   return p;
+}
+
+lp::ChoiceProblem BuildMergedChoiceProblem(
+    const std::vector<ShardBlockView>& shards,
+    const std::vector<IndexId>& candidates, const ConstraintSet& constraints) {
+  const auto by_block = BlocksInOrder(shards);
+  COPHY_CHECK(!by_block.empty());
+  const SystemSimulator& sim = by_block[0].first->inum->simulator();
+  const Catalog& cat = sim.catalog();
+  const IndexPool& pool = sim.pool();
+  const auto dense = DenseMap(candidates);
+
+  lp::ChoiceProblem p;
+  p.num_indexes = static_cast<int>(candidates.size());
+  p.fixed_cost.assign(p.num_indexes, 0.0);
+  p.size.resize(p.num_indexes);
+  for (int i = 0; i < p.num_indexes; ++i) {
+    p.size[i] = IndexSizeBytes(pool[candidates[i]], cat);
+  }
+
+  // Update blocks first, accumulated in global block order so the
+  // floating-point sums match the unsharded build bit for bit.
+  for (const auto& [view, i] : by_block) {
+    const Inum& inum = *view->inum;
+    const QueryId lead = view->stmt[i];
+    if (!inum.workload()[lead].IsUpdate()) continue;
+    const double weight = view->weight[i];
+    p.constant_cost += weight * sim.BaseUpdateCost(inum.workload()[lead]);
+    for (int a = 0; a < p.num_indexes; ++a) {
+      p.fixed_cost[a] += weight * inum.UpdateCost(candidates[a], lead);
+    }
+  }
+
+  p.queries.reserve(by_block.size());
+  for (const auto& [view, i] : by_block) {
+    p.queries.push_back(BuildBlockChoice(*view->inum, view->stmt[i],
+                                         view->weight[i], view->cost_cap[i],
+                                         dense));
+  }
+
+  if (constraints.storage_budget()) {
+    p.storage_budget = *constraints.storage_budget();
+  }
+  p.z_rows = TranslateIndexConstraints(constraints, candidates, pool, cat);
+  return p;
+}
+
+BipStats ComputeMergedBipStats(const std::vector<ShardBlockView>& shards,
+                               const std::vector<IndexId>& candidates,
+                               const ConstraintSet& constraints,
+                               int64_t translated_query_constraint_rows) {
+  BipStats s;
+  s.z_variables = static_cast<int64_t>(candidates.size());
+  // Shard caches may hold stale γ entries for candidates a removal
+  // retired from the merged set; count only what the built BIP keeps.
+  const auto dense = DenseMap(candidates);
+  for (const ShardBlockView& v : shards) {
+    for (size_t i = 0; i < v.stmt.size(); ++i) {
+      const QueryCache& qc = v.inum->cache(v.stmt[i]);
+      s.y_variables += static_cast<int64_t>(qc.templates.size());
+      ++s.assignment_rows;  // Σ y = 1
+      for (const QueryCache::Template& t : qc.templates) {
+        for (size_t slot = 0; slot < t.order_idx.size(); ++slot) {
+          const auto& list = qc.access[slot][t.order_idx[slot]];
+          ++s.assignment_rows;  // Σ x = y
+          for (const SlotAccess& sa : list) {
+            if (sa.index == kInvalidIndex) {
+              ++s.x_variables;
+            } else if (dense.find(sa.index) != dense.end()) {
+              ++s.x_variables;
+              ++s.linking_rows;
+            }
+          }
+        }
+      }
+    }
+  }
+  s.constraint_rows =
+      static_cast<int64_t>(constraints.index_constraints().size()) +
+      translated_query_constraint_rows +
+      (constraints.storage_budget() ? 1 : 0);
+  return s;
 }
 
 lp::Model BuildModel(const Inum& inum, const std::vector<IndexId>& candidates,

@@ -42,6 +42,43 @@ lp::ChoiceProblem BuildChoiceProblem(
     const ConstraintSet& constraints,
     const std::vector<double>& baseline_shell_cost = {});
 
+/// One shard's contribution to a merged BIP: its INUM caches plus, per
+/// query block owned by the shard, the shard-local statement id, the
+/// block's global (canonical) position, the re-aggregated f_q weight of
+/// the block's live members, and the intersected per-block cost cap.
+/// Shards never share a block — the session routes whole
+/// cost-equivalence classes to one shard.
+struct ShardBlockView {
+  const Inum* inum = nullptr;
+  std::vector<QueryId> stmt;     ///< shard-local compressed statement ids
+  std::vector<int> block;        ///< global block position of each stmt
+  std::vector<double> weight;    ///< Σ f_q over each block's live members
+  std::vector<double> cost_cap;  ///< intersected cap (lp::kInf = none)
+};
+
+/// The BipGen merge path: assembles the per-shard prepared views into
+/// one canonical ChoiceProblem — indexes deduped through the shared
+/// `candidates` list, f_q weights and update costs re-aggregated in
+/// global block order. For any shard count (including 1) the result is
+/// bit-identical to BuildChoiceProblem over the equivalent unsharded
+/// PreparedWorkload (session_test pins this through Tune).
+/// Query-cost constraints must already be folded into the views'
+/// cost_cap entries; only the z-level constraints of `constraints`
+/// (storage budget, index constraints) are read here.
+lp::ChoiceProblem BuildMergedChoiceProblem(
+    const std::vector<ShardBlockView>& shards,
+    const std::vector<IndexId>& candidates, const ConstraintSet& constraints);
+
+/// Variable/row statistics of the merged BIP (mirrors ComputeBipStats).
+/// `translated_query_constraint_rows` is the number of query-cost
+/// constraint rows that survived translation onto live blocks (the
+/// session counts them while folding caps), so constraint_rows matches
+/// the unsharded ComputeBipStats over the translated constraint set.
+BipStats ComputeMergedBipStats(const std::vector<ShardBlockView>& shards,
+                               const std::vector<IndexId>& candidates,
+                               const ConstraintSet& constraints,
+                               int64_t translated_query_constraint_rows);
+
 /// Builds the literal Theorem-1 model (y/x/z variables and rows).
 lp::Model BuildModel(const Inum& inum, const std::vector<IndexId>& candidates,
                      const ConstraintSet& constraints,

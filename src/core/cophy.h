@@ -52,6 +52,13 @@ struct TuningTimings {
   double build_seconds = 0;  ///< BIP generation
   double solve_seconds = 0;  ///< solver time
   double Total() const { return inum_seconds + build_seconds + solve_seconds; }
+  /// Aggregates another breakdown (per-batch or per-shard accounting).
+  TuningTimings& operator+=(const TuningTimings& o) {
+    inum_seconds += o.inum_seconds;
+    build_seconds += o.build_seconds;
+    solve_seconds += o.solve_seconds;
+    return *this;
+  }
 };
 
 /// A tuning outcome.

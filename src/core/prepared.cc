@@ -17,12 +17,14 @@ Status PreparedWorkload::Begin(SystemSimulator* sim, IndexPool* pool,
 
   compressed_ = CompressWorkload(w, sim_->catalog(), opts.compression);
   stats_.compression = compressed_.stats;
+  stats_.max_shard_statements = stats_.compression.input_statements;
   if (compressed_.workload.size() == 0 && w.size() > 0) {
     return Status::InvalidArgument("compression dropped every statement");
   }
 
   InumOptions io;
   io.num_threads = opts.num_threads;
+  io.workers = opts.workers;
   // After lossless compression no two surviving statements are
   // cost-equivalent by construction — skip INUM's signature pass.
   io.share_templates = opts.share_templates &&
@@ -67,6 +69,39 @@ Status PreparedWorkload::PrepareWithCandidates(SystemSimulator* sim,
   }
   Status s = Begin(sim, pool, w, opts);
   if (!s.ok()) return s;
+  candidates_ = std::move(candidate_ids);
+  RunInum();
+  return Status::Ok();
+}
+
+Status PreparedWorkload::PrepareCompressed(SystemSimulator* sim,
+                                           IndexPool* pool,
+                                           CompressedWorkload cw,
+                                           const PrepareOptions& opts,
+                                           std::vector<IndexId> candidate_ids) {
+  COPHY_CHECK(sim != nullptr);
+  COPHY_CHECK(pool != nullptr);
+  COPHY_CHECK_EQ(&sim->pool(), pool);
+  for (IndexId id : candidate_ids) {
+    if (id < 0 || id >= pool->size()) {
+      return Status::InvalidArgument("candidate id outside the pool");
+    }
+  }
+  sim_ = sim;
+  pool_ = pool;
+  options_ = opts;
+  stats_ = PrepareStats();
+  stats_.compression = cw.stats;
+  stats_.max_shard_statements = stats_.compression.input_statements;
+  compressed_ = std::move(cw);
+
+  InumOptions io;
+  io.num_threads = opts.num_threads;
+  io.workers = opts.workers;
+  // The router merged whole cost-equivalence classes already: no two
+  // statements of the view share a cache, so skip the signature pass.
+  io.share_templates = false;
+  inum_ = std::make_unique<Inum>(sim_, io);
   candidates_ = std::move(candidate_ids);
   RunInum();
   return Status::Ok();

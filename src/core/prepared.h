@@ -9,6 +9,7 @@
 #ifndef COPHY_CORE_PREPARED_H_
 #define COPHY_CORE_PREPARED_H_
 
+#include <algorithm>
 #include <memory>
 #include <vector>
 
@@ -32,18 +33,45 @@ struct PrepareOptions {
   /// Share template discovery across cost-equivalent statements that
   /// survive compression (only relevant with compression off or lossy).
   bool share_templates = true;
+  /// External INUM worker pool (not owned; overrides num_threads).
+  /// Sharded sessions hand every shard the same pool so per-shard
+  /// preparation composes with the outer shard fan-out.
+  ThreadPool* workers = nullptr;
 };
 
 /// What preparation did — threaded into Recommendation and reports.
 /// Compression time lives in compression.seconds (single source).
+/// Per-shard stats aggregate with operator+= (a merged view reports the
+/// shard count and the statement-count skew of the routing).
 struct PrepareStats {
   CompressionStats compression;
   int num_threads = 1;          ///< threads INUM actually used
   int shared_statements = 0;    ///< INUM caches cloned from a leader
   double cgen_seconds = 0;
   double inum_seconds = 0;
+  int shards = 1;               ///< shard views merged into this one
+  int max_shard_statements = 0; ///< largest shard's input statements
   double Total() const {
     return compression.seconds + cgen_seconds + inum_seconds;
+  }
+  /// Routing skew: the largest shard's statement count over the mean
+  /// (1.0 = perfectly balanced).
+  double ShardSkew() const {
+    if (shards <= 0 || compression.input_statements <= 0) return 1.0;
+    const double mean =
+        static_cast<double>(compression.input_statements) / shards;
+    return mean > 0 ? max_shard_statements / mean : 1.0;
+  }
+  PrepareStats& operator+=(const PrepareStats& o) {
+    compression += o.compression;
+    num_threads = std::max(num_threads, o.num_threads);
+    shared_statements += o.shared_statements;
+    cgen_seconds += o.cgen_seconds;
+    inum_seconds += o.inum_seconds;
+    shards += o.shards;
+    max_shard_statements = std::max(max_shard_statements,
+                                    o.max_shard_statements);
+    return *this;
   }
 };
 
@@ -65,6 +93,16 @@ class PreparedWorkload {
   Status PrepareWithCandidates(SystemSimulator* sim, IndexPool* pool,
                                const Workload& w, const PrepareOptions& opts,
                                std::vector<IndexId> candidate_ids);
+
+  /// The sharded-session entry point: takes an externally compressed
+  /// view (the session's router already merged cost-equivalent
+  /// statements, and CGen ran over the merged representative view) and
+  /// an explicit candidate set, and runs INUM only. An empty view is
+  /// allowed (a shard whose last class was removed) and yields a
+  /// prepared() workload with zero statements.
+  Status PrepareCompressed(SystemSimulator* sim, IndexPool* pool,
+                           CompressedWorkload cw, const PrepareOptions& opts,
+                           std::vector<IndexId> candidate_ids);
 
   /// Incremental candidate addition: only the new γ entries are
   /// computed (in parallel); β templates are reused.

@@ -144,6 +144,11 @@ std::string RenderPrepareStats(const PrepareStats& stats) {
       "Compression: %d -> %d statements (%.1fx, %s), weight %.4g -> %.4g\n",
       c.input_statements, c.output_statements, c.Ratio(),
       c.lossless ? "lossless" : "lossy", c.input_weight, c.output_weight);
+  if (stats.shards > 1) {
+    out += StrFormat(
+        "Shards: %d, largest %d statements (skew %.2fx vs balanced)\n",
+        stats.shards, stats.max_shard_statements, stats.ShardSkew());
+  }
   out += StrFormat(
       "INUM: %d thread%s, %d cache%s cloned from cost-equivalent leaders\n",
       stats.num_threads, stats.num_threads == 1 ? "" : "s",

@@ -13,6 +13,10 @@ Inum::Inum(SystemSimulator* sim, InumOptions options)
 }
 
 ThreadPool* Inum::pool() {
+  if (options_.workers != nullptr) {
+    num_threads_used_ = options_.workers->size();
+    return options_.workers;
+  }
   const int n = ResolveThreadCount(options_.num_threads);
   num_threads_used_ = n;
   if (n <= 1) return nullptr;

@@ -58,6 +58,11 @@ struct InumOptions {
   /// cache for the rest — the W_hom redundancy INUM time is dominated
   /// by. Lossless by construction.
   bool share_templates = true;
+  /// External worker pool (not owned; overrides num_threads). Sharded
+  /// sessions pass one shared pool to every shard's Inum: preparation
+  /// fans out across shards on it, and the nested per-statement loops
+  /// run inline on whichever worker owns the shard.
+  ThreadPool* workers = nullptr;
 };
 
 /// The INUM module. Holds the caches for one workload + candidate set.

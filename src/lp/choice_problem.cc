@@ -1123,6 +1123,24 @@ ChoiceSolution ChoiceSolver::Solve(const ChoiceSolveOptions& options) {
   mu_ready_ = false;
   mu_seeded_ = false;
 
+  // Delta re-solve: continue the Lagrangian dual from the previous
+  // solve's multipliers. Valid for any re-weighted problem (every
+  // μ >= 0, λ >= 0 prices a true lower bound); a later successful root
+  // LP overwrites the seed with the exact new duals.
+  if (options.mu_seed != nullptr &&
+      options.mu_seed->size() == mu_owner_index_.size()) {
+    mu_ = *options.mu_seed;
+    for (double& m : mu_) m = std::max(0.0, m);
+    mu_sum_.assign(n, 0.0);
+    for (size_t m = 0; m < mu_.size(); ++m) {
+      mu_sum_[mu_owner_index_[m]] += mu_[m];
+    }
+    lambda_ = std::max(0.0, options.lambda_seed);
+    EnsureSigma();
+    mu_ready_ = true;
+    mu_seeded_ = true;
+  }
+
   bool has_incumbent = false;
   std::vector<uint8_t> incumbent;
   double incumbent_obj = kInf;
@@ -1162,10 +1180,12 @@ ChoiceSolution ChoiceSolver::Solve(const ChoiceSolveOptions& options) {
     RootLpLayout layout;
     if (BuildRootLp(&model, &layout, options.root_lp_max_rows)) {
       result.root_lp_rows = model.num_rows();
-      const LpSolution lp = SolveLp(model);
+      const LpSolution lp = SolveLp(model, nullptr, nullptr,
+                                    options.root_basis_seed);
       if (lp.status.ok()) {
         root_lp_bound_ = lp.objective;
         result.root_lp_bound = lp.objective;
+        result.root_basis = lp.basis;
         rc_status_.assign(lp.basis.variables.begin(),
                           lp.basis.variables.begin() + n);
         rc_d_.assign(lp.reduced_costs.begin(), lp.reduced_costs.begin() + n);
@@ -1193,6 +1213,10 @@ ChoiceSolution ChoiceSolver::Solve(const ChoiceSolveOptions& options) {
       result.lower_bound = incumbent_obj;
       result.gap = 0.0;
       result.status = Status::Ok();
+      if (mu_ready_) {
+        result.mu_exit = mu_;
+        result.lambda_exit = lambda_;
+      }
     } else {
       result.status = Status::Infeasible("root bound infinite");
     }
@@ -1399,6 +1423,10 @@ ChoiceSolution ChoiceSolver::Solve(const ChoiceSolveOptions& options) {
       0.0, (result.objective - result.lower_bound) /
                std::max(1e-12, std::abs(result.objective)));
   result.status = Status::Ok();
+  if (mu_ready_) {
+    result.mu_exit = mu_;
+    result.lambda_exit = lambda_;
+  }
   return result;
 }
 

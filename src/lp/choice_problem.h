@@ -27,6 +27,8 @@
 
 namespace cophy::lp {
 
+struct ChoiceResolveState;  // presolve.h: cross-solve delta-reuse state
+
 inline constexpr double kInf = std::numeric_limits<double>::infinity();
 
 /// One access option of a slot. `index` is a solver-local dense index
@@ -126,6 +128,25 @@ struct ChoiceSolveOptions {
   /// multipliers — proves the opposite bound can never beat the
   /// incumbent (re-applied as the incumbent drops).
   bool reduced_cost_fixing = true;
+  /// Cross-solve reuse state for warm-started delta re-solves (see
+  /// presolve.h). Consumed and refreshed by SolveChoiceProblem;
+  /// ChoiceSolver itself ignores it and reads the low-level seeds below.
+  ChoiceResolveState* resolve = nullptr;
+  /// Optional precomputed ChoiceStructureDigest of the problem being
+  /// solved (0 = unknown): callers that already hashed the problem
+  /// (e.g. to pick solve knobs) save SolveChoiceProblem the O(problem)
+  /// re-walk. Must be the digest of exactly this problem.
+  uint64_t structure_digest_hint = 0;
+  /// Low-level delta-re-solve seeds in the solver's own (possibly
+  /// presolve-reduced) space; SolveChoiceProblem fills them from a
+  /// valid resolve state. mu_seed/lambda_seed warm the Lagrangian
+  /// multipliers (any μ >= 0, λ >= 0 is a valid dual point for a
+  /// re-weighted problem, so the subgradient continues instead of
+  /// starting cold); root_basis_seed warm-starts the root LP simplex
+  /// (silently ignored when structurally incompatible).
+  const std::vector<double>* mu_seed = nullptr;
+  double lambda_seed = 0.0;
+  const LpBasis* root_basis_seed = nullptr;
 };
 
 /// Solve result.
@@ -141,6 +162,16 @@ struct ChoiceSolution {
   double root_lp_bound = -kInf;  ///< objective of the root LP relaxation
   int64_t root_lp_rows = 0;      ///< rows of the root LP (0: skipped)
   int64_t variables_fixed = 0;   ///< z fixed 0/1 by reduced costs
+  /// Exit state for delta re-solves (solver space): the Lagrangian
+  /// multipliers/storage dual at return and the root-LP basis (empty
+  /// when the LP was skipped). SolveChoiceProblem copies these into the
+  /// caller's ChoiceResolveState.
+  std::vector<double> mu_exit;
+  double lambda_exit = 0.0;
+  LpBasis root_basis;
+  /// True when the solve consumed a valid resolve state (presolve map
+  /// re-applied, incumbent/dual/basis seeds offered).
+  bool reused_state = false;
 };
 
 /// The structured branch-and-bound solver.

@@ -411,28 +411,163 @@ PresolvedChoiceProblem PresolveChoiceProblem(const ChoiceProblem& p,
   return out;
 }
 
+namespace {
+
+/// SplitMix64-style combiner (same scheme as the workload signatures;
+/// duplicated here because lp must not depend on workload/).
+struct StructHasher {
+  uint64_t state = 0x9e3779b97f4a7c15ULL;
+  void Mix(uint64_t v) {
+    uint64_t z = state + 0x9e3779b97f4a7c15ULL + v;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    state = z ^ (z >> 31);
+  }
+  void MixDouble(double v) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    Mix(bits);
+  }
+};
+
+}  // namespace
+
+uint64_t ChoiceStructureDigest(const ChoiceProblem& p) {
+  StructHasher h;
+  h.Mix(static_cast<uint64_t>(p.num_indexes));
+  h.Mix(p.queries.size());
+  for (const ChoiceQuery& q : p.queries) {
+    h.Mix(q.plans.size());
+    for (const ChoicePlan& plan : q.plans) {
+      h.MixDouble(plan.beta);
+      h.Mix(plan.slots.size());
+      for (const ChoiceSlot& slot : plan.slots) {
+        h.Mix(slot.options.size());
+        for (const ChoiceOption& o : slot.options) {
+          h.Mix(static_cast<uint64_t>(static_cast<int64_t>(o.index)));
+          h.MixDouble(o.gamma);
+        }
+      }
+    }
+  }
+  h.Mix(p.z_rows.size());
+  for (const ZRow& row : p.z_rows) {
+    h.Mix(static_cast<uint64_t>(row.sense));
+    h.Mix(row.terms.size());
+    for (const auto& [a, c] : row.terms) {
+      h.Mix(static_cast<uint64_t>(static_cast<int64_t>(a)));
+      h.MixDouble(c);
+    }
+  }
+  return h.state;
+}
+
+uint64_t ChoiceConstraintSideDigest(const ChoiceProblem& p) {
+  StructHasher h;
+  h.MixDouble(p.storage_budget);
+  h.Mix(p.queries.size());
+  for (const ChoiceQuery& q : p.queries) h.MixDouble(q.cost_cap);
+  h.Mix(p.z_rows.size());
+  for (const ZRow& row : p.z_rows) h.MixDouble(row.rhs);
+  return h.state;
+}
+
+PresolvedChoiceProblem ReapplyPresolve(const PresolvedChoiceProblem& prior,
+                                       const ChoiceProblem& p) {
+  Stopwatch watch;
+  COPHY_CHECK_EQ(prior.original_num_indexes, p.num_indexes);
+  COPHY_CHECK_EQ(prior.problem.queries.size(), p.queries.size());
+  PresolvedChoiceProblem out = prior;
+  ChoiceProblem& rp = out.problem;
+  for (size_t q = 0; q < rp.queries.size(); ++q) {
+    rp.queries[q].weight = p.queries[q].weight;
+    rp.queries[q].cost_cap = p.queries[q].cost_cap;
+  }
+  for (size_t i = 0; i < out.kept_indexes.size(); ++i) {
+    rp.fixed_cost[i] = p.fixed_cost[out.kept_indexes[i]];
+    rp.size[i] = p.size[out.kept_indexes[i]];
+  }
+  rp.storage_budget = p.storage_budget;
+  rp.constant_cost = p.constant_cost;
+  COPHY_CHECK_EQ(rp.z_rows.size(), p.z_rows.size());
+  for (size_t r = 0; r < rp.z_rows.size(); ++r) {
+    rp.z_rows[r].rhs = p.z_rows[r].rhs;
+  }
+  out.stats.seconds = watch.Elapsed();
+  return out;
+}
+
 ChoiceSolution SolveChoiceProblem(const ChoiceProblem& p,
                                   const ChoiceSolveOptions& options,
                                   PresolveStats* stats,
                                   cophy::ThreadPool* pool) {
+  ChoiceResolveState* rs = options.resolve;
+  ChoiceSolveOptions local = options;
+  local.resolve = nullptr;
+  uint64_t digest = 0;
+  bool reuse = false;
+  if (rs != nullptr) {
+    digest = options.structure_digest_hint != 0 ? options.structure_digest_hint
+                                                : ChoiceStructureDigest(p);
+    reuse = rs->valid && rs->structure_digest == digest &&
+            rs->presolve_enabled == options.presolve &&
+            static_cast<int>(rs->selected.size()) == p.num_indexes;
+  }
+  if (reuse && local.warm_start.empty()) local.warm_start = rs->selected;
+
+  ChoiceSolution sol;
+  std::shared_ptr<PresolvedChoiceProblem> pre;
   if (!options.presolve) {
     if (stats != nullptr) {
       *stats = PresolveStats{};
       stats->indexes_in = stats->indexes_out = p.num_indexes;
     }
+    if (reuse) {
+      local.mu_seed = &rs->mu;
+      local.lambda_seed = rs->lambda;
+      if (!rs->root_basis.empty()) local.root_basis_seed = &rs->root_basis;
+    }
     ChoiceSolver solver(&p);
-    return solver.Solve(options);
+    sol = solver.Solve(local);
+  } else {
+    if (reuse && rs->presolved != nullptr) {
+      // Retained reductions: re-extract the weight-dependent
+      // coefficients through the stored map instead of re-scanning.
+      pre = std::make_shared<PresolvedChoiceProblem>(
+          ReapplyPresolve(*rs->presolved, p));
+      local.mu_seed = &rs->mu;
+      local.lambda_seed = rs->lambda;
+      if (!rs->root_basis.empty()) local.root_basis_seed = &rs->root_basis;
+    } else {
+      pre = std::make_shared<PresolvedChoiceProblem>(
+          PresolveChoiceProblem(p, pool));
+      reuse = false;
+    }
+    if (stats != nullptr) *stats = pre->stats;
+    if (!local.warm_start.empty() &&
+        static_cast<int>(local.warm_start.size()) == p.num_indexes) {
+      local.warm_start = pre->Restrict(local.warm_start);
+    }
+    ChoiceSolver solver(&pre->problem);
+    sol = solver.Solve(local);
+    if (sol.status.ok()) sol.selected = pre->Inflate(sol.selected);
   }
-  PresolvedChoiceProblem pre = PresolveChoiceProblem(p, pool);
-  if (stats != nullptr) *stats = pre.stats;
-  ChoiceSolveOptions local = options;
-  if (!options.warm_start.empty() &&
-      static_cast<int>(options.warm_start.size()) == p.num_indexes) {
-    local.warm_start = pre.Restrict(options.warm_start);
+
+  sol.reused_state = reuse;
+  if (rs != nullptr) {
+    ++rs->solves;
+    if (reuse) ++rs->warm_reuses;
+    rs->valid = sol.status.ok();
+    if (sol.status.ok()) {
+      rs->structure_digest = digest;
+      rs->presolve_enabled = options.presolve;
+      rs->selected = sol.selected;
+      rs->mu = sol.mu_exit;
+      rs->lambda = sol.lambda_exit;
+      rs->root_basis = sol.root_basis;
+      rs->presolved = pre;
+    }
   }
-  ChoiceSolver solver(&pre.problem);
-  ChoiceSolution sol = solver.Solve(local);
-  if (sol.status.ok()) sol.selected = pre.Inflate(sol.selected);
   return sol;
 }
 

@@ -25,9 +25,11 @@
 #define COPHY_LP_PRESOLVE_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "lp/choice_problem.h"
+#include "lp/simplex.h"
 
 namespace cophy {
 class ThreadPool;
@@ -78,6 +80,60 @@ struct PresolvedChoiceProblem {
 /// for any thread count.
 PresolvedChoiceProblem PresolveChoiceProblem(const ChoiceProblem& p,
                                              cophy::ThreadPool* pool = nullptr);
+
+/// Digest of everything the presolve reductions and the solver's
+/// structural state depend on: query/plan/slot/option shape with exact
+/// β/γ bit patterns, index count, and z-row structure (terms + sense).
+/// Deliberately EXCLUDED: query weights, fixed costs, the objective
+/// constant, cost caps, storage budget, index sizes, and z-row
+/// right-hand sides — none of them drive a reduction decision, so a
+/// re-weighted or re-budgeted delta re-tune keeps its digest and stays
+/// on the warm path.
+uint64_t ChoiceStructureDigest(const ChoiceProblem& p);
+
+/// Companion digest of the constraint-side data the structure digest
+/// deliberately ignores: storage budget, per-query cost caps, and z-row
+/// right-hand sides. Callers that want to distinguish "pure
+/// re-weighting" (objective-only delta) from a constraint change
+/// compare both digests — e.g. the session skips the root LP only when
+/// the constraint picture is unchanged too.
+uint64_t ChoiceConstraintSideDigest(const ChoiceProblem& p);
+
+/// Re-applies a previously computed reduction map to a problem with the
+/// same structure digest but possibly different weight-style data: the
+/// reduced problem is copied from `prior` and its weight-dependent
+/// coefficients (query weights, caps, fixed costs, sizes, budget,
+/// constant, z-row right-hand sides) are re-extracted from `p`. Exact:
+/// identical to running PresolveChoiceProblem(p) from scratch, at a
+/// fraction of the cost (the per-query dedup/dominance scans are
+/// skipped).
+PresolvedChoiceProblem ReapplyPresolve(const PresolvedChoiceProblem& prior,
+                                       const ChoiceProblem& p);
+
+/// Cross-solve reuse state for interactive delta re-tuning (§4.2): one
+/// state object accompanies a logical tuning session. When the new
+/// problem's structure digest matches the previous solve's,
+/// SolveChoiceProblem seeds the solve with
+///  * the retained presolve reductions, re-applied through the
+///    reduction map (ReapplyPresolve) instead of re-scanned;
+///  * the previous incumbent (original index space), repaired through
+///    the map into a warm-start offer;
+///  * the previous root-LP basis (warm simplex start) and the exit
+///    Lagrangian multipliers/storage dual (subgradient seed).
+/// On a digest mismatch the solve runs cold; either way the state is
+/// overwritten with the finished solve's data.
+struct ChoiceResolveState {
+  bool valid = false;
+  uint64_t structure_digest = 0;
+  bool presolve_enabled = false;  ///< space μ/basis live in (reduced?)
+  std::vector<uint8_t> selected;  ///< incumbent, original index space
+  std::vector<double> mu;         ///< multipliers at exit (solver space)
+  double lambda = 0.0;
+  LpBasis root_basis;             ///< root-LP basis (solver space)
+  std::shared_ptr<const PresolvedChoiceProblem> presolved;
+  int64_t solves = 0;             ///< solves recorded into this state
+  int64_t warm_reuses = 0;        ///< solves that accepted the seeds
+};
 
 /// Presolve + solve + re-inflate: the entry point the advisors use.
 /// Honors `options.presolve` (off = solve `p` directly); warm starts are

@@ -249,4 +249,38 @@ CompressedWorkload CompressWorkload(const Workload& w, const Catalog& cat,
   return out;
 }
 
+ShardRouter::ShardRouter(int num_shards)
+    : num_shards_(num_shards < 1 ? 1 : num_shards) {}
+
+ShardRouter::Route ShardRouter::Insert(const Query& q, const Catalog& cat,
+                                       const ExemplarFn& exemplar) {
+  const uint64_t sig = StatementCostSignature(q, cat);
+  std::vector<Entry>& bucket = buckets_[sig];
+  for (const Entry& e : bucket) {
+    if (CostEquivalent(q, exemplar(e.cls), cat)) {
+      return {e.cls, e.shard, /*is_new=*/false};
+    }
+  }
+  Entry e;
+  e.cls = next_class_++;
+  e.shard = next_shard_;
+  next_shard_ = (next_shard_ + 1) % num_shards_;
+  bucket.push_back(e);
+  return {e.cls, e.shard, /*is_new=*/true};
+}
+
+void ShardRouter::Erase(const Query& q, const Catalog& cat, int cls) {
+  const uint64_t sig = StatementCostSignature(q, cat);
+  auto it = buckets_.find(sig);
+  if (it == buckets_.end()) return;
+  std::vector<Entry>& bucket = it->second;
+  for (size_t i = 0; i < bucket.size(); ++i) {
+    if (bucket[i].cls == cls) {
+      bucket.erase(bucket.begin() + i);
+      break;
+    }
+  }
+  if (bucket.empty()) buckets_.erase(it);
+}
+
 }  // namespace cophy

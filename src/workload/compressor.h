@@ -28,6 +28,8 @@
 #define COPHY_WORKLOAD_COMPRESSOR_H_
 
 #include <cstdint>
+#include <functional>
+#include <unordered_map>
 #include <vector>
 
 #include "catalog/catalog.h"
@@ -65,6 +67,16 @@ struct CompressionStats {
     return output_statements > 0
                ? static_cast<double>(input_statements) / output_statements
                : 1.0;
+  }
+  /// Aggregates another view's accounting (per-shard stats merge).
+  CompressionStats& operator+=(const CompressionStats& o) {
+    input_statements += o.input_statements;
+    output_statements += o.output_statements;
+    input_weight += o.input_weight;
+    output_weight += o.output_weight;
+    lossless = lossless && o.lossless;
+    seconds += o.seconds;
+    return *this;
   }
 };
 
@@ -110,6 +122,57 @@ std::vector<QueryId> ClusterLeaders(const Workload& w, const Catalog& cat,
 /// Compresses `w` per `opts`. Deterministic in (w, opts).
 CompressedWorkload CompressWorkload(const Workload& w, const Catalog& cat,
                                     const CompressionOptions& opts);
+
+/// Routes a live statement stream onto workload shards by
+/// cost-equivalence class: every statement of a class lands on the
+/// shard of the class's first-seen member (its leader), so per-shard
+/// lossless merging sees whole classes and the union of the per-shard
+/// compressed views reproduces the global lossless compression exactly
+/// (the foundation of AdvisorSession's shard-invariance guarantee).
+/// New classes are assigned round-robin in first-occurrence order —
+/// deterministic in (arrival order, shard count) and asymptotically
+/// balanced on class-uniform streams. Signature buckets are confirmed
+/// with the exact CostEquivalent comparator, like ClusterLeaders, so a
+/// hash collision can never alias two distinct classes.
+class ShardRouter {
+ public:
+  explicit ShardRouter(int num_shards);
+
+  struct Route {
+    int cls = -1;         ///< dense, session-stable class id (never reused)
+    int shard = 0;        ///< owning shard
+    bool is_new = false;  ///< the statement opened a new class
+  };
+
+  /// Resolves a class id to its exemplar statement (the equivalence
+  /// authority). The caller owns the exemplars — the router stores only
+  /// ids, so each class's Query lives in exactly one place.
+  using ExemplarFn = std::function<const Query&(int cls)>;
+
+  /// The routing of q's cost-equivalence class, opening a new class
+  /// when q matches none seen so far.
+  Route Insert(const Query& q, const Catalog& cat, const ExemplarFn& exemplar);
+
+  /// Forgets class `cls` (its last member left the session; `q` is its
+  /// exemplar). A later arrival of an equivalent statement opens a
+  /// fresh class with a new id, exactly as a cold run over the
+  /// surviving stream would.
+  void Erase(const Query& q, const Catalog& cat, int cls);
+
+  int num_shards() const { return num_shards_; }
+  /// Classes ever opened (dead classes keep their ids).
+  int num_classes() const { return next_class_; }
+
+ private:
+  struct Entry {
+    int cls = -1;
+    int shard = 0;
+  };
+  int num_shards_;
+  int next_class_ = 0;
+  int next_shard_ = 0;
+  std::unordered_map<uint64_t, std::vector<Entry>> buckets_;
+};
 
 }  // namespace cophy
 
