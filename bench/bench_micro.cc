@@ -154,6 +154,15 @@ void ReportLpCounters(benchmark::State& state, const lp::SolverCounters& c) {
       benchmark::Counter(static_cast<double>(c.phase2_pivots) / solves);
   state.counters["warm_starts"] =
       benchmark::Counter(static_cast<double>(c.warm_starts));
+  // Sparse-LU basis accounting: fresh factorizations, product-form eta
+  // fill, and the wall time spent inside FTRAN/BTRAN solves (µs per LP
+  // solve) — the cost profile the lu_factor rewrite is accountable for.
+  state.counters["refactorizations"] =
+      benchmark::Counter(static_cast<double>(c.factorizations) / solves);
+  state.counters["eta_nnz"] =
+      benchmark::Counter(static_cast<double>(c.eta_nnz) / solves);
+  state.counters["ftran_btran_us"] =
+      benchmark::Counter(1e6 * c.ftran_btran_seconds / solves);
 }
 
 void BM_LpSolveRevisedSimplex(benchmark::State& state) {

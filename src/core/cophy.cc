@@ -182,6 +182,7 @@ Recommendation CoPhy::TuneInternal(const ConstraintSet& constraints,
   rec.root_lp_bound = sol.root_lp_bound;
   rec.root_lagrangian_bound = sol.root_lagrangian_bound;
   rec.variables_fixed = sol.variables_fixed;
+  rec.root_lp_stats = sol.root_lp_stats;
   return rec;
 }
 

@@ -75,6 +75,9 @@ struct Recommendation {
   double root_lp_bound = -lp::kInf;
   double root_lagrangian_bound = -lp::kInf;
   int64_t variables_fixed = 0;     ///< z fixed 0/1 by root reduced costs
+  /// Simplex work behind the root LP bound (pivots, warm-start
+  /// acceptance, LU refactorizations / eta fill / drift / solve time).
+  lp::LpSolveStats root_lp_stats;
   /// BIP presolve reduction accounting for this solve.
   lp::PresolveStats presolve;
   TuningTimings timings;

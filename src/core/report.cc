@@ -101,6 +101,13 @@ std::string RenderSolverActivity(const SolverActivity& activity) {
       static_cast<long long>(c.phase1_pivots),
       static_cast<long long>(c.phase2_pivots),
       static_cast<long long>(c.bound_flips), per_solve);
+  if (c.lp_solves > 0) {
+    out += StrFormat(
+        "Basis factorization: %lld LU factorizations, %lld eta nnz, "
+        "%.1f ms in FTRAN/BTRAN\n",
+        static_cast<long long>(c.factorizations),
+        static_cast<long long>(c.eta_nnz), 1e3 * c.ftran_btran_seconds);
+  }
   if (activity.mip_nodes > 0 || activity.bound_evaluations > 0) {
     out += StrFormat("B&B nodes %lld, bound evaluations %lld\n",
                      static_cast<long long>(activity.mip_nodes),
@@ -126,6 +133,13 @@ std::string RenderSolverActivity(const SolverActivity& activity) {
     out += "Root bounds:";
     if (has_lp_bound) {
       out += StrFormat(" LP %.6g", activity.root_lp_bound);
+      const lp::LpSolveStats& rs = activity.root_lp_stats;
+      if (rs.refactorizations > 0) {
+        out += StrFormat(
+            " (%s, %lld refactorizations, drift %.2g)",
+            rs.warm_started ? "warm" : "cold",
+            static_cast<long long>(rs.refactorizations), rs.max_drift);
+      }
     }
     if (has_lagr_bound) {
       out += StrFormat("%s Lagrangian %.6g", has_lp_bound ? " |" : "",

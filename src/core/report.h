@@ -68,6 +68,9 @@ struct SolverActivity {
   double root_lp_bound = -lp::kInf;
   double root_lagrangian_bound = -lp::kInf;
   int64_t variables_fixed = 0;      ///< z pinned by reduced-cost fixing
+  /// Optional: the root LP's own simplex/factorization work (filled
+  /// from ChoiceSolution::root_lp_stats / Recommendation::root_lp_stats).
+  lp::LpSolveStats root_lp_stats;
 };
 
 /// Snapshot of the process-wide LP counters (pair with

@@ -1182,6 +1182,7 @@ ChoiceSolution ChoiceSolver::Solve(const ChoiceSolveOptions& options) {
       result.root_lp_rows = model.num_rows();
       const LpSolution lp = SolveLp(model, nullptr, nullptr,
                                     options.root_basis_seed);
+      result.root_lp_stats = lp.stats;
       if (lp.status.ok()) {
         root_lp_bound_ = lp.objective;
         result.root_lp_bound = lp.objective;

@@ -117,12 +117,13 @@ struct ChoiceSolveOptions {
   /// cold §4.1 subgradient schedule), and its reduced costs drive
   /// variable fixing.
   bool root_lp = true;
-  /// Skip the root LP above this row count (the explicit-inverse
-  /// simplex is O(rows^2) per pivot and O(rows^2) memory; the Lagrangian
-  /// bound and the Lagrangian reduced-cost fixing still run at any
-  /// size). The compact aggregated formulation keeps real instances
-  /// well under this.
-  int64_t root_lp_max_rows = 4'000;
+  /// Skip the root LP above this row count. With the sparse-LU basis
+  /// factorization (lp/lu_factor.h) the simplex costs O(factor nnz) per
+  /// pivot, so this is a wall-clock guard for pathological instances,
+  /// not a memory wall: sharded-session root LPs in the tens of
+  /// thousands of rows solve exactly. (The Lagrangian bound and its
+  /// reduced-cost fixing still run at any size.)
+  int64_t root_lp_max_rows = 50'000;
   /// Permanently fix z variables whose reduced cost — from the root LP
   /// basis or from the Lagrangian z-subproblem coefficients at the best
   /// multipliers — proves the opposite bound can never beat the
@@ -161,6 +162,10 @@ struct ChoiceSolution {
   double root_lagrangian_bound = -kInf;
   double root_lp_bound = -kInf;  ///< objective of the root LP relaxation
   int64_t root_lp_rows = 0;      ///< rows of the root LP (0: skipped)
+  /// Simplex work behind the root LP bound: pivots, warm-start
+  /// acceptance, and the basis-factorization counters
+  /// (refactorizations, eta fill, drift, FTRAN/BTRAN time).
+  LpSolveStats root_lp_stats;
   int64_t variables_fixed = 0;   ///< z fixed 0/1 by reduced costs
   /// Exit state for delta re-solves (solver space): the Lagrangian
   /// multipliers/storage dual at return and the root-LP basis (empty

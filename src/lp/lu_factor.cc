@@ -1,0 +1,307 @@
+// Gilbert–Peierls sparse LU with static Markowitz column ordering,
+// threshold partial pivoting, and a product-form eta file. See
+// lu_factor.h for the contract and the space conventions.
+#include "lp/lu_factor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace cophy::lp {
+
+namespace {
+
+// A pivot candidate below this magnitude (after row equilibration by
+// the caller) marks the basis numerically singular.
+constexpr double kSingularEps = 1e-10;
+// Threshold partial pivoting: a row may pivot if its |value| is within
+// this factor of the eliminated column's largest |value|.
+constexpr double kPivotThreshold = 0.1;
+// An eta whose pivot is this much smaller than the largest entry of
+// the incoming column poisons every later solve: refactorize.
+constexpr double kStabilityFloor = 1e-3;
+// Refactorize once the eta file outweighs the factors themselves.
+constexpr double kEtaFillFactor = 2.0;
+
+}  // namespace
+
+bool LuFactor::Factorize(int m, const std::vector<int32_t>& col_start,
+                         const std::vector<int32_t>& rows,
+                         const std::vector<double>& vals) {
+  COPHY_CHECK_EQ(static_cast<int>(col_start.size()), m + 1);
+  // Build into fresh arrays and commit only on success, so a failed
+  // refactorization keeps the previous (valid, if drifty) factors.
+  std::vector<int32_t> l_start{0}, l_rows, u_start{0}, u_steps;
+  std::vector<double> l_vals, u_vals, u_diag;
+  std::vector<int32_t> pivot_row_of_step(m), col_of_step(m), step_of_col(m);
+  std::vector<int32_t> row_to_step(m, -1);
+  u_diag.reserve(m);
+
+  // Static Markowitz data: original row counts for the pivot-row
+  // tie-break, columns eliminated in ascending nonzero count.
+  std::vector<int32_t> row_count(m, 0);
+  for (int32_t r : rows) ++row_count[r];
+  std::vector<int32_t> order(m);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int32_t a, int32_t b) {
+    return col_start[a + 1] - col_start[a] < col_start[b + 1] - col_start[b];
+  });
+
+  std::vector<double> x(m, 0.0);
+  std::vector<char> in_x(m, 0);    // row currently scattered into x
+  std::vector<char> seen(m, 0);    // step visited by this column's DFS
+  std::vector<int32_t> touched;    // rows scattered (pattern)
+  std::vector<int32_t> reach;      // reached steps, DFS finish order
+  std::vector<int32_t> stack, stack_edge;
+
+  for (int t = 0; t < m; ++t) {
+    const int c = order[t];
+    touched.clear();
+    reach.clear();
+    for (int32_t k = col_start[c]; k < col_start[c + 1]; ++k) {
+      const int32_t r = rows[k];
+      if (!in_x[r]) {
+        in_x[r] = 1;
+        touched.push_back(r);
+        x[r] = 0.0;
+      }
+      x[r] += vals[k];  // merge duplicate entries
+    }
+
+    // Symbolic: depth-first reach of already-eliminated steps from the
+    // column's pivotal rows, recorded in finish order so the reversed
+    // list is topological (dependencies first).
+    for (int32_t k = col_start[c]; k < col_start[c + 1]; ++k) {
+      const int32_t s0 = row_to_step[rows[k]];
+      if (s0 < 0 || seen[s0]) continue;
+      seen[s0] = 1;
+      stack.assign(1, s0);
+      stack_edge.assign(1, l_start[s0]);
+      while (!stack.empty()) {
+        const int32_t s = stack.back();
+        int32_t e = stack_edge.back();
+        bool descended = false;
+        while (e < l_start[s + 1]) {
+          const int32_t s2 = row_to_step[l_rows[e]];
+          ++e;
+          if (s2 >= 0 && !seen[s2]) {
+            stack_edge.back() = e;
+            seen[s2] = 1;
+            stack.push_back(s2);
+            stack_edge.push_back(l_start[s2]);
+            descended = true;
+            break;
+          }
+        }
+        if (!descended) {
+          reach.push_back(s);
+          stack.pop_back();
+          stack_edge.pop_back();
+        }
+      }
+    }
+
+    // Numeric: eliminate through the reached steps in topological
+    // order. Fill lands on non-pivotal rows and joins the pattern.
+    for (int i = static_cast<int>(reach.size()) - 1; i >= 0; --i) {
+      const int32_t s = reach[i];
+      const double v = x[pivot_row_of_step[s]];
+      if (v == 0.0) continue;
+      for (int32_t k = l_start[s]; k < l_start[s + 1]; ++k) {
+        const int32_t r = l_rows[k];
+        if (!in_x[r]) {
+          in_x[r] = 1;
+          touched.push_back(r);
+          x[r] = 0.0;
+        }
+        x[r] -= l_vals[k] * v;
+      }
+    }
+
+    // Pivot: threshold partial pivoting with the Markowitz-style
+    // fewest-row-nonzeros tie-break among the stable candidates.
+    double xmax = 0.0;
+    for (int32_t r : touched) {
+      if (row_to_step[r] < 0) xmax = std::max(xmax, std::abs(x[r]));
+    }
+    if (xmax <= kSingularEps) {
+      for (int32_t r : touched) {
+        x[r] = 0.0;
+        in_x[r] = 0;
+      }
+      return false;  // numerically (or structurally) singular
+    }
+    int32_t pivot = -1;
+    int32_t best_count = std::numeric_limits<int32_t>::max();
+    double best_abs = 0.0;
+    for (int32_t r : touched) {
+      if (row_to_step[r] >= 0) continue;
+      const double a = std::abs(x[r]);
+      if (a < kPivotThreshold * xmax) continue;
+      if (row_count[r] < best_count ||
+          (row_count[r] == best_count && a > best_abs)) {
+        best_count = row_count[r];
+        best_abs = a;
+        pivot = r;
+      }
+    }
+    COPHY_CHECK(pivot >= 0);
+
+    for (int i = static_cast<int>(reach.size()) - 1; i >= 0; --i) {
+      const int32_t s = reach[i];
+      const double v = x[pivot_row_of_step[s]];
+      if (v != 0.0) {
+        u_steps.push_back(s);
+        u_vals.push_back(v);
+      }
+    }
+    u_start.push_back(static_cast<int32_t>(u_steps.size()));
+    u_diag.push_back(x[pivot]);
+    const double inv_piv = 1.0 / x[pivot];
+    for (int32_t r : touched) {
+      if (r == pivot || row_to_step[r] >= 0 || x[r] == 0.0) continue;
+      l_rows.push_back(r);
+      l_vals.push_back(x[r] * inv_piv);
+    }
+    l_start.push_back(static_cast<int32_t>(l_rows.size()));
+    row_to_step[pivot] = t;
+    pivot_row_of_step[t] = pivot;
+    col_of_step[t] = c;
+    step_of_col[c] = t;
+
+    for (int32_t r : touched) {
+      x[r] = 0.0;
+      in_x[r] = 0;
+    }
+    for (int32_t s : reach) seen[s] = 0;
+  }
+
+  m_ = m;
+  l_start_ = std::move(l_start);
+  l_rows_ = std::move(l_rows);
+  l_vals_ = std::move(l_vals);
+  u_start_ = std::move(u_start);
+  u_steps_ = std::move(u_steps);
+  u_vals_ = std::move(u_vals);
+  u_diag_ = std::move(u_diag);
+  pivot_row_of_step_ = std::move(pivot_row_of_step);
+  col_of_step_ = std::move(col_of_step);
+  step_of_col_ = std::move(step_of_col);
+  eta_pos_.clear();
+  eta_inv_pivot_.clear();
+  eta_start_.assign(1, 0);
+  eta_idx_.clear();
+  eta_val_.clear();
+  eta_nnz_ = 0;
+  factor_nnz_ = static_cast<int64_t>(l_rows_.size()) +
+                static_cast<int64_t>(u_steps_.size()) + m;
+  fill_nnz_ = std::max<int64_t>(
+      0, factor_nnz_ - static_cast<int64_t>(rows.size()));
+  last_pivot_stability_ = 1.0;
+  needs_refactor_ = false;
+  step_work_.assign(m, 0.0);
+  return true;
+}
+
+void LuFactor::FtranLu(std::vector<double>& x) const {
+  // L solve, in row space (unit diagonal implicit).
+  for (int t = 0; t < m_; ++t) {
+    const double v = x[pivot_row_of_step_[t]];
+    if (v == 0.0) continue;
+    for (int32_t k = l_start_[t]; k < l_start_[t + 1]; ++k) {
+      x[l_rows_[k]] -= l_vals_[k] * v;
+    }
+  }
+  // Gather into step space and back-substitute through U.
+  std::vector<double>& z = step_work_;
+  for (int t = 0; t < m_; ++t) z[t] = x[pivot_row_of_step_[t]];
+  for (int t = m_ - 1; t >= 0; --t) {
+    const double v = z[t] / u_diag_[t];
+    z[t] = v;
+    if (v == 0.0) continue;
+    for (int32_t k = u_start_[t]; k < u_start_[t + 1]; ++k) {
+      z[u_steps_[k]] -= u_vals_[k] * v;
+    }
+  }
+  // Step t solved the column at basis position col_of_step_[t].
+  for (int t = 0; t < m_; ++t) x[col_of_step_[t]] = z[t];
+}
+
+void LuFactor::BtranLu(std::vector<double>& x) const {
+  std::vector<double>& g = step_work_;
+  for (int t = 0; t < m_; ++t) g[t] = x[col_of_step_[t]];
+  // U^T forward substitution (column access of U gives U^T's rows).
+  for (int t = 0; t < m_; ++t) {
+    double acc = g[t];
+    for (int32_t k = u_start_[t]; k < u_start_[t + 1]; ++k) {
+      acc -= u_vals_[k] * g[u_steps_[k]];
+    }
+    g[t] = acc / u_diag_[t];
+  }
+  // L^T backward: every row referenced by L column t is pivotal at a
+  // later step, so its y component is already final — the in-place
+  // overwrite of x (row space) is safe.
+  for (int t = m_ - 1; t >= 0; --t) {
+    double acc = g[t];
+    for (int32_t k = l_start_[t]; k < l_start_[t + 1]; ++k) {
+      acc -= l_vals_[k] * x[l_rows_[k]];
+    }
+    x[pivot_row_of_step_[t]] = acc;
+  }
+}
+
+void LuFactor::Ftran(std::vector<double>& x) const {
+  FtranLu(x);
+  const int ne = eta_count();
+  for (int k = 0; k < ne; ++k) {  // oldest to newest
+    const int32_t p = eta_pos_[k];
+    const double t = x[p];
+    if (t == 0.0) continue;
+    x[p] = t * eta_inv_pivot_[k];
+    for (int32_t e = eta_start_[k]; e < eta_start_[k + 1]; ++e) {
+      x[eta_idx_[e]] += eta_val_[e] * t;
+    }
+  }
+}
+
+void LuFactor::Btran(std::vector<double>& x) const {
+  for (int k = eta_count() - 1; k >= 0; --k) {  // newest to oldest
+    double acc = eta_inv_pivot_[k] * x[eta_pos_[k]];
+    for (int32_t e = eta_start_[k]; e < eta_start_[k + 1]; ++e) {
+      acc += eta_val_[e] * x[eta_idx_[e]];
+    }
+    x[eta_pos_[k]] = acc;
+  }
+  BtranLu(x);
+}
+
+bool LuFactor::Update(const std::vector<double>& w, int pos) {
+  const double piv = w[pos];
+  if (!(std::abs(piv) > kSingularEps)) return false;
+  double amax = std::abs(piv);
+  for (int i = 0; i < m_; ++i) amax = std::max(amax, std::abs(w[i]));
+  const double inv = 1.0 / piv;
+  eta_pos_.push_back(pos);
+  eta_inv_pivot_.push_back(inv);
+  int64_t added = 1;
+  for (int i = 0; i < m_; ++i) {
+    if (i == pos || w[i] == 0.0) continue;
+    eta_idx_.push_back(i);
+    eta_val_.push_back(-w[i] * inv);
+    ++added;
+  }
+  eta_start_.push_back(static_cast<int32_t>(eta_idx_.size()));
+  eta_nnz_ += added;
+  total_eta_nnz_ += added;
+  last_pivot_stability_ = std::abs(piv) / amax;
+  if (last_pivot_stability_ < kStabilityFloor ||
+      eta_nnz_ > kEtaFillFactor * static_cast<double>(factor_nnz_)) {
+    needs_refactor_ = true;
+  }
+  return true;
+}
+
+}  // namespace cophy::lp

@@ -1,0 +1,125 @@
+// Sparse LU basis factorization for the revised simplex.
+//
+// `LuFactor` factorizes an m x m basis matrix B (given in CSC form)
+// into P B Q = L U with
+//
+//  - a Markowitz-style static column ordering (columns eliminated in
+//    ascending nonzero count, the classic fill-reducing heuristic for
+//    basis matrices whose columns are near-triangular to begin with),
+//  - threshold partial pivoting per elimination step: among the rows of
+//    the eliminated column with |value| >= tau * max|value|, the one
+//    with the fewest original-matrix nonzeros pivots (fill control
+//    without giving up the stability guarantee),
+//  - Gilbert–Peierls left-looking elimination: each column is solved
+//    against the L computed so far with a reach-set DFS, so the whole
+//    factorization costs O(flops), not O(m * nnz).
+//
+// After a simplex pivot the factorization is patched with a
+// product-form eta (the inverse of the rank-1 column replacement), so
+// FTRAN is `apply L/U solves, then the eta file` and BTRAN is `apply
+// the eta file in reverse, then the transposed solves`. The eta file
+// grows with every pivot and its error compounds, so `Update` tracks a
+// pivot-stability estimate and a fill budget; when either degrades,
+// `NeedsRefactorization()` turns true and the simplex refactorizes
+// from scratch at the next opportunity (it also refactorizes on a
+// fixed pivot interval regardless).
+//
+// Spaces: FTRAN input is indexed by constraint row, output by basis
+// position (the order the basis columns were given to Factorize);
+// BTRAN input is indexed by basis position, output by row. Positions
+// and rows coincide for the all-slack basis, and the simplex keeps the
+// identification `basis_[position] = column` stable across pivots.
+#ifndef COPHY_LP_LU_FACTOR_H_
+#define COPHY_LP_LU_FACTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace cophy::lp {
+
+class LuFactor {
+ public:
+  /// Factorizes the m x m matrix whose column c holds the nonzeros
+  /// `rows[k], vals[k]` for k in [col_start[c], col_start[c+1]).
+  /// Returns false (keeping any previous factorization intact) if the
+  /// matrix is numerically singular. On success the eta file is
+  /// cleared and NeedsRefactorization() resets.
+  bool Factorize(int m, const std::vector<int32_t>& col_start,
+                 const std::vector<int32_t>& rows,
+                 const std::vector<double>& vals);
+
+  /// w = (B E_1 ... E_k)^{-1} b. `x` carries b indexed by row on input
+  /// and the solution indexed by basis position on output.
+  void Ftran(std::vector<double>& x) const;
+
+  /// y^T = c^T (B E_1 ... E_k)^{-1}. `x` carries c indexed by basis
+  /// position on input and y indexed by row on output.
+  void Btran(std::vector<double>& x) const;
+
+  /// Appends the product-form eta for replacing the basis column at
+  /// `pos` with the column whose FTRAN image is `w` (dense, indexed by
+  /// basis position). Returns false — leaving the factorization
+  /// unchanged — if the pivot element w[pos] is numerically unusable.
+  bool Update(const std::vector<double>& w, int pos);
+
+  /// True once the eta file has degraded (unstable pivot or fill past
+  /// budget) and a fresh Factorize is advised.
+  bool NeedsRefactorization() const { return needs_refactor_; }
+
+  int dim() const { return m_; }
+  /// Number of product-form etas appended since the last Factorize.
+  int eta_count() const { return static_cast<int>(eta_pos_.size()); }
+  /// Eta nonzeros currently in the file (reset by Factorize).
+  int64_t eta_nnz() const { return eta_nnz_; }
+  /// Eta nonzeros appended over this object's lifetime (never reset).
+  int64_t total_eta_nnz() const { return total_eta_nnz_; }
+  /// L+U nonzeros (diagonal included) of the last factorization.
+  int64_t factor_nnz() const { return factor_nnz_; }
+  /// factor_nnz() minus the factorized matrix's nonzeros: the fill-in.
+  int64_t fill_nnz() const { return fill_nnz_; }
+  /// |w[pos]| / max_i |w[i]| of the most recent Update (1 if none).
+  double last_pivot_stability() const { return last_pivot_stability_; }
+
+ private:
+  void FtranLu(std::vector<double>& x) const;
+  void BtranLu(std::vector<double>& x) const;
+
+  int m_ = 0;
+
+  // L: per elimination step, the below-pivot multipliers by original
+  // row; unit diagonal implicit. U: per step (column of U), the
+  // above-diagonal entries by earlier step, plus the pivot value.
+  std::vector<int32_t> l_start_{0};
+  std::vector<int32_t> l_rows_;
+  std::vector<double> l_vals_;
+  std::vector<int32_t> u_start_{0};
+  std::vector<int32_t> u_steps_;
+  std::vector<double> u_vals_;
+  std::vector<double> u_diag_;
+
+  std::vector<int32_t> pivot_row_of_step_;  // step -> original row
+  std::vector<int32_t> col_of_step_;        // step -> basis position
+  std::vector<int32_t> step_of_col_;        // basis position -> step
+
+  // Product-form eta file: eta k replaces position eta_pos_[k]; its
+  // off-pivot entries live in [eta_start_[k], eta_start_[k+1]).
+  std::vector<int32_t> eta_pos_;
+  std::vector<double> eta_inv_pivot_;
+  std::vector<int32_t> eta_start_{0};
+  std::vector<int32_t> eta_idx_;
+  std::vector<double> eta_val_;
+
+  int64_t eta_nnz_ = 0;
+  int64_t total_eta_nnz_ = 0;
+  int64_t factor_nnz_ = 0;
+  int64_t fill_nnz_ = 0;
+  double last_pivot_stability_ = 1.0;
+  bool needs_refactor_ = false;
+
+  // Step-space solve scratch (sized on Factorize).
+  mutable std::vector<double> step_work_;
+};
+
+}  // namespace cophy::lp
+
+#endif  // COPHY_LP_LU_FACTOR_H_

@@ -4,10 +4,14 @@
 // nv + r is the slack of row r with coefficient +1 and sense encoded in
 // its bounds (kLe: [0, inf), kGe: (-inf, 0], kEq: [0, 0]), so every row
 // is an equality A'x' = b over bounded variables and the slack basis is
-// the identity. The basis inverse is kept explicitly (column-major,
-// O(m^2) per pivot); pricing uses the model's sparse column views, and
-// in phase 2 the reduced-cost row is updated incrementally from the
-// pivot row instead of being re-derived (O(nnz) instead of O(m*n)).
+// the identity. The basis is held as a sparse LU factorization
+// (lp/lu_factor.h): Markowitz-ordered threshold-pivoted LU with sparse
+// FTRAN/BTRAN through the factors and a product-form eta appended per
+// pivot, refactorized on a fixed pivot interval and early whenever the
+// eta file degrades (unstable pivot or fill past budget). Pricing uses
+// the model's sparse column views, and in phase 2 the reduced-cost row
+// is updated incrementally from the pivot row (one extra unit-vector
+// BTRAN per pivot) instead of being re-derived.
 //
 // Phase 1 is artificial-free: starting from any basis (slack or
 // imported), it minimizes the total bound violation of the basic
@@ -24,20 +28,27 @@
 #include <limits>
 
 #include "common/check.h"
+#include "common/stopwatch.h"
+#include "lp/lu_factor.h"
 
 namespace cophy::lp {
 
 namespace {
 
-constexpr double kPivotEps = 1e-9;
 constexpr double kLeaveEps = 1e-7;  // min |w_r| to accept a pivot element
 constexpr double kDualEps = 1e-7;
 constexpr double kFeasEps = 1e-7;
 constexpr double kInfeasTotal = 1e-6;
-constexpr int kRefactorInterval = 96;  // pivots between basis re-inversions
+constexpr int kRefactorInterval = 96;  // pivots between refactorizations
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-enum class IterStatus { kOptimal, kUnbounded, kStalled, kIterLimit };
+enum class IterStatus {
+  kOptimal,
+  kUnbounded,
+  kStalled,
+  kIterLimit,
+  kNumericalFailure,  // basis factorization lost and unrecoverable
+};
 
 class RevisedSimplex {
  public:
@@ -58,7 +69,7 @@ class RevisedSimplex {
     }
     // Row equilibration: divide each row by its largest |coefficient| so
     // rows of wildly different magnitude (storage bytes next to 0/1
-    // linking rows) don't wreck the conditioning of the basis inverse.
+    // linking rows) don't wreck the conditioning of the factorization.
     // Slack bounds are 0 / +-inf, so they are invariant under positive
     // row scaling and the structural solution is unchanged.
     row_scale_.assign(m_, 1.0);
@@ -91,7 +102,6 @@ class RevisedSimplex {
     vstat_.assign(n_, VarStatus::kAtLower);
     xval_.assign(n_, 0.0);
     d_.assign(n_, 0.0);
-    binv_.assign(static_cast<size_t>(m_) * m_, 0.0);
     w_.resize(m_);
     rho_.resize(m_);
     y_.resize(m_);
@@ -102,12 +112,10 @@ class RevisedSimplex {
   /// finite bound.
   void ColdStart() {
     for (int j = 0; j < nv_; ++j) SetNonbasicAtBound(j, VarStatus::kAtLower);
-    for (int r = 0; r < m_; ++r) {
-      basis_[r] = nv_ + r;
-      vstat_[nv_ + r] = VarStatus::kBasic;
-    }
-    std::fill(binv_.begin(), binv_.end(), 0.0);
-    for (int r = 0; r < m_; ++r) binv_[static_cast<size_t>(r) * m_ + r] = 1.0;
+    std::vector<int> cols(m_);
+    for (int r = 0; r < m_; ++r) cols[r] = nv_ + r;
+    const bool ok = Factorize(cols);  // slack basis: identity, can't fail
+    COPHY_CHECK(ok);
     ComputeBasicValues();
   }
 
@@ -197,6 +205,19 @@ class RevisedSimplex {
     reduced_costs->assign(d_.begin(), d_.begin() + nv_);
   }
 
+  /// Copies the factorization accounting into `stats` and charges the
+  /// process-wide counters. Called once per solve, on every exit path.
+  void ExportFactorStats(LpSolveStats* stats) {
+    stats->refactorizations = refactorizations_;
+    stats->eta_nnz = lu_.total_eta_nnz();
+    stats->lu_fill_nnz = lu_.fill_nnz();
+    stats->max_drift = max_drift_;
+    stats->ftran_btran_seconds = ftran_btran_seconds_;
+    SolverCounters& counters = GlobalSolverCounters();
+    counters.eta_nnz += lu_.total_eta_nnz();
+    counters.ftran_btran_seconds += ftran_btran_seconds_;
+  }
+
  private:
   /// Applies `f(row, value)` to every nonzero of internal column `j`,
   /// in the row-equilibrated space.
@@ -230,39 +251,55 @@ class RevisedSimplex {
                                            : 0.0;
   }
 
-  /// w = B^{-1} * (column j). O(m * nnz_j) with the explicit inverse.
+  /// w = B^{-1} * (column j): scatter the column by row, then one
+  /// sparse LU + eta-file solve. Output indexed by basis position.
   void Ftran(int j) {
     std::fill(w_.begin(), w_.end(), 0.0);
-    ForEachEntry(j, [&](int row, double v) {
-      const double* col = binv_.data() + static_cast<size_t>(row) * m_;
-      for (int i = 0; i < m_; ++i) w_[i] += v * col[i];
-    });
+    ForEachEntry(j, [&](int row, double v) { w_[row] += v; });
+    const Stopwatch timer;
+    lu_.Ftran(w_);
+    ftran_btran_seconds_ += timer.Elapsed();
   }
 
-  /// y^T = cb^T * B^{-1}. O(m^2).
+  /// y^T = cb^T * B^{-1} (cb indexed by basis position, y by row).
   void Btran(const std::vector<double>& cb) {
-    for (int k = 0; k < m_; ++k) {
-      const double* col = binv_.data() + static_cast<size_t>(k) * m_;
-      double acc = 0;
-      for (int i = 0; i < m_; ++i) acc += cb[i] * col[i];
-      y_[k] = acc;
-    }
+    y_ = cb;
+    const Stopwatch timer;
+    lu_.Btran(y_);
+    ftran_btran_seconds_ += timer.Elapsed();
+  }
+
+  /// rho = e_pos^T B^{-1}, the pivot row of the (pre-update) basis
+  /// inverse, via a unit-vector BTRAN.
+  void BtranUnit(int pos) {
+    std::fill(rho_.begin(), rho_.end(), 0.0);
+    rho_[pos] = 1.0;
+    const Stopwatch timer;
+    lu_.Btran(rho_);
+    ftran_btran_seconds_ += timer.Elapsed();
   }
 
   /// x_B = B^{-1} (b - N x_N); nonbasic values are already in xval_.
-  void ComputeBasicValues() {
+  /// With `measure_drift`, the largest |old - new| over the basic
+  /// values — the eta-file drift caught by this refresh — feeds the
+  /// solve's max_drift statistic.
+  void ComputeBasicValues(bool measure_drift = false) {
     std::copy(b_.begin(), b_.end(), scratch_.begin());
     for (int j = 0; j < n_; ++j) {
       if (vstat_[j] == VarStatus::kBasic || xval_[j] == 0.0) continue;
       const double xj = xval_[j];
       ForEachEntry(j, [&](int row, double v) { scratch_[row] -= v * xj; });
     }
-    std::fill(w_.begin(), w_.end(), 0.0);
-    for (int k = 0; k < m_; ++k) {
-      const double rk = scratch_[k];
-      if (rk == 0.0) continue;
-      const double* col = binv_.data() + static_cast<size_t>(k) * m_;
-      for (int i = 0; i < m_; ++i) w_[i] += rk * col[i];
+    std::copy(scratch_.begin(), scratch_.end(), w_.begin());
+    const Stopwatch timer;
+    lu_.Ftran(w_);
+    ftran_btran_seconds_ += timer.Elapsed();
+    if (measure_drift) {
+      double worst = 0;
+      for (int r = 0; r < m_; ++r) {
+        worst = std::max(worst, std::abs(xval_[basis_[r]] - w_[r]));
+      }
+      max_drift_ = std::max(max_drift_, worst);
     }
     for (int r = 0; r < m_; ++r) xval_[basis_[r]] = w_[r];
   }
@@ -306,93 +343,41 @@ class RevisedSimplex {
     }
   }
 
-  /// Gauss-Jordan inversion of the basis matrix given by `basic_cols`,
-  /// assigning each column to its pivot row. False if singular.
+  /// Sparse LU factorization of the basis matrix given by `basic_cols`
+  /// (in basis-position order, which stays stable across pivots).
+  /// False if the matrix is numerically singular; the previous factors,
+  /// if any, are kept intact in that case.
   bool Factorize(const std::vector<int>& basic_cols) {
-    // Row-major scratch for contiguous row operations; binv_ gets the
-    // transpose at the end.
-    std::vector<double> mat(static_cast<size_t>(m_) * m_, 0.0);
-    std::vector<double> inv(static_cast<size_t>(m_) * m_, 0.0);
+    col_start_scratch_.assign(1, 0);
+    col_rows_scratch_.clear();
+    col_vals_scratch_.clear();
     for (int c = 0; c < m_; ++c) {
-      ForEachEntry(basic_cols[c],
-                   [&](int row, double v) { mat[static_cast<size_t>(row) * m_ + c] = v; });
+      ForEachEntry(basic_cols[c], [&](int row, double v) {
+        col_rows_scratch_.push_back(row);
+        col_vals_scratch_.push_back(v);
+      });
+      col_start_scratch_.push_back(
+          static_cast<int32_t>(col_rows_scratch_.size()));
     }
-    for (int i = 0; i < m_; ++i) inv[static_cast<size_t>(i) * m_ + i] = 1.0;
-    std::vector<bool> assigned(m_, false);
+    if (!lu_.Factorize(m_, col_start_scratch_, col_rows_scratch_,
+                       col_vals_scratch_)) {
+      return false;
+    }
     for (int c = 0; c < m_; ++c) {
-      int pivot_row = -1;
-      double best = kPivotEps;
-      for (int i = 0; i < m_; ++i) {
-        if (assigned[i]) continue;
-        const double a = std::abs(mat[static_cast<size_t>(i) * m_ + c]);
-        if (a > best) {
-          best = a;
-          pivot_row = i;
-        }
-      }
-      if (pivot_row < 0) return false;
-      assigned[pivot_row] = true;
-      basis_[pivot_row] = basic_cols[c];
+      basis_[c] = basic_cols[c];
       vstat_[basic_cols[c]] = VarStatus::kBasic;
-      double* mp = mat.data() + static_cast<size_t>(pivot_row) * m_;
-      double* ip = inv.data() + static_cast<size_t>(pivot_row) * m_;
-      const double scale = 1.0 / mp[c];
-      for (int k = 0; k < m_; ++k) {
-        mp[k] *= scale;
-        ip[k] *= scale;
-      }
-      mp[c] = 1.0;
-      for (int i = 0; i < m_; ++i) {
-        if (i == pivot_row) continue;
-        double* mi = mat.data() + static_cast<size_t>(i) * m_;
-        const double f = mi[c];
-        if (f == 0.0) continue;
-        double* ii = inv.data() + static_cast<size_t>(i) * m_;
-        for (int k = 0; k < m_; ++k) {
-          mi[k] -= f * mp[k];
-          ii[k] -= f * ip[k];
-        }
-        mi[c] = 0.0;
-      }
     }
-    for (int i = 0; i < m_; ++i) {
-      for (int k = 0; k < m_; ++k) {
-        binv_[static_cast<size_t>(k) * m_ + i] = inv[static_cast<size_t>(i) * m_ + k];
-      }
-    }
+    ++refactorizations_;
     GlobalSolverCounters().factorizations += 1;
     return true;
   }
 
-  /// Re-inverts the current basis from scratch. The eta-style
-  /// UpdateInverse accumulates roundoff with every pivot; a periodic
-  /// fresh inversion keeps the inverse (and everything priced through
-  /// it) healthy. Keeps the previous inverse if the matrix has gone
+  /// Refactorizes the current basis from scratch. The eta file
+  /// accumulates roundoff with every pivot; a periodic fresh
+  /// factorization keeps the factors (and everything priced through
+  /// them) healthy. Keeps the previous factors if the matrix has gone
   /// numerically singular.
-  bool Refactorize() {
-    const std::vector<int> cols(basis_.begin(), basis_.end());
-    const std::vector<int> basis_backup = basis_;
-    if (!Factorize(cols)) {
-      basis_ = basis_backup;  // Factorize may have permuted assignments
-      return false;
-    }
-    return true;
-  }
-
-  /// Elementary update of the explicit inverse after pivoting column q
-  /// into row r (w_ = B^{-1} a_q from the ratio test).
-  void UpdateInverse(int r) {
-    const double inv_pivot = 1.0 / w_[r];
-    for (int k = 0; k < m_; ++k) {
-      double* col = binv_.data() + static_cast<size_t>(k) * m_;
-      const double br = col[r] * inv_pivot;
-      col[r] = br;
-      if (br == 0.0) continue;
-      for (int i = 0; i < m_; ++i) {
-        if (i != r) col[i] -= w_[i] * br;
-      }
-    }
-  }
+  bool Refactorize() { return Factorize(basis_); }
 
   /// Shared primal iteration loop. In phase 1 the composite objective
   /// is re-priced each iteration (it changes whenever a violation
@@ -404,9 +389,10 @@ class RevisedSimplex {
     int64_t pivots_since_factor = 0;
     for (int64_t iter = 0; iter < iter_limit; ++iter) {
       const bool bland = iter > iter_limit / 2;
-      if (pivots_since_factor >= kRefactorInterval) {
+      if (pivots_since_factor >= kRefactorInterval ||
+          (pivots_since_factor > 0 && lu_.NeedsRefactorization())) {
         if (Refactorize()) {
-          ComputeBasicValues();
+          ComputeBasicValues(/*measure_drift=*/true);
           if (!phase1) RecomputeReducedCosts();
           pivots_since_refresh = 0;
         }
@@ -420,7 +406,7 @@ class RevisedSimplex {
         RecomputePhase1Costs();
       } else if (pivots_since_refresh >= 64) {
         RecomputeReducedCosts();
-        ComputeBasicValues();
+        ComputeBasicValues(/*measure_drift=*/true);
         pivots_since_refresh = 0;
       }
 
@@ -466,7 +452,7 @@ class RevisedSimplex {
           // from-scratch re-pricing before accepting (guards against
           // drift-induced premature termination).
           RecomputeReducedCosts();
-          ComputeBasicValues();
+          ComputeBasicValues(/*measure_drift=*/true);
           pivots_since_refresh = 0;
           continue;
         }
@@ -506,7 +492,7 @@ class RevisedSimplex {
       double leave_w = 0;
       for (int i = 0; i < m_; ++i) {
         const double wi = w_[i];
-        // A pivot element this small would poison the updated inverse;
+        // A pivot element this small would poison the eta update;
         // treat the row as non-blocking instead.
         if (std::abs(wi) <= kLeaveEps) continue;
         const int j = basis_[i];
@@ -534,7 +520,7 @@ class RevisedSimplex {
         if (ti < 0) ti = 0;  // degenerate (or tiny violation) pivot
         // Near-tied ratios (within the feasibility tolerance) resolve
         // toward the largest pivot element — small pivots poison both
-        // the updated inverse and the incremental reduced costs.
+        // the eta update and the incremental reduced costs.
         const bool take =
             ti < t - kFeasEps ||
             (ti < t + kFeasEps && leave >= 0 &&
@@ -569,7 +555,8 @@ class RevisedSimplex {
         continue;
       }
 
-      // --- Pivot: update values, statuses, inverse, reduced costs. ---
+      // --- Pivot: update values, statuses, factorization, reduced
+      // costs. ---
       for (int i = 0; i < m_; ++i) {
         if (w_[i] != 0.0) xval_[basis_[i]] += -dir * w_[i] * t;
       }
@@ -585,9 +572,7 @@ class RevisedSimplex {
       if (!phase1) {
         // Incremental reduced-cost row update from the (pre-update)
         // pivot row rho = e_r B^{-1}: d_j -= (d_q / w_r) * (rho . a_j).
-        for (int k = 0; k < m_; ++k) {
-          rho_[k] = binv_[static_cast<size_t>(k) * m_ + leave];
-        }
+        BtranUnit(leave);
         const double theta = d_[enter] / w_[leave];
         if (theta != 0.0) {
           for (int j = 0; j < n_; ++j) {
@@ -619,7 +604,20 @@ class RevisedSimplex {
         GlobalSolverCounters().phase1_pivots += 1;
       }
       ++pivots_since_factor;
-      UpdateInverse(leave);
+      if (!lu_.Update(w_, leave)) {
+        // Unusable eta pivot (the ratio test's kLeaveEps floor keeps
+        // this out of reach in practice): refactorize the
+        // already-updated basis immediately. If even that fails, the
+        // factors still describe the *pre-pivot* basis while basis_ /
+        // xval_ moved on — continuing would price every later
+        // iteration against the wrong basis, so fail the solve loudly
+        // instead of returning a silently wrong optimum.
+        if (!Refactorize()) return IterStatus::kNumericalFailure;
+        ComputeBasicValues();
+        if (!phase1) RecomputeReducedCosts();
+        pivots_since_refresh = 0;
+        pivots_since_factor = 0;
+      }
     }
     return IterStatus::kIterLimit;
   }
@@ -633,15 +631,25 @@ class RevisedSimplex {
   std::vector<double> cost_;      // phase-2 objective (slacks zero)
   std::vector<double> b_;         // row-equilibrated rhs
   std::vector<double> row_scale_; // 1 / max|coef| per row
-  std::vector<double> binv_;      // column-major explicit inverse
-  std::vector<int> basis_;        // basis_[r] = column basic in row r
+  LuFactor lu_;                   // sparse LU + eta-file basis
+  std::vector<int> basis_;        // basis_[pos] = column basic at pos
   std::vector<VarStatus> vstat_;  // per internal column
   std::vector<double> xval_;      // all variable values
   std::vector<double> d_;         // reduced costs
-  std::vector<double> w_;         // FTRAN scratch
-  std::vector<double> rho_;       // pivot-row scratch
-  std::vector<double> y_;         // BTRAN scratch
+  std::vector<double> w_;         // FTRAN scratch (basis-position space)
+  std::vector<double> rho_;       // pivot-row scratch (row space)
+  std::vector<double> y_;         // BTRAN scratch (row space)
   std::vector<double> scratch_;   // cb / residual scratch
+
+  // Basis-column gather scratch for Factorize.
+  std::vector<int32_t> col_start_scratch_;
+  std::vector<int32_t> col_rows_scratch_;
+  std::vector<double> col_vals_scratch_;
+
+  // Factorization accounting for LpSolveStats.
+  int64_t refactorizations_ = 0;
+  double max_drift_ = 0.0;
+  double ftran_btran_seconds_ = 0.0;
 };
 
 }  // namespace
@@ -663,6 +671,9 @@ SolverCounters SolverCountersSince(const SolverCounters& snapshot) {
   delta.warm_starts = now.warm_starts - snapshot.warm_starts;
   delta.cold_starts = now.cold_starts - snapshot.cold_starts;
   delta.factorizations = now.factorizations - snapshot.factorizations;
+  delta.eta_nnz = now.eta_nnz - snapshot.eta_nnz;
+  delta.ftran_btran_seconds =
+      now.ftran_btran_seconds - snapshot.ftran_btran_seconds;
   return delta;
 }
 
@@ -686,6 +697,10 @@ LpSolution SolveLp(const Model& model, const std::vector<double>* var_lower,
 
   RevisedSimplex simplex(model, lo, hi);
   LpSolution sol;
+  const auto finish = [&]() -> LpSolution {
+    simplex.ExportFactorStats(&sol.stats);
+    return std::move(sol);
+  };
   if (warm_basis != nullptr && !warm_basis->empty() &&
       simplex.WarmStart(*warm_basis)) {
     sol.stats.warm_started = true;
@@ -698,25 +713,33 @@ LpSolution SolveLp(const Model& model, const std::vector<double>* var_lower,
   IterStatus st = simplex.Phase1(&sol.stats);
   if (st == IterStatus::kStalled) {
     sol.status = Status::Infeasible("phase-1 optimum positive");
-    return sol;
+    return finish();
   }
   if (st == IterStatus::kIterLimit) {
     sol.status = Status::Internal("simplex iteration limit (phase 1)");
-    return sol;
+    return finish();
+  }
+  if (st == IterStatus::kNumericalFailure) {
+    sol.status = Status::Internal("basis factorization failed (phase 1)");
+    return finish();
   }
   if (simplex.MaxViolation() > kInfeasTotal) {
     sol.status = Status::Infeasible("phase-1 optimum positive");
-    return sol;
+    return finish();
   }
 
   st = simplex.Phase2(&sol.stats);
   if (st == IterStatus::kIterLimit) {
     sol.status = Status::Internal("simplex iteration limit (phase 2)");
-    return sol;
+    return finish();
+  }
+  if (st == IterStatus::kNumericalFailure) {
+    sol.status = Status::Internal("basis factorization failed (phase 2)");
+    return finish();
   }
   if (st == IterStatus::kUnbounded) {
     sol.status = Status::Unbounded("LP relaxation unbounded");
-    return sol;
+    return finish();
   }
 
   sol.status = Status::Ok();
@@ -724,7 +747,7 @@ LpSolution SolveLp(const Model& model, const std::vector<double>* var_lower,
   sol.objective = model.ObjectiveValue(sol.x);
   sol.basis = simplex.ExportBasis();
   if (want_duals) simplex.ExportDuals(&sol.duals, &sol.reduced_costs);
-  return sol;
+  return finish();
 }
 
 }  // namespace cophy::lp

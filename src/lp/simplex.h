@@ -3,11 +3,15 @@
 // `lo <= x <= hi` are handled implicitly through nonbasic-at-lower /
 // nonbasic-at-upper states (no synthetic bound rows), pricing walks the
 // model's CSC column views, and the reduced-cost row is maintained
-// incrementally across pivots. Phase 1 is artificial-free: it restores
-// primal feasibility of an arbitrary starting basis by minimizing the
-// total bound violation of the basic variables, which is also what
-// makes warm starts from a parent basis cheap. Dantzig pricing with a
-// Bland fallback guards against cycling.
+// incrementally across pivots. The basis is held as a sparse LU
+// factorization (lp/lu_factor.h: Markowitz-ordered, threshold-pivoted,
+// product-form eta updates per pivot, refactorized periodically and on
+// drift), so FTRAN/BTRAN cost O(factor nnz) instead of O(rows^2).
+// Phase 1 is artificial-free: it restores primal feasibility of an
+// arbitrary starting basis by minimizing the total bound violation of
+// the basic variables, which is also what makes warm starts from a
+// parent basis cheap. Dantzig pricing with a Bland fallback guards
+// against cycling.
 //
 // The old dense tableau implementation survives as SolveLpDense in
 // lp/dense_simplex.h (differential-test oracle and benchmark baseline).
@@ -45,6 +49,12 @@ struct LpSolveStats {
   int64_t phase2_pivots = 0;   ///< optimality pivots
   int64_t bound_flips = 0;     ///< nonbasic lower<->upper moves (no pivot)
   bool warm_started = false;   ///< an imported basis was accepted
+  // Basis-factorization accounting (the sparse LU behind FTRAN/BTRAN).
+  int64_t refactorizations = 0;  ///< fresh LU factorizations (incl. imports)
+  int64_t eta_nnz = 0;           ///< product-form eta nonzeros appended
+  int64_t lu_fill_nnz = 0;       ///< L+U fill-in at the last factorization
+  double max_drift = 0.0;        ///< worst basic-value drift caught at a refresh
+  double ftran_btran_seconds = 0.0;  ///< wall time inside FTRAN/BTRAN solves
 };
 
 /// Result of an LP solve.
@@ -73,7 +83,9 @@ struct SolverCounters {
   int64_t bound_flips = 0;
   int64_t warm_starts = 0;     ///< solves that accepted an imported basis
   int64_t cold_starts = 0;     ///< solves from the slack basis
-  int64_t factorizations = 0;  ///< basis matrix inversions (warm imports)
+  int64_t factorizations = 0;  ///< fresh sparse-LU basis factorizations
+  int64_t eta_nnz = 0;         ///< product-form eta nonzeros appended
+  double ftran_btran_seconds = 0.0;  ///< wall time inside FTRAN/BTRAN
 };
 SolverCounters& GlobalSolverCounters();
 void ResetSolverCounters();

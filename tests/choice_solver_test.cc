@@ -264,6 +264,54 @@ TEST(ChoiceSolverTest, RootLpAndFixingKnobsPreserveOptimum) {
   }
 }
 
+TEST(ChoiceSolverTest, RootLpBeyondOldFourThousandRowCapSolves) {
+  // Before the sparse-LU basis factorization, root_lp_max_rows
+  // defaulted to 4000 because the explicit-inverse simplex was
+  // O(rows^2) in time and memory; BuildRootLp refused anything larger
+  // and those solves fell back to the weaker Lagrangian-only bound.
+  // This instance's compact root LP is > 4000 rows and must now build
+  // and solve exactly under the raised default cap.
+  constexpr int kIndexes = 60;
+  constexpr int kQueries = 900;
+  Rng rng(31);
+  ChoiceProblem p;
+  p.num_indexes = kIndexes;
+  p.fixed_cost.assign(kIndexes, 1.0);
+  p.size.assign(kIndexes, 1.0);
+  p.storage_budget = kIndexes;  // generous: every index fits
+  for (int q = 0; q < kQueries; ++q) {
+    ChoiceQuery cq;
+    ChoicePlan plan;
+    plan.beta = 1.0;
+    ChoiceSlot slot;
+    int a = static_cast<int>(rng.Uniform(kIndexes));
+    for (int k = 0; k < 3; ++k) {  // 3 distinct indexes, then the base
+      slot.options.push_back({(a + k) % kIndexes,
+                              2.0 + static_cast<double>(rng.Uniform(5)) + k});
+    }
+    slot.options.push_back({kBaseOption, 10.0});
+    plan.slots.push_back(std::move(slot));
+    cq.plans.push_back(std::move(plan));
+    p.queries.push_back(std::move(cq));
+  }
+
+  ChoiceSolver solver(&p);
+  Model refused;
+  EXPECT_EQ(solver.DebugBuildRootLp(&refused, 4000), -1);  // the old cap
+
+  ChoiceSolveOptions opts;  // default root_lp_max_rows admits it
+  opts.gap_target = 0.05;
+  opts.node_limit = 50;
+  opts.lagrangian_iterations = 20;
+  const ChoiceSolution s = solver.Solve(opts);
+  ASSERT_TRUE(s.status.ok()) << s.status.ToString();
+  EXPECT_GT(s.root_lp_rows, 4000);
+  ASSERT_TRUE(std::isfinite(s.root_lp_bound));
+  EXPECT_LE(s.root_lp_bound, s.objective + 1e-6 * std::abs(s.objective));
+  EXPECT_GE(s.root_lp_stats.refactorizations, 1);
+  EXPECT_GT(s.root_lp_stats.phase1_pivots + s.root_lp_stats.phase2_pivots, 0);
+}
+
 TEST(ChoiceSolverTest, RootLpRowCapSkipsTheLp) {
   ChoiceProblem p = RandomProblem(9, 8, 6, true, false);
   ChoiceSolver solver(&p);

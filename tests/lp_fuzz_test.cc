@@ -1,0 +1,264 @@
+// Differential fuzz harness for the sparse-LU revised simplex
+// (lp::SolveLp) against the retained dense tableau oracle
+// (lp::SolveLpDense). Each seed generates a random bounded LP — mixed
+// <=/>=/= rows, fixed / boxed / upper-unbounded / truly-free variables,
+// plus injected degenerate and rank-deficient structure (duplicated,
+// scaled, and summed rows) — and asserts:
+//
+//   1. status agreement (Ok / Infeasible / Unbounded);
+//   2. objectives within 1e-6 (relative) when both solve;
+//   3. primal feasibility of both solutions against the original model;
+//   4. the dual identity d = c - y'A between the revised solver's
+//      exported row duals and reduced costs, on every solved instance;
+//   5. re-importing the revised solver's own basis warm-starts to the
+//      same optimum with zero pivots.
+//
+// The oracle cannot shift truly-free variables (it rewrites x = lo + x'
+// with finite lo), so the harness hands it the classic x = x+ - x-
+// split — an equivalent LP with the same optimal value and the same
+// feasibility/boundedness verdicts.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/random.h"
+#include "lp/dense_simplex.h"
+#include "lp/model.h"
+#include "lp/simplex.h"
+
+namespace cophy::lp {
+namespace {
+
+constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+/// Feasibility of a point w.r.t. the model's rows and bounds (LP
+/// relaxation: integrality ignored).
+bool LpFeasible(const Model& m, const std::vector<double>& x,
+                double eps = 1e-6) {
+  if (static_cast<int>(x.size()) != m.num_variables()) return false;
+  for (int i = 0; i < m.num_variables(); ++i) {
+    if (x[i] < m.variable(i).lower - eps || x[i] > m.variable(i).upper + eps) {
+      return false;
+    }
+  }
+  for (int r = 0; r < m.num_rows(); ++r) {
+    const RowView rv = m.row(r);
+    double lhs = 0;
+    for (int k = 0; k < rv.nnz; ++k) lhs += rv.vals[k] * x[rv.cols[k]];
+    switch (rv.sense) {
+      case Sense::kLe:
+        if (lhs > rv.rhs + eps) return false;
+        break;
+      case Sense::kGe:
+        if (lhs < rv.rhs - eps) return false;
+        break;
+      case Sense::kEq:
+        if (std::abs(lhs - rv.rhs) > eps) return false;
+        break;
+    }
+  }
+  return true;
+}
+
+/// One random bounded LP. Integer-valued data keeps infeasibility /
+/// optimality margins away from the solvers' tolerances, so the status
+/// verdicts are well defined.
+Model RandomLp(Rng& rng) {
+  Model m;
+  const int n = 2 + static_cast<int>(rng.Uniform(11));
+  for (int i = 0; i < n; ++i) {
+    const double c = static_cast<double>(rng.UniformInRange(-6, 6));
+    const double roll = rng.NextDouble();
+    if (roll < 0.15) {
+      // Fixed variable (lo == hi), degenerate by construction.
+      const double v = static_cast<double>(rng.UniformInRange(-3, 3));
+      m.AddVariable(v, v, c, false);
+    } else if (roll < 0.28) {
+      // Truly free: no finite bound on either side.
+      m.AddVariable(-kInfinity, kInfinity, c, false);
+    } else if (roll < 0.45) {
+      // Lower-bounded only (possibly negative lower bound).
+      m.AddVariable(static_cast<double>(rng.UniformInRange(-4, 2)), kInfinity,
+                    c, false);
+    } else {
+      const double lo = static_cast<double>(rng.UniformInRange(-4, 0));
+      m.AddVariable(lo, lo + 1.0 + static_cast<double>(rng.Uniform(6)), c,
+                    false);
+    }
+  }
+  const int rows = 1 + static_cast<int>(rng.Uniform(7));
+  for (int r = 0; r < rows; ++r) {
+    Row row;
+    for (int i = 0; i < n; ++i) {
+      if (!rng.Bernoulli(0.5)) continue;
+      double coef = static_cast<double>(rng.UniformInRange(-3, 3));
+      if (coef == 0) coef = 1;
+      row.terms.push_back({i, coef});
+    }
+    if (row.terms.empty()) continue;
+    const uint64_t pick = rng.Uniform(10);
+    row.sense = pick < 6 ? Sense::kLe : (pick < 9 ? Sense::kGe : Sense::kEq);
+    row.rhs = static_cast<double>(rng.UniformInRange(-4, 11));
+    m.AddRow(std::move(row));
+  }
+  // Degenerate / rank-deficient injections: the basis matrix sees
+  // exactly dependent rows, tied ratio tests, and redundant planes.
+  const int base_rows = m.num_rows();
+  if (base_rows > 0 && rng.Bernoulli(0.5)) {
+    // Exact duplicate (dependent rows; consistent by construction).
+    const RowView rv = m.row(static_cast<int>(rng.Uniform(base_rows)));
+    Row dup;
+    for (int k = 0; k < rv.nnz; ++k) dup.terms.push_back({rv.cols[k], rv.vals[k]});
+    dup.sense = rv.sense;
+    dup.rhs = rv.rhs;
+    m.AddRow(std::move(dup));
+  }
+  if (base_rows > 0 && rng.Bernoulli(0.4)) {
+    // Scaled copy: same hyperplane, different row scaling.
+    const RowView rv = m.row(static_cast<int>(rng.Uniform(base_rows)));
+    const double s = 2.0 + static_cast<double>(rng.Uniform(3));
+    Row scaled;
+    for (int k = 0; k < rv.nnz; ++k) {
+      scaled.terms.push_back({rv.cols[k], s * rv.vals[k]});
+    }
+    scaled.sense = rv.sense;
+    scaled.rhs = s * rv.rhs;
+    m.AddRow(std::move(scaled));
+  }
+  if (base_rows > 1 && rng.Bernoulli(0.4)) {
+    // Sum of two rows under the first row's sense: a linearly dependent
+    // (and, when the senses agree, implied) constraint.
+    const int a = static_cast<int>(rng.Uniform(base_rows));
+    const int b = static_cast<int>(rng.Uniform(base_rows));
+    const RowView ra = m.row(a);
+    const RowView rb = m.row(b);
+    std::vector<double> dense(n, 0.0);
+    for (int k = 0; k < ra.nnz; ++k) dense[ra.cols[k]] += ra.vals[k];
+    for (int k = 0; k < rb.nnz; ++k) dense[rb.cols[k]] += rb.vals[k];
+    Row sum;
+    for (int i = 0; i < n; ++i) {
+      if (dense[i] != 0.0) sum.terms.push_back({i, dense[i]});
+    }
+    if (!sum.terms.empty()) {
+      sum.sense = ra.sense;
+      sum.rhs = ra.rhs + rb.rhs;
+      m.AddRow(std::move(sum));
+    }
+  }
+  return m;
+}
+
+/// The oracle-safe twin: every truly-free variable x is replaced by
+/// x+ - x- with x+, x- in [0, inf). Same optimal value, same status.
+/// `split_of[j]` receives the x- column for free j (-1 otherwise).
+Model SplitFreeVariables(const Model& m, std::vector<int>* split_of) {
+  Model t;
+  const int n = m.num_variables();
+  split_of->assign(n, -1);
+  for (int j = 0; j < n; ++j) {
+    const Variable& v = m.variable(j);
+    t.AddVariable(v.lower, v.upper, v.objective, false);
+  }
+  for (int j = 0; j < n; ++j) {
+    const Variable& v = m.variable(j);
+    if (std::isinf(v.lower) && std::isinf(v.upper)) {
+      t.variable(j).lower = 0.0;  // j becomes x+
+      (*split_of)[j] = t.AddVariable(0.0, kInfinity, -v.objective, false);
+    }
+  }
+  for (int r = 0; r < m.num_rows(); ++r) {
+    const RowView rv = m.row(r);
+    Row row;
+    row.sense = rv.sense;
+    row.rhs = rv.rhs;
+    for (int k = 0; k < rv.nnz; ++k) {
+      row.terms.push_back({rv.cols[k], rv.vals[k]});
+      const int neg = (*split_of)[rv.cols[k]];
+      if (neg >= 0) row.terms.push_back({neg, -rv.vals[k]});
+    }
+    t.AddRow(std::move(row));
+  }
+  return t;
+}
+
+class LpFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LpFuzzTest, RevisedMatchesDenseOracle) {
+  Rng rng(90000 + GetParam());
+  const Model m = RandomLp(rng);
+  std::vector<int> split_of;
+  const Model oracle_model = SplitFreeVariables(m, &split_of);
+
+  const LpSolution revised = SolveLp(m);
+  const LpSolution dense = SolveLpDense(oracle_model);
+
+  // 1. Status agreement. Neither solver may hit its iteration limit on
+  // instances this small, so the verdict set is {Ok, Infeasible,
+  // Unbounded} and must match exactly.
+  ASSERT_NE(revised.status.code(), StatusCode::kInternal)
+      << revised.status.ToString();
+  ASSERT_NE(dense.status.code(), StatusCode::kInternal)
+      << dense.status.ToString();
+  EXPECT_EQ(revised.status.code(), dense.status.code())
+      << "revised=" << revised.status.ToString()
+      << " dense=" << dense.status.ToString();
+
+  if (revised.status.ok()) {
+    // 3. Primal feasibility of the revised solution.
+    EXPECT_TRUE(LpFeasible(m, revised.x)) << "revised solution infeasible";
+
+    // 4. Dual identity d = c - y'A against the model's own rows, on
+    // every solved instance (catches any row-scaling or permutation
+    // leak through the LU factors).
+    ASSERT_EQ(revised.duals.size(), static_cast<size_t>(m.num_rows()));
+    ASSERT_EQ(revised.reduced_costs.size(),
+              static_cast<size_t>(m.num_variables()));
+    std::vector<double> d(m.num_variables());
+    for (int j = 0; j < m.num_variables(); ++j) {
+      d[j] = m.variable(j).objective;
+    }
+    for (int r = 0; r < m.num_rows(); ++r) {
+      const RowView rv = m.row(r);
+      for (int k = 0; k < rv.nnz; ++k) {
+        d[rv.cols[k]] -= revised.duals[r] * rv.vals[k];
+      }
+    }
+    for (int j = 0; j < m.num_variables(); ++j) {
+      EXPECT_NEAR(d[j], revised.reduced_costs[j], 1e-6 + 1e-7 * std::abs(d[j]))
+          << "var " << j;
+    }
+
+    // 5. The exported basis warm-starts a re-solve to the same optimum
+    // with zero pivots (the LU import path).
+    const LpSolution again = SolveLp(m, nullptr, nullptr, &revised.basis);
+    ASSERT_TRUE(again.status.ok());
+    EXPECT_TRUE(again.stats.warm_started);
+    EXPECT_EQ(again.stats.phase1_pivots, 0);
+    EXPECT_EQ(again.stats.phase2_pivots, 0);
+    EXPECT_NEAR(again.objective, revised.objective,
+                1e-9 + 1e-9 * std::abs(revised.objective));
+  }
+
+  if (dense.status.ok()) {
+    // 3'. The oracle's solution, mapped back through the free-variable
+    // split, must be feasible for the original model.
+    std::vector<double> x(m.num_variables());
+    for (int j = 0; j < m.num_variables(); ++j) {
+      x[j] = dense.x[j];
+      if (split_of[j] >= 0) x[j] -= dense.x[split_of[j]];
+    }
+    EXPECT_TRUE(LpFeasible(m, x)) << "dense oracle solution infeasible";
+
+    if (revised.status.ok()) {
+      // 2. Objective agreement within 1e-6.
+      EXPECT_NEAR(revised.objective, dense.objective,
+                  1e-6 + 1e-6 * std::abs(dense.objective));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LpFuzzTest, ::testing::Range(0, 64));
+
+}  // namespace
+}  // namespace cophy::lp

@@ -132,22 +132,31 @@ TEST_F(ReportTest, BenefitAttributionSumsToTotalGain) {
 TEST_F(ReportTest, SolverActivityRendersPresolveAndRootBounds) {
   SolverActivity activity;
   activity.lp = lp::SolverCounters{};
+  activity.lp.lp_solves = 1;  // the factorization line renders per run
+  activity.lp.factorizations = rec_.root_lp_stats.refactorizations;
+  activity.lp.eta_nnz = rec_.root_lp_stats.eta_nnz;
   activity.bound_evaluations = rec_.bound_evaluations;
   activity.presolve = rec_.presolve;
   activity.root_lp_bound = rec_.root_lp_bound;
   activity.root_lagrangian_bound = rec_.root_lagrangian_bound;
   activity.variables_fixed = rec_.variables_fixed;
+  activity.root_lp_stats = rec_.root_lp_stats;
   const std::string text = RenderSolverActivity(activity);
   // The tuning run presolved a real BIP and produced root bounds; both
-  // must appear side by side in the rendering.
+  // must appear side by side in the rendering, along with the LU
+  // basis-factorization accounting the tuning solve recorded.
   EXPECT_NE(text.find("Presolve: plans"), std::string::npos) << text;
   EXPECT_NE(text.find("Root bounds:"), std::string::npos) << text;
   EXPECT_NE(text.find("Lagrangian"), std::string::npos) << text;
   EXPECT_NE(text.find("fixed by reduced costs"), std::string::npos) << text;
+  EXPECT_NE(text.find("Basis factorization:"), std::string::npos) << text;
+  EXPECT_GE(rec_.root_lp_stats.refactorizations, 1);  // the root LP ran
+  EXPECT_NE(text.find("refactorizations"), std::string::npos) << text;
   // And an empty activity renders none of it.
   const std::string empty = RenderSolverActivity(SolverActivity{});
   EXPECT_EQ(empty.find("Presolve"), std::string::npos);
   EXPECT_EQ(empty.find("Root bounds"), std::string::npos);
+  EXPECT_EQ(empty.find("Basis factorization"), std::string::npos);
 }
 
 TEST_F(ReportTest, RenderedReportMentionsKeyFacts) {

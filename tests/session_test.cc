@@ -534,5 +534,53 @@ TEST(ResolveStateTest, WeightPerturbedResolveMatchesColdOptimum) {
   EXPECT_FALSE(after.reused_state);
 }
 
+TEST(ResolveStateTest, RootLpBasisWarmStartsAcrossBudgetRetune) {
+  // Regression pin for the sparse-LU rewrite of the simplex: the
+  // LpBasis shape exported by earlier solves (one VarStatus per
+  // variable and per row slack) must keep warm-starting the root LP
+  // through ChoiceResolveState. A budget-only retune keeps the
+  // structure digest (state reused) but re-runs the root LP, so the
+  // solver must accept the previous solve's basis — warm_started true
+  // — and land on the same optimum a cold solve finds.
+  const Workload w = MakeWorkload(15);
+  Env e;
+  CoPhy advisor(e.sim.get(), &e.pool, w, TestOptions());
+  ASSERT_TRUE(advisor.Prepare().ok());
+  ConstraintSet cs;
+  cs.SetStorageBudget(0.5 * e.cat.TotalDataBytes());
+  const ConstraintSet local = advisor.prepared().TranslateConstraints(cs);
+  lp::ChoiceProblem p =
+      BuildChoiceProblem(advisor.prepared().inum(), advisor.candidates(), local);
+
+  lp::ChoiceSolveOptions so;
+  so.gap_target = 0.0;
+  so.node_limit = 200000;
+  lp::ChoiceResolveState state;
+  so.resolve = &state;
+  const lp::ChoiceSolution first = lp::SolveChoiceProblem(p, so);
+  ASSERT_TRUE(first.status.ok());
+  ASSERT_GT(first.root_lp_rows, 0);
+  EXPECT_FALSE(first.root_lp_stats.warm_started);  // nothing to import yet
+  ASSERT_FALSE(state.root_basis.empty());
+
+  lp::ChoiceProblem tightened = p;
+  tightened.storage_budget *= 0.6;
+  const lp::ChoiceSolution warm = lp::SolveChoiceProblem(tightened, so);
+  ASSERT_TRUE(warm.status.ok());
+  EXPECT_TRUE(warm.reused_state);
+  ASSERT_GT(warm.root_lp_rows, 0);  // budget change re-runs the root LP
+  EXPECT_TRUE(warm.root_lp_stats.warm_started);
+
+  lp::ChoiceSolveOptions cold_opts;
+  cold_opts.gap_target = 0.0;
+  cold_opts.node_limit = 200000;
+  const lp::ChoiceSolution cold = lp::SolveChoiceProblem(tightened, cold_opts);
+  ASSERT_TRUE(cold.status.ok());
+  EXPECT_FALSE(cold.root_lp_stats.warm_started);
+  EXPECT_NEAR(warm.objective, cold.objective,
+              1e-9 * std::max(1.0, std::abs(cold.objective)));
+  EXPECT_EQ(warm.selected, cold.selected);  // identical incumbent
+}
+
 }  // namespace
 }  // namespace cophy

@@ -1,12 +1,14 @@
-// Unit tests for lp/: the CSR/CSC Model container and the sparse
-// bounded-variable revised simplex, differentially validated against
-// the retained dense tableau oracle (lp/dense_simplex.h).
+// Unit tests for lp/: the CSR/CSC Model container, the sparse LU basis
+// factorization (lp/lu_factor.h), and the sparse bounded-variable
+// revised simplex, differentially validated against the retained dense
+// tableau oracle (lp/dense_simplex.h).
 #include <gtest/gtest.h>
 
 #include <cmath>
 
 #include "common/random.h"
 #include "lp/dense_simplex.h"
+#include "lp/lu_factor.h"
 #include "lp/model.h"
 #include "lp/simplex.h"
 
@@ -385,6 +387,162 @@ TEST(SimplexTest, UnusableBasisFallsBackToColdStart) {
   ASSERT_TRUE(s.status.ok());
   EXPECT_FALSE(s.stats.warm_started);
   EXPECT_NEAR(s.x[x], 2.0, 1e-7);
+}
+
+// --- Sparse LU basis factorization ---------------------------------------
+
+/// Builds the CSC arrays of a dense column-major matrix (zeros skipped).
+struct CscMatrix {
+  std::vector<int32_t> start{0};
+  std::vector<int32_t> rows;
+  std::vector<double> vals;
+};
+CscMatrix ToCsc(const std::vector<std::vector<double>>& cols) {
+  CscMatrix csc;
+  for (const auto& col : cols) {
+    for (size_t r = 0; r < col.size(); ++r) {
+      if (col[r] != 0.0) {
+        csc.rows.push_back(static_cast<int32_t>(r));
+        csc.vals.push_back(col[r]);
+      }
+    }
+    csc.start.push_back(static_cast<int32_t>(csc.rows.size()));
+  }
+  return csc;
+}
+
+/// y = B x for a dense column-major B with x indexed by column.
+std::vector<double> MatVec(const std::vector<std::vector<double>>& cols,
+                           const std::vector<double>& x) {
+  std::vector<double> y(cols[0].size(), 0.0);
+  for (size_t c = 0; c < cols.size(); ++c) {
+    for (size_t r = 0; r < y.size(); ++r) y[r] += cols[c][r] * x[c];
+  }
+  return y;
+}
+
+TEST(LuFactorTest, FtranBtranRoundTripOnKnownBasis) {
+  // B given by columns; non-trivial pivoting (no diagonal dominance).
+  const std::vector<std::vector<double>> b_cols = {
+      {2, 1, 0}, {0, 3, 1}, {1, 0, 1}};
+  const CscMatrix csc = ToCsc(b_cols);
+  LuFactor lu;
+  ASSERT_TRUE(lu.Factorize(3, csc.start, csc.rows, csc.vals));
+  EXPECT_GT(lu.factor_nnz(), 0);
+
+  // FTRAN: solve B w = rhs, then check B w reproduces rhs.
+  const std::vector<double> rhs = {5, 4, 3};
+  std::vector<double> w = rhs;
+  lu.Ftran(w);
+  const std::vector<double> bw = MatVec(b_cols, w);
+  for (int r = 0; r < 3; ++r) EXPECT_NEAR(bw[r], rhs[r], 1e-12);
+
+  // BTRAN: solve y' B = c', then check y' B reproduces c.
+  const std::vector<double> c = {1, -2, 3};
+  std::vector<double> y = c;
+  lu.Btran(y);
+  for (int j = 0; j < 3; ++j) {
+    double acc = 0;
+    for (int r = 0; r < 3; ++r) acc += y[r] * b_cols[j][r];
+    EXPECT_NEAR(acc, c[j], 1e-12) << "col " << j;
+  }
+}
+
+TEST(LuFactorTest, SingularBasisRejected) {
+  // Column 2 = column 0: structurally rank deficient.
+  const CscMatrix csc = ToCsc({{1, 2}, {1, 2}});
+  LuFactor lu;
+  EXPECT_FALSE(lu.Factorize(2, csc.start, csc.rows, csc.vals));
+}
+
+TEST(LuFactorTest, EtaUpdateMatchesFreshRefactorizationAfterKPivots) {
+  // Start from B0 and replace K columns one at a time through the
+  // product-form eta file; after every update, FTRAN/BTRAN through
+  // (factors + etas) must match a fresh factorization of the current B.
+  std::vector<std::vector<double>> b_cols = {
+      {4, 1, 0, 0}, {0, 3, 1, 0}, {1, 0, 2, 1}, {0, 0, 0, 5}};
+  const std::vector<std::pair<int, std::vector<double>>> replacements = {
+      {1, {1, 1, 4, 0}}, {3, {0, 2, 0, 3}}, {0, {2, 0, 0, 1}}};
+  CscMatrix csc = ToCsc(b_cols);
+  LuFactor lu;
+  ASSERT_TRUE(lu.Factorize(4, csc.start, csc.rows, csc.vals));
+
+  const std::vector<double> rhs = {1, 2, -1, 3};
+  const std::vector<double> c = {-1, 4, 0, 2};
+  for (const auto& [pos, col] : replacements) {
+    // w = B^{-1} a_new drives both the eta and the column swap.
+    std::vector<double> w(col);
+    lu.Ftran(w);
+    ASSERT_TRUE(lu.Update(w, pos));
+    b_cols[pos] = col;
+
+    LuFactor fresh;
+    csc = ToCsc(b_cols);
+    ASSERT_TRUE(fresh.Factorize(4, csc.start, csc.rows, csc.vals));
+
+    std::vector<double> via_eta = rhs, via_fresh = rhs;
+    lu.Ftran(via_eta);
+    fresh.Ftran(via_fresh);
+    for (int i = 0; i < 4; ++i) {
+      EXPECT_NEAR(via_eta[i], via_fresh[i], 1e-10) << "ftran pos " << i;
+    }
+    via_eta = c;
+    via_fresh = c;
+    lu.Btran(via_eta);
+    fresh.Btran(via_fresh);
+    for (int i = 0; i < 4; ++i) {
+      EXPECT_NEAR(via_eta[i], via_fresh[i], 1e-10) << "btran pos " << i;
+    }
+  }
+  EXPECT_EQ(lu.eta_count(), 3);
+  EXPECT_GT(lu.eta_nnz(), 0);
+}
+
+TEST(LuFactorTest, DriftTriggeredRefactorization) {
+  // An eta whose pivot is tiny relative to the incoming column's
+  // largest entry breaks the threshold-pivoting stability guarantee:
+  // the factorization must flag itself for refactorization.
+  const CscMatrix csc = ToCsc({{1, 0, 0}, {0, 1, 0}, {0, 0, 1}});
+  LuFactor lu;
+  ASSERT_TRUE(lu.Factorize(3, csc.start, csc.rows, csc.vals));
+  EXPECT_FALSE(lu.NeedsRefactorization());
+
+  std::vector<double> stable = {0.5, 2.0, 0.25};
+  ASSERT_TRUE(lu.Update(stable, 1));
+  EXPECT_FALSE(lu.NeedsRefactorization());
+  EXPECT_NEAR(lu.last_pivot_stability(), 1.0, 1e-12);
+
+  std::vector<double> drifty = {1e6, 1e-5, 0.0};
+  ASSERT_TRUE(lu.Update(drifty, 1));
+  EXPECT_LT(lu.last_pivot_stability(), 1e-3);
+  EXPECT_TRUE(lu.NeedsRefactorization());
+
+  // A fresh factorization clears the flag and the eta file.
+  ASSERT_TRUE(lu.Factorize(3, csc.start, csc.rows, csc.vals));
+  EXPECT_FALSE(lu.NeedsRefactorization());
+  EXPECT_EQ(lu.eta_count(), 0);
+}
+
+TEST(SimplexTest, LongSolveRefactorizesAndReportsFactorStats) {
+  // A chain of coupled rows forces well over kRefactorInterval (96)
+  // pivots, so the solve must refactorize at least once beyond the
+  // initial basis factorization and report the LU accounting.
+  Model m;
+  const int n = 140;
+  std::vector<VarId> v(n);
+  for (int i = 0; i < n; ++i) {
+    v[i] = m.AddVariable(0, 1, -1.0 - 0.001 * (i % 7), false);
+  }
+  for (int i = 0; i + 1 < n; ++i) {
+    m.AddRow({{{v[i], 1.0}, {v[i + 1], 1.0}}, Sense::kLe, 1.0, ""});
+  }
+  const LpSolution s = SolveLp(m);
+  ASSERT_TRUE(s.status.ok());
+  EXPECT_GT(s.stats.phase2_pivots + s.stats.bound_flips, 96);
+  EXPECT_GE(s.stats.refactorizations, 2);  // cold factorize + interval
+  EXPECT_GT(s.stats.eta_nnz, 0);
+  EXPECT_GE(s.stats.ftran_btran_seconds, 0.0);
+  EXPECT_LT(s.stats.max_drift, 1e-6);  // healthy factors drift ~0
 }
 
 // --- Differential sweep against the dense tableau oracle ----------------
