@@ -132,7 +132,7 @@ int main(int argc, char** argv) {
     const double inum_s = w1.Elapsed();
     Stopwatch w2;
     for (int i = 0; i < 1000; ++i) {
-      sink += e.system->Cost(e.workload[i % e.workload.size()], x);
+      sink += e.system->Cost(e.workload[i % e.workload.size()], x).value();
     }
     const double whatif_s = w2.Elapsed();
     Row({{"inum_s", Fmt("%.3f", inum_s)},

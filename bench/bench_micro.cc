@@ -8,6 +8,7 @@
 
 #include <cmath>
 
+#include "optimizer/simulator.h"
 #include "bench/bench_util.h"
 #include "catalog/catalog.h"
 #include "core/bipgen.h"
@@ -51,7 +52,7 @@ void BM_WhatIfOptimization(benchmark::State& state) {
   const Configuration x(e.cands);
   int i = 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(e.sim.Cost(e.w[i++ % e.w.size()], x));
+    benchmark::DoNotOptimize(e.sim.Cost(e.w[i++ % e.w.size()], x).value());
   }
 }
 BENCHMARK(BM_WhatIfOptimization);

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "optimizer/simulator.h"
 #include "baselines/advisor.h"
 #include "baselines/cophy_advisor.h"
 #include "baselines/greedy_advisor.h"

@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "optimizer/simulator.h"
 #include "baselines/advisor.h"
 #include "catalog/catalog.h"
 #include "core/cophy.h"

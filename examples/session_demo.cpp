@@ -11,6 +11,7 @@
 #include <cstdlib>
 #include <vector>
 
+#include "optimizer/simulator.h"
 #include "catalog/catalog.h"
 #include "common/stopwatch.h"
 #include "core/report.h"

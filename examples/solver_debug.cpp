@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "optimizer/simulator.h"
 #include "catalog/catalog.h"
 #include "core/bipgen.h"
 #include "core/cophy.h"

@@ -35,6 +35,12 @@ struct AdvisorResult {
   /// INUM-based advisors) threading/sharing. All four techniques now
   /// run their compression through the shared compressor.
   PrepareStats prepare;
+  /// Degraded-mode accounting (see Recommendation): the fraction of
+  /// live statement weight the recommendation covers, and whether any
+  /// part of it rests on quarantined shards or last-known-cache what-if
+  /// answers.
+  double coverage = 1.0;
+  bool degraded = false;
   double TotalSeconds() const { return timings.Total(); }
 };
 

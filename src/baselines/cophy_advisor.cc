@@ -4,7 +4,7 @@ namespace cophy {
 
 AdvisorResult CoPhyAdvisor::Recommend(const ConstraintSet& constraints) {
   AdvisorResult result;
-  const int64_t calls_before = sim_->num_whatif_calls();
+  const int64_t calls_before = whatif_->num_whatif_calls();
   const lp::SolverCounters lp_before = lp::GlobalSolverCounters();
   Recommendation rec;
   if (options_.prepare.compression.mode == CompressionMode::kLossy) {
@@ -12,10 +12,11 @@ AdvisorResult CoPhyAdvisor::Recommend(const ConstraintSet& constraints) {
     // makes sharding exact); run the classic one-shot path instead.
     // The prepared state is still reused across Recommend calls.
     if (lossy_advisor_ == nullptr) {
-      lossy_advisor_ = std::make_unique<CoPhy>(sim_, pool_, workload_,
+      lossy_advisor_ = std::make_unique<CoPhy>(whatif_, pool_, workload_,
                                                options_);
       result.status = lossy_advisor_->Prepare();
       if (!result.status.ok()) {
+        result.timed_out = result.status.code() == StatusCode::kTimeout;
         lossy_advisor_.reset();
         return result;
       }
@@ -26,7 +27,7 @@ AdvisorResult CoPhyAdvisor::Recommend(const ConstraintSet& constraints) {
       SessionOptions so;
       so.tuning = options_;
       so.num_shards = num_shards_;
-      session_ = std::make_unique<AdvisorSession>(sim_, pool_, so);
+      session_ = std::make_unique<AdvisorSession>(whatif_, pool_, so);
       session_->AddWorkload(workload_);
     }
     // Tune (not Retune): every Recommend solves with the full cold
@@ -37,12 +38,15 @@ AdvisorResult CoPhyAdvisor::Recommend(const ConstraintSet& constraints) {
     rec = session_->Tune(constraints);
   }
   result.status = rec.status;
+  result.timed_out = rec.status.code() == StatusCode::kTimeout;
   result.configuration = rec.configuration;
   result.timings = rec.timings;
   result.candidates_considered = rec.num_candidates;
   result.prepare = rec.prepare;
   result.presolve = rec.presolve;
-  result.whatif_calls = sim_->num_whatif_calls() - calls_before;
+  result.coverage = rec.coverage;
+  result.degraded = rec.degraded;
+  result.whatif_calls = whatif_->num_whatif_calls() - calls_before;
   result.solver_nodes = rec.nodes;
   result.solver_bound_evaluations = rec.bound_evaluations;
   result.lp_work = lp::SolverCountersSince(lp_before);

@@ -20,9 +20,9 @@ class CoPhyAdvisor : public Advisor {
   /// `num_shards` feeds the underlying session; the recommendation is
   /// shard-count invariant, so benchmarks use it purely as a
   /// preparation-parallelism knob.
-  CoPhyAdvisor(SystemSimulator* sim, IndexPool* pool, Workload workload,
+  CoPhyAdvisor(WhatIfOptimizer* whatif, IndexPool* pool, Workload workload,
                CoPhyOptions options = {}, int num_shards = 1)
-      : sim_(sim), pool_(pool), workload_(std::move(workload)),
+      : whatif_(whatif), pool_(pool), workload_(std::move(workload)),
         options_(std::move(options)), num_shards_(num_shards) {}
 
   std::string name() const override { return "cophy"; }
@@ -35,7 +35,7 @@ class CoPhyAdvisor : public Advisor {
   AdvisorSession* session() { return session_.get(); }
 
  private:
-  SystemSimulator* sim_;
+  WhatIfOptimizer* whatif_;
   IndexPool* pool_;
   Workload workload_;
   CoPhyOptions options_;

@@ -10,21 +10,43 @@
 
 namespace cophy {
 
-GreedyAdvisor::GreedyAdvisor(SystemSimulator* sim, IndexPool* pool,
+GreedyAdvisor::GreedyAdvisor(WhatIfOptimizer* whatif, IndexPool* pool,
                              Workload workload, GreedyOptions options)
-    : sim_(sim), pool_(pool), workload_(std::move(workload)),
+    : whatif_(whatif), pool_(pool), workload_(std::move(workload)),
       options_(options) {
-  COPHY_CHECK(sim != nullptr);
+  COPHY_CHECK(whatif != nullptr);
 }
 
 AdvisorResult GreedyAdvisor::Recommend(const ConstraintSet& constraints) {
   AdvisorResult result;
   Stopwatch watch;
-  const int64_t calls_before = sim_->num_whatif_calls();
-  const Catalog& cat = sim_->catalog();
+  const int64_t calls_before = whatif_->num_whatif_calls();
+  const Catalog& cat = whatif_->catalog();
   const double budget = constraints.storage_budget()
                             ? *constraints.storage_budget()
                             : lp::kInf;
+
+  // What-if pricing through the fallible boundary: the first ultimate
+  // failure poisons the run, and the advisor returns it as its status
+  // instead of crashing mid-greedy.
+  Status failure;
+  const auto cost = [&](const Query& q, const Configuration& c) -> double {
+    Result<double> r = whatif_->Cost(q, c);
+    if (!r.ok()) {
+      if (failure.ok()) failure = r.status();
+      return kInfiniteCost;
+    }
+    return *r;
+  };
+  const auto fail_out = [&]() {
+    result.configuration = Configuration();
+    result.status = failure;
+    result.timed_out = failure.code() == StatusCode::kTimeout;
+    result.timings.solve_seconds =
+        watch.Elapsed() - result.prepare.compression.seconds;
+    result.whatif_calls = whatif_->num_whatif_calls() - calls_before;
+    return result;
+  };
 
   // ---- Workload compression by random sampling -----------------------
   // Tool-B's compression is the shared compressor's lossy mode with
@@ -46,13 +68,14 @@ AdvisorResult GreedyAdvisor::Recommend(const ConstraintSet& constraints) {
   std::unordered_map<IndexId, double> benefit;
   std::unordered_map<IndexId, std::vector<QueryId>> referencing;
   for (const Query& q : sample.statements()) {
-    const double base = sim_->Cost(q, Configuration::Empty());
+    const double base = cost(q, Configuration::Empty());
     std::vector<std::pair<double, IndexId>> scored;
     for (const Index& idx : CandidatesForQuery(q, cat, CandidateOptions{})) {
       const IndexId id = pool_->Add(idx);
-      const double with = sim_->Cost(q, Configuration({id}));
+      const double with = cost(q, Configuration({id}));
       if (with < base) scored.push_back({q.weight * (base - with), id});
     }
+    if (!failure.ok()) return fail_out();
     std::sort(scored.begin(), scored.end(),
               [](const auto& a, const auto& b) { return a.first > b.first; });
     scored.resize(
@@ -78,8 +101,9 @@ AdvisorResult GreedyAdvisor::Recommend(const ConstraintSet& constraints) {
   double used = 0;
   std::vector<double> cur(sample.size(), 0);
   for (const Query& q : sample.statements()) {
-    cur[q.id] = sim_->Cost(q, Configuration::Empty());
+    cur[q.id] = cost(q, Configuration::Empty());
   }
+  if (!failure.ok()) return fail_out();
   std::vector<IndexId> pool_ids;
   for (const auto& [b, id] : ranked) pool_ids.push_back(id);
 
@@ -98,7 +122,7 @@ AdvisorResult GreedyAdvisor::Recommend(const ConstraintSet& constraints) {
       double delta = 0;
       for (QueryId qid : referencing[id]) {
         const Query& q = sample[qid];
-        delta += q.weight * (cur[qid] - sim_->Cost(q, y));
+        delta += q.weight * (cur[qid] - cost(q, y));
       }
       const double ratio = delta / std::max(1.0, sz);
       if (delta > 0 && ratio > best_ratio) {
@@ -107,19 +131,21 @@ AdvisorResult GreedyAdvisor::Recommend(const ConstraintSet& constraints) {
         best_delta = delta;
       }
     }
+    if (!failure.ok()) return fail_out();
     if (best_id != kInvalidIndex && best_delta > 0) {
       x.Insert(best_id);
       used += IndexSizeBytes((*pool_)[best_id], cat);
       for (QueryId qid : referencing[best_id]) {
-        cur[qid] = sim_->Cost(sample[qid], x);
+        cur[qid] = cost(sample[qid], x);
       }
+      if (!failure.ok()) return fail_out();
       improved = true;
     }
   }
 
   result.configuration = std::move(x);
   result.timings.solve_seconds = watch.Elapsed() - cw.stats.seconds;
-  result.whatif_calls = sim_->num_whatif_calls() - calls_before;
+  result.whatif_calls = whatif_->num_whatif_calls() - calls_before;
   result.status = Status::Ok();
   return result;
 }

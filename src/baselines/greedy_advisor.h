@@ -27,15 +27,18 @@ struct GreedyOptions {
 
 class GreedyAdvisor : public Advisor {
  public:
-  GreedyAdvisor(SystemSimulator* sim, IndexPool* pool, Workload workload,
+  GreedyAdvisor(WhatIfOptimizer* whatif, IndexPool* pool, Workload workload,
                 GreedyOptions options = {});
 
   std::string name() const override { return "tool-b"; }
 
+  /// A failed what-if call aborts the run: the error lands in
+  /// AdvisorResult::status (timed_out set for kTimeout) — never a
+  /// crash.
   AdvisorResult Recommend(const ConstraintSet& constraints) override;
 
  private:
-  SystemSimulator* sim_;
+  WhatIfOptimizer* whatif_;
   IndexPool* pool_;
   Workload workload_;
   GreedyOptions options_;

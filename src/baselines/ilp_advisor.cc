@@ -13,11 +13,11 @@
 
 namespace cophy {
 
-IlpAdvisor::IlpAdvisor(SystemSimulator* sim, IndexPool* pool, Workload workload,
-                       IlpOptions options)
-    : sim_(sim), pool_(pool), workload_(std::move(workload)),
+IlpAdvisor::IlpAdvisor(WhatIfOptimizer* whatif, IndexPool* pool,
+                       Workload workload, IlpOptions options)
+    : whatif_(whatif), pool_(pool), workload_(std::move(workload)),
       options_(options) {
-  COPHY_CHECK(sim != nullptr);
+  COPHY_CHECK(whatif != nullptr);
   COPHY_CHECK(pool != nullptr);
 }
 
@@ -33,7 +33,7 @@ ThreadPool* IlpAdvisor::PresolvePool() {
 
 AdvisorResult IlpAdvisor::Recommend(const ConstraintSet& constraints) {
   AdvisorResult result;
-  const int64_t calls_before = sim_->num_whatif_calls();
+  const int64_t calls_before = whatif_->num_whatif_calls();
   const lp::SolverCounters lp_before = lp::GlobalSolverCounters();
   configs_enumerated_ = 0;
 
@@ -49,12 +49,13 @@ AdvisorResult IlpAdvisor::Recommend(const ConstraintSet& constraints) {
   if (options_.prepare.compression.mode == CompressionMode::kLossy) {
     const Status st =
         explicit_candidates_.empty()
-            ? lossy_prep.Prepare(sim_, pool_, workload_, options_.prepare)
-            : lossy_prep.PrepareWithCandidates(sim_, pool_, workload_,
+            ? lossy_prep.Prepare(whatif_, pool_, workload_, options_.prepare)
+            : lossy_prep.PrepareWithCandidates(whatif_, pool_, workload_,
                                                options_.prepare,
                                                explicit_candidates_);
     if (!st.ok()) {
       result.status = st;
+      result.timed_out = st.code() == StatusCode::kTimeout;
       return result;
     }
     prep = &lossy_prep;
@@ -65,7 +66,7 @@ AdvisorResult IlpAdvisor::Recommend(const ConstraintSet& constraints) {
       SessionOptions so;
       so.tuning.prepare = options_.prepare;
       so.num_shards = 1;
-      session_ = std::make_unique<AdvisorSession>(sim_, pool_, so);
+      session_ = std::make_unique<AdvisorSession>(whatif_, pool_, so);
       session_->AddWorkload(workload_);
       if (!explicit_candidates_.empty()) {
         const Status st = session_->SetExplicitCandidates(explicit_candidates_);
@@ -79,6 +80,7 @@ AdvisorResult IlpAdvisor::Recommend(const ConstraintSet& constraints) {
     const Status prep_status = session_->Refresh();
     if (!prep_status.ok()) {
       result.status = prep_status;
+      result.timed_out = prep_status.code() == StatusCode::kTimeout;
       return result;
     }
     prep = &session_->shard_prepared(0);
@@ -103,11 +105,11 @@ AdvisorResult IlpAdvisor::Recommend(const ConstraintSet& constraints) {
   p.fixed_cost.assign(p.num_indexes, 0.0);
   p.size.resize(p.num_indexes);
   for (int i = 0; i < p.num_indexes; ++i) {
-    p.size[i] = IndexSizeBytes((*pool_)[candidates[i]], sim_->catalog());
+    p.size[i] = IndexSizeBytes((*pool_)[candidates[i]], whatif_->catalog());
   }
   for (QueryId uid : w.UpdateIds()) {
     const Query& uq = w[uid];
-    p.constant_cost += uq.weight * sim_->BaseUpdateCost(uq);
+    p.constant_cost += uq.weight * inum.BaseUpdateCost(uid);
     for (int i = 0; i < p.num_indexes; ++i) {
       p.fixed_cost[i] += uq.weight * inum.UpdateCost(candidates[i], uid);
     }
@@ -195,7 +197,7 @@ AdvisorResult IlpAdvisor::Recommend(const ConstraintSet& constraints) {
     p.storage_budget = *constraints.storage_budget();
   }
   p.z_rows = TranslateIndexConstraints(constraints, candidates, *pool_,
-                                       sim_->catalog());
+                                       whatif_->catalog());
   result.timings.build_seconds = build_watch.Elapsed();
 
   // --- Solve (same presolve + root-LP path as CoPhy) ------------------
@@ -207,7 +209,7 @@ AdvisorResult IlpAdvisor::Recommend(const ConstraintSet& constraints) {
   const lp::ChoiceSolution sol =
       lp::SolveChoiceProblem(p, so, &result.presolve, PresolvePool());
   result.timings.solve_seconds = solve_watch.Elapsed();
-  result.whatif_calls = sim_->num_whatif_calls() - calls_before;
+  result.whatif_calls = whatif_->num_whatif_calls() - calls_before;
   result.solver_nodes = sol.nodes;
   result.solver_bound_evaluations = sol.bound_evaluations;
   result.lp_work = lp::SolverCountersSince(lp_before);

@@ -38,7 +38,7 @@ struct IlpOptions {
 
 class IlpAdvisor : public Advisor {
  public:
-  IlpAdvisor(SystemSimulator* sim, IndexPool* pool, Workload workload,
+  IlpAdvisor(WhatIfOptimizer* whatif, IndexPool* pool, Workload workload,
              IlpOptions options = {});
 
   std::string name() const override { return "ilp"; }
@@ -60,7 +60,7 @@ class IlpAdvisor : public Advisor {
   /// inline), lazily created and reused across Recommend calls.
   ThreadPool* PresolvePool();
 
-  SystemSimulator* sim_;
+  WhatIfOptimizer* whatif_;
   IndexPool* pool_;
   Workload workload_;
   IlpOptions options_;

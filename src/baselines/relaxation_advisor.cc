@@ -10,25 +10,48 @@
 
 namespace cophy {
 
-RelaxationAdvisor::RelaxationAdvisor(SystemSimulator* sim, IndexPool* pool,
+RelaxationAdvisor::RelaxationAdvisor(WhatIfOptimizer* whatif, IndexPool* pool,
                                      Workload workload,
                                      RelaxationOptions options)
-    : sim_(sim), pool_(pool), workload_(std::move(workload)),
+    : whatif_(whatif), pool_(pool), workload_(std::move(workload)),
       options_(options) {
-  COPHY_CHECK(sim != nullptr);
+  COPHY_CHECK(whatif != nullptr);
 }
 
 AdvisorResult RelaxationAdvisor::Recommend(const ConstraintSet& constraints) {
   AdvisorResult result;
   Stopwatch watch;
-  const int64_t calls_before = sim_->num_whatif_calls();
+  const int64_t calls_before = whatif_->num_whatif_calls();
   const lp::SolverCounters lp_before = lp::GlobalSolverCounters();
   Rng rng(options_.seed);
 
   const double budget = constraints.storage_budget()
                             ? *constraints.storage_budget()
                             : lp::kInf;
-  const Catalog& cat = sim_->catalog();
+  const Catalog& cat = whatif_->catalog();
+
+  // What-if pricing through the fallible boundary: the first ultimate
+  // failure poisons the run, and the advisor returns it as its status
+  // instead of crashing mid-relaxation.
+  Status failure;
+  const auto cost = [&](const Query& q, const Configuration& c) -> double {
+    Result<double> r = whatif_->Cost(q, c);
+    if (!r.ok()) {
+      if (failure.ok()) failure = r.status();
+      return kInfiniteCost;
+    }
+    return *r;
+  };
+  const auto fail_out = [&]() {
+    result.configuration = Configuration();
+    result.status = failure;
+    result.timed_out = failure.code() == StatusCode::kTimeout;
+    result.timings.solve_seconds =
+        watch.Elapsed() - result.prepare.compression.seconds;
+    result.whatif_calls = whatif_->num_whatif_calls() - calls_before;
+    result.lp_work = lp::SolverCountersSince(lp_before);
+    return result;
+  };
 
   // ---- Shared preparation: workload compression ----------------------
   // Lossless by default: what-if pricing below then runs once per
@@ -53,13 +76,14 @@ AdvisorResult RelaxationAdvisor::Recommend(const ConstraintSet& constraints) {
       result.timed_out = true;  // seed with what has been priced so far
       break;
     }
-    const double base = sim_->Cost(q, Configuration::Empty());
+    const double base = cost(q, Configuration::Empty());
     std::vector<Scored> per_query;
     for (const Index& idx : CandidatesForQuery(q, cat, CandidateOptions{})) {
       const IndexId id = pool_->Add(idx);
-      const double with = sim_->Cost(q, Configuration({id}));
+      const double with = cost(q, Configuration({id}));
       if (with < base) per_query.push_back({id, q.weight * (base - with)});
     }
+    if (!failure.ok()) return fail_out();
     std::sort(per_query.begin(), per_query.end(),
               [](const Scored& a, const Scored& b) {
                 return a.benefit > b.benefit;
@@ -109,7 +133,7 @@ AdvisorResult RelaxationAdvisor::Recommend(const ConstraintSet& constraints) {
             : static_cast<double>(affected.size()) / std::max<size_t>(1, sample.size());
     for (QueryId qid : sample) {
       const Query& q = w[qid];
-      delta += q.weight * (sim_->Cost(q, y) - sim_->Cost(q, x));
+      delta += q.weight * (cost(q, y) - cost(q, x));
     }
     return std::max(0.0, delta * scale);
   };
@@ -179,6 +203,7 @@ AdvisorResult RelaxationAdvisor::Recommend(const ConstraintSet& constraints) {
       const double saved = size_of(x) - size_of(y);
       if (saved <= 0) continue;
       const double ratio = penalty(y, affected) / saved;
+      if (!failure.ok()) return fail_out();
       if (!have_move || ratio < best.ratio) {
         best = {std::move(y), ratio};
         have_move = true;
@@ -201,7 +226,7 @@ AdvisorResult RelaxationAdvisor::Recommend(const ConstraintSet& constraints) {
 
   result.configuration = std::move(x);
   result.timings.solve_seconds = watch.Elapsed() - cw.stats.seconds;
-  result.whatif_calls = sim_->num_whatif_calls() - calls_before;
+  result.whatif_calls = whatif_->num_whatif_calls() - calls_before;
   result.lp_work = lp::SolverCountersSince(lp_before);
   result.status = Status::Ok();
   return result;

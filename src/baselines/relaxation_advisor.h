@@ -43,15 +43,18 @@ struct RelaxationOptions {
 
 class RelaxationAdvisor : public Advisor {
  public:
-  RelaxationAdvisor(SystemSimulator* sim, IndexPool* pool, Workload workload,
-                    RelaxationOptions options = {});
+  RelaxationAdvisor(WhatIfOptimizer* whatif, IndexPool* pool,
+                    Workload workload, RelaxationOptions options = {});
 
   std::string name() const override { return "tool-a"; }
 
+  /// A failed what-if call aborts the run: the error lands in
+  /// AdvisorResult::status (timed_out set for kTimeout) — never a
+  /// crash.
   AdvisorResult Recommend(const ConstraintSet& constraints) override;
 
  private:
-  SystemSimulator* sim_;
+  WhatIfOptimizer* whatif_;
   IndexPool* pool_;
   Workload workload_;
   RelaxationOptions options_;

@@ -1,6 +1,17 @@
 #include "common/status.h"
 
+#include <cstdio>
+#include <cstdlib>
+
 namespace cophy {
+
+namespace internal {
+void ResultValueFail(const Status& status) {
+  std::fprintf(stderr, "Result::value() on errored Result: %s\n",
+               status.ToString().c_str());
+  std::abort();
+}
+}  // namespace internal
 
 namespace {
 const char* CodeName(StatusCode c) {

@@ -44,6 +44,9 @@ class Status {
   static Status Unbounded(std::string m) {
     return Status(StatusCode::kUnbounded, std::move(m));
   }
+  static Status ResourceExhausted(std::string m) {
+    return Status(StatusCode::kResourceExhausted, std::move(m));
+  }
   static Status Timeout(std::string m) {
     return Status(StatusCode::kTimeout, std::move(m));
   }
@@ -63,8 +66,15 @@ class Status {
   std::string message_;
 };
 
+namespace internal {
+/// Aborts with the status of an errored Result whose value was accessed.
+/// Lives in status.cc so the header stays dependency-free.
+[[noreturn]] void ResultValueFail(const Status& status);
+}  // namespace internal
+
 /// A value of type T or an error Status. Accessing the value of an
-/// errored Result is a programming error (asserts in debug builds).
+/// errored Result is a programming error and aborts with the contained
+/// status message in every build mode.
 template <typename T>
 class Result {
  public:
@@ -75,15 +85,15 @@ class Result {
 
   bool ok() const { return std::holds_alternative<T>(v_); }
   const T& value() const& {
-    assert(ok());
+    if (!ok()) internal::ResultValueFail(std::get<Status>(v_));
     return std::get<T>(v_);
   }
   T& value() & {
-    assert(ok());
+    if (!ok()) internal::ResultValueFail(std::get<Status>(v_));
     return std::get<T>(v_);
   }
   T&& value() && {
-    assert(ok());
+    if (!ok()) internal::ResultValueFail(std::get<Status>(v_));
     return std::move(std::get<T>(v_));
   }
   Status status() const {

@@ -130,9 +130,8 @@ lp::ChoiceProblem BuildChoiceProblem(
     const Inum& inum, const std::vector<IndexId>& candidates,
     const ConstraintSet& constraints,
     const std::vector<double>& baseline_shell_cost) {
-  const SystemSimulator& sim = inum.simulator();
-  const Catalog& cat = sim.catalog();
-  const IndexPool& pool = sim.pool();
+  const Catalog& cat = inum.whatif().catalog();
+  const IndexPool& pool = inum.whatif().pool();
   const Workload& w = inum.workload();
   const auto dense = DenseMap(candidates);
 
@@ -169,7 +168,7 @@ lp::ChoiceProblem BuildChoiceProblem(
   // configuration-independent base maintenance constant.
   for (const auto& [lead, weight] : blocks) {
     if (!w[lead].IsUpdate()) continue;
-    p.constant_cost += weight * sim.BaseUpdateCost(w[lead]);
+    p.constant_cost += weight * inum.BaseUpdateCost(lead);
     for (int i = 0; i < p.num_indexes; ++i) {
       p.fixed_cost[i] += weight * inum.UpdateCost(candidates[i], lead);
     }
@@ -193,9 +192,8 @@ lp::ChoiceProblem BuildMergedChoiceProblem(
     const std::vector<IndexId>& candidates, const ConstraintSet& constraints) {
   const auto by_block = BlocksInOrder(shards);
   COPHY_CHECK(!by_block.empty());
-  const SystemSimulator& sim = by_block[0].first->inum->simulator();
-  const Catalog& cat = sim.catalog();
-  const IndexPool& pool = sim.pool();
+  const Catalog& cat = by_block[0].first->inum->whatif().catalog();
+  const IndexPool& pool = by_block[0].first->inum->whatif().pool();
   const auto dense = DenseMap(candidates);
 
   lp::ChoiceProblem p;
@@ -213,7 +211,7 @@ lp::ChoiceProblem BuildMergedChoiceProblem(
     const QueryId lead = view->stmt[i];
     if (!inum.workload()[lead].IsUpdate()) continue;
     const double weight = view->weight[i];
-    p.constant_cost += weight * sim.BaseUpdateCost(inum.workload()[lead]);
+    p.constant_cost += weight * inum.BaseUpdateCost(lead);
     for (int a = 0; a < p.num_indexes; ++a) {
       p.fixed_cost[a] += weight * inum.UpdateCost(candidates[a], lead);
     }
@@ -273,9 +271,8 @@ BipStats ComputeMergedBipStats(const std::vector<ShardBlockView>& shards,
 lp::Model BuildModel(const Inum& inum, const std::vector<IndexId>& candidates,
                      const ConstraintSet& constraints,
                      const std::vector<double>& baseline_shell_cost) {
-  const SystemSimulator& sim = inum.simulator();
-  const Catalog& cat = sim.catalog();
-  const IndexPool& pool = sim.pool();
+  const Catalog& cat = inum.whatif().catalog();
+  const IndexPool& pool = inum.whatif().pool();
   const Workload& w = inum.workload();
   const auto dense = DenseMap(candidates);
 
@@ -291,7 +288,7 @@ lp::Model BuildModel(const Inum& inum, const std::vector<IndexId>& candidates,
     z[i] = m.AddBinary(ucost_term, StrFormat("z_%d", candidates[i]));
   }
   for (QueryId uid : w.UpdateIds()) {
-    m.AddObjectiveConstant(w[uid].weight * sim.BaseUpdateCost(w[uid]));
+    m.AddObjectiveConstant(w[uid].weight * inum.BaseUpdateCost(uid));
   }
 
   // Per statement: y_qk, x_qkia, assignment and linking rows, and the

@@ -8,20 +8,20 @@
 
 namespace cophy {
 
-CoPhy::CoPhy(SystemSimulator* sim, IndexPool* pool, Workload workload,
+CoPhy::CoPhy(WhatIfOptimizer* whatif, IndexPool* pool, Workload workload,
              CoPhyOptions options)
-    : sim_(sim),
+    : whatif_(whatif),
       pool_(pool),
       workload_(std::move(workload)),
       options_(std::move(options)) {
-  COPHY_CHECK(sim != nullptr);
+  COPHY_CHECK(whatif != nullptr);
   COPHY_CHECK(pool != nullptr);
-  COPHY_CHECK_EQ(&sim->pool(), pool);
+  COPHY_CHECK_EQ(&whatif->pool(), pool);
 }
 
 Status CoPhy::Prepare(const std::vector<Index>& dba_indexes) {
   Stopwatch watch;
-  Status s = prepared_.Prepare(sim_, pool_, workload_, options_.prepare,
+  Status s = prepared_.Prepare(whatif_, pool_, workload_, options_.prepare,
                                dba_indexes);
   if (!s.ok()) return s;
   candidates_ = prepared_.candidates();
@@ -33,7 +33,7 @@ Status CoPhy::Prepare(const std::vector<Index>& dba_indexes) {
 Status CoPhy::PrepareWithCandidates(std::vector<IndexId> candidate_ids) {
   Stopwatch watch;
   Status s = prepared_.PrepareWithCandidates(
-      sim_, pool_, workload_, options_.prepare, std::move(candidate_ids));
+      whatif_, pool_, workload_, options_.prepare, std::move(candidate_ids));
   if (!s.ok()) return s;
   candidates_ = prepared_.candidates();
   last_selection_.clear();
@@ -128,6 +128,9 @@ Recommendation CoPhy::TuneInternal(const ConstraintSet& constraints,
   rec.num_candidates = static_cast<int>(candidates_.size());
   rec.timings.inum_seconds = prepare_seconds_;
   rec.prepare = prepared_.stats();
+  // Any last-known-cache answer during preparation taints the INUM
+  // coefficients the BIP was generated from.
+  rec.degraded = rec.prepare.whatif_degraded > 0;
   prepare_seconds_ = 0;  // consumed by this report
 
   Stopwatch build_watch;
@@ -201,7 +204,7 @@ ParetoPoint CoPhy::SolveScalarized(const ConstraintSet& constraints,
   lp::ChoiceProblem problem =
       BuildChoiceProblem(prepared_.inum(), candidates_, local, baseline);
   const std::vector<double> soft_w_raw = SoftConstraintWeights(
-      soft, candidates_, sim_->pool(), sim_->catalog());
+      soft, candidates_, whatif_->pool(), whatif_->catalog());
   std::vector<double> soft_w = soft_w_raw;
 
   // Normalize the soft term into workload-cost units so the λ grid is

@@ -61,6 +61,17 @@ struct TuningTimings {
   }
 };
 
+/// Per-shard health snapshot carried by a sharded session's
+/// recommendation (empty for the unsharded CoPhy advisor).
+struct ShardHealth {
+  int shard = 0;
+  bool healthy = true;           ///< the shard's last Prepare succeeded
+  int classes = 0;               ///< live cost-equivalence classes routed here
+  int statements = 0;            ///< live original statements behind them
+  int consecutive_failures = 0;  ///< Prepare failures since the last success
+  Status status;                 ///< last Prepare outcome (OK when healthy)
+};
+
 /// A tuning outcome.
 struct Recommendation {
   Status status;
@@ -86,6 +97,15 @@ struct Recommendation {
   /// Preparation-stage accounting (compression ratio, thread count,
   /// stage timings) for the session that produced this recommendation.
   PrepareStats prepare;
+  /// Degraded-mode accounting. `coverage` is the fraction of live
+  /// statement weight the recommendation actually optimized: 1.0
+  /// normally, < 1.0 when quarantined shards were excluded. `degraded`
+  /// is set when coverage < 1 or any what-if answer came from a
+  /// last-known cache. `shard_health` has one entry per session shard
+  /// (empty for the unsharded advisor).
+  double coverage = 1.0;
+  bool degraded = false;
+  std::vector<ShardHealth> shard_health;
 };
 
 /// One point of a Pareto sweep over a soft constraint.
@@ -105,9 +125,11 @@ struct ParetoPoint {
 ///   auto rec2 = advisor.Retune(constraints);  // warm-started delta solve
 class CoPhy {
  public:
-  /// `pool` must be the pool the simulator reads (CGen inserts the
-  /// generated candidates into it).
-  CoPhy(SystemSimulator* sim, IndexPool* pool, Workload workload,
+  /// `pool` must be the pool the what-if backend reads (CGen inserts
+  /// the generated candidates into it). `whatif` may be the raw
+  /// simulator or any decorator stack (ResilientWhatIf over a fault
+  /// injector, etc.) — the advisor only ever talks to this boundary.
+  CoPhy(WhatIfOptimizer* whatif, IndexPool* pool, Workload workload,
         CoPhyOptions options = {});
 
   /// Runs CGen over the workload (plus S_DBA) and builds the INUM
@@ -115,7 +137,7 @@ class CoPhy {
   Status Prepare(const std::vector<Index>& dba_indexes = {});
 
   /// Uses an explicit candidate set instead of CGen (the ids must be in
-  /// the simulator's pool).
+  /// the backend's pool).
   Status PrepareWithCandidates(std::vector<IndexId> candidate_ids);
 
   /// Restricts tuning to a subset of the prepared candidates (INUM
@@ -167,7 +189,7 @@ class CoPhy {
   /// across Tune/Retune/Pareto solves.
   ThreadPool* PresolvePool();
 
-  SystemSimulator* sim_;
+  WhatIfOptimizer* whatif_;
   IndexPool* pool_;
   Workload workload_;
   CoPhyOptions options_;

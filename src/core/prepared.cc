@@ -5,17 +5,17 @@
 
 namespace cophy {
 
-Status PreparedWorkload::Begin(SystemSimulator* sim, IndexPool* pool,
+Status PreparedWorkload::Begin(WhatIfOptimizer* whatif, IndexPool* pool,
                                const Workload& w, const PrepareOptions& opts) {
-  COPHY_CHECK(sim != nullptr);
+  COPHY_CHECK(whatif != nullptr);
   COPHY_CHECK(pool != nullptr);
-  COPHY_CHECK_EQ(&sim->pool(), pool);
-  sim_ = sim;
+  COPHY_CHECK_EQ(&whatif->pool(), pool);
+  whatif_ = whatif;
   pool_ = pool;
   options_ = opts;
   stats_ = PrepareStats();
 
-  compressed_ = CompressWorkload(w, sim_->catalog(), opts.compression);
+  compressed_ = CompressWorkload(w, whatif_->catalog(), opts.compression);
   stats_.compression = compressed_.stats;
   stats_.max_shard_statements = stats_.compression.input_statements;
   if (compressed_.workload.size() == 0 && w.size() > 0) {
@@ -25,39 +25,58 @@ Status PreparedWorkload::Begin(SystemSimulator* sim, IndexPool* pool,
   InumOptions io;
   io.num_threads = opts.num_threads;
   io.workers = opts.workers;
+  io.deadline_seconds = opts.deadline_seconds;
   // After lossless compression no two surviving statements are
   // cost-equivalent by construction — skip INUM's signature pass.
   io.share_templates = opts.share_templates &&
                        opts.compression.mode != CompressionMode::kLossless;
-  inum_ = std::make_unique<Inum>(sim_, io);
+  inum_ = std::make_unique<Inum>(whatif_, io);
   return Status::Ok();
 }
 
-void PreparedWorkload::RunInum() {
+void PreparedWorkload::AccumulateHealthDelta(const WhatIfHealth& before) {
+  const WhatIfHealth after = whatif_->health();
+  stats_.whatif_retries += after.retries - before.retries;
+  stats_.whatif_failures += after.failures - before.failures;
+  stats_.whatif_degraded += after.degraded - before.degraded;
+  stats_.whatif_fast_fails += after.breaker_fast_fails - before.breaker_fast_fails;
+  stats_.breaker_trips += after.breaker_trips - before.breaker_trips;
+}
+
+Status PreparedWorkload::RunInum() {
   Stopwatch watch;
-  inum_->Prepare(compressed_.workload, candidates_);
+  const WhatIfHealth before = whatif_->health();
+  Status s = inum_->Prepare(compressed_.workload, candidates_);
   stats_.inum_seconds = watch.Elapsed();
   stats_.num_threads = inum_->num_threads_used();
   stats_.shared_statements = inum_->num_shared_statements();
+  AccumulateHealthDelta(before);
+  if (!s.ok()) {
+    // Partial caches must never be read: revert to unprepared so every
+    // accessor behind prepared() stays unreachable until a Prepare
+    // succeeds.
+    inum_.reset();
+    return s;
+  }
   // Inum holds its own copy now; keep only the statement mapping (the
   // retained duplicate matters at 50k-statement scale).
   compressed_.workload = Workload();
-}
-
-Status PreparedWorkload::Prepare(SystemSimulator* sim, IndexPool* pool,
-                                 const Workload& w, const PrepareOptions& opts,
-                                 const std::vector<Index>& dba_indexes) {
-  Status s = Begin(sim, pool, w, opts);
-  if (!s.ok()) return s;
-  Stopwatch watch;
-  candidates_ = GenerateCandidates(compressed_.workload, sim_->catalog(),
-                                   opts.candidates, *pool_, dba_indexes);
-  stats_.cgen_seconds = watch.Elapsed();
-  RunInum();
   return Status::Ok();
 }
 
-Status PreparedWorkload::PrepareWithCandidates(SystemSimulator* sim,
+Status PreparedWorkload::Prepare(WhatIfOptimizer* whatif, IndexPool* pool,
+                                 const Workload& w, const PrepareOptions& opts,
+                                 const std::vector<Index>& dba_indexes) {
+  Status s = Begin(whatif, pool, w, opts);
+  if (!s.ok()) return s;
+  Stopwatch watch;
+  candidates_ = GenerateCandidates(compressed_.workload, whatif_->catalog(),
+                                   opts.candidates, *pool_, dba_indexes);
+  stats_.cgen_seconds = watch.Elapsed();
+  return RunInum();
+}
+
+Status PreparedWorkload::PrepareWithCandidates(WhatIfOptimizer* whatif,
                                                IndexPool* pool,
                                                const Workload& w,
                                                const PrepareOptions& opts,
@@ -67,27 +86,26 @@ Status PreparedWorkload::PrepareWithCandidates(SystemSimulator* sim,
       return Status::InvalidArgument("candidate id outside the pool");
     }
   }
-  Status s = Begin(sim, pool, w, opts);
+  Status s = Begin(whatif, pool, w, opts);
   if (!s.ok()) return s;
   candidates_ = std::move(candidate_ids);
-  RunInum();
-  return Status::Ok();
+  return RunInum();
 }
 
-Status PreparedWorkload::PrepareCompressed(SystemSimulator* sim,
+Status PreparedWorkload::PrepareCompressed(WhatIfOptimizer* whatif,
                                            IndexPool* pool,
                                            CompressedWorkload cw,
                                            const PrepareOptions& opts,
                                            std::vector<IndexId> candidate_ids) {
-  COPHY_CHECK(sim != nullptr);
+  COPHY_CHECK(whatif != nullptr);
   COPHY_CHECK(pool != nullptr);
-  COPHY_CHECK_EQ(&sim->pool(), pool);
+  COPHY_CHECK_EQ(&whatif->pool(), pool);
   for (IndexId id : candidate_ids) {
     if (id < 0 || id >= pool->size()) {
       return Status::InvalidArgument("candidate id outside the pool");
     }
   }
-  sim_ = sim;
+  whatif_ = whatif;
   pool_ = pool;
   options_ = opts;
   stats_ = PrepareStats();
@@ -98,13 +116,13 @@ Status PreparedWorkload::PrepareCompressed(SystemSimulator* sim,
   InumOptions io;
   io.num_threads = opts.num_threads;
   io.workers = opts.workers;
+  io.deadline_seconds = opts.deadline_seconds;
   // The router merged whole cost-equivalence classes already: no two
   // statements of the view share a cache, so skip the signature pass.
   io.share_templates = false;
-  inum_ = std::make_unique<Inum>(sim_, io);
+  inum_ = std::make_unique<Inum>(whatif_, io);
   candidates_ = std::move(candidate_ids);
-  RunInum();
-  return Status::Ok();
+  return RunInum();
 }
 
 Status PreparedWorkload::AddCandidates(const std::vector<IndexId>& new_ids) {
@@ -120,9 +138,17 @@ Status PreparedWorkload::AddCandidates(const std::vector<IndexId>& new_ids) {
     }
   }
   Stopwatch watch;
-  inum_->AddCandidates(new_ids);
-  candidates_.insert(candidates_.end(), new_ids.begin(), new_ids.end());
+  const WhatIfHealth before = whatif_->health();
+  Status s = inum_->AddCandidates(new_ids);
   stats_.inum_seconds += watch.Elapsed();
+  AccumulateHealthDelta(before);
+  if (!s.ok()) {
+    // An interrupted incremental append leaves some statements updated
+    // and others not; the only consistent recovery is a full Prepare.
+    inum_.reset();
+    return s;
+  }
+  candidates_.insert(candidates_.end(), new_ids.begin(), new_ids.end());
   return Status::Ok();
 }
 

@@ -10,6 +10,8 @@
 #define COPHY_CORE_PREPARED_H_
 
 #include <algorithm>
+#include <cstdint>
+#include <limits>
 #include <memory>
 #include <vector>
 
@@ -37,6 +39,10 @@ struct PrepareOptions {
   /// Sharded sessions hand every shard the same pool so per-shard
   /// preparation composes with the outer shard fan-out.
   ThreadPool* workers = nullptr;
+  /// Wall-clock budget for the INUM preparation run; exceeding it
+  /// surfaces as kTimeout so a hung what-if backend cannot stall
+  /// Prepare forever.
+  double deadline_seconds = std::numeric_limits<double>::infinity();
 };
 
 /// What preparation did — threaded into Recommendation and reports.
@@ -51,6 +57,14 @@ struct PrepareStats {
   double inum_seconds = 0;
   int shards = 1;               ///< shard views merged into this one
   int max_shard_statements = 0; ///< largest shard's input statements
+  /// What-if boundary fault accounting for this view's INUM runs
+  /// (deltas of the backend's WhatIfHealth; all zero with a healthy
+  /// backend or a plain SystemSimulator).
+  int64_t whatif_retries = 0;     ///< backend attempts beyond the first
+  int64_t whatif_failures = 0;    ///< calls that ultimately failed
+  int64_t whatif_degraded = 0;    ///< answers served from last-known cache
+  int64_t whatif_fast_fails = 0;  ///< calls rejected by an open breaker
+  int breaker_trips = 0;          ///< circuit-breaker open transitions
   double Total() const {
     return compression.seconds + cgen_seconds + inum_seconds;
   }
@@ -71,6 +85,11 @@ struct PrepareStats {
     shards += o.shards;
     max_shard_statements = std::max(max_shard_statements,
                                     o.max_shard_statements);
+    whatif_retries += o.whatif_retries;
+    whatif_failures += o.whatif_failures;
+    whatif_degraded += o.whatif_degraded;
+    whatif_fast_fails += o.whatif_fast_fails;
+    breaker_trips += o.breaker_trips;
     return *this;
   }
 };
@@ -82,15 +101,16 @@ class PreparedWorkload {
   PreparedWorkload() = default;
 
   /// Runs the full stage: compress `w`, CGen over the representatives
-  /// (plus S_DBA), build INUM caches. `pool` must be the pool `sim`
-  /// reads.
-  Status Prepare(SystemSimulator* sim, IndexPool* pool, const Workload& w,
+  /// (plus S_DBA), build INUM caches. `pool` must be the pool `whatif`
+  /// reads. What-if backend errors (and deadline expiry) surface as the
+  /// returned Status; on failure the workload reverts to unprepared.
+  Status Prepare(WhatIfOptimizer* whatif, IndexPool* pool, const Workload& w,
                  const PrepareOptions& opts,
                  const std::vector<Index>& dba_indexes = {});
 
   /// Same, but with an explicit candidate set instead of CGen (the ids
   /// must already be in the pool).
-  Status PrepareWithCandidates(SystemSimulator* sim, IndexPool* pool,
+  Status PrepareWithCandidates(WhatIfOptimizer* whatif, IndexPool* pool,
                                const Workload& w, const PrepareOptions& opts,
                                std::vector<IndexId> candidate_ids);
 
@@ -100,12 +120,14 @@ class PreparedWorkload {
   /// an explicit candidate set, and runs INUM only. An empty view is
   /// allowed (a shard whose last class was removed) and yields a
   /// prepared() workload with zero statements.
-  Status PrepareCompressed(SystemSimulator* sim, IndexPool* pool,
+  Status PrepareCompressed(WhatIfOptimizer* whatif, IndexPool* pool,
                            CompressedWorkload cw, const PrepareOptions& opts,
                            std::vector<IndexId> candidate_ids);
 
   /// Incremental candidate addition: only the new γ entries are
-  /// computed (in parallel); β templates are reused.
+  /// computed (in parallel); β templates are reused. On a backend error
+  /// the INUM caches are inconsistent, so the workload reverts to
+  /// unprepared and the caller must re-Prepare from scratch.
   Status AddCandidates(const std::vector<IndexId>& new_ids);
 
   bool prepared() const { return inum_ != nullptr; }
@@ -136,11 +158,14 @@ class PreparedWorkload {
   ConstraintSet TranslateConstraints(const ConstraintSet& cs) const;
 
  private:
-  Status Begin(SystemSimulator* sim, IndexPool* pool, const Workload& w,
+  Status Begin(WhatIfOptimizer* whatif, IndexPool* pool, const Workload& w,
                const PrepareOptions& opts);
-  void RunInum();
+  Status RunInum();
+  /// Folds the backend's WhatIfHealth movement since `before` into
+  /// stats_ (retries/failures/degraded/breaker).
+  void AccumulateHealthDelta(const WhatIfHealth& before);
 
-  SystemSimulator* sim_ = nullptr;
+  WhatIfOptimizer* whatif_ = nullptr;
   IndexPool* pool_ = nullptr;
   PrepareOptions options_;
   CompressedWorkload compressed_;

@@ -14,8 +14,8 @@ TuningReport AnalyzeRecommendation(const Inum& inum,
   const Workload& w = inum.workload();
   const Configuration& x = rec.configuration;
   const Configuration empty;
-  const IndexPool& pool = inum.simulator().pool();
-  const Catalog& cat = inum.simulator().catalog();
+  const IndexPool& pool = inum.whatif().pool();
+  const Catalog& cat = inum.whatif().catalog();
 
   std::unordered_map<IndexId, IndexImpact> index_impacts;
   for (IndexId id : x.ids()) {
@@ -148,6 +148,14 @@ std::string RenderSolverActivity(const SolverActivity& activity) {
     out += StrFormat(", %lld z fixed by reduced costs\n",
                      static_cast<long long>(activity.variables_fixed));
   }
+  if (activity.shards_quarantined > 0 || activity.coverage < 1.0) {
+    out += StrFormat(
+        "DEGRADED: %d shard%s quarantined, recommendation covers %.1f%% "
+        "of live statement weight\n",
+        activity.shards_quarantined,
+        activity.shards_quarantined == 1 ? "" : "s",
+        100.0 * activity.coverage);
+  }
   return out;
 }
 
@@ -171,13 +179,25 @@ std::string RenderPrepareStats(const PrepareStats& stats) {
       "Prepare: compress %.3fs + cgen %.3fs + inum %.3fs = %.3fs\n",
       stats.compression.seconds, stats.cgen_seconds, stats.inum_seconds,
       stats.Total());
+  if (stats.whatif_retries > 0 || stats.whatif_failures > 0 ||
+      stats.whatif_degraded > 0 || stats.whatif_fast_fails > 0 ||
+      stats.breaker_trips > 0) {
+    out += StrFormat(
+        "What-if boundary: %lld retries, %lld failures, %lld degraded "
+        "answers, %lld breaker fast-fails, %d breaker trips\n",
+        static_cast<long long>(stats.whatif_retries),
+        static_cast<long long>(stats.whatif_failures),
+        static_cast<long long>(stats.whatif_degraded),
+        static_cast<long long>(stats.whatif_fast_fails),
+        stats.breaker_trips);
+  }
   return out;
 }
 
 std::string RenderTuningReport(const TuningReport& report, const Inum& inum,
                                int top_k) {
-  const Catalog& cat = inum.simulator().catalog();
-  const IndexPool& pool = inum.simulator().pool();
+  const Catalog& cat = inum.whatif().catalog();
+  const IndexPool& pool = inum.whatif().pool();
   const Workload& w = inum.workload();
 
   std::string out;

@@ -71,6 +71,10 @@ struct SolverActivity {
   /// Optional: the root LP's own simplex/factorization work (filled
   /// from ChoiceSolution::root_lp_stats / Recommendation::root_lp_stats).
   lp::LpSolveStats root_lp_stats;
+  /// Optional degraded-mode accounting (filled from a sharded session's
+  /// Recommendation). Rendered only when shards were quarantined.
+  double coverage = 1.0;
+  int shards_quarantined = 0;
 };
 
 /// Snapshot of the process-wide LP counters (pair with

@@ -10,17 +10,17 @@
 
 namespace cophy {
 
-AdvisorSession::AdvisorSession(SystemSimulator* sim, IndexPool* pool,
+AdvisorSession::AdvisorSession(WhatIfOptimizer* whatif, IndexPool* pool,
                                SessionOptions options)
-    : sim_(sim),
+    : whatif_(whatif),
       pool_(pool),
       options_(std::move(options)),
       router_(options_.num_shards > 0
                   ? options_.num_shards
                   : ResolveThreadCount(options_.tuning.prepare.num_threads)) {
-  COPHY_CHECK(sim != nullptr);
+  COPHY_CHECK(whatif != nullptr);
   COPHY_CHECK(pool != nullptr);
-  COPHY_CHECK_EQ(&sim->pool(), pool);
+  COPHY_CHECK_EQ(&whatif->pool(), pool);
   COPHY_CHECK(options_.tuning.prepare.compression.mode !=
               CompressionMode::kLossy);
   shards_.resize(router_.num_shards());
@@ -52,7 +52,7 @@ std::vector<QueryId> AdvisorSession::AddStatements(
     st.q.id = sid;
     st.live = true;
     const ShardRouter::Route route = router_.Insert(
-        st.q, sim_->catalog(),
+        st.q, whatif_->catalog(),
         [this](int cls) -> const Query& { return classes_[cls].exemplar; });
     st.cls = route.cls;
     if (route.is_new) {
@@ -99,7 +99,7 @@ Status AdvisorSession::RemoveStatements(const std::vector<QueryId>& ids) {
       // Last member gone: retire the class. A later equivalent arrival
       // opens a fresh class, exactly as a cold run over the surviving
       // stream would.
-      router_.Erase(c.exemplar, sim_->catalog(), st.cls);
+      router_.Erase(c.exemplar, whatif_->catalog(), st.cls);
       Shard& sh = shards_[c.shard];
       sh.classes.erase(
           std::find(sh.classes.begin(), sh.classes.end(), st.cls));
@@ -173,7 +173,7 @@ Status AdvisorSession::Refresh() {
   Stopwatch wall;
   // The catalog's lazy statistics cache must be warm before shards fan
   // out: workers may only read shared state.
-  sim_->catalog().WarmStatistics();
+  whatif_->catalog().WarmStatistics();
 
   // CGen over the merged representative view (one statement per live
   // class, canonical order). Cheap — it scales with classes, not
@@ -187,7 +187,7 @@ Status AdvisorSession::Refresh() {
   } else {
     Workload reps;
     for (int cls : LiveClasses()) reps.Add(classes_[cls].exemplar);
-    cands = GenerateCandidates(reps, sim_->catalog(),
+    cands = GenerateCandidates(reps, whatif_->catalog(),
                                options_.tuning.prepare.candidates, *pool_,
                                dba_indexes_);
   }
@@ -226,7 +226,7 @@ Status AdvisorSession::Refresh() {
     PrepareOptions popts = options_.tuning.prepare;
     popts.workers = workers;
     if (t.full) {
-      results[i] = sh.prepared.PrepareCompressed(sim_, pool_,
+      results[i] = sh.prepared.PrepareCompressed(whatif_, pool_,
                                                  BuildShardView(t.shard),
                                                  popts, cands);
     } else {
@@ -240,14 +240,67 @@ Status AdvisorSession::Refresh() {
   } else if (!tasks.empty()) {
     ParallelFor(workers, static_cast<int64_t>(tasks.size()), run_task);
   }
+  Status first_error;
   for (size_t i = 0; i < tasks.size(); ++i) {
-    if (!results[i].ok()) return results[i];  // shard stays dirty, retryable
+    Shard& sh = shards_[tasks[i].shard];
+    if (results[i].ok()) {
+      sh.dirty = false;
+      sh.health = Status::Ok();
+      sh.consecutive_failures = 0;
+    } else {
+      // Quarantine. The shard stays dirty — a failed incremental append
+      // reverted its view to unprepared, so the retry is a full rebuild
+      // — and Tune excludes its classes until a Refresh heals it.
+      sh.dirty = true;
+      sh.health = results[i];
+      ++sh.consecutive_failures;
+      if (first_error.ok()) first_error = results[i];
+    }
   }
-  for (const Task& t : tasks) shards_[t.shard].dirty = false;
+  // Healthy shards were prepared against the merged candidate set even
+  // when a sibling failed; quarantined shards re-run CGen-fresh later.
   candidates_ = std::move(cands);
-  structure_dirty_ = false;
+  bool any_quarantined = false;
+  for (const Shard& sh : shards_) {
+    if (sh.quarantined()) any_quarantined = true;
+  }
+  // Quarantined shards are retried at every Refresh until they heal.
+  structure_dirty_ = any_quarantined;
   prepare_wall_seconds_ += wall.Elapsed();
-  return Status::Ok();
+  if (!any_quarantined) return Status::Ok();
+  // Degraded mode: the session still serves recommendations while the
+  // healthy shards cover part of the live workload. Only a fully
+  // uncovered session surfaces the failure as its own.
+  if (Coverage() > 0.0) return Status::Ok();
+  return first_error;
+}
+
+double AdvisorSession::Coverage() const {
+  double total = 0, healthy = 0;
+  for (int cls = 0; cls < static_cast<int>(classes_.size()); ++cls) {
+    if (classes_[cls].members.empty()) continue;
+    const double w = ClassWeight(cls);
+    total += w;
+    if (!shards_[classes_[cls].shard].quarantined()) healthy += w;
+  }
+  return total > 0 ? healthy / total : 1.0;
+}
+
+std::vector<ShardHealth> AdvisorSession::ShardHealthReport() const {
+  std::vector<ShardHealth> out(shards_.size());
+  for (int s = 0; s < num_shards(); ++s) {
+    const Shard& sh = shards_[s];
+    ShardHealth& h = out[s];
+    h.shard = s;
+    h.healthy = !sh.quarantined();
+    h.classes = static_cast<int>(sh.classes.size());
+    for (int cls : sh.classes) {
+      h.statements += static_cast<int>(classes_[cls].members.size());
+    }
+    h.consecutive_failures = sh.consecutive_failures;
+    h.status = sh.health;
+  }
+  return out;
 }
 
 PrepareStats AdvisorSession::prepare_stats() const {
@@ -302,6 +355,8 @@ Recommendation AdvisorSession::TuneInternal(const ConstraintSet& constraints,
                                             bool warm) {
   Recommendation rec;
   Status s = Refresh();
+  rec.shard_health = ShardHealthReport();
+  rec.coverage = Coverage();
   if (!s.ok()) {
     rec.status = s;
     return rec;
@@ -312,13 +367,24 @@ Recommendation AdvisorSession::TuneInternal(const ConstraintSet& constraints,
   }
   rec.num_candidates = static_cast<int>(candidates_.size());
   rec.prepare = prepare_stats();
+  rec.degraded = rec.coverage < 1.0 || rec.prepare.whatif_degraded > 0;
   rec.timings.inum_seconds = prepare_wall_seconds_;
   prepare_wall_seconds_ = 0;  // consumed by this report
 
   Stopwatch build_watch;
   // Canonical block order across shards (class ids ascend with first
   // occurrence) and per-shard views with live weights re-aggregated.
-  const std::vector<int> canonical = LiveClasses();
+  // Quarantined shards contribute no blocks: the merged problem covers
+  // the healthy subset only, which is what `coverage` reports.
+  std::vector<int> canonical;
+  canonical.reserve(classes_.size());
+  for (int cls : LiveClasses()) {
+    if (!shards_[classes_[cls].shard].quarantined()) canonical.push_back(cls);
+  }
+  if (canonical.empty()) {
+    rec.status = Status::Internal("every live class is quarantined");
+    return rec;
+  }
   std::vector<int> block_of(classes_.size(), -1);
   std::vector<int> local_of(classes_.size(), -1);
   for (int b = 0; b < static_cast<int>(canonical.size()); ++b) {
@@ -327,7 +393,7 @@ Recommendation AdvisorSession::TuneInternal(const ConstraintSet& constraints,
   std::vector<ShardBlockView> views(shards_.size());
   for (int sh = 0; sh < num_shards(); ++sh) {
     ShardBlockView& v = views[sh];
-    if (shards_[sh].classes.empty()) continue;
+    if (shards_[sh].classes.empty() || shards_[sh].quarantined()) continue;
     v.inum = &shards_[sh].prepared.inum();
     const std::vector<int>& cls_list = shards_[sh].classes;
     v.stmt.reserve(cls_list.size());
@@ -344,7 +410,8 @@ Recommendation AdvisorSession::TuneInternal(const ConstraintSet& constraints,
   // Per-query constraints: session id → class → block cap, folded by
   // min like the unsharded translation (constraints on removed
   // statements are dropped; duplicates constrain their whole block —
-  // the documented intersection semantics).
+  // the documented intersection semantics). Constraints on quarantined
+  // statements are dropped with their blocks.
   const Configuration empty;
   int64_t translated_rows = 0;
   for (const QueryCostConstraint& qc : constraints.query_cost_constraints()) {
@@ -352,6 +419,7 @@ Recommendation AdvisorSession::TuneInternal(const ConstraintSet& constraints,
     COPHY_CHECK_LT(qc.query, static_cast<QueryId>(statements_.size()));
     const StatementState& st = statements_[qc.query];
     if (!st.live) continue;
+    if (shards_[classes_[st.cls].shard].quarantined()) continue;
     ++translated_rows;
     const int shard = classes_[st.cls].shard;
     const int local = local_of[st.cls];

@@ -46,10 +46,22 @@ struct SessionOptions {
 };
 
 /// A long-lived sharded tuning session.
+///
+/// Fault tolerance: every shard prepares through the fallible
+/// WhatIfOptimizer boundary. A shard whose Prepare fails is
+/// *quarantined* — its classes drop out of the merged problem and Tune
+/// recommends from the healthy shards, with Recommendation::coverage
+/// reporting the optimized fraction of live statement weight and
+/// Recommendation::shard_health the per-shard picture. Quarantined
+/// shards are retried at every Refresh/Tune/Retune; once the backend
+/// heals, the shard rejoins and the output returns to the fault-free
+/// recommendation exactly.
 class AdvisorSession {
  public:
-  /// `pool` must be the pool the simulator reads.
-  AdvisorSession(SystemSimulator* sim, IndexPool* pool,
+  /// `pool` must be the pool the what-if backend reads. `whatif` may be
+  /// the raw simulator or any decorator stack (ResilientWhatIf over a
+  /// fault injector, etc.).
+  AdvisorSession(WhatIfOptimizer* whatif, IndexPool* pool,
                  SessionOptions options = {});
 
   /// Appends statements to the live workload and returns their session
@@ -78,6 +90,12 @@ class AdvisorSession {
   /// incremental γ entries for newly discovered candidates. No-op when
   /// nothing structural changed (weight-only deltas cost nothing here).
   /// Called implicitly by Tune/Retune.
+  ///
+  /// A shard whose preparation fails is quarantined (and retried on
+  /// every later Refresh). The call still returns OK as long as the
+  /// healthy shards cover a nonzero fraction of the live workload —
+  /// degraded mode; only a session with *every* live class quarantined
+  /// reports the failure as its own.
   Status Refresh();
 
   /// Merged cold solve (the exact CoPhy::Tune semantics over the live
@@ -127,9 +145,20 @@ class AdvisorSession {
     std::vector<int> classes;
     PreparedWorkload prepared;
     bool dirty = false;  ///< class set changed since the last prepare
+    /// Outcome of the shard's last preparation attempt. Non-OK means
+    /// quarantined: the shard's classes are excluded from Tune until a
+    /// Refresh rebuilds it successfully.
+    Status health;
+    int consecutive_failures = 0;  ///< failed attempts since last success
+    bool quarantined() const { return !health.ok(); }
   };
 
   Recommendation TuneInternal(const ConstraintSet& constraints, bool warm);
+  /// Fraction of live statement weight on healthy shards (1.0 for an
+  /// empty session).
+  double Coverage() const;
+  /// One ShardHealth row per shard, from the live routing state.
+  std::vector<ShardHealth> ShardHealthReport() const;
   /// Live classes in canonical order (class ids ascend with arrival).
   std::vector<int> LiveClasses() const;
   /// Σ f_q over a class's live members, summed in arrival order (the
@@ -141,7 +170,7 @@ class AdvisorSession {
   /// Shared worker pool (nullptr when single-threaded).
   ThreadPool* Workers();
 
-  SystemSimulator* sim_;
+  WhatIfOptimizer* whatif_;
   IndexPool* pool_;
   SessionOptions options_;
   ShardRouter router_;

@@ -3,13 +3,14 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "common/strings.h"
 #include "workload/compressor.h"
 
 namespace cophy {
 
-Inum::Inum(SystemSimulator* sim, InumOptions options)
-    : sim_(sim), options_(options) {
-  COPHY_CHECK(sim != nullptr);
+Inum::Inum(WhatIfOptimizer* whatif, InumOptions options)
+    : whatif_(whatif), options_(options) {
+  COPHY_CHECK(whatif != nullptr);
 }
 
 ThreadPool* Inum::pool() {
@@ -26,21 +27,31 @@ ThreadPool* Inum::pool() {
   return thread_pool_.get();
 }
 
-void Inum::BuildGammaFor(QueryCache& qc, const Query& q,
-                         const std::vector<IndexId>& candidates, bool append) {
-  const IndexPool& pool = sim_->pool();
+Status Inum::DeadlineError() const {
+  return Status::Timeout(StrFormat("INUM prepare deadline (%.3fs) exceeded",
+                                   options_.deadline_seconds));
+}
+
+Status Inum::BuildGammaFor(QueryCache& qc, const Query& q,
+                           const std::vector<IndexId>& candidates,
+                           bool append) {
+  const IndexPool& pool = whatif_->pool();
   const auto by_gamma = [](const SlotAccess& a, const SlotAccess& b) {
     return a.gamma < b.gamma;
   };
   for (size_t slot = 0; slot < qc.slot_orders.size(); ++slot) {
     const TableId t = q.tables[slot];
     for (size_t oi = 0; oi < qc.slot_orders[slot].size(); ++oi) {
+      if (DeadlineExpired()) return DeadlineError();
       const OrderSpec& order = qc.slot_orders[slot][oi];
       auto& list = qc.access[slot][oi];
       double base_gamma;
       if (!append) {
-        base_gamma =
-            sim_->AccessCost(q, static_cast<int>(slot), order, kInvalidIndex);
+        Result<double> base =
+            whatif_->AccessCost(q, static_cast<int>(slot), order,
+                                kInvalidIndex);
+        if (!base.ok()) return base.status();
+        base_gamma = *base;
         if (base_gamma < kInfiniteCost) {
           list.push_back({kInvalidIndex, base_gamma});
           ++qc.raw_gamma_entries;
@@ -54,14 +65,15 @@ void Inum::BuildGammaFor(QueryCache& qc, const Query& q,
       const size_t old_size = list.size();
       for (IndexId id : candidates) {
         if (pool[id].table != t) continue;
-        const double g =
-            sim_->AccessCost(q, static_cast<int>(slot), order, id);
-        if (g == kInfiniteCost) continue;
+        Result<double> g =
+            whatif_->AccessCost(q, static_cast<int>(slot), order, id);
+        if (!g.ok()) return g.status();
+        if (*g == kInfiniteCost) continue;
         ++qc.raw_gamma_entries;
         // Domination pruning: the base path is always available, so an
         // index that does not beat it can never be the arg-min.
-        if (g >= base_gamma) continue;
-        list.push_back({id, g});
+        if (*g >= base_gamma) continue;
+        list.push_back({id, *g});
       }
       if (list.size() == old_size) continue;  // nothing appended
       if (append && old_size > 0) {
@@ -75,20 +87,43 @@ void Inum::BuildGammaFor(QueryCache& qc, const Query& q,
       }
     }
   }
+  return Status::Ok();
 }
 
-void Inum::PrepareStatement(const Query& q,
-                            const std::vector<IndexId>& candidates) {
+Status Inum::CacheUpdateCosts(QueryCache& qc, const Query& q,
+                              const std::vector<IndexId>& candidates,
+                              bool include_base) {
+  if (!q.IsUpdate()) return Status::Ok();
+  if (include_base) {
+    Result<double> base = whatif_->BaseUpdateCost(q);
+    if (!base.ok()) return base.status();
+    qc.base_update_cost = *base;
+  }
+  const IndexPool& pool = whatif_->pool();
+  for (IndexId id : candidates) {
+    if (pool[id].table != q.update_table) continue;
+    if (DeadlineExpired()) return DeadlineError();
+    Result<double> u = whatif_->UpdateCost(id, q);
+    if (!u.ok()) return u.status();
+    if (*u != 0.0) qc.update_costs.emplace(id, *u);
+  }
+  return Status::Ok();
+}
+
+Status Inum::PrepareStatement(const Query& q,
+                              const std::vector<IndexId>& candidates) {
   QueryCache& qc = caches_[q.id];
   qc.qid = q.id;
   qc.weight = q.weight;
   qc.is_update = q.IsUpdate();
+  if (DeadlineExpired()) return DeadlineError();
 
   // Distinct per-slot orders and the template -> order-index mapping.
-  qc.slot_orders = sim_->SlotOrderCandidates(q);
-  const std::vector<TemplatePlan> templates = sim_->EnumerateTemplates(q);
-  qc.templates.reserve(templates.size());
-  for (const TemplatePlan& tp : templates) {
+  qc.slot_orders = whatif_->SlotOrderCandidates(q);
+  Result<std::vector<TemplatePlan>> templates = whatif_->EnumerateTemplates(q);
+  if (!templates.ok()) return templates.status();
+  qc.templates.reserve(templates->size());
+  for (const TemplatePlan& tp : *templates) {
     QueryCache::Template t;
     t.beta = tp.internal_cost;
     t.order_idx.resize(tp.slot_orders.size());
@@ -105,7 +140,9 @@ void Inum::PrepareStatement(const Query& q,
   for (size_t slot = 0; slot < qc.slot_orders.size(); ++slot) {
     qc.access[slot].resize(qc.slot_orders[slot].size());
   }
-  BuildGammaFor(qc, q, candidates, /*append=*/false);
+  Status s = BuildGammaFor(qc, q, candidates, /*append=*/false);
+  if (!s.ok()) return s;
+  return CacheUpdateCosts(qc, q, candidates, /*include_base=*/true);
 }
 
 void Inum::CloneFromLeader(QueryId qid) {
@@ -116,6 +153,9 @@ void Inum::CloneFromLeader(QueryId qid) {
   qc.templates = src.templates;
   qc.access = src.access;
   qc.raw_gamma_entries = src.raw_gamma_entries;
+  // Cost-equivalent statements have identical update costs.
+  qc.base_update_cost = src.base_update_cost;
+  qc.update_costs = src.update_costs;
   qc.qid = qid;
   qc.weight = q.weight;
   qc.is_update = q.IsUpdate();
@@ -130,13 +170,14 @@ void Inum::ComputeLeaders() {
   }
   // Shared with CompressWorkload: the same clustering keeps the
   // compressed and uncompressed pipelines in exact agreement.
-  leader_ = ClusterLeaders(workload_, sim_->catalog(), /*by_shape=*/false);
+  leader_ = ClusterLeaders(workload_, whatif_->catalog(), /*by_shape=*/false);
   for (QueryId q = 0; q < workload_.size(); ++q) {
     if (leader_[q] != q) ++num_shared_statements_;
   }
 }
 
-void Inum::Prepare(const Workload& w, const std::vector<IndexId>& candidates) {
+Status Inum::Prepare(const Workload& w,
+                     const std::vector<IndexId>& candidates) {
   workload_ = w;
   candidates_ = candidates;
   caches_.clear();
@@ -151,34 +192,53 @@ void Inum::Prepare(const Workload& w, const std::vector<IndexId>& candidates) {
   ThreadPool* tp = pool();
   // The selectivity cache inside the catalog is populated lazily; force
   // it now so the workers only ever read shared state.
-  sim_->catalog().WarmStatistics();
+  whatif_->catalog().WarmStatistics();
+  prepare_sw_ = Stopwatch();
+  // Statuses are collected per statement and resolved in statement
+  // order, so the reported error is scheduling-independent.
+  std::vector<Status> errs(leaders.size());
   ParallelFor(tp, static_cast<int64_t>(leaders.size()), [&](int64_t i) {
-    PrepareStatement(workload_[leaders[i]], candidates);
+    errs[i] = PrepareStatement(workload_[leaders[i]], candidates);
   });
+  for (const Status& s : errs) {
+    if (!s.ok()) return s;
+  }
   ParallelFor(tp, w.size(), [&](int64_t q) {
     if (leader_[q] != q) CloneFromLeader(static_cast<QueryId>(q));
   });
+  return Status::Ok();
 }
 
-void Inum::AddCandidates(const std::vector<IndexId>& new_candidates) {
+Status Inum::AddCandidates(const std::vector<IndexId>& new_candidates) {
   ThreadPool* tp = pool();
-  sim_->catalog().WarmStatistics();
+  whatif_->catalog().WarmStatistics();
+  prepare_sw_ = Stopwatch();
+  std::vector<Status> errs(workload_.size());
   ParallelFor(tp, workload_.size(), [&](int64_t q) {
-    if (leader_[q] == q) {
-      BuildGammaFor(caches_[q], workload_[static_cast<QueryId>(q)],
-                    new_candidates, /*append=*/true);
+    if (leader_[q] != q) return;
+    QueryCache& qc = caches_[q];
+    const Query& query = workload_[static_cast<QueryId>(q)];
+    errs[q] = BuildGammaFor(qc, query, new_candidates, /*append=*/true);
+    if (errs[q].ok()) {
+      errs[q] =
+          CacheUpdateCosts(qc, query, new_candidates, /*include_base=*/false);
     }
   });
-  // Followers re-take only the γ tables: slot orders and templates are
-  // untouched by an incremental candidate addition.
+  for (const Status& s : errs) {
+    if (!s.ok()) return s;
+  }
+  // Followers re-take only the γ tables and ucosts: slot orders and
+  // templates are untouched by an incremental candidate addition.
   ParallelFor(tp, workload_.size(), [&](int64_t q) {
     if (leader_[q] == q) return;
     const QueryCache& src = caches_[leader_[q]];
     caches_[q].access = src.access;
     caches_[q].raw_gamma_entries = src.raw_gamma_entries;
+    caches_[q].update_costs = src.update_costs;
   });
   candidates_.insert(candidates_.end(), new_candidates.begin(),
                      new_candidates.end());
+  return Status::Ok();
 }
 
 double Inum::BestTemplate(const QueryCache& qc, const Configuration& x,
@@ -220,17 +280,19 @@ double Inum::ShellCost(QueryId qid, const Configuration& x) const {
 }
 
 double Inum::Cost(QueryId qid, const Configuration& x) const {
-  const Query& q = workload_[qid];
+  const QueryCache& qc = caches_[qid];
   double c = ShellCost(qid, x);
-  if (q.IsUpdate()) {
-    c += sim_->BaseUpdateCost(q);
-    for (IndexId a : x.ids()) c += sim_->UpdateCost(a, q);
+  if (qc.is_update) {
+    c += qc.base_update_cost;
+    for (IndexId a : x.ids()) c += UpdateCost(a, qid);
   }
   return c;
 }
 
 double Inum::UpdateCost(IndexId a, QueryId qid) const {
-  return sim_->UpdateCost(a, workload_[qid]);
+  const auto& m = caches_[qid].update_costs;
+  const auto it = m.find(a);
+  return it == m.end() ? 0.0 : it->second;
 }
 
 std::vector<IndexId> Inum::ChosenIndexes(QueryId qid,

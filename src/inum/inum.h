@@ -4,15 +4,26 @@
 // (γ_qkia); afterwards Cost(q, X) is a pure table-lookup min — orders of
 // magnitude cheaper than a what-if call. CoPhy's BIPGen reads these
 // caches directly (they ARE the BIP coefficients of Theorem 1).
+//
+// Prepare talks to the DBMS through the fallible WhatIfOptimizer
+// boundary and returns Status: backend errors flow out instead of
+// aborting, and an optional deadline turns a hung backend into
+// kTimeout. A successful Prepare caches *everything* the advisor needs
+// (including update costs), so the read-side accessors below never
+// touch the backend again — post-Prepare costing cannot fail.
 #ifndef COPHY_INUM_INUM_H_
 #define COPHY_INUM_INUM_H_
 
 #include <cstdint>
+#include <limits>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
+#include "common/status.h"
+#include "common/stopwatch.h"
 #include "common/thread_pool.h"
-#include "optimizer/simulator.h"
+#include "optimizer/whatif.h"
 #include "query/query.h"
 
 namespace cophy {
@@ -45,6 +56,10 @@ struct QueryCache {
   /// Number of γ entries before the domination pruning (the x-variable
   /// count a naive BIP materialization would have).
   int64_t raw_gamma_entries = 0;
+  /// The paper's c_q (0 for SELECTs), cached at Prepare time.
+  double base_update_cost = 0.0;
+  /// Cached nonzero ucost(a, q) per candidate (empty for SELECTs).
+  std::unordered_map<IndexId, double> update_costs;
 };
 
 /// Preparation knobs. Prepare's output is a pure function of
@@ -63,22 +78,30 @@ struct InumOptions {
   /// fans out across shards on it, and the nested per-statement loops
   /// run inline on whichever worker owns the shard.
   ThreadPool* workers = nullptr;
+  /// Wall-clock budget for one Prepare/AddCandidates run; exceeding it
+  /// surfaces as kTimeout (a hung backend cannot stall Prepare forever).
+  double deadline_seconds = std::numeric_limits<double>::infinity();
 };
 
 /// The INUM module. Holds the caches for one workload + candidate set.
 class Inum {
  public:
-  explicit Inum(SystemSimulator* sim, InumOptions options = {});
+  explicit Inum(WhatIfOptimizer* whatif, InumOptions options = {});
 
   /// Builds caches for all statements of `w` against candidate set
-  /// `candidates` (ids into the simulator's pool). This is the "INUM
+  /// `candidates` (ids into the backend's pool). This is the "INUM
   /// time" component of the paper's figures. Statements are prepared in
   /// parallel per InumOptions; the result is thread-count independent.
-  void Prepare(const Workload& w, const std::vector<IndexId>& candidates);
+  /// On error the first failing statement's Status is returned (lowest
+  /// statement id wins, independent of scheduling) and the caches must
+  /// be treated as unusable until a Prepare succeeds.
+  Status Prepare(const Workload& w, const std::vector<IndexId>& candidates);
 
   /// Adds candidates incrementally (interactive tuning): only γ entries
-  /// for the new indexes are computed; β templates are reused.
-  void AddCandidates(const std::vector<IndexId>& new_candidates);
+  /// for the new indexes are computed; β templates are reused. On error
+  /// the caches are inconsistent (some statements updated, some not)
+  /// and the caller must fall back to a full Prepare.
+  Status AddCandidates(const std::vector<IndexId>& new_candidates);
 
   /// Fast cost(q, X): min over templates × atomic configurations.
   /// For UPDATE statements this covers the query shell only (the BIP
@@ -86,12 +109,17 @@ class Inum {
   double ShellCost(QueryId qid, const Configuration& x) const;
 
   /// Full statement cost including update maintenance of indexes in X —
-  /// the INUM-equivalent of WhatIfOptimizer::Cost.
+  /// the INUM-equivalent of WhatIfOptimizer::Cost. Pure cache reads.
   double Cost(QueryId qid, const Configuration& x) const;
 
   /// Cached ucost(a, q) (0 unless q updates a's table and touches its
-  /// columns).
+  /// columns; 0 for indexes outside the prepared candidate set).
   double UpdateCost(IndexId a, QueryId qid) const;
+
+  /// Cached c_q: the configuration-independent update overhead.
+  double BaseUpdateCost(QueryId qid) const {
+    return caches_[qid].base_update_cost;
+  }
 
   /// The indexes the statement's optimal plan under X actually uses
   /// (the arg-min access paths of the winning template; empty when the
@@ -107,7 +135,7 @@ class Inum {
   int num_statements() const { return static_cast<int>(caches_.size()); }
   const Workload& workload() const { return workload_; }
   const std::vector<IndexId>& candidates() const { return candidates_; }
-  SystemSimulator& simulator() const { return *sim_; }
+  WhatIfOptimizer& whatif() const { return *whatif_; }
 
   /// Total template count across statements (Σ K_q).
   int64_t TotalTemplates() const;
@@ -124,23 +152,34 @@ class Inum {
   const InumOptions& options() const { return options_; }
 
  private:
-  void BuildGammaFor(QueryCache& qc, const Query& q,
-                     const std::vector<IndexId>& candidates, bool append);
-  /// Full per-statement preparation (orders, templates, γ) for a leader.
-  void PrepareStatement(const Query& q, const std::vector<IndexId>& candidates);
-  /// Copies the shareable cache parts (orders/templates/γ) from the
-  /// statement's leader, keeping its own qid/weight/is_update.
+  Status BuildGammaFor(QueryCache& qc, const Query& q,
+                       const std::vector<IndexId>& candidates, bool append);
+  /// Caches c_q and ucost(a, q) for every candidate on q's update
+  /// table. `include_base` is false on incremental candidate additions.
+  Status CacheUpdateCosts(QueryCache& qc, const Query& q,
+                          const std::vector<IndexId>& candidates,
+                          bool include_base);
+  /// Full per-statement preparation (orders, templates, γ, ucosts) for
+  /// a leader.
+  Status PrepareStatement(const Query& q,
+                          const std::vector<IndexId>& candidates);
+  /// Copies the shareable cache parts (orders/templates/γ/ucosts) from
+  /// the statement's leader, keeping its own qid/weight/is_update.
   void CloneFromLeader(QueryId qid);
   /// Groups statements by cost equivalence; fills leader_.
   void ComputeLeaders();
   ThreadPool* pool();
+  bool DeadlineExpired() const {
+    return prepare_sw_.Elapsed() > options_.deadline_seconds;
+  }
+  Status DeadlineError() const;
   /// Single traversal behind ShellCost and ChosenIndexes: the cost of
   /// the best template under `x`, optionally recording the winning
   /// template's arg-min index picks into `chosen`.
   double BestTemplate(const QueryCache& qc, const Configuration& x,
                       std::vector<IndexId>* chosen) const;
 
-  SystemSimulator* sim_;
+  WhatIfOptimizer* whatif_;
   InumOptions options_;
   Workload workload_;
   std::vector<IndexId> candidates_;
@@ -149,6 +188,7 @@ class Inum {
   /// cost-equivalent statement whose cache q shares.
   std::vector<QueryId> leader_;
   std::unique_ptr<ThreadPool> thread_pool_;  // lazily created
+  Stopwatch prepare_sw_;  ///< reset at each Prepare/AddCandidates entry
   int num_shared_statements_ = 0;
   int num_threads_used_ = 1;
 };

@@ -1,0 +1,178 @@
+#include "optimizer/fault_injection.h"
+
+#include <chrono>
+#include <thread>
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace cophy {
+
+namespace internal {
+
+uint64_t HashMix(uint64_t h, uint64_t v) {
+  // splitmix64 finalizer over a boost-style combine.
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebULL;
+  h ^= h >> 31;
+  return h;
+}
+
+uint64_t ConfigurationDigest(const Configuration& x) {
+  uint64_t h = 0x243f6a8885a308d3ULL;
+  for (IndexId id : x.ids()) h = HashMix(h, static_cast<uint64_t>(id));
+  return h;
+}
+
+uint64_t OrderDigest(const OrderSpec& order) {
+  uint64_t h = 0x13198a2e03707344ULL;
+  for (ColumnId c : order) h = HashMix(h, static_cast<uint64_t>(c));
+  return h;
+}
+
+uint64_t WhatIfCallKey(int surface, QueryId qid, uint64_t extra) {
+  uint64_t h = HashMix(0xa4093822299f31d0ULL, static_cast<uint64_t>(surface));
+  h = HashMix(h, static_cast<uint64_t>(qid));
+  return HashMix(h, extra);
+}
+
+}  // namespace internal
+
+namespace {
+
+// Surface tags for call keys (stable across runs).
+enum Surface {
+  kCost = 1,
+  kUpdateCost,
+  kEnumerateTemplates,
+  kAccessCost,
+  kShellCost,
+  kBaseUpdateCost,
+};
+
+}  // namespace
+
+FaultInjectingWhatIf::FaultInjectingWhatIf(WhatIfOptimizer* backend,
+                                           FaultInjectionOptions opts)
+    : backend_(backend), opts_(std::move(opts)) {
+  COPHY_CHECK(backend != nullptr);
+  budget_left_ = opts_.call_budget;
+}
+
+void FaultInjectingWhatIf::Heal() {
+  std::lock_guard<std::mutex> lock(mu_);
+  opts_.transient_failure_rate = 0.0;
+  opts_.permanent_failure_queries.clear();
+  opts_.permanent_failure_predicate = nullptr;
+}
+
+void FaultInjectingWhatIf::set_transient_failure_rate(double rate) {
+  std::lock_guard<std::mutex> lock(mu_);
+  opts_.transient_failure_rate = rate;
+}
+
+void FaultInjectingWhatIf::set_call_budget(int64_t n) { budget_left_ = n; }
+
+Status FaultInjectingWhatIf::MaybeFail(uint64_t key, const Query& q) {
+  double latency, rate;
+  uint64_t seed, attempt;
+  bool permanent;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    latency = opts_.injected_latency_seconds;
+    rate = opts_.transient_failure_rate;
+    seed = opts_.seed;
+    attempt = attempts_[key]++;
+    permanent = opts_.permanent_failure_queries.count(q.id) > 0 ||
+                (opts_.permanent_failure_predicate != nullptr &&
+                 opts_.permanent_failure_predicate(q));
+  }
+  if (latency > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(latency));
+  }
+  if (permanent) {
+    ++permanent_faults_;
+    return Status::Internal(
+        StrFormat("injected permanent fault (statement %d)", q.id));
+  }
+  if (rate > 0.0) {
+    // Deterministic draw: uniform in [0, 1) from (seed, key, attempt).
+    uint64_t h = internal::HashMix(seed, key);
+    h = internal::HashMix(h, attempt);
+    const double draw = static_cast<double>(h >> 11) * 0x1.0p-53;
+    if (draw < rate) {
+      ++transient_faults_;
+      return Status::Timeout(
+          StrFormat("injected transient fault (statement %d)", q.id));
+    }
+  }
+  if (budget_left_.load() >= 0 && budget_left_.fetch_sub(1) <= 0) {
+    budget_left_ = 0;  // pin so the counter cannot wrap
+    ++budget_rejections_;
+    return Status::ResourceExhausted("what-if call budget exhausted");
+  }
+  return Status::Ok();
+}
+
+Result<double> FaultInjectingWhatIf::Cost(const Query& q,
+                                          const Configuration& x) {
+  const uint64_t key = internal::WhatIfCallKey(
+      kCost, q.id, internal::ConfigurationDigest(x));
+  Status s = MaybeFail(key, q);
+  if (!s.ok()) return s;
+  return backend_->Cost(q, x);
+}
+
+Result<double> FaultInjectingWhatIf::UpdateCost(IndexId a, const Query& q) {
+  const uint64_t key =
+      internal::WhatIfCallKey(kUpdateCost, q.id, static_cast<uint64_t>(a));
+  Status s = MaybeFail(key, q);
+  if (!s.ok()) return s;
+  return backend_->UpdateCost(a, q);
+}
+
+Result<std::vector<TemplatePlan>> FaultInjectingWhatIf::EnumerateTemplates(
+    const Query& q) {
+  const uint64_t key = internal::WhatIfCallKey(kEnumerateTemplates, q.id, 0);
+  Status s = MaybeFail(key, q);
+  if (!s.ok()) return s;
+  return backend_->EnumerateTemplates(q);
+}
+
+Result<double> FaultInjectingWhatIf::AccessCost(const Query& q, int slot,
+                                                const OrderSpec& order,
+                                                IndexId a) {
+  uint64_t extra = internal::OrderDigest(order);
+  extra = internal::HashMix(extra, static_cast<uint64_t>(slot));
+  extra = internal::HashMix(extra, static_cast<uint64_t>(a));
+  const uint64_t key = internal::WhatIfCallKey(kAccessCost, q.id, extra);
+  Status s = MaybeFail(key, q);
+  if (!s.ok()) return s;
+  return backend_->AccessCost(q, slot, order, a);
+}
+
+Result<double> FaultInjectingWhatIf::ShellCost(const Query& q,
+                                               const Configuration& x) {
+  const uint64_t key = internal::WhatIfCallKey(
+      kShellCost, q.id, internal::ConfigurationDigest(x));
+  Status s = MaybeFail(key, q);
+  if (!s.ok()) return s;
+  return backend_->ShellCost(q, x);
+}
+
+Result<double> FaultInjectingWhatIf::BaseUpdateCost(const Query& q) {
+  const uint64_t key = internal::WhatIfCallKey(kBaseUpdateCost, q.id, 0);
+  Status s = MaybeFail(key, q);
+  if (!s.ok()) return s;
+  return backend_->BaseUpdateCost(q);
+}
+
+std::vector<std::vector<OrderSpec>> FaultInjectingWhatIf::SlotOrderCandidates(
+    const Query& q) const {
+  return backend_->SlotOrderCandidates(q);  // pure metadata: never faulted
+}
+
+}  // namespace cophy

@@ -1,0 +1,105 @@
+// FaultInjectingWhatIf: a deterministic, seeded fault harness over any
+// WhatIfOptimizer. It stands in for everything a real backend does
+// wrong — transient planner timeouts, statements the server refuses to
+// cost, latency spikes, and per-session what-if call budgets — while
+// keeping every fault decision a pure function of (seed, call
+// arguments, per-call-site attempt number), so a run replays
+// bit-identically and an immediate retry of the same call redraws its
+// fate exactly as a flaky server would.
+#ifndef COPHY_OPTIMIZER_FAULT_INJECTION_H_
+#define COPHY_OPTIMIZER_FAULT_INJECTION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "optimizer/whatif.h"
+
+namespace cophy {
+
+struct FaultInjectionOptions {
+  uint64_t seed = 1;
+  /// Probability that one backend call fails transiently (kTimeout).
+  /// Drawn per (call key, attempt number): retrying the same call
+  /// redraws, so bounded retries eventually succeed with probability 1.
+  double transient_failure_rate = 0.0;
+  /// Statements that fail permanently (kInternal), by statement id.
+  /// Compressed per-shard views renumber statements, so tests that
+  /// target "one shard" usually use the predicate form below instead.
+  std::unordered_set<QueryId> permanent_failure_queries;
+  /// Predicate form of permanent failures (e.g. "every statement
+  /// touching table t"). Either trigger alone suffices.
+  std::function<bool(const Query&)> permanent_failure_predicate;
+  /// Latency added to every backend call, in seconds (0 = none).
+  double injected_latency_seconds = 0.0;
+  /// Remaining calls before every further call fails with
+  /// kResourceExhausted (< 0 = unlimited).
+  int64_t call_budget = -1;
+};
+
+/// Decorator injecting faults in front of `backend`. Thread-safe: the
+/// per-key attempt counters are mutex-guarded and the stats are atomic.
+class FaultInjectingWhatIf : public WhatIfOptimizer {
+ public:
+  /// `backend` must outlive this object; not owned.
+  FaultInjectingWhatIf(WhatIfOptimizer* backend, FaultInjectionOptions opts);
+
+  // WhatIfOptimizer:
+  Result<double> Cost(const Query& q, const Configuration& x) override;
+  Result<double> UpdateCost(IndexId a, const Query& q) override;
+  Result<std::vector<TemplatePlan>> EnumerateTemplates(const Query& q) override;
+  Result<double> AccessCost(const Query& q, int slot, const OrderSpec& order,
+                            IndexId a) override;
+  Result<double> ShellCost(const Query& q, const Configuration& x) override;
+  Result<double> BaseUpdateCost(const Query& q) override;
+  std::vector<std::vector<OrderSpec>> SlotOrderCandidates(
+      const Query& q) const override;
+  const Catalog& catalog() const override { return backend_->catalog(); }
+  const IndexPool& pool() const override { return backend_->pool(); }
+  int64_t num_whatif_calls() const override {
+    return backend_->num_whatif_calls();
+  }
+  WhatIfHealth health() const override { return backend_->health(); }
+
+  /// The backend recovered: clears permanent failures and stops
+  /// transient injection. Latency and any remaining budget persist.
+  void Heal();
+  void set_transient_failure_rate(double rate);
+  /// Restores `n` call-budget units (< 0 = unlimited again).
+  void set_call_budget(int64_t n);
+
+  int64_t injected_transient_faults() const { return transient_faults_; }
+  int64_t injected_permanent_faults() const { return permanent_faults_; }
+  int64_t budget_rejections() const { return budget_rejections_; }
+
+ private:
+  /// Fault decision for one call with digest `key` on statement `q`;
+  /// OK means the call passes through to the backend.
+  Status MaybeFail(uint64_t key, const Query& q);
+
+  WhatIfOptimizer* backend_;
+  FaultInjectionOptions opts_;
+  mutable std::mutex mu_;                          // guards opts_ + attempts_
+  std::unordered_map<uint64_t, uint64_t> attempts_;  // per-key call count
+  std::atomic<int64_t> budget_left_{-1};
+  std::atomic<int64_t> transient_faults_{0};
+  std::atomic<int64_t> permanent_faults_{0};
+  std::atomic<int64_t> budget_rejections_{0};
+};
+
+namespace internal {
+/// Digest helpers shared by the fault injector and the resilient
+/// decorator: both must agree on what "the same call" means.
+uint64_t HashMix(uint64_t h, uint64_t v);
+uint64_t ConfigurationDigest(const Configuration& x);
+uint64_t OrderDigest(const OrderSpec& order);
+/// Digest of one what-if call: `surface` tags the entry point.
+uint64_t WhatIfCallKey(int surface, QueryId qid, uint64_t extra);
+}  // namespace internal
+
+}  // namespace cophy
+
+#endif  // COPHY_OPTIMIZER_FAULT_INJECTION_H_

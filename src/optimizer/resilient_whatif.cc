@@ -1,0 +1,209 @@
+#include "optimizer/resilient_whatif.h"
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+
+#include "common/check.h"
+#include "common/stopwatch.h"
+#include "optimizer/fault_injection.h"  // call-digest helpers
+
+namespace cophy {
+
+namespace {
+
+/// Transient error classes worth retrying; everything else (kInternal,
+/// kInvalidArgument, ...) is treated as a permanent verdict.
+bool Retryable(StatusCode c) {
+  return c == StatusCode::kTimeout || c == StatusCode::kResourceExhausted;
+}
+
+// Surface tags for call digests (mirrors the fault injector's keying so
+// "the same call" means the same thing on both sides of the boundary).
+enum Surface {
+  kCost = 1,
+  kUpdateCost,
+  kEnumerateTemplates,
+  kAccessCost,
+  kShellCost,
+  kBaseUpdateCost,
+};
+
+}  // namespace
+
+ResilientWhatIf::ResilientWhatIf(WhatIfOptimizer* backend,
+                                 ResilienceOptions opts)
+    : backend_(backend), opts_(opts) {
+  COPHY_CHECK(backend != nullptr);
+}
+
+bool ResilientWhatIf::AdmitCall() {
+  if (!opts_.breaker.enabled) return true;
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (state_) {
+    case BreakerState::kClosed:
+      return true;
+    case BreakerState::kOpen:
+      if (Clock::now() >= open_until_) {
+        state_ = BreakerState::kHalfOpen;  // let one probe batch through
+        return true;
+      }
+      return false;
+    case BreakerState::kHalfOpen:
+      return true;
+  }
+  return true;
+}
+
+void ResilientWhatIf::RecordOutcome(bool success) {
+  if (!opts_.breaker.enabled) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (success) {
+    state_ = BreakerState::kClosed;
+    consecutive_failures_ = 0;
+    return;
+  }
+  ++consecutive_failures_;
+  const bool should_open =
+      state_ == BreakerState::kHalfOpen ||  // failed probe: reopen
+      consecutive_failures_ >= opts_.breaker.failure_threshold;
+  if (should_open && state_ != BreakerState::kOpen) ++breaker_trips_;
+  if (should_open) {
+    state_ = BreakerState::kOpen;
+    open_until_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                     std::chrono::duration<double>(
+                                         opts_.breaker.open_seconds));
+  }
+}
+
+template <typename T, typename Fn>
+Result<T> ResilientWhatIf::RunAttempts(uint64_t key, Fn&& fn) {
+  const RetryPolicy& rp = opts_.retry;
+  const int attempts = std::max(1, rp.max_attempts);
+  Stopwatch sw;
+  Status last = Status::Internal("what-if call made no attempts");
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      double backoff = rp.initial_backoff_seconds *
+                       std::pow(rp.backoff_multiplier, attempt - 1);
+      backoff = std::min(backoff, rp.max_backoff_seconds);
+      if (backoff > 0.0) {
+        // ±25% deterministic jitter decorrelates concurrent retries.
+        uint64_t h = internal::HashMix(rp.jitter_seed, key);
+        h = internal::HashMix(h, static_cast<uint64_t>(attempt));
+        backoff *= 0.75 + 0.5 * (static_cast<double>(h >> 11) * 0x1.0p-53);
+      }
+      if (sw.Elapsed() + backoff > rp.call_deadline_seconds) break;
+      if (backoff > 0.0) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+      }
+      ++retries_;
+    }
+    Result<T> r = fn();
+    if (r.ok()) return r;
+    last = r.status();
+    if (!Retryable(last.code())) break;
+    if (sw.Elapsed() > rp.call_deadline_seconds) break;
+  }
+  return last;
+}
+
+template <typename T, typename CacheMap>
+Result<T> ResilientWhatIf::Resolve(CacheMap& cache, uint64_t key,
+                                   Status error) {
+  if (opts_.degraded_fallback) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = cache.find(key);
+    if (it != cache.end()) {
+      ++degraded_;
+      return it->second;  // last-known answer, marked degraded
+    }
+  }
+  return error;
+}
+
+template <typename T, typename Fn, typename CacheMap>
+Result<T> ResilientWhatIf::Dispatch(CacheMap& cache, uint64_t key, Fn&& fn) {
+  if (!AdmitCall()) {
+    ++breaker_fast_fails_;
+    return Resolve<T>(cache, key,
+                      Status::ResourceExhausted("circuit breaker open"));
+  }
+  Result<T> r = RunAttempts<T>(key, fn);
+  if (r.ok()) {
+    RecordOutcome(/*success=*/true);
+    std::lock_guard<std::mutex> lock(mu_);
+    cache[key] = r.value();
+    return r;
+  }
+  ++failures_;
+  RecordOutcome(/*success=*/false);
+  return Resolve<T>(cache, key, r.status());
+}
+
+Result<double> ResilientWhatIf::Cost(const Query& q, const Configuration& x) {
+  const uint64_t key = internal::WhatIfCallKey(
+      kCost, q.id, internal::ConfigurationDigest(x));
+  return Dispatch<double>(scalar_cache_, key,
+                          [&] { return backend_->Cost(q, x); });
+}
+
+Result<double> ResilientWhatIf::UpdateCost(IndexId a, const Query& q) {
+  const uint64_t key =
+      internal::WhatIfCallKey(kUpdateCost, q.id, static_cast<uint64_t>(a));
+  return Dispatch<double>(scalar_cache_, key,
+                          [&] { return backend_->UpdateCost(a, q); });
+}
+
+Result<std::vector<TemplatePlan>> ResilientWhatIf::EnumerateTemplates(
+    const Query& q) {
+  const uint64_t key = internal::WhatIfCallKey(kEnumerateTemplates, q.id, 0);
+  return Dispatch<std::vector<TemplatePlan>>(
+      template_cache_, key, [&] { return backend_->EnumerateTemplates(q); });
+}
+
+Result<double> ResilientWhatIf::AccessCost(const Query& q, int slot,
+                                           const OrderSpec& order, IndexId a) {
+  uint64_t extra = internal::OrderDigest(order);
+  extra = internal::HashMix(extra, static_cast<uint64_t>(slot));
+  extra = internal::HashMix(extra, static_cast<uint64_t>(a));
+  const uint64_t key = internal::WhatIfCallKey(kAccessCost, q.id, extra);
+  return Dispatch<double>(scalar_cache_, key, [&] {
+    return backend_->AccessCost(q, slot, order, a);
+  });
+}
+
+Result<double> ResilientWhatIf::ShellCost(const Query& q,
+                                          const Configuration& x) {
+  const uint64_t key = internal::WhatIfCallKey(
+      kShellCost, q.id, internal::ConfigurationDigest(x));
+  return Dispatch<double>(scalar_cache_, key,
+                          [&] { return backend_->ShellCost(q, x); });
+}
+
+Result<double> ResilientWhatIf::BaseUpdateCost(const Query& q) {
+  const uint64_t key = internal::WhatIfCallKey(kBaseUpdateCost, q.id, 0);
+  return Dispatch<double>(scalar_cache_, key,
+                          [&] { return backend_->BaseUpdateCost(q); });
+}
+
+std::vector<std::vector<OrderSpec>> ResilientWhatIf::SlotOrderCandidates(
+    const Query& q) const {
+  return backend_->SlotOrderCandidates(q);
+}
+
+WhatIfHealth ResilientWhatIf::health() const {
+  WhatIfHealth h;
+  h.retries = retries_;
+  h.failures = failures_;
+  h.degraded = degraded_;
+  h.breaker_fast_fails = breaker_fast_fails_;
+  h.breaker_trips = breaker_trips_;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    h.breaker_open = state_ == BreakerState::kOpen;
+  }
+  return h;
+}
+
+}  // namespace cophy

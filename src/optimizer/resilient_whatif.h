@@ -1,0 +1,142 @@
+// ResilientWhatIf: the fault-tolerance layer of the what-if boundary.
+// Wraps any WhatIfOptimizer with
+//
+//  * a retry policy — bounded attempts, exponential backoff with
+//    deterministic jitter, and a per-call deadline across attempts —
+//    for the transient error classes (kTimeout, kResourceExhausted);
+//    permanent classes (kInternal, kInvalidArgument, ...) fail through
+//    immediately; and
+//
+//  * a circuit breaker — after `failure_threshold` consecutive ultimate
+//    failures the breaker opens and calls fail fast (no backend
+//    traffic) for `open_seconds`, then a half-open probe decides
+//    whether to close it again; and
+//
+//  * a degraded fallback — every successful answer is remembered, and
+//    when a call ultimately fails (retries exhausted or breaker open)
+//    the last-known answer is served instead, counted in
+//    WhatIfHealth::degraded so callers can mark the result.
+//
+// The decorator is thread-safe and composes under parallel Prepare:
+// per-call state is keyed by the same call digests the fault injector
+// uses, so retries of one logical call are independent of interleaving.
+#ifndef COPHY_OPTIMIZER_RESILIENT_WHATIF_H_
+#define COPHY_OPTIMIZER_RESILIENT_WHATIF_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "optimizer/whatif.h"
+
+namespace cophy {
+
+struct RetryPolicy {
+  /// Total attempts per call (1 = no retries).
+  int max_attempts = 4;
+  /// Backoff before the k-th retry: initial * multiplier^(k-1), capped
+  /// at `max_backoff_seconds`, scaled by ±25% deterministic jitter.
+  double initial_backoff_seconds = 0.001;
+  double backoff_multiplier = 2.0;
+  double max_backoff_seconds = 0.05;
+  /// Jitter is a pure function of (seed, call key, attempt).
+  uint64_t jitter_seed = 1;
+  /// Wall-clock cap for one call across all its attempts and backoffs;
+  /// when it expires the call stops retrying and resolves (degraded or
+  /// errored) immediately.
+  double call_deadline_seconds = std::numeric_limits<double>::infinity();
+};
+
+struct CircuitBreakerPolicy {
+  bool enabled = true;
+  /// Consecutive ultimate failures that trip the breaker open.
+  int failure_threshold = 5;
+  /// How long an open breaker rejects calls before the half-open probe.
+  double open_seconds = 0.05;
+};
+
+struct ResilienceOptions {
+  RetryPolicy retry;
+  CircuitBreakerPolicy breaker;
+  /// Serve the last-known answer (marked degraded) when a call
+  /// ultimately fails and one is cached; off = propagate the error.
+  bool degraded_fallback = true;
+};
+
+/// Retry/breaker/degraded-fallback decorator over `backend`.
+class ResilientWhatIf : public WhatIfOptimizer {
+ public:
+  /// `backend` must outlive this object; not owned.
+  explicit ResilientWhatIf(WhatIfOptimizer* backend,
+                           ResilienceOptions opts = {});
+
+  // WhatIfOptimizer:
+  Result<double> Cost(const Query& q, const Configuration& x) override;
+  Result<double> UpdateCost(IndexId a, const Query& q) override;
+  Result<std::vector<TemplatePlan>> EnumerateTemplates(const Query& q) override;
+  Result<double> AccessCost(const Query& q, int slot, const OrderSpec& order,
+                            IndexId a) override;
+  Result<double> ShellCost(const Query& q, const Configuration& x) override;
+  Result<double> BaseUpdateCost(const Query& q) override;
+  std::vector<std::vector<OrderSpec>> SlotOrderCandidates(
+      const Query& q) const override;
+  const Catalog& catalog() const override { return backend_->catalog(); }
+  const IndexPool& pool() const override { return backend_->pool(); }
+  int64_t num_whatif_calls() const override {
+    return backend_->num_whatif_calls();
+  }
+
+  /// This decorator's own counters (the backend underneath is the
+  /// faulty party; its health is not merged in).
+  WhatIfHealth health() const override;
+
+  const ResilienceOptions& options() const { return opts_; }
+
+ private:
+  enum class BreakerState { kClosed, kOpen, kHalfOpen };
+  using Clock = std::chrono::steady_clock;
+
+  /// Breaker admission decision for one call. Returns false when the
+  /// call must fail fast without touching the backend.
+  bool AdmitCall();
+  void RecordOutcome(bool success);
+  /// The retry loop for one logical call: bounded attempts, backoff
+  /// with deterministic jitter, per-call deadline. `fn` performs a
+  /// single backend attempt.
+  template <typename T, typename Fn>
+  Result<T> RunAttempts(uint64_t key, Fn&& fn);
+  /// Full call path: breaker admission → retry loop → cache the answer
+  /// on success / resolve degraded-or-error on ultimate failure.
+  template <typename T, typename Fn, typename CacheMap>
+  Result<T> Dispatch(CacheMap& cache, uint64_t key, Fn&& fn);
+  /// Resolves an ultimate failure: serve the cached answer as degraded
+  /// when allowed, else propagate `error`.
+  template <typename T, typename CacheMap>
+  Result<T> Resolve(CacheMap& cache, uint64_t key, Status error);
+
+  WhatIfOptimizer* backend_;
+  ResilienceOptions opts_;
+
+  mutable std::mutex mu_;  // breaker state + last-known caches
+  BreakerState state_ = BreakerState::kClosed;
+  int consecutive_failures_ = 0;
+  Clock::time_point open_until_{};
+
+  // Last-known answers per surface, keyed by call digest.
+  std::unordered_map<uint64_t, double> scalar_cache_;
+  std::unordered_map<uint64_t, std::vector<TemplatePlan>> template_cache_;
+
+  std::atomic<int64_t> retries_{0};
+  std::atomic<int64_t> failures_{0};
+  std::atomic<int64_t> degraded_{0};
+  std::atomic<int64_t> breaker_fast_fails_{0};
+  std::atomic<int> breaker_trips_{0};
+};
+
+}  // namespace cophy
+
+#endif  // COPHY_OPTIMIZER_RESILIENT_WHATIF_H_

@@ -115,8 +115,9 @@ double SystemSimulator::SortCost(double rows) const {
 // ---------------------------------------------------------------------------
 // Access-path costing (the γ function)
 
-double SystemSimulator::AccessCost(const Query& q, int slot,
-                                   const OrderSpec& order, IndexId a) const {
+double SystemSimulator::AccessCostImpl(const Query& q, int slot,
+                                       const OrderSpec& order,
+                                       IndexId a) const {
   const SlotInfo info = AnalyzeSlot(q, slot);
   auto eq_sel_on = [&](ColumnId c) -> const double* {
     for (const auto& [col, sel] : info.eq_sels) {
@@ -221,7 +222,8 @@ std::vector<std::vector<OrderSpec>> SystemSimulator::SlotOrderCandidates(
   return result;
 }
 
-std::vector<TemplatePlan> SystemSimulator::EnumerateTemplates(const Query& q) {
+std::vector<TemplatePlan> SystemSimulator::EnumerateTemplatesImpl(
+    const Query& q) {
   constexpr int kMaxTemplates = 96;
   const auto candidates = SlotOrderCandidates(q);
   std::vector<TemplatePlan> out;
@@ -402,12 +404,12 @@ double SystemSimulator::BestAccessCost(const Query& q, int slot,
                                        const OrderSpec& order,
                                        const Configuration& x,
                                        IndexId* chosen) const {
-  double best = AccessCost(q, slot, order, kInvalidIndex);
+  double best = AccessCostImpl(q, slot, order, kInvalidIndex);
   if (chosen != nullptr) *chosen = kInvalidIndex;
   const TableId t = q.tables[slot];
   for (IndexId id : x.ids()) {
     if ((*pool_)[id].table != t) continue;
-    const double c = AccessCost(q, slot, order, id);
+    const double c = AccessCostImpl(q, slot, order, id);
     if (c < best) {
       best = c;
       if (chosen != nullptr) *chosen = id;
@@ -416,7 +418,8 @@ double SystemSimulator::BestAccessCost(const Query& q, int slot,
   return best;
 }
 
-double SystemSimulator::ShellCost(const Query& q, const Configuration& x) {
+double SystemSimulator::ShellCostImpl(const Query& q,
+                                      const Configuration& x) const {
   double best = kInfiniteCost;
   const auto candidates = SlotOrderCandidates(q);
   std::vector<size_t> pick(candidates.size(), 0);
@@ -444,7 +447,7 @@ double SystemSimulator::ShellCost(const Query& q, const Configuration& x) {
   return best;
 }
 
-double SystemSimulator::BaseUpdateCost(const Query& q) const {
+double SystemSimulator::BaseUpdateCostImpl(const Query& q) const {
   if (!q.IsUpdate()) return 0.0;
   const int slot = q.TableSlot(q.update_table);
   COPHY_CHECK_GE(slot, 0);
@@ -452,7 +455,7 @@ double SystemSimulator::BaseUpdateCost(const Query& q) const {
   return rows * (0.5 * model_.rand_page + model_.cpu_tuple);
 }
 
-double SystemSimulator::UpdateCost(IndexId a, const Query& q) {
+double SystemSimulator::UpdateCostImpl(IndexId a, const Query& q) const {
   if (!q.IsUpdate()) return 0.0;
   const Index& idx = (*pool_)[a];
   if (idx.table != q.update_table) return 0.0;
@@ -476,14 +479,45 @@ double SystemSimulator::UpdateCost(IndexId a, const Query& q) {
                  model_.cpu_oper * std::log2(std::max(2.0, leaf)));
 }
 
-double SystemSimulator::Cost(const Query& q, const Configuration& x) {
+double SystemSimulator::CostImpl(const Query& q, const Configuration& x) {
   ++whatif_calls_;
   if (q.IsUpdate()) {
-    double c = ShellCost(q, x) + BaseUpdateCost(q);
-    for (IndexId a : x.ids()) c += UpdateCost(a, q);
+    double c = ShellCostImpl(q, x) + BaseUpdateCostImpl(q);
+    for (IndexId a : x.ids()) c += UpdateCostImpl(a, q);
     return c;
   }
-  return ShellCost(q, x);
+  return ShellCostImpl(q, x);
+}
+
+// ---------------------------------------------------------------------------
+/// WhatIfOptimizer boundary: the simulator never fails, so the fallible
+// interface simply wraps the implementations above.
+
+Result<double> SystemSimulator::Cost(const Query& q, const Configuration& x) {
+  return CostImpl(q, x);
+}
+
+Result<double> SystemSimulator::UpdateCost(IndexId a, const Query& q) {
+  return UpdateCostImpl(a, q);
+}
+
+Result<std::vector<TemplatePlan>> SystemSimulator::EnumerateTemplates(
+    const Query& q) {
+  return EnumerateTemplatesImpl(q);
+}
+
+Result<double> SystemSimulator::AccessCost(const Query& q, int slot,
+                                           const OrderSpec& order, IndexId a) {
+  return AccessCostImpl(q, slot, order, a);
+}
+
+Result<double> SystemSimulator::ShellCost(const Query& q,
+                                          const Configuration& x) {
+  return ShellCostImpl(q, x);
+}
+
+Result<double> SystemSimulator::BaseUpdateCost(const Query& q) {
+  return BaseUpdateCostImpl(q);
 }
 
 // ---------------------------------------------------------------------------

@@ -8,12 +8,15 @@
 // method produced them. That is exactly the property (Lemma 1: linear
 // composability) that INUM and hence CoPhy's BIP formulation rest on,
 // and it matches how real optimizers expose plans to INUM/C-PQO.
+//
+// The simulator is an in-process model and never fails, so each
+// WhatIfOptimizer override wraps an infallible implementation; faults
+// enter the pipeline only through decorators (FaultInjectingWhatIf).
 #ifndef COPHY_OPTIMIZER_SIMULATOR_H_
 #define COPHY_OPTIMIZER_SIMULATOR_H_
 
 #include <atomic>
 #include <cstdint>
-#include <limits>
 #include <string>
 #include <vector>
 
@@ -22,62 +25,30 @@
 
 namespace cophy {
 
-/// An interesting order: a column sequence the slot's access path must
-/// deliver. Empty = no order requirement.
-using OrderSpec = std::vector<ColumnId>;
-
-inline constexpr double kInfiniteCost = std::numeric_limits<double>::infinity();
-
-/// One template plan (INUM's TPlans(q) element, §2/Fig. 1): a choice of
-/// interesting order per table slot plus the internal plan cost β of the
-/// best physical plan given those leaf orders (leaf access excluded).
-struct TemplatePlan {
-  std::vector<OrderSpec> slot_orders;  ///< one per q.tables slot
-  double internal_cost = 0.0;          ///< β_qk
-};
-
 /// Concrete what-if optimizer over the statistics catalog.
 class SystemSimulator : public WhatIfOptimizer {
  public:
   SystemSimulator(const Catalog* cat, const IndexPool* pool, CostModel model);
 
   // WhatIfOptimizer:
-  double Cost(const Query& q, const Configuration& x) override;
-  double UpdateCost(IndexId a, const Query& q) override;
+  Result<double> Cost(const Query& q, const Configuration& x) override;
+  Result<double> UpdateCost(IndexId a, const Query& q) override;
+  Result<std::vector<TemplatePlan>> EnumerateTemplates(const Query& q) override;
+  Result<double> AccessCost(const Query& q, int slot, const OrderSpec& order,
+                            IndexId a) override;
+  Result<double> ShellCost(const Query& q, const Configuration& x) override;
+  Result<double> BaseUpdateCost(const Query& q) override;
+  std::vector<std::vector<OrderSpec>> SlotOrderCandidates(
+      const Query& q) const override;
   const Catalog& catalog() const override { return *cat_; }
   const IndexPool& pool() const override { return *pool_; }
   int64_t num_whatif_calls() const override { return whatif_calls_; }
 
   const CostModel& model() const { return model_; }
 
-  /// The per-slot interesting orders the optimizer considers for q
-  /// (empty order first). The template space is their cross product.
-  std::vector<std::vector<OrderSpec>> SlotOrderCandidates(const Query& q) const;
-
-  /// Enumerates TPlans(q): every slot-order combination with its β.
-  /// This is INUM's preprocessing — each template costs one
-  /// optimization, so the call advances the what-if counter by K_q.
-  std::vector<TemplatePlan> EnumerateTemplates(const Query& q);
-
-  /// γ(q, slot, order, a): cost for access path `a` (kInvalidIndex = the
-  /// base clustered-PK path I∅) to produce slot `slot`'s rows sorted by
-  /// `order`; kInfiniteCost if the path cannot deliver that order.
-  /// A pure function of its arguments — this is what linear
-  /// composability means operationally.
-  double AccessCost(const Query& q, int slot, const OrderSpec& order,
-                    IndexId a) const;
-
   /// Rows flowing out of slot `slot` after all predicates on its table
   /// (identical for every access path, by design).
   double SlotOutputRows(const Query& q, int slot) const;
-
-  /// Cost of q's *query shell* (for UPDATEs: the scan locating the
-  /// tuples to update; for SELECTs: the query itself) under X.
-  double ShellCost(const Query& q, const Configuration& x);
-
-  /// The constant base-table maintenance cost c_q of an update (0 for
-  /// SELECTs); independent of the configuration.
-  double BaseUpdateCost(const Query& q) const;
 
   /// Human-readable account of the chosen plan under X: template
   /// orders, per-slot access path, β and γ breakdown.
@@ -94,6 +65,15 @@ class SystemSimulator : public WhatIfOptimizer {
   /// min over access paths available in X of γ(q, slot, order, ·).
   double BestAccessCost(const Query& q, int slot, const OrderSpec& order,
                         const Configuration& x, IndexId* chosen) const;
+
+  // Infallible implementations behind the fallible overrides.
+  double CostImpl(const Query& q, const Configuration& x);
+  double UpdateCostImpl(IndexId a, const Query& q) const;
+  std::vector<TemplatePlan> EnumerateTemplatesImpl(const Query& q);
+  double AccessCostImpl(const Query& q, int slot, const OrderSpec& order,
+                        IndexId a) const;
+  double ShellCostImpl(const Query& q, const Configuration& x) const;
+  double BaseUpdateCostImpl(const Query& q) const;
 
   const Catalog* cat_;
   const IndexPool* pool_;

@@ -3,6 +3,7 @@
 // qualitative relationships the paper's comparison rests on.
 #include <gtest/gtest.h>
 
+#include "optimizer/simulator.h"
 #include "baselines/advisor.h"
 #include "baselines/cophy_advisor.h"
 #include "baselines/greedy_advisor.h"

@@ -6,6 +6,7 @@
 
 #include <cmath>
 
+#include "optimizer/simulator.h"
 #include "catalog/catalog.h"
 #include "core/bipgen.h"
 #include "index/candidates.h"
@@ -121,7 +122,7 @@ TEST_F(BipGenTest, UpdateCostsBecomeFixedCosts) {
   lp::ChoiceProblem p = BuildChoiceProblem(*inum_, candidates_, cs);
   double expected_constant = 0;
   for (QueryId uid : w_.UpdateIds()) {
-    expected_constant += w_[uid].weight * sim_->BaseUpdateCost(w_[uid]);
+    expected_constant += w_[uid].weight * sim_->BaseUpdateCost(w_[uid]).value();
   }
   EXPECT_NEAR(p.constant_cost, expected_constant, 1e-6);
   bool any_fixed = false;

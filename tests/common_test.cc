@@ -28,8 +28,22 @@ TEST(StatusTest, FactoryCodes) {
   EXPECT_EQ(Status::InvalidArgument("x").code(), StatusCode::kInvalidArgument);
   EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
   EXPECT_EQ(Status::Unbounded("x").code(), StatusCode::kUnbounded);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
   EXPECT_EQ(Status::Timeout("x").code(), StatusCode::kTimeout);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, EveryCodeRenders) {
+  EXPECT_EQ(Status::Ok().ToString(), "OK");
+  EXPECT_EQ(Status::InvalidArgument("m").ToString(), "INVALID_ARGUMENT: m");
+  EXPECT_EQ(Status::NotFound("m").ToString(), "NOT_FOUND: m");
+  EXPECT_EQ(Status::Infeasible("m").ToString(), "INFEASIBLE: m");
+  EXPECT_EQ(Status::Unbounded("m").ToString(), "UNBOUNDED: m");
+  EXPECT_EQ(Status::ResourceExhausted("m").ToString(),
+            "RESOURCE_EXHAUSTED: m");
+  EXPECT_EQ(Status::Timeout("m").ToString(), "TIMEOUT: m");
+  EXPECT_EQ(Status::Internal("m").ToString(), "INTERNAL: m");
 }
 
 TEST(ResultTest, HoldsValue) {
@@ -44,6 +58,13 @@ TEST(ResultTest, HoldsError) {
   Result<int> r(Status::NotFound("gone"));
   EXPECT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultDeathTest, ValueOnErrorAbortsWithStatus) {
+  // The abort fires in every build mode (no assert/NDEBUG dependence)
+  // and carries the contained status in the message.
+  Result<int> r(Status::Timeout("backend gone"));
+  EXPECT_DEATH(static_cast<void>(r.value()), "TIMEOUT: backend gone");
 }
 
 TEST(RngTest, DeterministicAcrossInstances) {

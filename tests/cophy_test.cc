@@ -4,6 +4,7 @@
 
 #include <cmath>
 
+#include "optimizer/simulator.h"
 #include "baselines/advisor.h"
 #include "catalog/catalog.h"
 #include "core/cophy.h"

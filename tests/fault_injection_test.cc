@@ -1,0 +1,529 @@
+// The fault-tolerant what-if boundary: deterministic fault injection,
+// retry/backoff + circuit breaker + degraded fallback, and the
+// end-to-end invariants — a fault-free decorator stack is bit-identical
+// to the raw simulator, retries mask transient faults exactly, and a
+// seeded sweep across failure rates/budgets/latencies always returns
+// cleanly (a recommendation or an error Status, never a crash).
+//
+// Determinism caveat: the injector's per-call attempt counters and the
+// call-budget countdown are interleaving-dependent under parallel
+// Prepare, so every test asserting exact outcomes pins num_threads = 1;
+// the multi-threaded sweep entries assert clean-outcome invariants only.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <thread>
+
+#include "optimizer/simulator.h"
+#include "baselines/cophy_advisor.h"
+#include "catalog/catalog.h"
+#include "core/cophy.h"
+#include "core/report.h"
+#include "optimizer/fault_injection.h"
+#include "optimizer/resilient_whatif.h"
+#include "workload/generator.h"
+
+namespace cophy {
+namespace {
+
+struct Env {
+  Catalog cat = MakeTpchCatalog(0.1, 0.0);
+  IndexPool pool;
+  SystemSimulator sim{&cat, &pool, CostModel::SystemA()};
+};
+
+Workload MakeWorkload(int n, uint64_t seed = 42,
+                      double update_fraction = 0.2) {
+  Catalog cat = MakeTpchCatalog(0.1, 0.0);
+  WorkloadOptions o;
+  o.num_statements = n;
+  o.seed = seed;
+  o.update_fraction = update_fraction;
+  return MakeHomogeneousWorkload(cat, o);
+}
+
+CoPhyOptions TestOptions() {
+  CoPhyOptions opts;
+  opts.gap_target = 0.05;
+  opts.node_limit = 3000;
+  opts.prepare.num_threads = 1;  // deterministic fault sequences
+  return opts;
+}
+
+/// Fast retry policy for tests: generous attempts, microsecond backoff.
+ResilienceOptions FastRetries(int max_attempts = 8) {
+  ResilienceOptions ro;
+  ro.retry.max_attempts = max_attempts;
+  ro.retry.initial_backoff_seconds = 1e-6;
+  ro.retry.max_backoff_seconds = 1e-5;
+  return ro;
+}
+
+struct TuneOutput {
+  Status status;
+  std::vector<IndexId> config;  // sorted
+  double objective = 0;
+};
+
+/// One fresh-environment CoPhy run through an arbitrary decorator
+/// stack. `decorate` receives the raw simulator and returns the
+/// boundary the advisor talks to (identity = fault-free baseline).
+template <typename Decorate>
+TuneOutput RunCoPhy(const Workload& w, Decorate&& decorate) {
+  Env e;
+  WhatIfOptimizer* boundary = decorate(e);
+  CoPhy advisor(boundary, &e.pool, w, TestOptions());
+  TuneOutput out;
+  out.status = advisor.Prepare();
+  if (!out.status.ok()) return out;
+  ConstraintSet cs;
+  cs.SetStorageBudget(0.5 * e.cat.TotalDataBytes());
+  const Recommendation rec = advisor.Tune(cs);
+  out.status = rec.status;
+  out.config = rec.configuration.ids();
+  std::sort(out.config.begin(), out.config.end());
+  out.objective = rec.objective;
+  return out;
+}
+
+// --- Fault injector ------------------------------------------------------
+
+TEST(FaultInjectorTest, ZeroRateIsTransparent) {
+  Env e;
+  FaultInjectionOptions fo;
+  fo.seed = 7;
+  FaultInjectingWhatIf faulty(&e.sim, fo);
+  const Workload w = MakeWorkload(6);
+  for (const Query& q : w.statements()) {
+    Result<double> through = faulty.Cost(q, Configuration::Empty());
+    ASSERT_TRUE(through.ok());
+    // Bit-identical pass-through, not approximately equal.
+    EXPECT_EQ(*through, e.sim.Cost(q, Configuration::Empty()).value());
+  }
+  EXPECT_EQ(faulty.injected_transient_faults(), 0);
+  EXPECT_EQ(faulty.injected_permanent_faults(), 0);
+}
+
+TEST(FaultInjectorTest, TransientFaultsReplayBitIdentically) {
+  const Workload w = MakeWorkload(8);
+  // Two independent injectors with the same seed must agree on the
+  // fate of every call in the same sequence.
+  std::vector<StatusCode> first;
+  for (int run = 0; run < 2; ++run) {
+    Env e;
+    FaultInjectionOptions fo;
+    fo.seed = 11;
+    fo.transient_failure_rate = 0.5;
+    FaultInjectingWhatIf faulty(&e.sim, fo);
+    std::vector<StatusCode> codes;
+    for (const Query& q : w.statements()) {
+      for (int attempt = 0; attempt < 4; ++attempt) {
+        codes.push_back(faulty.Cost(q, Configuration::Empty()).status().code());
+      }
+    }
+    if (run == 0) {
+      first = codes;
+    } else {
+      EXPECT_EQ(codes, first);
+    }
+  }
+  // At rate 0.5 over 32 draws, both outcomes occur.
+  EXPECT_NE(std::count(first.begin(), first.end(), StatusCode::kOk), 0);
+  EXPECT_NE(std::count(first.begin(), first.end(), StatusCode::kTimeout), 0);
+}
+
+TEST(FaultInjectorTest, RetryingTheSameCallRedrawsItsFate) {
+  Env e;
+  const Workload w = MakeWorkload(1);
+  FaultInjectionOptions fo;
+  fo.seed = 3;
+  fo.transient_failure_rate = 0.5;
+  FaultInjectingWhatIf faulty(&e.sim, fo);
+  // The attempt counter advances per call key, so repeating ONE logical
+  // call redraws its fate — at rate 0.5 both outcomes occur.
+  int succeeded = 0;
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    succeeded += faulty.Cost(w[0], Configuration::Empty()).ok() ? 1 : 0;
+  }
+  EXPECT_GT(succeeded, 0);
+  EXPECT_GT(faulty.injected_transient_faults(), 0);
+}
+
+TEST(FaultInjectorTest, PermanentFaultsUntilHealed) {
+  Env e;
+  const Workload w = MakeWorkload(2);
+  FaultInjectionOptions fo;
+  fo.permanent_failure_queries = {w[0].id};
+  FaultInjectingWhatIf faulty(&e.sim, fo);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(faulty.Cost(w[0], Configuration::Empty()).status().code(),
+              StatusCode::kInternal);
+  }
+  EXPECT_TRUE(faulty.Cost(w[1], Configuration::Empty()).ok());
+  EXPECT_EQ(faulty.injected_permanent_faults(), 3);
+  faulty.Heal();
+  Result<double> healed = faulty.Cost(w[0], Configuration::Empty());
+  ASSERT_TRUE(healed.ok());
+  EXPECT_EQ(*healed, e.sim.Cost(w[0], Configuration::Empty()).value());
+}
+
+TEST(FaultInjectorTest, PermanentPredicateMatchesByStructure) {
+  Env e;
+  const Workload w = MakeWorkload(6);
+  const TableId target = w[0].tables[0];
+  FaultInjectionOptions fo;
+  fo.permanent_failure_predicate = [target](const Query& q) {
+    return std::find(q.tables.begin(), q.tables.end(), target) !=
+           q.tables.end();
+  };
+  FaultInjectingWhatIf faulty(&e.sim, fo);
+  int failed = 0, passed = 0;
+  for (const Query& q : w.statements()) {
+    const bool hits = std::find(q.tables.begin(), q.tables.end(), target) !=
+                      q.tables.end();
+    const Status s = faulty.Cost(q, Configuration::Empty()).status();
+    EXPECT_EQ(s.code(), hits ? StatusCode::kInternal : StatusCode::kOk);
+    (hits ? failed : passed) += 1;
+  }
+  EXPECT_GT(failed, 0);
+}
+
+TEST(FaultInjectorTest, CallBudgetExhaustsThenRestores) {
+  Env e;
+  const Workload w = MakeWorkload(1);
+  FaultInjectionOptions fo;
+  fo.call_budget = 3;
+  FaultInjectingWhatIf faulty(&e.sim, fo);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(faulty.Cost(w[0], Configuration::Empty()).ok()) << i;
+  }
+  EXPECT_EQ(faulty.Cost(w[0], Configuration::Empty()).status().code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(faulty.budget_rejections(), 1);
+  faulty.set_call_budget(-1);  // unlimited again
+  EXPECT_TRUE(faulty.Cost(w[0], Configuration::Empty()).ok());
+}
+
+// --- Resilient decorator -------------------------------------------------
+
+TEST(ResilientWhatIfTest, RetriesMaskTransientFaultsExactly) {
+  Env e;
+  const Workload w = MakeWorkload(8);
+  FaultInjectionOptions fo;
+  fo.seed = 5;
+  fo.transient_failure_rate = 0.6;
+  FaultInjectingWhatIf faulty(&e.sim, fo);
+  ResilientWhatIf resilient(&faulty, FastRetries(/*max_attempts=*/12));
+  for (const Query& q : w.statements()) {
+    Result<double> r = resilient.Cost(q, Configuration::Empty());
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    // The masked answer is the backend's answer, not an approximation.
+    EXPECT_EQ(*r, e.sim.Cost(q, Configuration::Empty()).value());
+  }
+  const WhatIfHealth h = resilient.health();
+  EXPECT_GT(h.retries, 0);
+  EXPECT_EQ(h.failures, 0);
+  EXPECT_EQ(h.degraded, 0);
+}
+
+TEST(ResilientWhatIfTest, PermanentErrorsFailThroughWithoutRetry) {
+  Env e;
+  const Workload w = MakeWorkload(1);
+  FaultInjectionOptions fo;
+  fo.permanent_failure_queries = {w[0].id};
+  FaultInjectingWhatIf faulty(&e.sim, fo);
+  ResilienceOptions ro = FastRetries();
+  ro.degraded_fallback = false;
+  ResilientWhatIf resilient(&faulty, ro);
+  EXPECT_EQ(resilient.Cost(w[0], Configuration::Empty()).status().code(),
+            StatusCode::kInternal);
+  const WhatIfHealth h = resilient.health();
+  EXPECT_EQ(h.retries, 0);  // kInternal is not retryable
+  EXPECT_EQ(h.failures, 1);
+  EXPECT_EQ(faulty.injected_permanent_faults(), 1);  // one backend attempt
+}
+
+TEST(ResilientWhatIfTest, DegradedFallbackServesLastKnownAnswer) {
+  Env e;
+  const Workload w = MakeWorkload(1);
+  FaultInjectionOptions fo;
+  fo.call_budget = 1;  // exactly one healthy backend call
+  FaultInjectingWhatIf faulty(&e.sim, fo);
+  ResilienceOptions ro = FastRetries(/*max_attempts=*/2);
+  ResilientWhatIf resilient(&faulty, ro);
+  Result<double> fresh = resilient.Cost(w[0], Configuration::Empty());
+  ASSERT_TRUE(fresh.ok());
+  // Budget exhausted: retries fail, the cached answer is served.
+  Result<double> degraded = resilient.Cost(w[0], Configuration::Empty());
+  ASSERT_TRUE(degraded.ok());
+  EXPECT_EQ(*degraded, *fresh);
+  const WhatIfHealth h = resilient.health();
+  EXPECT_EQ(h.degraded, 1);
+  EXPECT_EQ(h.failures, 1);
+}
+
+TEST(ResilientWhatIfTest, BreakerTripsThenFailsFast) {
+  Env e;
+  const Workload w = MakeWorkload(6);
+  FaultInjectionOptions fo;
+  fo.permanent_failure_predicate = [](const Query&) { return true; };
+  FaultInjectingWhatIf faulty(&e.sim, fo);
+  ResilienceOptions ro = FastRetries();
+  ro.degraded_fallback = false;
+  ro.breaker.failure_threshold = 3;
+  ro.breaker.open_seconds = 60;  // stays open for the whole test
+  ResilientWhatIf resilient(&faulty, ro);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_FALSE(resilient.Cost(w[i], Configuration::Empty()).ok());
+  }
+  WhatIfHealth h = resilient.health();
+  EXPECT_EQ(h.failures, 3);
+  EXPECT_EQ(h.breaker_trips, 1);
+  EXPECT_TRUE(h.breaker_open);
+  const int64_t backend_attempts = faulty.injected_permanent_faults();
+  // Open breaker: rejected without touching the backend.
+  EXPECT_FALSE(resilient.Cost(w[3], Configuration::Empty()).ok());
+  h = resilient.health();
+  EXPECT_EQ(h.breaker_fast_fails, 1);
+  EXPECT_EQ(faulty.injected_permanent_faults(), backend_attempts);
+}
+
+TEST(ResilientWhatIfTest, HalfOpenProbeClosesBreakerAfterHeal) {
+  Env e;
+  const Workload w = MakeWorkload(4);
+  FaultInjectionOptions fo;
+  fo.permanent_failure_predicate = [](const Query&) { return true; };
+  FaultInjectingWhatIf faulty(&e.sim, fo);
+  ResilienceOptions ro = FastRetries();
+  ro.degraded_fallback = false;
+  ro.breaker.failure_threshold = 2;
+  ro.breaker.open_seconds = 0.01;
+  ResilientWhatIf resilient(&faulty, ro);
+  for (int i = 0; i < 2; ++i) {
+    EXPECT_FALSE(resilient.Cost(w[i], Configuration::Empty()).ok());
+  }
+  EXPECT_TRUE(resilient.health().breaker_open);
+  faulty.Heal();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  // The half-open probe goes through, succeeds, and closes the breaker.
+  EXPECT_TRUE(resilient.Cost(w[2], Configuration::Empty()).ok());
+  EXPECT_FALSE(resilient.health().breaker_open);
+}
+
+// --- End-to-end pipeline invariants --------------------------------------
+
+TEST(FaultPipelineTest, FaultFreeDecoratorStackIsBitIdentical) {
+  const Workload w = MakeWorkload(12);
+  const TuneOutput plain =
+      RunCoPhy(w, [](Env& e) -> WhatIfOptimizer* { return &e.sim; });
+  ASSERT_TRUE(plain.status.ok()) << plain.status.ToString();
+
+  FaultInjectionOptions fo;  // all faults off
+  std::unique_ptr<FaultInjectingWhatIf> faulty;
+  std::unique_ptr<ResilientWhatIf> resilient;
+  const TuneOutput stacked = RunCoPhy(w, [&](Env& e) -> WhatIfOptimizer* {
+    faulty = std::make_unique<FaultInjectingWhatIf>(&e.sim, fo);
+    resilient = std::make_unique<ResilientWhatIf>(faulty.get(), FastRetries());
+    return resilient.get();
+  });
+  ASSERT_TRUE(stacked.status.ok()) << stacked.status.ToString();
+  EXPECT_EQ(stacked.config, plain.config);
+  EXPECT_EQ(stacked.objective, plain.objective);  // exact bits
+  const WhatIfHealth h = resilient->health();
+  EXPECT_EQ(h.retries, 0);
+  EXPECT_EQ(h.failures + h.degraded + h.breaker_fast_fails, 0);
+}
+
+TEST(FaultPipelineTest, RetriesMaskTransientsEndToEnd) {
+  const Workload w = MakeWorkload(10);
+  const TuneOutput plain =
+      RunCoPhy(w, [](Env& e) -> WhatIfOptimizer* { return &e.sim; });
+  ASSERT_TRUE(plain.status.ok());
+  int64_t total_retries = 0;
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    FaultInjectionOptions fo;
+    fo.seed = seed;
+    fo.transient_failure_rate = 0.05;
+    std::unique_ptr<FaultInjectingWhatIf> faulty;
+    std::unique_ptr<ResilientWhatIf> resilient;
+    const TuneOutput got = RunCoPhy(w, [&](Env& e) -> WhatIfOptimizer* {
+      faulty = std::make_unique<FaultInjectingWhatIf>(&e.sim, fo);
+      resilient =
+          std::make_unique<ResilientWhatIf>(faulty.get(), FastRetries(12));
+      return resilient.get();
+    });
+    ASSERT_TRUE(got.status.ok())
+        << "seed=" << seed << ": " << got.status.ToString();
+    // Once retries mask every transient, the recommendation is the
+    // fault-free one bit for bit.
+    EXPECT_EQ(got.config, plain.config) << "seed=" << seed;
+    EXPECT_EQ(got.objective, plain.objective) << "seed=" << seed;
+    EXPECT_EQ(resilient->health().degraded, 0);
+    total_retries += resilient->health().retries;
+  }
+  EXPECT_GT(total_retries, 0);  // the sweep actually exercised faults
+}
+
+TEST(FaultPipelineTest, FaultyRunsAreDeterministicPerSeed) {
+  const Workload w = MakeWorkload(10);
+  // Aggressive faults + modest retries: outcomes may be degraded or
+  // errored, but two runs with the same seed agree exactly.
+  for (uint64_t seed : {4u, 9u}) {
+    TuneOutput first;
+    for (int run = 0; run < 2; ++run) {
+      FaultInjectionOptions fo;
+      fo.seed = seed;
+      fo.transient_failure_rate = 0.4;
+      std::unique_ptr<FaultInjectingWhatIf> faulty;
+      std::unique_ptr<ResilientWhatIf> resilient;
+      ResilienceOptions ro = FastRetries(/*max_attempts=*/2);
+      const TuneOutput got = RunCoPhy(w, [&](Env& e) -> WhatIfOptimizer* {
+        faulty = std::make_unique<FaultInjectingWhatIf>(&e.sim, fo);
+        resilient = std::make_unique<ResilientWhatIf>(faulty.get(), ro);
+        return resilient.get();
+      });
+      if (run == 0) {
+        first = got;
+      } else {
+        EXPECT_EQ(got.status.code(), first.status.code()) << "seed=" << seed;
+        EXPECT_EQ(got.config, first.config) << "seed=" << seed;
+        EXPECT_EQ(got.objective, first.objective) << "seed=" << seed;
+      }
+    }
+  }
+}
+
+TEST(FaultPipelineTest, CallBudgetSurfacesAsResourceExhausted) {
+  Env e;
+  const Workload w = MakeWorkload(10);
+  FaultInjectionOptions fo;
+  fo.call_budget = 20;  // far fewer than Prepare needs
+  FaultInjectingWhatIf faulty(&e.sim, fo);
+  CoPhy advisor(&faulty, &e.pool, w, TestOptions());
+  const Status s = advisor.Prepare();
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+}
+
+TEST(FaultPipelineTest, DeadlineTurnsInjectedLatencyIntoTimeout) {
+  Env e;
+  const Workload w = MakeWorkload(10);
+  FaultInjectionOptions fo;
+  fo.injected_latency_seconds = 0.002;
+  FaultInjectingWhatIf faulty(&e.sim, fo);
+  CoPhyOptions opts = TestOptions();
+  opts.prepare.deadline_seconds = 0.02;  // ~10 backend calls fit
+  CoPhyAdvisor advisor(&faulty, &e.pool, w, opts);
+  ConstraintSet cs;
+  cs.SetStorageBudget(0.5 * e.cat.TotalDataBytes());
+  const AdvisorResult result = advisor.Recommend(cs);
+  ASSERT_FALSE(result.status.ok());
+  EXPECT_EQ(result.status.code(), StatusCode::kTimeout);
+  EXPECT_TRUE(result.timed_out);
+}
+
+// --- Seeded sweep: every combination returns cleanly ---------------------
+
+struct SweepCase {
+  double rate = 0.0;
+  int64_t budget = -1;
+  double latency = 0.0;
+  double deadline = std::numeric_limits<double>::infinity();
+  int threads = 1;
+};
+
+TEST(FaultSweepTest, EverySeededCombinationReturnsCleanly) {
+  // CI scaling knob: COPHY_FAULT_SWEEP_SEEDS widens the sweep (the
+  // stress job runs 8+ seeds under the sanitizers).
+  int num_seeds = 3;
+  if (const char* env = std::getenv("COPHY_FAULT_SWEEP_SEEDS")) {
+    num_seeds = std::max(1, std::atoi(env));
+  }
+  const Workload w = MakeWorkload(8);
+  const SweepCase cases[] = {
+      {0.0, -1, 0.0, std::numeric_limits<double>::infinity(), 1},
+      {0.05, -1, 0.0, std::numeric_limits<double>::infinity(), 1},
+      {0.3, -1, 0.0, std::numeric_limits<double>::infinity(), 1},
+      {0.9, -1, 0.0, std::numeric_limits<double>::infinity(), 1},
+      {0.3, 400, 0.0, std::numeric_limits<double>::infinity(), 1},
+      {0.1, -1, 0.0005, 0.05, 1},
+      // Parallel Prepare: clean-outcome invariants only (the budget
+      // countdown and attempt counters are interleaving-dependent).
+      {0.3, -1, 0.0, std::numeric_limits<double>::infinity(), 4},
+      {0.5, 300, 0.0, std::numeric_limits<double>::infinity(), 4},
+  };
+  for (int seed = 1; seed <= num_seeds; ++seed) {
+    for (const SweepCase& c : cases) {
+      Env e;
+      FaultInjectionOptions fo;
+      fo.seed = static_cast<uint64_t>(seed);
+      fo.transient_failure_rate = c.rate;
+      fo.call_budget = c.budget;
+      fo.injected_latency_seconds = c.latency;
+      FaultInjectingWhatIf faulty(&e.sim, fo);
+      ResilienceOptions ro = FastRetries(/*max_attempts=*/3);
+      ResilientWhatIf resilient(&faulty, ro);
+      CoPhyOptions opts = TestOptions();
+      opts.prepare.num_threads = c.threads;
+      opts.prepare.deadline_seconds = c.deadline;
+      CoPhyAdvisor advisor(&resilient, &e.pool, w, opts);
+      ConstraintSet cs;
+      const double budget_bytes = 0.5 * e.cat.TotalDataBytes();
+      cs.SetStorageBudget(budget_bytes);
+      const AdvisorResult result = advisor.Recommend(cs);
+      const std::string tag =
+          "seed=" + std::to_string(seed) + " rate=" + std::to_string(c.rate) +
+          " budget=" + std::to_string(c.budget) +
+          " threads=" + std::to_string(c.threads);
+      if (result.status.ok()) {
+        // A recommendation: feasible, finite, within coverage bounds.
+        EXPECT_LE(result.configuration.SizeBytes(e.pool, e.cat),
+                  budget_bytes * (1 + 1e-9))
+            << tag;
+        EXPECT_GE(result.coverage, 0.0) << tag;
+        EXPECT_LE(result.coverage, 1.0) << tag;
+        if (c.rate == 0.0 && c.budget < 0) {
+          EXPECT_FALSE(result.degraded) << tag;
+        }
+      } else {
+        // A clean error: one of the boundary's failure classes.
+        const StatusCode code = result.status.code();
+        EXPECT_TRUE(code == StatusCode::kTimeout ||
+                    code == StatusCode::kResourceExhausted ||
+                    code == StatusCode::kInternal)
+            << tag << ": " << result.status.ToString();
+        EXPECT_EQ(result.timed_out, code == StatusCode::kTimeout) << tag;
+      }
+    }
+  }
+}
+
+// --- Reporting surfaces --------------------------------------------------
+
+TEST(FaultReportTest, PrepareStatsRenderFaultCounters) {
+  PrepareStats stats;
+  std::string text = RenderPrepareStats(stats);
+  EXPECT_EQ(text.find("What-if boundary"), std::string::npos);
+  stats.whatif_retries = 4;
+  stats.whatif_degraded = 1;
+  stats.breaker_trips = 1;
+  text = RenderPrepareStats(stats);
+  EXPECT_NE(text.find("What-if boundary"), std::string::npos);
+  EXPECT_NE(text.find("4 retries"), std::string::npos);
+}
+
+TEST(FaultReportTest, SolverActivityRendersDegradedCoverage) {
+  SolverActivity activity;
+  EXPECT_EQ(RenderSolverActivity(activity).find("DEGRADED"),
+            std::string::npos);
+  activity.coverage = 0.75;
+  activity.shards_quarantined = 1;
+  const std::string text = RenderSolverActivity(activity);
+  EXPECT_NE(text.find("DEGRADED"), std::string::npos);
+  EXPECT_NE(text.find("75.0%"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cophy

@@ -6,6 +6,7 @@
 
 #include <cmath>
 
+#include "optimizer/simulator.h"
 #include "baselines/advisor.h"
 #include "baselines/cophy_advisor.h"
 #include "baselines/greedy_advisor.h"

@@ -3,6 +3,7 @@
 // Lemma 1 (linear composability) rests on.
 #include <gtest/gtest.h>
 
+#include "optimizer/simulator.h"
 #include "catalog/catalog.h"
 #include "index/candidates.h"
 #include "inum/inum.h"
@@ -53,8 +54,8 @@ TEST_F(InumTest, MatchesWhatIfOnEmptyConfiguration) {
   PrepareWorkload(10, 3);
   for (const Query& q : w_.statements()) {
     EXPECT_NEAR(inum_->Cost(q.id, Configuration::Empty()),
-                sim_->Cost(q, Configuration::Empty()),
-                1e-6 * sim_->Cost(q, Configuration::Empty()))
+                sim_->Cost(q, Configuration::Empty()).value(),
+                1e-6 * sim_->Cost(q, Configuration::Empty()).value())
         << q.ToString(cat_);
   }
 }
@@ -63,7 +64,7 @@ TEST_F(InumTest, MatchesWhatIfOnFullCandidateSet) {
   PrepareWorkload(10, 4);
   const Configuration all(candidates_);
   for (const Query& q : w_.statements()) {
-    const double whatif = sim_->Cost(q, all);
+    const double whatif = sim_->Cost(q, all).value();
     EXPECT_NEAR(inum_->Cost(q.id, all), whatif, 1e-6 * whatif)
         << q.ToString(cat_);
   }
@@ -135,7 +136,7 @@ TEST_F(InumTest, UpdateStatementsCostedExactly) {
   for (int trial = 0; trial < 5; ++trial) {
     const Configuration x = RandomConfig(rng, 0.25);
     for (QueryId uid : w_.UpdateIds()) {
-      const double whatif = sim_->Cost(w_[uid], x);
+      const double whatif = sim_->Cost(w_[uid], x).value();
       EXPECT_NEAR(inum_->Cost(uid, x), whatif, 1e-6 * whatif);
     }
   }
@@ -199,7 +200,7 @@ TEST_P(InumEquivalenceTest, CostEqualsWhatIfOnRandomConfigurations) {
     }
     const Configuration x(std::move(ids));
     for (const Query& q : w.statements()) {
-      const double whatif = sim.Cost(q, x);
+      const double whatif = sim.Cost(q, x).value();
       const double fast = inum.Cost(q.id, x);
       EXPECT_NEAR(fast, whatif, 1e-6 * whatif)
           << "z=" << c.zipf << " het=" << c.het << " q=" << q.ToString(cat);

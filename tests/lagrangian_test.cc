@@ -9,6 +9,7 @@
 
 #include <cmath>
 
+#include "optimizer/simulator.h"
 #include "catalog/catalog.h"
 #include "core/bipgen.h"
 #include "index/candidates.h"

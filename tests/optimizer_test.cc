@@ -53,9 +53,9 @@ class SimulatorTest : public ::testing::Test {
 
 TEST_F(SimulatorTest, SelectiveIndexBeatsScan) {
   const Query q = PointQuery();
-  const double scan = sim_->Cost(q, Configuration::Empty());
+  const double scan = sim_->Cost(q, Configuration::Empty()).value();
   const IndexId idx = AddIndex({custkey_});
-  const double indexed = sim_->Cost(q, Configuration({idx}));
+  const double indexed = sim_->Cost(q, Configuration({idx})).value();
   EXPECT_LT(indexed, scan / 10);  // selective point lookup: huge win
 }
 
@@ -71,8 +71,8 @@ TEST_F(SimulatorTest, CoveringIndexBeatsNonCoveringOnWideScans) {
   q.outputs = {{AggFunc::kSum, totalprice_}};
   const IndexId plain = AddIndex({orderdate_});
   const IndexId covering = AddIndex({orderdate_}, {totalprice_});
-  const double c_plain = sim_->Cost(q, Configuration({plain}));
-  const double c_cov = sim_->Cost(q, Configuration({covering}));
+  const double c_plain = sim_->Cost(q, Configuration({plain})).value();
+  const double c_cov = sim_->Cost(q, Configuration({covering})).value();
   EXPECT_LT(c_cov, c_plain);
 }
 
@@ -84,9 +84,9 @@ TEST_F(SimulatorTest, AddingIndexesNeverHurtsSelects) {
   const IndexId a = AddIndex({custkey_});
   const IndexId b = AddIndex({orderdate_}, {custkey_, totalprice_});
   for (const Query& q : w.statements()) {
-    const double none = sim_->Cost(q, Configuration::Empty());
-    const double some = sim_->Cost(q, Configuration({a}));
-    const double more = sim_->Cost(q, Configuration({a, b}));
+    const double none = sim_->Cost(q, Configuration::Empty()).value();
+    const double some = sim_->Cost(q, Configuration({a})).value();
+    const double more = sim_->Cost(q, Configuration({a, b})).value();
     EXPECT_LE(some, none * (1 + 1e-9));
     EXPECT_LE(more, some * (1 + 1e-9));
   }
@@ -96,8 +96,8 @@ TEST_F(SimulatorTest, AccessCostInfiniteForIncompatibleOrder) {
   const Query q = PointQuery();
   const IndexId idx = AddIndex({custkey_});
   // The index delivers custkey order (bound) — not totalprice order.
-  EXPECT_EQ(sim_->AccessCost(q, 0, {totalprice_}, idx), kInfiniteCost);
-  EXPECT_LT(sim_->AccessCost(q, 0, {}, idx), kInfiniteCost);
+  EXPECT_EQ(sim_->AccessCost(q, 0, {totalprice_}, idx).value(), kInfiniteCost);
+  EXPECT_LT(sim_->AccessCost(q, 0, {}, idx).value(), kInfiniteCost);
 }
 
 TEST_F(SimulatorTest, BasePathProvidesPrimaryKeyOrder) {
@@ -106,8 +106,8 @@ TEST_F(SimulatorTest, BasePathProvidesPrimaryKeyOrder) {
   q.outputs = {{AggFunc::kNone, totalprice_}};
   const ColumnId orderkey = cat_.FindColumn(orders_, "o_orderkey");
   // The clustered PK delivers o_orderkey order for free.
-  EXPECT_LT(sim_->AccessCost(q, 0, {orderkey}, kInvalidIndex), kInfiniteCost);
-  EXPECT_EQ(sim_->AccessCost(q, 0, {totalprice_}, kInvalidIndex),
+  EXPECT_LT(sim_->AccessCost(q, 0, {orderkey}, kInvalidIndex).value(), kInfiniteCost);
+  EXPECT_EQ(sim_->AccessCost(q, 0, {totalprice_}, kInvalidIndex).value(),
             kInfiniteCost);
 }
 
@@ -115,7 +115,7 @@ TEST_F(SimulatorTest, EqualityPrefixUnlocksSuffixOrder) {
   const Query q = PointQuery();  // o_custkey = :v
   const IndexId idx = AddIndex({custkey_, orderdate_});
   // With custkey bound, the index delivers orderdate order.
-  EXPECT_LT(sim_->AccessCost(q, 0, {orderdate_}, idx), kInfiniteCost);
+  EXPECT_LT(sim_->AccessCost(q, 0, {orderdate_}, idx).value(), kInfiniteCost);
 }
 
 TEST_F(SimulatorTest, OrderSatisfiedByRules) {
@@ -142,7 +142,7 @@ TEST_F(SimulatorTest, TemplateEnumerationCountsWhatIfCalls) {
   o.seed = 2;
   Workload w = MakeHomogeneousWorkload(cat_, o);
   const int64_t before = sim_->num_whatif_calls();
-  const auto templates = sim_->EnumerateTemplates(w[0]);
+  const auto templates = sim_->EnumerateTemplates(w[0]).value();
   ASSERT_FALSE(templates.empty());
   EXPECT_EQ(sim_->num_whatif_calls() - before,
             static_cast<int64_t>(templates.size()));
@@ -154,7 +154,7 @@ TEST_F(SimulatorTest, TemplateEnumerationCountsWhatIfCalls) {
 
 TEST_F(SimulatorTest, FirstTemplateHasNoOrderRequirements) {
   const Query q = PointQuery();
-  const auto templates = sim_->EnumerateTemplates(q);
+  const auto templates = sim_->EnumerateTemplates(q).value();
   ASSERT_FALSE(templates.empty());
   for (const OrderSpec& o : templates[0].slot_orders) {
     EXPECT_TRUE(o.empty());
@@ -173,8 +173,8 @@ TEST_F(SimulatorTest, SystemProfilesPriceDifferently) {
   IndexPool pool_b;
   SystemSimulator sim_b(&cat_, &pool_b, CostModel::SystemB());
   const Query q = PointQuery();
-  const double a = sim_->Cost(q, Configuration::Empty());
-  const double b = sim_b.Cost(q, Configuration::Empty());
+  const double a = sim_->Cost(q, Configuration::Empty()).value();
+  const double b = sim_b.Cost(q, Configuration::Empty()).value();
   EXPECT_NE(a, b);
 }
 
@@ -192,13 +192,13 @@ TEST_F(SimulatorTest, UpdateCostOnlyForAffectedIndexes) {
 
   const IndexId touched = AddIndex({orderdate_}, {totalprice_});
   const IndexId untouched = AddIndex({orderdate_}, {custkey_});
-  EXPECT_GT(sim_->UpdateCost(touched, u), 0);
-  EXPECT_DOUBLE_EQ(sim_->UpdateCost(untouched, u), 0);
+  EXPECT_GT(sim_->UpdateCost(touched, u).value(), 0);
+  EXPECT_DOUBLE_EQ(sim_->UpdateCost(untouched, u).value(), 0);
   // Index on another table is never affected.
   Index li;
   li.table = cat_.FindTable("lineitem");
   li.key_columns = {cat_.FindColumn(li.table, "l_shipdate")};
-  EXPECT_DOUBLE_EQ(sim_->UpdateCost(pool_.Add(li), u), 0);
+  EXPECT_DOUBLE_EQ(sim_->UpdateCost(pool_.Add(li), u).value(), 0);
 }
 
 TEST_F(SimulatorTest, UpdateStatementCostIncludesMaintenance) {
@@ -215,9 +215,9 @@ TEST_F(SimulatorTest, UpdateStatementCostIncludesMaintenance) {
 
   const IndexId helper = AddIndex({custkey_});             // helps the shell
   const IndexId burden = AddIndex({totalprice_});          // pure overhead
-  const double with_helper = sim_->Cost(u, Configuration({helper}));
-  const double with_burden = sim_->Cost(u, Configuration({burden}));
-  const double base = sim_->Cost(u, Configuration::Empty());
+  const double with_helper = sim_->Cost(u, Configuration({helper})).value();
+  const double with_burden = sim_->Cost(u, Configuration({burden})).value();
+  const double base = sim_->Cost(u, Configuration::Empty()).value();
   EXPECT_LT(with_helper, base);            // shell speedup dominates
   EXPECT_GT(with_burden, base);            // maintenance with no benefit
 }
@@ -229,9 +229,9 @@ TEST_F(SimulatorTest, GroupByOrderEnablesCheaperTemplate) {
   q.tables = {orders_};
   q.group_by = {custkey_};
   q.outputs = {{AggFunc::kNone, custkey_}, {AggFunc::kSum, totalprice_}};
-  const double scan = sim_->Cost(q, Configuration::Empty());
+  const double scan = sim_->Cost(q, Configuration::Empty()).value();
   const IndexId idx = AddIndex({custkey_}, {totalprice_});
-  const double indexed = sim_->Cost(q, Configuration({idx}));
+  const double indexed = sim_->Cost(q, Configuration({idx})).value();
   EXPECT_LT(indexed, scan);
 }
 
@@ -246,7 +246,7 @@ TEST_F(SimulatorTest, ExplainDescribesPlan) {
 TEST_F(SimulatorTest, CostCountsAsWhatIfCall) {
   const Query q = PointQuery();
   const int64_t before = sim_->num_whatif_calls();
-  sim_->Cost(q, Configuration::Empty());
+  sim_->Cost(q, Configuration::Empty()).value();
   EXPECT_EQ(sim_->num_whatif_calls(), before + 1);
 }
 
@@ -268,7 +268,7 @@ TEST_P(SimulatorPropertyTest, CostsFiniteAndPositive) {
   Workload w = heterogeneous ? MakeHeterogeneousWorkload(cat, o)
                              : MakeHomogeneousWorkload(cat, o);
   for (const Query& q : w.statements()) {
-    const double c = sim.Cost(q, Configuration::Empty());
+    const double c = sim.Cost(q, Configuration::Empty()).value();
     EXPECT_GT(c, 0) << q.ToString(cat);
     EXPECT_TRUE(std::isfinite(c)) << q.ToString(cat);
   }

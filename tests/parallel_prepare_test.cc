@@ -5,6 +5,7 @@
 
 #include <algorithm>
 
+#include "optimizer/simulator.h"
 #include "catalog/catalog.h"
 #include "core/cophy.h"
 #include "index/candidates.h"

@@ -2,6 +2,7 @@
 // recommendation's impact.
 #include <gtest/gtest.h>
 
+#include "optimizer/simulator.h"
 #include "catalog/catalog.h"
 #include "core/report.h"
 #include "workload/generator.h"
@@ -59,7 +60,7 @@ TEST_F(ReportTest, TotalsMatchInumCosts) {
   // costing of every original statement.
   double full_before = 0;
   for (const Query& q : w_.statements()) {
-    full_before += q.weight * sim_->Cost(q, Configuration::Empty());
+    full_before += q.weight * sim_->Cost(q, Configuration::Empty()).value();
   }
   EXPECT_NEAR(report.total_before, full_before, 1e-6 * full_before);
 }

@@ -8,6 +8,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include <map>
+
+#include "optimizer/simulator.h"
 #include "baselines/cophy_advisor.h"
 #include "baselines/ilp_advisor.h"
 #include "catalog/catalog.h"
@@ -15,6 +18,7 @@
 #include "core/report.h"
 #include "core/session.h"
 #include "lp/presolve.h"
+#include "optimizer/fault_injection.h"
 #include "workload/generator.h"
 
 namespace cophy {
@@ -580,6 +584,183 @@ TEST(ResolveStateTest, RootLpBasisWarmStartsAcrossBudgetRetune) {
   EXPECT_NEAR(warm.objective, cold.objective,
               1e-9 * std::max(1.0, std::abs(cold.objective)));
   EXPECT_EQ(warm.selected, cold.selected);  // identical incumbent
+}
+
+// --- Shard quarantine & degraded recommendations -------------------------
+
+/// The table referenced by the fewest statements (ties: lowest id) — a
+/// permanent-fault predicate on it quarantines a strict minority of the
+/// session's cost-equivalence classes.
+TableId LeastReferencedTable(const Workload& w) {
+  std::map<TableId, int> counts;
+  for (const Query& q : w.statements()) {
+    std::map<TableId, int> seen;
+    for (TableId t : q.tables) {
+      if (seen[t]++ == 0) ++counts[t];
+    }
+  }
+  TableId best = kInvalidTable;
+  int fewest = std::numeric_limits<int>::max();
+  for (const auto& [t, c] : counts) {
+    if (c < fewest) {
+      best = t;
+      fewest = c;
+    }
+  }
+  return best;
+}
+
+std::function<bool(const Query&)> FailsTable(TableId target) {
+  return [target](const Query& q) {
+    return std::find(q.tables.begin(), q.tables.end(), target) !=
+           q.tables.end();
+  };
+}
+
+Workload MakeMixedWorkload(int n, uint64_t seed = 42) {
+  Catalog cat = MakeTpchCatalog(0.1, 0.0);
+  WorkloadOptions o;
+  o.num_statements = n;
+  o.seed = seed;
+  o.update_fraction = 0.2;
+  return MakeHeterogeneousWorkload(cat, o);
+}
+
+TEST(SessionFaultTest, QuarantinedShardDegradesThenHealsBitIdentically) {
+  const Workload w = MakeMixedWorkload(24);
+  const TableId target = LeastReferencedTable(w);
+  ASSERT_NE(target, kInvalidTable);
+
+  // Fault-free baseline: the output the healed session must return to.
+  Env base;
+  SessionOptions so;
+  so.tuning = TestOptions();
+  so.num_shards = 4;
+  AdvisorSession healthy(base.sim.get(), &base.pool, so);
+  healthy.AddWorkload(w);
+  ConstraintSet cs;
+  const double budget = 0.5 * base.cat.TotalDataBytes();
+  cs.SetStorageBudget(budget);
+  const Recommendation want = healthy.Tune(cs);
+  ASSERT_TRUE(want.status.ok()) << want.status.ToString();
+  EXPECT_EQ(want.coverage, 1.0);
+  EXPECT_FALSE(want.degraded);
+
+  // Same session against a backend that permanently fails every
+  // statement touching `target`.
+  Env e;
+  FaultInjectionOptions fo;
+  fo.permanent_failure_predicate = FailsTable(target);
+  FaultInjectingWhatIf faulty(e.sim.get(), fo);
+  AdvisorSession session(&faulty, &e.pool, so);
+  session.AddWorkload(w);
+  const Recommendation degraded = session.Tune(cs);
+  ASSERT_TRUE(degraded.status.ok()) << degraded.status.ToString();
+  EXPECT_TRUE(degraded.degraded);
+  EXPECT_LT(degraded.coverage, 1.0);
+  EXPECT_GT(degraded.coverage, 0.0);
+  // Still a feasible recommendation for the healthy fraction.
+  EXPECT_LE(degraded.configuration.SizeBytes(e.pool, e.cat),
+            budget * (1 + 1e-9));
+  ASSERT_EQ(static_cast<int>(degraded.shard_health.size()), 4);
+  int quarantined = 0;
+  for (const ShardHealth& sh : degraded.shard_health) {
+    if (!sh.healthy) {
+      ++quarantined;
+      EXPECT_EQ(sh.status.code(), StatusCode::kInternal);
+      EXPECT_GE(sh.consecutive_failures, 1);
+      EXPECT_GT(sh.classes, 0);
+    }
+  }
+  EXPECT_GE(quarantined, 1);
+  EXPECT_LT(quarantined, 4);
+
+  // Backend heals; Retune retries the quarantined shards and the
+  // output returns to the fault-free recommendation bit for bit.
+  faulty.Heal();
+  const Recommendation healed = session.Retune(cs);
+  ASSERT_TRUE(healed.status.ok()) << healed.status.ToString();
+  EXPECT_EQ(healed.coverage, 1.0);
+  EXPECT_FALSE(healed.degraded);
+  for (const ShardHealth& sh : healed.shard_health) {
+    EXPECT_TRUE(sh.healthy);
+    EXPECT_EQ(sh.consecutive_failures, 0);
+  }
+  std::vector<IndexId> got_ids = healed.configuration.ids();
+  std::vector<IndexId> want_ids = want.configuration.ids();
+  std::sort(got_ids.begin(), got_ids.end());
+  std::sort(want_ids.begin(), want_ids.end());
+  EXPECT_EQ(got_ids, want_ids);
+  EXPECT_EQ(healed.objective, want.objective);  // exact bits
+}
+
+TEST(SessionFaultTest, TuneBeforeAnySuccessfulPrepareFailsCleanly) {
+  const Workload w = MakeMixedWorkload(12);
+  Env e;
+  FaultInjectionOptions fo;
+  fo.permanent_failure_predicate = [](const Query&) { return true; };
+  FaultInjectingWhatIf faulty(e.sim.get(), fo);
+  SessionOptions so;
+  so.tuning = TestOptions();
+  so.num_shards = 3;
+  AdvisorSession session(&faulty, &e.pool, so);
+  session.AddWorkload(w);
+  ConstraintSet cs;
+  cs.SetStorageBudget(0.5 * e.cat.TotalDataBytes());
+  const Recommendation rec = session.Tune(cs);
+  ASSERT_FALSE(rec.status.ok());
+  EXPECT_EQ(rec.coverage, 0.0);
+  EXPECT_TRUE(rec.configuration.empty());
+  EXPECT_EQ(static_cast<int>(rec.shard_health.size()), 3);
+  for (const ShardHealth& sh : rec.shard_health) {
+    if (sh.classes > 0) {
+      EXPECT_FALSE(sh.healthy);
+    }
+  }
+  // The session is not wedged: a healed backend recovers it in place.
+  faulty.Heal();
+  const Recommendation recovered = session.Tune(cs);
+  ASSERT_TRUE(recovered.status.ok()) << recovered.status.ToString();
+  EXPECT_EQ(recovered.coverage, 1.0);
+  EXPECT_FALSE(recovered.degraded);
+}
+
+TEST(SessionFaultTest, RemovingQuarantinedStatementsRestoresFullCoverage) {
+  const Workload w = MakeMixedWorkload(24);
+  const TableId target = LeastReferencedTable(w);
+  ASSERT_NE(target, kInvalidTable);
+  Env e;
+  FaultInjectionOptions fo;
+  fo.permanent_failure_predicate = FailsTable(target);
+  FaultInjectingWhatIf faulty(e.sim.get(), fo);
+  SessionOptions so;
+  so.tuning = TestOptions();
+  so.num_shards = 4;
+  AdvisorSession session(&faulty, &e.pool, so);
+  const std::vector<QueryId> ids = session.AddWorkload(w);
+  ConstraintSet cs;
+  cs.SetStorageBudget(0.5 * e.cat.TotalDataBytes());
+  const Recommendation degraded = session.Tune(cs);
+  ASSERT_TRUE(degraded.status.ok()) << degraded.status.ToString();
+  EXPECT_LT(degraded.coverage, 1.0);
+
+  // Removing every statement the backend refuses to cost (including a
+  // removal that may empty a quarantined shard entirely) lets the next
+  // Refresh rebuild the remaining shards successfully.
+  std::vector<QueryId> doomed;
+  for (int i = 0; i < w.size(); ++i) {
+    if (FailsTable(target)(w[i])) doomed.push_back(ids[i]);
+  }
+  ASSERT_FALSE(doomed.empty());
+  ASSERT_TRUE(session.RemoveStatements(doomed).ok());
+  const Recommendation clean = session.Tune(cs);
+  ASSERT_TRUE(clean.status.ok()) << clean.status.ToString();
+  EXPECT_EQ(clean.coverage, 1.0);
+  EXPECT_FALSE(clean.degraded);
+  for (const ShardHealth& sh : clean.shard_health) {
+    EXPECT_TRUE(sh.healthy);
+  }
+  EXPECT_EQ(session.num_statements(), w.size() - static_cast<int>(doomed.size()));
 }
 
 }  // namespace
