@@ -153,13 +153,22 @@ void ReportLpCounters(benchmark::State& state, const lp::SolverCounters& c) {
       benchmark::Counter(static_cast<double>(c.phase1_pivots) / solves);
   state.counters["phase2_pivots_per_solve"] =
       benchmark::Counter(static_cast<double>(c.phase2_pivots) / solves);
+  state.counters["dual_pivots_per_solve"] =
+      benchmark::Counter(static_cast<double>(c.dual_pivots) / solves);
+  state.counters["bound_flips_per_solve"] =
+      benchmark::Counter(static_cast<double>(c.bound_flips) / solves);
+  state.counters["devex_resets"] =
+      benchmark::Counter(static_cast<double>(c.devex_resets));
   state.counters["warm_starts"] =
       benchmark::Counter(static_cast<double>(c.warm_starts));
-  // Sparse-LU basis accounting: fresh factorizations, product-form eta
-  // fill, and the wall time spent inside FTRAN/BTRAN solves (µs per LP
-  // solve) — the cost profile the lu_factor rewrite is accountable for.
+  // Sparse-LU basis accounting: fresh factorizations, Forrest–Tomlin
+  // updates and their fill, and the wall time spent inside FTRAN/BTRAN
+  // solves (µs per LP solve) — the cost profile the lu_factor layer is
+  // accountable for.
   state.counters["refactorizations"] =
       benchmark::Counter(static_cast<double>(c.factorizations) / solves);
+  state.counters["ft_updates_per_solve"] =
+      benchmark::Counter(static_cast<double>(c.ft_updates) / solves);
   state.counters["eta_nnz"] =
       benchmark::Counter(static_cast<double>(c.eta_nnz) / solves);
   state.counters["ftran_btran_us"] =
@@ -180,6 +189,25 @@ void BM_LpSolveRevisedSimplex(benchmark::State& state) {
 }
 BENCHMARK(BM_LpSolveRevisedSimplex)->Unit(benchmark::kMillisecond);
 
+// Pricing-rule sweep: the same 570-binary BIP under Dantzig pricing.
+// BM_LpSolveRevisedSimplex above runs the devex default; CI gates devex
+// <= Dantzig on both pivots and wall time.
+void BM_LpSolveRevisedDantzig(benchmark::State& state) {
+  BipLpEnv& e = GetLpEnv();
+  const lp::SolverCounters before = lp::GlobalSolverCounters();
+  lp::LpOptions options;
+  options.pricing = lp::Pricing::kDantzig;
+  for (auto _ : state) {
+    const lp::LpSolution s = lp::SolveLp(e.model, options);
+    if (!s.status.ok()) state.SkipWithError("LP solve failed");
+    benchmark::DoNotOptimize(s.objective);
+  }
+  ReportLpCounters(state, lp::SolverCountersSince(before));
+  state.counters["binary_vars"] =
+      benchmark::Counter(static_cast<double>(e.model.num_variables()));
+}
+BENCHMARK(BM_LpSolveRevisedDantzig)->Unit(benchmark::kMillisecond);
+
 void BM_LpSolveDenseTableau(benchmark::State& state) {
   BipLpEnv& e = GetLpEnv();
   for (auto _ : state) {
@@ -193,10 +221,39 @@ void BM_LpSolveDenseTableau(benchmark::State& state) {
 BENCHMARK(BM_LpSolveDenseTableau)->Unit(benchmark::kMillisecond);
 
 // Warm- vs cold-started node LPs on a branching B&B tree (binding
-// storage budget). The phase1_pivots_per_solve counter is the headline:
-// warm-started children restore feasibility in a couple of pivots
-// instead of re-deriving a basis from scratch.
+// storage budget). Warm children now enter through the dual simplex
+// from the parent basis, so the tree's node re-solves run zero primal
+// phase-1 pivots — dual_node_phase1_pivots must be exactly zero
+// (CI-gated; the aggregate phase1_pivots_per_solve stays nonzero only
+// because the cold root solve is averaged in) and the node work shows
+// up as dual_pivots_per_solve instead. Cold nodes re-derive a basis
+// from scratch every time.
 void BM_MipNodesWarmStarted(benchmark::State& state) {
+  BipLpEnv& e = GetLpEnv();
+  const lp::SolverCounters before = lp::GlobalSolverCounters();
+  int64_t nodes = 0;
+  int64_t dual_node_p1 = 0;
+  for (auto _ : state) {
+    lp::MipOptions mo;
+    mo.gap_target = 0.0;
+    mo.node_limit = 200;
+    const lp::MipSolution s = lp::SolveMip(e.tight_model, mo);
+    if (!s.status.ok()) state.SkipWithError("MIP solve failed");
+    nodes += s.nodes;
+    dual_node_p1 += s.lp.dual_node_phase1_pivots;
+    benchmark::DoNotOptimize(s.objective);
+  }
+  ReportLpCounters(state, lp::SolverCountersSince(before));
+  state.counters["nodes"] = benchmark::Counter(static_cast<double>(nodes));
+  state.counters["dual_node_phase1_pivots"] =
+      benchmark::Counter(static_cast<double>(dual_node_p1));
+}
+BENCHMARK(BM_MipNodesWarmStarted)->Unit(benchmark::kMillisecond);
+
+// Ablation: warm node basis import kept, dual entry disabled — every
+// warm node runs the primal phases. The dual-entry win is the delta
+// between this and BM_MipNodesWarmStarted.
+void BM_MipNodesPrimalEntry(benchmark::State& state) {
   BipLpEnv& e = GetLpEnv();
   const lp::SolverCounters before = lp::GlobalSolverCounters();
   int64_t nodes = 0;
@@ -204,6 +261,7 @@ void BM_MipNodesWarmStarted(benchmark::State& state) {
     lp::MipOptions mo;
     mo.gap_target = 0.0;
     mo.node_limit = 200;
+    mo.dual_entry_nodes = false;
     const lp::MipSolution s = lp::SolveMip(e.tight_model, mo);
     if (!s.status.ok()) state.SkipWithError("MIP solve failed");
     nodes += s.nodes;
@@ -212,7 +270,7 @@ void BM_MipNodesWarmStarted(benchmark::State& state) {
   ReportLpCounters(state, lp::SolverCountersSince(before));
   state.counters["nodes"] = benchmark::Counter(static_cast<double>(nodes));
 }
-BENCHMARK(BM_MipNodesWarmStarted)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_MipNodesPrimalEntry)->Unit(benchmark::kMillisecond);
 
 void BM_MipNodesColdStarted(benchmark::State& state) {
   BipLpEnv& e = GetLpEnv();

@@ -87,26 +87,35 @@ SolverActivity SolverActivitySince(const SolverActivity& snapshot) {
 std::string RenderSolverActivity(const SolverActivity& activity) {
   const lp::SolverCounters& c = activity.lp;
   std::string out;
+  const int64_t all_pivots =
+      c.phase1_pivots + c.phase2_pivots + c.dual_pivots;
   const double per_solve =
-      c.lp_solves > 0 ? static_cast<double>(c.phase1_pivots + c.phase2_pivots) /
+      c.lp_solves > 0 ? static_cast<double>(all_pivots) /
                             static_cast<double>(c.lp_solves)
                       : 0.0;
   out += StrFormat(
       "LP solves %lld (warm %lld / cold %lld), pivots %lld "
-      "(phase-1 %lld, phase-2 %lld, flips %lld), %.1f pivots/solve\n",
+      "(phase-1 %lld, phase-2 %lld, dual %lld, flips %lld), "
+      "%.1f pivots/solve\n",
       static_cast<long long>(c.lp_solves),
       static_cast<long long>(c.warm_starts),
       static_cast<long long>(c.cold_starts),
-      static_cast<long long>(c.phase1_pivots + c.phase2_pivots),
+      static_cast<long long>(all_pivots),
       static_cast<long long>(c.phase1_pivots),
       static_cast<long long>(c.phase2_pivots),
+      static_cast<long long>(c.dual_pivots),
       static_cast<long long>(c.bound_flips), per_solve);
   if (c.lp_solves > 0) {
     out += StrFormat(
-        "Basis factorization: %lld LU factorizations, %lld eta nnz, "
-        "%.1f ms in FTRAN/BTRAN\n",
+        "Basis factorization: %lld LU factorizations, %lld FT updates, "
+        "%lld eta nnz, %.1f ms in FTRAN/BTRAN\n",
         static_cast<long long>(c.factorizations),
+        static_cast<long long>(c.ft_updates),
         static_cast<long long>(c.eta_nnz), 1e3 * c.ftran_btran_seconds);
+    if (c.devex_resets > 0) {
+      out += StrFormat("Devex: %lld reference-framework resets\n",
+                       static_cast<long long>(c.devex_resets));
+    }
   }
   if (activity.mip_nodes > 0 || activity.bound_evaluations > 0) {
     out += StrFormat("B&B nodes %lld, bound evaluations %lld\n",
@@ -136,8 +145,9 @@ std::string RenderSolverActivity(const SolverActivity& activity) {
       const lp::LpSolveStats& rs = activity.root_lp_stats;
       if (rs.refactorizations > 0) {
         out += StrFormat(
-            " (%s, %lld refactorizations, drift %.2g)",
+            " (%s%s, %lld refactorizations, drift %.2g)",
             rs.warm_started ? "warm" : "cold",
+            rs.dual_entered ? " dual" : "",
             static_cast<long long>(rs.refactorizations), rs.max_drift);
       }
     }

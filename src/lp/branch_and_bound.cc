@@ -65,12 +65,17 @@ MipSolution SolveMip(const Model& model, const MipOptions& options) {
     base_hi[i] = model.variable(i).upper;
   }
 
-  auto account = [&result](const LpSolution& lp) {
+  auto account = [&result](const LpSolution& lp, bool dual_entry_node) {
     result.lp.lp_solves += 1;
     result.lp.phase1_pivots += lp.stats.phase1_pivots;
     result.lp.phase2_pivots += lp.stats.phase2_pivots;
+    result.lp.dual_pivots += lp.stats.dual_pivots;
     result.lp.bound_flips += lp.stats.bound_flips;
     if (lp.stats.warm_started) result.lp.warm_started_nodes += 1;
+    if (lp.stats.dual_entered) result.lp.dual_entered_nodes += 1;
+    if (dual_entry_node) {
+      result.lp.dual_node_phase1_pivots += lp.stats.phase1_pivots;
+    }
   };
 
   // Seed the incumbent from the warm start if it is feasible.
@@ -104,11 +109,15 @@ MipSolution SolveMip(const Model& model, const MipOptions& options) {
                       NodeOrder>
       open;
 
-  // Root relaxation (always a cold solve).
+  LpOptions root_options;
+  root_options.pricing = options.pricing;
+  root_options.want_duals = false;
+
+  // Root relaxation (always a cold solve, primal entry).
   {
     const LpSolution root =
-        SolveLp(model, nullptr, nullptr, nullptr, /*want_duals=*/false);
-    account(root);
+        SolveLp(model, root_options, nullptr, nullptr, nullptr);
+    account(root, /*dual_entry_node=*/false);
     if (!root.status.ok()) {
       result.status = root.status;
       return result;
@@ -151,10 +160,18 @@ MipSolution SolveMip(const Model& model, const MipOptions& options) {
       lo[v] = std::max(lo[v], b.first);
       hi[v] = std::min(hi[v], b.second);
     }
-    const LpSolution relax = SolveLp(model, &lo, &hi,
-                                     node->parent_basis.get(),
-                                     /*want_duals=*/false);
-    account(relax);
+    // Warm nodes re-import a parent-optimal basis under tightened
+    // bounds: dual feasible by construction, so the dual simplex walks
+    // the bound violation out with no primal phase-1 work. (SolveLp
+    // falls back to the primal phases transparently if the import
+    // fails or the basis is not flip-repairable.)
+    LpOptions node_options = root_options;
+    if (options.dual_entry_nodes && node->parent_basis != nullptr) {
+      node_options.entry = SimplexEntry::kDual;
+    }
+    const LpSolution relax =
+        SolveLp(model, node_options, &lo, &hi, node->parent_basis.get());
+    account(relax, node_options.entry == SimplexEntry::kDual);
     ++result.nodes;
     if (!relax.status.ok()) continue;  // infeasible subtree
     if (has_incumbent && relax.objective >= result.objective - 1e-9) continue;

@@ -3,8 +3,12 @@
 // solver" behaviours CoPhy leans on: anytime incumbents, a global lower
 // bound with an optimality-gap readout, early termination at a gap
 // target, warm starts, and a feasibility pre-check. Node LPs warm-start
-// from their parent's exported basis and fall back to a cold phase-1
-// solve only when the import is unusable.
+// from their parent's exported basis *through the dual simplex*: a
+// parent-optimal basis stays dual feasible when a child tightens the
+// branching variable's bounds (the branching variable was basic), so
+// each node re-solve costs a few dual pivots and zero primal phase-1
+// work. Cold phase-1 solves remain only for the root and for nodes
+// whose basis import is unusable.
 #ifndef COPHY_LP_BRANCH_AND_BOUND_H_
 #define COPHY_LP_BRANCH_AND_BOUND_H_
 
@@ -47,6 +51,13 @@ struct MipOptions {
   /// Warm-start each node LP from its parent's basis (ablation knob;
   /// off = every node solves cold from the slack basis).
   bool warm_start_nodes = true;
+  /// Phase-2 pricing rule for every node relaxation.
+  Pricing pricing = Pricing::kDevex;
+  /// Enter warm node re-solves through the dual simplex (the parent
+  /// basis is dual feasible under the child's tightened bounds), so no
+  /// primal phase-1 pivots run on the tree. Ablation knob; off = warm
+  /// nodes use the primal phases as before.
+  bool dual_entry_nodes = true;
 };
 
 /// Aggregated LP work across all node relaxations of one MIP solve.
@@ -54,8 +65,17 @@ struct MipLpStats {
   int64_t lp_solves = 0;
   int64_t phase1_pivots = 0;
   int64_t phase2_pivots = 0;
+  int64_t dual_pivots = 0;  ///< dual-simplex pivots on warm node re-solves
   int64_t bound_flips = 0;
   int64_t warm_started_nodes = 0;  ///< node LPs that accepted a basis
+  int64_t dual_entered_nodes = 0;  ///< node LPs solved by the dual simplex
+  /// Primal phase-1 pivots on node re-solves that attempted dual entry.
+  /// The dual-warm-start contract says this is zero: a parent-optimal
+  /// basis is dual feasible under the child's tightened bounds, and
+  /// even a fallback hands the primal phases a primal-feasible basis.
+  /// Nonzero means warm children are re-deriving feasibility from
+  /// scratch again (CI gates it at exactly 0 on the bench BIP tree).
+  int64_t dual_node_phase1_pivots = 0;
 };
 
 /// Result of a MIP solve.

@@ -145,14 +145,26 @@ ChoiceSolver::ChoiceSolver(const ChoiceProblem* problem) : p_(problem) {
     zrow_start_.push_back(static_cast<int32_t>(zrow_idx_.size()));
   }
   queries_of_index_.assign(p_->num_indexes, {});
+  slot_refs_of_index_.assign(p_->num_indexes, {});
+  indexes_of_query_.assign(p_->queries.size(), {});
+  plan_start_.assign(p_->queries.size() + 1, 0);
+  for (int q = 0; q < static_cast<int>(p_->queries.size()); ++q) {
+    plan_start_[q + 1] =
+        plan_start_[q] + static_cast<int32_t>(p_->queries[q].plans.size());
+  }
+  slot_start_.assign(plan_start_.back() + 1, 0);
   // Assign one μ-slot per distinct (query, index) pair and map every
   // option entry (canonical iteration order) to its slot.
   std::vector<int32_t> mu_slot_of(p_->num_indexes, -1);
   for (int q = 0; q < static_cast<int>(p_->queries.size()); ++q) {
     std::vector<int> touched;
-    for (const ChoicePlan& plan : p_->queries[q].plans) {
-      for (const ChoiceSlot& slot : plan.slots) {
-        for (const ChoiceOption& o : slot.options) {
+    const auto& plans = p_->queries[q].plans;
+    for (int pi = 0; pi < static_cast<int>(plans.size()); ++pi) {
+      const int plan_id = plan_start_[q] + pi;
+      slot_start_[plan_id + 1] =
+          slot_start_[plan_id] + static_cast<int32_t>(plans[pi].slots.size());
+      for (int si = 0; si < static_cast<int>(plans[pi].slots.size()); ++si) {
+        for (const ChoiceOption& o : plans[pi].slots[si].options) {
           if (o.index == kBaseOption) continue;
           if (mu_slot_of[o.index] < 0) {
             mu_slot_of[o.index] = static_cast<int32_t>(mu_owner_index_.size());
@@ -162,9 +174,19 @@ ChoiceSolver::ChoiceSolver(const ChoiceProblem* problem) : p_(problem) {
             touched.push_back(o.index);
           }
           entry_mu_idx_.push_back(mu_slot_of[o.index]);
+          // Positions arrive in iteration order, so a back-of-list
+          // check is all the dedup the slot inverted list needs (a
+          // repeat of one index within a slot keeps the first = the
+          // γ-cheapest occurrence).
+          auto& refs = slot_refs_of_index_[o.index];
+          if (refs.empty() || refs.back().query != q ||
+              refs.back().plan != pi || refs.back().slot != si) {
+            refs.push_back({q, pi, si, o.gamma});
+          }
         }
       }
     }
+    indexes_of_query_[q].assign(touched.begin(), touched.end());
     for (int a : touched) mu_slot_of[a] = -1;  // reset for the next query
   }
 }
@@ -840,33 +862,47 @@ bool ChoiceSolver::GreedyIncumbent(const std::vector<int8_t>& fixed,
     }
   }
 
-  auto query_cost_with = [&](int q, int extra) {
-    const ChoiceQuery& query = p_->queries[q];
-    double best = kInf;
-    for (const ChoicePlan& plan : query.plans) {
-      double c = plan.beta;
-      bool ok = true;
-      for (const ChoiceSlot& slot : plan.slots) {
-        double g = kInf;
-        for (const ChoiceOption& o : slot.options) {
-          if (o.index == kBaseOption || sel[o.index] || o.index == extra) {
-            g = o.gamma;
-            break;
-          }
-        }
-        if (g == kInf) {
-          ok = false;
+  auto plan_cost_with = [&](const ChoicePlan& plan, int extra) {
+    double c = plan.beta;
+    for (const ChoiceSlot& slot : plan.slots) {
+      double g = kInf;
+      for (const ChoiceOption& o : slot.options) {
+        if (o.index == kBaseOption || sel[o.index] || o.index == extra) {
+          g = o.gamma;
           break;
         }
-        c += g;
       }
-      if (ok) best = std::min(best, c);
+      if (g == kInf) return kInf;
+      c += g;
+    }
+    return c;
+  };
+  auto query_cost_with = [&](int q, int extra) {
+    double best = kInf;
+    for (const ChoicePlan& plan : p_->queries[q].plans) {
+      best = std::min(best, plan_cost_with(plan, extra));
     }
     return best;
   };
 
+  // Incrementally-maintained pricing state. g_cur[slot_id] is the γ of
+  // the slot's first available option (kInf if it has none); per flat
+  // plan id, inf_cnt counts kInf slots and psum sums the finite γs, so
+  // a plan currently costs beta + psum when inf_cnt == 0 and kInf
+  // otherwise; cur[q] is the min over the query's plans. add/drop
+  // touch only the slots referencing the moved index
+  // (slot_refs_of_index_), so moves and candidate pricing are O(refs)
+  // with no plan rescans — this loop is the solve-time hot path on
+  // session delta retunes.
+  const int n_plans = plan_start_.back();
+  const int n_slots = slot_start_.back();
+  std::vector<double> g_cur(n_slots, kInf), psum(n_plans, 0.0);
+  std::vector<int32_t> inf_cnt(n_plans, 0);
   const int nq = static_cast<int>(p_->queries.size());
   std::vector<double> cur(nq);
+  auto plan_cost = [&](int plan_id, double beta) {
+    return inf_cnt[plan_id] > 0 ? kInf : beta + psum[plan_id];
+  };
 
   // Satisfaction pass: queries with no base fallback need their plan's
   // indexes selected (ILP-form problems).
@@ -887,10 +923,58 @@ bool ChoiceSolver::GreedyIncumbent(const std::vector<int8_t>& fixed,
   auto add = [&](int a) {
     sel[a] = 1;
     used += p_->size[a];
-    for (int q : queries_of_index_[a]) cur[q] = query_cost_with(q, kBaseOption);
+    // Slots without a are untouched, and a newly available option only
+    // ever lowers a slot's pick (options are γ-sorted), so cur[q] just
+    // needs the min against the plans whose slots got cheaper.
+    const auto& refs = slot_refs_of_index_[a];
+    for (size_t i = 0; i < refs.size();) {
+      const int q = refs[i].query;
+      double with = cur[q];
+      for (; i < refs.size() && refs[i].query == q; ++i) {
+        const SlotRef& r = refs[i];
+        const int plan_id = plan_start_[q] + r.plan;
+        const int slot_id = slot_start_[plan_id] + r.slot;
+        const double g = g_cur[slot_id];
+        if (r.gamma >= g) continue;  // slot already has a cheaper pick
+        if (g == kInf) {
+          --inf_cnt[plan_id];
+          psum[plan_id] += r.gamma;
+        } else {
+          psum[plan_id] += r.gamma - g;
+        }
+        g_cur[slot_id] = r.gamma;
+        with = std::min(
+            with, plan_cost(plan_id, p_->queries[q].plans[r.plan].beta));
+      }
+      cur[q] = with;
+    }
   };
 
-  for (int q = 0; q < nq; ++q) cur[q] = query_cost_with(q, kBaseOption);
+  for (int q = 0; q < nq; ++q) {
+    const auto& plans = p_->queries[q].plans;
+    double best = kInf;
+    for (int pi = 0; pi < static_cast<int>(plans.size()); ++pi) {
+      const int plan_id = plan_start_[q] + pi;
+      const auto& slots = plans[pi].slots;
+      for (int si = 0; si < static_cast<int>(slots.size()); ++si) {
+        double g = kInf;
+        for (const ChoiceOption& o : slots[si].options) {
+          if (o.index == kBaseOption || sel[o.index]) {
+            g = o.gamma;
+            break;
+          }
+        }
+        g_cur[slot_start_[plan_id] + si] = g;
+        if (g == kInf) {
+          ++inf_cnt[plan_id];
+        } else {
+          psum[plan_id] += g;
+        }
+      }
+      best = std::min(best, plan_cost(plan_id, plans[pi].beta));
+    }
+    cur[q] = best;
+  }
   for (int q = 0; q < nq; ++q) {
     if (cur[q] < kInf) continue;
     // Pick the cheapest plan completion.
@@ -965,11 +1049,38 @@ bool ChoiceSolver::GreedyIncumbent(const std::vector<int8_t>& fixed,
     if (lhs < row.rhs - 1e-6) return false;
   }
 
-  // Lazy-greedy improvement on benefit / size.
+  // Lazy-greedy improvement on benefit / size. Selecting `a` only
+  // changes the slots that contain it, so a candidate is priced off the
+  // maintained per-plan state: each touched plan's what-if cost is
+  // psum plus the candidate's slot deltas (min(0, γ_a - g_cur), or the
+  // full γ_a when it fills a currently-empty slot), with the cached
+  // cur[q] standing in for every untouched plan — identical value to a
+  // full rescan of each touched query at a fraction of the work.
   auto benefit_of = [&](int a) {
     double b = -p_->fixed_cost[a];
-    for (int q : queries_of_index_[a]) {
-      const double with = query_cost_with(q, a);
+    const auto& refs = slot_refs_of_index_[a];
+    for (size_t i = 0; i < refs.size();) {
+      const int q = refs[i].query;
+      double with = cur[q];
+      for (; i < refs.size() && refs[i].query == q;) {
+        const int pi = refs[i].plan;
+        const int plan_id = plan_start_[q] + pi;
+        double delta = 0.0;
+        int filled = 0;
+        for (; i < refs.size() && refs[i].query == q && refs[i].plan == pi;
+             ++i) {
+          const double g = g_cur[slot_start_[plan_id] + refs[i].slot];
+          if (g == kInf) {
+            ++filled;
+            delta += refs[i].gamma;
+          } else {
+            delta += std::min(0.0, refs[i].gamma - g);
+          }
+        }
+        if (inf_cnt[plan_id] > filled) continue;  // plan stays infeasible
+        with = std::min(
+            with, p_->queries[q].plans[pi].beta + psum[plan_id] + delta);
+      }
       if (cur[q] < kInf && with < cur[q]) {
         b += p_->queries[q].weight * (cur[q] - with);
       }
@@ -1023,7 +1134,60 @@ bool ChoiceSolver::GreedyIncumbent(const std::vector<int8_t>& fixed,
   auto drop = [&](int a) {
     sel[a] = 0;
     used -= p_->size[a];
-    for (int q : queries_of_index_[a]) cur[q] = query_cost_with(q, kBaseOption);
+    const auto& refs = slot_refs_of_index_[a];
+    for (size_t i = 0; i < refs.size();) {
+      const int q = refs[i].query;
+      for (; i < refs.size() && refs[i].query == q; ++i) {
+        const SlotRef& r = refs[i];
+        const int plan_id = plan_start_[q] + r.plan;
+        const int slot_id = slot_start_[plan_id] + r.slot;
+        const double old_g = g_cur[slot_id];
+        double g = kInf;
+        for (const ChoiceOption& o :
+             p_->queries[q].plans[r.plan].slots[r.slot].options) {
+          if (o.index == kBaseOption || sel[o.index]) {
+            g = o.gamma;
+            break;
+          }
+        }
+        if (g == old_g) continue;  // a wasn't this slot's pick
+        if (old_g == kInf) {
+          --inf_cnt[plan_id];
+        } else {
+          psum[plan_id] -= old_g;
+        }
+        if (g == kInf) {
+          ++inf_cnt[plan_id];
+        } else {
+          psum[plan_id] += g;
+        }
+        g_cur[slot_id] = g;
+      }
+      // Slot picks can only get worse on a drop, so the query min needs
+      // a recompute over its (maintained) plan costs.
+      const auto& plans = p_->queries[q].plans;
+      double best = kInf;
+      for (int pi = 0; pi < static_cast<int>(plans.size()); ++pi) {
+        best = std::min(best, plan_cost(plan_start_[q] + pi, plans[pi].beta));
+      }
+      cur[q] = best;
+    }
+  };
+  // Cached candidate gains for the polish refill. benefit_of(b) reads
+  // only cur[] entries for b's own queries, so a drop/add of index `m`
+  // can change it only when b shares a query with `m`. Moves mark that
+  // neighbourhood dirty (cheap flag sweep, no pricing); the refill scan
+  // prices a dirty candidate only once it passes can_add — matching the
+  // original full rescan's can_add-first filtering — and clean entries
+  // reuse their cached value. Snapshotting cache + flags around
+  // reverted moves keeps the selection order exactly that of a fresh
+  // rescan every iteration.
+  std::vector<double> gain(n, 0.0);
+  std::vector<uint8_t> stale(n, 1);
+  auto mark_neighbours = [&](int moved) {
+    for (int q : queries_of_index_[moved]) {
+      for (int c : indexes_of_query_[q]) stale[c] = 1;
+    }
   };
   for (int pass = 0; pass < 2; ++pass) {
     bool any_improvement = false;
@@ -1033,14 +1197,26 @@ bool ChoiceSolver::GreedyIncumbent(const std::vector<int8_t>& fixed,
       // Tentatively drop `a`, then refill greedily.
       std::vector<uint8_t> sel_backup = sel;
       std::vector<double> cur_backup = cur;
+      std::vector<double> gain_backup = gain;
+      std::vector<uint8_t> stale_backup = stale;
+      std::vector<double> g_cur_backup = g_cur;
+      std::vector<double> psum_backup = psum;
+      std::vector<int32_t> inf_cnt_backup = inf_cnt;
       const double used_backup = used;
-      drop(a);
-      if (total_objective() == kInf) {  // a was load-bearing (no base)
+      auto revert = [&]() {
         sel = std::move(sel_backup);
         cur = std::move(cur_backup);
+        g_cur = std::move(g_cur_backup);
+        psum = std::move(psum_backup);
+        inf_cnt = std::move(inf_cnt_backup);
         used = used_backup;
-        continue;
+      };
+      drop(a);
+      if (total_objective() == kInf) {  // a was load-bearing (no base)
+        revert();
+        continue;  // gain/stale untouched so far
       }
+      mark_neighbours(a);
       bool grew = true;
       while (grew) {
         grew = false;
@@ -1048,24 +1224,29 @@ bool ChoiceSolver::GreedyIncumbent(const std::vector<int8_t>& fixed,
         int best_i = -1;
         for (int b = 0; b < n; ++b) {
           if (sel[b] || b == a || fixed[b] == 0) continue;
-          if (!can_add(b)) continue;
-          const double gain = benefit_of(b);
-          if (gain > best_b) {
-            best_b = gain;
+          if (!stale[b] && gain[b] <= best_b) continue;
+          if (!can_add(b)) continue;  // stale entries stay stale until feasible
+          if (stale[b]) {
+            gain[b] = benefit_of(b);
+            stale[b] = 0;
+          }
+          if (gain[b] > best_b) {
+            best_b = gain[b];
             best_i = b;
           }
         }
         if (best_i >= 0) {
           add(best_i);
+          mark_neighbours(best_i);
           grew = true;
         }
       }
       if (total_objective() < before - kTol) {
         any_improvement = true;  // keep the move
       } else {
-        sel = std::move(sel_backup);
-        cur = std::move(cur_backup);
-        used = used_backup;
+        revert();
+        gain = std::move(gain_backup);
+        stale = std::move(stale_backup);
       }
     }
     if (!any_improvement) break;
@@ -1180,7 +1361,16 @@ ChoiceSolution ChoiceSolver::Solve(const ChoiceSolveOptions& options) {
     RootLpLayout layout;
     if (BuildRootLp(&model, &layout, options.root_lp_max_rows)) {
       result.root_lp_rows = model.num_rows();
-      const LpSolution lp = SolveLp(model, nullptr, nullptr,
+      // A retained basis from a previous retune round (delta re-tuning
+      // in core/session.cc) stays dual feasible under the perturbed
+      // objective/bounds — enter through the dual simplex and skip
+      // primal phase 1; a fresh solve takes the primal phases.
+      LpOptions lp_options;
+      if (options.root_basis_seed != nullptr &&
+          !options.root_basis_seed->empty()) {
+        lp_options.entry = SimplexEntry::kDual;
+      }
+      const LpSolution lp = SolveLp(model, lp_options, nullptr, nullptr,
                                     options.root_basis_seed);
       result.root_lp_stats = lp.stats;
       if (lp.status.ok()) {

@@ -268,6 +268,30 @@ class ChoiceSolver {
   const ChoiceProblem* p_;
   // Inverted list: dense index id -> queries whose plans reference it.
   std::vector<std::vector<int>> queries_of_index_;
+  // Finest inverted list: for each dense index id, every (query, plan,
+  // slot) position whose options include it, plus that option's γ.
+  // Ordered (query, plan, slot) ascending, one entry per slot — the
+  // first (γ-cheapest, options are γ-sorted) occurrence wins.
+  // Selecting an index can only change the cost of the slots that
+  // contain it, which lets the greedy incumbent maintain per-slot
+  // chosen costs incrementally and price a candidate in O(refs)
+  // instead of rescanning every plan of every touched query.
+  struct SlotRef {
+    int32_t query, plan, slot;  // plan/slot are positions within parent
+    double gamma;
+  };
+  std::vector<std::vector<SlotRef>> slot_refs_of_index_;
+  // Flat plan/slot numbering for the incremental pricing state:
+  // plan_id = plan_start_[q] + plan_pos, slot_id = slot_start_[plan_id]
+  // + slot_pos; both carry an end sentinel (total count in .back()).
+  std::vector<int32_t> plan_start_;
+  std::vector<int32_t> slot_start_;
+  // Inverse of queries_of_index_: query -> distinct dense index ids its
+  // plans reference. A candidate's greedy benefit depends only on its
+  // own queries' cached costs, so after a drop/add only the moved
+  // index's query-neighbourhood (union of these lists) needs
+  // re-pricing.
+  std::vector<std::vector<int32_t>> indexes_of_query_;
 
   // CSR copy of p_->z_rows (flat index/coefficient arrays) for the hot
   // admissibility scans — same layout idea as lp::Model's row storage.

@@ -1,5 +1,5 @@
 // Gilbert–Peierls sparse LU with static Markowitz column ordering,
-// threshold partial pivoting, and a product-form eta file. See
+// threshold partial pivoting, and Forrest–Tomlin updates. See
 // lu_factor.h for the contract and the space conventions.
 #include "lp/lu_factor.h"
 
@@ -20,11 +20,19 @@ constexpr double kSingularEps = 1e-10;
 // Threshold partial pivoting: a row may pivot if its |value| is within
 // this factor of the eliminated column's largest |value|.
 constexpr double kPivotThreshold = 0.1;
-// An eta whose pivot is this much smaller than the largest entry of
-// the incoming column poisons every later solve: refactorize.
+// An FT pivot this much smaller than the largest spike entry poisons
+// every later solve: refactorize.
 constexpr double kStabilityFloor = 1e-3;
-// Refactorize once the eta file outweighs the factors themselves.
-constexpr double kEtaFillFactor = 2.0;
+// Refactorize once U plus the row-eta file outweigh the fresh factors.
+// The per-row allowance keeps the trigger meaningful on small bases,
+// where a single spike can exceed any fixed ratio of a near-identity
+// factorization's handful of nonzeros.
+constexpr double kUpdateFillFactor = 1.5;
+constexpr double kUpdateFillSlackPerRow = 8.0;
+// Entries this small that arise during the FT row elimination or the
+// spike insertion are dropped: they are far below the solver's 1e-7
+// tolerances and would only accrete fill.
+constexpr double kFtDropEps = 1e-13;
 
 }  // namespace
 
@@ -183,30 +191,75 @@ bool LuFactor::Factorize(int m, const std::vector<int32_t>& col_start,
   l_start_ = std::move(l_start);
   l_rows_ = std::move(l_rows);
   l_vals_ = std::move(l_vals);
-  u_start_ = std::move(u_start);
-  u_steps_ = std::move(u_steps);
-  u_vals_ = std::move(u_vals);
-  u_diag_ = std::move(u_diag);
   pivot_row_of_step_ = std::move(pivot_row_of_step);
   col_of_step_ = std::move(col_of_step);
   step_of_col_ = std::move(step_of_col);
-  eta_pos_.clear();
-  eta_inv_pivot_.clear();
-  eta_start_.assign(1, 0);
-  eta_idx_.clear();
-  eta_val_.clear();
+  step_of_row_.resize(m);
+  for (int t = 0; t < m; ++t) step_of_row_[pivot_row_of_step_[t]] = t;
+
+  // Row-wise L structure (counting sort over the column store) for the
+  // sparse L^T reach.
+  lt_start_.assign(m + 1, 0);
+  lt_steps_.resize(l_rows_.size());
+  for (int32_t r : l_rows_) ++lt_start_[r + 1];
+  for (int r = 0; r < m; ++r) lt_start_[r + 1] += lt_start_[r];
+  {
+    std::vector<int32_t> fill_pos(lt_start_.begin(), lt_start_.end() - 1);
+    for (int t = 0; t < m; ++t) {
+      for (int32_t k = l_start_[t]; k < l_start_[t + 1]; ++k) {
+        lt_steps_[fill_pos[l_rows_[k]]++] = t;
+      }
+    }
+  }
+
+  // Commit U into the mirrored dynamic row/column stores the FT update
+  // mutates. Column t of the flat elimination output scatters into
+  // ucol_[t] directly and into urow_[s] per entry.
+  urow_.assign(m, {});
+  ucol_.assign(m, {});
+  udiag_ = std::move(u_diag);
+  udiag_inv_.resize(m);
+  for (int s = 0; s < m; ++s) udiag_inv_[s] = 1.0 / udiag_[s];
+  {
+    std::vector<int32_t> row_nnz(m, 0);
+    for (int32_t s : u_steps) ++row_nnz[s];
+    for (int s = 0; s < m; ++s) urow_[s].reserve(row_nnz[s]);
+    for (int t = 0; t < m; ++t) {
+      ucol_[t].reserve(u_start[t + 1] - u_start[t]);
+      for (int32_t k = u_start[t]; k < u_start[t + 1]; ++k) {
+        ucol_[t].emplace_back(u_steps[k], u_vals[k]);
+        urow_[u_steps[k]].emplace_back(t, u_vals[k]);
+      }
+    }
+  }
+  order_.resize(m);
+  std::iota(order_.begin(), order_.end(), 0);
+  pos_in_order_ = order_;
+
+  ft_pos_.clear();
+  ft_start_.assign(1, 0);
+  ft_steps_.clear();
+  ft_vals_.clear();
   eta_nnz_ = 0;
-  factor_nnz_ = static_cast<int64_t>(l_rows_.size()) +
-                static_cast<int64_t>(u_steps_.size()) + m;
+  u_nnz_ = static_cast<int64_t>(u_steps.size()) + m;
+  factor_nnz_ = static_cast<int64_t>(l_rows_.size()) + u_nnz_;
   fill_nnz_ = std::max<int64_t>(
       0, factor_nnz_ - static_cast<int64_t>(rows.size()));
   last_pivot_stability_ = 1.0;
   needs_refactor_ = false;
   step_work_.assign(m, 0.0);
+  spike_work_.assign(m, 0.0);
+  spike_touched_.clear();
+  acc_work_.assign(m, 0.0);
+  acc_touched_.clear();
+  sparse_work_.assign(m, 0.0);
+  mark_.assign(m, 0);
+  step_list_.clear();
+  solve_heap_.clear();
   return true;
 }
 
-void LuFactor::FtranLu(std::vector<double>& x) const {
+void LuFactor::Ftran(std::vector<double>& x) const {
   // L solve, in row space (unit diagonal implicit).
   for (int t = 0; t < m_; ++t) {
     const double v = x[pivot_row_of_step_[t]];
@@ -215,31 +268,47 @@ void LuFactor::FtranLu(std::vector<double>& x) const {
       x[l_rows_[k]] -= l_vals_[k] * v;
     }
   }
-  // Gather into step space and back-substitute through U.
+  // Gather into step space, replay the FT row etas (oldest to newest:
+  // each update's elimination acts on the result of the previous
+  // ones), then back-substitute through U in the dynamic order.
   std::vector<double>& z = step_work_;
   for (int t = 0; t < m_; ++t) z[t] = x[pivot_row_of_step_[t]];
-  for (int t = m_ - 1; t >= 0; --t) {
-    const double v = z[t] / u_diag_[t];
-    z[t] = v;
-    if (v == 0.0) continue;
-    for (int32_t k = u_start_[t]; k < u_start_[t + 1]; ++k) {
-      z[u_steps_[k]] -= u_vals_[k] * v;
+  const int ne = eta_count();
+  for (int k = 0; k < ne; ++k) {
+    double acc = z[ft_pos_[k]];
+    for (int32_t e = ft_start_[k]; e < ft_start_[k + 1]; ++e) {
+      acc -= ft_vals_[e] * z[ft_steps_[e]];
     }
+    z[ft_pos_[k]] = acc;
+  }
+  for (int i = m_ - 1; i >= 0; --i) {
+    const int32_t t = order_[i];
+    double acc = z[t];
+    for (const Entry& e : urow_[t]) acc -= e.second * z[e.first];
+    z[t] = acc * udiag_inv_[t];
   }
   // Step t solved the column at basis position col_of_step_[t].
   for (int t = 0; t < m_; ++t) x[col_of_step_[t]] = z[t];
 }
 
-void LuFactor::BtranLu(std::vector<double>& x) const {
+void LuFactor::Btran(std::vector<double>& x) const {
   std::vector<double>& g = step_work_;
   for (int t = 0; t < m_; ++t) g[t] = x[col_of_step_[t]];
-  // U^T forward substitution (column access of U gives U^T's rows).
-  for (int t = 0; t < m_; ++t) {
+  // U^T forward substitution in the dynamic order (column access of U
+  // gives U^T's rows).
+  for (int i = 0; i < m_; ++i) {
+    const int32_t t = order_[i];
     double acc = g[t];
-    for (int32_t k = u_start_[t]; k < u_start_[t + 1]; ++k) {
-      acc -= u_vals_[k] * g[u_steps_[k]];
+    for (const Entry& e : ucol_[t]) acc -= e.second * g[e.first];
+    g[t] = acc * udiag_inv_[t];
+  }
+  // Transposed FT row etas, newest to oldest.
+  for (int k = eta_count() - 1; k >= 0; --k) {
+    const double gp = g[ft_pos_[k]];
+    if (gp == 0.0) continue;
+    for (int32_t e = ft_start_[k]; e < ft_start_[k + 1]; ++e) {
+      g[ft_steps_[e]] -= ft_vals_[e] * gp;
     }
-    g[t] = acc / u_diag_[t];
   }
   // L^T backward: every row referenced by L column t is pivotal at a
   // later step, so its y component is already final — the in-place
@@ -253,52 +322,368 @@ void LuFactor::BtranLu(std::vector<double>& x) const {
   }
 }
 
-void LuFactor::Ftran(std::vector<double>& x) const {
-  FtranLu(x);
+void LuFactor::FtranSparse(std::vector<double>& x,
+                           std::vector<int32_t>& pattern) const {
+  // Gilbert–Peierls style reach: only the steps a nonzero can flow to
+  // are visited, in elimination order via a min-heap. Every push is
+  // guarded by mark_, so each step enters the heap exactly once, and
+  // all pushes target later steps than the current pop — the pop
+  // sequence is sorted.
+  const auto min_first = [](int32_t a, int32_t b) { return a > b; };
+  std::vector<int32_t>& heap = solve_heap_;
+  std::vector<int32_t>& steps = step_list_;
+  heap.clear();
+  steps.clear();
+
+  // L pass, in row space (L columns only touch rows pivotal later).
+  for (int32_t r : pattern) {
+    const int32_t s = step_of_row_[r];
+    if (!mark_[s]) {
+      mark_[s] = 1;
+      heap.push_back(s);
+      std::push_heap(heap.begin(), heap.end(), min_first);
+    }
+  }
+  while (!heap.empty()) {
+    std::pop_heap(heap.begin(), heap.end(), min_first);
+    const int32_t t = heap.back();
+    heap.pop_back();
+    steps.push_back(t);
+    const double v = x[pivot_row_of_step_[t]];
+    if (v == 0.0) continue;
+    for (int32_t k = l_start_[t]; k < l_start_[t + 1]; ++k) {
+      const int32_t r2 = l_rows_[k];
+      const int32_t s2 = step_of_row_[r2];
+      if (!mark_[s2]) {
+        mark_[s2] = 1;
+        heap.push_back(s2);
+        std::push_heap(heap.begin(), heap.end(), min_first);
+      }
+      x[r2] -= l_vals_[k] * v;
+    }
+  }
+
+  // Gather into step space, restoring the caller's all-zero invariant
+  // on the row-space input as we go.
+  std::vector<double>& z = sparse_work_;
+  for (int32_t t : steps) {
+    const int32_t r = pivot_row_of_step_[t];
+    z[t] = x[r];
+    x[r] = 0.0;
+  }
+
+  // FT row etas, oldest to newest. Unmarked steps hold exact zeros in
+  // z, so the accumulation is correct without consulting the pattern.
   const int ne = eta_count();
-  for (int k = 0; k < ne; ++k) {  // oldest to newest
-    const int32_t p = eta_pos_[k];
-    const double t = x[p];
-    if (t == 0.0) continue;
-    x[p] = t * eta_inv_pivot_[k];
-    for (int32_t e = eta_start_[k]; e < eta_start_[k + 1]; ++e) {
-      x[eta_idx_[e]] += eta_val_[e] * t;
+  for (int k = 0; k < ne; ++k) {
+    double acc = 0.0;
+    for (int32_t e = ft_start_[k]; e < ft_start_[k + 1]; ++e) {
+      acc += ft_vals_[e] * z[ft_steps_[e]];
+    }
+    if (acc != 0.0) {
+      const int32_t t = ft_pos_[k];
+      if (!mark_[t]) {
+        mark_[t] = 1;
+        steps.push_back(t);
+      }
+      z[t] -= acc;
+    }
+  }
+
+  // U back-substitution: process marked steps by descending order
+  // position (max-heap); a nonzero result reaches the earlier-ordered
+  // rows of its U column.
+  heap.clear();
+  for (int32_t t : steps) heap.push_back(pos_in_order_[t]);
+  std::make_heap(heap.begin(), heap.end());
+  while (!heap.empty()) {
+    std::pop_heap(heap.begin(), heap.end());
+    const int32_t t = order_[heap.back()];
+    heap.pop_back();
+    double acc = z[t];
+    for (const Entry& e : urow_[t]) acc -= e.second * z[e.first];
+    if (acc == 0.0) {
+      z[t] = 0.0;
+      continue;
+    }
+    z[t] = acc * udiag_inv_[t];
+    for (const Entry& e : ucol_[t]) {
+      if (!mark_[e.first]) {
+        mark_[e.first] = 1;
+        steps.push_back(e.first);
+        heap.push_back(pos_in_order_[e.first]);
+        std::push_heap(heap.begin(), heap.end());
+      }
+    }
+  }
+
+  // Scatter to basis positions; clear marks and z.
+  pattern.clear();
+  for (int32_t t : steps) {
+    mark_[t] = 0;
+    const double zt = z[t];
+    if (zt != 0.0) {
+      z[t] = 0.0;
+      const int32_t c = col_of_step_[t];
+      x[c] = zt;
+      pattern.push_back(c);
     }
   }
 }
 
-void LuFactor::Btran(std::vector<double>& x) const {
-  for (int k = eta_count() - 1; k >= 0; --k) {  // newest to oldest
-    double acc = eta_inv_pivot_[k] * x[eta_pos_[k]];
-    for (int32_t e = eta_start_[k]; e < eta_start_[k + 1]; ++e) {
-      acc += eta_val_[e] * x[eta_idx_[e]];
+void LuFactor::BtranSparse(std::vector<double>& x,
+                           std::vector<int32_t>& pattern) const {
+  const auto min_first = [](int32_t a, int32_t b) { return a > b; };
+  std::vector<int32_t>& heap = solve_heap_;
+  std::vector<int32_t>& steps = step_list_;
+  std::vector<double>& g = sparse_work_;
+  heap.clear();
+  steps.clear();
+
+  // Gather (basis position -> step), zeroing the input.
+  for (int32_t c : pattern) {
+    const int32_t t = step_of_col_[c];
+    const double xc = x[c];
+    x[c] = 0.0;
+    if (xc == 0.0) continue;
+    g[t] = xc;
+    if (!mark_[t]) {
+      mark_[t] = 1;
+      steps.push_back(t);
     }
-    x[eta_pos_[k]] = acc;
   }
-  BtranLu(x);
+
+  // U^T forward substitution, ascending order positions: a nonzero
+  // g[t] reaches the later-ordered columns of row t.
+  for (int32_t t : steps) heap.push_back(pos_in_order_[t]);
+  std::make_heap(heap.begin(), heap.end(), min_first);
+  while (!heap.empty()) {
+    std::pop_heap(heap.begin(), heap.end(), min_first);
+    const int32_t t = order_[heap.back()];
+    heap.pop_back();
+    double acc = g[t];
+    for (const Entry& e : ucol_[t]) acc -= e.second * g[e.first];
+    if (acc == 0.0) {
+      g[t] = 0.0;
+      continue;
+    }
+    g[t] = acc * udiag_inv_[t];
+    for (const Entry& e : urow_[t]) {
+      if (!mark_[e.first]) {
+        mark_[e.first] = 1;
+        steps.push_back(e.first);
+        heap.push_back(pos_in_order_[e.first]);
+        std::push_heap(heap.begin(), heap.end(), min_first);
+      }
+    }
+  }
+
+  // Transposed FT row etas, newest to oldest.
+  for (int k = eta_count() - 1; k >= 0; --k) {
+    const double gp = g[ft_pos_[k]];
+    if (gp == 0.0) continue;
+    for (int32_t e = ft_start_[k]; e < ft_start_[k + 1]; ++e) {
+      const int32_t s = ft_steps_[e];
+      if (!mark_[s]) {
+        mark_[s] = 1;
+        steps.push_back(s);
+      }
+      g[s] -= ft_vals_[e] * gp;
+    }
+  }
+
+  // L^T backward, descending step order: the result at step t's pivot
+  // row feeds the steps whose L column touches that row (all earlier).
+  // Marks are cleared at pop — re-pushes would need a later step,
+  // which cannot happen.
+  heap.assign(steps.begin(), steps.end());
+  std::make_heap(heap.begin(), heap.end());
+  pattern.clear();
+  while (!heap.empty()) {
+    std::pop_heap(heap.begin(), heap.end());
+    const int32_t t = heap.back();
+    heap.pop_back();
+    mark_[t] = 0;
+    double acc = g[t];
+    g[t] = 0.0;
+    for (int32_t k = l_start_[t]; k < l_start_[t + 1]; ++k) {
+      acc -= l_vals_[k] * x[l_rows_[k]];
+    }
+    if (acc == 0.0) continue;
+    const int32_t r = pivot_row_of_step_[t];
+    x[r] = acc;
+    pattern.push_back(r);
+    for (int32_t k = lt_start_[r]; k < lt_start_[r + 1]; ++k) {
+      const int32_t t2 = lt_steps_[k];
+      if (!mark_[t2]) {
+        mark_[t2] = 1;
+        heap.push_back(t2);
+        std::push_heap(heap.begin(), heap.end());
+      }
+    }
+  }
 }
 
 bool LuFactor::Update(const std::vector<double>& w, int pos) {
-  const double piv = w[pos];
-  if (!(std::abs(piv) > kSingularEps)) return false;
-  double amax = std::abs(piv);
-  for (int i = 0; i < m_; ++i) amax = std::max(amax, std::abs(w[i]));
-  const double inv = 1.0 / piv;
-  eta_pos_.push_back(pos);
-  eta_inv_pivot_.push_back(inv);
-  int64_t added = 1;
-  for (int i = 0; i < m_; ++i) {
-    if (i == pos || w[i] == 0.0) continue;
-    eta_idx_.push_back(i);
-    eta_val_.push_back(-w[i] * inv);
+  // Spike: the replaced column of U becomes v = U w̃ where
+  // w̃[t] = w[col_of_step_[t]] is the incoming column's FTRAN image
+  // gathered into step space (so v = F^{-1} a_q with F the current
+  // L+eta chain). Accumulate column-wise over the nonzeros of w̃ only.
+  std::vector<double>& v = spike_work_;
+  spike_touched_.clear();
+  for (int t = 0; t < m_; ++t) {
+    const double wt = w[col_of_step_[t]];
+    if (wt == 0.0) continue;
+    if (v[t] == 0.0) spike_touched_.push_back(t);
+    v[t] += udiag_[t] * wt;
+    for (const Entry& e : ucol_[t]) {
+      if (v[e.first] == 0.0) spike_touched_.push_back(e.first);
+      v[e.first] += e.second * wt;
+    }
+  }
+  return FinishUpdate(pos);
+}
+
+bool LuFactor::Update(const std::vector<double>& w,
+                      const std::vector<int32_t>& wpattern, int pos) {
+  // Same spike as the dense-w overload, but the nonzeros of w are
+  // handed in, skipping even the O(m) gather scan.
+  std::vector<double>& v = spike_work_;
+  spike_touched_.clear();
+  for (int32_t c : wpattern) {
+    const double wt = w[c];
+    if (wt == 0.0) continue;
+    const int32_t t = step_of_col_[c];
+    if (v[t] == 0.0) spike_touched_.push_back(t);
+    v[t] += udiag_[t] * wt;
+    for (const Entry& e : ucol_[t]) {
+      if (v[e.first] == 0.0) spike_touched_.push_back(e.first);
+      v[e.first] += e.second * wt;
+    }
+  }
+  return FinishUpdate(pos);
+}
+
+bool LuFactor::FinishUpdate(int pos) {
+  const int32_t p = step_of_col_[pos];
+  const int32_t ip = pos_in_order_[p];
+  std::vector<double>& v = spike_work_;
+  double vmax = 0.0;
+  for (int32_t s : spike_touched_) vmax = std::max(vmax, std::abs(v[s]));
+
+  // Eliminate the replaced step's row of U against the rows ordered
+  // after it, read-only: the multipliers land in eta_scratch_ and the
+  // running combination of row p in acc_work_. Only the spike column
+  // receives fill (row p's other entries cancel by construction), so
+  // the only numbers we need out of this pass are the multipliers and
+  // the new diagonal.
+  // The rows needing elimination are reached from row p's entries
+  // through later-ordered rows of U; a min-heap on the order position
+  // visits exactly that reach set in elimination order instead of
+  // scanning every position past ip.
+  std::vector<double>& acc = acc_work_;
+  std::vector<int32_t>& heap = elim_heap_;
+  const auto later_first = [](int32_t a, int32_t b) { return a > b; };
+  acc_touched_.clear();
+  heap.clear();
+  eta_scratch_.clear();
+  for (const Entry& e : urow_[p]) {
+    acc[e.first] = e.second;
+    acc_touched_.push_back(e.first);
+    heap.push_back(pos_in_order_[e.first]);
+  }
+  std::make_heap(heap.begin(), heap.end(), later_first);
+  double accp = v[p];
+  while (!heap.empty()) {
+    std::pop_heap(heap.begin(), heap.end(), later_first);
+    const int32_t t = order_[heap.back()];
+    heap.pop_back();
+    const double a = acc[t];
+    if (a == 0.0) continue;  // duplicate heap entry, or cancelled out
+    acc[t] = 0.0;
+    if (std::abs(a) < kFtDropEps) continue;
+    const double r = a * udiag_inv_[t];
+    eta_scratch_.emplace_back(t, r);
+    for (const Entry& e : urow_[t]) {
+      if (e.first == p) continue;  // old column p, about to be deleted
+      if (acc[e.first] == 0.0) {
+        acc_touched_.push_back(e.first);
+        heap.push_back(pos_in_order_[e.first]);
+        std::push_heap(heap.begin(), heap.end(), later_first);
+      }
+      acc[e.first] -= r * e.second;
+    }
+    accp -= r * v[t];
+  }
+  for (int32_t t : acc_touched_) acc[t] = 0.0;
+
+  if (!(std::abs(accp) > kSingularEps)) {
+    for (int32_t s : spike_touched_) v[s] = 0.0;
+    return false;  // factors untouched
+  }
+
+  // Commit. Remove row p and column p from the mirrored stores, insert
+  // the eliminated spike as the new column p, move p to the back of
+  // the elimination order, and append the row eta to the solve chain.
+  int64_t removed = 0;
+  for (const Entry& e : urow_[p]) {
+    auto& col = ucol_[e.first];
+    for (size_t k = 0; k < col.size(); ++k) {
+      if (col[k].first == p) {
+        col[k] = col.back();
+        col.pop_back();
+        ++removed;
+        break;
+      }
+    }
+  }
+  for (const Entry& e : ucol_[p]) {
+    auto& row = urow_[e.first];
+    for (size_t k = 0; k < row.size(); ++k) {
+      if (row[k].first == p) {
+        row[k] = row.back();
+        row.pop_back();
+        ++removed;
+        break;
+      }
+    }
+  }
+  urow_[p].clear();
+  ucol_[p].clear();
+  int64_t added = 1;  // new diagonal
+  for (int32_t s : spike_touched_) {
+    const double vs = v[s];
+    v[s] = 0.0;  // restore the all-zero invariant; dedupes re-touches
+    if (s == p || std::abs(vs) < kFtDropEps) continue;
+    ucol_[p].emplace_back(s, vs);
+    urow_[s].emplace_back(p, vs);
     ++added;
   }
-  eta_start_.push_back(static_cast<int32_t>(eta_idx_.size()));
+  udiag_[p] = accp;
+  udiag_inv_[p] = 1.0 / accp;
+  order_.erase(order_.begin() + ip);
+  order_.push_back(p);
+  for (int i = ip; i < m_; ++i) pos_in_order_[order_[i]] = i;
+
+  ft_pos_.push_back(p);
+  for (const Entry& e : eta_scratch_) {
+    ft_steps_.push_back(e.first);
+    ft_vals_.push_back(e.second);
+    added += 1;
+  }
+  ft_start_.push_back(static_cast<int32_t>(ft_steps_.size()));
+
+  u_nnz_ += static_cast<int64_t>(ucol_[p].size()) - removed;
   eta_nnz_ += added;
   total_eta_nnz_ += added;
-  last_pivot_stability_ = std::abs(piv) / amax;
+  ++total_updates_;
+  last_pivot_stability_ =
+      std::abs(accp) / std::max(vmax, std::abs(accp));
+  const int64_t ft_nnz =
+      static_cast<int64_t>(ft_vals_.size() + ft_pos_.size());
   if (last_pivot_stability_ < kStabilityFloor ||
-      eta_nnz_ > kEtaFillFactor * static_cast<double>(factor_nnz_)) {
+      u_nnz_ + ft_nnz > kUpdateFillFactor * static_cast<double>(factor_nnz_) +
+                            kUpdateFillSlackPerRow * m_) {
     needs_refactor_ = true;
   }
   return true;

@@ -15,14 +15,19 @@
 //    factorization costs O(flops), not O(m * nnz).
 //
 // After a simplex pivot the factorization is patched with a
-// product-form eta (the inverse of the rank-1 column replacement), so
-// FTRAN is `apply L/U solves, then the eta file` and BTRAN is `apply
-// the eta file in reverse, then the transposed solves`. The eta file
-// grows with every pivot and its error compounds, so `Update` tracks a
-// pivot-stability estimate and a fill budget; when either degrades,
-// `NeedsRefactorization()` turns true and the simplex refactorizes
-// from scratch at the next opportunity (it also refactorizes on a
-// fixed pivot interval regardless).
+// Forrest–Tomlin update (replacing the product-form eta file of the
+// first sparse-LU version): the replaced column of U becomes the spike
+// v = L^{-1} a_q, the replaced pivot moves to the end of the
+// elimination order, and the now-offending row of U is eliminated into
+// a short *row eta* that joins the solve chain. Unlike product-form
+// etas — whose file grows by one dense-ish column per pivot and whose
+// error compounds multiplicatively — FT keeps U itself triangular and
+// compact, so FTRAN/BTRAN cost stays near the fresh-factor cost over
+// long solves and refactorization becomes a fill/stability trigger
+// rather than a short fixed pivot interval. `Update` tracks the
+// post-elimination pivot magnitude and the U + row-eta fill; when
+// either degrades, `NeedsRefactorization()` turns true and the simplex
+// refactorizes from scratch at the next opportunity.
 //
 // Spaces: FTRAN input is indexed by constraint row, output by basis
 // position (the order the basis columns were given to Factorize);
@@ -33,6 +38,7 @@
 #define COPHY_LP_LU_FACTOR_H_
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 namespace cophy::lp {
@@ -42,82 +48,143 @@ class LuFactor {
   /// Factorizes the m x m matrix whose column c holds the nonzeros
   /// `rows[k], vals[k]` for k in [col_start[c], col_start[c+1]).
   /// Returns false (keeping any previous factorization intact) if the
-  /// matrix is numerically singular. On success the eta file is
+  /// matrix is numerically singular. On success the update file is
   /// cleared and NeedsRefactorization() resets.
   bool Factorize(int m, const std::vector<int32_t>& col_start,
                  const std::vector<int32_t>& rows,
                  const std::vector<double>& vals);
 
-  /// w = (B E_1 ... E_k)^{-1} b. `x` carries b indexed by row on input
-  /// and the solution indexed by basis position on output.
+  /// w = B_k^{-1} b for the k-times-updated basis. `x` carries b
+  /// indexed by row on input and the solution indexed by basis
+  /// position on output.
   void Ftran(std::vector<double>& x) const;
 
-  /// y^T = c^T (B E_1 ... E_k)^{-1}. `x` carries c indexed by basis
-  /// position on input and y indexed by row on output.
+  /// y^T = c^T B_k^{-1}. `x` carries c indexed by basis position on
+  /// input and y indexed by row on output.
   void Btran(std::vector<double>& x) const;
 
-  /// Appends the product-form eta for replacing the basis column at
-  /// `pos` with the column whose FTRAN image is `w` (dense, indexed by
-  /// basis position). Returns false — leaving the factorization
-  /// unchanged — if the pivot element w[pos] is numerically unusable.
+  /// Hyper-sparse FTRAN: `x` is all-zero except at the row indices in
+  /// `pattern`. Solves by following the reach of those nonzeros
+  /// through L, the eta file, and U — cost proportional to the result
+  /// pattern, not to m. On return `x` is all-zero except at the basis
+  /// positions left in `pattern` (exact zeros are dropped).
+  void FtranSparse(std::vector<double>& x,
+                   std::vector<int32_t>& pattern) const;
+
+  /// Hyper-sparse BTRAN: `x` all-zero except at the basis positions in
+  /// `pattern`; on return all-zero except at the row indices left in
+  /// `pattern`.
+  void BtranSparse(std::vector<double>& x,
+                   std::vector<int32_t>& pattern) const;
+
+  /// Forrest–Tomlin update whose incoming FTRAN image `w` is known to
+  /// be zero outside `wpattern` (basis positions): the spike is
+  /// accumulated over the pattern only.
+  bool Update(const std::vector<double>& w,
+              const std::vector<int32_t>& wpattern, int pos);
+
+  /// Forrest–Tomlin update replacing the basis column at `pos` with the
+  /// column whose FTRAN image is `w` (dense, indexed by basis
+  /// position). Returns false — leaving the factorization unchanged —
+  /// if the post-elimination pivot is numerically unusable.
   bool Update(const std::vector<double>& w, int pos);
 
-  /// True once the eta file has degraded (unstable pivot or fill past
-  /// budget) and a fresh Factorize is advised.
+  /// True once the updated factors have degraded (unstable FT pivot, or
+  /// U + row-eta fill past budget) and a fresh Factorize is advised.
   bool NeedsRefactorization() const { return needs_refactor_; }
 
   int dim() const { return m_; }
-  /// Number of product-form etas appended since the last Factorize.
-  int eta_count() const { return static_cast<int>(eta_pos_.size()); }
-  /// Eta nonzeros currently in the file (reset by Factorize).
+  /// Number of Forrest–Tomlin updates applied since the last Factorize.
+  int eta_count() const { return static_cast<int>(ft_pos_.size()); }
+  /// Update fill since the last Factorize: row-eta entries plus spike
+  /// entries inserted into U (diagonal included).
   int64_t eta_nnz() const { return eta_nnz_; }
-  /// Eta nonzeros appended over this object's lifetime (never reset).
+  /// Update fill appended over this object's lifetime (never reset).
   int64_t total_eta_nnz() const { return total_eta_nnz_; }
+  /// Forrest–Tomlin updates applied over this object's lifetime.
+  int64_t total_updates() const { return total_updates_; }
   /// L+U nonzeros (diagonal included) of the last factorization.
   int64_t factor_nnz() const { return factor_nnz_; }
   /// factor_nnz() minus the factorized matrix's nonzeros: the fill-in.
   int64_t fill_nnz() const { return fill_nnz_; }
-  /// |w[pos]| / max_i |w[i]| of the most recent Update (1 if none).
+  /// |post-elimination pivot| / max|spike| of the most recent Update
+  /// (1 if none since the last Factorize).
   double last_pivot_stability() const { return last_pivot_stability_; }
 
  private:
-  void FtranLu(std::vector<double>& x) const;
-  void BtranLu(std::vector<double>& x) const;
+  using Entry = std::pair<int32_t, double>;  // (step, value)
 
   int m_ = 0;
 
   // L: per elimination step, the below-pivot multipliers by original
-  // row; unit diagonal implicit. U: per step (column of U), the
-  // above-diagonal entries by earlier step, plus the pivot value.
+  // row; unit diagonal implicit. L is never touched by updates.
   std::vector<int32_t> l_start_{0};
   std::vector<int32_t> l_rows_;
   std::vector<double> l_vals_;
-  std::vector<int32_t> u_start_{0};
-  std::vector<int32_t> u_steps_;
-  std::vector<double> u_vals_;
-  std::vector<double> u_diag_;
+
+  // U, mutable under Forrest–Tomlin updates, stored both row-wise and
+  // column-wise in step space (off-diagonal entries only; values
+  // duplicated — FT only ever inserts and deletes entries, never
+  // rewrites them in place). urow_[s] holds (t, u_st) for columns t
+  // ordered after s; ucol_[t] holds (s, u_st) for rows s ordered
+  // before t. The elimination order itself is dynamic: order_[i] is
+  // the step solved at position i, and an updated step moves to the
+  // back of the order.
+  std::vector<std::vector<Entry>> urow_;
+  std::vector<std::vector<Entry>> ucol_;
+  std::vector<double> udiag_;
+  std::vector<double> udiag_inv_;  // 1/udiag_, kept in lock-step
+  std::vector<int32_t> order_;
+  std::vector<int32_t> pos_in_order_;
 
   std::vector<int32_t> pivot_row_of_step_;  // step -> original row
   std::vector<int32_t> col_of_step_;        // step -> basis position
   std::vector<int32_t> step_of_col_;        // basis position -> step
+  std::vector<int32_t> step_of_row_;        // original row -> step
 
-  // Product-form eta file: eta k replaces position eta_pos_[k]; its
-  // off-pivot entries live in [eta_start_[k], eta_start_[k+1]).
-  std::vector<int32_t> eta_pos_;
-  std::vector<double> eta_inv_pivot_;
-  std::vector<int32_t> eta_start_{0};
-  std::vector<int32_t> eta_idx_;
-  std::vector<double> eta_val_;
+  // Row-wise structure of L (no values): the steps whose L column
+  // touches each original row. Drives the reach in the sparse L^T
+  // solve; values still come from the column store.
+  std::vector<int32_t> lt_start_;
+  std::vector<int32_t> lt_steps_;
+
+  // Forrest–Tomlin row-eta file: update k eliminated the row of step
+  // ft_pos_[k] using multipliers ft_vals_[e] against the rows of steps
+  // ft_steps_[e], e in [ft_start_[k], ft_start_[k+1]). Applied after
+  // the L solve in FTRAN, transposed in reverse order in BTRAN.
+  std::vector<int32_t> ft_pos_;
+  std::vector<int32_t> ft_start_{0};
+  std::vector<int32_t> ft_steps_;
+  std::vector<double> ft_vals_;
 
   int64_t eta_nnz_ = 0;
   int64_t total_eta_nnz_ = 0;
+  int64_t total_updates_ = 0;
   int64_t factor_nnz_ = 0;
   int64_t fill_nnz_ = 0;
+  int64_t u_nnz_ = 0;  // current off-diagonal U entries + diagonal
   double last_pivot_stability_ = 1.0;
   bool needs_refactor_ = false;
 
-  // Step-space solve scratch (sized on Factorize).
+  // Update / solve scratch (sized on Factorize). spike_work_ and
+  // acc_work_ are all-zero between calls; the touched lists restore
+  // that invariant so Update costs O(spike nonzeros), not O(m).
   mutable std::vector<double> step_work_;
+  std::vector<double> spike_work_;
+  std::vector<int32_t> spike_touched_;
+  std::vector<double> acc_work_;
+  std::vector<int32_t> acc_touched_;
+  std::vector<int32_t> elim_heap_;  // pending rows, keyed by order_ position
+  std::vector<Entry> eta_scratch_;
+
+  // Sparse-solve scratch: sparse_work_ all-zero and mark_ all-clear
+  // between calls.
+  mutable std::vector<double> sparse_work_;
+  mutable std::vector<char> mark_;
+  mutable std::vector<int32_t> step_list_;
+  mutable std::vector<int32_t> solve_heap_;
+
+  bool FinishUpdate(int pos);  // shared FT tail; expects spike_ filled
 };
 
 }  // namespace cophy::lp

@@ -1,4 +1,5 @@
-// Bounded-variable revised primal simplex over the CSR/CSC model.
+// Bounded-variable revised simplex (primal and dual) over the CSR/CSC
+// model.
 //
 // Internal layout: columns [0, nv) are the structural variables, column
 // nv + r is the slack of row r with coefficient +1 and sense encoded in
@@ -6,21 +7,37 @@
 // is an equality A'x' = b over bounded variables and the slack basis is
 // the identity. The basis is held as a sparse LU factorization
 // (lp/lu_factor.h): Markowitz-ordered threshold-pivoted LU with sparse
-// FTRAN/BTRAN through the factors and a product-form eta appended per
-// pivot, refactorized on a fixed pivot interval and early whenever the
-// eta file degrades (unstable pivot or fill past budget). Pricing uses
-// the model's sparse column views, and in phase 2 the reduced-cost row
-// is updated incrementally from the pivot row (one extra unit-vector
-// BTRAN per pivot) instead of being re-derived.
+// FTRAN/BTRAN through the factors and a Forrest–Tomlin update per
+// pivot. Refactorization is driven by the factorization's own
+// fill/stability trigger (plus a large backstop interval) — FT keeps
+// the factors compact, so the old fixed 96-pivot interval is gone.
+//
+// Both simplex variants price over the *sparse pivot row*: after the
+// unit BTRAN for row r, alpha_j = rho . a_j is accumulated only for
+// the columns intersecting rho's nonzero rows (CSR row walk), so a
+// pivot costs O(nnz of the active rows), not O(nnz of the model).
+//
+// Primal phase 2 prices with devex by default (reference-framework
+// weights updated from the same sparse pivot row, reset when they
+// outgrow their trusted range), confirms every candidate against its
+// exact reduced cost c_j - c_B . w after FTRAN, and falls back to
+// Bland's rule late in the iteration budget to guard against cycling.
 //
 // Phase 1 is artificial-free: starting from any basis (slack or
 // imported), it minimizes the total bound violation of the basic
 // variables with the composite-objective rule — an infeasible-below
 // basic prices with sigma = -1 and blocks the ratio test at its lower
 // bound, an infeasible-above basic with sigma = +1 at its upper bound.
-// This is what makes branch-and-bound warm starts cheap: a parent basis
-// re-imported under tightened child bounds is usually one or two
-// restoring pivots away from feasibility.
+//
+// The dual simplex (SolveLp with SimplexEntry::kDual) is the
+// branch-and-bound node path: a parent-optimal basis re-imported under
+// child bounds is still dual feasible (the branching variable was
+// basic), so the dual ratio test walks the primal infeasibility out in
+// a few pivots with *zero* primal phase-1 work. Boxed nonbasics whose
+// reduced cost has the wrong sign are repaired by bound flips on
+// entry; the dual ratio test itself takes bound-flipping long steps
+// (skipping boxed blockers by flipping them, absorbing |alpha| * range
+// of infeasibility each) before committing to an entering column.
 #include "lp/simplex.h"
 
 #include <algorithm>
@@ -37,9 +54,24 @@ namespace {
 
 constexpr double kLeaveEps = 1e-7;  // min |w_r| to accept a pivot element
 constexpr double kDualEps = 1e-7;
+// The dual simplex tolerates wrong-sign reduced costs up to this band
+// on columns it cannot flip-repair (free / one-sided): recomputing d on
+// a warm parent basis routinely lands a hair past kDualEps, and bailing
+// out to primal phase 1 over recompute noise throws the warm start
+// away. Within the band the dual solve proceeds (the column surfaces as
+// a zero-ratio candidate and is fixed by a degenerate pivot); the final
+// optimality verdict still requires the strict kDualEps.
+constexpr double kDualRepairEps = 1e-5;
 constexpr double kFeasEps = 1e-7;
 constexpr double kInfeasTotal = 1e-6;
-constexpr int kRefactorInterval = 96;  // pivots between refactorizations
+// Forced refactorization backstop. The working trigger is the
+// factorization's own fill/stability signal (LuFactor::
+// NeedsRefactorization); this bound only caps drift accumulation on
+// solves where Forrest–Tomlin updates stay unusually clean.
+constexpr int kRefactorBackstop = 1024;
+// Devex weights above this have outgrown the reference framework the
+// run started from; reset the framework to the current nonbasic set.
+constexpr double kDevexWeightCap = 1e7;
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
 enum class IterStatus {
@@ -48,13 +80,17 @@ enum class IterStatus {
   kStalled,
   kIterLimit,
   kNumericalFailure,  // basis factorization lost and unrecoverable
+  kDualInfeasible,    // dual simplex proved the LP primal infeasible
+  kNotDualFeasible,   // start not flip-repairable; run the primal phases
 };
 
 class RevisedSimplex {
  public:
-  RevisedSimplex(const Model& model, const std::vector<double>& lo_struct,
+  RevisedSimplex(const Model& model, const LpOptions& options,
+                 const std::vector<double>& lo_struct,
                  const std::vector<double>& hi_struct)
       : model_(model),
+        options_(options),
         nv_(model.num_variables()),
         m_(model.num_rows()),
         n_(nv_ + m_) {
@@ -106,6 +142,9 @@ class RevisedSimplex {
     rho_.resize(m_);
     y_.resize(m_);
     scratch_.resize(m_);
+    alpha_.assign(n_, 0.0);
+    alpha_mark_.assign(n_, 0);
+    in_cand_.assign(n_, 0);
   }
 
   /// Installs the all-slack basis with structurals at their nearest
@@ -153,7 +192,245 @@ class RevisedSimplex {
   /// Optimizes the real objective from a primal-feasible basis.
   IterStatus Phase2(LpSolveStats* stats) {
     RecomputeReducedCosts();
+    if (options_.pricing == Pricing::kDevex) devex_w_.assign(n_, 1.0);
     return Iterate(/*phase1=*/false, stats);
+  }
+
+  /// Bounded-variable dual simplex with bound-flipping long steps, from
+  /// the currently installed basis. Returns
+  ///  - kOptimal: primal and dual feasible (LP solved),
+  ///  - kDualInfeasible: the LP is primal infeasible (a violated basic
+  ///    row admits no entering column — a dual ray),
+  ///  - kNotDualFeasible: the start cannot be flip-repaired into dual
+  ///    feasibility (wrong-sign reduced cost on a free or one-sided
+  ///    nonbasic); the basis is left valid for the primal phases,
+  ///  - kIterLimit / kNumericalFailure as in the primal loop.
+  IterStatus DualSolve(LpSolveStats* stats) {
+    RecomputeReducedCosts();
+    if (!RestoreDualFeasibility(stats)) return IterStatus::kNotDualFeasible;
+    const int64_t iter_limit = 200 * (static_cast<int64_t>(m_) + n_) + 2000;
+    int64_t pivots_since_refresh = 0;
+    int64_t pivots_since_factor = 0;
+    for (int64_t iter = 0; iter < iter_limit; ++iter) {
+      if (pivots_since_factor >= kRefactorBackstop ||
+          (pivots_since_factor > 0 && lu_.NeedsRefactorization())) {
+        if (Refactorize()) {
+          ComputeBasicValues(/*measure_drift=*/true);
+          RecomputeReducedCosts();
+          if (!RestoreDualFeasibility(stats)) {
+            return IterStatus::kNotDualFeasible;
+          }
+          pivots_since_refresh = 0;
+        }
+        pivots_since_factor = 0;
+      } else if (pivots_since_refresh >= 64) {
+        ComputeBasicValues(/*measure_drift=*/true);
+        RecomputeReducedCosts();
+        if (!RestoreDualFeasibility(stats)) return IterStatus::kNotDualFeasible;
+        pivots_since_refresh = 0;
+      }
+
+      // --- Dual pricing: the most-violated basic variable leaves. ---
+      int leave = -1;
+      double best_viol = kFeasEps;
+      bool above = false;
+      for (int r = 0; r < m_; ++r) {
+        const int j = basis_[r];
+        const double below_by = lo_[j] - xval_[j];
+        const double above_by = xval_[j] - hi_[j];
+        if (below_by > best_viol) {
+          best_viol = below_by;
+          leave = r;
+          above = false;
+        }
+        if (above_by > best_viol) {
+          best_viol = above_by;
+          leave = r;
+          above = true;
+        }
+      }
+      if (leave < 0) {
+        if (pivots_since_refresh > 0) {
+          // The incremental values say "primal feasible" — confirm
+          // against freshly recomputed values before declaring
+          // optimality (guards against drift).
+          ComputeBasicValues(/*measure_drift=*/true);
+          RecomputeReducedCosts();
+          if (!RestoreDualFeasibility(stats)) {
+            return IterStatus::kNotDualFeasible;
+          }
+          pivots_since_refresh = 0;
+          continue;
+        }
+        // Primal feasible on fresh values. kOptimal additionally needs
+        // strict dual feasibility: if a band-level wrong-sign residual
+        // survived the whole dual solve, hand the basis to the primal
+        // phases instead — it is primal feasible, so phase 1 passes
+        // through pivot-free and phase 2 does the exact cleanup.
+        return dual_wrong_sign_ > kDualEps ? IterStatus::kNotDualFeasible
+                                           : IterStatus::kOptimal;
+      }
+      const int leaving_var = basis_[leave];
+      const double sign = above ? 1.0 : -1.0;
+      const double bound_target = above ? hi_[leaving_var] : lo_[leaving_var];
+
+      BtranUnit(leave);
+      ComputePivotRow();
+
+      // --- Dual ratio test over the sparse pivot row. An at-lower
+      // column blocks when sign * alpha > 0 (its reduced cost falls as
+      // the dual step grows), an at-upper column when sign * alpha < 0,
+      // a free column immediately (d ~ 0). ---
+      dual_cands_.clear();
+      bool weak_candidate = false;
+      for (const int j : alpha_touched_) {
+        if (vstat_[j] == VarStatus::kBasic || lo_[j] == hi_[j]) continue;
+        const double a = alpha_[j];
+        const double abar = sign * a;
+        const VarStatus st = vstat_[j];
+        const bool eligible =
+            st == VarStatus::kFree ||
+            (st == VarStatus::kAtLower && abar > 0) ||
+            (st == VarStatus::kAtUpper && abar < 0);
+        if (!eligible) continue;
+        if (std::abs(a) <= kLeaveEps) {
+          // Too small to pivot on, but real enough that this row is
+          // not a clean infeasibility certificate.
+          if (std::abs(a) > 1e-11) weak_candidate = true;
+          continue;
+        }
+        double ratio = d_[j] / abar;
+        if (ratio < 0) ratio = 0;  // dual-degenerate / tolerance noise
+        dual_cands_.push_back(DualCand{ratio, std::abs(a), j});
+      }
+      if (dual_cands_.empty()) {
+        if (pivots_since_refresh > 0) {
+          ComputeBasicValues(/*measure_drift=*/true);
+          RecomputeReducedCosts();
+          if (!RestoreDualFeasibility(stats)) {
+            return IterStatus::kNotDualFeasible;
+          }
+          pivots_since_refresh = 0;
+          continue;
+        }
+        // No entering column can repair the violated row: with clean
+        // candidates ruled out this is a dual ray — the LP is primal
+        // infeasible. If only tolerance-sized pivots were rejected,
+        // hand the verdict to the primal phases instead of certifying
+        // infeasibility off numerical dust.
+        return weak_candidate ? IterStatus::kNotDualFeasible
+                              : IterStatus::kDualInfeasible;
+      }
+      std::sort(dual_cands_.begin(), dual_cands_.end(),
+                [](const DualCand& x, const DualCand& y) {
+                  if (x.ratio != y.ratio) return x.ratio < y.ratio;
+                  if (x.abs_alpha != y.abs_alpha) {
+                    return x.abs_alpha > y.abs_alpha;
+                  }
+                  return x.j < y.j;
+                });
+
+      // --- Bound-flipping long step: a boxed blocker whose whole range
+      // absorbs less than the remaining infeasibility flips to its
+      // other bound (no pivot) and the dual step marches past it to
+      // the next candidate. ---
+      double remaining = best_viol;
+      int enter = -1;
+      flip_scratch_.clear();
+      for (size_t k = 0; k < dual_cands_.size(); ++k) {
+        const DualCand& c = dual_cands_[k];
+        const double range = hi_[c.j] - lo_[c.j];
+        if (k + 1 < dual_cands_.size() && std::isfinite(range) &&
+            remaining - c.abs_alpha * range > kFeasEps) {
+          flip_scratch_.push_back(c.j);
+          remaining -= c.abs_alpha * range;
+          continue;
+        }
+        enter = c.j;
+        break;
+      }
+      if (!flip_scratch_.empty()) {
+        // One combined FTRAN over the flipped columns' deltas, through
+        // the same hyper-sparse path as the entering column.
+        for (const int32_t i : w_pattern_) w_[i] = 0.0;
+        w_pattern_.clear();
+        for (const int j : flip_scratch_) {
+          const double delta = vstat_[j] == VarStatus::kAtLower
+                                   ? hi_[j] - lo_[j]
+                                   : lo_[j] - hi_[j];
+          ForEachEntry(j, [&](int row, double v) {
+            if (w_[row] == 0.0 && v != 0.0) w_pattern_.push_back(row);
+            w_[row] += v * delta;
+          });
+          vstat_[j] = vstat_[j] == VarStatus::kAtLower ? VarStatus::kAtUpper
+                                                       : VarStatus::kAtLower;
+          xval_[j] = vstat_[j] == VarStatus::kAtLower ? lo_[j] : hi_[j];
+        }
+        const Stopwatch timer;
+        lu_.FtranSparse(w_, w_pattern_);
+        ftran_btran_seconds_ += timer.Elapsed();
+        for (const int32_t r : w_pattern_) {
+          xval_[basis_[r]] -= w_[r];
+        }
+        stats->bound_flips += static_cast<int64_t>(flip_scratch_.size());
+        GlobalSolverCounters().bound_flips +=
+            static_cast<int64_t>(flip_scratch_.size());
+      }
+
+      Ftran(enter);
+      const double wr = w_[leave];
+      if (std::abs(wr) <= kLeaveEps) {
+        // The FTRAN image disagrees with the pivot row badly enough
+        // that this pivot would poison the update: refresh everything
+        // and re-price the row (bounded by the iteration budget).
+        if (!Refactorize()) return IterStatus::kNumericalFailure;
+        ComputeBasicValues(/*measure_drift=*/true);
+        RecomputeReducedCosts();
+        if (!RestoreDualFeasibility(stats)) return IterStatus::kNotDualFeasible;
+        pivots_since_refresh = 0;
+        pivots_since_factor = 0;
+        continue;
+      }
+
+      // --- Pivot: primal step to the leaving bound, dual step by the
+      // entering ratio, incremental d over the sparse pivot row. ---
+      const double dx = (xval_[leaving_var] - bound_target) / wr;
+      for (const int32_t r : w_pattern_) {
+        xval_[basis_[r]] -= w_[r] * dx;
+      }
+      xval_[enter] += dx;
+      xval_[leaving_var] = bound_target;  // snap exactly onto its bound
+      vstat_[leaving_var] = lo_[leaving_var] == hi_[leaving_var]
+                                ? VarStatus::kAtLower
+                                : (above ? VarStatus::kAtUpper
+                                         : VarStatus::kAtLower);
+      const double theta_d = d_[enter] / wr;
+      if (theta_d != 0.0) {
+        for (const int j : alpha_touched_) {
+          if (vstat_[j] == VarStatus::kBasic || j == enter) continue;
+          d_[j] -= theta_d * alpha_[j];
+        }
+      }
+      d_[leaving_var] = -theta_d;
+      d_[enter] = 0.0;
+      vstat_[enter] = VarStatus::kBasic;
+      basis_[leave] = enter;
+      stats->dual_pivots += 1;
+      GlobalSolverCounters().dual_pivots += 1;
+      ++pivots_since_refresh;
+      ++pivots_since_factor;
+      if (!lu_.Update(w_, w_pattern_, leave)) {
+        // Same contract as the primal loop: the factors still describe
+        // the pre-pivot basis, so refactorize immediately or fail.
+        if (!Refactorize()) return IterStatus::kNumericalFailure;
+        ComputeBasicValues();
+        RecomputeReducedCosts();
+        if (!RestoreDualFeasibility(stats)) return IterStatus::kNotDualFeasible;
+        pivots_since_refresh = 0;
+        pivots_since_factor = 0;
+      }
+    }
+    return IterStatus::kIterLimit;
   }
 
   /// Total bound violation of the basic variables.
@@ -209,16 +486,24 @@ class RevisedSimplex {
   /// process-wide counters. Called once per solve, on every exit path.
   void ExportFactorStats(LpSolveStats* stats) {
     stats->refactorizations = refactorizations_;
+    stats->ft_updates = lu_.total_updates();
     stats->eta_nnz = lu_.total_eta_nnz();
     stats->lu_fill_nnz = lu_.fill_nnz();
     stats->max_drift = max_drift_;
     stats->ftran_btran_seconds = ftran_btran_seconds_;
     SolverCounters& counters = GlobalSolverCounters();
+    counters.ft_updates += lu_.total_updates();
     counters.eta_nnz += lu_.total_eta_nnz();
     counters.ftran_btran_seconds += ftran_btran_seconds_;
   }
 
  private:
+  struct DualCand {
+    double ratio;      // d_j / (sign * alpha_j), clamped at 0
+    double abs_alpha;  // |pivot element| (stability tie-break)
+    int j;
+  };
+
   /// Applies `f(row, value)` to every nonzero of internal column `j`,
   /// in the row-equilibrated space.
   template <typename F>
@@ -252,12 +537,19 @@ class RevisedSimplex {
   }
 
   /// w = B^{-1} * (column j): scatter the column by row, then one
-  /// sparse LU + eta-file solve. Output indexed by basis position.
+  /// hyper-sparse LU solve through the update chain. Output indexed by
+  /// basis position; w_ stays all-zero outside w_pattern_, so every
+  /// consumer (ratio test, value update, FT spike) walks the pattern
+  /// instead of all m rows.
   void Ftran(int j) {
-    std::fill(w_.begin(), w_.end(), 0.0);
-    ForEachEntry(j, [&](int row, double v) { w_[row] += v; });
+    for (const int32_t i : w_pattern_) w_[i] = 0.0;
+    w_pattern_.clear();
+    ForEachEntry(j, [&](int row, double v) {
+      if (w_[row] == 0.0 && v != 0.0) w_pattern_.push_back(row);
+      w_[row] += v;
+    });
     const Stopwatch timer;
-    lu_.Ftran(w_);
+    lu_.FtranSparse(w_, w_pattern_);
     ftran_btran_seconds_ += timer.Elapsed();
   }
 
@@ -270,19 +562,53 @@ class RevisedSimplex {
   }
 
   /// rho = e_pos^T B^{-1}, the pivot row of the (pre-update) basis
-  /// inverse, via a unit-vector BTRAN.
+  /// inverse, via a hyper-sparse unit-vector BTRAN. rho_ stays
+  /// all-zero outside rho_pattern_.
   void BtranUnit(int pos) {
-    std::fill(rho_.begin(), rho_.end(), 0.0);
+    for (const int32_t r : rho_pattern_) rho_[r] = 0.0;
+    rho_pattern_.assign(1, pos);
     rho_[pos] = 1.0;
     const Stopwatch timer;
-    lu_.Btran(rho_);
+    lu_.BtranSparse(rho_, rho_pattern_);
     ftran_btran_seconds_ += timer.Elapsed();
+  }
+
+  /// Sparse pivot row from rho_: alpha_j = rho . a_j accumulated by
+  /// walking the CSR rows where rho is nonzero (plus the slack of each
+  /// such row), so only columns that can change are touched. Fills
+  /// alpha_ (stamped) and alpha_touched_.
+  void ComputePivotRow() {
+    ++alpha_stamp_;
+    const int32_t stamp = alpha_stamp_;
+    alpha_touched_.clear();
+    for (const int32_t r : rho_pattern_) {
+      const double rr = rho_[r];
+      if (rr == 0.0) continue;
+      const RowView row = model_.row(r);
+      const double scaled = rr * row_scale_[r];
+      for (int k = 0; k < row.nnz; ++k) {
+        const int j = row.cols[k];
+        if (alpha_mark_[j] != stamp) {
+          alpha_mark_[j] = stamp;
+          alpha_[j] = 0.0;
+          alpha_touched_.push_back(j);
+        }
+        alpha_[j] += scaled * row.vals[k];
+      }
+      const int s = nv_ + r;  // slack column of row r: coefficient 1
+      if (alpha_mark_[s] != stamp) {
+        alpha_mark_[s] = stamp;
+        alpha_[s] = 0.0;
+        alpha_touched_.push_back(s);
+      }
+      alpha_[s] += rr;
+    }
   }
 
   /// x_B = B^{-1} (b - N x_N); nonbasic values are already in xval_.
   /// With `measure_drift`, the largest |old - new| over the basic
-  /// values — the eta-file drift caught by this refresh — feeds the
-  /// solve's max_drift statistic.
+  /// values — the update-chain drift caught by this refresh — feeds
+  /// the solve's max_drift statistic.
   void ComputeBasicValues(bool measure_drift = false) {
     std::copy(b_.begin(), b_.end(), scratch_.begin());
     for (int j = 0; j < n_; ++j) {
@@ -290,22 +616,54 @@ class RevisedSimplex {
       const double xj = xval_[j];
       ForEachEntry(j, [&](int row, double v) { scratch_[row] -= v * xj; });
     }
-    std::copy(scratch_.begin(), scratch_.end(), w_.begin());
+    std::copy(scratch_.begin(), scratch_.end(), y_.begin());
     const Stopwatch timer;
-    lu_.Ftran(w_);
+    lu_.Ftran(y_);
     ftran_btran_seconds_ += timer.Elapsed();
     if (measure_drift) {
       double worst = 0;
       for (int r = 0; r < m_; ++r) {
-        worst = std::max(worst, std::abs(xval_[basis_[r]] - w_[r]));
+        worst = std::max(worst, std::abs(xval_[basis_[r]] - y_[r]));
       }
       max_drift_ = std::max(max_drift_, worst);
     }
-    for (int r = 0; r < m_; ++r) xval_[basis_[r]] = w_[r];
+    for (int r = 0; r < m_; ++r) xval_[basis_[r]] = y_[r];
+  }
+
+  /// Entering direction of column j under the phase-2 reduced costs,
+  /// or 0 if j cannot improve (basic, fixed, or dual feasible).
+  int PriceDir(int j) const {
+    const VarStatus st = vstat_[j];
+    if (st == VarStatus::kBasic) return 0;
+    const double dj = d_[j];
+    int jdir = 0;
+    if (st == VarStatus::kAtLower && dj < -kDualEps) {
+      jdir = 1;
+    } else if (st == VarStatus::kAtUpper && dj > kDualEps) {
+      jdir = -1;
+    } else if (st == VarStatus::kFree && std::abs(dj) > kDualEps) {
+      jdir = dj < 0 ? 1 : -1;
+    } else {
+      return 0;
+    }
+    if (lo_[j] == hi_[j]) return 0;  // fixed: can never move
+    return jdir;
+  }
+
+  /// Adds j to the phase-2 pricing candidate list if it improves and
+  /// is not already listed. Stale entries are dropped lazily during
+  /// the pricing scan, so the list is always a superset of the
+  /// improving columns.
+  void UpdateCandidate(int j) {
+    if (!in_cand_[j] && PriceDir(j) != 0) {
+      in_cand_[j] = 1;
+      price_cand_.push_back(j);
+    }
   }
 
   /// Full re-pricing of the phase-2 reduced-cost row (also the periodic
-  /// numerical refresh).
+  /// numerical refresh). Rebuilds the pricing candidate list: every
+  /// global d refresh invalidates the incremental maintenance.
   void RecomputeReducedCosts() {
     for (int r = 0; r < m_; ++r) scratch_[r] = cost_[basis_[r]];
     Btran(scratch_);
@@ -317,6 +675,11 @@ class RevisedSimplex {
       double acc = cost_[j];
       ForEachEntry(j, [&](int row, double v) { acc -= y_[row] * v; });
       d_[j] = acc;
+    }
+    price_cand_.clear();
+    for (int j = 0; j < n_; ++j) {
+      in_cand_[j] = PriceDir(j) != 0;
+      if (in_cand_[j]) price_cand_.push_back(j);
     }
   }
 
@@ -341,6 +704,65 @@ class RevisedSimplex {
       ForEachEntry(j, [&](int row, double v) { acc -= y_[row] * v; });
       d_[j] = acc;
     }
+  }
+
+  /// Repairs wrong-sign reduced costs on boxed nonbasics by flipping
+  /// them to the opposite bound (where that sign is the correct one).
+  /// A free or one-sided nonbasic with a wrong-sign reduced cost is not
+  /// flip-repairable: beyond kDualRepairEps the function returns false
+  /// and the basis stays valid (any flips already applied are legal
+  /// nonbasic states) for the primal phases. Within kDualRepairEps —
+  /// recompute noise on an optimal parent basis, the common warm-start
+  /// case — the dual solve proceeds anyway: such a column surfaces in
+  /// the ratio test as a zero-ratio candidate and is repaired by a
+  /// degenerate pivot, and dual_wrong_sign_ records the worst residual
+  /// so the optimality verdict can stay strict. Requires d_ freshly
+  /// computed.
+  bool RestoreDualFeasibility(LpSolveStats* stats) {
+    bool restorable = true;
+    int64_t flips = 0;
+    dual_wrong_sign_ = 0.0;
+    for (int j = 0; j < n_; ++j) {
+      const VarStatus st = vstat_[j];
+      if (st == VarStatus::kBasic || lo_[j] == hi_[j]) continue;
+      if (st == VarStatus::kAtLower && d_[j] < -kDualEps) {
+        if (!std::isfinite(hi_[j])) {
+          if (-d_[j] > kDualRepairEps) {
+            restorable = false;
+            break;
+          }
+          dual_wrong_sign_ = std::max(dual_wrong_sign_, -d_[j]);
+          continue;
+        }
+        vstat_[j] = VarStatus::kAtUpper;
+        xval_[j] = hi_[j];
+        ++flips;
+      } else if (st == VarStatus::kAtUpper && d_[j] > kDualEps) {
+        if (!std::isfinite(lo_[j])) {
+          if (d_[j] > kDualRepairEps) {
+            restorable = false;
+            break;
+          }
+          dual_wrong_sign_ = std::max(dual_wrong_sign_, d_[j]);
+          continue;
+        }
+        vstat_[j] = VarStatus::kAtLower;
+        xval_[j] = lo_[j];
+        ++flips;
+      } else if (st == VarStatus::kFree && std::abs(d_[j]) > kDualEps) {
+        if (std::abs(d_[j]) > kDualRepairEps) {
+          restorable = false;
+          break;
+        }
+        dual_wrong_sign_ = std::max(dual_wrong_sign_, std::abs(d_[j]));
+      }
+    }
+    if (flips > 0) {
+      stats->bound_flips += flips;
+      GlobalSolverCounters().bound_flips += flips;
+      ComputeBasicValues();
+    }
+    return restorable;
   }
 
   /// Sparse LU factorization of the basis matrix given by `basic_cols`
@@ -372,24 +794,25 @@ class RevisedSimplex {
     return true;
   }
 
-  /// Refactorizes the current basis from scratch. The eta file
-  /// accumulates roundoff with every pivot; a periodic fresh
-  /// factorization keeps the factors (and everything priced through
-  /// them) healthy. Keeps the previous factors if the matrix has gone
-  /// numerically singular.
+  /// Refactorizes the current basis from scratch. The update chain
+  /// accumulates roundoff with every pivot; a fresh factorization
+  /// (fill/stability-triggered, or at the backstop interval) keeps the
+  /// factors and everything priced through them healthy. Keeps the
+  /// previous factors if the matrix has gone numerically singular.
   bool Refactorize() { return Factorize(basis_); }
 
   /// Shared primal iteration loop. In phase 1 the composite objective
   /// is re-priced each iteration (it changes whenever a violation
   /// clears); in phase 2 the reduced-cost row is updated incrementally
-  /// from the pivot row, with a periodic full refresh.
+  /// from the sparse pivot row, with a periodic full refresh.
   IterStatus Iterate(bool phase1, LpSolveStats* stats) {
     const int64_t iter_limit = 200 * (static_cast<int64_t>(m_) + n_) + 2000;
+    const bool use_devex = !phase1 && options_.pricing == Pricing::kDevex;
     int64_t pivots_since_refresh = 0;
     int64_t pivots_since_factor = 0;
     for (int64_t iter = 0; iter < iter_limit; ++iter) {
       const bool bland = iter > iter_limit / 2;
-      if (pivots_since_factor >= kRefactorInterval ||
+      if (pivots_since_factor >= kRefactorBackstop ||
           (pivots_since_factor > 0 && lu_.NeedsRefactorization())) {
         if (Refactorize()) {
           ComputeBasicValues(/*measure_drift=*/true);
@@ -410,37 +833,64 @@ class RevisedSimplex {
         pivots_since_refresh = 0;
       }
 
-      // --- Pricing: pick the entering variable. ---
+      // --- Pricing: pick the entering variable. Devex scores
+      // d^2 / weight (approximate steepest edge); Dantzig scores |d|.
+      // Phase 2 scans the incrementally-maintained candidate list
+      // (compacting stale entries in place); phase 1 re-prices d every
+      // iteration and Bland needs the lowest eligible index, so both
+      // scan every column. ---
       int enter = -1;
-      double best_score = kDualEps;
+      double best_score = 0.0;
       int dir = 0;
-      for (int j = 0; j < n_; ++j) {
-        const VarStatus st = vstat_[j];
-        if (st == VarStatus::kBasic) continue;
-        if (lo_[j] == hi_[j]) continue;  // fixed: can never move
-        double score = 0;
-        int jdir = 0;
-        if (st == VarStatus::kAtLower && d_[j] < -kDualEps) {
-          score = -d_[j];
-          jdir = 1;
-        } else if (st == VarStatus::kAtUpper && d_[j] > kDualEps) {
-          score = d_[j];
-          jdir = -1;
-        } else if (st == VarStatus::kFree && std::abs(d_[j]) > kDualEps) {
-          score = std::abs(d_[j]);
-          jdir = d_[j] < 0 ? 1 : -1;
-        } else {
-          continue;
+      if (!phase1 && !bland) {
+        size_t keep = 0;
+        for (size_t k = 0; k < price_cand_.size(); ++k) {
+          const int j = price_cand_[k];
+          const int jdir = PriceDir(j);
+          if (jdir == 0) {
+            in_cand_[j] = 0;
+            continue;
+          }
+          price_cand_[keep++] = j;
+          const double dj = d_[j];
+          if (use_devex) {
+            // dj^2 / w_j > best is evaluated cross-multiplied so the
+            // divide only runs when the leader actually changes.
+            const double dj2 = dj * dj;
+            if (dj2 > best_score * devex_w_[j]) {
+              best_score = dj2 / devex_w_[j];
+              enter = j;
+              dir = jdir;
+            }
+          } else if (std::abs(dj) > best_score) {
+            best_score = std::abs(dj);
+            enter = j;
+            dir = jdir;
+          }
         }
-        if (bland) {  // first eligible column
-          enter = j;
-          dir = jdir;
-          break;
-        }
-        if (score > best_score) {
-          best_score = score;
-          enter = j;
-          dir = jdir;
+        price_cand_.resize(keep);
+      } else {
+        for (int j = 0; j < n_; ++j) {
+          const int jdir = PriceDir(j);
+          if (jdir == 0) continue;
+          if (bland) {  // first eligible column
+            enter = j;
+            dir = jdir;
+            break;
+          }
+          const double dj = d_[j];
+          if (use_devex) {
+            const double dj2 = dj * dj;
+            if (dj2 > best_score * devex_w_[j]) {
+              best_score = dj2 / devex_w_[j];
+              enter = j;
+              dir = jdir;
+            }
+          } else if (std::abs(dj) > best_score) {
+            best_score = std::abs(dj);
+            enter = j;
+            dir = jdir;
+          }
         }
       }
       if (enter < 0) {
@@ -469,9 +919,8 @@ class RevisedSimplex {
         // that fail the check get their entry corrected in place and
         // pricing just runs again.
         double exact = cost_[enter];
-        for (int i = 0; i < m_; ++i) {
-          const double cb = cost_[basis_[i]];
-          if (cb != 0.0) exact -= cb * w_[i];
+        for (const int32_t i : w_pattern_) {
+          exact -= cost_[basis_[i]] * w_[i];
         }
         d_[enter] = exact;
         const bool improving = dir > 0 ? exact < -kDualEps : exact > kDualEps;
@@ -490,9 +939,9 @@ class RevisedSimplex {
       double leave_target = 0;
       VarStatus leave_stat = VarStatus::kAtLower;
       double leave_w = 0;
-      for (int i = 0; i < m_; ++i) {
+      for (const int32_t i : w_pattern_) {
         const double wi = w_[i];
-        // A pivot element this small would poison the eta update;
+        // A pivot element this small would poison the basis update;
         // treat the row as non-blocking instead.
         if (std::abs(wi) <= kLeaveEps) continue;
         const int j = basis_[i];
@@ -520,7 +969,7 @@ class RevisedSimplex {
         if (ti < 0) ti = 0;  // degenerate (or tiny violation) pivot
         // Near-tied ratios (within the feasibility tolerance) resolve
         // toward the largest pivot element — small pivots poison both
-        // the eta update and the incremental reduced costs.
+        // the basis update and the incremental reduced costs.
         const bool take =
             ti < t - kFeasEps ||
             (ti < t + kFeasEps && leave >= 0 &&
@@ -542,8 +991,8 @@ class RevisedSimplex {
       if (leave < 0) {
         // Bound flip: the entering variable crosses to its other bound;
         // no basis change, reduced costs unchanged.
-        for (int i = 0; i < m_; ++i) {
-          if (w_[i] != 0.0) xval_[basis_[i]] += -dir * w_[i] * t;
+        for (const int32_t i : w_pattern_) {
+          xval_[basis_[i]] += -dir * w_[i] * t;
         }
         vstat_[enter] = vstat_[enter] == VarStatus::kAtLower
                             ? VarStatus::kAtUpper
@@ -557,8 +1006,8 @@ class RevisedSimplex {
 
       // --- Pivot: update values, statuses, factorization, reduced
       // costs. ---
-      for (int i = 0; i < m_; ++i) {
-        if (w_[i] != 0.0) xval_[basis_[i]] += -dir * w_[i] * t;
+      for (const int32_t i : w_pattern_) {
+        xval_[basis_[i]] += -dir * w_[i] * t;
       }
       xval_[enter] += dir * t;
       const int leaving_var = basis_[leave];
@@ -571,31 +1020,46 @@ class RevisedSimplex {
 
       if (!phase1) {
         // Incremental reduced-cost row update from the (pre-update)
-        // pivot row rho = e_r B^{-1}: d_j -= (d_q / w_r) * (rho . a_j).
+        // sparse pivot row rho = e_r B^{-1}:
+        // d_j -= (d_q / w_r) * (rho . a_j), only for the columns the
+        // row actually touches. The devex weights ride the same row:
+        // w_j = max(w_j, (alpha_j / alpha_q)^2 * gamma_q) — columns
+        // with alpha_j = 0 keep their weight, so the sparse walk is
+        // exact.
         BtranUnit(leave);
+        ComputePivotRow();
         const double theta = d_[enter] / w_[leave];
-        if (theta != 0.0) {
-          for (int j = 0; j < n_; ++j) {
-            if (vstat_[j] == VarStatus::kBasic) {
-              d_[j] = 0.0;
-              continue;
-            }
-            double alpha = 0;
-            if (j < nv_) {
-              const ColumnView col = model_.column(j);
-              for (int k = 0; k < col.nnz; ++k) {
-                alpha +=
-                    rho_[col.rows[k]] * col.vals[k] * row_scale_[col.rows[k]];
-              }
-            } else {
-              alpha = rho_[j - nv_];
-            }
-            if (alpha != 0.0) d_[j] -= theta * alpha;
+        if (use_devex) {
+          double gamma = devex_w_[enter];
+          if (gamma > kDevexWeightCap) {
+            // The reference framework has drifted too far from the
+            // current nonbasic set for the weights to be trusted:
+            // restart devex from here.
+            std::fill(devex_w_.begin(), devex_w_.end(), 1.0);
+            gamma = 1.0;
+            stats->devex_resets += 1;
+            GlobalSolverCounters().devex_resets += 1;
           }
-        } else {
-          d_[leaving_var] = 0.0;
+          const double wratio = gamma / (w_[leave] * w_[leave]);
+          for (const int j : alpha_touched_) {
+            if (vstat_[j] == VarStatus::kBasic || j == enter) continue;
+            const double cand = alpha_[j] * alpha_[j] * wratio;
+            if (cand > devex_w_[j]) devex_w_[j] = cand;
+          }
+          devex_w_[leaving_var] = std::max(wratio, 1.0);
         }
+        if (theta != 0.0) {
+          for (const int j : alpha_touched_) {
+            if (vstat_[j] == VarStatus::kBasic || j == enter) continue;
+            if (alpha_[j] != 0.0) {
+              d_[j] -= theta * alpha_[j];
+              UpdateCandidate(j);
+            }
+          }
+        }
+        d_[leaving_var] = -theta;
         d_[enter] = 0.0;
+        UpdateCandidate(leaving_var);
         stats->phase2_pivots += 1;
         GlobalSolverCounters().phase2_pivots += 1;
         ++pivots_since_refresh;
@@ -604,8 +1068,8 @@ class RevisedSimplex {
         GlobalSolverCounters().phase1_pivots += 1;
       }
       ++pivots_since_factor;
-      if (!lu_.Update(w_, leave)) {
-        // Unusable eta pivot (the ratio test's kLeaveEps floor keeps
+      if (!lu_.Update(w_, w_pattern_, leave)) {
+        // Unusable update pivot (the ratio test's kLeaveEps floor keeps
         // this out of reach in practice): refactorize the
         // already-updated basis immediately. If even that fails, the
         // factors still describe the *pre-pivot* basis while basis_ /
@@ -623,6 +1087,7 @@ class RevisedSimplex {
   }
 
   const Model& model_;
+  const LpOptions options_;
   const int nv_;  // structural variables
   const int m_;   // rows
   const int n_;   // structural + slacks
@@ -631,15 +1096,37 @@ class RevisedSimplex {
   std::vector<double> cost_;      // phase-2 objective (slacks zero)
   std::vector<double> b_;         // row-equilibrated rhs
   std::vector<double> row_scale_; // 1 / max|coef| per row
-  LuFactor lu_;                   // sparse LU + eta-file basis
+  LuFactor lu_;                   // sparse LU + Forrest–Tomlin basis
   std::vector<int> basis_;        // basis_[pos] = column basic at pos
   std::vector<VarStatus> vstat_;  // per internal column
   std::vector<double> xval_;      // all variable values
   std::vector<double> d_;         // reduced costs
   std::vector<double> w_;         // FTRAN scratch (basis-position space)
+  std::vector<int32_t> w_pattern_;    // nonzero pattern of w_
   std::vector<double> rho_;       // pivot-row scratch (row space)
+  std::vector<int32_t> rho_pattern_;  // nonzero pattern of rho_
   std::vector<double> y_;         // BTRAN scratch (row space)
   std::vector<double> scratch_;   // cb / residual scratch
+
+  // Sparse pivot-row scratch (stamped accumulator over all columns).
+  std::vector<double> alpha_;
+  std::vector<int32_t> alpha_mark_;
+  std::vector<int> alpha_touched_;
+  int32_t alpha_stamp_ = 0;
+
+  std::vector<double> devex_w_;      // devex reference weights
+  std::vector<DualCand> dual_cands_; // dual ratio-test candidates
+  std::vector<int> flip_scratch_;    // long-step flips this pivot
+
+  // Worst wrong-sign reduced cost left unrepaired (within
+  // kDualRepairEps) by the latest RestoreDualFeasibility.
+  double dual_wrong_sign_ = 0.0;
+
+  // Phase-2 pricing candidate list: a superset of the improving
+  // nonbasic columns, rebuilt on every global re-price and maintained
+  // incrementally from the pivot row in between.
+  std::vector<int> price_cand_;
+  std::vector<uint8_t> in_cand_;
 
   // Basis-column gather scratch for Factorize.
   std::vector<int32_t> col_start_scratch_;
@@ -667,19 +1154,23 @@ SolverCounters SolverCountersSince(const SolverCounters& snapshot) {
   delta.lp_solves = now.lp_solves - snapshot.lp_solves;
   delta.phase1_pivots = now.phase1_pivots - snapshot.phase1_pivots;
   delta.phase2_pivots = now.phase2_pivots - snapshot.phase2_pivots;
+  delta.dual_pivots = now.dual_pivots - snapshot.dual_pivots;
   delta.bound_flips = now.bound_flips - snapshot.bound_flips;
+  delta.devex_resets = now.devex_resets - snapshot.devex_resets;
   delta.warm_starts = now.warm_starts - snapshot.warm_starts;
   delta.cold_starts = now.cold_starts - snapshot.cold_starts;
   delta.factorizations = now.factorizations - snapshot.factorizations;
+  delta.ft_updates = now.ft_updates - snapshot.ft_updates;
   delta.eta_nnz = now.eta_nnz - snapshot.eta_nnz;
   delta.ftran_btran_seconds =
       now.ftran_btran_seconds - snapshot.ftran_btran_seconds;
   return delta;
 }
 
-LpSolution SolveLp(const Model& model, const std::vector<double>* var_lower,
+LpSolution SolveLp(const Model& model, const LpOptions& options,
+                   const std::vector<double>* var_lower,
                    const std::vector<double>* var_upper,
-                   const LpBasis* warm_basis, bool want_duals) {
+                   const LpBasis* warm_basis) {
   const int nv = model.num_variables();
   std::vector<double> lo(nv), hi(nv);
   for (int i = 0; i < nv; ++i) {
@@ -695,11 +1186,19 @@ LpSolution SolveLp(const Model& model, const std::vector<double>* var_lower,
   SolverCounters& counters = GlobalSolverCounters();
   counters.lp_solves += 1;
 
-  RevisedSimplex simplex(model, lo, hi);
+  RevisedSimplex simplex(model, options, lo, hi);
   LpSolution sol;
   const auto finish = [&]() -> LpSolution {
     simplex.ExportFactorStats(&sol.stats);
     return std::move(sol);
+  };
+  const auto succeed = [&]() -> LpSolution {
+    sol.status = Status::Ok();
+    sol.x = simplex.ExtractPrimal();
+    sol.objective = model.ObjectiveValue(sol.x);
+    sol.basis = simplex.ExportBasis();
+    if (options.want_duals) simplex.ExportDuals(&sol.duals, &sol.reduced_costs);
+    return finish();
   };
   if (warm_basis != nullptr && !warm_basis->empty() &&
       simplex.WarmStart(*warm_basis)) {
@@ -708,6 +1207,27 @@ LpSolution SolveLp(const Model& model, const std::vector<double>* var_lower,
   } else {
     simplex.ColdStart();
     counters.cold_starts += 1;
+  }
+
+  if (options.entry == SimplexEntry::kDual) {
+    const IterStatus dst = simplex.DualSolve(&sol.stats);
+    if (dst == IterStatus::kOptimal &&
+        simplex.MaxViolation() <= kInfeasTotal) {
+      sol.stats.dual_entered = true;
+      return succeed();
+    }
+    if (dst == IterStatus::kDualInfeasible) {
+      sol.stats.dual_entered = true;
+      sol.status = Status::Infeasible("dual simplex: dual ray found");
+      return finish();
+    }
+    if (dst == IterStatus::kNumericalFailure) {
+      sol.status = Status::Internal("basis factorization failed (dual)");
+      return finish();
+    }
+    // kNotDualFeasible or kIterLimit (or a feasibility check the dual
+    // optimum failed): the basis is still valid — fall back to the
+    // primal phases from right here.
   }
 
   IterStatus st = simplex.Phase1(&sol.stats);
@@ -742,12 +1262,15 @@ LpSolution SolveLp(const Model& model, const std::vector<double>* var_lower,
     return finish();
   }
 
-  sol.status = Status::Ok();
-  sol.x = simplex.ExtractPrimal();
-  sol.objective = model.ObjectiveValue(sol.x);
-  sol.basis = simplex.ExportBasis();
-  if (want_duals) simplex.ExportDuals(&sol.duals, &sol.reduced_costs);
-  return finish();
+  return succeed();
+}
+
+LpSolution SolveLp(const Model& model, const std::vector<double>* var_lower,
+                   const std::vector<double>* var_upper,
+                   const LpBasis* warm_basis, bool want_duals) {
+  LpOptions options;
+  options.want_duals = want_duals;
+  return SolveLp(model, options, var_lower, var_upper, warm_basis);
 }
 
 }  // namespace cophy::lp

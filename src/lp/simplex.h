@@ -1,17 +1,31 @@
-// A sparse bounded-variable revised primal simplex for the LP
-// relaxations solved by the generic MIP path. Variable bounds
-// `lo <= x <= hi` are handled implicitly through nonbasic-at-lower /
-// nonbasic-at-upper states (no synthetic bound rows), pricing walks the
-// model's CSC column views, and the reduced-cost row is maintained
-// incrementally across pivots. The basis is held as a sparse LU
-// factorization (lp/lu_factor.h: Markowitz-ordered, threshold-pivoted,
-// product-form eta updates per pivot, refactorized periodically and on
-// drift), so FTRAN/BTRAN cost O(factor nnz) instead of O(rows^2).
-// Phase 1 is artificial-free: it restores primal feasibility of an
-// arbitrary starting basis by minimizing the total bound violation of
-// the basic variables, which is also what makes warm starts from a
-// parent basis cheap. Dantzig pricing with a Bland fallback guards
-// against cycling.
+// A sparse bounded-variable revised simplex for the LP relaxations
+// solved by the generic MIP path. Variable bounds `lo <= x <= hi` are
+// handled implicitly through nonbasic-at-lower / nonbasic-at-upper
+// states (no synthetic bound rows), pricing walks the model's CSC
+// column views, and the reduced-cost row is maintained incrementally
+// from the sparse pivot row across pivots. The basis is held as a
+// sparse LU factorization (lp/lu_factor.h: Markowitz-ordered,
+// threshold-pivoted, Forrest–Tomlin updated per pivot, refactorized on
+// a fill/stability trigger), so FTRAN/BTRAN cost O(factor nnz) instead
+// of O(rows^2).
+//
+// Two entry points, selected by LpOptions::entry:
+//  - Primal (default): artificial-free phase 1 restores primal
+//    feasibility of an arbitrary starting basis by minimizing the
+//    total bound violation of the basic variables, then phase 2
+//    optimizes. Phase-2 pricing is devex by default (reference-
+//    framework weights with cheap resets, LpOptions::pricing switches
+//    back to Dantzig), every candidate is confirmed against its exact
+//    reduced cost after FTRAN, and a Bland fallback guards against
+//    cycling.
+//  - Dual: from a dual-feasible basis (wrong-sign reduced costs on
+//    boxed nonbasics are repaired by bound flips first), a dual ratio
+//    test with bound-flipping long steps drives the primal
+//    infeasibility out without ever entering primal phase 1. This is
+//    the branch-and-bound node path: a parent-optimal basis stays dual
+//    feasible under child bound changes, so node re-solves cost a few
+//    dual pivots. A start that cannot be made dual feasible falls back
+//    to the primal phases transparently.
 //
 // The old dense tableau implementation survives as SolveLpDense in
 // lp/dense_simplex.h (differential-test oracle and benchmark baseline).
@@ -43,15 +57,55 @@ struct LpBasis {
   bool empty() const { return variables.empty() && slacks.empty(); }
 };
 
+/// Phase-2 pricing rule for the primal simplex.
+enum class Pricing : int8_t {
+  /// Largest reduced-cost violation. Cheap per pivot, but blind to the
+  /// steepness of the resulting edge — degenerate BIP relaxations pay
+  /// for it in pivot count.
+  kDantzig = 0,
+  /// Devex (Harris '73): approximate steepest-edge weights maintained
+  /// from the pivot row against a reference framework, reset to the
+  /// current nonbasic set whenever the weights blow past their trusted
+  /// range. Nearly Dantzig-cheap per pivot, close to steepest-edge in
+  /// pivot count. The default.
+  kDevex = 1,
+};
+
+/// How SolveLp enters the solve.
+enum class SimplexEntry : int8_t {
+  /// Phase 1 (restore primal feasibility), then phase 2.
+  kPrimal = 0,
+  /// Dual simplex from the (possibly flip-repaired) starting basis;
+  /// falls back to the primal phases if the basis cannot be made dual
+  /// feasible. The right entry when the basis of a *related* solve is
+  /// re-imported under changed bounds or rhs: it skips primal phase 1
+  /// entirely.
+  kDual = 1,
+};
+
+/// Knobs for one SolveLp call.
+struct LpOptions {
+  Pricing pricing = Pricing::kDevex;
+  SimplexEntry entry = SimplexEntry::kPrimal;
+  /// Whether the final row duals / reduced costs are exported (one
+  /// extra BTRAN + pricing pass; node LPs that never read them pass
+  /// false).
+  bool want_duals = true;
+};
+
 /// Per-solve work counters.
 struct LpSolveStats {
-  int64_t phase1_pivots = 0;   ///< feasibility-restoring pivots
-  int64_t phase2_pivots = 0;   ///< optimality pivots
+  int64_t phase1_pivots = 0;   ///< primal feasibility-restoring pivots
+  int64_t phase2_pivots = 0;   ///< primal optimality pivots
+  int64_t dual_pivots = 0;     ///< dual-simplex pivots
   int64_t bound_flips = 0;     ///< nonbasic lower<->upper moves (no pivot)
+  int64_t devex_resets = 0;    ///< devex reference-framework resets
   bool warm_started = false;   ///< an imported basis was accepted
+  bool dual_entered = false;   ///< the dual simplex ran (and did not fall back)
   // Basis-factorization accounting (the sparse LU behind FTRAN/BTRAN).
   int64_t refactorizations = 0;  ///< fresh LU factorizations (incl. imports)
-  int64_t eta_nnz = 0;           ///< product-form eta nonzeros appended
+  int64_t ft_updates = 0;        ///< Forrest–Tomlin basis updates applied
+  int64_t eta_nnz = 0;           ///< update fill appended (spike + row etas)
   int64_t lu_fill_nnz = 0;       ///< L+U fill-in at the last factorization
   double max_drift = 0.0;        ///< worst basic-value drift caught at a refresh
   double ftran_btran_seconds = 0.0;  ///< wall time inside FTRAN/BTRAN solves
@@ -80,11 +134,14 @@ struct SolverCounters {
   int64_t lp_solves = 0;
   int64_t phase1_pivots = 0;
   int64_t phase2_pivots = 0;
+  int64_t dual_pivots = 0;     ///< dual-simplex pivots
   int64_t bound_flips = 0;
+  int64_t devex_resets = 0;    ///< devex reference-framework resets
   int64_t warm_starts = 0;     ///< solves that accepted an imported basis
   int64_t cold_starts = 0;     ///< solves from the slack basis
   int64_t factorizations = 0;  ///< fresh sparse-LU basis factorizations
-  int64_t eta_nnz = 0;         ///< product-form eta nonzeros appended
+  int64_t ft_updates = 0;      ///< Forrest–Tomlin basis updates applied
+  int64_t eta_nnz = 0;         ///< update fill appended (spike + row etas)
   double ftran_btran_seconds = 0.0;  ///< wall time inside FTRAN/BTRAN
 };
 SolverCounters& GlobalSolverCounters();
@@ -97,9 +154,14 @@ SolverCounters SolverCountersSince(const SolverCounters& snapshot);
 /// model bounds (used by branch-and-bound to fix variables).
 /// `warm_basis`, if given and structurally compatible, seeds the solve
 /// with that basis; an unusable basis silently falls back to a cold
-/// start from the slack basis. `want_duals` controls whether the final
-/// row duals / reduced costs are exported (one extra BTRAN + pricing
-/// pass; node LPs that never read them pass false).
+/// start from the slack basis. Pricing rule, entry (primal phases vs
+/// dual simplex), and dual export are set through `options`.
+LpSolution SolveLp(const Model& model, const LpOptions& options,
+                   const std::vector<double>* var_lower = nullptr,
+                   const std::vector<double>* var_upper = nullptr,
+                   const LpBasis* warm_basis = nullptr);
+
+/// Positional convenience overload at default pricing/entry.
 LpSolution SolveLp(const Model& model,
                    const std::vector<double>* var_lower = nullptr,
                    const std::vector<double>* var_upper = nullptr,

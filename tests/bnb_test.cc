@@ -109,7 +109,9 @@ TEST(BnbTest, CallbackCanTerminate) {
   const MipSolution s = SolveMip(m, opts);
   EXPECT_GE(callbacks, 1);
   // Early termination still returns the current incumbent if any.
-  if (s.status.ok()) EXPECT_FALSE(s.x.empty());
+  if (s.status.ok()) {
+    EXPECT_FALSE(s.x.empty());
+  }
 }
 
 TEST(BnbTest, MixedIntegerContinuous) {
@@ -150,7 +152,9 @@ TEST(BnbTest, NodeLpStatsAreReported) {
   ASSERT_TRUE(s.status.ok());
   EXPECT_GE(s.lp.lp_solves, s.nodes);          // root + every node LP
   EXPECT_GT(s.lp.phase2_pivots, 0);
-  if (s.nodes > 1) EXPECT_GT(s.lp.warm_started_nodes, 0);
+  if (s.nodes > 1) {
+    EXPECT_GT(s.lp.warm_started_nodes, 0);
+  }
 }
 
 /// Warm-started node LPs must not change what branch-and-bound computes
@@ -193,7 +197,9 @@ TEST_P(BnbWarmStartEquivalenceTest, WarmEqualsColdSolve) {
               1e-6 + 1e-9 * std::abs(cold.objective));
   EXPECT_TRUE(m.IsFeasible(warm.x));
   EXPECT_EQ(cold.lp.warm_started_nodes, 0);
-  if (warm.nodes > 1) EXPECT_GT(warm.lp.warm_started_nodes, 0);
+  if (warm.nodes > 1) {
+    EXPECT_GT(warm.lp.warm_started_nodes, 0);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(RandomPrograms, BnbWarmStartEquivalenceTest,
@@ -246,9 +252,53 @@ TEST(BnbTest, WarmStartedNodesNeedFewerPhase1Pivots) {
   const double cold_p1 = static_cast<double>(cold.lp.phase1_pivots) /
                          static_cast<double>(cold.lp.lp_solves);
   EXPECT_LT(warm_p1, cold_p1);
-  // Total simplex work drops as well.
-  EXPECT_LT(warm.lp.phase1_pivots + warm.lp.phase2_pivots,
-            cold.lp.phase1_pivots + cold.lp.phase2_pivots);
+  // Total simplex work (dual pivots included) drops as well.
+  EXPECT_LT(warm.lp.phase1_pivots + warm.lp.phase2_pivots +
+                warm.lp.dual_pivots,
+            cold.lp.phase1_pivots + cold.lp.phase2_pivots +
+                cold.lp.dual_pivots);
+}
+
+TEST(BnbTest, DualEntryNodesRunZeroPhase1Pivots) {
+  // All-<= rows with positive rhs: the slack basis is primal feasible,
+  // so the cold root runs zero phase-1 pivots — and with dual-entry
+  // warm nodes, *no* LP in the whole tree may ever enter phase 1. The
+  // tree must still reach the brute-force optimum, and match a
+  // primal-entry run of the same tree.
+  Rng rng(11);
+  Model m;
+  const int n = 14;
+  for (int i = 0; i < n; ++i) {
+    m.AddBinary(-1.0 - static_cast<double>(rng.Uniform(25)));
+  }
+  for (int r = 0; r < 4; ++r) {
+    Row cap;
+    cap.sense = Sense::kLe;
+    double total = 0;
+    for (int i = 0; i < n; ++i) {
+      if (r > 0 && !rng.Bernoulli(0.7)) continue;
+      const double w = 1.0 + static_cast<double>(rng.Uniform(7));
+      cap.terms.push_back({i, w});
+      total += w;
+    }
+    cap.rhs = 0.4 * total;
+    if (!cap.terms.empty()) m.AddRow(std::move(cap));
+  }
+
+  const MipSolution dual = SolveMip(m);  // dual entry is the default
+  MipOptions primal_opts;
+  primal_opts.dual_entry_nodes = false;
+  const MipSolution primal = SolveMip(m, primal_opts);
+  ASSERT_TRUE(dual.status.ok());
+  ASSERT_TRUE(primal.status.ok());
+  ASSERT_GT(dual.nodes, 1);
+  EXPECT_GT(dual.lp.warm_started_nodes, 0);
+  EXPECT_GT(dual.lp.dual_entered_nodes, 0);
+  EXPECT_GT(dual.lp.dual_pivots, 0);
+  EXPECT_EQ(dual.lp.phase1_pivots, 0);  // the dual-entry guarantee
+  EXPECT_EQ(dual.lp.dual_node_phase1_pivots, 0);  // node-only view of it
+  EXPECT_NEAR(dual.objective, primal.objective, 1e-6);
+  EXPECT_NEAR(dual.objective, BruteForce(m), 1e-6);
 }
 
 /// Property sweep: SolveMip matches brute force on random binary

@@ -1,9 +1,11 @@
 // Differential fuzz harness for the sparse-LU revised simplex
 // (lp::SolveLp) against the retained dense tableau oracle
-// (lp::SolveLpDense). Each seed generates a random bounded LP — mixed
-// <=/>=/= rows, fixed / boxed / upper-unbounded / truly-free variables,
-// plus injected degenerate and rank-deficient structure (duplicated,
-// scaled, and summed rows) — and asserts:
+// (lp::SolveLpDense), run over the full pricing x entry matrix
+// ({Dantzig, devex} x {primal phases, dual simplex}) on the same seed
+// set. Each seed generates a random bounded LP — mixed <=/>=/= rows,
+// fixed / boxed / upper-unbounded / truly-free variables, plus injected
+// degenerate and rank-deficient structure (duplicated, scaled, and
+// summed rows) — and asserts, per combination:
 //
 //   1. status agreement (Ok / Infeasible / Unbounded);
 //   2. objectives within 1e-6 (relative) when both solve;
@@ -11,7 +13,15 @@
 //   4. the dual identity d = c - y'A between the revised solver's
 //      exported row duals and reduced costs, on every solved instance;
 //   5. re-importing the revised solver's own basis warm-starts to the
-//      same optimum with zero pivots.
+//      same optimum with zero pivots — through the dual simplex on the
+//      dual-entry combinations, which must also report zero *dual*
+//      pivots on an already-optimal basis.
+//
+// Dual-entry combinations exercise every dual-simplex exit: cold starts
+// are usually not dual feasible (primal fallback), re-imports are
+// (pure dual solve), and infeasible instances must surface as dual
+// rays. The seed count is env-overridable via COPHY_LP_FUZZ_SEEDS
+// (mirroring COPHY_FAULT_SWEEP_SEEDS; default 64 per combination).
 //
 // The oracle cannot shift truly-free variables (it rewrites x = lo + x'
 // with finite lo), so the harness hands it the classic x = x+ - x-
@@ -20,6 +30,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
 #include <limits>
 
 #include "common/random.h"
@@ -182,15 +193,33 @@ Model SplitFreeVariables(const Model& m, std::vector<int>* split_of) {
   return t;
 }
 
-class LpFuzzTest : public ::testing::TestWithParam<int> {};
+/// CI scaling knob, mirroring COPHY_FAULT_SWEEP_SEEDS.
+int FuzzSeedCount() {
+  if (const char* env = std::getenv("COPHY_LP_FUZZ_SEEDS")) {
+    return std::max(1, std::atoi(env));
+  }
+  return 64;
+}
+
+/// Parameter: (seed, combination) with combination bit 0 = pricing
+/// (0 Dantzig, 1 devex) and bit 1 = entry (0 primal, 1 dual).
+class LpFuzzTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
 
 TEST_P(LpFuzzTest, RevisedMatchesDenseOracle) {
-  Rng rng(90000 + GetParam());
+  const int seed = std::get<0>(GetParam());
+  const int combo = std::get<1>(GetParam());
+  LpOptions options;
+  options.pricing = (combo & 1) != 0 ? Pricing::kDevex : Pricing::kDantzig;
+  options.entry =
+      (combo & 2) != 0 ? SimplexEntry::kDual : SimplexEntry::kPrimal;
+
+  Rng rng(90000 + seed);
   const Model m = RandomLp(rng);
   std::vector<int> split_of;
   const Model oracle_model = SplitFreeVariables(m, &split_of);
 
-  const LpSolution revised = SolveLp(m);
+  const LpSolution revised = SolveLp(m, options);
   const LpSolution dense = SolveLpDense(oracle_model);
 
   // 1. Status agreement. Neither solver may hit its iteration limit on
@@ -230,12 +259,16 @@ TEST_P(LpFuzzTest, RevisedMatchesDenseOracle) {
     }
 
     // 5. The exported basis warm-starts a re-solve to the same optimum
-    // with zero pivots (the LU import path).
-    const LpSolution again = SolveLp(m, nullptr, nullptr, &revised.basis);
+    // with zero pivots (the LU import path). Under dual entry the
+    // re-import is already dual feasible *and* primal feasible, so the
+    // dual simplex must also pivot zero times.
+    const LpSolution again = SolveLp(m, options, nullptr, nullptr,
+                                     &revised.basis);
     ASSERT_TRUE(again.status.ok());
     EXPECT_TRUE(again.stats.warm_started);
     EXPECT_EQ(again.stats.phase1_pivots, 0);
     EXPECT_EQ(again.stats.phase2_pivots, 0);
+    EXPECT_EQ(again.stats.dual_pivots, 0);
     EXPECT_NEAR(again.objective, revised.objective,
                 1e-9 + 1e-9 * std::abs(revised.objective));
   }
@@ -258,7 +291,19 @@ TEST_P(LpFuzzTest, RevisedMatchesDenseOracle) {
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, LpFuzzTest, ::testing::Range(0, 64));
+std::string ComboName(
+    const ::testing::TestParamInfo<std::tuple<int, int>>& info) {
+  static const char* kCombo[] = {"DantzigPrimal", "DevexPrimal",
+                                 "DantzigDual", "DevexDual"};
+  return std::string(kCombo[std::get<1>(info.param)]) + "_seed" +
+         std::to_string(std::get<0>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PricingEntryMatrix, LpFuzzTest,
+    ::testing::Combine(::testing::Range(0, FuzzSeedCount()),
+                       ::testing::Range(0, 4)),
+    ComboName);
 
 }  // namespace
 }  // namespace cophy::lp

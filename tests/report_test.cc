@@ -160,6 +160,37 @@ TEST_F(ReportTest, SolverActivityRendersPresolveAndRootBounds) {
   EXPECT_EQ(empty.find("Basis factorization"), std::string::npos);
 }
 
+TEST_F(ReportTest, SolverActivityRendersDualAndForrestTomlinCounters) {
+  SolverActivity activity;
+  activity.lp = lp::SolverCounters{};
+  activity.lp.lp_solves = 10;
+  activity.lp.phase1_pivots = 3;
+  activity.lp.phase2_pivots = 17;
+  activity.lp.dual_pivots = 25;   // warm node re-solves via dual simplex
+  activity.lp.bound_flips = 4;
+  activity.lp.devex_resets = 2;
+  activity.lp.factorizations = 5;
+  activity.lp.ft_updates = 40;
+  activity.lp.eta_nnz = 123;
+  activity.root_lp_stats.refactorizations = 1;
+  activity.root_lp_stats.warm_started = true;
+  activity.root_lp_stats.dual_entered = true;
+  activity.root_lp_bound = 42.0;
+  const std::string text = RenderSolverActivity(activity);
+  // Dual pivots count toward the total and get their own slot.
+  EXPECT_NE(text.find("pivots 45"), std::string::npos) << text;
+  EXPECT_NE(text.find("dual 25"), std::string::npos) << text;
+  EXPECT_NE(text.find("40 FT updates"), std::string::npos) << text;
+  EXPECT_NE(text.find("Devex: 2 reference-framework resets"),
+            std::string::npos)
+      << text;
+  // The root-LP annotation marks a dual-entered warm seed.
+  EXPECT_NE(text.find("warm dual"), std::string::npos) << text;
+  // No devex line when there were no resets.
+  activity.lp.devex_resets = 0;
+  EXPECT_EQ(RenderSolverActivity(activity).find("Devex:"), std::string::npos);
+}
+
 TEST_F(ReportTest, RenderedReportMentionsKeyFacts) {
   const TuningReport report = AnalyzeRecommendation(advisor_->inum(), rec_);
   const std::string text = RenderTuningReport(report, advisor_->inum(), 5);
