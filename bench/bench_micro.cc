@@ -173,6 +173,24 @@ void ReportLpCounters(benchmark::State& state, const lp::SolverCounters& c) {
       benchmark::Counter(static_cast<double>(c.eta_nnz) / solves);
   state.counters["ftran_btran_us"] =
       benchmark::Counter(1e6 * c.ftran_btran_seconds / solves);
+  // Numerical-safeguard accounting: certification outcomes plus the
+  // recovery-ladder escalations (all zero when safeguards are off).
+  state.counters["certified_solves"] =
+      benchmark::Counter(static_cast<double>(c.certified_solves));
+  state.counters["uncertified_solves"] =
+      benchmark::Counter(static_cast<double>(c.uncertified_solves));
+  state.counters["refinement_rounds"] =
+      benchmark::Counter(static_cast<double>(c.refinement_rounds));
+  state.counters["perturbations_applied"] =
+      benchmark::Counter(static_cast<double>(c.perturbations_applied));
+  state.counters["bland_escalations"] =
+      benchmark::Counter(static_cast<double>(c.bland_escalations));
+  state.counters["markowitz_escalations"] =
+      benchmark::Counter(static_cast<double>(c.markowitz_escalations));
+  state.counters["singular_repairs"] =
+      benchmark::Counter(static_cast<double>(c.singular_repairs));
+  state.counters["cold_restarts"] =
+      benchmark::Counter(static_cast<double>(c.cold_restarts));
 }
 
 void BM_LpSolveRevisedSimplex(benchmark::State& state) {
@@ -271,6 +289,29 @@ void BM_MipNodesPrimalEntry(benchmark::State& state) {
   state.counters["nodes"] = benchmark::Counter(static_cast<double>(nodes));
 }
 BENCHMARK(BM_MipNodesPrimalEntry)->Unit(benchmark::kMillisecond);
+
+// Ablation: the same warm dual-entry tree with the numerical
+// safeguards off — no stall watchdog, no certification pass, no
+// refinement. BM_MipNodesWarmStarted (safeguards on, the default) vs
+// this is the safeguard-overhead story; CI gates the ratio at 1.10x.
+void BM_MipNodesNoSafeguards(benchmark::State& state) {
+  BipLpEnv& e = GetLpEnv();
+  const lp::SolverCounters before = lp::GlobalSolverCounters();
+  int64_t nodes = 0;
+  for (auto _ : state) {
+    lp::MipOptions mo;
+    mo.gap_target = 0.0;
+    mo.node_limit = 200;
+    mo.safeguards = false;
+    const lp::MipSolution s = lp::SolveMip(e.tight_model, mo);
+    if (!s.status.ok()) state.SkipWithError("MIP solve failed");
+    nodes += s.nodes;
+    benchmark::DoNotOptimize(s.objective);
+  }
+  ReportLpCounters(state, lp::SolverCountersSince(before));
+  state.counters["nodes"] = benchmark::Counter(static_cast<double>(nodes));
+}
+BENCHMARK(BM_MipNodesNoSafeguards)->Unit(benchmark::kMillisecond);
 
 void BM_MipNodesColdStarted(benchmark::State& state) {
   BipLpEnv& e = GetLpEnv();

@@ -117,6 +117,22 @@ std::string RenderSolverActivity(const SolverActivity& activity) {
                        static_cast<long long>(c.devex_resets));
     }
   }
+  if (c.certified_solves + c.uncertified_solves > 0) {
+    out += StrFormat(
+        "Numerical safety: %lld/%lld solves certified, %lld refinement "
+        "rounds, perturbations %lld applied / %lld removed, escalations: "
+        "%lld Bland, %lld Markowitz, %lld singular repairs, %lld cold "
+        "restarts\n",
+        static_cast<long long>(c.certified_solves),
+        static_cast<long long>(c.certified_solves + c.uncertified_solves),
+        static_cast<long long>(c.refinement_rounds),
+        static_cast<long long>(c.perturbations_applied),
+        static_cast<long long>(c.perturbations_removed),
+        static_cast<long long>(c.bland_escalations),
+        static_cast<long long>(c.markowitz_escalations),
+        static_cast<long long>(c.singular_repairs),
+        static_cast<long long>(c.cold_restarts));
+  }
   if (activity.mip_nodes > 0 || activity.bound_evaluations > 0) {
     out += StrFormat("B&B nodes %lld, bound evaluations %lld\n",
                      static_cast<long long>(activity.mip_nodes),

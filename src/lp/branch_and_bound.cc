@@ -112,6 +112,13 @@ MipSolution SolveMip(const Model& model, const MipOptions& options) {
   LpOptions root_options;
   root_options.pricing = options.pricing;
   root_options.want_duals = false;
+  root_options.safeguards = options.safeguards;
+
+  // Is this Ok relaxation's bound safe to cut the tree with? With
+  // safeguards on, only a certified solution's objective may prune.
+  const auto certified = [&options](const LpSolution& lp) {
+    return !options.safeguards || lp.stats.certified;
+  };
 
   // Root relaxation (always a cold solve, primal entry).
   {
@@ -122,8 +129,17 @@ MipSolution SolveMip(const Model& model, const MipOptions& options) {
       result.status = root.status;
       return result;
     }
+    if (options.safeguards) {
+      if (root.stats.certified) {
+        result.lp.certified_nodes += 1;
+      } else {
+        result.lp.uncertified_nodes += 1;
+      }
+    }
     auto node = std::make_shared<Node>();
-    node->bound = root.objective;
+    // An uncertified root objective is not a proven subtree bound.
+    node->bound = certified(root) ? root.objective
+                                  : -std::numeric_limits<double>::infinity();
     if (options.warm_start_nodes) {
       node->parent_basis = std::make_shared<const LpBasis>(root.basis);
     }
@@ -169,21 +185,44 @@ MipSolution SolveMip(const Model& model, const MipOptions& options) {
     if (options.dual_entry_nodes && node->parent_basis != nullptr) {
       node_options.entry = SimplexEntry::kDual;
     }
-    const LpSolution relax =
+    LpSolution relax =
         SolveLp(model, node_options, &lo, &hi, node->parent_basis.get());
     account(relax, node_options.entry == SimplexEntry::kDual);
     ++result.nodes;
+    if (relax.status.ok() && options.safeguards && !relax.stats.certified) {
+      // Uncertified node: one escalated re-solve — cold, through the
+      // primal phases, with a fresh solver (full escalation headroom,
+      // no inherited basis to mislead it). Accounted as a non-dual
+      // node so the dual-warm-start phase-1 contract stays clean.
+      result.lp.safeguard_resolves += 1;
+      LpSolution again = SolveLp(model, root_options, &lo, &hi, nullptr);
+      account(again, /*dual_entry_node=*/false);
+      if (again.status.ok()) relax = std::move(again);
+    }
+    if (relax.status.ok() && options.safeguards) {
+      if (relax.stats.certified) {
+        result.lp.certified_nodes += 1;
+      } else {
+        result.lp.uncertified_nodes += 1;
+      }
+    }
     if (!relax.status.ok()) continue;  // infeasible subtree
-    if (has_incumbent && relax.objective >= result.objective - 1e-9) continue;
+    if (has_incumbent && certified(relax) &&
+        relax.objective >= result.objective - 1e-9) {
+      continue;
+    }
 
     const int frac = MostFractional(model, relax.x);
     if (frac < 0) {
-      // Integral: new incumbent.
+      // Integral: new incumbent. An uncertified relaxation's rounded
+      // point must re-prove feasibility against the model before it
+      // may replace the incumbent.
       std::vector<double> x = relax.x;
       for (int i = 0; i < model.num_variables(); ++i) {
         if (model.variable(i).is_integer) x[i] = std::round(x[i]);
       }
-      if (!has_incumbent || relax.objective < result.objective) {
+      if ((!has_incumbent || relax.objective < result.objective) &&
+          (certified(relax) || model.IsFeasible(x))) {
         result.x = std::move(x);
         result.objective = relax.objective;
         has_incumbent = true;
@@ -201,16 +240,20 @@ MipSolution SolveMip(const Model& model, const MipOptions& options) {
     if (options.warm_start_nodes) {
       child_basis = std::make_shared<const LpBasis>(relax.basis);
     }
+    // An uncertified node objective cannot cut its children either:
+    // they inherit the parent's proven bound instead.
+    const double child_bound =
+        certified(relax) ? relax.objective : node->bound;
     const double v = relax.x[frac];
     auto down = std::make_shared<Node>();
     down->fixes = node->fixes;
     down->fixes.push_back({frac, {base_lo[frac], std::floor(v)}});
-    down->bound = relax.objective;
+    down->bound = child_bound;
     down->parent_basis = child_basis;
     auto up = std::make_shared<Node>();
     up->fixes = node->fixes;
     up->fixes.push_back({frac, {std::ceil(v), base_hi[frac]}});
-    up->bound = relax.objective;
+    up->bound = child_bound;
     up->parent_basis = child_basis;
     open.push(std::move(down));
     open.push(std::move(up));

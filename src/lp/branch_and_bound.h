@@ -58,6 +58,14 @@ struct MipOptions {
   /// primal phase-1 pivots run on the tree. Ablation knob; off = warm
   /// nodes use the primal phases as before.
   bool dual_entry_nodes = true;
+  /// Run every node LP with the numerical safeguards (scaling stays on
+  /// either way) and prune only on *certified* node bounds: an
+  /// uncertified Ok node is re-solved once, cold through the primal
+  /// phases with fresh escalation headroom, and if it still fails
+  /// certification its objective is never used to cut the tree — the
+  /// children inherit the parent's proven bound instead. Ablation knob
+  /// for the safeguard-overhead CI gate.
+  bool safeguards = true;
 };
 
 /// Aggregated LP work across all node relaxations of one MIP solve.
@@ -76,6 +84,12 @@ struct MipLpStats {
   /// Nonzero means warm children are re-deriving feasibility from
   /// scratch again (CI gates it at exactly 0 on the bench BIP tree).
   int64_t dual_node_phase1_pivots = 0;
+  // Certification accounting (only populated with MipOptions::
+  // safeguards on).
+  int64_t certified_nodes = 0;    ///< Ok node LPs whose solution certified
+  int64_t uncertified_nodes = 0;  ///< ... that failed even after the re-solve
+  /// Escalated re-solves of uncertified nodes (cold, primal entry).
+  int64_t safeguard_resolves = 0;
 };
 
 /// Result of a MIP solve.

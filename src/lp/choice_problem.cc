@@ -1370,10 +1370,19 @@ ChoiceSolution ChoiceSolver::Solve(const ChoiceSolveOptions& options) {
           !options.root_basis_seed->empty()) {
         lp_options.entry = SimplexEntry::kDual;
       }
-      const LpSolution lp = SolveLp(model, lp_options, nullptr, nullptr,
-                                    options.root_basis_seed);
+      LpSolution lp = SolveLp(model, lp_options, nullptr, nullptr,
+                              options.root_basis_seed);
+      if (lp.status.ok() && !lp.stats.certified) {
+        // The bound, the seeded multipliers, and reduced-cost fixing
+        // all cut the search permanently, so an uncertified root
+        // solution gets one escalated re-solve: cold, primal entry,
+        // fresh safeguard headroom.
+        LpOptions retry;  // primal entry, no warm basis
+        LpSolution again = SolveLp(model, retry, nullptr, nullptr, nullptr);
+        if (again.status.ok()) lp = std::move(again);
+      }
       result.root_lp_stats = lp.stats;
-      if (lp.status.ok()) {
+      if (lp.status.ok() && lp.stats.certified) {
         root_lp_bound_ = lp.objective;
         result.root_lp_bound = lp.objective;
         result.root_basis = lp.basis;
@@ -1386,10 +1395,11 @@ ChoiceSolution ChoiceSolver::Solve(const ChoiceSolveOptions& options) {
         }
       }
       // A non-OK LP (including an "infeasible" verdict, which on badly
-      // scaled instances can be a phase-1 tolerance artifact) just
-      // forfeits the LP bound: the combinatorial search remains the
-      // authority on feasibility, and a verified-feasible incumbent
-      // must never be discarded on the LP's word.
+      // scaled instances can be a phase-1 tolerance artifact) or one
+      // that failed certification twice just forfeits the LP bound:
+      // the combinatorial search and the Lagrangian dual remain the
+      // authority, and a verified-feasible incumbent must never be
+      // discarded on an unverified LP's word.
     }
   }
 

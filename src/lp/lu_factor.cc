@@ -17,9 +17,6 @@ namespace {
 // A pivot candidate below this magnitude (after row equilibration by
 // the caller) marks the basis numerically singular.
 constexpr double kSingularEps = 1e-10;
-// Threshold partial pivoting: a row may pivot if its |value| is within
-// this factor of the eliminated column's largest |value|.
-constexpr double kPivotThreshold = 0.1;
 // An FT pivot this much smaller than the largest spike entry poisons
 // every later solve: refactorize.
 constexpr double kStabilityFloor = 1e-3;
@@ -39,6 +36,25 @@ constexpr double kFtDropEps = 1e-13;
 bool LuFactor::Factorize(int m, const std::vector<int32_t>& col_start,
                          const std::vector<int32_t>& rows,
                          const std::vector<double>& vals) {
+  return FactorizeInternal(m, col_start, rows, vals, nullptr, nullptr);
+}
+
+bool LuFactor::FactorizeDeficient(int m, const std::vector<int32_t>& col_start,
+                                  const std::vector<int32_t>& rows,
+                                  const std::vector<double>& vals,
+                                  std::vector<int32_t>* deficient_cols,
+                                  std::vector<int32_t>* uncovered_rows) {
+  deficient_cols->clear();
+  uncovered_rows->clear();
+  return FactorizeInternal(m, col_start, rows, vals, deficient_cols,
+                           uncovered_rows);
+}
+
+bool LuFactor::FactorizeInternal(int m, const std::vector<int32_t>& col_start,
+                                 const std::vector<int32_t>& rows,
+                                 const std::vector<double>& vals,
+                                 std::vector<int32_t>* deficient_cols,
+                                 std::vector<int32_t>* uncovered_rows) {
   COPHY_CHECK_EQ(static_cast<int>(col_start.size()), m + 1);
   // Build into fresh arrays and commit only on success, so a failed
   // refactorization keeps the previous (valid, if drifty) factors.
@@ -65,6 +81,7 @@ bool LuFactor::Factorize(int m, const std::vector<int32_t>& col_start,
   std::vector<int32_t> reach;      // reached steps, DFS finish order
   std::vector<int32_t> stack, stack_edge;
 
+  int step = 0;  // elimination steps completed (== t unless columns skip)
   for (int t = 0; t < m; ++t) {
     const int c = order[t];
     touched.clear();
@@ -140,7 +157,15 @@ bool LuFactor::Factorize(int m, const std::vector<int32_t>& col_start,
         x[r] = 0.0;
         in_x[r] = 0;
       }
-      return false;  // numerically (or structurally) singular
+      for (int32_t s : reach) seen[s] = 0;
+      if (deficient_cols == nullptr) {
+        return false;  // numerically (or structurally) singular
+      }
+      // Deficient column: linearly dependent on the columns eliminated
+      // so far (or empty). Record it and keep going — the remaining
+      // columns still eliminate against the valid partial L.
+      deficient_cols->push_back(c);
+      continue;
     }
     int32_t pivot = -1;
     int32_t best_count = std::numeric_limits<int32_t>::max();
@@ -148,7 +173,7 @@ bool LuFactor::Factorize(int m, const std::vector<int32_t>& col_start,
     for (int32_t r : touched) {
       if (row_to_step[r] >= 0) continue;
       const double a = std::abs(x[r]);
-      if (a < kPivotThreshold * xmax) continue;
+      if (a < pivot_threshold_ * xmax) continue;
       if (row_count[r] < best_count ||
           (row_count[r] == best_count && a > best_abs)) {
         best_count = row_count[r];
@@ -175,16 +200,26 @@ bool LuFactor::Factorize(int m, const std::vector<int32_t>& col_start,
       l_vals.push_back(x[r] * inv_piv);
     }
     l_start.push_back(static_cast<int32_t>(l_rows.size()));
-    row_to_step[pivot] = t;
-    pivot_row_of_step[t] = pivot;
-    col_of_step[t] = c;
-    step_of_col[c] = t;
+    row_to_step[pivot] = step;
+    pivot_row_of_step[step] = pivot;
+    col_of_step[step] = c;
+    step_of_col[c] = step;
+    ++step;
 
     for (int32_t r : touched) {
       x[r] = 0.0;
       in_x[r] = 0;
     }
     for (int32_t s : reach) seen[s] = 0;
+  }
+
+  if (step < m) {
+    // Deficient columns were skipped: report the rows left without a
+    // pivot and keep the previous factors for the caller's repair.
+    for (int r = 0; r < m; ++r) {
+      if (row_to_step[r] < 0) uncovered_rows->push_back(r);
+    }
+    return false;
   }
 
   m_ = m;

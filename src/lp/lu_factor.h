@@ -54,6 +54,29 @@ class LuFactor {
                  const std::vector<int32_t>& rows,
                  const std::vector<double>& vals);
 
+  /// Like Factorize, but keeps eliminating past numerically dependent
+  /// columns instead of bailing at the first one. On a singular matrix
+  /// it returns false with `deficient_cols` holding the CSC column
+  /// indices that proved dependent and `uncovered_rows` the rows no
+  /// pivot landed on (same count, unordered pairing); the previous
+  /// factors stay intact so the caller can repair the basis (e.g.
+  /// substitute slacks for the dependent columns) and refactorize. On a
+  /// nonsingular matrix it commits and returns true, exactly like
+  /// Factorize.
+  bool FactorizeDeficient(int m, const std::vector<int32_t>& col_start,
+                          const std::vector<int32_t>& rows,
+                          const std::vector<double>& vals,
+                          std::vector<int32_t>* deficient_cols,
+                          std::vector<int32_t>* uncovered_rows);
+
+  /// Threshold-partial-pivoting factor tau in (0, 1]: a row may pivot
+  /// when its |value| is within tau of the eliminated column's largest.
+  /// The 0.1 default favors sparsity; the simplex's recovery ladder
+  /// raises it toward 1.0 (more stable pivots, more fill) when the
+  /// factors misbehave. Takes effect at the next (re)factorization.
+  void SetPivotThreshold(double tau) { pivot_threshold_ = tau; }
+  double pivot_threshold() const { return pivot_threshold_; }
+
   /// w = B_k^{-1} b for the k-times-updated basis. `x` carries b
   /// indexed by row on input and the solution indexed by basis
   /// position on output.
@@ -115,6 +138,7 @@ class LuFactor {
   using Entry = std::pair<int32_t, double>;  // (step, value)
 
   int m_ = 0;
+  double pivot_threshold_ = 0.1;
 
   // L: per elimination step, the below-pivot multipliers by original
   // row; unit diagonal implicit. L is never touched by updates.
@@ -185,6 +209,13 @@ class LuFactor {
   mutable std::vector<int32_t> solve_heap_;
 
   bool FinishUpdate(int pos);  // shared FT tail; expects spike_ filled
+  // Shared elimination loop: with null outputs, bails at the first
+  // dependent column (Factorize); with outputs, skips it and reports.
+  bool FactorizeInternal(int m, const std::vector<int32_t>& col_start,
+                         const std::vector<int32_t>& rows,
+                         const std::vector<double>& vals,
+                         std::vector<int32_t>* deficient_cols,
+                         std::vector<int32_t>* uncovered_rows);
 };
 
 }  // namespace cophy::lp

@@ -6,12 +6,36 @@
 
 namespace cophy::lp {
 
+void Model::LatchInvalid(const char* what) {
+  if (input_status_.ok()) input_status_ = Status::InvalidArgument(what);
+}
+
 VarId Model::AddVariable(double lower, double upper, double objective,
                          bool is_integer, std::string name) {
+  if (std::isnan(lower) || std::isnan(upper)) {
+    LatchInvalid("NaN variable bound");
+    lower = 0.0;
+    upper = 0.0;
+  }
+  if (!std::isfinite(objective)) {
+    LatchInvalid("non-finite objective coefficient");
+    objective = 0.0;
+  }
   COPHY_CHECK_LE(lower, upper);
   vars_.push_back(Variable{lower, upper, objective, is_integer, std::move(name)});
   columns_ready_ = false;  // col_start_ needs a slot for the new column
   return static_cast<VarId>(vars_.size()) - 1;
+}
+
+void Model::SetVariableBounds(VarId v, double lower, double upper) {
+  COPHY_CHECK_GE(v, 0);
+  COPHY_CHECK_LT(v, num_variables());
+  if (std::isnan(lower) || std::isnan(upper) || lower > upper) {
+    LatchInvalid("invalid variable bounds");
+    return;
+  }
+  vars_[v].lower = lower;
+  vars_[v].upper = upper;
 }
 
 VarId Model::AddBinary(double objective, std::string name) {
@@ -33,6 +57,10 @@ int Model::AddRow(const std::vector<std::pair<VarId, double>>& terms,
 
 void Model::BeginRow(Sense sense, double rhs, std::string name) {
   COPHY_CHECK(!row_open_);
+  if (!std::isfinite(rhs)) {
+    LatchInvalid("non-finite row rhs");
+    rhs = 0.0;
+  }
   row_open_ = true;
   senses_.push_back(sense);
   rhs_.push_back(rhs);
@@ -43,6 +71,10 @@ void Model::AddTerm(VarId v, double coef) {
   COPHY_CHECK(row_open_);
   COPHY_CHECK_GE(v, 0);
   COPHY_CHECK_LT(v, num_variables());
+  if (!std::isfinite(coef)) {
+    LatchInvalid("non-finite row coefficient");
+    return;  // keep the CSR arrays finite
+  }
   cols_.push_back(v);
   vals_.push_back(coef);
 }

@@ -15,6 +15,8 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
+
 namespace cophy::lp {
 
 using VarId = int;
@@ -77,6 +79,18 @@ class Model {
   void AddTerm(VarId v, double coef);
   int EndRow();
 
+  /// Validated bound update for an existing variable. A NaN bound (or
+  /// lower > upper) latches InvalidArgument and leaves the variable
+  /// unchanged; infinite bounds of the right sign are fine.
+  void SetVariableBounds(VarId v, double lower, double upper);
+
+  /// First invalid input latched by any mutator (NaN/Inf coefficient,
+  /// objective, or rhs; NaN bound), or Ok. Every solver entry point
+  /// refuses a model with a latched error, so one bad term surfaces as
+  /// a clean InvalidArgument instead of propagating NaN through the
+  /// basis factorization.
+  const Status& input_status() const { return input_status_; }
+
   /// Adds `offset` to every solution's objective value (constant term).
   void AddObjectiveConstant(double c) { objective_constant_ += c; }
   double objective_constant() const { return objective_constant_; }
@@ -105,8 +119,10 @@ class Model {
 
  private:
   void EnsureColumns() const;
+  void LatchInvalid(const char* what);
 
   std::vector<Variable> vars_;
+  Status input_status_ = Status::Ok();
 
   // CSR row storage.
   std::vector<int64_t> row_start_{0};  // num_rows + 1 offsets into cols_/vals_

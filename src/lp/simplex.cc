@@ -43,6 +43,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <string>
 
 #include "common/check.h"
 #include "common/stopwatch.h"
@@ -74,6 +75,26 @@ constexpr int kRefactorBackstop = 1024;
 constexpr double kDevexWeightCap = 1e7;
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
+// --- Numerical-safeguard tuning (LpOptions::safeguards). ---
+// EXPAND working tolerance for the Harris two-pass ratio tests: bounds
+// are treated as relaxed by expand_tol_, which starts at half the
+// feasibility tolerance, creeps up per pivot, and snaps back at every
+// refactorization. The creep guarantees strictly positive steps
+// through long degenerate stretches.
+constexpr double kExpandBase = 0.5 * kFeasEps;
+constexpr double kExpandInc = 2e-11;
+constexpr double kExpandMax = 1e-7;
+// Degeneracy perturbation magnitudes (deterministic per-column jitter
+// in [0.5, 1) times these): bounds for the primal, costs for the dual.
+constexpr double kBoundPerturb = 1e-9;
+constexpr double kCostPerturb = 1e-9;
+// Perturbation rounds per solve before escalating to Bland instead.
+constexpr int kMaxPerturbRounds = 3;
+// A pivot step below this counts as degenerate for the stall watchdog.
+constexpr double kDegenStep = 1e-12;
+// Certification tolerances (relative, in the unscaled space).
+constexpr double kCertTol = 1e-6;
+
 enum class IterStatus {
   kOptimal,
   kUnbounded,
@@ -82,7 +103,27 @@ enum class IterStatus {
   kNumericalFailure,  // basis factorization lost and unrecoverable
   kDualInfeasible,    // dual simplex proved the LP primal infeasible
   kNotDualFeasible,   // start not flip-repairable; run the primal phases
+  kFeasibilityLost,   // basis repair broke primal feasibility; rerun phase 1
 };
+
+// splitmix64-style column hash for the basis-revisit detector and the
+// deterministic perturbation jitter.
+uint64_t ColHash(uint64_t j) {
+  uint64_t h = j + 0x9E3779B97F4A7C15ull;
+  h ^= h >> 30;
+  h *= 0xBF58476D1CE4E5B9ull;
+  h ^= h >> 27;
+  h *= 0x94D049BB133111EBull;
+  h ^= h >> 31;
+  return h;
+}
+
+// Deterministic jitter in [0.5, 1): breaks ties differently per column
+// and per perturbation round without any global random state.
+double Jitter(int j, int round) {
+  const uint64_t h = ColHash(static_cast<uint64_t>(j) * 0x10001u + round);
+  return 0.5 + static_cast<double>(h >> 40) * (0.5 / 16777216.0);
+}
 
 class RevisedSimplex {
  public:
@@ -98,22 +139,72 @@ class RevisedSimplex {
     hi_.resize(n_);
     cost_.assign(n_, 0.0);
     b_.resize(m_);
-    for (int j = 0; j < nv_; ++j) {
-      lo_[j] = lo_struct[j];
-      hi_[j] = hi_struct[j];
-      cost_[j] = model.variable(j).objective;
-    }
-    // Row equilibration: divide each row by its largest |coefficient| so
-    // rows of wildly different magnitude (storage bytes next to 0/1
-    // linking rows) don't wreck the conditioning of the factorization.
-    // Slack bounds are 0 / +-inf, so they are invariant under positive
-    // row scaling and the structural solution is unchanged.
+    // Scaling. The solver works on A' = R A C with positive diagonal R
+    // (rows) and C (columns): internal variables are x' = C^{-1} x,
+    // bounds lo/C <= x' <= hi/C, costs c' = C c (so c'.x' = c.x), and
+    // exports map back with x = C x', y = R y', d = C^{-1} d'. With
+    // LpScaling::kGeometricMean two alternating geometric-mean passes
+    // balance each row's and column's magnitude spread first, every
+    // factor snapped to a power of two so the transform is exact in
+    // floating point; a final row equilibration (the legacy scaling,
+    // and the whole story under kRowEquilibrate) then pins each row's
+    // largest |coefficient| at 1 for the factorization. Scaling depends
+    // only on the model, so warm-started solves of the same model see
+    // bit-identical scaled problems.
+    col_scale_.assign(nv_, 1.0);
     row_scale_.assign(m_, 1.0);
+    if (options.scaling == LpScaling::kGeometricMean && m_ > 0) {
+      const auto snap = [](double s) {
+        return s > 0.0 && std::isfinite(s) ? std::exp2(std::round(std::log2(s)))
+                                           : 1.0;
+      };
+      for (int pass = 0; pass < 2; ++pass) {
+        for (int r = 0; r < m_; ++r) {
+          const RowView row = model.row(r);
+          double small = kInf, big = 0.0;
+          for (int k = 0; k < row.nnz; ++k) {
+            const double a =
+                std::abs(row.vals[k]) * col_scale_[row.cols[k]] * row_scale_[r];
+            if (a > 0) {
+              small = std::min(small, a);
+              big = std::max(big, a);
+            }
+          }
+          if (big > 0) row_scale_[r] = snap(row_scale_[r] / std::sqrt(small * big));
+        }
+        for (int j = 0; j < nv_; ++j) {
+          const ColumnView col = model.column(j);
+          double small = kInf, big = 0.0;
+          for (int k = 0; k < col.nnz; ++k) {
+            const double a =
+                std::abs(col.vals[k]) * row_scale_[col.rows[k]] * col_scale_[j];
+            if (a > 0) {
+              small = std::min(small, a);
+              big = std::max(big, a);
+            }
+          }
+          if (big > 0) col_scale_[j] = snap(col_scale_[j] / std::sqrt(small * big));
+        }
+      }
+    }
+    // Row equilibration: divide each (column-scaled) row by its largest
+    // |coefficient| so rows of wildly different magnitude (storage bytes
+    // next to 0/1 linking rows) don't wreck the conditioning of the
+    // factorization. Slack bounds are 0 / +-inf, so they are invariant
+    // under positive row scaling and the structural solution is
+    // unchanged.
     for (int r = 0; r < m_; ++r) {
       const RowView row = model.row(r);
       double big = 0;
-      for (int k = 0; k < row.nnz; ++k) big = std::max(big, std::abs(row.vals[k]));
-      if (big > 0) row_scale_[r] = 1.0 / big;
+      for (int k = 0; k < row.nnz; ++k) {
+        big = std::max(big, std::abs(row.vals[k]) * col_scale_[row.cols[k]]);
+      }
+      row_scale_[r] = big > 0 ? 1.0 / big : 1.0;
+    }
+    for (int j = 0; j < nv_; ++j) {
+      lo_[j] = lo_struct[j] / col_scale_[j];
+      hi_[j] = hi_struct[j] / col_scale_[j];
+      cost_[j] = model.variable(j).objective * col_scale_[j];
     }
     for (int r = 0; r < m_; ++r) {
       const RowView row = model.row(r);
@@ -156,6 +247,7 @@ class RevisedSimplex {
     const bool ok = Factorize(cols);  // slack basis: identity, can't fail
     COPHY_CHECK(ok);
     ComputeBasicValues();
+    ResetWatchdog();
   }
 
   /// Installs an imported basis; false if it is unusable (wrong shape,
@@ -175,13 +267,18 @@ class RevisedSimplex {
     }
     if (static_cast<int>(basic_cols.size()) != m_) return false;
     if (!Factorize(basic_cols)) return false;
+    // Keyed on the *installed* statuses, not the imported ones: a
+    // singular-basis repair may have ejected an imported basic column
+    // (now nonbasic) and promoted a slack the import held at a bound.
     for (int j = 0; j < n_; ++j) {
-      const VarStatus st =
-          j < nv_ ? wb.variables[j] : wb.slacks[j - nv_];
-      if (st == VarStatus::kBasic) continue;  // set by Factorize
-      SetNonbasicAtBound(j, st);
+      if (vstat_[j] == VarStatus::kBasic) continue;  // set by Factorize
+      SetNonbasicAtBound(j, j < nv_ ? wb.variables[j] : wb.slacks[j - nv_]);
     }
     ComputeBasicValues();
+    ResetWatchdog();
+    // A repaired import is a valid (if different) start; the primal or
+    // dual loop re-establishes its own invariants from here.
+    basis_repaired_ = false;
     return true;
   }
 
@@ -215,12 +312,17 @@ class RevisedSimplex {
       if (pivots_since_factor >= kRefactorBackstop ||
           (pivots_since_factor > 0 && lu_.NeedsRefactorization())) {
         if (Refactorize()) {
+          // A slack repair changes the basis but never the dual loop's
+          // contract (it re-establishes dual feasibility right here).
+          basis_repaired_ = false;
           ComputeBasicValues(/*measure_drift=*/true);
           RecomputeReducedCosts();
           if (!RestoreDualFeasibility(stats)) {
             return IterStatus::kNotDualFeasible;
           }
           pivots_since_refresh = 0;
+        } else if (options_.safeguards) {
+          return IterStatus::kNumericalFailure;
         }
         pivots_since_factor = 0;
       } else if (pivots_since_refresh >= 64) {
@@ -335,7 +437,7 @@ class RevisedSimplex {
       // other bound (no pivot) and the dual step marches past it to
       // the next candidate. ---
       double remaining = best_viol;
-      int enter = -1;
+      size_t pick = dual_cands_.size() - 1;
       flip_scratch_.clear();
       for (size_t k = 0; k < dual_cands_.size(); ++k) {
         const DualCand& c = dual_cands_[k];
@@ -346,9 +448,27 @@ class RevisedSimplex {
           remaining -= c.abs_alpha * range;
           continue;
         }
-        enter = c.j;
+        pick = k;
         break;
       }
+      if (options_.safeguards) {
+        // Harris pass 2 under EXPAND: later candidates whose exact
+        // ratio still fits under every earlier candidate's relaxed
+        // bound (ratio + expand_tol_/|alpha|) are admissible — any
+        // skipped column's reduced cost goes wrong-sign by at most
+        // expand_tol_, inside the dual repair band. Take the largest
+        // pivot element in the window.
+        double window = dual_cands_[pick].ratio +
+                        expand_tol_ / dual_cands_[pick].abs_alpha;
+        for (size_t k = pick + 1; k < dual_cands_.size(); ++k) {
+          const DualCand& c = dual_cands_[k];
+          if (c.ratio > window) break;
+          window = std::min(window, c.ratio + expand_tol_ / c.abs_alpha);
+          if (c.abs_alpha > dual_cands_[pick].abs_alpha) pick = k;
+        }
+        expand_tol_ = std::min(expand_tol_ + kExpandInc, kExpandMax);
+      }
+      const int enter = dual_cands_[pick].j;
       if (!flip_scratch_.empty()) {
         // One combined FTRAN over the flipped columns' deltas, through
         // the same hyper-sparse path as the entering column.
@@ -423,11 +543,29 @@ class RevisedSimplex {
         // Same contract as the primal loop: the factors still describe
         // the pre-pivot basis, so refactorize immediately or fail.
         if (!Refactorize()) return IterStatus::kNumericalFailure;
+        basis_repaired_ = false;
         ComputeBasicValues();
         RecomputeReducedCosts();
         if (!RestoreDualFeasibility(stats)) return IterStatus::kNotDualFeasible;
         pivots_since_refresh = 0;
         pivots_since_factor = 0;
+      }
+      // Watchdog last: a cost-perturbation escalation re-prices
+      // through the factors, which now include this pivot.
+      if (WatchdogTripped(theta_d, enter, leaving_var)) {
+        if (perturb_rounds_ < kMaxPerturbRounds) {
+          // Dual stall: split the dual-degenerate ties with a
+          // sign-safe cost perturbation and keep going.
+          PerturbCosts();
+          if (!RestoreDualFeasibility(stats)) {
+            return IterStatus::kNotDualFeasible;
+          }
+          pivots_since_refresh = 0;
+        } else {
+          // Out of perturbation rounds: hand the basis to the primal
+          // phases, whose own ladder ends in Bland's rule.
+          return IterStatus::kNotDualFeasible;
+        }
       }
     }
     return IterStatus::kIterLimit;
@@ -456,10 +594,11 @@ class RevisedSimplex {
   }
 
   std::vector<double> ExtractPrimal() const {
-    std::vector<double> x(xval_.begin(), xval_.begin() + nv_);
+    std::vector<double> x(nv_);
     for (int j = 0; j < nv_; ++j) {
-      if (std::isfinite(lo_[j])) x[j] = std::max(x[j], lo_[j]);
-      if (std::isfinite(hi_[j])) x[j] = std::min(x[j], hi_[j]);
+      x[j] = xval_[j] * col_scale_[j];
+      if (std::isfinite(lo_[j])) x[j] = std::max(x[j], lo_[j] * col_scale_[j]);
+      if (std::isfinite(hi_[j])) x[j] = std::min(x[j], hi_[j] * col_scale_[j]);
     }
     return x;
   }
@@ -479,7 +618,8 @@ class RevisedSimplex {
     RecomputeReducedCosts();  // leaves y_ = c_B B^{-1} (scaled rows)
     duals->resize(m_);
     for (int r = 0; r < m_; ++r) (*duals)[r] = y_[r] * row_scale_[r];
-    reduced_costs->assign(d_.begin(), d_.begin() + nv_);
+    reduced_costs->resize(nv_);
+    for (int j = 0; j < nv_; ++j) (*reduced_costs)[j] = d_[j] / col_scale_[j];
   }
 
   /// Copies the factorization accounting into `stats` and charges the
@@ -491,10 +631,152 @@ class RevisedSimplex {
     stats->lu_fill_nnz = lu_.fill_nnz();
     stats->max_drift = max_drift_;
     stats->ftran_btran_seconds = ftran_btran_seconds_;
+    stats->perturbations_applied = perturbations_applied_;
+    stats->perturbations_removed = perturbations_removed_;
+    stats->bland_escalations = bland_escalations_;
+    stats->markowitz_escalations = markowitz_escalations_;
+    stats->singular_repairs = singular_repairs_;
     SolverCounters& counters = GlobalSolverCounters();
     counters.ft_updates += lu_.total_updates();
     counters.eta_nnz += lu_.total_eta_nnz();
     counters.ftran_btran_seconds += ftran_btran_seconds_;
+    counters.perturbations_applied += perturbations_applied_;
+    counters.perturbations_removed += perturbations_removed_;
+    counters.bland_escalations += bland_escalations_;
+    counters.markowitz_escalations += markowitz_escalations_;
+    counters.singular_repairs += singular_repairs_;
+  }
+
+  /// True while a degeneracy perturbation (bounds or costs) is
+  /// installed. The driver must remove it (and make the cleanup
+  /// pivots) before certifying or exporting a verdict.
+  bool PerturbationActive() const { return bounds_perturbed_ || cost_perturbed_; }
+
+  /// Takes any installed perturbation back out: restores the original
+  /// bounds/costs, snaps nonbasics onto their true bounds, and
+  /// recomputes the basic values. The caller re-runs its optimality
+  /// loop — the cleanup pivots — before the final verdict.
+  void RemovePerturbation() {
+    if (bounds_perturbed_) {
+      lo_ = lo_base_;
+      hi_ = hi_base_;
+      bounds_perturbed_ = false;
+    }
+    if (cost_perturbed_) {
+      cost_ = cost_base_;
+      cost_perturbed_ = false;
+    }
+    perturbations_removed_ += active_perturb_rounds_;
+    active_perturb_rounds_ = 0;
+    for (int j = 0; j < n_; ++j) {
+      if (vstat_[j] != VarStatus::kBasic) SetNonbasicAtBound(j, vstat_[j]);
+    }
+    ComputeBasicValues();
+  }
+
+  /// Clears every escalation artifact (perturbations, forced Bland,
+  /// EXPAND creep) without touching the — possibly broken — factors or
+  /// basic values, so a ColdStart right after restarts from a clean
+  /// slate. The raised Markowitz threshold stays raised: it failed at
+  /// the lower setting. Discarded perturbations are not counted as
+  /// removed (nothing was cleaned up at the true data).
+  void PrepareColdRestart() {
+    if (bounds_perturbed_) {
+      lo_ = lo_base_;
+      hi_ = hi_base_;
+      bounds_perturbed_ = false;
+    }
+    if (cost_perturbed_) {
+      cost_ = cost_base_;
+      cost_perturbed_ = false;
+    }
+    active_perturb_rounds_ = 0;
+    perturb_rounds_ = 0;
+    force_bland_ = false;
+    basis_repaired_ = false;
+    expand_tol_ = kExpandBase;
+  }
+
+  /// Independent verification of the final basis in the *unscaled*
+  /// space: row feasibility, bound feasibility, reduced-cost signs,
+  /// and primal-vs-dual objective agreement, each as a relative
+  /// residual checked against kCertTol. One round of iterative
+  /// refinement (a residual FTRAN correcting the basic values) runs
+  /// first when the row residual warrants it. Requires any
+  /// perturbation to be removed. Fills the certification stats and
+  /// charges the process-wide certified/uncertified counters.
+  bool Certify(LpSolveStats* stats) {
+    double row_resid = ComputeRowResidual();
+    if (row_resid > kCertTol / 8) {
+      // x_B += B^{-1} r moves the basic values by exactly the row
+      // residual (up to the factors' own error).
+      std::copy(resid_.begin(), resid_.end(), y_.begin());
+      const Stopwatch timer;
+      lu_.Ftran(y_);
+      ftran_btran_seconds_ += timer.Elapsed();
+      for (int r = 0; r < m_; ++r) xval_[basis_[r]] += y_[r];
+      stats->refinement_rounds += 1;
+      row_resid = ComputeRowResidual();
+    }
+    double bound_resid = 0.0;
+    for (int j = 0; j < n_; ++j) {
+      const double s = ColScale(j);
+      if (std::isfinite(lo_[j]) && xval_[j] < lo_[j]) {
+        bound_resid = std::max(bound_resid, (lo_[j] - xval_[j]) * s /
+                                                (1.0 + std::abs(lo_[j] * s)));
+      }
+      if (std::isfinite(hi_[j]) && xval_[j] > hi_[j]) {
+        bound_resid = std::max(bound_resid, (xval_[j] - hi_[j]) * s /
+                                                (1.0 + std::abs(hi_[j] * s)));
+      }
+    }
+    RecomputeReducedCosts();  // exact d_ and y_ at the final basis
+    double dual_resid = 0.0;
+    for (int j = 0; j < n_; ++j) {
+      const VarStatus st = vstat_[j];
+      if (st == VarStatus::kBasic || lo_[j] == hi_[j]) continue;
+      double wrong = 0.0;
+      if (st == VarStatus::kAtLower) {
+        wrong = -d_[j];
+      } else if (st == VarStatus::kAtUpper) {
+        wrong = d_[j];
+      } else {
+        wrong = std::abs(d_[j]);
+      }
+      if (wrong <= 0) continue;
+      const double s = ColScale(j);
+      dual_resid =
+          std::max(dual_resid, (wrong / s) / (1.0 + std::abs(cost_[j] / s)));
+    }
+    // Objective agreement. Scaling preserves inner products (c'.x' =
+    // c.x, y'.b' = y.b), so both objectives are computed directly in
+    // the scaled space.
+    double pobj = 0.0;
+    for (int j = 0; j < n_; ++j) {
+      if (cost_[j] != 0.0 && xval_[j] != 0.0) pobj += cost_[j] * xval_[j];
+    }
+    double dobj = 0.0;
+    for (int r = 0; r < m_; ++r) dobj += y_[r] * b_[r];
+    for (int j = 0; j < n_; ++j) {
+      if (vstat_[j] == VarStatus::kBasic || d_[j] == 0.0 || xval_[j] == 0.0) {
+        continue;
+      }
+      dobj += d_[j] * xval_[j];
+    }
+    const double gap = std::abs(pobj - dobj) / (1.0 + std::abs(pobj));
+    stats->primal_residual = std::max(row_resid, bound_resid);
+    stats->dual_residual = dual_resid;
+    stats->objective_gap = gap;
+    stats->certified = stats->primal_residual <= kCertTol &&
+                       dual_resid <= kCertTol && gap <= kCertTol;
+    SolverCounters& counters = GlobalSolverCounters();
+    counters.refinement_rounds += stats->refinement_rounds;
+    if (stats->certified) {
+      counters.certified_solves += 1;
+    } else {
+      counters.uncertified_solves += 1;
+    }
+    return stats->certified;
   }
 
  private:
@@ -505,17 +787,25 @@ class RevisedSimplex {
   };
 
   /// Applies `f(row, value)` to every nonzero of internal column `j`,
-  /// in the row-equilibrated space.
+  /// in the fully scaled space (row and column scaling applied).
   template <typename F>
   void ForEachEntry(int j, F&& f) const {
     if (j < nv_) {
       const ColumnView col = model_.column(j);
+      const double cs = col_scale_[j];
       for (int k = 0; k < col.nnz; ++k) {
-        f(col.rows[k], col.vals[k] * row_scale_[col.rows[k]]);
+        f(col.rows[k], col.vals[k] * row_scale_[col.rows[k]] * cs);
       }
     } else {
       f(j - nv_, 1.0);
     }
+  }
+
+  /// Column scale of internal column j: structurals carry their
+  /// geometric-mean factor, the slack of row r carries 1/row_scale so
+  /// its internal value maps back to the original row's slack.
+  double ColScale(int j) const {
+    return j < nv_ ? col_scale_[j] : 1.0 / row_scale_[j - nv_];
   }
 
   void SetNonbasicAtBound(int j, VarStatus preferred) {
@@ -593,7 +883,7 @@ class RevisedSimplex {
           alpha_[j] = 0.0;
           alpha_touched_.push_back(j);
         }
-        alpha_[j] += scaled * row.vals[k];
+        alpha_[j] += scaled * row.vals[k] * col_scale_[j];
       }
       const int s = nv_ + r;  // slack column of row r: coefficient 1
       if (alpha_mark_[s] != stamp) {
@@ -628,6 +918,122 @@ class RevisedSimplex {
       max_drift_ = std::max(max_drift_, worst);
     }
     for (int r = 0; r < m_; ++r) xval_[basis_[r]] = y_[r];
+  }
+
+  /// Scaled-space row residual r = b' - A'x' over *all* columns into
+  /// resid_ (independent of the factorization). Returns the worst
+  /// unscaled relative residual max_r |r_r / R_r| / (1 + |rhs_r|).
+  double ComputeRowResidual() {
+    resid_ = b_;
+    for (int j = 0; j < n_; ++j) {
+      const double xj = xval_[j];
+      if (xj == 0.0) continue;
+      ForEachEntry(j, [&](int row, double v) { resid_[row] -= v * xj; });
+    }
+    double worst = 0.0;
+    for (int r = 0; r < m_; ++r) {
+      const double unscaled = std::abs(resid_[r]) / row_scale_[r];
+      worst =
+          std::max(worst, unscaled / (1.0 + std::abs(model_.row(r).rhs)));
+    }
+    return worst;
+  }
+
+  /// Degenerate pivots the watchdog tolerates before escalating.
+  int64_t StallLimit() const {
+    return options_.stall_pivot_limit > 0 ? options_.stall_pivot_limit
+                                          : 100 + m_ / 4;
+  }
+
+  /// Re-seeds the stall/cycling watchdog from the installed basis.
+  void ResetWatchdog() {
+    stall_pivots_ = 0;
+    basis_hash_ = 0;
+    for (int r = 0; r < m_; ++r) basis_hash_ ^= ColHash(basis_[r]);
+    recent_basis_.assign(64, basis_hash_);
+    recent_pos_ = 0;
+  }
+
+  /// Folds one pivot into the watchdog: maintains the XOR basis hash,
+  /// counts the degenerate streak (|step| <= kDegenStep — no objective
+  /// progress), and checks degenerate pivots against the ring of
+  /// recently visited basis hashes (a revisit while degenerate is the
+  /// cycling signature; a productive pivot can never legally revisit,
+  /// so the check is skipped there to dodge hash-collision noise).
+  /// True means the caller must escalate; the streak restarts.
+  bool WatchdogTripped(double step, int entered, int left) {
+    if (!options_.safeguards) return false;
+    basis_hash_ ^= ColHash(entered) ^ ColHash(left);
+    bool tripped = false;
+    if (std::abs(step) <= kDegenStep) {
+      ++stall_pivots_;
+      tripped = stall_pivots_ >= StallLimit();
+      if (!tripped) {
+        for (const uint64_t h : recent_basis_) {
+          if (h == basis_hash_) {
+            tripped = true;
+            break;
+          }
+        }
+      }
+    } else {
+      stall_pivots_ = 0;
+    }
+    recent_basis_[recent_pos_] = basis_hash_;
+    recent_pos_ = (recent_pos_ + 1) & 63;
+    if (tripped) stall_pivots_ = 0;
+    return tripped;
+  }
+
+  /// Installs one round of outward bound perturbation (primal
+  /// degeneracy breaker): every finite non-fixed bound moves outward
+  /// by a deterministic per-column jitter, so the ratio-test ties that
+  /// pinned the degenerate vertex split apart. Feasibility can only
+  /// improve (the box grows). Removed by RemovePerturbation.
+  void PerturbBounds() {
+    if (!bounds_perturbed_) {
+      lo_base_ = lo_;
+      hi_base_ = hi_;
+      bounds_perturbed_ = true;
+    }
+    ++perturb_rounds_;
+    ++active_perturb_rounds_;
+    ++perturbations_applied_;
+    for (int j = 0; j < n_; ++j) {
+      if (lo_[j] == hi_[j]) continue;  // fixed stays fixed
+      const double eps = kBoundPerturb * Jitter(j, perturb_rounds_);
+      if (std::isfinite(lo_[j])) lo_[j] -= eps * (1.0 + std::abs(lo_[j]));
+      if (std::isfinite(hi_[j])) hi_[j] += eps * (1.0 + std::abs(hi_[j]));
+    }
+    for (int j = 0; j < n_; ++j) {
+      if (vstat_[j] != VarStatus::kBasic) SetNonbasicAtBound(j, vstat_[j]);
+    }
+    ComputeBasicValues();
+  }
+
+  /// Dual analogue: sign-safe cost perturbation. An at-lower nonbasic
+  /// needs d >= 0, so *raising* its cost only deepens dual
+  /// feasibility; at-upper symmetrically. Dual-degenerate zero ratios
+  /// turn into distinct positive ones. Removed by RemovePerturbation.
+  void PerturbCosts() {
+    if (!cost_perturbed_) {
+      cost_base_ = cost_;
+      cost_perturbed_ = true;
+    }
+    ++perturb_rounds_;
+    ++active_perturb_rounds_;
+    ++perturbations_applied_;
+    for (int j = 0; j < n_; ++j) {
+      if (lo_[j] == hi_[j]) continue;
+      const double eps = kCostPerturb * Jitter(j, perturb_rounds_) *
+                         (1.0 + std::abs(cost_[j]));
+      if (vstat_[j] == VarStatus::kAtLower) {
+        cost_[j] += eps;
+      } else if (vstat_[j] == VarStatus::kAtUpper) {
+        cost_[j] -= eps;
+      }
+    }
+    RecomputeReducedCosts();
   }
 
   /// Entering direction of column j under the phase-2 reduced costs,
@@ -765,11 +1171,9 @@ class RevisedSimplex {
     return restorable;
   }
 
-  /// Sparse LU factorization of the basis matrix given by `basic_cols`
-  /// (in basis-position order, which stays stable across pivots).
-  /// False if the matrix is numerically singular; the previous factors,
-  /// if any, are kept intact in that case.
-  bool Factorize(const std::vector<int>& basic_cols) {
+  /// Gathers the basis matrix given by `basic_cols` into the CSC
+  /// scratch arrays.
+  void GatherBasis(const std::vector<int>& basic_cols) {
     col_start_scratch_.assign(1, 0);
     col_rows_scratch_.clear();
     col_vals_scratch_.clear();
@@ -781,17 +1185,92 @@ class RevisedSimplex {
       col_start_scratch_.push_back(
           static_cast<int32_t>(col_rows_scratch_.size()));
     }
-    if (!lu_.Factorize(m_, col_start_scratch_, col_rows_scratch_,
-                       col_vals_scratch_)) {
-      return false;
-    }
+  }
+
+  bool TryFactorize(const std::vector<int>& basic_cols) {
+    GatherBasis(basic_cols);
+    return lu_.Factorize(m_, col_start_scratch_, col_rows_scratch_,
+                         col_vals_scratch_);
+  }
+
+  /// Commits `basic_cols` as the installed basis after a successful
+  /// factorization, and resets the EXPAND creep (fresh factors, fresh
+  /// working tolerance).
+  void CommitBasis(const std::vector<int>& basic_cols) {
     for (int c = 0; c < m_; ++c) {
       basis_[c] = basic_cols[c];
       vstat_[basic_cols[c]] = VarStatus::kBasic;
     }
+    expand_tol_ = kExpandBase;
     ++refactorizations_;
     GlobalSolverCounters().factorizations += 1;
+  }
+
+  /// Rung 2 of the singular-basis ladder: re-run the elimination in
+  /// skip-and-report mode, eject each dependent basic column, and
+  /// substitute the slack of an uncovered row (its unit column covers
+  /// that row by construction). Ejected columns become nonbasic at a
+  /// bound; the repaired basis is refactorized for real. False when no
+  /// pairing exists (an uncovered row's slack is itself among the
+  /// dependent columns) or the repaired matrix still fails — the
+  /// caller's next rung is a cold restart.
+  bool RepairSingularBasis(const std::vector<int>& basic_cols) {
+    std::vector<int> cols = basic_cols;  // basic_cols may alias basis_
+    GatherBasis(cols);
+    std::vector<int32_t> deficient, uncovered;
+    if (lu_.FactorizeDeficient(m_, col_start_scratch_, col_rows_scratch_,
+                               col_vals_scratch_, &deficient, &uncovered)) {
+      CommitBasis(cols);  // not singular after all under skip mode
+      return true;
+    }
+    if (deficient.empty() || deficient.size() != uncovered.size()) {
+      return false;
+    }
+    std::vector<uint8_t> slack_basic(m_, 0);
+    for (const int c : cols) {
+      if (c >= nv_) slack_basic[c - nv_] = 1;
+    }
+    size_t u = 0;
+    for (const int32_t pos : deficient) {
+      while (u < uncovered.size() && slack_basic[uncovered[u]]) ++u;
+      if (u == uncovered.size()) return false;  // no free slack to swap in
+      const int ejected = cols[pos];
+      const int slack = nv_ + uncovered[u];
+      cols[pos] = slack;
+      slack_basic[uncovered[u]] = 1;
+      SetNonbasicAtBound(ejected, VarStatus::kAtLower);
+      ++singular_repairs_;
+      ++u;
+    }
+    if (!TryFactorize(cols)) return false;
+    CommitBasis(cols);
+    basis_repaired_ = true;
     return true;
+  }
+
+  /// Sparse LU factorization of the basis matrix given by `basic_cols`
+  /// (in basis-position order, which stays stable across pivots).
+  /// With safeguards on, a singular factorization walks the recovery
+  /// ladder before giving up: the Markowitz pivot threshold is raised
+  /// (0.1 -> 0.5 -> 0.99, sticky for the rest of the solve), then the
+  /// dependent columns are swapped for slacks (RepairSingularBasis).
+  /// False only when the ladder is exhausted (or safeguards are off);
+  /// the previous factors stay intact in that case.
+  bool Factorize(const std::vector<int>& basic_cols) {
+    if (TryFactorize(basic_cols)) {
+      CommitBasis(basic_cols);
+      return true;
+    }
+    if (!options_.safeguards) return false;
+    while (lu_.pivot_threshold() < 0.99) {
+      lu_.SetPivotThreshold(lu_.pivot_threshold() < 0.5 ? 0.5 : 0.99);
+      ++markowitz_escalations_;
+      if (TryFactorize(basic_cols)) {
+        CommitBasis(basic_cols);
+        return true;
+      }
+    }
+    return RepairSingularBasis(basic_cols);
   }
 
   /// Refactorizes the current basis from scratch. The update chain
@@ -811,13 +1290,26 @@ class RevisedSimplex {
     int64_t pivots_since_refresh = 0;
     int64_t pivots_since_factor = 0;
     for (int64_t iter = 0; iter < iter_limit; ++iter) {
-      const bool bland = iter > iter_limit / 2;
+      const bool bland = force_bland_ || iter > iter_limit / 2;
       if (pivots_since_factor >= kRefactorBackstop ||
           (pivots_since_factor > 0 && lu_.NeedsRefactorization())) {
         if (Refactorize()) {
           ComputeBasicValues(/*measure_drift=*/true);
           if (!phase1) RecomputeReducedCosts();
           pivots_since_refresh = 0;
+          if (basis_repaired_) {
+            // A slack swap mid-phase-2 may have broken primal
+            // feasibility; hand control back to phase 1 if so.
+            basis_repaired_ = false;
+            if (!phase1 && MaxViolation() > kFeasEps) {
+              return IterStatus::kFeasibilityLost;
+            }
+          }
+        } else if (options_.safeguards) {
+          // The whole ladder failed: the factors describe a stale
+          // basis. Fail loudly — the driver's last rung is a cold
+          // restart from the slack basis.
+          return IterStatus::kNumericalFailure;
         }
         pivots_since_factor = 0;
       }
@@ -929,7 +1421,31 @@ class RevisedSimplex {
 
       // --- Bounded-variable ratio test. ---
       // The entering variable moves by t >= 0 in direction `dir`; basic
-      // variable in row i changes at rate -dir * w_[i].
+      // variable in row i changes at rate -dir * w_[i]. The blocking
+      // bound of row i (phase 1 treats an infeasible basic's *violated*
+      // bound as the block, so the step drives the violation out):
+      const auto classify = [&](int i, double wi, double* rate,
+                                double* target, VarStatus* tstat) -> bool {
+        const int j = basis_[i];
+        *rate = -dir * wi;
+        if (phase1 && xval_[j] < lo_[j] - kFeasEps) {
+          // Infeasible below: blocks only when rising to its lower bound.
+          if (*rate <= 0) return false;
+          *target = lo_[j];
+          *tstat = VarStatus::kAtLower;
+        } else if (phase1 && xval_[j] > hi_[j] + kFeasEps) {
+          if (*rate >= 0) return false;
+          *target = hi_[j];
+          *tstat = VarStatus::kAtUpper;
+        } else if (*rate > 0) {
+          *target = hi_[j];
+          *tstat = VarStatus::kAtUpper;
+        } else {
+          *target = lo_[j];
+          *tstat = VarStatus::kAtLower;
+        }
+        return std::isfinite(*target);
+      };
       double t_flip = kInf;  // entering reaches its opposite bound
       if (std::isfinite(lo_[enter]) && std::isfinite(hi_[enter])) {
         t_flip = hi_[enter] - lo_[enter];
@@ -939,53 +1455,86 @@ class RevisedSimplex {
       double leave_target = 0;
       VarStatus leave_stat = VarStatus::kAtLower;
       double leave_w = 0;
-      for (const int32_t i : w_pattern_) {
-        const double wi = w_[i];
-        // A pivot element this small would poison the basis update;
-        // treat the row as non-blocking instead.
-        if (std::abs(wi) <= kLeaveEps) continue;
-        const int j = basis_[i];
-        const double rate = -dir * wi;
-        double target;
-        VarStatus target_stat;
-        if (phase1 && xval_[j] < lo_[j] - kFeasEps) {
-          // Infeasible below: blocks only when rising to its lower bound.
-          if (rate <= 0) continue;
-          target = lo_[j];
-          target_stat = VarStatus::kAtLower;
-        } else if (phase1 && xval_[j] > hi_[j] + kFeasEps) {
-          if (rate >= 0) continue;
-          target = hi_[j];
-          target_stat = VarStatus::kAtUpper;
-        } else if (rate > 0) {
-          target = hi_[j];
-          target_stat = VarStatus::kAtUpper;
-        } else {
-          target = lo_[j];
-          target_stat = VarStatus::kAtLower;
+      if (options_.safeguards && !bland) {
+        // Harris two-pass ratio test under the EXPAND working
+        // tolerance. Pass 1: the largest step any blocker allows when
+        // its bound is relaxed by expand_tol_ (each candidate's
+        // relaxed ratio is its exact ratio + expand_tol_/|rate|).
+        // Pass 2: among rows whose *exact* ratio fits under that
+        // relaxed cap, pivot on the largest |w_i| — stability instead
+        // of the accidental order of near-ties. Any overshot row is
+        // violated by at most expand_tol_ <= kFeasEps, inside the
+        // solver's feasibility tolerance.
+        double theta_max = t_flip;
+        for (const int32_t i : w_pattern_) {
+          const double wi = w_[i];
+          if (std::abs(wi) <= kLeaveEps) continue;
+          double rate, target;
+          VarStatus tstat;
+          if (!classify(i, wi, &rate, &target, &tstat)) continue;
+          double ti = (target - xval_[basis_[i]]) / rate +
+                      expand_tol_ / std::abs(rate);
+          if (ti < 0) ti = 0;
+          theta_max = std::min(theta_max, ti);
         }
-        if (!std::isfinite(target)) continue;
-        double ti = (target - xval_[j]) / rate;
-        if (ti < 0) ti = 0;  // degenerate (or tiny violation) pivot
-        // Near-tied ratios (within the feasibility tolerance) resolve
-        // toward the largest pivot element — small pivots poison both
-        // the basis update and the incremental reduced costs.
-        const bool take =
-            ti < t - kFeasEps ||
-            (ti < t + kFeasEps && leave >= 0 &&
-             (bland ? basis_[i] < basis_[leave]
-                    : std::abs(wi) > std::abs(leave_w)));
-        if (take) {
-          t = ti;
-          leave = i;
-          leave_target = target;
-          leave_stat = target_stat;
-          leave_w = wi;
+        if (!std::isfinite(theta_max)) {
+          return phase1 ? IterStatus::kStalled : IterStatus::kUnbounded;
         }
-      }
-
-      if (!std::isfinite(t)) {
-        return phase1 ? IterStatus::kStalled : IterStatus::kUnbounded;
+        for (const int32_t i : w_pattern_) {
+          const double wi = w_[i];
+          if (std::abs(wi) <= kLeaveEps) continue;
+          double rate, target;
+          VarStatus tstat;
+          if (!classify(i, wi, &rate, &target, &tstat)) continue;
+          double ti = (target - xval_[basis_[i]]) / rate;
+          if (ti < 0) ti = 0;
+          if (ti <= theta_max &&
+              (leave < 0 || std::abs(wi) > std::abs(leave_w))) {
+            t = ti;
+            leave = i;
+            leave_target = target;
+            leave_stat = tstat;
+            leave_w = wi;
+          }
+        }
+        // Pass 1's argmin row always qualifies in pass 2 (its exact
+        // ratio <= its relaxed one), so leave < 0 means no blocker at
+        // all and theta_max == t_flip (finite): a bound flip.
+        if (leave < 0) t = t_flip;
+        expand_tol_ = std::min(expand_tol_ + kExpandInc, kExpandMax);
+      } else {
+        // Exact single-pass test (safeguards off, or Bland mode —
+        // Bland's anti-cycling argument needs the exact lowest-index
+        // blocker, not a Harris window).
+        for (const int32_t i : w_pattern_) {
+          const double wi = w_[i];
+          // A pivot element this small would poison the basis update;
+          // treat the row as non-blocking instead.
+          if (std::abs(wi) <= kLeaveEps) continue;
+          double rate, target;
+          VarStatus tstat;
+          if (!classify(i, wi, &rate, &target, &tstat)) continue;
+          double ti = (target - xval_[basis_[i]]) / rate;
+          if (ti < 0) ti = 0;  // degenerate (or tiny violation) pivot
+          // Near-tied ratios (within the feasibility tolerance) resolve
+          // toward the largest pivot element — small pivots poison both
+          // the basis update and the incremental reduced costs.
+          const bool take =
+              ti < t - kFeasEps ||
+              (ti < t + kFeasEps && leave >= 0 &&
+               (bland ? basis_[i] < basis_[leave]
+                      : std::abs(wi) > std::abs(leave_w)));
+          if (take) {
+            t = ti;
+            leave = i;
+            leave_target = target;
+            leave_stat = tstat;
+            leave_w = wi;
+          }
+        }
+        if (!std::isfinite(t)) {
+          return phase1 ? IterStatus::kStalled : IterStatus::kUnbounded;
+        }
       }
 
       if (leave < 0) {
@@ -1081,6 +1630,26 @@ class RevisedSimplex {
         if (!phase1) RecomputeReducedCosts();
         pivots_since_refresh = 0;
         pivots_since_factor = 0;
+        if (basis_repaired_) {
+          basis_repaired_ = false;
+          if (!phase1 && MaxViolation() > kFeasEps) {
+            return IterStatus::kFeasibilityLost;
+          }
+        }
+      }
+      // Watchdog last: its escalations (perturb / Bland) solve through
+      // the factors, which now include this pivot.
+      if (WatchdogTripped(t, enter, leaving_var)) {
+        if (!phase1 && perturb_rounds_ < kMaxPerturbRounds) {
+          // Escalation rung 1 (phase 2 only): break the degenerate
+          // vertex apart with an outward bound perturbation.
+          PerturbBounds();
+        } else if (!force_bland_) {
+          // Rung 2 (and all of phase 1): Bland's rule — slower, but
+          // finite termination is guaranteed.
+          force_bland_ = true;
+          ++bland_escalations_;
+        }
       }
     }
     return IterStatus::kIterLimit;
@@ -1092,10 +1661,11 @@ class RevisedSimplex {
   const int m_;   // rows
   const int n_;   // structural + slacks
 
-  std::vector<double> lo_, hi_;   // per internal column
-  std::vector<double> cost_;      // phase-2 objective (slacks zero)
-  std::vector<double> b_;         // row-equilibrated rhs
-  std::vector<double> row_scale_; // 1 / max|coef| per row
+  std::vector<double> lo_, hi_;   // per internal column (scaled)
+  std::vector<double> cost_;      // phase-2 objective (scaled; slacks zero)
+  std::vector<double> b_;         // scaled rhs
+  std::vector<double> row_scale_; // row scale R (geometric mean + equilibrate)
+  std::vector<double> col_scale_; // structural column scale C (powers of two)
   LuFactor lu_;                   // sparse LU + Forrest–Tomlin basis
   std::vector<int> basis_;        // basis_[pos] = column basic at pos
   std::vector<VarStatus> vstat_;  // per internal column
@@ -1137,6 +1707,32 @@ class RevisedSimplex {
   int64_t refactorizations_ = 0;
   double max_drift_ = 0.0;
   double ftran_btran_seconds_ = 0.0;
+
+  // --- Numerical-safeguard state (LpOptions::safeguards). ---
+  double expand_tol_ = kExpandBase;  // EXPAND working tolerance (creeps)
+  // Stall/cycling watchdog.
+  int64_t stall_pivots_ = 0;            // consecutive degenerate pivots
+  uint64_t basis_hash_ = 0;             // XOR of ColHash over the basis
+  std::vector<uint64_t> recent_basis_;  // ring of recent basis hashes
+  int recent_pos_ = 0;
+  bool force_bland_ = false;
+  // Degeneracy perturbation: saved true data while installed.
+  bool bounds_perturbed_ = false;
+  bool cost_perturbed_ = false;
+  int perturb_rounds_ = 0;         // lifetime rounds (caps escalation)
+  int active_perturb_rounds_ = 0;  // rounds currently installed
+  std::vector<double> lo_base_, hi_base_, cost_base_;
+  // Singular-basis repair: set when a slack swap changed the basis,
+  // consumed at the next refactorization's feasibility check.
+  bool basis_repaired_ = false;
+  // Certification scratch (row residual, also the refinement rhs).
+  std::vector<double> resid_;
+  // Safeguard accounting for LpSolveStats.
+  int64_t perturbations_applied_ = 0;
+  int64_t perturbations_removed_ = 0;
+  int64_t bland_escalations_ = 0;
+  int64_t markowitz_escalations_ = 0;
+  int64_t singular_repairs_ = 0;
 };
 
 }  // namespace
@@ -1164,6 +1760,19 @@ SolverCounters SolverCountersSince(const SolverCounters& snapshot) {
   delta.eta_nnz = now.eta_nnz - snapshot.eta_nnz;
   delta.ftran_btran_seconds =
       now.ftran_btran_seconds - snapshot.ftran_btran_seconds;
+  delta.certified_solves = now.certified_solves - snapshot.certified_solves;
+  delta.uncertified_solves =
+      now.uncertified_solves - snapshot.uncertified_solves;
+  delta.refinement_rounds = now.refinement_rounds - snapshot.refinement_rounds;
+  delta.perturbations_applied =
+      now.perturbations_applied - snapshot.perturbations_applied;
+  delta.perturbations_removed =
+      now.perturbations_removed - snapshot.perturbations_removed;
+  delta.bland_escalations = now.bland_escalations - snapshot.bland_escalations;
+  delta.markowitz_escalations =
+      now.markowitz_escalations - snapshot.markowitz_escalations;
+  delta.singular_repairs = now.singular_repairs - snapshot.singular_repairs;
+  delta.cold_restarts = now.cold_restarts - snapshot.cold_restarts;
   return delta;
 }
 
@@ -1171,11 +1780,23 @@ LpSolution SolveLp(const Model& model, const LpOptions& options,
                    const std::vector<double>* var_lower,
                    const std::vector<double>* var_upper,
                    const LpBasis* warm_basis) {
+  if (!model.input_status().ok()) {
+    // A NaN/Inf slipped into the model at build time; refuse to run it
+    // through the factorization rather than propagate the poison.
+    LpSolution bad;
+    bad.status = model.input_status();
+    return bad;
+  }
   const int nv = model.num_variables();
   std::vector<double> lo(nv), hi(nv);
   for (int i = 0; i < nv; ++i) {
     lo[i] = var_lower != nullptr ? (*var_lower)[i] : model.variable(i).lower;
     hi[i] = var_upper != nullptr ? (*var_upper)[i] : model.variable(i).upper;
+    if (std::isnan(lo[i]) || std::isnan(hi[i])) {
+      LpSolution bad;
+      bad.status = Status::InvalidArgument("NaN variable bound override");
+      return bad;
+    }
     if (lo[i] > hi[i]) {
       LpSolution bad;
       bad.status = Status::Infeasible("contradictory variable bounds");
@@ -1194,12 +1815,45 @@ LpSolution SolveLp(const Model& model, const LpOptions& options,
   };
   const auto succeed = [&]() -> LpSolution {
     sol.status = Status::Ok();
+    if (options.safeguards) simplex.Certify(&sol.stats);
     sol.x = simplex.ExtractPrimal();
     sol.objective = model.ObjectiveValue(sol.x);
     sol.basis = simplex.ExportBasis();
     if (options.want_duals) simplex.ExportDuals(&sol.duals, &sol.reduced_costs);
     return finish();
   };
+  // The last rung of the recovery ladder: rebuild from the slack basis
+  // with every escalation artifact cleared (once per solve).
+  const auto cold_restart = [&]() {
+    sol.stats.cold_restarts += 1;
+    counters.cold_restarts += 1;
+    simplex.PrepareColdRestart();
+    simplex.ColdStart();
+  };
+  // Primal phases with safeguard plumbing: a basis repair that broke
+  // feasibility reruns phase 1, and a perturbed optimum is cleaned up
+  // (perturbation out, a few exact pivots) before it counts. Bounded
+  // rounds — each retry either clears a perturbation (at most
+  // kMaxPerturbRounds installs per solve) or follows a repair.
+  const char* phase_tag = "phase 1";
+  const auto run_primal = [&]() -> IterStatus {
+    for (int round = 0; round < 8; ++round) {
+      phase_tag = "phase 1";
+      IterStatus st = simplex.Phase1(&sol.stats);
+      if (st != IterStatus::kOptimal) return st;
+      if (simplex.MaxViolation() > kInfeasTotal) return IterStatus::kStalled;
+      phase_tag = "phase 2";
+      st = simplex.Phase2(&sol.stats);
+      if (st == IterStatus::kFeasibilityLost) continue;
+      if (st == IterStatus::kOptimal && simplex.PerturbationActive()) {
+        simplex.RemovePerturbation();
+        continue;
+      }
+      return st;
+    }
+    return IterStatus::kIterLimit;
+  };
+
   if (warm_basis != nullptr && !warm_basis->empty() &&
       simplex.WarmStart(*warm_basis)) {
     sol.stats.warm_started = true;
@@ -1209,9 +1863,25 @@ LpSolution SolveLp(const Model& model, const LpOptions& options,
     counters.cold_starts += 1;
   }
 
+  bool restarted = false;
   if (options.entry == SimplexEntry::kDual) {
-    const IterStatus dst = simplex.DualSolve(&sol.stats);
-    if (dst == IterStatus::kOptimal &&
+    IterStatus dst = simplex.DualSolve(&sol.stats);
+    // A perturbed dual optimum is not a verdict: take the costs back
+    // out and let the dual loop make the exact cleanup pivots.
+    for (int cleanup = 0;
+         dst == IterStatus::kOptimal && simplex.PerturbationActive() &&
+         cleanup < 4;
+         ++cleanup) {
+      simplex.RemovePerturbation();
+      dst = simplex.DualSolve(&sol.stats);
+    }
+    if (dst == IterStatus::kNumericalFailure && options.safeguards &&
+        !restarted) {
+      restarted = true;
+      cold_restart();
+      dst = IterStatus::kNotDualFeasible;  // fall through to the primal path
+    }
+    if (dst == IterStatus::kOptimal && !simplex.PerturbationActive() &&
         simplex.MaxViolation() <= kInfeasTotal) {
       sol.stats.dual_entered = true;
       return succeed();
@@ -1226,35 +1896,31 @@ LpSolution SolveLp(const Model& model, const LpOptions& options,
       return finish();
     }
     // kNotDualFeasible or kIterLimit (or a feasibility check the dual
-    // optimum failed): the basis is still valid — fall back to the
-    // primal phases from right here.
+    // optimum failed, or a perturbation that would not clean up): fall
+    // back to the primal phases from the current basis, with any
+    // leftover perturbation removed so the verdict is exact.
+    if (simplex.PerturbationActive()) simplex.RemovePerturbation();
   }
 
-  IterStatus st = simplex.Phase1(&sol.stats);
+  IterStatus st = run_primal();
+  if (st == IterStatus::kNumericalFailure && options.safeguards &&
+      !restarted) {
+    restarted = true;
+    cold_restart();
+    st = run_primal();
+  }
   if (st == IterStatus::kStalled) {
     sol.status = Status::Infeasible("phase-1 optimum positive");
     return finish();
   }
   if (st == IterStatus::kIterLimit) {
-    sol.status = Status::Internal("simplex iteration limit (phase 1)");
+    sol.status = Status::Internal(std::string("simplex iteration limit (") +
+                                  phase_tag + ")");
     return finish();
   }
   if (st == IterStatus::kNumericalFailure) {
-    sol.status = Status::Internal("basis factorization failed (phase 1)");
-    return finish();
-  }
-  if (simplex.MaxViolation() > kInfeasTotal) {
-    sol.status = Status::Infeasible("phase-1 optimum positive");
-    return finish();
-  }
-
-  st = simplex.Phase2(&sol.stats);
-  if (st == IterStatus::kIterLimit) {
-    sol.status = Status::Internal("simplex iteration limit (phase 2)");
-    return finish();
-  }
-  if (st == IterStatus::kNumericalFailure) {
-    sol.status = Status::Internal("basis factorization failed (phase 2)");
+    sol.status = Status::Internal(std::string("basis factorization failed (") +
+                                  phase_tag + ")");
     return finish();
   }
   if (st == IterStatus::kUnbounded) {

@@ -83,6 +83,19 @@ enum class SimplexEntry : int8_t {
   kDual = 1,
 };
 
+/// How the constraint matrix is conditioned before the solve. Scaling
+/// is deterministic from the model alone, so re-imported bases see the
+/// same scaled problem on every solve.
+enum class LpScaling : int8_t {
+  /// Rows divided by their largest |coefficient| (the legacy behavior).
+  kRowEquilibrate = 0,
+  /// Geometric-mean column scaling (factors snapped to powers of two,
+  /// so applying and undoing them is exact) composed with the row
+  /// equilibration. The default: wide-dynamic-range columns stop
+  /// dictating pivot tolerances for everyone else.
+  kGeometricMean = 1,
+};
+
 /// Knobs for one SolveLp call.
 struct LpOptions {
   Pricing pricing = Pricing::kDevex;
@@ -91,6 +104,18 @@ struct LpOptions {
   /// extra BTRAN + pricing pass; node LPs that never read them pass
   /// false).
   bool want_duals = true;
+  LpScaling scaling = LpScaling::kGeometricMean;
+  /// Master switch for the numerical self-defense layer: the
+  /// stall/cycling watchdog, degeneracy perturbation, the recovery
+  /// ladder (Bland / Markowitz-threshold / slack-repair / cold
+  /// restart), and solution certification with iterative refinement.
+  /// Off is the ablation baseline the safeguard-overhead CI gate
+  /// compares against.
+  bool safeguards = true;
+  /// Degenerate pivots in a row before the watchdog declares a stall
+  /// and escalates (perturb, then Bland). <= 0 picks an adaptive
+  /// default; tests pin tiny values to exercise the ladder.
+  int64_t stall_pivot_limit = 0;
 };
 
 /// Per-solve work counters.
@@ -109,6 +134,22 @@ struct LpSolveStats {
   int64_t lu_fill_nnz = 0;       ///< L+U fill-in at the last factorization
   double max_drift = 0.0;        ///< worst basic-value drift caught at a refresh
   double ftran_btran_seconds = 0.0;  ///< wall time inside FTRAN/BTRAN solves
+  // Numerical-safeguard accounting (LpOptions::safeguards).
+  /// The independent unscaled verification pass (primal/dual
+  /// feasibility, complementarity, objective match) accepted the
+  /// solution. Only ever true on an Ok status with safeguards on;
+  /// branch-and-bound refuses to prune on uncertified bounds.
+  bool certified = false;
+  double primal_residual = 0.0;  ///< worst relative row/bound violation, unscaled
+  double dual_residual = 0.0;    ///< worst relative reduced-cost sign violation
+  double objective_gap = 0.0;    ///< relative primal-vs-dual objective mismatch
+  int64_t refinement_rounds = 0; ///< residual-FTRAN refinement passes applied
+  int64_t perturbations_applied = 0;  ///< degeneracy perturbations installed
+  int64_t perturbations_removed = 0;  ///< ... removed before the final verdict
+  int64_t bland_escalations = 0;      ///< watchdog forced Bland's rule
+  int64_t markowitz_escalations = 0;  ///< LU pivot threshold raised (0.1->0.5->0.99)
+  int64_t singular_repairs = 0;       ///< dependent basic columns replaced by slacks
+  int64_t cold_restarts = 0;          ///< solve restarted from the slack basis
 };
 
 /// Result of an LP solve.
@@ -143,6 +184,16 @@ struct SolverCounters {
   int64_t ft_updates = 0;      ///< Forrest–Tomlin basis updates applied
   int64_t eta_nnz = 0;         ///< update fill appended (spike + row etas)
   double ftran_btran_seconds = 0.0;  ///< wall time inside FTRAN/BTRAN
+  // Numerical-safeguard totals (see the LpSolveStats counterparts).
+  int64_t certified_solves = 0;    ///< Ok solves that passed certification
+  int64_t uncertified_solves = 0;  ///< Ok solves that failed it
+  int64_t refinement_rounds = 0;
+  int64_t perturbations_applied = 0;
+  int64_t perturbations_removed = 0;
+  int64_t bland_escalations = 0;
+  int64_t markowitz_escalations = 0;
+  int64_t singular_repairs = 0;
+  int64_t cold_restarts = 0;
 };
 SolverCounters& GlobalSolverCounters();
 void ResetSolverCounters();

@@ -305,5 +305,136 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Range(0, 4)),
     ComboName);
 
+// --- Pathological corpus -------------------------------------------------
+//
+// Hand-built adversarial instances crossed over the same pricing x
+// entry matrix: the classic cycling examples (Beale; Kuhn's degenerate
+// origin), a 1e-8..1e8 dynamic-range instance, near-parallel duplicated
+// rows, and a singular warm-basis import. Every combination must come
+// back Ok, *certified* (the safeguards' independent unscaled
+// verification pass), primal feasible, and at the known optimum (or the
+// dense oracle's, where the optimum is checked differentially).
+
+LpOptions ComboOptions(int combo) {
+  LpOptions options;
+  options.pricing = (combo & 1) != 0 ? Pricing::kDevex : Pricing::kDantzig;
+  options.entry =
+      (combo & 2) != 0 ? SimplexEntry::kDual : SimplexEntry::kPrimal;
+  return options;
+}
+
+class PathologicalLpTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PathologicalLpTest, BealeCyclingExampleCertifiesAtKnownOptimum) {
+  // Beale (1955): the textbook simplex with Dantzig pricing and a
+  // naive ratio test cycles forever at the degenerate origin. Optimum
+  // -1/20 at x = (1/25, 0, 1, 0).
+  Model m;
+  const VarId x1 = m.AddVariable(0, kInfinity, -0.75, false);
+  const VarId x2 = m.AddVariable(0, kInfinity, 150.0, false);
+  const VarId x3 = m.AddVariable(0, kInfinity, -0.02, false);
+  const VarId x4 = m.AddVariable(0, kInfinity, 6.0, false);
+  m.AddRow({{{x1, 0.25}, {x2, -60.0}, {x3, -0.04}, {x4, 9.0}},
+            Sense::kLe, 0.0, ""});
+  m.AddRow({{{x1, 0.5}, {x2, -90.0}, {x3, -0.02}, {x4, 3.0}},
+            Sense::kLe, 0.0, ""});
+  m.AddRow({{{x3, 1.0}}, Sense::kLe, 1.0, ""});
+  const LpSolution s = SolveLp(m, ComboOptions(GetParam()));
+  ASSERT_TRUE(s.status.ok()) << s.status.ToString();
+  EXPECT_TRUE(s.stats.certified);
+  EXPECT_TRUE(LpFeasible(m, s.x));
+  EXPECT_NEAR(s.objective, -0.05, 1e-7);
+}
+
+TEST_P(PathologicalLpTest, KuhnDegenerateOriginMatchesOracle) {
+  // Kuhn's cycling example, boxed to keep it bounded: both rows pass
+  // through the origin, so the starting vertex is maximally degenerate
+  // and every early ratio test ties at zero.
+  Model m;
+  const VarId x1 = m.AddVariable(0, 1, -2.0, false);
+  const VarId x2 = m.AddVariable(0, 1, -3.0, false);
+  const VarId x3 = m.AddVariable(0, 1, 1.0, false);
+  const VarId x4 = m.AddVariable(0, 1, 12.0, false);
+  m.AddRow({{{x1, -2.0}, {x2, -9.0}, {x3, 1.0}, {x4, 9.0}},
+            Sense::kLe, 0.0, ""});
+  m.AddRow({{{x1, 1.0 / 3.0}, {x2, 1.0}, {x3, -1.0 / 3.0}, {x4, -2.0}},
+            Sense::kLe, 0.0, ""});
+  const LpSolution s = SolveLp(m, ComboOptions(GetParam()));
+  ASSERT_TRUE(s.status.ok()) << s.status.ToString();
+  EXPECT_TRUE(s.stats.certified);
+  EXPECT_TRUE(LpFeasible(m, s.x));
+  const LpSolution dense = SolveLpDense(m);
+  ASSERT_TRUE(dense.status.ok()) << dense.status.ToString();
+  EXPECT_NEAR(s.objective, dense.objective,
+              1e-6 + 1e-6 * std::abs(dense.objective));
+}
+
+TEST_P(PathologicalLpTest, WideDynamicRangeCertifies) {
+  // Coefficients spanning 1e-8..1e8 in one instance — the scaling
+  // stack's acceptance case. Optimum by construction: a = 1 (the 1e8
+  // row binds, forcing c = 0), b = 0.5 (the 1e-8 row binds), so the
+  // objective is -(1e8 + 0.5) exactly.
+  Model m;
+  const VarId a = m.AddVariable(0, 1, -1e8, false);
+  const VarId b = m.AddVariable(0, 1, -1.0, false);
+  const VarId c = m.AddVariable(0, 1, -1e-8, false);
+  m.AddRow({{{a, 1e8}, {c, 1e-8}}, Sense::kLe, 1e8, ""});
+  m.AddRow({{{b, 1e-8}}, Sense::kLe, 0.5e-8, ""});
+  const LpSolution s = SolveLp(m, ComboOptions(GetParam()));
+  ASSERT_TRUE(s.status.ok()) << s.status.ToString();
+  EXPECT_TRUE(s.stats.certified);
+  EXPECT_TRUE(LpFeasible(m, s.x));
+  EXPECT_NEAR(s.objective, -(1e8 + 0.5), 1e-6 * 1e8);
+  EXPECT_NEAR(s.x[b], 0.5, 1e-6);
+}
+
+TEST_P(PathologicalLpTest, NearParallelDuplicatedRowsCertify) {
+  // Three almost-identical planes (1e-9 apart) through the optimal
+  // face: the basis matrix is nearly singular whenever two of them are
+  // basic together. The exact optimum is still -1, at (1, 0).
+  Model m;
+  const VarId x = m.AddVariable(0, 1, -1.0, false);
+  const VarId y = m.AddVariable(0, 1, -1.0, false);
+  m.AddRow({{{x, 1.0}, {y, 1.0}}, Sense::kLe, 1.0, ""});
+  m.AddRow({{{x, 1.0}, {y, 1.0 + 1e-9}}, Sense::kLe, 1.0, ""});
+  m.AddRow({{{x, 1.0 - 1e-9}, {y, 1.0}}, Sense::kLe, 1.0, ""});
+  const LpSolution s = SolveLp(m, ComboOptions(GetParam()));
+  ASSERT_TRUE(s.status.ok()) << s.status.ToString();
+  EXPECT_TRUE(s.stats.certified);
+  EXPECT_TRUE(LpFeasible(m, s.x));
+  EXPECT_NEAR(s.objective, -1.0, 1e-6);
+}
+
+TEST_P(PathologicalLpTest, SingularWarmImportRecoversOnEveryCombination) {
+  // A hand-forged import whose basic columns are exact duplicates: the
+  // recovery ladder (Markowitz escalation, then slack substitution)
+  // must absorb it on every pricing x entry combination and still land
+  // certified on the true optimum.
+  Model m;
+  const VarId x = m.AddVariable(0, 3, -1.0, false);
+  const VarId y = m.AddVariable(0, 3, -1.0, false);
+  m.AddRow({{{x, 1.0}, {y, 1.0}}, Sense::kLe, 4.0, ""});
+  m.AddRow({{{x, 1.0}, {y, 1.0}}, Sense::kLe, 4.0, ""});
+  LpBasis sick;
+  sick.variables = {VarStatus::kBasic, VarStatus::kBasic};
+  sick.slacks = {VarStatus::kAtLower, VarStatus::kAtLower};
+  const LpSolution s =
+      SolveLp(m, ComboOptions(GetParam()), nullptr, nullptr, &sick);
+  ASSERT_TRUE(s.status.ok()) << s.status.ToString();
+  EXPECT_GE(s.stats.singular_repairs, 1);
+  EXPECT_TRUE(s.stats.certified);
+  EXPECT_TRUE(LpFeasible(m, s.x));
+  EXPECT_NEAR(s.objective, -4.0, 1e-6);
+}
+
+std::string PathologyComboName(const ::testing::TestParamInfo<int>& info) {
+  static const char* kCombo[] = {"DantzigPrimal", "DevexPrimal",
+                                 "DantzigDual", "DevexDual"};
+  return kCombo[info.param];
+}
+
+INSTANTIATE_TEST_SUITE_P(PricingEntryMatrix, PathologicalLpTest,
+                         ::testing::Range(0, 4), PathologyComboName);
+
 }  // namespace
 }  // namespace cophy::lp

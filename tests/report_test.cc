@@ -191,6 +191,52 @@ TEST_F(ReportTest, SolverActivityRendersDualAndForrestTomlinCounters) {
   EXPECT_EQ(RenderSolverActivity(activity).find("Devex:"), std::string::npos);
 }
 
+TEST_F(ReportTest, SolverActivityRendersNumericalSafetyLine) {
+  SolverActivity activity;
+  activity.lp = lp::SolverCounters{};
+  activity.lp.lp_solves = 12;
+  activity.lp.certified_solves = 11;
+  activity.lp.uncertified_solves = 1;
+  activity.lp.refinement_rounds = 3;
+  activity.lp.perturbations_applied = 2;
+  activity.lp.perturbations_removed = 2;
+  activity.lp.bland_escalations = 1;
+  activity.lp.markowitz_escalations = 4;
+  activity.lp.singular_repairs = 1;
+  activity.lp.cold_restarts = 1;
+  const std::string text = RenderSolverActivity(activity);
+  EXPECT_NE(text.find("Numerical safety: 11/12 solves certified"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("3 refinement rounds"), std::string::npos) << text;
+  EXPECT_NE(text.find("perturbations 2 applied / 2 removed"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("1 Bland, 4 Markowitz, 1 singular repairs, "
+                      "1 cold restarts"),
+            std::string::npos)
+      << text;
+  // Hand-built activities that never ran the certification pass (both
+  // counters zero) don't grow the line.
+  SolverActivity plain;
+  plain.lp = lp::SolverCounters{};
+  plain.lp.lp_solves = 3;
+  EXPECT_EQ(RenderSolverActivity(plain).find("Numerical safety"),
+            std::string::npos);
+}
+
+TEST_F(ReportTest, TuningRunReportsCertifiedSolves) {
+  // The end-to-end story: the tuning run in SetUp solved real LPs with
+  // safeguards on, so the captured global counters render the line with
+  // a nonzero certified count.
+  SolverActivity activity;
+  activity.lp = lp::GlobalSolverCounters();
+  ASSERT_GT(activity.lp.certified_solves, 0);
+  const std::string text = RenderSolverActivity(activity);
+  EXPECT_NE(text.find("Numerical safety:"), std::string::npos) << text;
+  EXPECT_NE(text.find("solves certified"), std::string::npos) << text;
+}
+
 TEST_F(ReportTest, RenderedReportMentionsKeyFacts) {
   const TuningReport report = AnalyzeRecommendation(advisor_->inum(), rec_);
   const std::string text = RenderTuningReport(report, advisor_->inum(), 5);

@@ -469,6 +469,203 @@ TEST(SimplexTest, UnusableBasisFallsBackToColdStart) {
   EXPECT_NEAR(s.x[x], 2.0, 1e-7);
 }
 
+// --- Input validation: NaN/Inf never reach the factorization -------------
+
+TEST(ModelValidationTest, NanVariableBoundLatchesInvalidArgument) {
+  Model m;
+  m.AddVariable(std::numeric_limits<double>::quiet_NaN(), 1.0, 0.0, false);
+  EXPECT_EQ(m.input_status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(SolveLp(m).status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ModelValidationTest, NonFiniteObjectiveCoefficientLatches) {
+  Model m;
+  m.AddVariable(0.0, 1.0, std::numeric_limits<double>::infinity(), false);
+  EXPECT_EQ(m.input_status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(SolveLp(m).status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ModelValidationTest, SetVariableBoundsRejectsNanAndKeepsOldBounds) {
+  Model m;
+  const VarId x = m.AddVariable(1.0, 2.0, 0.0, false);
+  m.SetVariableBounds(x, std::numeric_limits<double>::quiet_NaN(), 3.0);
+  EXPECT_EQ(m.input_status().code(), StatusCode::kInvalidArgument);
+  EXPECT_DOUBLE_EQ(m.variable(x).lower, 1.0);  // unchanged
+  EXPECT_DOUBLE_EQ(m.variable(x).upper, 2.0);
+}
+
+TEST(ModelValidationTest, SetVariableBoundsRejectsCrossedBounds) {
+  Model m;
+  const VarId x = m.AddVariable(0.0, 1.0, 0.0, false);
+  m.SetVariableBounds(x, 2.0, 1.0);
+  EXPECT_EQ(m.input_status().code(), StatusCode::kInvalidArgument);
+  EXPECT_DOUBLE_EQ(m.variable(x).upper, 1.0);
+}
+
+TEST(ModelValidationTest, NonFiniteRowRhsLatches) {
+  Model m;
+  const VarId x = m.AddVariable(0.0, 1.0, -1.0, false);
+  m.BeginRow(Sense::kLe, std::numeric_limits<double>::infinity());
+  m.AddTerm(x, 1.0);
+  m.EndRow();
+  EXPECT_EQ(m.input_status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(SolveLp(m).status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ModelValidationTest, NonFiniteRowCoefficientLatchesAndIsDropped) {
+  Model m;
+  const VarId x = m.AddVariable(0.0, 1.0, -1.0, false);
+  m.BeginRow(Sense::kLe, 1.0);
+  m.AddTerm(x, std::numeric_limits<double>::quiet_NaN());
+  m.EndRow();
+  EXPECT_EQ(m.num_nonzeros(), 0);  // the poisoned term never lands
+  EXPECT_EQ(m.input_status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(SolveLp(m).status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ModelValidationTest, FirstLatchedErrorWins) {
+  Model m;
+  m.AddVariable(std::numeric_limits<double>::quiet_NaN(), 1.0, 0.0, false);
+  m.BeginRow(Sense::kLe, std::numeric_limits<double>::infinity());
+  m.EndRow();
+  EXPECT_NE(m.input_status().ToString().find("NaN variable bound"),
+            std::string::npos)
+      << m.input_status().ToString();
+}
+
+TEST(ModelValidationTest, NanBoundOverrideRejectedBySolve) {
+  Model m;
+  const VarId x = m.AddVariable(0.0, 1.0, -1.0, false);
+  m.AddRow({{{x, 1.0}}, Sense::kLe, 1.0, ""});
+  ASSERT_TRUE(m.input_status().ok());
+  std::vector<double> lo{std::numeric_limits<double>::quiet_NaN()}, hi{1.0};
+  EXPECT_EQ(SolveLp(m, &lo, &hi).status.code(),
+            StatusCode::kInvalidArgument);
+  std::vector<double> lo2{0.0},
+      hi2{std::numeric_limits<double>::quiet_NaN()};
+  EXPECT_EQ(SolveLp(m, &lo2, &hi2).status.code(),
+            StatusCode::kInvalidArgument);
+}
+
+// --- Numerical safeguards: certification and the recovery ladder --------
+
+TEST(SimplexTest, SolutionsCertifyWithSafeguardsOn) {
+  Model m;
+  const VarId x = m.AddVariable(0, 3, -1.0, false);
+  const VarId y = m.AddVariable(0, 2, -2.0, false);
+  m.AddRow({{{x, 1.0}, {y, 1.0}}, Sense::kLe, 4.0, ""});
+  const LpSolution s = SolveLp(m);
+  ASSERT_TRUE(s.status.ok());
+  EXPECT_TRUE(s.stats.certified);
+  EXPECT_LE(s.stats.primal_residual, 1e-6);
+  EXPECT_LE(s.stats.dual_residual, 1e-6);
+  EXPECT_LE(s.stats.objective_gap, 1e-6);
+
+  // The ablation baseline never claims certification.
+  LpOptions off;
+  off.safeguards = false;
+  const LpSolution raw = SolveLp(m, off);
+  ASSERT_TRUE(raw.status.ok());
+  EXPECT_FALSE(raw.stats.certified);
+  EXPECT_NEAR(raw.objective, s.objective, 1e-9);
+}
+
+TEST(SimplexTest, ScalingModesAgreeOnTheOptimum) {
+  // Wide dynamic range: a 1e9-scale storage row against unit linking
+  // rows. Geometric-mean column scaling and the legacy row
+  // equilibration must land on the same (unscaled) optimum, duals
+  // included.
+  Model m;
+  const VarId a = m.AddBinary(-10);
+  const VarId b = m.AddBinary(-6);
+  const VarId z = m.AddBinary(1);
+  m.AddRow({{{a, 2e9}, {b, 3e9}}, Sense::kLe, 4e9, ""});
+  m.AddRow({{{z, 1.0}, {a, -1.0}}, Sense::kGe, 0.0, ""});
+  LpOptions geo;
+  geo.scaling = LpScaling::kGeometricMean;
+  LpOptions rows;
+  rows.scaling = LpScaling::kRowEquilibrate;
+  const LpSolution sg = SolveLp(m, geo);
+  const LpSolution sr = SolveLp(m, rows);
+  ASSERT_TRUE(sg.status.ok());
+  ASSERT_TRUE(sr.status.ok());
+  EXPECT_NEAR(sg.objective, -13.0, 1e-6);
+  EXPECT_NEAR(sr.objective, -13.0, 1e-6);
+  ASSERT_EQ(sg.duals.size(), sr.duals.size());
+  for (size_t r = 0; r < sg.duals.size(); ++r) {
+    EXPECT_NEAR(sg.duals[r], sr.duals[r], 1e-9 + 1e-6 * std::abs(sr.duals[r]))
+        << "row " << r;
+  }
+}
+
+TEST(SimplexTest, SingularWarmImportRepairedThroughSlackSubstitution) {
+  // Two structural columns that are exact copies (duplicated rows), both
+  // marked basic: the imported basis matrix is singular. The recovery
+  // ladder must raise the Markowitz threshold, then swap the dependent
+  // column for an uncovered row's slack — and still reach the certified
+  // optimum instead of falling back to a cold start.
+  Model m;
+  const VarId x = m.AddVariable(0, 3, -1.0, false);
+  const VarId y = m.AddVariable(0, 3, -1.0, false);
+  m.AddRow({{{x, 1.0}, {y, 1.0}}, Sense::kLe, 4.0, ""});
+  m.AddRow({{{x, 1.0}, {y, 1.0}}, Sense::kLe, 4.0, ""});
+  LpBasis sick;
+  sick.variables = {VarStatus::kBasic, VarStatus::kBasic};
+  sick.slacks = {VarStatus::kAtLower, VarStatus::kAtLower};
+  const LpSolution s = SolveLp(m, nullptr, nullptr, &sick);
+  ASSERT_TRUE(s.status.ok()) << s.status.ToString();
+  EXPECT_TRUE(s.stats.warm_started);  // repaired, not rejected
+  EXPECT_GE(s.stats.markowitz_escalations, 1);
+  EXPECT_GE(s.stats.singular_repairs, 1);
+  EXPECT_TRUE(s.stats.certified);
+  EXPECT_NEAR(s.objective, -4.0, 1e-6);
+}
+
+TEST(SimplexTest, StallWatchdogPerturbsThenCleansUp) {
+  // The only improving column is blocked by slacks already at zero
+  // (y <= x rows with x = 0), so the first pivots are forced to be
+  // degenerate. With the watchdog hair-triggered, the solve must
+  // install a bound perturbation, finish, remove it again, and still
+  // certify the exact optimum.
+  Model m;
+  const VarId x = m.AddVariable(0, 2, 0.0, false);
+  const VarId y = m.AddVariable(0, 2, -1.0, false);
+  m.AddRow({{{x, 1.0}, {y, 1.0}}, Sense::kLe, 1.0, ""});
+  m.AddRow({{{x, -1.0}, {y, 1.0}}, Sense::kLe, 0.0, ""});
+  m.AddRow({{{x, -1.0}, {y, 1.0}}, Sense::kLe, 0.0, ""});
+  LpOptions options;
+  options.stall_pivot_limit = 1;  // first degenerate pivot escalates
+  const LpSolution s = SolveLp(m, options);
+  ASSERT_TRUE(s.status.ok());
+  EXPECT_NEAR(s.objective, -0.5, 1e-7);
+  EXPECT_GE(s.stats.perturbations_applied, 1);
+  // Every installed round came back out before the verdict.
+  EXPECT_EQ(s.stats.perturbations_applied, s.stats.perturbations_removed);
+  EXPECT_TRUE(s.stats.certified);
+  // And the exported point is exact, not perturbed.
+  EXPECT_TRUE(LpFeasible(m, s.x, 1e-9));
+}
+
+TEST(SimplexTest, SafeguardCountersReachTheGlobalTotals) {
+  Model m;
+  const VarId x = m.AddVariable(0, 3, -1.0, false);
+  const VarId y = m.AddVariable(0, 3, -1.0, false);
+  m.AddRow({{{x, 1.0}, {y, 1.0}}, Sense::kLe, 4.0, ""});
+  m.AddRow({{{x, 1.0}, {y, 1.0}}, Sense::kLe, 4.0, ""});
+  LpBasis sick;
+  sick.variables = {VarStatus::kBasic, VarStatus::kBasic};
+  sick.slacks = {VarStatus::kAtLower, VarStatus::kAtLower};
+  const SolverCounters before = GlobalSolverCounters();
+  const LpSolution s = SolveLp(m, nullptr, nullptr, &sick);
+  ASSERT_TRUE(s.status.ok());
+  const SolverCounters delta = SolverCountersSince(before);
+  EXPECT_EQ(delta.certified_solves + delta.uncertified_solves, 1);
+  EXPECT_EQ(delta.singular_repairs, s.stats.singular_repairs);
+  EXPECT_EQ(delta.markowitz_escalations, s.stats.markowitz_escalations);
+  EXPECT_EQ(delta.perturbations_applied, s.stats.perturbations_applied);
+  EXPECT_EQ(delta.perturbations_removed, s.stats.perturbations_removed);
+}
+
 // --- Sparse LU basis factorization ---------------------------------------
 
 /// Builds the CSC arrays of a dense column-major matrix (zeros skipped).
