@@ -34,7 +34,8 @@ int main(int argc, char** argv) {
   const char* json_path = argc > 1 ? argv[1] : "bench_ablation.json";
 
   Title("Ablation 1: root bounds on a tight budget (hom workload, M=0.25)");
-  std::string json;
+  BenchJson json("bench_ablation");
+  json.Context("statements", n).Context("time_limit_seconds", time_limit);
   {
     struct Config {
       const char* name;
@@ -68,37 +69,20 @@ int main(int argc, char** argv) {
            {"proof10_s", Fmt("%.2f", proof10_seconds)},
            {"fixed", std::to_string(rec.variables_fixed)},
            {"objective", Fmt("%.4g", rec.objective)}});
-      char buf[512];
-      std::snprintf(
-          buf, sizeof(buf),
-          "    {\"name\": \"ablation1/%s\", \"config\": \"%s\", "
-          "\"statements\": %d, \"solve_seconds\": %.3f, "
-          "\"proven_gap_pct\": %.3f, \"root_gap_pct\": %.3f, "
-          "\"proof10_seconds\": %.3f, \"variables_fixed\": %lld, "
-          "\"presolve_plans_removed\": %lld, "
-          "\"presolve_indexes_removed\": %lld, \"objective\": %.6f},\n",
-          c.name, c.name, n, rec.timings.solve_seconds, 100 * rec.gap,
-          root_gap, proof10_seconds,
-          static_cast<long long>(rec.variables_fixed),
-          static_cast<long long>(rec.presolve.PlansRemoved()),
-          static_cast<long long>(rec.presolve.IndexesRemoved()),
-          rec.objective);
-      json += buf;
+      json.BeginRow(std::string("ablation1/") + c.name)
+          .Metric("config", c.name)
+          .Metric("statements", n)
+          .Metric("solve_seconds", rec.timings.solve_seconds)
+          .Metric("proven_gap_pct", 100 * rec.gap)
+          .Metric("root_gap_pct", root_gap)
+          .Metric("proof10_seconds", proof10_seconds)
+          .Metric("variables_fixed", rec.variables_fixed)
+          .Metric("presolve_plans_removed", rec.presolve.PlansRemoved())
+          .Metric("presolve_indexes_removed", rec.presolve.IndexesRemoved())
+          .Metric("objective", rec.objective);
     }
   }
-  if (!json.empty()) {
-    json.erase(json.size() - 2, 1);  // drop the trailing comma
-    std::FILE* f = std::fopen(json_path, "w");
-    if (f != nullptr) {
-      std::fprintf(f,
-                   "{\n  \"context\": {\"benchmark\": \"bench_ablation\", "
-                   "\"statements\": %d, \"time_limit_seconds\": %.0f},\n"
-                   "  \"benchmarks\": [\n%s  ]\n}\n",
-                   n, time_limit, json.c_str());
-      std::fclose(f);
-      std::printf("wrote %s\n", json_path);
-    }
-  }
+  json.Write(json_path);
 
   Title("Ablation 2: warm starts for retuning");
   {

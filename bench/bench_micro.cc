@@ -195,7 +195,7 @@ void ReportLpCounters(benchmark::State& state, const lp::SolverCounters& c) {
 
 void BM_LpSolveRevisedSimplex(benchmark::State& state) {
   BipLpEnv& e = GetLpEnv();
-  const lp::SolverCounters before = lp::GlobalSolverCounters();
+  const lp::SolverCounters before = lp::SolverCountersSnapshot();
   for (auto _ : state) {
     const lp::LpSolution s = lp::SolveLp(e.model);
     if (!s.status.ok()) state.SkipWithError("LP solve failed");
@@ -212,7 +212,7 @@ BENCHMARK(BM_LpSolveRevisedSimplex)->Unit(benchmark::kMillisecond);
 // <= Dantzig on both pivots and wall time.
 void BM_LpSolveRevisedDantzig(benchmark::State& state) {
   BipLpEnv& e = GetLpEnv();
-  const lp::SolverCounters before = lp::GlobalSolverCounters();
+  const lp::SolverCounters before = lp::SolverCountersSnapshot();
   lp::LpOptions options;
   options.pricing = lp::Pricing::kDantzig;
   for (auto _ : state) {
@@ -248,7 +248,7 @@ BENCHMARK(BM_LpSolveDenseTableau)->Unit(benchmark::kMillisecond);
 // from scratch every time.
 void BM_MipNodesWarmStarted(benchmark::State& state) {
   BipLpEnv& e = GetLpEnv();
-  const lp::SolverCounters before = lp::GlobalSolverCounters();
+  const lp::SolverCounters before = lp::SolverCountersSnapshot();
   int64_t nodes = 0;
   int64_t dual_node_p1 = 0;
   for (auto _ : state) {
@@ -273,7 +273,7 @@ BENCHMARK(BM_MipNodesWarmStarted)->Unit(benchmark::kMillisecond);
 // between this and BM_MipNodesWarmStarted.
 void BM_MipNodesPrimalEntry(benchmark::State& state) {
   BipLpEnv& e = GetLpEnv();
-  const lp::SolverCounters before = lp::GlobalSolverCounters();
+  const lp::SolverCounters before = lp::SolverCountersSnapshot();
   int64_t nodes = 0;
   for (auto _ : state) {
     lp::MipOptions mo;
@@ -296,7 +296,7 @@ BENCHMARK(BM_MipNodesPrimalEntry)->Unit(benchmark::kMillisecond);
 // this is the safeguard-overhead story; CI gates the ratio at 1.10x.
 void BM_MipNodesNoSafeguards(benchmark::State& state) {
   BipLpEnv& e = GetLpEnv();
-  const lp::SolverCounters before = lp::GlobalSolverCounters();
+  const lp::SolverCounters before = lp::SolverCountersSnapshot();
   int64_t nodes = 0;
   for (auto _ : state) {
     lp::MipOptions mo;
@@ -315,7 +315,7 @@ BENCHMARK(BM_MipNodesNoSafeguards)->Unit(benchmark::kMillisecond);
 
 void BM_MipNodesColdStarted(benchmark::State& state) {
   BipLpEnv& e = GetLpEnv();
-  const lp::SolverCounters before = lp::GlobalSolverCounters();
+  const lp::SolverCounters before = lp::SolverCountersSnapshot();
   int64_t nodes = 0;
   for (auto _ : state) {
     lp::MipOptions mo;

@@ -171,45 +171,38 @@ Sample RunSessionDelta(int n, int shards) {
 }
 
 void WriteJson(const char* path, const std::vector<Sample>& samples) {
-  std::FILE* f = std::fopen(path, "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "cannot open %s\n", path);
-    std::exit(1);
+  BenchJson json("bench_scale");
+  for (const Sample& s : samples) {
+    char name[128];
+    std::snprintf(name, sizeof(name), "scale/n=%d/mode=%s/threads=%d",
+                  s.statements, s.mode, s.threads);
+    json.BeginRow(name)
+        .Metric("statements", s.statements)
+        .Metric("mode", s.mode)
+        .Metric("threads", s.threads)
+        .Metric("prepare_seconds", s.prepare_seconds)
+        .Metric("compress_seconds", s.prepare.compression.seconds)
+        .Metric("cgen_seconds", s.prepare.cgen_seconds)
+        .Metric("inum_seconds", s.prepare.inum_seconds)
+        .Metric("build_seconds", s.build_seconds)
+        .Metric("solve_seconds", s.solve_seconds)
+        .Metric("compression_ratio", s.prepare.compression.Ratio())
+        .Metric("compressed_statements", s.prepare.compression.output_statements)
+        .Metric("shared_statements", s.prepare.shared_statements)
+        .Metric("speedup_vs_1thread", s.speedup_vs_1thread)
+        .Metric("objective", s.objective)
+        .Metric("proven_gap_pct", s.proven_gap_pct)
+        .Metric("root_gap_pct", s.root_gap_pct)
+        .Metric("proof10_seconds", s.proof10_seconds)
+        .Metric("variables_fixed", s.variables_fixed)
+        .Metric("shards", s.shards)
+        .Metric("delta_retune_ms", s.delta_retune_ms)
+        .Metric("cold_retune_ms", s.cold_retune_ms)
+        .Metric("delta_speedup", s.delta_retune_ms > 0 && s.cold_retune_ms > 0
+                                     ? s.cold_retune_ms / s.delta_retune_ms
+                                     : -1.0);
   }
-  std::fprintf(f, "{\n  \"context\": {\"benchmark\": \"bench_scale\", "
-                  "\"hardware_threads\": %u},\n  \"benchmarks\": [\n",
-               std::thread::hardware_concurrency());
-  for (size_t i = 0; i < samples.size(); ++i) {
-    const Sample& s = samples[i];
-    std::fprintf(
-        f,
-        "    {\"name\": \"scale/n=%d/mode=%s/threads=%d\", "
-        "\"statements\": %d, \"mode\": \"%s\", \"threads\": %d, "
-        "\"prepare_seconds\": %.6f, \"compress_seconds\": %.6f, "
-        "\"cgen_seconds\": %.6f, \"inum_seconds\": %.6f, "
-        "\"build_seconds\": %.6f, \"solve_seconds\": %.6f, "
-        "\"compression_ratio\": %.3f, \"compressed_statements\": %d, "
-        "\"shared_statements\": %d, \"speedup_vs_1thread\": %.3f, "
-        "\"objective\": %.6f, \"proven_gap_pct\": %.3f, "
-        "\"root_gap_pct\": %.3f, \"proof10_seconds\": %.3f, "
-        "\"variables_fixed\": %lld, \"shards\": %d, "
-        "\"delta_retune_ms\": %.3f, \"cold_retune_ms\": %.3f, "
-        "\"delta_speedup\": %.2f}%s\n",
-        s.statements, s.mode, s.threads, s.statements, s.mode, s.threads,
-        s.prepare_seconds, s.prepare.compression.seconds, s.prepare.cgen_seconds,
-        s.prepare.inum_seconds, s.build_seconds, s.solve_seconds,
-        s.prepare.compression.Ratio(), s.prepare.compression.output_statements,
-        s.prepare.shared_statements, s.speedup_vs_1thread, s.objective,
-        s.proven_gap_pct, s.root_gap_pct, s.proof10_seconds,
-        static_cast<long long>(s.variables_fixed), s.shards, s.delta_retune_ms,
-        s.cold_retune_ms,
-        s.delta_retune_ms > 0 && s.cold_retune_ms > 0
-            ? s.cold_retune_ms / s.delta_retune_ms
-            : -1.0,
-        i + 1 < samples.size() ? "," : "");
-  }
-  std::fprintf(f, "  ]\n}\n");
-  std::fclose(f);
+  if (!json.Write(path)) std::exit(1);
 }
 
 int Main(int argc, char** argv) {
@@ -298,7 +291,6 @@ int Main(int argc, char** argv) {
   }
 
   WriteJson(out_path, samples);
-  std::printf("\nwrote %s (%zu samples)\n", out_path, samples.size());
   return 0;
 }
 

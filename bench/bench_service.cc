@@ -1,0 +1,222 @@
+// Multi-tenant advisor service benchmark: a traffic-replay driver that
+// streams many concurrent tenant sessions (mixed AddStatements /
+// RemoveStatements / Retune churn with a configurable cross-tenant
+// statement-overlap ratio) through AdvisorService and reports
+// throughput, shared-plan-cache hit rates, what-if optimizer calls, and
+// p50/p99 retune latency. Three configurations per run, emitted as rows
+// of bench_service.json (BenchJson envelope) for the CI perf gates:
+//
+//   service/concurrent_cache_on   N-thread executor + shared cache
+//   service/concurrent_cache_off  N-thread executor, no cache
+//   service/serialized_cache_on   1-thread (inline) dispatch baseline
+//
+// Gates (ci.yml): cache_on p99 retune latency under the pinned bound,
+// cache_on what-if calls strictly below cache_off, and concurrent
+// throughput >= 2x the serialized baseline at 8+ tenants.
+//
+//   bench_service [tenants] [threads] [rounds] [overlap_pct] [out.json]
+//
+// Defaults: 8, 0 (hardware), 3, 75, bench_service.json.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "service/service.h"
+
+using namespace cophy;
+using namespace cophy::bench;
+
+namespace {
+
+// Per-tenant traffic shape: the initial batch, then `rounds` rounds of
+// churn (remove the oldest kDelta statements, add kDelta fresh ones,
+// warm Retune).
+constexpr int kInitialStatements = 24;
+constexpr int kDelta = 3;
+
+struct RunResult {
+  int64_t ops = 0;
+  int64_t rejected = 0;
+  double wall_seconds = 0;
+  double throughput_ops_s = 0;
+  std::vector<double> retune_exec_ms;  // execution proper
+  std::vector<double> retune_e2e_ms;   // queue + execution
+  int64_t whatif_calls = 0;
+  PlanCacheStats cache;
+};
+
+double PercentileMs(std::vector<double> v, double p) {
+  if (v.empty()) return -1;
+  std::sort(v.begin(), v.end());
+  const size_t idx = static_cast<size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(v.size())));
+  return v[std::min(v.size() - 1, idx == 0 ? 0 : idx - 1)];
+}
+
+/// Statement i of tenant t. The first `overlap_pct`% of each position's
+/// draws are *shared* — identical (template, seed) across tenants, so
+/// every tenant lands in the same cost-equivalence class and the shared
+/// plan cache can serve all but the first preparation. The rest are
+/// tenant-private.
+Query TenantStatement(const Catalog& cat, int tenant, int i, int overlap_pct) {
+  const bool shared = (i * 37 + 11) % 100 < overlap_pct;
+  const int tmpl = i % NumHomogeneousTemplates();
+  const uint64_t seed =
+      shared ? 1000 + static_cast<uint64_t>(i)
+             : 777'000'000ULL + static_cast<uint64_t>(tenant) * 100'000 + i;
+  return MakeHomogeneousStatement(cat, tmpl, seed);
+}
+
+RunResult RunOnce(int tenants, int threads, int rounds, int overlap_pct,
+                  bool cache_on) {
+  // Fresh environment per configuration: pool, simulator (and so the
+  // what-if counter) and cache all start cold.
+  Env e = Env::Make(0.0, false, /*num_statements=*/1, /*het=*/false);
+  ServiceOptions so;
+  so.num_threads = threads;
+  so.share_plan_cache = cache_on;
+  so.session.tuning = DefaultCoPhyOptions();
+  AdvisorService service(e.system.get(), &e.pool, so);
+  const ConstraintSet budget = e.BudgetConstraint(0.5);
+
+  std::vector<std::string> names;
+  names.reserve(tenants);
+  for (int t = 0; t < tenants; ++t) names.push_back("tenant-" + std::to_string(t));
+
+  RunResult r;
+  std::vector<std::future<OpResult>> futures;
+  std::vector<std::future<OpResult>> retunes;
+
+  Stopwatch wall;
+  // Initial load: every tenant adds its batch and cold-Tunes.
+  for (int t = 0; t < tenants; ++t) {
+    std::vector<Query> batch;
+    for (int i = 0; i < kInitialStatements; ++i) {
+      batch.push_back(TenantStatement(e.catalog, t, i, overlap_pct));
+    }
+    futures.push_back(service.AddStatements(names[t], std::move(batch)));
+    futures.push_back(service.Tune(names[t], budget));
+  }
+  // Churn rounds, interleaved across tenants round-by-round. Session
+  // ids are assigned densely in submission order per tenant (0-based,
+  // never reused), so the remove batches are known without waiting on
+  // the add futures.
+  for (int round = 0; round < rounds; ++round) {
+    for (int t = 0; t < tenants; ++t) {
+      std::vector<QueryId> oldest;
+      std::vector<Query> fresh;
+      for (int d = 0; d < kDelta; ++d) {
+        oldest.push_back(round * kDelta + d);
+        fresh.push_back(TenantStatement(
+            e.catalog, t, kInitialStatements + round * kDelta + d,
+            overlap_pct));
+      }
+      futures.push_back(service.RemoveStatements(names[t], std::move(oldest)));
+      futures.push_back(service.AddStatements(names[t], std::move(fresh)));
+      retunes.push_back(service.Retune(names[t], budget));
+    }
+  }
+  for (auto& f : futures) {
+    const OpResult res = f.get();
+    if (!res.status.ok()) {
+      std::fprintf(stderr, "service op failed: %s\n",
+                   res.status.ToString().c_str());
+      std::exit(1);
+    }
+  }
+  for (auto& f : retunes) {
+    const OpResult res = f.get();
+    if (!res.status.ok()) {
+      std::fprintf(stderr, "retune failed: %s\n",
+                   res.status.ToString().c_str());
+      std::exit(1);
+    }
+    r.retune_exec_ms.push_back(res.exec_seconds * 1e3);
+    r.retune_e2e_ms.push_back((res.queue_seconds + res.exec_seconds) * 1e3);
+  }
+  service.Drain();
+  r.wall_seconds = wall.Elapsed();
+
+  const ServiceStats stats = service.stats();
+  r.ops = stats.completed;
+  r.rejected = stats.rejected;
+  r.throughput_ops_s =
+      r.wall_seconds > 0 ? static_cast<double>(r.ops) / r.wall_seconds : -1;
+  r.whatif_calls = e.system->num_whatif_calls();
+  r.cache = stats.plan_cache;
+  return r;
+}
+
+void AddRow(BenchJson& json, const std::string& name, const RunResult& r,
+            int tenants, int threads, int rounds, int overlap_pct,
+            bool cache_on) {
+  json.BeginRow(name)
+      .Metric("tenants", tenants)
+      .Metric("threads", threads)
+      .Metric("rounds", rounds)
+      .Metric("overlap_pct", overlap_pct)
+      .Metric("cache", cache_on ? "on" : "off")
+      .Metric("ops", r.ops)
+      .Metric("rejected", r.rejected)
+      .Metric("wall_seconds", r.wall_seconds)
+      .Metric("throughput_ops_s", r.throughput_ops_s)
+      .Metric("retunes", static_cast<int64_t>(r.retune_exec_ms.size()))
+      .Metric("retune_p50_ms", PercentileMs(r.retune_exec_ms, 50))
+      .Metric("retune_p99_ms", PercentileMs(r.retune_exec_ms, 99))
+      .Metric("retune_e2e_p99_ms", PercentileMs(r.retune_e2e_ms, 99))
+      .Metric("whatif_calls", r.whatif_calls)
+      .Metric("cache_template_hits", r.cache.template_hits)
+      .Metric("cache_template_misses", r.cache.template_misses)
+      .Metric("cache_gamma_hits", r.cache.gamma_hits)
+      .Metric("cache_gamma_misses", r.cache.gamma_misses)
+      .Metric("cache_hit_rate", r.cache.HitRate());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int tenants = argc > 1 ? std::atoi(argv[1]) : 8;
+  const int threads = argc > 2 ? std::atoi(argv[2]) : 0;
+  const int rounds = argc > 3 ? std::atoi(argv[3]) : 3;
+  const int overlap_pct = argc > 4 ? std::atoi(argv[4]) : 75;
+  const char* out_path = argc > 5 ? argv[5] : "bench_service.json";
+  const int resolved_threads = ResolveThreadCount(threads);
+
+  Title("Multi-tenant service traffic replay");
+  BenchJson json("bench_service");
+  json.Context("tenants", tenants)
+      .Context("threads", resolved_threads)
+      .Context("rounds", rounds)
+      .Context("overlap_pct", overlap_pct);
+
+  struct Config {
+    const char* name;
+    int threads;
+    bool cache;
+  };
+  const Config configs[] = {
+      {"service/concurrent_cache_on", resolved_threads, true},
+      {"service/concurrent_cache_off", resolved_threads, false},
+      {"service/serialized_cache_on", 1, true},
+  };
+  for (const Config& c : configs) {
+    const RunResult r = RunOnce(tenants, c.threads, rounds, overlap_pct,
+                                c.cache);
+    AddRow(json, c.name, r, tenants, c.threads, rounds, overlap_pct, c.cache);
+    Row({{"config", c.name},
+         {"ops", std::to_string(r.ops)},
+         {"throughput_ops_s", Fmt("%.1f", r.throughput_ops_s)},
+         {"retune_p50_ms", Fmt("%.2f", PercentileMs(r.retune_exec_ms, 50))},
+         {"retune_p99_ms", Fmt("%.2f", PercentileMs(r.retune_exec_ms, 99))},
+         {"whatif_calls", std::to_string(r.whatif_calls)},
+         {"cache_hit_rate", Fmt("%.3f", r.cache.HitRate())}});
+  }
+
+  if (!json.Write(out_path)) return 1;
+  return 0;
+}

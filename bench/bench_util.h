@@ -6,10 +6,14 @@
 #define COPHY_BENCH_BENCH_UTIL_H_
 
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <memory>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "optimizer/simulator.h"
@@ -107,6 +111,125 @@ inline std::string Fmt(const char* fmt, double v) {
   std::snprintf(buf, sizeof(buf), fmt, v);
   return buf;
 }
+
+/// The one JSON artifact writer for every bench binary. Emits the
+/// google-benchmark envelope — {"context": {...}, "benchmarks": [...]}
+/// — so bench_service.json / bench_scale.json / bench_ablation.json
+/// parse with the same three lines of CI python as the native
+/// bench_micro.json. The context always carries the bench name, the git
+/// revision (GITHUB_SHA, else COPHY_GIT_REV, else "unknown") and the
+/// hardware thread count; add run configuration with Context() and one
+/// row per measurement with BeginRow() + Metric().
+class BenchJson {
+ public:
+  explicit BenchJson(const std::string& benchmark) {
+    Context("benchmark", benchmark);
+    const char* rev = std::getenv("GITHUB_SHA");
+    if (rev == nullptr) rev = std::getenv("COPHY_GIT_REV");
+    Context("git_rev", rev != nullptr ? rev : "unknown");
+    Context("hardware_threads",
+            static_cast<int64_t>(std::thread::hardware_concurrency()));
+  }
+
+  BenchJson& Context(const std::string& key, const std::string& v) {
+    context_.emplace_back(key, Quote(v));
+    return *this;
+  }
+  BenchJson& Context(const std::string& key, const char* v) {
+    return Context(key, std::string(v));
+  }
+  BenchJson& Context(const std::string& key, double v) {
+    context_.emplace_back(key, Num(v));
+    return *this;
+  }
+  BenchJson& Context(const std::string& key, int64_t v) {
+    context_.emplace_back(key, std::to_string(v));
+    return *this;
+  }
+  BenchJson& Context(const std::string& key, int v) {
+    return Context(key, static_cast<int64_t>(v));
+  }
+
+  /// Starts a new benchmarks[] row; Metric() calls append to it.
+  BenchJson& BeginRow(const std::string& name) {
+    rows_.push_back({name, {}});
+    return *this;
+  }
+  BenchJson& Metric(const std::string& key, const std::string& v) {
+    rows_.back().fields.emplace_back(key, Quote(v));
+    return *this;
+  }
+  BenchJson& Metric(const std::string& key, const char* v) {
+    return Metric(key, std::string(v));
+  }
+  BenchJson& Metric(const std::string& key, double v) {
+    rows_.back().fields.emplace_back(key, Num(v));
+    return *this;
+  }
+  BenchJson& Metric(const std::string& key, int64_t v) {
+    rows_.back().fields.emplace_back(key, std::to_string(v));
+    return *this;
+  }
+  BenchJson& Metric(const std::string& key, int v) {
+    return Metric(key, static_cast<int64_t>(v));
+  }
+
+  /// Writes the artifact (and logs the path). Returns false on I/O
+  /// error so benches can exit nonzero.
+  bool Write(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n  \"context\": {");
+    WriteFields(f, context_);
+    std::fprintf(f, "},\n  \"benchmarks\": [\n");
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      std::fprintf(f, "    {\"name\": %s", Quote(rows_[i].name).c_str());
+      if (!rows_[i].fields.empty()) std::fprintf(f, ", ");
+      WriteFields(f, rows_[i].fields);
+      std::fprintf(f, "}%s\n", i + 1 < rows_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  using Fields = std::vector<std::pair<std::string, std::string>>;
+
+  static void WriteFields(std::FILE* f, const Fields& fields) {
+    for (size_t i = 0; i < fields.size(); ++i) {
+      std::fprintf(f, "%s\"%s\": %s", i > 0 ? ", " : "",
+                   fields[i].first.c_str(), fields[i].second.c_str());
+    }
+  }
+  static std::string Quote(const std::string& s) {
+    std::string out = "\"";
+    for (char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    out += '"';
+    return out;
+  }
+  /// JSON has no inf/nan; the benches' "never happened" sentinel is -1.
+  static std::string Num(double v) {
+    if (!std::isfinite(v)) return "-1";
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+  }
+
+  struct JsonRow {
+    std::string name;
+    Fields fields;
+  };
+  Fields context_;
+  std::vector<JsonRow> rows_;
+};
 
 }  // namespace cophy::bench
 

@@ -5,7 +5,7 @@ namespace cophy {
 AdvisorResult CoPhyAdvisor::Recommend(const ConstraintSet& constraints) {
   AdvisorResult result;
   const int64_t calls_before = whatif_->num_whatif_calls();
-  const lp::SolverCounters lp_before = lp::GlobalSolverCounters();
+  const lp::SolverCounters lp_before = lp::SolverCountersSnapshot();
   Recommendation rec;
   if (options_.prepare.compression.mode == CompressionMode::kLossy) {
     // Sessions reject lossy compression (their class routing is what

@@ -34,7 +34,7 @@ ThreadPool* IlpAdvisor::PresolvePool() {
 AdvisorResult IlpAdvisor::Recommend(const ConstraintSet& constraints) {
   AdvisorResult result;
   const int64_t calls_before = whatif_->num_whatif_calls();
-  const lp::SolverCounters lp_before = lp::GlobalSolverCounters();
+  const lp::SolverCounters lp_before = lp::SolverCountersSnapshot();
   configs_enumerated_ = 0;
 
   // --- Shared preparation stage (same path as CoPhy, as in §5.1),

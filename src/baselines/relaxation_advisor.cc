@@ -22,7 +22,7 @@ AdvisorResult RelaxationAdvisor::Recommend(const ConstraintSet& constraints) {
   AdvisorResult result;
   Stopwatch watch;
   const int64_t calls_before = whatif_->num_whatif_calls();
-  const lp::SolverCounters lp_before = lp::GlobalSolverCounters();
+  const lp::SolverCounters lp_before = lp::SolverCountersSnapshot();
   Rng rng(options_.seed);
 
   const double budget = constraints.storage_budget()

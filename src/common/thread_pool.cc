@@ -59,23 +59,48 @@ void ThreadPool::WorkerLoop() {
   uint64_t seen_generation = 0;
   while (true) {
     Job* job = nullptr;
+    std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [&] {
-        return stop_ || (job_ != nullptr && generation_ != seen_generation);
+        return stop_ || (job_ != nullptr && generation_ != seen_generation) ||
+               !tasks_.empty();
       });
       if (stop_) return;
-      seen_generation = generation_;
-      job = job_;
-      job->in_flight.fetch_add(1, std::memory_order_relaxed);
+      // A published ParallelFor job outranks the Post queue: fork-join
+      // callers are blocked waiting while queued tasks are
+      // fire-and-forget.
+      if (job_ != nullptr && generation_ != seen_generation) {
+        seen_generation = generation_;
+        job = job_;
+        job->in_flight.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        task = std::move(tasks_.front());
+        tasks_.pop_front();
+      }
     }
-    RunJob(*job);
-    {
+    if (job != nullptr) {
+      RunJob(*job);
       std::lock_guard<std::mutex> lock(mu_);
       job->in_flight.fetch_sub(1, std::memory_order_release);
       done_cv_.notify_all();
+    } else {
+      task();
     }
   }
+}
+
+void ThreadPool::Post(std::function<void()> task) {
+  if (workers_.empty()) {
+    // Size-1 pool: no one else will ever drain the queue.
+    task();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tasks_.push_back(std::move(task));
+  }
+  cv_.notify_one();
 }
 
 void ThreadPool::ParallelFor(int64_t n,

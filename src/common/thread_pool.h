@@ -9,6 +9,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <exception>
 #include <functional>
 #include <mutex>
@@ -21,10 +22,12 @@ namespace cophy {
 /// (std::thread::hardware_concurrency, at least 1).
 int ResolveThreadCount(int num_threads);
 
-/// A fixed-size pool of worker threads. The only entry point is
-/// ParallelFor; the pool is reusable across calls but one call runs at
-/// a time (concurrent ParallelFor calls from different threads are
-/// serialized by an internal mutex).
+/// A fixed-size pool of worker threads with two entry points:
+/// ParallelFor (a blocking fork-join loop; concurrent calls from
+/// different threads are serialized by an internal mutex) and Post (a
+/// fire-and-forget task queue drained by the same workers, used by the
+/// service-tier executor). ParallelFor jobs take priority over queued
+/// tasks so preparation fan-outs keep their latency.
 class ThreadPool {
  public:
   /// Spawns `num_threads - 1` workers (the calling thread participates
@@ -47,6 +50,16 @@ class ThreadPool {
   /// n <= 0 is a no-op.
   void ParallelFor(int64_t n, const std::function<void(int64_t)>& fn);
 
+  /// Enqueues `task` for execution on some worker thread and returns
+  /// immediately. Tasks run in FIFO order relative to each other but
+  /// interleave arbitrarily across workers; a pool of size 1 (no
+  /// workers) runs the task inline before returning. Tasks must not
+  /// throw — an escaping exception terminates the process, as with any
+  /// detached thread. Tasks still queued when the pool is destroyed are
+  /// dropped without running: owners that need completion (the service
+  /// executor) must drain before tearing the pool down.
+  void Post(std::function<void()> task);
+
  private:
   struct Job {
     std::atomic<int64_t> next{0};
@@ -65,13 +78,14 @@ class ThreadPool {
   void RunJob(Job& job);
 
   std::vector<std::thread> workers_;
-  std::mutex mu_;                    // protects job_/generation_/stop_
+  std::mutex mu_;                    // protects job_/generation_/stop_/tasks_
   std::condition_variable cv_;       // workers wait here for a new job
   std::condition_variable done_cv_;  // caller waits for completion/drain
   std::mutex call_mu_;               // serializes ParallelFor callers
   Job* job_ = nullptr;
   uint64_t generation_ = 0;
   bool stop_ = false;
+  std::deque<std::function<void()>> tasks_;  // Post() queue
 };
 
 /// Convenience wrapper: runs fn(i) over [0, n) on `pool`, or inline when

@@ -26,12 +26,22 @@ Status PreparedWorkload::Begin(WhatIfOptimizer* whatif, IndexPool* pool,
   io.num_threads = opts.num_threads;
   io.workers = opts.workers;
   io.deadline_seconds = opts.deadline_seconds;
+  io.plan_cache = opts.plan_cache;
   // After lossless compression no two surviving statements are
   // cost-equivalent by construction — skip INUM's signature pass.
   io.share_templates = opts.share_templates &&
                        opts.compression.mode != CompressionMode::kLossless;
   inum_ = std::make_unique<Inum>(whatif_, io);
   return Status::Ok();
+}
+
+void PreparedWorkload::CopyPlanCacheCounters() {
+  // The Inum instance accumulates across its Prepare + AddCandidates
+  // runs, so totals are copied, not added.
+  stats_.plan_cache_template_hits = inum_->plan_cache_template_hits();
+  stats_.plan_cache_template_misses = inum_->plan_cache_template_misses();
+  stats_.plan_cache_gamma_hits = inum_->plan_cache_gamma_hits();
+  stats_.plan_cache_gamma_misses = inum_->plan_cache_gamma_misses();
 }
 
 void PreparedWorkload::AccumulateHealthDelta(const WhatIfHealth& before) {
@@ -50,6 +60,7 @@ Status PreparedWorkload::RunInum() {
   stats_.inum_seconds = watch.Elapsed();
   stats_.num_threads = inum_->num_threads_used();
   stats_.shared_statements = inum_->num_shared_statements();
+  CopyPlanCacheCounters();
   AccumulateHealthDelta(before);
   if (!s.ok()) {
     // Partial caches must never be read: revert to unprepared so every
@@ -117,6 +128,7 @@ Status PreparedWorkload::PrepareCompressed(WhatIfOptimizer* whatif,
   io.num_threads = opts.num_threads;
   io.workers = opts.workers;
   io.deadline_seconds = opts.deadline_seconds;
+  io.plan_cache = opts.plan_cache;
   // The router merged whole cost-equivalence classes already: no two
   // statements of the view share a cache, so skip the signature pass.
   io.share_templates = false;
@@ -141,6 +153,7 @@ Status PreparedWorkload::AddCandidates(const std::vector<IndexId>& new_ids) {
   const WhatIfHealth before = whatif_->health();
   Status s = inum_->AddCandidates(new_ids);
   stats_.inum_seconds += watch.Elapsed();
+  if (s.ok()) CopyPlanCacheCounters();
   AccumulateHealthDelta(before);
   if (!s.ok()) {
     // An interrupted incremental append leaves some statements updated

@@ -43,6 +43,11 @@ struct PrepareOptions {
   /// surfaces as kTimeout so a hung what-if backend cannot stall
   /// Prepare forever.
   double deadline_seconds = std::numeric_limits<double>::infinity();
+  /// Cross-session INUM plan cache (not owned). The service tier hands
+  /// every tenant session the same cache so cost-equivalent statements
+  /// across tenants share template plans and γ tables; nullptr keeps
+  /// preparation self-contained. See inum/shared_cache.h.
+  InumPlanCache* plan_cache = nullptr;
 };
 
 /// What preparation did — threaded into Recommendation and reports.
@@ -65,6 +70,14 @@ struct PrepareStats {
   int64_t whatif_degraded = 0;    ///< answers served from last-known cache
   int64_t whatif_fast_fails = 0;  ///< calls rejected by an open breaker
   int breaker_trips = 0;          ///< circuit-breaker open transitions
+  /// Cross-session plan-cache traffic of this view's INUM runs (all
+  /// zero when no shared cache is installed). Hits are template
+  /// enumerations / γ table builds this view skipped because another
+  /// session (or an earlier run) already published them.
+  int64_t plan_cache_template_hits = 0;
+  int64_t plan_cache_template_misses = 0;
+  int64_t plan_cache_gamma_hits = 0;
+  int64_t plan_cache_gamma_misses = 0;
   double Total() const {
     return compression.seconds + cgen_seconds + inum_seconds;
   }
@@ -90,6 +103,10 @@ struct PrepareStats {
     whatif_degraded += o.whatif_degraded;
     whatif_fast_fails += o.whatif_fast_fails;
     breaker_trips += o.breaker_trips;
+    plan_cache_template_hits += o.plan_cache_template_hits;
+    plan_cache_template_misses += o.plan_cache_template_misses;
+    plan_cache_gamma_hits += o.plan_cache_gamma_hits;
+    plan_cache_gamma_misses += o.plan_cache_gamma_misses;
     return *this;
   }
 };
@@ -161,6 +178,9 @@ class PreparedWorkload {
   Status Begin(WhatIfOptimizer* whatif, IndexPool* pool, const Workload& w,
                const PrepareOptions& opts);
   Status RunInum();
+  /// Copies the Inum instance's cumulative shared-cache counters into
+  /// stats_ (no-op totals of zero without a cache).
+  void CopyPlanCacheCounters();
   /// Folds the backend's WhatIfHealth movement since `before` into
   /// stats_ (retries/failures/degraded/breaker).
   void AccumulateHealthDelta(const WhatIfHealth& before);

@@ -72,7 +72,7 @@ TuningReport AnalyzeRecommendation(const Inum& inum,
 
 SolverActivity CaptureSolverActivity() {
   SolverActivity activity;
-  activity.lp = lp::GlobalSolverCounters();
+  activity.lp = lp::SolverCountersSnapshot();
   return activity;
 }
 
@@ -216,6 +216,17 @@ std::string RenderPrepareStats(const PrepareStats& stats) {
         static_cast<long long>(stats.whatif_degraded),
         static_cast<long long>(stats.whatif_fast_fails),
         stats.breaker_trips);
+  }
+  if (stats.plan_cache_template_hits + stats.plan_cache_template_misses +
+          stats.plan_cache_gamma_hits + stats.plan_cache_gamma_misses >
+      0) {
+    out += StrFormat(
+        "Shared plan cache: templates %lld hit / %lld miss, "
+        "gammas %lld hit / %lld miss\n",
+        static_cast<long long>(stats.plan_cache_template_hits),
+        static_cast<long long>(stats.plan_cache_template_misses),
+        static_cast<long long>(stats.plan_cache_gamma_hits),
+        static_cast<long long>(stats.plan_cache_gamma_misses));
   }
   return out;
 }

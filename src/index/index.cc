@@ -64,24 +64,72 @@ std::string DefinitionKey(const Index& idx) {
 }
 }  // namespace
 
+IndexPool::IndexPool()
+    : chunks_(std::make_unique<std::atomic<Index*>[]>(kMaxChunks)) {
+  for (int c = 0; c < kMaxChunks; ++c) {
+    chunks_[c].store(nullptr, std::memory_order_relaxed);
+  }
+}
+
+void IndexPool::FreeChunks() {
+  if (chunks_ == nullptr) return;
+  for (int c = 0; c < kMaxChunks; ++c) {
+    delete[] chunks_[c].load(std::memory_order_relaxed);
+  }
+}
+
+IndexPool::~IndexPool() { FreeChunks(); }
+
+IndexPool::IndexPool(IndexPool&& other) noexcept
+    : chunks_(std::move(other.chunks_)),
+      size_(other.size_.load(std::memory_order_relaxed)),
+      by_definition_(std::move(other.by_definition_)) {
+  other.size_.store(0, std::memory_order_relaxed);
+}
+
+IndexPool& IndexPool::operator=(IndexPool&& other) noexcept {
+  if (this != &other) {
+    FreeChunks();
+    chunks_ = std::move(other.chunks_);
+    size_.store(other.size_.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+    by_definition_ = std::move(other.by_definition_);
+    other.size_.store(0, std::memory_order_relaxed);
+  }
+  return *this;
+}
+
 IndexId IndexPool::Add(Index idx) {
   COPHY_CHECK(!idx.key_columns.empty());
   // INCLUDE columns are a set; canonicalize so equivalent definitions
   // deduplicate regardless of the order the generator emitted them in.
   std::sort(idx.include_columns.begin(), idx.include_columns.end());
   const std::string key = DefinitionKey(idx);
+  std::lock_guard<std::mutex> lock(add_mu_);
   auto it = by_definition_.find(key);
   if (it != by_definition_.end()) return it->second;
-  idx.id = static_cast<IndexId>(indexes_.size());
-  by_definition_.emplace(key, idx.id);
-  indexes_.push_back(std::move(idx));
-  return indexes_.back().id;
+  const int id = size_.load(std::memory_order_relaxed);
+  COPHY_CHECK(id < kMaxChunks * kChunkSize);
+  const int c = id >> kChunkShift;
+  Index* chunk = chunks_[c].load(std::memory_order_relaxed);
+  if (chunk == nullptr) {
+    chunk = new Index[kChunkSize];
+    chunks_[c].store(chunk, std::memory_order_release);
+  }
+  idx.id = static_cast<IndexId>(id);
+  chunk[id & kChunkMask] = std::move(idx);
+  by_definition_.emplace(key, static_cast<IndexId>(id));
+  // Publish after the slot is fully constructed: a reader that observes
+  // size() > id is guaranteed to see the entry.
+  size_.store(id + 1, std::memory_order_release);
+  return static_cast<IndexId>(id);
 }
 
 std::vector<IndexId> IndexPool::OnTable(TableId t) const {
   std::vector<IndexId> out;
-  for (const Index& idx : indexes_) {
-    if (idx.table == t) out.push_back(idx.id);
+  const int n = size();
+  for (int id = 0; id < n; ++id) {
+    if ((*this)[id].table == t) out.push_back(static_cast<IndexId>(id));
   }
   return out;
 }

@@ -4,7 +4,10 @@
 #ifndef COPHY_INDEX_INDEX_H_
 #define COPHY_INDEX_INDEX_H_
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -46,21 +49,52 @@ double IndexLeafPages(const Index& idx, const Catalog& cat);
 /// The global registry of candidate indexes. Deduplicates by
 /// definition; ids are dense and stable, so solvers use them as variable
 /// indices directly.
+///
+/// Thread safety: Add() may be called from any thread (writers serialize
+/// on an internal mutex), and operator[]/size()/OnTable() are safe to
+/// call concurrently with Add — storage is a fixed array of
+/// atomically-published chunks, so an id obtained from Add (or any value
+/// < size()) stays dereferenceable forever without locking. This is what
+/// lets concurrent advisor sessions share one pool while another
+/// tenant's candidate generation is appending. Entries are immutable
+/// once published. Moving a pool is NOT thread-safe; moves are for
+/// single-threaded fixture setup only.
 class IndexPool {
  public:
+  IndexPool();
+  ~IndexPool();
+  IndexPool(IndexPool&& other) noexcept;
+  IndexPool& operator=(IndexPool&& other) noexcept;
+  IndexPool(const IndexPool&) = delete;
+  IndexPool& operator=(const IndexPool&) = delete;
+
   /// Adds an index if new, returning its id (or the existing duplicate's
   /// id).
   IndexId Add(Index idx);
 
-  const Index& operator[](IndexId id) const { return indexes_[id]; }
-  int size() const { return static_cast<int>(indexes_.size()); }
-  const std::vector<Index>& all() const { return indexes_; }
+  const Index& operator[](IndexId id) const {
+    return chunks_[id >> kChunkShift].load(std::memory_order_acquire)
+                  [id & kChunkMask];
+  }
+  int size() const { return size_.load(std::memory_order_acquire); }
 
-  /// Ids of indexes on table `t`.
+  /// Ids of indexes on table `t` (among the entries published at call
+  /// time), in id order.
   std::vector<IndexId> OnTable(TableId t) const;
 
  private:
-  std::vector<Index> indexes_;
+  static constexpr int kChunkShift = 10;              // 1024 entries/chunk
+  static constexpr int kChunkSize = 1 << kChunkShift;
+  static constexpr int kChunkMask = kChunkSize - 1;
+  static constexpr int kMaxChunks = 1 << 12;          // 4M ids total
+
+  void FreeChunks();
+
+  /// chunks_[c] is null until the first id in its range is allocated,
+  /// then points at a heap array of kChunkSize entries that never moves.
+  std::unique_ptr<std::atomic<Index*>[]> chunks_;
+  std::atomic<int> size_{0};
+  std::mutex add_mu_;  // guards by_definition_ and slot construction
   std::unordered_map<std::string, IndexId> by_definition_;
 };
 

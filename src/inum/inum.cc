@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 #include "common/strings.h"
+#include "inum/shared_cache.h"
 #include "workload/compressor.h"
 
 namespace cophy {
@@ -118,31 +119,104 @@ Status Inum::PrepareStatement(const Query& q,
   qc.is_update = q.IsUpdate();
   if (DeadlineExpired()) return DeadlineError();
 
-  // Distinct per-slot orders and the template -> order-index mapping.
-  qc.slot_orders = whatif_->SlotOrderCandidates(q);
-  Result<std::vector<TemplatePlan>> templates = whatif_->EnumerateTemplates(q);
-  if (!templates.ok()) return templates.status();
-  qc.templates.reserve(templates->size());
-  for (const TemplatePlan& tp : *templates) {
-    QueryCache::Template t;
-    t.beta = tp.internal_cost;
-    t.order_idx.resize(tp.slot_orders.size());
-    for (size_t slot = 0; slot < tp.slot_orders.size(); ++slot) {
-      const auto& orders = qc.slot_orders[slot];
-      auto it = std::find(orders.begin(), orders.end(), tp.slot_orders[slot]);
-      COPHY_CHECK(it != orders.end());
-      t.order_idx[slot] = static_cast<int>(it - orders.begin());
-    }
-    qc.templates.push_back(std::move(t));
+  InumPlanCache* shared = options_.plan_cache;
+  const Catalog& cat = whatif_->catalog();
+  if (shared != nullptr) {
+    signatures_[q.id] = StatementCostSignature(q, cat);
+    gamma_digests_[q.id] =
+        FoldCandidateWalk(0, q, candidates, whatif_->pool());
   }
 
+  // --- Template phase: per-slot orders, β plans, and the template ->
+  // order-index mapping. A shared-cache hit (confirmed by the exact
+  // comparator, so a signature collision degrades to a miss) copies the
+  // published entry instead of re-running template enumeration — this
+  // is where a what-if optimization per template is saved.
+  std::shared_ptr<const SharedTemplateEntry> shared_templates;
+  if (shared != nullptr) {
+    shared_templates = shared->LookupTemplates(signatures_[q.id]);
+    if (shared_templates != nullptr &&
+        !CostEquivalent(q, shared_templates->statement, cat)) {
+      shared_templates = nullptr;
+    }
+  }
+  if (shared_templates != nullptr) {
+    qc.slot_orders = shared_templates->slot_orders;
+    qc.templates = shared_templates->templates;
+    template_hits_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    qc.slot_orders = whatif_->SlotOrderCandidates(q);
+    Result<std::vector<TemplatePlan>> templates =
+        whatif_->EnumerateTemplates(q);
+    if (!templates.ok()) return templates.status();
+    qc.templates.reserve(templates->size());
+    for (const TemplatePlan& tp : *templates) {
+      QueryCache::Template t;
+      t.beta = tp.internal_cost;
+      t.order_idx.resize(tp.slot_orders.size());
+      for (size_t slot = 0; slot < tp.slot_orders.size(); ++slot) {
+        const auto& orders = qc.slot_orders[slot];
+        auto it = std::find(orders.begin(), orders.end(), tp.slot_orders[slot]);
+        COPHY_CHECK(it != orders.end());
+        t.order_idx[slot] = static_cast<int>(it - orders.begin());
+      }
+      qc.templates.push_back(std::move(t));
+    }
+    if (shared != nullptr) {
+      template_misses_.fetch_add(1, std::memory_order_relaxed);
+      auto entry = std::make_shared<SharedTemplateEntry>();
+      entry->statement = q;
+      entry->slot_orders = qc.slot_orders;
+      entry->templates = qc.templates;
+      shared->PublishTemplates(signatures_[q.id], std::move(entry));
+    }
+  }
+
+  // --- γ phase: access-cost tables plus update costs, reusable only
+  // when the whole candidate walk matches (see FoldCandidateWalk).
+  std::shared_ptr<const SharedGammaEntry> shared_gammas;
+  if (shared != nullptr) {
+    shared_gammas = shared->LookupGammas(signatures_[q.id],
+                                         gamma_digests_[q.id]);
+    if (shared_gammas != nullptr &&
+        !CostEquivalent(q, shared_gammas->statement, cat)) {
+      shared_gammas = nullptr;
+    }
+  }
+  if (shared_gammas != nullptr) {
+    qc.access = shared_gammas->access;
+    qc.raw_gamma_entries = shared_gammas->raw_gamma_entries;
+    qc.base_update_cost = shared_gammas->base_update_cost;
+    qc.update_costs = shared_gammas->update_costs;
+    gamma_hits_.fetch_add(1, std::memory_order_relaxed);
+    return Status::Ok();
+  }
   qc.access.resize(qc.slot_orders.size());
   for (size_t slot = 0; slot < qc.slot_orders.size(); ++slot) {
     qc.access[slot].resize(qc.slot_orders[slot].size());
   }
   Status s = BuildGammaFor(qc, q, candidates, /*append=*/false);
   if (!s.ok()) return s;
-  return CacheUpdateCosts(qc, q, candidates, /*include_base=*/true);
+  s = CacheUpdateCosts(qc, q, candidates, /*include_base=*/true);
+  if (!s.ok()) return s;
+  if (shared != nullptr) {
+    gamma_misses_.fetch_add(1, std::memory_order_relaxed);
+    PublishGammasFor(qc, q);
+  }
+  return Status::Ok();
+}
+
+/// Publishes `qc`'s current γ tables and update costs under the
+/// statement's (signature, walk digest) key.
+void Inum::PublishGammasFor(const QueryCache& qc, const Query& q) {
+  auto entry = std::make_shared<SharedGammaEntry>();
+  entry->statement = q;
+  entry->access = qc.access;
+  entry->raw_gamma_entries = qc.raw_gamma_entries;
+  entry->base_update_cost = qc.base_update_cost;
+  entry->update_costs = qc.update_costs;
+  options_.plan_cache->PublishGammas(signatures_[q.id], gamma_digests_[q.id],
+                                     std::move(entry));
 }
 
 void Inum::CloneFromLeader(QueryId qid) {
@@ -182,6 +256,8 @@ Status Inum::Prepare(const Workload& w,
   candidates_ = candidates;
   caches_.clear();
   caches_.resize(w.size());
+  signatures_.assign(w.size(), 0);
+  gamma_digests_.assign(w.size(), 0);
   ComputeLeaders();
   std::vector<QueryId> leaders;
   leaders.reserve(w.size());
@@ -213,16 +289,49 @@ Status Inum::AddCandidates(const std::vector<IndexId>& new_candidates) {
   ThreadPool* tp = pool();
   whatif_->catalog().WarmStatistics();
   prepare_sw_ = Stopwatch();
+  InumPlanCache* shared = options_.plan_cache;
   std::vector<Status> errs(workload_.size());
   ParallelFor(tp, workload_.size(), [&](int64_t q) {
     if (leader_[q] != q) return;
     QueryCache& qc = caches_[q];
     const Query& query = workload_[static_cast<QueryId>(q)];
+    // Advance the walk digest; `relevant` is false when no new candidate
+    // touches this statement's tables (its γ tables and key are
+    // unchanged, so there is no cache traffic to account).
+    bool relevant = false;
+    if (shared != nullptr) {
+      const uint64_t next = FoldCandidateWalk(gamma_digests_[q], query,
+                                              new_candidates, whatif_->pool());
+      relevant = next != gamma_digests_[q];
+      if (relevant) {
+        gamma_digests_[q] = next;
+        // When another session already walked this exact history, take
+        // its tables wholesale (bit-identical to the append below) and
+        // skip the backend entirely.
+        std::shared_ptr<const SharedGammaEntry> entry =
+            shared->LookupGammas(signatures_[q], next);
+        if (entry != nullptr &&
+            !CostEquivalent(query, entry->statement, whatif_->catalog())) {
+          entry = nullptr;
+        }
+        if (entry != nullptr) {
+          qc.access = entry->access;
+          qc.raw_gamma_entries = entry->raw_gamma_entries;
+          qc.base_update_cost = entry->base_update_cost;
+          qc.update_costs = entry->update_costs;
+          gamma_hits_.fetch_add(1, std::memory_order_relaxed);
+          errs[q] = Status::Ok();
+          return;
+        }
+        gamma_misses_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
     errs[q] = BuildGammaFor(qc, query, new_candidates, /*append=*/true);
     if (errs[q].ok()) {
       errs[q] =
           CacheUpdateCosts(qc, query, new_candidates, /*include_base=*/false);
     }
+    if (errs[q].ok() && relevant) PublishGammasFor(qc, query);
   });
   for (const Status& s : errs) {
     if (!s.ok()) return s;

@@ -14,6 +14,7 @@
 #ifndef COPHY_INUM_INUM_H_
 #define COPHY_INUM_INUM_H_
 
+#include <atomic>
 #include <cstdint>
 #include <limits>
 #include <memory>
@@ -27,6 +28,8 @@
 #include "query/query.h"
 
 namespace cophy {
+
+class InumPlanCache;  // inum/shared_cache.h
 
 /// One γ-table entry: an access path and its cost for (query, slot,
 /// order). kInvalidIndex denotes the base path I∅.
@@ -81,6 +84,13 @@ struct InumOptions {
   /// Wall-clock budget for one Prepare/AddCandidates run; exceeding it
   /// surfaces as kTimeout (a hung backend cannot stall Prepare forever).
   double deadline_seconds = std::numeric_limits<double>::infinity();
+  /// Cross-session plan cache (not owned; may be shared by many Inum
+  /// instances on different threads). When set, template plans and γ
+  /// tables are looked up / published by cost-equivalence signature so
+  /// overlapping tenants skip what-if preparation; reused entries are
+  /// bit-identical to a local rebuild (see inum/shared_cache.h for the
+  /// exact contract). nullptr = today's self-contained behavior.
+  InumPlanCache* plan_cache = nullptr;
 };
 
 /// The INUM module. Holds the caches for one workload + candidate set.
@@ -151,6 +161,22 @@ class Inum {
   int num_threads_used() const { return num_threads_used_; }
   const InumOptions& options() const { return options_; }
 
+  /// Shared plan-cache traffic from this Inum (all zero when no cache is
+  /// installed). Cumulative across Prepare/AddCandidates runs; relaxed
+  /// atomics because leaders prepare on pool workers.
+  int64_t plan_cache_template_hits() const {
+    return template_hits_.load(std::memory_order_relaxed);
+  }
+  int64_t plan_cache_template_misses() const {
+    return template_misses_.load(std::memory_order_relaxed);
+  }
+  int64_t plan_cache_gamma_hits() const {
+    return gamma_hits_.load(std::memory_order_relaxed);
+  }
+  int64_t plan_cache_gamma_misses() const {
+    return gamma_misses_.load(std::memory_order_relaxed);
+  }
+
  private:
   Status BuildGammaFor(QueryCache& qc, const Query& q,
                        const std::vector<IndexId>& candidates, bool append);
@@ -163,6 +189,9 @@ class Inum {
   /// a leader.
   Status PrepareStatement(const Query& q,
                           const std::vector<IndexId>& candidates);
+  /// Publishes qc's γ tables under the statement's current
+  /// (signature, walk-digest) key. Requires options_.plan_cache.
+  void PublishGammasFor(const QueryCache& qc, const Query& q);
   /// Copies the shareable cache parts (orders/templates/γ/ucosts) from
   /// the statement's leader, keeping its own qid/weight/is_update.
   void CloneFromLeader(QueryId qid);
@@ -191,6 +220,16 @@ class Inum {
   Stopwatch prepare_sw_;  ///< reset at each Prepare/AddCandidates entry
   int num_shared_statements_ = 0;
   int num_threads_used_ = 1;
+
+  /// Per-leader plan-cache keys (meaningful when plan_cache is set):
+  /// the statement's cost signature and the chained candidate-walk
+  /// digest of its γ tables (advanced by each AddCandidates).
+  std::vector<uint64_t> signatures_;
+  std::vector<uint64_t> gamma_digests_;
+  std::atomic<int64_t> template_hits_{0};
+  std::atomic<int64_t> template_misses_{0};
+  std::atomic<int64_t> gamma_hits_{0};
+  std::atomic<int64_t> gamma_misses_{0};
 };
 
 }  // namespace cophy

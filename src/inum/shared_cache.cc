@@ -1,0 +1,43 @@
+#include "inum/shared_cache.h"
+
+namespace cophy {
+
+namespace {
+/// SplitMix64-style combiner (same idiom as the compressor's signature
+/// hasher; deterministic across platforms).
+uint64_t Mix(uint64_t h, uint64_t v) {
+  h += 0x9e3779b97f4a7c15ULL + v;
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+  return h ^ (h >> 31);
+}
+}  // namespace
+
+uint64_t FoldCandidateWalk(uint64_t digest, const Query& q,
+                           const std::vector<IndexId>& step,
+                           const IndexPool& pool) {
+  uint64_t h = 0;
+  int64_t relevant = 0;
+  for (IndexId id : step) {
+    const Index& idx = pool[id];
+    bool on_query_table = q.IsUpdate() && idx.table == q.update_table;
+    for (TableId t : q.tables) on_query_table = on_query_table || idx.table == t;
+    if (!on_query_table) continue;
+    ++relevant;
+    // The id pins the walk position; the definition pins what AccessCost
+    // saw (two pools assigning one id differently must never collide).
+    h = Mix(h, static_cast<uint64_t>(id));
+    h = Mix(h, static_cast<uint64_t>(idx.table));
+    h = Mix(h, idx.clustered ? 1u : 0u);
+    h = Mix(h, idx.key_columns.size());
+    for (ColumnId c : idx.key_columns) h = Mix(h, static_cast<uint64_t>(c));
+    h = Mix(h, idx.include_columns.size());
+    for (ColumnId c : idx.include_columns) h = Mix(h, static_cast<uint64_t>(c));
+  }
+  // An append with nothing relevant to q leaves its γ tables — and so
+  // must leave its key — untouched.
+  if (relevant == 0) return digest;
+  return Mix(Mix(digest, static_cast<uint64_t>(relevant)), h);
+}
+
+}  // namespace cophy

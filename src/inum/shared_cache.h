@@ -1,0 +1,117 @@
+// The cross-session INUM plan-cache boundary. A service hosting many
+// advisor sessions installs an InumPlanCache (see
+// service/plan_cache.h); each session's Inum then publishes the
+// expensive Prepare products — template plans (β) and γ access-cost
+// tables — keyed by the statement's cost-equivalence signature from
+// workload/compressor, and any tenant whose statement falls in the same
+// equivalence class reuses them without touching the what-if optimizer.
+//
+// Correctness contract (what makes reuse bit-identical, not just
+// approximately right):
+//
+//  * Template entries are keyed by StatementCostSignature alone. Every
+//    entry carries the statement that populated it, and readers confirm
+//    with the exact CostEquivalent comparator before reuse — a 64-bit
+//    collision degrades to a miss, never to a wrong plan. Cost-
+//    equivalent statements have identical SlotOrderCandidates and
+//    EnumerateTemplates results by definition, so the copied templates
+//    are byte-for-byte what the reader would have computed.
+//
+//  * γ entries additionally fold the *candidate walk history* into the
+//    key: the ordered ids (and definitions) of the pool candidates
+//    relevant to the statement, chained across the initial Prepare and
+//    every incremental AddCandidates. Two sessions hit the same γ entry
+//    only when they walked the same candidates in the same order, which
+//    pins tie order inside the sorted per-(slot, order) lists — the
+//    copied tables are bit-identical to a local rebuild, so the BIP and
+//    the recommendation downstream are too. Sessions sharing one
+//    IndexPool (the service arrangement) satisfy this on overlapping
+//    workloads by construction.
+//
+// Entries are immutable once published (shared_ptr<const>, first writer
+// wins), so readers never synchronize beyond the lookup itself.
+#ifndef COPHY_INUM_SHARED_CACHE_H_
+#define COPHY_INUM_SHARED_CACHE_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "index/index.h"
+#include "inum/inum.h"
+#include "query/query.h"
+
+namespace cophy {
+
+/// The template-phase product of one PrepareStatement: everything that
+/// depends only on the statement's cost-equivalence class.
+struct SharedTemplateEntry {
+  /// The statement that populated the entry; readers confirm exact cost
+  /// equivalence against it before reuse.
+  Query statement;
+  std::vector<std::vector<OrderSpec>> slot_orders;
+  std::vector<QueryCache::Template> templates;
+};
+
+/// The γ-phase product: access tables plus update-cost caches, valid
+/// for the (equivalence class, candidate walk) pair in the key.
+struct SharedGammaEntry {
+  Query statement;
+  std::vector<std::vector<std::vector<SlotAccess>>> access;
+  int64_t raw_gamma_entries = 0;
+  double base_update_cost = 0.0;
+  std::unordered_map<IndexId, double> update_costs;
+};
+
+/// Monotonic accounting, snapshotable while tenants are preparing.
+struct PlanCacheStats {
+  int64_t template_hits = 0;
+  int64_t template_misses = 0;
+  int64_t template_inserts = 0;
+  int64_t gamma_hits = 0;
+  int64_t gamma_misses = 0;
+  int64_t gamma_inserts = 0;
+  int64_t Hits() const { return template_hits + gamma_hits; }
+  int64_t Lookups() const {
+    return template_hits + template_misses + gamma_hits + gamma_misses;
+  }
+  double HitRate() const {
+    const int64_t n = Lookups();
+    return n > 0 ? static_cast<double>(Hits()) / static_cast<double>(n) : 0.0;
+  }
+};
+
+/// Abstract publish/lookup surface Inum talks to. Implementations must
+/// be safe for concurrent readers and writers; Publish* must keep the
+/// first entry when two writers race (so every reader of a key sees one
+/// immutable value forever).
+class InumPlanCache {
+ public:
+  virtual ~InumPlanCache() = default;
+
+  virtual std::shared_ptr<const SharedTemplateEntry> LookupTemplates(
+      uint64_t signature) = 0;
+  virtual void PublishTemplates(
+      uint64_t signature, std::shared_ptr<const SharedTemplateEntry> entry) = 0;
+
+  virtual std::shared_ptr<const SharedGammaEntry> LookupGammas(
+      uint64_t signature, uint64_t walk_digest) = 0;
+  virtual void PublishGammas(uint64_t signature, uint64_t walk_digest,
+                             std::shared_ptr<const SharedGammaEntry> entry) = 0;
+
+  virtual PlanCacheStats stats() const = 0;
+};
+
+/// Folds one candidate-walk step into a γ-key digest: the ordered
+/// (id, definition) sequence of the candidates in `step` that are
+/// relevant to `q` (on its FROM tables or its update table). Returns
+/// `digest` unchanged when no candidate is relevant — an append that
+/// cannot touch q's γ tables must not change its key. Chained as
+/// digest_{k+1} = FoldCandidateWalk(digest_k, q, step_k, pool) across
+/// Prepare and each AddCandidates.
+uint64_t FoldCandidateWalk(uint64_t digest, const Query& q,
+                           const std::vector<IndexId>& step,
+                           const IndexPool& pool);
+
+}  // namespace cophy
+
+#endif  // COPHY_INUM_SHARED_CACHE_H_

@@ -493,8 +493,9 @@ class RevisedSimplex {
           xval_[basis_[r]] -= w_[r];
         }
         stats->bound_flips += static_cast<int64_t>(flip_scratch_.size());
-        GlobalSolverCounters().bound_flips +=
-            static_cast<int64_t>(flip_scratch_.size());
+        GlobalSolverCounters().bound_flips.fetch_add(
+            static_cast<int64_t>(flip_scratch_.size()),
+            std::memory_order_relaxed);
       }
 
       Ftran(enter);
@@ -536,7 +537,8 @@ class RevisedSimplex {
       vstat_[enter] = VarStatus::kBasic;
       basis_[leave] = enter;
       stats->dual_pivots += 1;
-      GlobalSolverCounters().dual_pivots += 1;
+      GlobalSolverCounters().dual_pivots.fetch_add(1,
+                                                   std::memory_order_relaxed);
       ++pivots_since_refresh;
       ++pivots_since_factor;
       if (!lu_.Update(w_, w_pattern_, leave)) {
@@ -636,15 +638,18 @@ class RevisedSimplex {
     stats->bland_escalations = bland_escalations_;
     stats->markowitz_escalations = markowitz_escalations_;
     stats->singular_repairs = singular_repairs_;
-    SolverCounters& counters = GlobalSolverCounters();
-    counters.ft_updates += lu_.total_updates();
-    counters.eta_nnz += lu_.total_eta_nnz();
-    counters.ftran_btran_seconds += ftran_btran_seconds_;
-    counters.perturbations_applied += perturbations_applied_;
-    counters.perturbations_removed += perturbations_removed_;
-    counters.bland_escalations += bland_escalations_;
-    counters.markowitz_escalations += markowitz_escalations_;
-    counters.singular_repairs += singular_repairs_;
+    AtomicSolverCounters& counters = GlobalSolverCounters();
+    const auto add = [](std::atomic<int64_t>& f, int64_t v) {
+      f.fetch_add(v, std::memory_order_relaxed);
+    };
+    add(counters.ft_updates, lu_.total_updates());
+    add(counters.eta_nnz, lu_.total_eta_nnz());
+    counters.AddSeconds(ftran_btran_seconds_);
+    add(counters.perturbations_applied, perturbations_applied_);
+    add(counters.perturbations_removed, perturbations_removed_);
+    add(counters.bland_escalations, bland_escalations_);
+    add(counters.markowitz_escalations, markowitz_escalations_);
+    add(counters.singular_repairs, singular_repairs_);
   }
 
   /// True while a degeneracy perturbation (bounds or costs) is
@@ -769,12 +774,13 @@ class RevisedSimplex {
     stats->objective_gap = gap;
     stats->certified = stats->primal_residual <= kCertTol &&
                        dual_resid <= kCertTol && gap <= kCertTol;
-    SolverCounters& counters = GlobalSolverCounters();
-    counters.refinement_rounds += stats->refinement_rounds;
+    AtomicSolverCounters& counters = GlobalSolverCounters();
+    counters.refinement_rounds.fetch_add(stats->refinement_rounds,
+                                         std::memory_order_relaxed);
     if (stats->certified) {
-      counters.certified_solves += 1;
+      counters.certified_solves.fetch_add(1, std::memory_order_relaxed);
     } else {
-      counters.uncertified_solves += 1;
+      counters.uncertified_solves.fetch_add(1, std::memory_order_relaxed);
     }
     return stats->certified;
   }
@@ -1165,7 +1171,8 @@ class RevisedSimplex {
     }
     if (flips > 0) {
       stats->bound_flips += flips;
-      GlobalSolverCounters().bound_flips += flips;
+      GlobalSolverCounters().bound_flips.fetch_add(flips,
+                                                   std::memory_order_relaxed);
       ComputeBasicValues();
     }
     return restorable;
@@ -1203,7 +1210,8 @@ class RevisedSimplex {
     }
     expand_tol_ = kExpandBase;
     ++refactorizations_;
-    GlobalSolverCounters().factorizations += 1;
+    GlobalSolverCounters().factorizations.fetch_add(
+        1, std::memory_order_relaxed);
   }
 
   /// Rung 2 of the singular-basis ladder: re-run the elimination in
@@ -1549,7 +1557,8 @@ class RevisedSimplex {
         xval_[enter] =
             vstat_[enter] == VarStatus::kAtLower ? lo_[enter] : hi_[enter];
         stats->bound_flips += 1;
-        GlobalSolverCounters().bound_flips += 1;
+        GlobalSolverCounters().bound_flips.fetch_add(
+            1, std::memory_order_relaxed);
         continue;
       }
 
@@ -1587,7 +1596,8 @@ class RevisedSimplex {
             std::fill(devex_w_.begin(), devex_w_.end(), 1.0);
             gamma = 1.0;
             stats->devex_resets += 1;
-            GlobalSolverCounters().devex_resets += 1;
+            GlobalSolverCounters().devex_resets.fetch_add(
+                1, std::memory_order_relaxed);
           }
           const double wratio = gamma / (w_[leave] * w_[leave]);
           for (const int j : alpha_touched_) {
@@ -1610,11 +1620,13 @@ class RevisedSimplex {
         d_[enter] = 0.0;
         UpdateCandidate(leaving_var);
         stats->phase2_pivots += 1;
-        GlobalSolverCounters().phase2_pivots += 1;
+        GlobalSolverCounters().phase2_pivots.fetch_add(
+            1, std::memory_order_relaxed);
         ++pivots_since_refresh;
       } else {
         stats->phase1_pivots += 1;
-        GlobalSolverCounters().phase1_pivots += 1;
+        GlobalSolverCounters().phase1_pivots.fetch_add(
+            1, std::memory_order_relaxed);
       }
       ++pivots_since_factor;
       if (!lu_.Update(w_, w_pattern_, leave)) {
@@ -1737,15 +1749,72 @@ class RevisedSimplex {
 
 }  // namespace
 
-SolverCounters& GlobalSolverCounters() {
-  static SolverCounters counters;
+SolverCounters AtomicSolverCounters::Snapshot() const {
+  SolverCounters s;
+  s.lp_solves = lp_solves.load(std::memory_order_relaxed);
+  s.phase1_pivots = phase1_pivots.load(std::memory_order_relaxed);
+  s.phase2_pivots = phase2_pivots.load(std::memory_order_relaxed);
+  s.dual_pivots = dual_pivots.load(std::memory_order_relaxed);
+  s.bound_flips = bound_flips.load(std::memory_order_relaxed);
+  s.devex_resets = devex_resets.load(std::memory_order_relaxed);
+  s.warm_starts = warm_starts.load(std::memory_order_relaxed);
+  s.cold_starts = cold_starts.load(std::memory_order_relaxed);
+  s.factorizations = factorizations.load(std::memory_order_relaxed);
+  s.ft_updates = ft_updates.load(std::memory_order_relaxed);
+  s.eta_nnz = eta_nnz.load(std::memory_order_relaxed);
+  s.ftran_btran_seconds = ftran_btran_seconds.load(std::memory_order_relaxed);
+  s.certified_solves = certified_solves.load(std::memory_order_relaxed);
+  s.uncertified_solves = uncertified_solves.load(std::memory_order_relaxed);
+  s.refinement_rounds = refinement_rounds.load(std::memory_order_relaxed);
+  s.perturbations_applied =
+      perturbations_applied.load(std::memory_order_relaxed);
+  s.perturbations_removed =
+      perturbations_removed.load(std::memory_order_relaxed);
+  s.bland_escalations = bland_escalations.load(std::memory_order_relaxed);
+  s.markowitz_escalations =
+      markowitz_escalations.load(std::memory_order_relaxed);
+  s.singular_repairs = singular_repairs.load(std::memory_order_relaxed);
+  s.cold_restarts = cold_restarts.load(std::memory_order_relaxed);
+  return s;
+}
+
+void AtomicSolverCounters::Reset() {
+  lp_solves.store(0, std::memory_order_relaxed);
+  phase1_pivots.store(0, std::memory_order_relaxed);
+  phase2_pivots.store(0, std::memory_order_relaxed);
+  dual_pivots.store(0, std::memory_order_relaxed);
+  bound_flips.store(0, std::memory_order_relaxed);
+  devex_resets.store(0, std::memory_order_relaxed);
+  warm_starts.store(0, std::memory_order_relaxed);
+  cold_starts.store(0, std::memory_order_relaxed);
+  factorizations.store(0, std::memory_order_relaxed);
+  ft_updates.store(0, std::memory_order_relaxed);
+  eta_nnz.store(0, std::memory_order_relaxed);
+  ftran_btran_seconds.store(0.0, std::memory_order_relaxed);
+  certified_solves.store(0, std::memory_order_relaxed);
+  uncertified_solves.store(0, std::memory_order_relaxed);
+  refinement_rounds.store(0, std::memory_order_relaxed);
+  perturbations_applied.store(0, std::memory_order_relaxed);
+  perturbations_removed.store(0, std::memory_order_relaxed);
+  bland_escalations.store(0, std::memory_order_relaxed);
+  markowitz_escalations.store(0, std::memory_order_relaxed);
+  singular_repairs.store(0, std::memory_order_relaxed);
+  cold_restarts.store(0, std::memory_order_relaxed);
+}
+
+AtomicSolverCounters& GlobalSolverCounters() {
+  static AtomicSolverCounters counters;
   return counters;
 }
 
-void ResetSolverCounters() { GlobalSolverCounters() = SolverCounters{}; }
+void ResetSolverCounters() { GlobalSolverCounters().Reset(); }
+
+SolverCounters SolverCountersSnapshot() {
+  return GlobalSolverCounters().Snapshot();
+}
 
 SolverCounters SolverCountersSince(const SolverCounters& snapshot) {
-  const SolverCounters& now = GlobalSolverCounters();
+  const SolverCounters now = SolverCountersSnapshot();
   SolverCounters delta;
   delta.lp_solves = now.lp_solves - snapshot.lp_solves;
   delta.phase1_pivots = now.phase1_pivots - snapshot.phase1_pivots;
@@ -1804,8 +1873,8 @@ LpSolution SolveLp(const Model& model, const LpOptions& options,
     }
   }
 
-  SolverCounters& counters = GlobalSolverCounters();
-  counters.lp_solves += 1;
+  AtomicSolverCounters& counters = GlobalSolverCounters();
+  counters.lp_solves.fetch_add(1, std::memory_order_relaxed);
 
   RevisedSimplex simplex(model, options, lo, hi);
   LpSolution sol;
@@ -1826,7 +1895,7 @@ LpSolution SolveLp(const Model& model, const LpOptions& options,
   // with every escalation artifact cleared (once per solve).
   const auto cold_restart = [&]() {
     sol.stats.cold_restarts += 1;
-    counters.cold_restarts += 1;
+    counters.cold_restarts.fetch_add(1, std::memory_order_relaxed);
     simplex.PrepareColdRestart();
     simplex.ColdStart();
   };
@@ -1857,10 +1926,10 @@ LpSolution SolveLp(const Model& model, const LpOptions& options,
   if (warm_basis != nullptr && !warm_basis->empty() &&
       simplex.WarmStart(*warm_basis)) {
     sol.stats.warm_started = true;
-    counters.warm_starts += 1;
+    counters.warm_starts.fetch_add(1, std::memory_order_relaxed);
   } else {
     simplex.ColdStart();
-    counters.cold_starts += 1;
+    counters.cold_starts.fetch_add(1, std::memory_order_relaxed);
   }
 
   bool restarted = false;

@@ -32,6 +32,7 @@
 #ifndef COPHY_LP_SIMPLEX_H_
 #define COPHY_LP_SIMPLEX_H_
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -169,8 +170,9 @@ struct LpSolution {
   LpSolveStats stats;
 };
 
-/// Process-wide pivot/pricing accounting, accumulated by every SolveLp
-/// call (single-threaded; benchmarks snapshot and diff it).
+/// Plain value snapshot of the process-wide pivot/pricing accounting
+/// (what benchmarks and reports diff; see AtomicSolverCounters for the
+/// live accumulator).
 struct SolverCounters {
   int64_t lp_solves = 0;
   int64_t phase1_pivots = 0;
@@ -195,8 +197,55 @@ struct SolverCounters {
   int64_t singular_repairs = 0;
   int64_t cold_restarts = 0;
 };
-SolverCounters& GlobalSolverCounters();
+
+/// The live process-wide accumulator: every field is a relaxed atomic,
+/// so concurrent solves (distinct tenants in the service tier) can bump
+/// it without synchronization and observers can Snapshot() a coherent
+/// value set while solves are in flight. Counter bumps are relaxed —
+/// totals are exact once the writer threads are quiescent or joined, and
+/// monotone (never torn) in between; cross-field consistency at a
+/// snapshot is best-effort by design.
+struct AtomicSolverCounters {
+  std::atomic<int64_t> lp_solves{0};
+  std::atomic<int64_t> phase1_pivots{0};
+  std::atomic<int64_t> phase2_pivots{0};
+  std::atomic<int64_t> dual_pivots{0};
+  std::atomic<int64_t> bound_flips{0};
+  std::atomic<int64_t> devex_resets{0};
+  std::atomic<int64_t> warm_starts{0};
+  std::atomic<int64_t> cold_starts{0};
+  std::atomic<int64_t> factorizations{0};
+  std::atomic<int64_t> ft_updates{0};
+  std::atomic<int64_t> eta_nnz{0};
+  std::atomic<double> ftran_btran_seconds{0.0};
+  std::atomic<int64_t> certified_solves{0};
+  std::atomic<int64_t> uncertified_solves{0};
+  std::atomic<int64_t> refinement_rounds{0};
+  std::atomic<int64_t> perturbations_applied{0};
+  std::atomic<int64_t> perturbations_removed{0};
+  std::atomic<int64_t> bland_escalations{0};
+  std::atomic<int64_t> markowitz_escalations{0};
+  std::atomic<int64_t> singular_repairs{0};
+  std::atomic<int64_t> cold_restarts{0};
+
+  /// Accumulates into the double field (C++17 has no fetch_add for
+  /// atomic<double>; this is the standard CAS loop).
+  void AddSeconds(double s) {
+    double cur = ftran_btran_seconds.load(std::memory_order_relaxed);
+    while (!ftran_btran_seconds.compare_exchange_weak(
+        cur, cur + s, std::memory_order_relaxed)) {
+    }
+  }
+
+  SolverCounters Snapshot() const;
+  void Reset();
+};
+
+AtomicSolverCounters& GlobalSolverCounters();
 void ResetSolverCounters();
+/// Relaxed-coherent value copy of the global accumulator (safe while
+/// solves are running on other threads).
+SolverCounters SolverCountersSnapshot();
 /// Counter delta since a snapshot (work attribution for one run).
 SolverCounters SolverCountersSince(const SolverCounters& snapshot);
 

@@ -199,10 +199,8 @@ WhatIfHealth ResilientWhatIf::health() const {
   h.degraded = degraded_;
   h.breaker_fast_fails = breaker_fast_fails_;
   h.breaker_trips = breaker_trips_;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    h.breaker_open = state_ == BreakerState::kOpen;
-  }
+  h.breaker_open =
+      state_.load(std::memory_order_relaxed) == BreakerState::kOpen;
   return h;
 }
 

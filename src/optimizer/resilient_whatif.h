@@ -91,7 +91,10 @@ class ResilientWhatIf : public WhatIfOptimizer {
   }
 
   /// This decorator's own counters (the backend underneath is the
-  /// faulty party; its health is not merged in).
+  /// faulty party; its health is not merged in). A lock-free value
+  /// snapshot — safe to call while Prepare/Retune traffic is in flight
+  /// on other threads, which is how the service tier reports per-tenant
+  /// health live.
   WhatIfHealth health() const override;
 
   const ResilienceOptions& options() const { return opts_; }
@@ -121,8 +124,9 @@ class ResilientWhatIf : public WhatIfOptimizer {
   WhatIfOptimizer* backend_;
   ResilienceOptions opts_;
 
-  mutable std::mutex mu_;  // breaker state + last-known caches
-  BreakerState state_ = BreakerState::kClosed;
+  mutable std::mutex mu_;  // breaker transitions + last-known caches
+  /// Written only under mu_; atomic so health() can read it lock-free.
+  std::atomic<BreakerState> state_{BreakerState::kClosed};
   int consecutive_failures_ = 0;
   Clock::time_point open_until_{};
 

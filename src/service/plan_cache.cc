@@ -1,0 +1,107 @@
+#include "service/plan_cache.h"
+
+#include <algorithm>
+
+namespace cophy {
+
+size_t SharedPlanCache::GammaKeyHash::operator()(const GammaKey& k) const {
+  // SplitMix64 finalizer over the xor-combined halves; the map compares
+  // full keys, so this only spreads buckets.
+  uint64_t h = k.signature ^ (k.walk_digest * 0x9e3779b97f4a7c15ULL);
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+  return static_cast<size_t>(h ^ (h >> 31));
+}
+
+SharedPlanCache::SharedPlanCache(int num_shards) {
+  shards_.reserve(static_cast<size_t>(std::max(1, num_shards)));
+  for (int i = 0; i < std::max(1, num_shards); ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+std::shared_ptr<const SharedTemplateEntry> SharedPlanCache::LookupTemplates(
+    uint64_t signature) {
+  Shard& shard = ShardFor(signature);
+  std::shared_ptr<const SharedTemplateEntry> entry;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.templates.find(signature);
+    if (it != shard.templates.end()) entry = it->second;
+  }
+  (entry != nullptr ? template_hits_ : template_misses_)
+      .fetch_add(1, std::memory_order_relaxed);
+  return entry;
+}
+
+void SharedPlanCache::PublishTemplates(
+    uint64_t signature, std::shared_ptr<const SharedTemplateEntry> entry) {
+  Shard& shard = ShardFor(signature);
+  bool inserted;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    // First writer wins: a racing publisher's identical entry is dropped
+    // so every reader of this key sees one immutable value forever.
+    inserted = shard.templates.emplace(signature, std::move(entry)).second;
+  }
+  if (inserted) template_inserts_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::shared_ptr<const SharedGammaEntry> SharedPlanCache::LookupGammas(
+    uint64_t signature, uint64_t walk_digest) {
+  Shard& shard = ShardFor(signature);
+  const GammaKey key{signature, walk_digest};
+  std::shared_ptr<const SharedGammaEntry> entry;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.gammas.find(key);
+    if (it != shard.gammas.end()) entry = it->second;
+  }
+  (entry != nullptr ? gamma_hits_ : gamma_misses_)
+      .fetch_add(1, std::memory_order_relaxed);
+  return entry;
+}
+
+void SharedPlanCache::PublishGammas(
+    uint64_t signature, uint64_t walk_digest,
+    std::shared_ptr<const SharedGammaEntry> entry) {
+  Shard& shard = ShardFor(signature);
+  const GammaKey key{signature, walk_digest};
+  bool inserted;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    inserted = shard.gammas.emplace(key, std::move(entry)).second;
+  }
+  if (inserted) gamma_inserts_.fetch_add(1, std::memory_order_relaxed);
+}
+
+PlanCacheStats SharedPlanCache::stats() const {
+  PlanCacheStats s;
+  s.template_hits = template_hits_.load(std::memory_order_relaxed);
+  s.template_misses = template_misses_.load(std::memory_order_relaxed);
+  s.template_inserts = template_inserts_.load(std::memory_order_relaxed);
+  s.gamma_hits = gamma_hits_.load(std::memory_order_relaxed);
+  s.gamma_misses = gamma_misses_.load(std::memory_order_relaxed);
+  s.gamma_inserts = gamma_inserts_.load(std::memory_order_relaxed);
+  return s;
+}
+
+int64_t SharedPlanCache::NumTemplateEntries() const {
+  int64_t n = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    n += static_cast<int64_t>(shard->templates.size());
+  }
+  return n;
+}
+
+int64_t SharedPlanCache::NumGammaEntries() const {
+  int64_t n = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    n += static_cast<int64_t>(shard->gammas.size());
+  }
+  return n;
+}
+
+}  // namespace cophy

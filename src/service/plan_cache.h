@@ -1,0 +1,83 @@
+// SharedPlanCache: the service tier's cross-session INUM plan cache (an
+// InumPlanCache, see inum/shared_cache.h for the bit-identity
+// contract). A lock-sharded hash map — keys spread over N independent
+// mutexes so concurrent tenants rarely contend — holding immutable
+// shared_ptr<const> entries with first-writer-wins publication, plus
+// relaxed atomic hit/miss/insert counters snapshotable while tenants
+// are preparing (stats() folds into PrepareStats via Inum's counters;
+// these are the cache-global totals across all tenants).
+#ifndef COPHY_SERVICE_PLAN_CACHE_H_
+#define COPHY_SERVICE_PLAN_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "inum/shared_cache.h"
+
+namespace cophy {
+
+class SharedPlanCache : public InumPlanCache {
+ public:
+  /// `num_shards` lock shards (rounded up to at least 1). 16 is plenty:
+  /// the critical sections are single hash-map probes.
+  explicit SharedPlanCache(int num_shards = 16);
+
+  std::shared_ptr<const SharedTemplateEntry> LookupTemplates(
+      uint64_t signature) override;
+  void PublishTemplates(
+      uint64_t signature,
+      std::shared_ptr<const SharedTemplateEntry> entry) override;
+
+  std::shared_ptr<const SharedGammaEntry> LookupGammas(
+      uint64_t signature, uint64_t walk_digest) override;
+  void PublishGammas(uint64_t signature, uint64_t walk_digest,
+                     std::shared_ptr<const SharedGammaEntry> entry) override;
+
+  PlanCacheStats stats() const override;
+
+  /// Entry counts (for reports/benchmarks; takes every shard lock).
+  int64_t NumTemplateEntries() const;
+  int64_t NumGammaEntries() const;
+
+ private:
+  /// γ entries key on (signature, walk digest); 128 bits compared
+  /// exactly, so distinct walks never alias through the map key.
+  struct GammaKey {
+    uint64_t signature = 0;
+    uint64_t walk_digest = 0;
+    bool operator==(const GammaKey& o) const {
+      return signature == o.signature && walk_digest == o.walk_digest;
+    }
+  };
+  struct GammaKeyHash {
+    size_t operator()(const GammaKey& k) const;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<uint64_t, std::shared_ptr<const SharedTemplateEntry>>
+        templates;
+    std::unordered_map<GammaKey, std::shared_ptr<const SharedGammaEntry>,
+                       GammaKeyHash>
+        gammas;
+  };
+
+  Shard& ShardFor(uint64_t signature) {
+    return *shards_[signature % shards_.size()];
+  }
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<int64_t> template_hits_{0};
+  std::atomic<int64_t> template_misses_{0};
+  std::atomic<int64_t> template_inserts_{0};
+  std::atomic<int64_t> gamma_hits_{0};
+  std::atomic<int64_t> gamma_misses_{0};
+  std::atomic<int64_t> gamma_inserts_{0};
+};
+
+}  // namespace cophy
+
+#endif  // COPHY_SERVICE_PLAN_CACHE_H_

@@ -230,7 +230,7 @@ TEST_F(ReportTest, TuningRunReportsCertifiedSolves) {
   // safeguards on, so the captured global counters render the line with
   // a nonzero certified count.
   SolverActivity activity;
-  activity.lp = lp::GlobalSolverCounters();
+  activity.lp = lp::SolverCountersSnapshot();
   ASSERT_GT(activity.lp.certified_solves, 0);
   const std::string text = RenderSolverActivity(activity);
   EXPECT_NE(text.find("Numerical safety:"), std::string::npos) << text;

@@ -1,0 +1,383 @@
+// Multi-tenant advisor service: per-lane serialization and backpressure
+// in the SessionExecutor, interleaved multi-tenant traffic whose final
+// recommendations are bit-identical to a serial replay of each tenant's
+// own op stream, and the cross-session plan cache — recommendations
+// bit-identical cache on vs off while the cache-on service performs
+// strictly fewer what-if optimizer calls once tenants overlap. The
+// interleaved tests run under TSan in CI (concurrency job).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <future>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "optimizer/simulator.h"
+#include "service/service.h"
+#include "workload/generator.h"
+
+namespace cophy {
+namespace {
+
+struct TestEnv {
+  Catalog cat;
+  IndexPool pool;
+  std::unique_ptr<SystemSimulator> sim;
+
+  TestEnv() {
+    cat = MakeTpchCatalog(0.1, 0.0);
+    sim = std::make_unique<SystemSimulator>(&cat, &pool, CostModel::SystemA());
+  }
+
+  ConstraintSet Budget(double m) const {
+    ConstraintSet cs;
+    cs.SetStorageBudget(m * cat.TotalDataBytes());
+    return cs;
+  }
+};
+
+CoPhyOptions TestOptions() {
+  CoPhyOptions opts;
+  opts.gap_target = 0.05;
+  opts.node_limit = 3000;
+  return opts;
+}
+
+uint64_t Bits(double v) {
+  uint64_t b;
+  std::memcpy(&b, &v, sizeof(b));
+  return b;
+}
+
+std::vector<IndexId> SortedIds(const Recommendation& rec) {
+  std::vector<IndexId> ids = rec.configuration.ids();
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+void ExpectBitIdentical(const Recommendation& a, const Recommendation& b) {
+  EXPECT_EQ(SortedIds(a), SortedIds(b));
+  EXPECT_EQ(Bits(a.objective), Bits(b.objective));
+  EXPECT_EQ(Bits(a.lower_bound), Bits(b.lower_bound));
+  EXPECT_EQ(Bits(a.gap), Bits(b.gap));
+}
+
+/// Statement i of tenant t; positions hitting the overlap percentage
+/// draw a (template, seed) shared by every tenant, the rest are
+/// tenant-private (same scheme as bench_service).
+Query TenantStatement(const Catalog& cat, int tenant, int i,
+                      int overlap_pct = 75) {
+  const bool shared = (i * 37 + 11) % 100 < overlap_pct;
+  const int tmpl = i % NumHomogeneousTemplates();
+  const uint64_t seed =
+      shared ? 1000 + static_cast<uint64_t>(i)
+             : 777'000'000ULL + static_cast<uint64_t>(tenant) * 100'000 + i;
+  return MakeHomogeneousStatement(cat, tmpl, seed);
+}
+
+/// A tenant's deterministic op stream: initial batch + cold Tune, then
+/// `rounds` of (remove two oldest, add two fresh, warm Retune).
+std::vector<ServiceOp> MakeTrace(const TestEnv& env, int tenant, int rounds,
+                                 int overlap_pct = 75) {
+  constexpr int kInitial = 8;
+  const ConstraintSet budget = env.Budget(0.5);
+  std::vector<ServiceOp> trace;
+  ServiceOp add;
+  add.kind = ServiceOp::Kind::kAddStatements;
+  for (int i = 0; i < kInitial; ++i) {
+    add.statements.push_back(TenantStatement(env.cat, tenant, i, overlap_pct));
+  }
+  trace.push_back(std::move(add));
+  ServiceOp tune;
+  tune.kind = ServiceOp::Kind::kTune;
+  tune.constraints = budget;
+  trace.push_back(std::move(tune));
+  for (int r = 0; r < rounds; ++r) {
+    ServiceOp remove;
+    remove.kind = ServiceOp::Kind::kRemoveStatements;
+    remove.ids = {2 * r, 2 * r + 1};
+    trace.push_back(std::move(remove));
+    ServiceOp grow;
+    grow.kind = ServiceOp::Kind::kAddStatements;
+    grow.statements = {
+        TenantStatement(env.cat, tenant, kInitial + 2 * r, overlap_pct),
+        TenantStatement(env.cat, tenant, kInitial + 2 * r + 1, overlap_pct)};
+    trace.push_back(std::move(grow));
+    ServiceOp retune;
+    retune.kind = ServiceOp::Kind::kRetune;
+    retune.constraints = budget;
+    trace.push_back(std::move(retune));
+  }
+  return trace;
+}
+
+/// Pushes every tenant's trace through the service round-robin (op 0 of
+/// every tenant, then op 1, ...) so lanes genuinely interleave, and
+/// returns each tenant's final recommendation.
+std::vector<Recommendation> RunInterleaved(
+    AdvisorService& service, const std::vector<std::vector<ServiceOp>>& traces) {
+  size_t max_len = 0;
+  for (const auto& t : traces) max_len = std::max(max_len, t.size());
+  std::vector<std::vector<std::future<OpResult>>> futures(traces.size());
+  for (size_t i = 0; i < max_len; ++i) {
+    for (size_t t = 0; t < traces.size(); ++t) {
+      if (i >= traces[t].size()) continue;
+      futures[t].push_back(service.Submit("tenant-" + std::to_string(t),
+                                          traces[t][i]));
+    }
+  }
+  std::vector<Recommendation> finals(traces.size());
+  for (size_t t = 0; t < traces.size(); ++t) {
+    for (size_t i = 0; i < futures[t].size(); ++i) {
+      OpResult res = futures[t][i].get();
+      EXPECT_TRUE(res.status.ok()) << "tenant " << t << " op " << i << ": "
+                                   << res.status.ToString();
+      if (traces[t][i].kind == ServiceOp::Kind::kTune ||
+          traces[t][i].kind == ServiceOp::Kind::kRetune) {
+        finals[t] = std::move(res.recommendation);
+      }
+    }
+  }
+  return finals;
+}
+
+/// Serial replay of one tenant's trace on a fresh single-threaded
+/// session (no executor, no shared cache) against the same pool and
+/// backend, returning the final recommendation.
+Recommendation ReplaySerial(TestEnv& env, const std::vector<ServiceOp>& trace) {
+  SessionOptions so;
+  so.tuning = TestOptions();
+  so.tuning.prepare.num_threads = 1;
+  AdvisorSession session(env.sim.get(), &env.pool, so);
+  Recommendation last;
+  for (const ServiceOp& op : trace) {
+    switch (op.kind) {
+      case ServiceOp::Kind::kAddStatements:
+        session.AddStatements(op.statements);
+        break;
+      case ServiceOp::Kind::kRemoveStatements:
+        EXPECT_TRUE(session.RemoveStatements(op.ids).ok());
+        break;
+      case ServiceOp::Kind::kTune:
+        last = session.Tune(op.constraints);
+        EXPECT_TRUE(last.status.ok()) << last.status.ToString();
+        break;
+      case ServiceOp::Kind::kRetune:
+        last = session.Retune(op.constraints);
+        EXPECT_TRUE(last.status.ok()) << last.status.ToString();
+        break;
+    }
+  }
+  return last;
+}
+
+// --- SessionExecutor ------------------------------------------------------
+
+TEST(SessionExecutorTest, SerializesPerLaneInterleavesLanes) {
+  ThreadPool pool(4);
+  SessionExecutor ex(&pool, /*max_queued_per_lane=*/0);
+  constexpr int kLanes = 4, kTasks = 50;
+  std::vector<std::vector<int>> seen(kLanes);
+  std::mutex mu;
+  for (int i = 0; i < kTasks; ++i) {
+    for (int lane = 0; lane < kLanes; ++lane) {
+      ASSERT_TRUE(ex.Submit("lane-" + std::to_string(lane), [&, lane, i] {
+                      std::lock_guard<std::mutex> lock(mu);
+                      seen[lane].push_back(i);
+                    }).ok());
+    }
+  }
+  ex.Drain();
+  for (int lane = 0; lane < kLanes; ++lane) {
+    ASSERT_EQ(seen[lane].size(), static_cast<size_t>(kTasks));
+    for (int i = 0; i < kTasks; ++i) {
+      // FIFO per lane: submission order is execution order.
+      EXPECT_EQ(seen[lane][i], i);
+    }
+  }
+  EXPECT_EQ(ex.submitted(), kLanes * kTasks);
+  EXPECT_EQ(ex.completed(), kLanes * kTasks);
+  EXPECT_EQ(ex.rejected(), 0);
+}
+
+TEST(SessionExecutorTest, BackpressureRejectsBeyondCap) {
+  ThreadPool pool(2);  // one real worker
+  SessionExecutor ex(&pool, /*max_queued_per_lane=*/2);
+  std::promise<void> gate;
+  std::shared_future<void> opened = gate.get_future().share();
+  std::atomic<int> ran{0};
+  // First task blocks the lane; the second queues; the third must be
+  // rejected without running.
+  ASSERT_TRUE(ex.Submit("t", [opened, &ran] {
+                  opened.wait();
+                  ran.fetch_add(1);
+                }).ok());
+  ASSERT_TRUE(ex.Submit("t", [&ran] { ran.fetch_add(1); }).ok());
+  const Status rejected = ex.Submit("t", [&ran] { ran.fetch_add(1); });
+  EXPECT_EQ(rejected.code(), StatusCode::kResourceExhausted);
+  // A different lane is unaffected by the full one.
+  ASSERT_TRUE(ex.Submit("u", [] {}).ok());
+  gate.set_value();
+  ex.Drain();
+  EXPECT_EQ(ran.load(), 2);
+  EXPECT_EQ(ex.submitted(), 3);
+  EXPECT_EQ(ex.completed(), 3);
+  EXPECT_EQ(ex.rejected(), 1);
+}
+
+TEST(SessionExecutorTest, InlineOnSizeOnePool) {
+  ThreadPool pool(1);
+  SessionExecutor ex(&pool, 4);
+  int ran = 0;
+  ASSERT_TRUE(ex.Submit("t", [&] { ++ran; }).ok());
+  // Size-1 pool: the task ran inline inside Submit.
+  EXPECT_EQ(ran, 1);
+  ex.Drain();
+  EXPECT_EQ(ex.completed(), 1);
+}
+
+// --- AdvisorService -------------------------------------------------------
+
+TEST(ServiceTest, InterleavedMatchesSerialReplayPerTenant) {
+  TestEnv env;
+  constexpr int kTenants = 4;
+  std::vector<std::vector<ServiceOp>> traces;
+  for (int t = 0; t < kTenants; ++t) {
+    traces.push_back(MakeTrace(env, t, /*rounds=*/2));
+  }
+  ServiceOptions so;
+  so.num_threads = 0;  // hardware
+  so.share_plan_cache = true;
+  so.session.tuning = TestOptions();
+  std::vector<Recommendation> finals;
+  {
+    AdvisorService service(env.sim.get(), &env.pool, so);
+    finals = RunInterleaved(service, traces);
+    service.Drain();
+    const ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.num_tenants, kTenants);
+    EXPECT_EQ(stats.submitted, stats.completed);
+    EXPECT_EQ(stats.rejected, 0);
+  }
+  // Serial replay of each tenant's own op stream on the same pool +
+  // backend must land on the exact same recommendation: concurrent
+  // dispatch and the shared cache change the schedule, never the math.
+  for (int t = 0; t < kTenants; ++t) {
+    const Recommendation replay = ReplaySerial(env, traces[t]);
+    SCOPED_TRACE("tenant " + std::to_string(t));
+    ExpectBitIdentical(finals[t], replay);
+  }
+}
+
+TEST(ServiceTest, CacheOnOffBitIdenticalWithStrictlyFewerWhatIfCalls) {
+  constexpr int kTenants = 3;  // >= 2 overlapping tenants
+  auto run = [&](bool cache_on, int64_t* whatif_calls,
+                 PlanCacheStats* cache_stats,
+                 int64_t* folded_template_hits) -> std::vector<Recommendation> {
+    TestEnv env;  // fresh pool + simulator: counters start at zero
+    std::vector<std::vector<ServiceOp>> traces;
+    for (int t = 0; t < kTenants; ++t) {
+      traces.push_back(MakeTrace(env, t, /*rounds=*/1));
+    }
+    ServiceOptions so;
+    so.num_threads = 0;
+    so.share_plan_cache = cache_on;
+    so.session.tuning = TestOptions();
+    AdvisorService service(env.sim.get(), &env.pool, so);
+    std::vector<Recommendation> finals = RunInterleaved(service, traces);
+    service.Drain();
+    *whatif_calls = env.sim->num_whatif_calls();
+    *cache_stats = service.stats().plan_cache;
+    *folded_template_hits = 0;
+    for (int t = 0; t < kTenants; ++t) {
+      AdvisorSession* session =
+          service.FindSession("tenant-" + std::to_string(t));
+      if (session == nullptr) {
+        ADD_FAILURE() << "tenant " << t << " has no session";
+        continue;
+      }
+      *folded_template_hits +=
+          session->prepare_stats().plan_cache_template_hits;
+    }
+    return finals;
+  };
+
+  int64_t calls_off = 0, calls_on = 0, folded_off = 0, folded_on = 0;
+  PlanCacheStats stats_off, stats_on;
+  const std::vector<Recommendation> off =
+      run(false, &calls_off, &stats_off, &folded_off);
+  const std::vector<Recommendation> on =
+      run(true, &calls_on, &stats_on, &folded_on);
+
+  // Same tenant, same trace -> bit-identical recommendation either way.
+  for (int t = 0; t < kTenants; ++t) {
+    SCOPED_TRACE("tenant " + std::to_string(t));
+    ExpectBitIdentical(off[t], on[t]);
+  }
+  // The tentpole's perf claim, counter-asserted: overlapping tenants
+  // resolve shared statement classes from the cache, so the cache-on
+  // service performs strictly fewer what-if optimizer calls.
+  EXPECT_LT(calls_on, calls_off);
+  EXPECT_GT(stats_on.template_hits, 0);
+  EXPECT_GT(stats_on.Hits(), 0);
+  EXPECT_EQ(stats_off.Lookups(), 0);
+  // The per-session PrepareStats fold sees the same hits the cache does.
+  EXPECT_EQ(folded_off, 0);
+  EXPECT_GT(folded_on, 0);
+}
+
+TEST(ServiceTest, BackpressureResolvesFutureWithResourceExhausted) {
+  TestEnv env;
+  ServiceOptions so;
+  so.num_threads = 2;  // real worker: ops queue instead of running inline
+  so.max_inflight_per_tenant = 1;
+  so.session.tuning = TestOptions();
+  AdvisorService service(env.sim.get(), &env.pool, so);
+
+  std::vector<Query> batch;
+  for (int i = 0; i < 8; ++i) batch.push_back(TenantStatement(env.cat, 0, i));
+  EXPECT_TRUE(service.AddStatements("t", batch).get().status.ok());
+  // The Tune occupies the lane the instant Submit accepts it (the
+  // in-flight count drops only on completion, and a cold Tune is far
+  // slower than the back-to-back Submit), so the second op must bounce.
+  std::future<OpResult> first = service.Tune("t", env.Budget(0.5));
+  std::future<OpResult> second = service.Retune("t", env.Budget(0.5));
+  const OpResult bounced = second.get();
+  EXPECT_EQ(bounced.status.code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(first.get().status.ok());
+  service.Drain();
+  EXPECT_EQ(service.stats().rejected, 1);
+  // With the lane idle again the tenant is welcome back.
+  EXPECT_TRUE(service.Tune("t", env.Budget(0.5)).get().status.ok());
+}
+
+TEST(ServiceTest, HammerManyTenantsInterleaved) {
+  // Race-hunting workload for the TSan job: more tenants than workers,
+  // every tenant churning add/remove/retune concurrently through the
+  // shared pool, cache and executor. Correctness assertions ride along
+  // (every op OK, counters consistent); the sanitizer owns the rest.
+  TestEnv env;
+  constexpr int kTenants = 6;
+  std::vector<std::vector<ServiceOp>> traces;
+  for (int t = 0; t < kTenants; ++t) {
+    traces.push_back(MakeTrace(env, t, /*rounds=*/2, /*overlap_pct=*/50));
+  }
+  ServiceOptions so;
+  so.num_threads = 4;
+  so.session.tuning = TestOptions();
+  AdvisorService service(env.sim.get(), &env.pool, so);
+  RunInterleaved(service, traces);
+  service.Drain();
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.num_tenants, kTenants);
+  EXPECT_EQ(stats.submitted, stats.completed);
+  EXPECT_EQ(stats.rejected, 0);
+  EXPECT_GT(stats.plan_cache.Hits(), 0);
+}
+
+}  // namespace
+}  // namespace cophy

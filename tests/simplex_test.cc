@@ -294,7 +294,7 @@ TEST(SimplexTest, StatsAndGlobalCountersAccumulate) {
   ResetSolverCounters();
   const LpSolution s = SolveLp(m);
   ASSERT_TRUE(s.status.ok());
-  const SolverCounters& c = GlobalSolverCounters();
+  const SolverCounters c = SolverCountersSnapshot();
   EXPECT_EQ(c.lp_solves, 1);
   EXPECT_EQ(c.cold_starts, 1);
   EXPECT_EQ(c.warm_starts, 0);
@@ -655,7 +655,7 @@ TEST(SimplexTest, SafeguardCountersReachTheGlobalTotals) {
   LpBasis sick;
   sick.variables = {VarStatus::kBasic, VarStatus::kBasic};
   sick.slacks = {VarStatus::kAtLower, VarStatus::kAtLower};
-  const SolverCounters before = GlobalSolverCounters();
+  const SolverCounters before = SolverCountersSnapshot();
   const LpSolution s = SolveLp(m, nullptr, nullptr, &sick);
   ASSERT_TRUE(s.status.ok());
   const SolverCounters delta = SolverCountersSince(before);

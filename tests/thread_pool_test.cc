@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <future>
 #include <numeric>
 #include <stdexcept>
 #include <vector>
@@ -114,6 +115,47 @@ TEST(ThreadPoolTest, FreeFunctionFallsBackToSerialWithoutPool) {
   std::vector<int> order;
   ParallelFor(nullptr, 5, [&](int64_t i) { order.push_back(static_cast<int>(i)); });
   EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPoolTest, PostRunsEveryTask) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  std::promise<void> all_done;
+  constexpr int kTasks = 200;
+  for (int i = 0; i < kTasks; ++i) {
+    pool.Post([&] {
+      if (ran.fetch_add(1) + 1 == kTasks) all_done.set_value();
+    });
+  }
+  all_done.get_future().wait();
+  EXPECT_EQ(ran.load(), kTasks);
+}
+
+TEST(ThreadPoolTest, PostRunsInlineOnSizeOnePool) {
+  ThreadPool pool(1);
+  int ran = 0;
+  pool.Post([&] { ++ran; });
+  // No workers: the task must have executed inside Post itself.
+  EXPECT_EQ(ran, 1);
+}
+
+TEST(ThreadPoolTest, PostAndParallelForCoexist) {
+  // ParallelFor jobs outrank the Post queue but both must complete;
+  // the fork-join caller may not deadlock behind queued tasks.
+  ThreadPool pool(4);
+  std::atomic<int> posted{0};
+  std::promise<void> drained;
+  constexpr int kTasks = 50;
+  for (int i = 0; i < kTasks; ++i) {
+    pool.Post([&] {
+      if (posted.fetch_add(1) + 1 == kTasks) drained.set_value();
+    });
+  }
+  std::atomic<int64_t> sum{0};
+  pool.ParallelFor(100, [&](int64_t i) { sum += i; });
+  EXPECT_EQ(sum.load(), 4950);
+  drained.get_future().wait();
+  EXPECT_EQ(posted.load(), kTasks);
 }
 
 }  // namespace
