@@ -1,0 +1,291 @@
+// Online-tuning-under-drift benchmark: a drifting trace (a persistent
+// template core whose Zipf exponent jumps mid-run, plus a one-round
+// minority burst that slides to a new template every round) replayed
+// against three advisors:
+//
+//   drift/oracle          cold re-tune every round (the regret baseline)
+//   drift/hysteresis_off  warm retune, applied == recommended (K = 1)
+//   drift/hysteresis_on   warm retune behind a K-round materialize/drop
+//                         hysteresis window
+//
+// Reported per advisor: rounds, recommendation changes (on the applied
+// configuration), cumulative true workload cost (decayed weights,
+// simulator ground truth), cumulative regret vs. the oracle, retune
+// latency, and DBA-veto violations. Emitted as bench_drift.json
+// (BenchJson envelope) for the CI gates:
+//
+//   hysteresis_on changes <= 25% of hysteresis_off changes,
+//   hysteresis_on cumulative regret vs. the oracle <= 10%,
+//   a vetoed index never appears in any later recommendation.
+//
+//   bench_drift [rounds] [out.json]        (defaults: 16, bench_drift.json)
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/stopwatch.h"
+#include "core/drift.h"
+#include "core/session.h"
+
+using namespace cophy;
+using namespace cophy::bench;
+
+namespace {
+
+constexpr int kCoreTemplates = 6;   // persistent heavy core
+constexpr double kHalfLife = 1.0;   // epochs; one epoch per round
+constexpr int kHysteresisWindow = 4;
+
+// One advisor under test: its own catalog/pool/simulator (identical
+// construction, so costs are comparable) and its own session. The Env
+// lives in main — the simulator holds pointers into it, so it must
+// never be moved after Env::Make.
+struct Contender {
+  Env* env = nullptr;
+  std::unique_ptr<AdvisorSession> session;
+  std::vector<QueryId> minority_ids;
+  std::vector<IndexId> last_applied;
+  int changes = 0;
+  double cumulative_cost = 0;
+  double retune_seconds = 0;
+  int veto_violations = 0;
+
+  static Contender Make(Env& env, int hysteresis) {
+    Contender a;
+    a.env = &env;
+    SessionOptions so;
+    so.tuning = DefaultCoPhyOptions();
+    so.tuning.gap_target = 0.01;
+    so.tuning.node_limit = 20000;
+    so.num_shards = 4;
+    so.drift.half_life_epochs = kHalfLife;
+    so.drift.materialize_after = hysteresis;
+    so.drift.drop_after = hysteresis;
+    a.session =
+        std::make_unique<AdvisorSession>(env.system.get(), &env.pool, so);
+    return a;
+  }
+};
+
+// The drifting trace, two kinds of drift per round:
+//
+// The persistent core re-arrives every round with Zipf weights whose
+// exponent jumps (1.0 -> 1.6) at the midpoint — a regime change the
+// damped advisor *should* follow. The re-arrivals are identical
+// statements (same template, same seed, same cost-equivalence class),
+// so the core is pure re-weighting: zero prepare work, while the
+// weight distribution the drift detector watches shifts and older
+// arrivals fade under the half-life.
+//
+// On top of the core, each round brings a two-statement burst from one
+// minority template outside the core, and the previous round's burst
+// is removed — a sliding template mix. The burst's marginal index
+// displaces something under the tight storage budget every round,
+// which is exactly the churn the un-damped advisor exhibits and the
+// K-round hysteresis window filters (no burst index ever survives K
+// consecutive recommendations).
+std::vector<Query> CoreBatch(const Catalog& cat, int round, int rounds) {
+  std::vector<Query> batch;
+  const double s = round < rounds / 2 ? 1.0 : 1.6;
+  for (int t = 0; t < kCoreTemplates; ++t) {
+    Query q = MakeHomogeneousStatement(cat, t, 42);
+    q.weight = 24.0 / std::pow(t + 1.0, s);
+    batch.push_back(std::move(q));
+  }
+  return batch;
+}
+
+std::vector<Query> MinorityBatch(const Catalog& cat, int round) {
+  std::vector<Query> batch;
+  const int minority =
+      kCoreTemplates + (round % (NumHomogeneousTemplates() - kCoreTemplates));
+  for (int i = 0; i < 2; ++i) {
+    Query q = MakeHomogeneousStatement(cat, minority,
+                                       1000 + 10 * round + i);
+    q.weight = 9.0;
+    batch.push_back(std::move(q));
+  }
+  return batch;
+}
+
+// True cost of holding configuration `x` against the live decayed
+// trace, from the advisor's own simulator (ground truth, not the INUM
+// estimate): sum of decayed weight x per-statement cost.
+double TraceCost(Contender& a, const std::vector<std::pair<Query, int>>& trace,
+                 const std::vector<Query>& burst, int round,
+                 const std::vector<IndexId>& config) {
+  Configuration x(config);
+  double total = 0;
+  auto eval = [&](const Query& q, double w) {
+    auto cost = a.env->system->Cost(q, x);
+    if (!cost.ok()) {
+      std::fprintf(stderr, "cost eval failed: %s\n",
+                   cost.status().ToString().c_str());
+      std::exit(1);
+    }
+    total += w * cost.value();
+  };
+  for (const auto& [q, arrival] : trace) {
+    eval(q, q.weight * DecayFactor(round - arrival, kHalfLife));
+  }
+  for (const Query& q : burst) eval(q, q.weight);
+  return total;
+}
+
+void Step(Contender& a, const std::vector<IndexId>& applied, double cost,
+          IndexId vetoed) {
+  if (!a.last_applied.empty() || !applied.empty()) {
+    if (a.changes == 0 && a.last_applied.empty()) {
+      ++a.changes;  // first materialization counts as one change
+    } else if (applied != a.last_applied) {
+      ++a.changes;
+    }
+  }
+  a.last_applied = applied;
+  a.cumulative_cost += cost;
+  if (vetoed >= 0 &&
+      std::binary_search(applied.begin(), applied.end(), vetoed)) {
+    ++a.veto_violations;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int rounds = argc > 1 ? std::atoi(argv[1]) : 16;
+  const char* out_path = argc > 2 ? argv[2] : "bench_drift.json";
+
+  Env oracle_env = Env::Make(/*z=*/0.5, /*system_b=*/false,
+                             /*num_statements=*/0, /*het=*/false);
+  Env off_env = Env::Make(0.5, false, 0, false);
+  Env on_env = Env::Make(0.5, false, 0, false);
+  Contender oracle = Contender::Make(oracle_env, /*hysteresis=*/1);
+  Contender off = Contender::Make(off_env, /*hysteresis=*/1);
+  Contender on = Contender::Make(on_env, kHysteresisWindow);
+  // A tight budget: the minority burst's marginal index has to displace
+  // something, which is exactly the churn hysteresis should absorb.
+  const ConstraintSet budget = oracle_env.BudgetConstraint(0.1);
+
+  // (statement, arrival round): the bench's own mirror of the live
+  // workload, used for the ground-truth cost evaluation. The core
+  // accumulates (each re-arrival decays under the half-life); the
+  // minority burst is removed before the next one arrives, so only the
+  // current round's burst is ever live.
+  std::vector<std::pair<Query, int>> trace;
+  IndexId vetoed = -1;
+
+  Title("drifting trace");
+  for (int r = 0; r < rounds; ++r) {
+    const std::vector<Query> core = CoreBatch(oracle_env.catalog, r, rounds);
+    const std::vector<Query> burst = MinorityBatch(oracle_env.catalog, r);
+    for (Contender* a : {&oracle, &off, &on}) {
+      if (r > 0) a->session->AdvanceEpoch();
+      if (!a->minority_ids.empty()) {
+        const Status removed = a->session->RemoveStatements(a->minority_ids);
+        if (!removed.ok()) {
+          std::fprintf(stderr, "remove: %s\n", removed.ToString().c_str());
+          return 1;
+        }
+      }
+      a->session->AddStatements(core);
+      a->minority_ids = a->session->AddStatements(burst);
+    }
+    for (const Query& q : core) trace.emplace_back(q, r);
+
+    // The oracle re-tunes cold every round; the advisors under test
+    // absorb the delta warm.
+    const Recommendation orc = oracle.session->Tune(budget);
+    Stopwatch off_watch;
+    const Recommendation orec = off.session->Retune(budget);
+    off.retune_seconds += off_watch.Elapsed();
+    Stopwatch on_watch;
+    const Recommendation nrec = on.session->Retune(budget);
+    on.retune_seconds += on_watch.Elapsed();
+    for (const Recommendation* rec : {&orc, &orec, &nrec}) {
+      if (!rec->status.ok()) {
+        std::fprintf(stderr, "round %d: %s\n", r,
+                     rec->status.ToString().c_str());
+        return 1;
+      }
+    }
+
+    Step(oracle, orc.configuration.ids(),
+         TraceCost(oracle, trace, burst, r, orc.configuration.ids()), vetoed);
+    Step(off, orec.configuration.ids(),
+         TraceCost(off, trace, burst, r, orec.configuration.ids()), vetoed);
+    Step(on, nrec.materialization.applied,
+         TraceCost(on, trace, burst, r, nrec.materialization.applied), vetoed);
+
+    Row({{"round", std::to_string(r)},
+         {"drift", Fmt("%.3f", nrec.prepare.drift_score)},
+         {"oracle", Fmt("%.4g", oracle.cumulative_cost)},
+         {"hys_off", Fmt("%.4g", off.cumulative_cost)},
+         {"hys_on", Fmt("%.4g", on.cumulative_cost)},
+         {"off_changes", std::to_string(off.changes)},
+         {"on_changes", std::to_string(on.changes)}});
+
+    // After the first round's solve, the DBA vetoes one index of the
+    // stabilized advisor's raw recommendation (the same veto lands on
+    // every advisor so the constraint picture stays comparable). It
+    // must never reappear anywhere.
+    if (r == 0 && !nrec.configuration.ids().empty()) {
+      vetoed = nrec.configuration.ids().back();
+      for (Contender* a : {&oracle, &off, &on}) {
+        const Status s = a->session->Veto(vetoed);
+        if (!s.ok()) {
+          std::fprintf(stderr, "veto: %s\n", s.ToString().c_str());
+          return 1;
+        }
+      }
+    }
+  }
+
+  const double regret_off =
+      (off.cumulative_cost - oracle.cumulative_cost) / oracle.cumulative_cost;
+  const double regret_on =
+      (on.cumulative_cost - oracle.cumulative_cost) / oracle.cumulative_cost;
+  const double change_ratio =
+      off.changes > 0 ? static_cast<double>(on.changes) / off.changes : 1.0;
+
+  Title("summary");
+  Row({{"rounds", std::to_string(rounds)},
+       {"off_changes", std::to_string(off.changes)},
+       {"on_changes", std::to_string(on.changes)},
+       {"change_ratio", Fmt("%.3f", change_ratio)},
+       {"regret_off", Fmt("%.4f", regret_off)},
+       {"regret_on", Fmt("%.4f", regret_on)},
+       {"veto_violations",
+        std::to_string(oracle.veto_violations + off.veto_violations +
+                       on.veto_violations)}});
+
+  BenchJson json("bench_drift");
+  json.Context("rounds", rounds)
+      .Context("core_templates", kCoreTemplates)
+      .Context("half_life_epochs", kHalfLife)
+      .Context("hysteresis_window", kHysteresisWindow);
+  auto add_row = [&](const std::string& name, const Contender& a,
+                     double regret) {
+    json.BeginRow(name)
+        .Metric("rounds", rounds)
+        .Metric("changes", a.changes)
+        .Metric("cumulative_cost", a.cumulative_cost)
+        .Metric("cumulative_regret", regret)
+        .Metric("retune_seconds", a.retune_seconds)
+        .Metric("veto_violations", a.veto_violations);
+  };
+  add_row("drift/oracle", oracle, 0.0);
+  add_row("drift/hysteresis_off", off, regret_off);
+  add_row("drift/hysteresis_on", on, regret_on);
+  json.BeginRow("drift/gates")
+      .Metric("change_ratio", change_ratio)
+      .Metric("regret_on", regret_on)
+      .Metric("veto_violations",
+              oracle.veto_violations + off.veto_violations +
+                  on.veto_violations);
+  if (!json.Write(out_path)) return 1;
+  return 0;
+}

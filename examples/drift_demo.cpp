@@ -1,0 +1,122 @@
+// Online tuning under workload drift: a session with decayed statement
+// weights (half-life one epoch), drift detection, a materialize/drop
+// hysteresis window, and DBA feedback. Each round ticks the epoch
+// clock, re-weights the persistent templates (pure re-weighting: zero
+// preparation work) and opens one short-lived template burst, then
+// warm-retunes. The rows show the drift score, the raw recommendation
+// churning with the bursts, and the applied configuration the
+// hysteresis window actually changes. Halfway through, the DBA vetoes
+// an index out of the applied set and accepts another — both verdicts
+// become equality rows in every later solve.
+//
+//   $ ./drift_demo [rounds] [hysteresis_window]
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "optimizer/simulator.h"
+#include "catalog/catalog.h"
+#include "core/report.h"
+#include "core/session.h"
+#include "workload/generator.h"
+
+using namespace cophy;
+
+namespace {
+
+std::string Ids(const std::vector<IndexId>& v) {
+  std::string out = "{";
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(v[i]);
+  }
+  return out + "}";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int rounds = argc > 1 ? std::atoi(argv[1]) : 8;
+  const int window = argc > 2 ? std::atoi(argv[2]) : 3;
+
+  Catalog catalog = MakeTpchCatalog(1.0, 0.5);
+  IndexPool pool;
+  SystemSimulator system(&catalog, &pool, CostModel::SystemA());
+
+  SessionOptions opts;
+  opts.tuning.gap_target = 0.01;
+  opts.num_shards = 4;
+  opts.drift.half_life_epochs = 1.0;  // one epoch per round below
+  opts.drift.materialize_after = window;
+  opts.drift.drop_after = window;
+  AdvisorSession session(&system, &pool, opts);
+  ConstraintSet cs;
+  cs.SetStorageBudget(0.1 * catalog.TotalDataBytes());
+
+  std::printf("%d rounds, half-life 1 epoch, hysteresis window %d\n\n",
+              rounds, window);
+  std::printf("%-6s %7s %5s %5s %-28s %s\n", "round", "drift", "new",
+              "churn", "recommended", "applied");
+
+  std::vector<QueryId> burst_ids;
+  std::vector<IndexId> prev_rec;
+  for (int r = 0; r < rounds; ++r) {
+    if (r > 0) session.AdvanceEpoch();  // lazy: costs nothing by itself
+
+    // The persistent core re-arrives re-weighted (same statements →
+    // same cost-equivalence classes → zero preparation work), heavier
+    // on low templates as the run progresses.
+    std::vector<Query> batch;
+    for (int t = 0; t < 6; ++t) {
+      Query q = MakeHomogeneousStatement(catalog, t, 42);
+      q.weight = 24.0 / std::pow(t + 1.0, 1.0 + 0.1 * r);
+      batch.push_back(std::move(q));
+    }
+    session.AddStatements(batch);
+
+    // One short-lived burst from a template outside the core; last
+    // round's burst departs. This is what churns the raw
+    // recommendation round over round.
+    if (!burst_ids.empty() &&
+        !session.RemoveStatements(burst_ids).ok()) {
+      return 1;
+    }
+    std::vector<Query> burst;
+    for (int i = 0; i < 2; ++i) {
+      Query q = MakeHomogeneousStatement(catalog, 6 + r % 9, 900 + 10 * r + i);
+      q.weight = 9.0;
+      burst.push_back(std::move(q));
+    }
+    burst_ids = session.AddStatements(burst);
+
+    const Recommendation rec = r == 0 ? session.Tune(cs) : session.Retune(cs);
+    if (!rec.status.ok()) {
+      std::fprintf(stderr, "round %d failed: %s\n", r,
+                   rec.status.ToString().c_str());
+      return 1;
+    }
+    const bool churned = r > 0 && rec.configuration.ids() != prev_rec;
+    prev_rec = rec.configuration.ids();
+    std::printf("%-6d %7.3f %5d %5s %-28s %s\n", r, rec.prepare.drift_score,
+                rec.prepare.drift_new_classes, churned ? "yes" : "-",
+                Ids(rec.configuration.ids()).c_str(),
+                Ids(rec.materialization.applied).c_str());
+
+    // Mid-run the DBA steps in: veto the applied set's last index,
+    // accept its first. Both compile into x_i = 0 / x_i = 1 rows in
+    // every later solve; the veto also force-drops the index from the
+    // applied configuration immediately.
+    if (r == rounds / 2 && rec.materialization.applied.size() >= 2) {
+      const IndexId veto = rec.materialization.applied.back();
+      const IndexId accept = rec.materialization.applied.front();
+      if (!session.Veto(veto).ok() || !session.Accept(accept).ok()) return 1;
+      std::printf("       DBA: veto %d, accept %d\n", veto, accept);
+    }
+  }
+
+  std::printf("\n%s", RenderPrepareStats(session.prepare_stats()).c_str());
+  return 0;
+}

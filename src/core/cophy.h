@@ -13,6 +13,7 @@
 #include "common/thread_pool.h"
 #include "constraints/constraints.h"
 #include "core/bipgen.h"
+#include "core/drift.h"
 #include "core/prepared.h"
 #include "index/candidates.h"
 #include "inum/inum.h"
@@ -106,6 +107,12 @@ struct Recommendation {
   double coverage = 1.0;
   bool degraded = false;
   std::vector<ShardHealth> shard_health;
+  /// Hysteresis-stabilized materialize/drop decision of a drift-aware
+  /// session (core/drift.h): `materialization.applied` is the stable
+  /// configuration the DBA should hold, `configuration` above the raw
+  /// solver recommendation of this retune. With the default hysteresis
+  /// windows (1/1) the two are identical; empty for one-shot advisors.
+  MaterializationDecision materialization;
 };
 
 /// One point of a Pareto sweep over a soft constraint.

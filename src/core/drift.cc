@@ -1,0 +1,165 @@
+#include "core/drift.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace cophy {
+
+double DecayFactor(int64_t age_epochs, double half_life_epochs) {
+  // The <= 0 gate is what makes the disabled path bit-identical to the
+  // pre-drift session: no multiplication ever happens, not even by a
+  // factor that rounds to 1.0.
+  if (half_life_epochs <= 0 || age_epochs <= 0) return 1.0;
+  return std::pow(0.5, static_cast<double>(age_epochs) / half_life_epochs);
+}
+
+DriftDetector::Reading DriftDetector::Observe(
+    const std::vector<std::pair<int, double>>& class_weights) {
+  Reading r;
+  double total = 0;
+  for (const auto& [cls, w] : class_weights) total += w;
+  std::unordered_map<int, double> now;
+  now.reserve(class_weights.size());
+  for (const auto& [cls, w] : class_weights) {
+    now[cls] = total > 0 ? w / total : 0.0;
+  }
+  if (!seeded_) {
+    // First observation: everything is new; an empty first snapshot is
+    // a stable (score 0) baseline, not full drift.
+    r.new_classes = static_cast<int>(now.size());
+    r.score = now.empty() ? 0.0 : 1.0;
+  } else {
+    double l1 = 0;
+    for (const auto& [cls, share] : now) {
+      auto it = prev_.find(cls);
+      if (it == prev_.end()) {
+        ++r.new_classes;
+        l1 += share;
+      } else {
+        l1 += std::abs(share - it->second);
+      }
+    }
+    for (const auto& [cls, share] : prev_) {
+      if (now.find(cls) == now.end()) {
+        ++r.retired_classes;
+        l1 += share;
+      }
+    }
+    r.score = 0.5 * l1;  // total-variation distance, in [0, 1]
+  }
+  prev_ = std::move(now);
+  seeded_ = true;
+  return r;
+}
+
+MaterializationDecision HysteresisScheduler::Update(
+    const std::vector<IndexId>& recommended) {
+  std::vector<IndexId> rec = recommended;
+  std::sort(rec.begin(), rec.end());
+  MaterializationDecision d;
+  for (IndexId id : rec) {
+    Track& t = tracks_[id];
+    ++t.present_streak;
+    t.absent_streak = 0;
+    if (!t.applied && t.present_streak >= materialize_after_) {
+      t.applied = true;
+      d.materialized.push_back(id);
+    }
+  }
+  // Tracks not in `recommended` accumulate absence; fully-expired
+  // unapplied tracks are forgotten so the map stays bounded by the
+  // candidate sets of the last K retunes.
+  std::vector<IndexId> expired;
+  for (auto& [id, t] : tracks_) {
+    if (std::binary_search(rec.begin(), rec.end(), id)) continue;
+    ++t.absent_streak;
+    t.present_streak = 0;
+    if (t.applied && t.absent_streak >= drop_after_) {
+      t.applied = false;
+      d.dropped.push_back(id);
+    }
+    if (!t.applied && t.absent_streak >= drop_after_) expired.push_back(id);
+  }
+  for (IndexId id : expired) tracks_.erase(id);
+  for (const auto& [id, t] : tracks_) {
+    if (t.applied) {
+      d.applied.push_back(id);
+      if (t.absent_streak > 0) d.pending_drop.push_back(id);
+    } else if (t.present_streak > 0) {
+      d.pending_materialize.push_back(id);
+    }
+  }
+  return d;
+}
+
+void HysteresisScheduler::ForceInclude(IndexId id) {
+  Track& t = tracks_[id];
+  t.applied = true;
+  t.present_streak = std::max(t.present_streak, materialize_after_);
+  t.absent_streak = 0;
+}
+
+void HysteresisScheduler::ForceDrop(IndexId id) { tracks_.erase(id); }
+
+std::vector<IndexId> HysteresisScheduler::applied() const {
+  std::vector<IndexId> out;
+  for (const auto& [id, t] : tracks_) {
+    if (t.applied) out.push_back(id);
+  }
+  return out;
+}
+
+namespace {
+
+void InsertSortedUnique(std::vector<IndexId>& v, IndexId id) {
+  auto it = std::lower_bound(v.begin(), v.end(), id);
+  if (it == v.end() || *it != id) v.insert(it, id);
+}
+
+void EraseSorted(std::vector<IndexId>& v, IndexId id) {
+  auto it = std::lower_bound(v.begin(), v.end(), id);
+  if (it != v.end() && *it == id) v.erase(it);
+}
+
+}  // namespace
+
+void DbaFeedback::Accept(IndexId id) {
+  EraseSorted(vetoed_, id);
+  InsertSortedUnique(accepted_, id);
+}
+
+void DbaFeedback::Veto(IndexId id) {
+  EraseSorted(accepted_, id);
+  InsertSortedUnique(vetoed_, id);
+}
+
+void DbaFeedback::Clear(IndexId id) {
+  EraseSorted(accepted_, id);
+  EraseSorted(vetoed_, id);
+}
+
+bool DbaFeedback::IsAccepted(IndexId id) const {
+  return std::binary_search(accepted_.begin(), accepted_.end(), id);
+}
+
+bool DbaFeedback::IsVetoed(IndexId id) const {
+  return std::binary_search(vetoed_.begin(), vetoed_.end(), id);
+}
+
+void DbaFeedback::AppendConstraints(ConstraintSet* cs) const {
+  auto pin = [cs](IndexId id, double rhs, const char* verb) {
+    IndexConstraint c;
+    c.name = StrFormat("dba_%s_%d", verb, id);
+    c.filter = [id](const Index& a, const Catalog&) { return a.id == id; };
+    c.weight = [](const Index&, const Catalog&) { return 1.0; };
+    c.op = CmpOp::kEq;
+    c.rhs = rhs;
+    cs->AddIndexConstraint(std::move(c));
+  };
+  for (IndexId id : accepted_) pin(id, 1.0, "accept");
+  for (IndexId id : vetoed_) pin(id, 0.0, "veto");
+}
+
+}  // namespace cophy

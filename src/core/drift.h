@@ -1,0 +1,183 @@
+// Online tuning under workload drift (the serving-side complement of
+// the session's delta path; semi-automatic index tuning's production
+// loop). Three mechanisms, all deterministic and all riding on the
+// existing shard/merge machinery:
+//
+//  * Exponentially-decayed f_q weights. The session keeps a logical
+//    epoch clock (AdvanceEpoch, typically one tick per trace round);
+//    a statement's live weight is f_q * 0.5^(age / half_life). Decay is
+//    applied *lazily at merge time* — shards never re-prepare for a
+//    weight change, and with decay disabled (half_life <= 0) the
+//    arithmetic is byte-for-byte the undecayed path (pinned by test).
+//
+//  * Drift detection over the cost-equivalence-class distribution. A
+//    batch that only shifts weight between known classes takes the
+//    existing zero-prepare re-weighting fast path; a batch that opens
+//    (or retires) classes dirties exactly the owning shards. The
+//    detector classifies each retune — total-variation distance of the
+//    normalized class-weight distribution plus new/retired class counts
+//    — and the score is exported through PrepareStats /
+//    RenderPrepareStats.
+//
+//  * Materialize/drop scheduling with hysteresis. The solver's
+//    recommendation may thrash on near-ties under drift; an index must
+//    be recommended for K consecutive retunes before "materialize" and
+//    absent for K before "drop", so the *applied* configuration is
+//    stable while the solver stays free to follow the workload.
+//
+// Plus the DBA feedback hook: Accept/Veto per index translate into
+// fixed/forbidden z variables (z_a == 1 / z_a == 0 rows) through the
+// existing constraints layer, so they constrain every subsequent solve
+// exactly like any other E.1 index constraint.
+#ifndef COPHY_CORE_DRIFT_H_
+#define COPHY_CORE_DRIFT_H_
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "constraints/constraints.h"
+#include "index/index.h"
+
+namespace cophy {
+
+/// Online-tuning knobs of a session. Defaults are the exact pre-drift
+/// behavior: no decay, hysteresis window 1 (applied == recommended).
+struct DriftOptions {
+  /// Half-life of statement weights in epochs (AdvanceEpoch ticks).
+  /// <= 0 disables decay entirely — live weights are the raw f_q and
+  /// the merge arithmetic is bit-identical to the undecayed path.
+  double half_life_epochs = 0;
+  /// An index must be recommended for this many *consecutive* retunes
+  /// before it enters the applied (materialized) configuration.
+  int materialize_after = 1;
+  /// ... and absent for this many consecutive retunes before it leaves.
+  int drop_after = 1;
+};
+
+/// Weight multiplier for a statement `age` epochs old (1.0 exactly when
+/// decay is disabled or the statement arrived in the current epoch).
+double DecayFactor(int64_t age_epochs, double half_life_epochs);
+
+/// Point-in-time drift picture of a session (refreshed at every
+/// Tune/Retune; see AdvisorSession::drift_stats).
+struct DriftStats {
+  int64_t epoch = 0;  ///< the session's logical clock
+  /// Total-variation distance in [0, 1] between the previous retune's
+  /// normalized class-weight distribution and the current one (0 =
+  /// stable, 1 = complete turnover). New/retired classes contribute
+  /// their full weight share.
+  double score = 0;
+  int new_classes = 0;      ///< classes first seen since the last retune
+  int retired_classes = 0;  ///< classes that disappeared since then
+  /// Preparation work of the last Refresh: shards fully re-prepared
+  /// (slow path) and shards that took incremental γ appends. Both zero
+  /// on a pure re-weighting retune (the fast path).
+  int full_prepares = 0;
+  int incremental_prepares = 0;
+};
+
+/// Classifies retune-to-retune movement of the class-weight
+/// distribution. Observe() compares against the previous snapshot and
+/// replaces it; the first observation reports every class as new with
+/// score 1 (an empty session observing an empty one reports 0).
+class DriftDetector {
+ public:
+  struct Reading {
+    double score = 0;
+    int new_classes = 0;
+    int retired_classes = 0;
+  };
+
+  /// `class_weights`: (class id, live weight) of every live class.
+  Reading Observe(const std::vector<std::pair<int, double>>& class_weights);
+
+  void Reset() { prev_.clear(); seeded_ = false; }
+
+ private:
+  std::unordered_map<int, double> prev_;  // normalized weight share
+  bool seeded_ = false;
+};
+
+/// What the hysteresis scheduler decided after one retune.
+struct MaterializationDecision {
+  /// The stable applied configuration after this retune (ascending ids).
+  std::vector<IndexId> applied;
+  std::vector<IndexId> materialized;  ///< entered `applied` this retune
+  std::vector<IndexId> dropped;       ///< left `applied` this retune
+  /// Recommended now but streak < materialize_after / absent now but
+  /// streak < drop_after — the DBA's "pending" picture.
+  std::vector<IndexId> pending_materialize;
+  std::vector<IndexId> pending_drop;
+  int changes() const {
+    return static_cast<int>(materialized.size() + dropped.size());
+  }
+};
+
+/// K-consecutive-retunes materialize/drop scheduling. With both windows
+/// at 1 this is the identity: applied == recommended every retune.
+class HysteresisScheduler {
+ public:
+  HysteresisScheduler() = default;
+  HysteresisScheduler(int materialize_after, int drop_after)
+      : materialize_after_(materialize_after < 1 ? 1 : materialize_after),
+        drop_after_(drop_after < 1 ? 1 : drop_after) {}
+
+  /// Feeds one retune's recommended set; returns the updated decision.
+  MaterializationDecision Update(const std::vector<IndexId>& recommended);
+
+  /// DBA override: force `id` into the applied set immediately (Accept).
+  void ForceInclude(IndexId id);
+  /// DBA override: drop `id` immediately and forget its streaks (Veto).
+  void ForceDrop(IndexId id);
+
+  /// The current applied configuration (ascending ids).
+  std::vector<IndexId> applied() const;
+
+ private:
+  struct Track {
+    int present_streak = 0;
+    int absent_streak = 0;
+    bool applied = false;
+  };
+  int materialize_after_ = 1;
+  int drop_after_ = 1;
+  std::map<IndexId, Track> tracks_;  // ordered: deterministic outputs
+};
+
+/// The DBA feedback ledger (semi-automatic tuning's accept/veto verbs).
+/// Accept pins z_a = 1, Veto pins z_a = 0; each overrides the other and
+/// Clear forgets both. AppendConstraints translates the ledger into
+/// per-index kEq rows through the existing constraints layer, so the
+/// solver, presolve, and warm-start machinery see ordinary E.1 rows.
+class DbaFeedback {
+ public:
+  void Accept(IndexId id);
+  void Veto(IndexId id);
+  void Clear(IndexId id);
+
+  bool IsAccepted(IndexId id) const;
+  bool IsVetoed(IndexId id) const;
+  bool empty() const { return accepted_.empty() && vetoed_.empty(); }
+
+  /// Ascending ids (deterministic constraint order).
+  const std::vector<IndexId>& accepted() const { return accepted_; }
+  const std::vector<IndexId>& vetoed() const { return vetoed_; }
+
+  /// Appends one z_a == 1 row per accepted id and one z_a == 0 row per
+  /// vetoed id. A vetoed id outside the candidate set translates to a
+  /// trivially satisfied empty row (dropped); an accepted id must be in
+  /// the candidate set or the empty == 1 row surfaces as infeasibility
+  /// — AdvisorSession guarantees accepted ids are always candidates.
+  void AppendConstraints(ConstraintSet* cs) const;
+
+ private:
+  std::vector<IndexId> accepted_;  // sorted ascending
+  std::vector<IndexId> vetoed_;    // sorted ascending
+};
+
+}  // namespace cophy
+
+#endif  // COPHY_CORE_DRIFT_H_

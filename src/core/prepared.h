@@ -78,6 +78,13 @@ struct PrepareStats {
   int64_t plan_cache_template_misses = 0;
   int64_t plan_cache_gamma_hits = 0;
   int64_t plan_cache_gamma_misses = 0;
+  /// Workload-drift picture of the session that produced this view
+  /// (all zero for one-shot advisors; see core/drift.h). The score is
+  /// the total-variation distance of the class-weight distribution
+  /// between the previous retune and this one.
+  double drift_score = 0;
+  int drift_new_classes = 0;
+  int drift_retired_classes = 0;
   double Total() const {
     return compression.seconds + cgen_seconds + inum_seconds;
   }
@@ -107,6 +114,9 @@ struct PrepareStats {
     plan_cache_template_misses += o.plan_cache_template_misses;
     plan_cache_gamma_hits += o.plan_cache_gamma_hits;
     plan_cache_gamma_misses += o.plan_cache_gamma_misses;
+    drift_score = std::max(drift_score, o.drift_score);
+    drift_new_classes += o.drift_new_classes;
+    drift_retired_classes += o.drift_retired_classes;
     return *this;
   }
 };

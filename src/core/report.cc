@@ -228,6 +228,15 @@ std::string RenderPrepareStats(const PrepareStats& stats) {
         static_cast<long long>(stats.plan_cache_gamma_hits),
         static_cast<long long>(stats.plan_cache_gamma_misses));
   }
+  if (stats.drift_score > 0 || stats.drift_new_classes > 0 ||
+      stats.drift_retired_classes > 0) {
+    out += StrFormat(
+        "Drift: score %.3f, %d new / %d retired class%s since last retune\n",
+        stats.drift_score, stats.drift_new_classes,
+        stats.drift_retired_classes,
+        stats.drift_new_classes + stats.drift_retired_classes == 1 ? ""
+                                                                   : "es");
+  }
   return out;
 }
 

@@ -23,6 +23,8 @@ AdvisorSession::AdvisorSession(WhatIfOptimizer* whatif, IndexPool* pool,
   COPHY_CHECK_EQ(&whatif->pool(), pool);
   COPHY_CHECK(options_.tuning.prepare.compression.mode !=
               CompressionMode::kLossy);
+  scheduler_ = HysteresisScheduler(options_.drift.materialize_after,
+                                   options_.drift.drop_after);
   shards_.resize(router_.num_shards());
   // Every shard gets a (possibly empty) prepared view at the first
   // Refresh, so consumers of shard_prepared() never see an unprepared
@@ -51,6 +53,7 @@ std::vector<QueryId> AdvisorSession::AddStatements(
     st.q = in;
     st.q.id = sid;
     st.live = true;
+    st.arrival_epoch = epoch_;
     const ShardRouter::Route route = router_.Insert(
         st.q, whatif_->catalog(),
         [this](int cls) -> const Query& { return classes_[cls].exemplar; });
@@ -99,7 +102,10 @@ Status AdvisorSession::RemoveStatements(const std::vector<QueryId>& ids) {
       // Last member gone: retire the class. A later equivalent arrival
       // opens a fresh class, exactly as a cold run over the surviving
       // stream would.
-      router_.Erase(c.exemplar, whatif_->catalog(), st.cls);
+      // A stale bucket entry here would glue a future equivalent
+      // arrival onto this dead class id; Erase reporting the entry
+      // missing means the routing table already diverged.
+      COPHY_CHECK(router_.Erase(c.exemplar, whatif_->catalog(), st.cls));
       Shard& sh = shards_[c.shard];
       sh.classes.erase(
           std::find(sh.classes.begin(), sh.classes.end(), st.cls));
@@ -128,6 +134,46 @@ Status AdvisorSession::SetExplicitCandidates(std::vector<IndexId> ids) {
   return Status::Ok();
 }
 
+void AdvisorSession::AdvanceEpoch(int64_t ticks) {
+  COPHY_CHECK_GE(ticks, 0);
+  // Decay is lazy: moving the clock re-weights every live statement at
+  // the next merge without dirtying a single shard.
+  epoch_ += ticks;
+}
+
+Status AdvisorSession::Accept(IndexId id) {
+  if (id < 0 || id >= pool_->size()) {
+    return Status::InvalidArgument("feedback id outside the pool");
+  }
+  feedback_.Accept(id);
+  scheduler_.ForceInclude(id);
+  // An accepted id carries a z == 1 row, so it must be in the candidate
+  // set; Refresh force-appends missing accepted ids (clean shards pick
+  // up the γ entries incrementally).
+  if (std::find(candidates_.begin(), candidates_.end(), id) ==
+      candidates_.end()) {
+    structure_dirty_ = true;
+  }
+  return Status::Ok();
+}
+
+Status AdvisorSession::Veto(IndexId id) {
+  if (id < 0 || id >= pool_->size()) {
+    return Status::InvalidArgument("feedback id outside the pool");
+  }
+  feedback_.Veto(id);
+  scheduler_.ForceDrop(id);
+  return Status::Ok();
+}
+
+Status AdvisorSession::ClearFeedback(IndexId id) {
+  if (id < 0 || id >= pool_->size()) {
+    return Status::InvalidArgument("feedback id outside the pool");
+  }
+  feedback_.Clear(id);
+  return Status::Ok();
+}
+
 std::vector<int> AdvisorSession::LiveClasses() const {
   std::vector<int> live;
   live.reserve(classes_.size());
@@ -141,9 +187,19 @@ int AdvisorSession::num_classes() const {
   return static_cast<int>(LiveClasses().size());
 }
 
+double AdvisorSession::StatementLiveWeight(QueryId sid) const {
+  const StatementState& st = statements_[sid];
+  // The early return (not a multiply by DecayFactor() == 1.0) is what
+  // guarantees the disabled path never touches the FPU: decay off is
+  // byte-for-byte the pre-drift session.
+  if (options_.drift.half_life_epochs <= 0) return st.q.weight;
+  return st.q.weight * DecayFactor(epoch_ - st.arrival_epoch,
+                                   options_.drift.half_life_epochs);
+}
+
 double AdvisorSession::ClassWeight(int cls) const {
   double w = 0;
-  for (QueryId sid : classes_[cls].members) w += statements_[sid].q.weight;
+  for (QueryId sid : classes_[cls].members) w += StatementLiveWeight(sid);
   return w;
 }
 
@@ -159,7 +215,7 @@ CompressedWorkload AdvisorSession::BuildShardView(int shard) const {
     cw.representative_of.push_back(c.members.front());
     for (QueryId sid : c.members) {
       cw.map[sid] = local;
-      cw.stats.input_weight += statements_[sid].q.weight;
+      cw.stats.input_weight += StatementLiveWeight(sid);
     }
     cw.stats.input_statements += static_cast<int>(c.members.size());
     cw.stats.output_weight += cw.workload[local].weight;
@@ -169,6 +225,11 @@ CompressedWorkload AdvisorSession::BuildShardView(int shard) const {
 }
 
 Status AdvisorSession::Refresh() {
+  // Preparation-work counters always describe the *last* Refresh: a
+  // pure re-weighting (no structural change) reports zero of both —
+  // the observable half of the fast-path guarantee.
+  drift_stats_.full_prepares = 0;
+  drift_stats_.incremental_prepares = 0;
   if (!structure_dirty_) return Status::Ok();
   Stopwatch wall;
   // The catalog's lazy statistics cache must be warm before shards fan
@@ -190,6 +251,15 @@ Status AdvisorSession::Refresh() {
     cands = GenerateCandidates(reps, whatif_->catalog(),
                                options_.tuning.prepare.candidates, *pool_,
                                dba_indexes_);
+  }
+  // DBA-accepted ids are pinned with z == 1 rows, which would surface
+  // as infeasibility were the id outside the candidate set. Append any
+  // CGen missed; shards absorb them like any newly discovered
+  // candidate (incremental γ entries on clean shards).
+  for (IndexId id : feedback_.accepted()) {
+    if (std::find(cands.begin(), cands.end(), id) == cands.end()) {
+      cands.push_back(id);
+    }
   }
   cgen_seconds_total_ += cgen_watch.Elapsed();
 
@@ -242,6 +312,11 @@ Status AdvisorSession::Refresh() {
   }
   Status first_error;
   for (size_t i = 0; i < tasks.size(); ++i) {
+    if (tasks[i].full) {
+      ++drift_stats_.full_prepares;
+    } else {
+      ++drift_stats_.incremental_prepares;
+    }
     Shard& sh = shards_[tasks[i].shard];
     if (results[i].ok()) {
       sh.dirty = false;
@@ -334,6 +409,9 @@ PrepareStats AdvisorSession::prepare_stats() const {
   }
   agg.compression.seconds += route_seconds_total_;
   agg.cgen_seconds += cgen_seconds_total_;
+  agg.drift_score = drift_stats_.score;
+  agg.drift_new_classes = drift_stats_.new_classes;
+  agg.drift_retired_classes = drift_stats_.retired_classes;
   return agg;
 }
 
@@ -364,6 +442,20 @@ Recommendation AdvisorSession::TuneInternal(const ConstraintSet& constraints,
   if (live_statements_ == 0) {
     rec.status = Status::InvalidArgument("session has no statements");
     return rec;
+  }
+  // Drift reading for this retune: how far the normalized class-weight
+  // distribution moved since the previous one (surfaced through
+  // prepare_stats / RenderPrepareStats).
+  {
+    std::vector<std::pair<int, double>> class_weights;
+    for (int cls : LiveClasses()) {
+      class_weights.emplace_back(cls, ClassWeight(cls));
+    }
+    const DriftDetector::Reading reading = detector_.Observe(class_weights);
+    drift_stats_.epoch = epoch_;
+    drift_stats_.score = reading.score;
+    drift_stats_.new_classes = reading.new_classes;
+    drift_stats_.retired_classes = reading.retired_classes;
   }
   rec.num_candidates = static_cast<int>(candidates_.size());
   rec.prepare = prepare_stats();
@@ -407,6 +499,18 @@ Recommendation AdvisorSession::TuneInternal(const ConstraintSet& constraints,
     }
   }
 
+  // DBA feedback folds into the solve as ordinary E.1 rows (z == 1 for
+  // accepted ids, z == 0 for vetoed) — presolve, warm starts, and the
+  // constraint-side digest (so the root LP re-runs when the ledger
+  // changes) all see them like any caller constraint.
+  const ConstraintSet* active = &constraints;
+  ConstraintSet with_feedback;
+  if (!feedback_.empty()) {
+    with_feedback = constraints;
+    feedback_.AppendConstraints(&with_feedback);
+    active = &with_feedback;
+  }
+
   // Per-query constraints: session id → class → block cap, folded by
   // min like the unsharded translation (constraints on removed
   // statements are dropped; duplicates constrain their whole block —
@@ -414,7 +518,7 @@ Recommendation AdvisorSession::TuneInternal(const ConstraintSet& constraints,
   // statements are dropped with their blocks.
   const Configuration empty;
   int64_t translated_rows = 0;
-  for (const QueryCostConstraint& qc : constraints.query_cost_constraints()) {
+  for (const QueryCostConstraint& qc : active->query_cost_constraints()) {
     COPHY_CHECK_GE(qc.query, 0);
     COPHY_CHECK_LT(qc.query, static_cast<QueryId>(statements_.size()));
     const StatementState& st = statements_[qc.query];
@@ -430,9 +534,9 @@ Recommendation AdvisorSession::TuneInternal(const ConstraintSet& constraints,
   }
 
   lp::ChoiceProblem problem =
-      BuildMergedChoiceProblem(views, candidates_, constraints);
+      BuildMergedChoiceProblem(views, candidates_, *active);
   rec.bip =
-      ComputeMergedBipStats(views, candidates_, constraints, translated_rows);
+      ComputeMergedBipStats(views, candidates_, *active, translated_rows);
   rec.timings.build_seconds = build_watch.Elapsed();
 
   Stopwatch solve_watch;
@@ -507,6 +611,10 @@ Recommendation AdvisorSession::TuneInternal(const ConstraintSet& constraints,
     if (sol.selected[i]) chosen.push_back(candidates_[i]);
   }
   last_chosen_ = chosen;
+  // One hysteresis tick per successful solve: the raw recommendation
+  // feeds the streaks, the stabilized applied set rides along in the
+  // report. With the default windows (1/1) applied == recommended.
+  rec.materialization = scheduler_.Update(chosen);
   rec.configuration = Configuration(std::move(chosen));
   rec.objective = sol.objective;
   rec.lower_bound = sol.lower_bound;

@@ -43,6 +43,10 @@ struct SessionOptions {
   /// changes Tune's output — only how incremental and parallel the
   /// preparation is (session_test pins shard invariance).
   int num_shards = 1;
+  /// Online-tuning knobs: weight decay half-life and materialize/drop
+  /// hysteresis windows (core/drift.h). Defaults preserve the exact
+  /// pre-drift behavior (no decay, applied == recommended).
+  DriftOptions drift;
 };
 
 /// A long-lived sharded tuning session.
@@ -83,6 +87,34 @@ class AdvisorSession {
   /// Explicit candidate set instead of CGen (ids must be in the pool).
   /// Forces a full re-preparation of every shard.
   Status SetExplicitCandidates(std::vector<IndexId> ids);
+
+  /// Advances the session's logical epoch clock by `ticks` (typically
+  /// one per trace round). Statement weights decay as
+  /// f_q * 0.5^(age_epochs / half_life_epochs), applied lazily at merge
+  /// — no shard re-prepares, and with decay disabled (the default) this
+  /// only moves the clock. `ticks` must be >= 0.
+  void AdvanceEpoch(int64_t ticks = 1);
+  int64_t epoch() const { return epoch_; }
+
+  /// DBA feedback (semi-automatic tuning's accept/veto verbs). Accept
+  /// pins the index into every subsequent recommendation (z_a == 1) and
+  /// into the applied configuration immediately; Veto forbids it
+  /// (z_a == 0) and drops it from the applied configuration. Each verb
+  /// overrides the other; ClearFeedback forgets both. Ids must be pool
+  /// ids.
+  Status Accept(IndexId id);
+  Status Veto(IndexId id);
+  Status ClearFeedback(IndexId id);
+  const DbaFeedback& feedback() const { return feedback_; }
+
+  /// Drift picture of the last Tune/Retune (score, new/retired classes)
+  /// plus the preparation work of the last Refresh (zero on a pure
+  /// re-weighting — the fast path).
+  const DriftStats& drift_stats() const { return drift_stats_; }
+  /// The hysteresis-stable applied configuration (ascending pool ids).
+  std::vector<IndexId> applied_configuration() const {
+    return scheduler_.applied();
+  }
 
   /// Brings the session up to date: runs CGen over the merged
   /// representative view, fully re-prepares structure-dirty shards
@@ -138,6 +170,7 @@ class AdvisorSession {
     Query q;  ///< q.id holds the session id
     int cls = -1;
     bool live = false;
+    int64_t arrival_epoch = 0;  ///< epoch clock value at AddStatements
   };
   struct Shard {
     /// Live classes in canonical (first-occurrence) order; matches the
@@ -161,9 +194,13 @@ class AdvisorSession {
   std::vector<ShardHealth> ShardHealthReport() const;
   /// Live classes in canonical order (class ids ascend with arrival).
   std::vector<int> LiveClasses() const;
-  /// Σ f_q over a class's live members, summed in arrival order (the
-  /// same accumulation order the lossless compressor uses, which keeps
-  /// merged weights bit-identical to the unsharded path).
+  /// A statement's decayed live weight: f_q * DecayFactor(age). With
+  /// decay disabled this *returns the raw weight without touching the
+  /// FPU* — the undecayed path stays bit-identical (pinned by test).
+  double StatementLiveWeight(QueryId sid) const;
+  /// Σ live weight over a class's live members, summed in arrival order
+  /// (the same accumulation order the lossless compressor uses, which
+  /// keeps merged weights bit-identical to the unsharded path).
   double ClassWeight(int cls) const;
   /// The shard's compressed view for a full re-preparation.
   CompressedWorkload BuildShardView(int shard) const;
@@ -192,6 +229,12 @@ class AdvisorSession {
   /// or cap retunes keep the full root-bound machinery.
   uint64_t last_constraint_digest_ = 0;
   std::unique_ptr<ThreadPool> workers_;
+  // Online-tuning state (core/drift.h).
+  int64_t epoch_ = 0;              // logical clock for weight decay
+  DriftDetector detector_;         // class-weight distribution movement
+  HysteresisScheduler scheduler_;  // materialize/drop stabilization
+  DbaFeedback feedback_;           // accept/veto ledger
+  DriftStats drift_stats_;         // refreshed at every Tune/Retune
 };
 
 }  // namespace cophy

@@ -64,6 +64,22 @@ std::future<OpResult> AdvisorService::Submit(const std::string& tenant,
             r.recommendation = session->Retune(op.constraints);
             r.status = r.recommendation.status;
             break;
+          case ServiceOp::Kind::kAdvanceEpoch:
+            session->AdvanceEpoch(op.epoch_ticks);
+            break;
+          case ServiceOp::Kind::kFeedback:
+            switch (op.feedback) {
+              case ServiceOp::Feedback::kAccept:
+                r.status = session->Accept(op.index);
+                break;
+              case ServiceOp::Feedback::kVeto:
+                r.status = session->Veto(op.index);
+                break;
+              case ServiceOp::Feedback::kClear:
+                r.status = session->ClearFeedback(op.index);
+                break;
+            }
+            break;
         }
         r.exec_seconds = exec.Elapsed();
         promise->set_value(std::move(r));
@@ -105,6 +121,41 @@ std::future<OpResult> AdvisorService::Retune(const std::string& tenant,
   ServiceOp op;
   op.kind = ServiceOp::Kind::kRetune;
   op.constraints = std::move(constraints);
+  return Submit(tenant, std::move(op));
+}
+
+std::future<OpResult> AdvisorService::AdvanceEpoch(const std::string& tenant,
+                                                   int64_t ticks) {
+  ServiceOp op;
+  op.kind = ServiceOp::Kind::kAdvanceEpoch;
+  op.epoch_ticks = ticks;
+  return Submit(tenant, std::move(op));
+}
+
+std::future<OpResult> AdvisorService::Accept(const std::string& tenant,
+                                             IndexId index) {
+  ServiceOp op;
+  op.kind = ServiceOp::Kind::kFeedback;
+  op.feedback = ServiceOp::Feedback::kAccept;
+  op.index = index;
+  return Submit(tenant, std::move(op));
+}
+
+std::future<OpResult> AdvisorService::Veto(const std::string& tenant,
+                                           IndexId index) {
+  ServiceOp op;
+  op.kind = ServiceOp::Kind::kFeedback;
+  op.feedback = ServiceOp::Feedback::kVeto;
+  op.index = index;
+  return Submit(tenant, std::move(op));
+}
+
+std::future<OpResult> AdvisorService::ClearFeedback(const std::string& tenant,
+                                                    IndexId index) {
+  ServiceOp op;
+  op.kind = ServiceOp::Kind::kFeedback;
+  op.feedback = ServiceOp::Feedback::kClear;
+  op.index = index;
   return Submit(tenant, std::move(op));
 }
 

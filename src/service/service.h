@@ -57,11 +57,22 @@ struct ServiceOptions {
 /// One queued operation. Exactly the AdvisorSession verbs, reified so
 /// traffic drivers can replay mixed traces through one entry point.
 struct ServiceOp {
-  enum class Kind { kAddStatements, kRemoveStatements, kTune, kRetune };
+  enum class Kind {
+    kAddStatements,
+    kRemoveStatements,
+    kTune,
+    kRetune,
+    kAdvanceEpoch,  ///< tick the tenant's decay clock (core/drift.h)
+    kFeedback,      ///< DBA accept/veto/clear on one index
+  };
+  enum class Feedback { kAccept, kVeto, kClear };
   Kind kind = Kind::kTune;
   std::vector<Query> statements;   ///< kAddStatements
   std::vector<QueryId> ids;        ///< kRemoveStatements
   ConstraintSet constraints;       ///< kTune / kRetune
+  int64_t epoch_ticks = 1;         ///< kAdvanceEpoch
+  Feedback feedback = Feedback::kAccept;  ///< kFeedback
+  IndexId index = -1;                     ///< kFeedback
 };
 
 /// What an operation produced. `status` is kResourceExhausted for a
@@ -115,6 +126,15 @@ class AdvisorService {
                              ConstraintSet constraints);
   std::future<OpResult> Retune(const std::string& tenant,
                                ConstraintSet constraints);
+  /// Ticks the tenant's logical epoch clock (weight decay; no-op with
+  /// decay disabled). Ordered like any other op on the tenant's lane.
+  std::future<OpResult> AdvanceEpoch(const std::string& tenant,
+                                     int64_t ticks = 1);
+  /// DBA feedback verbs (pin / forbid / forget one index).
+  std::future<OpResult> Accept(const std::string& tenant, IndexId index);
+  std::future<OpResult> Veto(const std::string& tenant, IndexId index);
+  std::future<OpResult> ClearFeedback(const std::string& tenant,
+                                      IndexId index);
 
   /// Blocks until every tenant lane is momentarily empty and idle.
   void Drain();

@@ -269,18 +269,25 @@ ShardRouter::Route ShardRouter::Insert(const Query& q, const Catalog& cat,
   return {e.cls, e.shard, /*is_new=*/true};
 }
 
-void ShardRouter::Erase(const Query& q, const Catalog& cat, int cls) {
+bool ShardRouter::Erase(const Query& q, const Catalog& cat, int cls) {
+  // The signature must be recomputed from the *exemplar* (the statement
+  // that opened the class): signatures are weight-blind, so any later
+  // member — decayed or not — hashes identically, but handing a
+  // non-member here would silently leave the real entry behind.
   const uint64_t sig = StatementCostSignature(q, cat);
   auto it = buckets_.find(sig);
-  if (it == buckets_.end()) return;
+  if (it == buckets_.end()) return false;
   std::vector<Entry>& bucket = it->second;
+  bool erased = false;
   for (size_t i = 0; i < bucket.size(); ++i) {
     if (bucket[i].cls == cls) {
       bucket.erase(bucket.begin() + i);
+      erased = true;
       break;
     }
   }
   if (bucket.empty()) buckets_.erase(it);
+  return erased;
 }
 
 }  // namespace cophy

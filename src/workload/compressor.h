@@ -156,8 +156,11 @@ class ShardRouter {
   /// Forgets class `cls` (its last member left the session; `q` is its
   /// exemplar). A later arrival of an equivalent statement opens a
   /// fresh class with a new id, exactly as a cold run over the
-  /// surviving stream would.
-  void Erase(const Query& q, const Catalog& cat, int cls);
+  /// surviving stream would. Returns false when the class was not in
+  /// its signature bucket — a routing-table corruption the caller
+  /// should treat as a logic error: a stale entry left behind would
+  /// silently glue a future equivalent arrival onto the dead class id.
+  bool Erase(const Query& q, const Catalog& cat, int cls);
 
   int num_shards() const { return num_shards_; }
   /// Classes ever opened (dead classes keep their ids).

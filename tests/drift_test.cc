@@ -1,0 +1,578 @@
+// Online tuning under workload drift: decay-off bit-identity, lazy
+// decay at merge (bit-identical to a pre-scaled cold session), the
+// detector's fast/slow path split (pure re-weighting costs zero
+// prepare work, a new class dirties exactly one shard), hysteresis
+// scheduling, DBA accept/veto, the retire/re-add routing regression,
+// and decayed coverage under fault injection.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "catalog/catalog.h"
+#include "core/drift.h"
+#include "core/report.h"
+#include "core/session.h"
+#include "optimizer/fault_injection.h"
+#include "optimizer/simulator.h"
+#include "workload/generator.h"
+
+namespace cophy {
+namespace {
+
+struct Env {
+  Catalog cat;
+  IndexPool pool;
+  std::unique_ptr<SystemSimulator> sim;
+
+  explicit Env(double z = 0.0) {
+    cat = MakeTpchCatalog(0.1, z);
+    sim = std::make_unique<SystemSimulator>(&cat, &pool, CostModel::SystemA());
+  }
+};
+
+Workload MakeWorkload(int n, uint64_t seed = 42, double update_fraction = 0.0,
+                      bool randomize_weights = false) {
+  Catalog cat = MakeTpchCatalog(0.1, 0.0);
+  WorkloadOptions o;
+  o.num_statements = n;
+  o.seed = seed;
+  o.update_fraction = update_fraction;
+  o.randomize_weights = randomize_weights;
+  return MakeHomogeneousWorkload(cat, o);
+}
+
+CoPhyOptions TestOptions() {
+  CoPhyOptions opts;
+  opts.gap_target = 0.05;
+  opts.node_limit = 3000;
+  opts.prepare.num_threads = 4;
+  return opts;
+}
+
+// --- DecayFactor ----------------------------------------------------------
+
+TEST(DecayFactorTest, DisabledAndFreshAreExactlyOne) {
+  EXPECT_EQ(DecayFactor(0, 2.0), 1.0);
+  EXPECT_EQ(DecayFactor(5, 0.0), 1.0);   // disabled
+  EXPECT_EQ(DecayFactor(5, -1.0), 1.0);  // disabled
+  EXPECT_EQ(DecayFactor(-3, 2.0), 1.0);  // clock never runs backwards
+}
+
+TEST(DecayFactorTest, HalvesEveryHalfLife) {
+  EXPECT_EQ(DecayFactor(1, 1.0), 0.5);
+  EXPECT_EQ(DecayFactor(2, 1.0), 0.25);
+  EXPECT_EQ(DecayFactor(4, 2.0), 0.25);
+  EXPECT_NEAR(DecayFactor(1, 2.0), std::sqrt(0.5), 1e-15);
+}
+
+// --- DriftDetector --------------------------------------------------------
+
+TEST(DriftDetectorTest, FirstObservationIsFullDrift) {
+  DriftDetector d;
+  const auto r = d.Observe({{0, 1.0}, {1, 3.0}});
+  EXPECT_EQ(r.score, 1.0);
+  EXPECT_EQ(r.new_classes, 2);
+  EXPECT_EQ(r.retired_classes, 0);
+}
+
+TEST(DriftDetectorTest, StableDistributionScoresZero) {
+  DriftDetector d;
+  d.Observe({{0, 1.0}, {1, 3.0}});
+  // Scaling every weight uniformly (e.g. decay with no churn) is not
+  // drift: the normalized distribution is unchanged.
+  const auto r = d.Observe({{0, 0.5}, {1, 1.5}});
+  EXPECT_EQ(r.score, 0.0);
+  EXPECT_EQ(r.new_classes, 0);
+  EXPECT_EQ(r.retired_classes, 0);
+}
+
+TEST(DriftDetectorTest, WeightShiftScoresTotalVariation) {
+  DriftDetector d;
+  d.Observe({{0, 3.0}, {1, 1.0}});  // shares 0.75 / 0.25
+  const auto r = d.Observe({{0, 1.0}, {1, 3.0}});  // shares 0.25 / 0.75
+  EXPECT_NEAR(r.score, 0.5, 1e-12);
+  EXPECT_EQ(r.new_classes, 0);
+}
+
+TEST(DriftDetectorTest, TurnoverCountsNewAndRetired) {
+  DriftDetector d;
+  d.Observe({{0, 1.0}, {1, 1.0}});
+  const auto r = d.Observe({{1, 1.0}, {2, 1.0}});
+  EXPECT_EQ(r.new_classes, 1);
+  EXPECT_EQ(r.retired_classes, 1);
+  // Class 0's 0.5 share left, class 2's 0.5 arrived: TV = 0.5.
+  EXPECT_NEAR(r.score, 0.5, 1e-12);
+  const auto disjoint = d.Observe({{5, 2.0}});
+  EXPECT_EQ(disjoint.score, 1.0);
+}
+
+TEST(DriftDetectorTest, EmptyFirstSnapshotIsStable) {
+  DriftDetector d;
+  const auto r = d.Observe({});
+  EXPECT_EQ(r.score, 0.0);
+  EXPECT_EQ(r.new_classes, 0);
+}
+
+// --- HysteresisScheduler --------------------------------------------------
+
+TEST(HysteresisTest, WindowOneIsIdentity) {
+  HysteresisScheduler s(1, 1);
+  auto d = s.Update({3, 1});
+  EXPECT_EQ(d.applied, (std::vector<IndexId>{1, 3}));
+  EXPECT_EQ(d.materialized, (std::vector<IndexId>{1, 3}));
+  d = s.Update({1});
+  EXPECT_EQ(d.applied, (std::vector<IndexId>{1}));
+  EXPECT_EQ(d.dropped, (std::vector<IndexId>{3}));
+}
+
+TEST(HysteresisTest, MaterializeNeedsConsecutiveStreak) {
+  HysteresisScheduler s(2, 2);
+  auto d = s.Update({7});
+  EXPECT_TRUE(d.applied.empty());
+  EXPECT_EQ(d.pending_materialize, (std::vector<IndexId>{7}));
+  // An interruption resets the streak.
+  d = s.Update({});
+  EXPECT_TRUE(d.applied.empty());
+  d = s.Update({7});
+  EXPECT_TRUE(d.applied.empty());
+  d = s.Update({7});  // second consecutive: materialize
+  EXPECT_EQ(d.applied, (std::vector<IndexId>{7}));
+  EXPECT_EQ(d.materialized, (std::vector<IndexId>{7}));
+  // One absent retune: still applied, pending drop.
+  d = s.Update({});
+  EXPECT_EQ(d.applied, (std::vector<IndexId>{7}));
+  EXPECT_EQ(d.pending_drop, (std::vector<IndexId>{7}));
+  // A reappearance heals the streak.
+  d = s.Update({7});
+  EXPECT_EQ(d.applied, (std::vector<IndexId>{7}));
+  EXPECT_TRUE(d.pending_drop.empty());
+  // Two consecutive absences: drop.
+  s.Update({});
+  d = s.Update({});
+  EXPECT_TRUE(d.applied.empty());
+  EXPECT_EQ(d.dropped, (std::vector<IndexId>{7}));
+}
+
+TEST(HysteresisTest, ForceIncludeAndDrop) {
+  HysteresisScheduler s(3, 3);
+  s.ForceInclude(4);
+  EXPECT_EQ(s.applied(), (std::vector<IndexId>{4}));
+  s.ForceDrop(4);
+  EXPECT_TRUE(s.applied().empty());
+}
+
+// --- DbaFeedback ----------------------------------------------------------
+
+TEST(DbaFeedbackTest, VerbsOverrideEachOther) {
+  DbaFeedback f;
+  EXPECT_TRUE(f.empty());
+  f.Accept(2);
+  f.Veto(2);
+  EXPECT_FALSE(f.IsAccepted(2));
+  EXPECT_TRUE(f.IsVetoed(2));
+  f.Accept(2);
+  EXPECT_TRUE(f.IsAccepted(2));
+  EXPECT_FALSE(f.IsVetoed(2));
+  f.Clear(2);
+  EXPECT_TRUE(f.empty());
+}
+
+TEST(DbaFeedbackTest, AppendsOneEqRowPerVerb) {
+  DbaFeedback f;
+  f.Accept(1);
+  f.Veto(9);
+  ConstraintSet cs;
+  f.AppendConstraints(&cs);
+  ASSERT_EQ(cs.index_constraints().size(), 2u);
+  EXPECT_EQ(cs.index_constraints()[0].name, "dba_accept_1");
+  EXPECT_EQ(cs.index_constraints()[0].rhs, 1.0);
+  EXPECT_EQ(cs.index_constraints()[1].name, "dba_veto_9");
+  EXPECT_EQ(cs.index_constraints()[1].rhs, 0.0);
+  EXPECT_EQ(cs.index_constraints()[0].op, CmpOp::kEq);
+  EXPECT_EQ(cs.index_constraints()[1].op, CmpOp::kEq);
+}
+
+// --- Decay-off bit-identity ----------------------------------------------
+
+TEST(DriftSessionTest, DisabledDecayIsBitIdenticalAcrossEpochs) {
+  const Workload w = MakeWorkload(30, 42, 0.2, /*randomize_weights=*/true);
+  ConstraintSet cs;
+
+  Env base;
+  SessionOptions so;
+  so.tuning = TestOptions();
+  so.num_shards = 4;
+  AdvisorSession plain(base.sim.get(), &base.pool, so);
+  plain.AddWorkload(w);
+  cs.SetStorageBudget(0.5 * base.cat.TotalDataBytes());
+  const Recommendation want = plain.Tune(cs);
+  ASSERT_TRUE(want.status.ok()) << want.status.ToString();
+
+  // Same session with the epoch clock running but decay disabled (the
+  // default): AdvanceEpoch must be a pure no-op, exact bits.
+  Env e;
+  AdvisorSession session(e.sim.get(), &e.pool, so);
+  session.AddWorkload(w);
+  session.AdvanceEpoch(7);
+  const Recommendation got = session.Tune(cs);
+  ASSERT_TRUE(got.status.ok()) << got.status.ToString();
+  EXPECT_EQ(got.configuration.ids(), want.configuration.ids());
+  EXPECT_EQ(got.objective, want.objective);  // exact bits
+  EXPECT_EQ(session.epoch(), 7);
+  // Default hysteresis windows: applied == recommended immediately.
+  std::vector<IndexId> applied = got.materialization.applied;
+  std::vector<IndexId> chosen = got.configuration.ids();
+  std::sort(chosen.begin(), chosen.end());
+  EXPECT_EQ(applied, chosen);
+}
+
+// --- Lazy decay at merge --------------------------------------------------
+
+TEST(DriftSessionTest, DecayMatchesPreScaledColdSessionExactly) {
+  // Two batches one epoch apart with half-life 1 must solve the exact
+  // problem of a cold session whose first-batch weights arrive already
+  // halved (0.5 is a power of two: the scaling is exact in binary).
+  const Workload old_batch = MakeWorkload(12, 3);
+  const Workload new_batch = MakeWorkload(12, 17, 0.25);
+
+  Env e;
+  SessionOptions so;
+  so.tuning = TestOptions();
+  so.num_shards = 4;
+  so.drift.half_life_epochs = 1.0;
+  AdvisorSession session(e.sim.get(), &e.pool, so);
+  session.AddWorkload(old_batch);
+  session.AdvanceEpoch();
+  session.AddWorkload(new_batch);
+  ConstraintSet cs;
+  cs.SetStorageBudget(0.5 * e.cat.TotalDataBytes());
+  const Recommendation got = session.Tune(cs);
+  ASSERT_TRUE(got.status.ok()) << got.status.ToString();
+
+  Env oracle;
+  SessionOptions plain = so;
+  plain.drift = DriftOptions();
+  AdvisorSession cold(oracle.sim.get(), &oracle.pool, plain);
+  Workload halved;
+  for (const Query& q : old_batch.statements()) {
+    Query c = q;
+    c.weight *= 0.5;
+    halved.Add(std::move(c));
+  }
+  cold.AddWorkload(halved);
+  cold.AddWorkload(new_batch);
+  const Recommendation want = cold.Tune(cs);
+  ASSERT_TRUE(want.status.ok()) << want.status.ToString();
+
+  EXPECT_EQ(got.configuration.ids(), want.configuration.ids());
+  EXPECT_EQ(got.objective, want.objective);  // exact bits
+}
+
+// --- Fast/slow path split -------------------------------------------------
+
+TEST(DriftSessionTest, PureReweightingCostsZeroPrepareWork) {
+  Env e;
+  SessionOptions so;
+  so.tuning = TestOptions();
+  so.num_shards = 4;
+  so.drift.half_life_epochs = 2.0;
+  AdvisorSession session(e.sim.get(), &e.pool, so);
+  const Workload w = MakeWorkload(20, 42);
+  session.AddWorkload(w);
+  ConstraintSet cs;
+  cs.SetStorageBudget(0.5 * e.cat.TotalDataBytes());
+  const Recommendation first = session.Tune(cs);
+  ASSERT_TRUE(first.status.ok()) << first.status.ToString();
+
+  // A batch of known-class instances plus an epoch tick is pure
+  // re-weighting: the retune must not issue a single what-if call and
+  // must record zero preparation work.
+  const int64_t calls_before = e.sim->num_whatif_calls();
+  session.AdvanceEpoch();
+  session.AddStatements({w[0], w[1]});
+  const Recommendation second = session.Retune(cs);
+  ASSERT_TRUE(second.status.ok()) << second.status.ToString();
+  EXPECT_EQ(e.sim->num_whatif_calls(), calls_before);
+  EXPECT_EQ(session.drift_stats().full_prepares, 0);
+  EXPECT_EQ(session.drift_stats().incremental_prepares, 0);
+  EXPECT_EQ(session.drift_stats().new_classes, 0);
+  EXPECT_EQ(session.drift_stats().retired_classes, 0);
+  EXPECT_GT(session.drift_stats().score, 0.0);  // weights did move
+  EXPECT_EQ(session.drift_stats().epoch, 1);
+  EXPECT_EQ(second.prepare.drift_score, session.drift_stats().score);
+}
+
+TEST(DriftSessionTest, NewClassDirtiesExactlyOneShard) {
+  Env e;
+  SessionOptions so;
+  so.tuning = TestOptions();
+  so.num_shards = 4;
+  AdvisorSession session(e.sim.get(), &e.pool, so);
+  // Statements from a strict subset of the homogeneous templates, so a
+  // later template is guaranteed to open a new class.
+  std::vector<Query> stmts;
+  for (int t = 0; t < 6; ++t) {
+    stmts.push_back(MakeHomogeneousStatement(e.cat, t, 42));
+  }
+  session.AddStatements(stmts);
+  ConstraintSet cs;
+  cs.SetStorageBudget(0.5 * e.cat.TotalDataBytes());
+  ASSERT_TRUE(session.Tune(cs).status.ok());
+
+  session.AddStatements({MakeHomogeneousStatement(e.cat, 7, 42)});
+  const Recommendation rec = session.Retune(cs);
+  ASSERT_TRUE(rec.status.ok()) << rec.status.ToString();
+  // Exactly the new class's shard took a full re-preparation; the
+  // other shards at most absorbed incremental γ entries for candidates
+  // the new template introduced.
+  EXPECT_EQ(session.drift_stats().full_prepares, 1);
+  EXPECT_EQ(session.drift_stats().new_classes, 1);
+  EXPECT_EQ(rec.prepare.drift_new_classes, 1);
+}
+
+// --- Retire / re-add across a decay boundary ------------------------------
+
+TEST(DriftSessionTest, RemoveThenReaddSameClassAcrossDecayBoundary) {
+  Env e;
+  SessionOptions so;
+  so.tuning = TestOptions();
+  so.num_shards = 4;
+  so.drift.half_life_epochs = 1.0;
+  AdvisorSession session(e.sim.get(), &e.pool, so);
+  const std::vector<QueryId> ids = session.AddStatements(
+      {MakeHomogeneousStatement(e.cat, 0, 42),
+       MakeHomogeneousStatement(e.cat, 1, 42),
+       MakeHomogeneousStatement(e.cat, 2, 42)});
+  ConstraintSet cs;
+  cs.SetStorageBudget(0.5 * e.cat.TotalDataBytes());
+  ASSERT_TRUE(session.Tune(cs).status.ok());
+  EXPECT_EQ(session.num_classes(), 3);
+
+  // Retire template 1's class, tick the clock, then re-add an
+  // equivalent statement. The router must have dropped the signature
+  // bucket entry with the class: the re-add opens a *fresh* class
+  // (ids are never reused) instead of gluing onto the dead one.
+  ASSERT_TRUE(session.RemoveStatements({ids[1]}).ok());
+  session.AdvanceEpoch();
+  session.AddStatements({MakeHomogeneousStatement(e.cat, 1, 42)});
+  EXPECT_EQ(session.num_classes(), 3);
+  // Cold solve: the invariant under test is the rebuilt routing, not
+  // warm-start equivalence (a warm retune may stop at a different
+  // solution inside the gap target).
+  const Recommendation rec = session.Tune(cs);
+  ASSERT_TRUE(rec.status.ok()) << rec.status.ToString();
+
+  // The rebuilt session solves the exact problem of a cold session
+  // over the surviving stream (template 1 arriving one epoch later
+  // than the rest, weights decayed accordingly). The oracle shares the
+  // pool — like tenants of the service — so candidate ids coincide.
+  AdvisorSession cold(e.sim.get(), &e.pool, so);
+  cold.AddStatements({MakeHomogeneousStatement(e.cat, 0, 42),
+                      MakeHomogeneousStatement(e.cat, 2, 42)});
+  cold.AdvanceEpoch();
+  cold.AddStatements({MakeHomogeneousStatement(e.cat, 1, 42)});
+  const Recommendation want = cold.Tune(cs);
+  ASSERT_TRUE(want.status.ok()) << want.status.ToString();
+  EXPECT_EQ(rec.configuration.ids(), want.configuration.ids());
+  EXPECT_EQ(rec.objective, want.objective);  // exact bits
+}
+
+// --- DBA feedback through the session -------------------------------------
+
+TEST(DriftSessionTest, VetoNeverRecommendedAcceptAlwaysIs) {
+  Env e;
+  SessionOptions so;
+  so.tuning = TestOptions();
+  so.num_shards = 2;
+  AdvisorSession session(e.sim.get(), &e.pool, so);
+  session.AddWorkload(MakeWorkload(24, 42, 0.2));
+  ConstraintSet cs;
+  cs.SetStorageBudget(0.3 * e.cat.TotalDataBytes());
+  const Recommendation baseline = session.Tune(cs);
+  ASSERT_TRUE(baseline.status.ok()) << baseline.status.ToString();
+  ASSERT_FALSE(baseline.configuration.ids().empty());
+
+  const IndexId vetoed = baseline.configuration.ids().front();
+  ASSERT_TRUE(session.Veto(vetoed).ok());
+  const Recommendation after_veto = session.Retune(cs);
+  ASSERT_TRUE(after_veto.status.ok()) << after_veto.status.ToString();
+  for (IndexId id : after_veto.configuration.ids()) EXPECT_NE(id, vetoed);
+  for (IndexId id : after_veto.materialization.applied) EXPECT_NE(id, vetoed);
+
+  // Accept: pinned into every later recommendation and into the
+  // applied set immediately; clearing the veto restores freedom.
+  ASSERT_FALSE(after_veto.configuration.ids().empty());
+  const IndexId accepted = after_veto.configuration.ids().front();
+  ASSERT_TRUE(session.Accept(accepted).ok());
+  const Recommendation after_accept = session.Retune(cs);
+  ASSERT_TRUE(after_accept.status.ok()) << after_accept.status.ToString();
+  const std::vector<IndexId>& got = after_accept.configuration.ids();
+  EXPECT_NE(std::find(got.begin(), got.end(), accepted), got.end());
+  EXPECT_TRUE(std::binary_search(after_accept.materialization.applied.begin(),
+                                 after_accept.materialization.applied.end(),
+                                 accepted));
+  ASSERT_TRUE(session.ClearFeedback(vetoed).ok());
+  EXPECT_TRUE(session.feedback().IsAccepted(accepted));
+  EXPECT_FALSE(session.feedback().IsVetoed(vetoed));
+
+  EXPECT_FALSE(session.Veto(-1).ok());
+  EXPECT_FALSE(session.Accept(1 << 30).ok());
+}
+
+TEST(DriftSessionTest, AcceptedIdOutsideCandidatesIsForceAppended) {
+  Env e;
+  SessionOptions so;
+  so.tuning = TestOptions();
+  AdvisorSession session(e.sim.get(), &e.pool, so);
+  session.AddWorkload(MakeWorkload(16, 42));
+  ConstraintSet cs;
+  cs.SetStorageBudget(0.5 * e.cat.TotalDataBytes());
+  const Recommendation first = session.Tune(cs);
+  ASSERT_TRUE(first.status.ok()) << first.status.ToString();
+
+  // Restrict to an explicit subset, then accept a pool index outside
+  // it: Refresh must force-append the id (an empty z == 1 row would
+  // otherwise be infeasible) and the recommendation must include it.
+  std::vector<IndexId> all = session.candidates();
+  ASSERT_GE(all.size(), 4u);
+  const IndexId outside = all.back();
+  std::vector<IndexId> subset(all.begin(), all.begin() + all.size() / 2);
+  ASSERT_EQ(std::find(subset.begin(), subset.end(), outside), subset.end());
+  ASSERT_TRUE(session.SetExplicitCandidates(subset).ok());
+  ASSERT_TRUE(session.Accept(outside).ok());
+  const Recommendation rec = session.Retune(cs);
+  ASSERT_TRUE(rec.status.ok()) << rec.status.ToString();
+  const std::vector<IndexId>& got = rec.configuration.ids();
+  EXPECT_NE(std::find(got.begin(), got.end(), outside), got.end());
+  const std::vector<IndexId>& cands = session.candidates();
+  EXPECT_NE(std::find(cands.begin(), cands.end(), outside), cands.end());
+}
+
+// --- Hysteresis through the session ---------------------------------------
+
+TEST(DriftSessionTest, HysteresisDelaysMaterializationByWindow) {
+  Env e;
+  SessionOptions so;
+  so.tuning = TestOptions();
+  so.drift.materialize_after = 2;
+  so.drift.drop_after = 2;
+  AdvisorSession session(e.sim.get(), &e.pool, so);
+  session.AddWorkload(MakeWorkload(20, 42));
+  ConstraintSet cs;
+  cs.SetStorageBudget(0.5 * e.cat.TotalDataBytes());
+  const Recommendation first = session.Tune(cs);
+  ASSERT_TRUE(first.status.ok()) << first.status.ToString();
+  ASSERT_FALSE(first.configuration.ids().empty());
+  // One sighting is not enough with a window of two.
+  EXPECT_TRUE(first.materialization.applied.empty());
+  EXPECT_FALSE(first.materialization.pending_materialize.empty());
+
+  const Recommendation second = session.Retune(cs);
+  ASSERT_TRUE(second.status.ok()) << second.status.ToString();
+  std::vector<IndexId> chosen = second.configuration.ids();
+  std::sort(chosen.begin(), chosen.end());
+  EXPECT_EQ(second.materialization.applied, chosen);
+  EXPECT_EQ(second.materialization.materialized, chosen);
+}
+
+// --- Decayed coverage under fault injection -------------------------------
+
+TableId LeastReferencedTable(const Workload& w) {
+  std::map<TableId, int> counts;
+  for (const Query& q : w.statements()) {
+    std::map<TableId, int> seen;
+    for (TableId t : q.tables) {
+      if (seen[t]++ == 0) ++counts[t];
+    }
+  }
+  TableId best = kInvalidTable;
+  int fewest = std::numeric_limits<int>::max();
+  for (const auto& [t, c] : counts) {
+    if (c < fewest) {
+      best = t;
+      fewest = c;
+    }
+  }
+  return best;
+}
+
+TEST(DriftSessionTest, CoverageUsesDecayedLiveWeight) {
+  Catalog cat = MakeTpchCatalog(0.1, 0.0);
+  WorkloadOptions o;
+  o.num_statements = 24;
+  o.seed = 42;
+  o.update_fraction = 0.2;
+  const Workload w = MakeHeterogeneousWorkload(cat, o);
+  const TableId target = LeastReferencedTable(w);
+  ASSERT_NE(target, kInvalidTable);
+  auto fails = [target](const Query& q) {
+    return std::find(q.tables.begin(), q.tables.end(), target) !=
+           q.tables.end();
+  };
+
+  // The statements the backend refuses to cost arrive one epoch after
+  // the healthy bulk, so the quarantined weight is *younger*: decayed
+  // coverage must be strictly below the raw-weight figure (the pre-fix
+  // session over-reported it).
+  std::vector<Query> healthy, doomed;
+  for (const Query& q : w.statements()) {
+    (fails(q) ? doomed : healthy).push_back(q);
+  }
+  ASSERT_FALSE(healthy.empty());
+  ASSERT_FALSE(doomed.empty());
+
+  SessionOptions so;
+  so.tuning = TestOptions();
+  so.num_shards = 4;
+  auto run = [&](const std::vector<Query>& first_batch, double half_life) {
+    Env e;
+    FaultInjectionOptions fo;
+    fo.permanent_failure_predicate = fails;
+    FaultInjectingWhatIf faulty(e.sim.get(), fo);
+    SessionOptions opts = so;
+    opts.drift.half_life_epochs = half_life;
+    AdvisorSession session(&faulty, &e.pool, opts);
+    session.AddStatements(first_batch);
+    session.AdvanceEpoch();
+    session.AddStatements(doomed);
+    ConstraintSet cs;
+    cs.SetStorageBudget(0.5 * e.cat.TotalDataBytes());
+    const Recommendation rec = session.Tune(cs);
+    EXPECT_TRUE(rec.status.ok()) << rec.status.ToString();
+    EXPECT_TRUE(rec.degraded);
+    EXPECT_GT(rec.coverage, 0.0);
+    EXPECT_LT(rec.coverage, 1.0);
+    return rec.coverage;
+  };
+
+  const double decayed = run(healthy, /*half_life=*/1.0);
+  // Ground truth: a decay-free session whose first batch arrives with
+  // weights already halved sees exactly the decayed live weights
+  // (routing is weight-blind, so the quarantined shard set matches).
+  std::vector<Query> halved = healthy;
+  for (Query& q : halved) q.weight *= 0.5;
+  const double expected = run(halved, /*half_life=*/0.0);
+  EXPECT_EQ(decayed, expected);  // exact bits
+  // And it differs from the raw-weight coverage: quarantined weight is
+  // younger, so decay shrinks the healthy share.
+  const double raw = run(healthy, /*half_life=*/0.0);
+  EXPECT_LT(decayed, raw);
+}
+
+// --- Report surface -------------------------------------------------------
+
+TEST(DriftSessionTest, RenderPrepareStatsShowsDriftLine) {
+  PrepareStats stats;
+  EXPECT_EQ(RenderPrepareStats(stats).find("Drift:"), std::string::npos);
+  stats.drift_score = 0.25;
+  stats.drift_new_classes = 2;
+  const std::string out = RenderPrepareStats(stats);
+  EXPECT_NE(out.find("Drift: score 0.250"), std::string::npos);
+  EXPECT_NE(out.find("2 new / 0 retired"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cophy

@@ -115,6 +115,26 @@ std::vector<ServiceOp> MakeTrace(const TestEnv& env, int tenant, int rounds,
   return trace;
 }
 
+/// A drifting op stream: MakeTrace's churn plus one epoch tick per
+/// round, so decayed weights, the drift detector, and the hysteresis
+/// scheduler are all live while tenants interleave. The rotating
+/// template index of TenantStatement shifts the class mix every round.
+std::vector<ServiceOp> MakeDriftTrace(const TestEnv& env, int tenant,
+                                      int rounds, int overlap_pct = 75) {
+  std::vector<ServiceOp> trace = MakeTrace(env, tenant, rounds, overlap_pct);
+  // Insert an epoch tick before each round's remove/add/retune triple
+  // (rounds start after the initial add + cold Tune).
+  std::vector<ServiceOp> out(trace.begin(), trace.begin() + 2);
+  for (int r = 0; r < rounds; ++r) {
+    ServiceOp tick;
+    tick.kind = ServiceOp::Kind::kAdvanceEpoch;
+    tick.epoch_ticks = 1;
+    out.push_back(std::move(tick));
+    for (int i = 0; i < 3; ++i) out.push_back(trace[2 + 3 * r + i]);
+  }
+  return out;
+}
+
 /// Pushes every tenant's trace through the service round-robin (op 0 of
 /// every tenant, then op 1, ...) so lanes genuinely interleave, and
 /// returns each tenant's final recommendation.
@@ -148,10 +168,12 @@ std::vector<Recommendation> RunInterleaved(
 /// Serial replay of one tenant's trace on a fresh single-threaded
 /// session (no executor, no shared cache) against the same pool and
 /// backend, returning the final recommendation.
-Recommendation ReplaySerial(TestEnv& env, const std::vector<ServiceOp>& trace) {
+Recommendation ReplaySerial(TestEnv& env, const std::vector<ServiceOp>& trace,
+                            DriftOptions drift = {}) {
   SessionOptions so;
   so.tuning = TestOptions();
   so.tuning.prepare.num_threads = 1;
+  so.drift = drift;
   AdvisorSession session(env.sim.get(), &env.pool, so);
   Recommendation last;
   for (const ServiceOp& op : trace) {
@@ -169,6 +191,22 @@ Recommendation ReplaySerial(TestEnv& env, const std::vector<ServiceOp>& trace) {
       case ServiceOp::Kind::kRetune:
         last = session.Retune(op.constraints);
         EXPECT_TRUE(last.status.ok()) << last.status.ToString();
+        break;
+      case ServiceOp::Kind::kAdvanceEpoch:
+        session.AdvanceEpoch(op.epoch_ticks);
+        break;
+      case ServiceOp::Kind::kFeedback:
+        switch (op.feedback) {
+          case ServiceOp::Feedback::kAccept:
+            EXPECT_TRUE(session.Accept(op.index).ok());
+            break;
+          case ServiceOp::Feedback::kVeto:
+            EXPECT_TRUE(session.Veto(op.index).ok());
+            break;
+          case ServiceOp::Feedback::kClear:
+            EXPECT_TRUE(session.ClearFeedback(op.index).ok());
+            break;
+        }
         break;
     }
   }
@@ -330,6 +368,89 @@ TEST(ServiceTest, CacheOnOffBitIdenticalWithStrictlyFewerWhatIfCalls) {
   EXPECT_GT(folded_on, 0);
 }
 
+TEST(ServiceTest, DriftingTraceCacheOnOffBitIdentical) {
+  // The plan cache keys on structure only (template signatures + γ walk
+  // digests are weight- and therefore decay-blind), so a drifting trace
+  // with live decay must solve bit-identically with the cache on or
+  // off, and hysteresis/feedback state never leaks through the cache.
+  constexpr int kTenants = 3;
+  auto run = [&](bool cache_on, int64_t* whatif_calls,
+                 PlanCacheStats* cache_stats) -> std::vector<Recommendation> {
+    TestEnv env;
+    std::vector<std::vector<ServiceOp>> traces;
+    for (int t = 0; t < kTenants; ++t) {
+      traces.push_back(MakeDriftTrace(env, t, /*rounds=*/2));
+    }
+    ServiceOptions so;
+    so.num_threads = 0;
+    so.share_plan_cache = cache_on;
+    so.session.tuning = TestOptions();
+    so.session.drift.half_life_epochs = 1.0;
+    so.session.drift.materialize_after = 2;
+    so.session.drift.drop_after = 2;
+    AdvisorService service(env.sim.get(), &env.pool, so);
+    std::vector<Recommendation> finals = RunInterleaved(service, traces);
+    service.Drain();
+    *whatif_calls = env.sim->num_whatif_calls();
+    *cache_stats = service.stats().plan_cache;
+    return finals;
+  };
+
+  int64_t calls_off = 0, calls_on = 0;
+  PlanCacheStats stats_off, stats_on;
+  const std::vector<Recommendation> off = run(false, &calls_off, &stats_off);
+  const std::vector<Recommendation> on = run(true, &calls_on, &stats_on);
+  for (int t = 0; t < kTenants; ++t) {
+    SCOPED_TRACE("tenant " + std::to_string(t));
+    ExpectBitIdentical(off[t], on[t]);
+    // The hysteresis decision is session state, not cache state: the
+    // applied sets must agree too.
+    EXPECT_EQ(off[t].materialization.applied, on[t].materialization.applied);
+    EXPECT_EQ(Bits(off[t].prepare.drift_score),
+              Bits(on[t].prepare.drift_score));
+  }
+  EXPECT_LT(calls_on, calls_off);
+  EXPECT_GT(stats_on.Hits(), 0);
+  EXPECT_EQ(stats_off.Lookups(), 0);
+}
+
+TEST(ServiceTest, DriftingTraceMatchesSerialReplayPerTenant) {
+  TestEnv env;
+  constexpr int kTenants = 3;
+  std::vector<std::vector<ServiceOp>> traces;
+  for (int t = 0; t < kTenants; ++t) {
+    traces.push_back(MakeDriftTrace(env, t, /*rounds=*/2));
+  }
+  // One tenant also exercises the feedback verbs mid-trace: veto an
+  // arbitrary pool index before its final retune (id 0 exists once any
+  // tenant prepared — ops run in lane order after the cold Tune).
+  ServiceOp veto;
+  veto.kind = ServiceOp::Kind::kFeedback;
+  veto.feedback = ServiceOp::Feedback::kVeto;
+  veto.index = 0;
+  traces[0].insert(traces[0].end() - 1, veto);
+
+  ServiceOptions so;
+  so.num_threads = 0;
+  so.session.tuning = TestOptions();
+  so.session.drift.half_life_epochs = 1.0;
+  std::vector<Recommendation> finals;
+  {
+    AdvisorService service(env.sim.get(), &env.pool, so);
+    finals = RunInterleaved(service, traces);
+    service.Drain();
+  }
+  EXPECT_FALSE(finals[0].configuration.Contains(0));
+  for (int t = 0; t < kTenants; ++t) {
+    const Recommendation replay =
+        ReplaySerial(env, traces[t], so.session.drift);
+    SCOPED_TRACE("tenant " + std::to_string(t));
+    ExpectBitIdentical(finals[t], replay);
+    EXPECT_EQ(finals[t].materialization.applied,
+              replay.materialization.applied);
+  }
+}
+
 TEST(ServiceTest, BackpressureResolvesFutureWithResourceExhausted) {
   TestEnv env;
   ServiceOptions so;
@@ -377,6 +498,41 @@ TEST(ServiceTest, HammerManyTenantsInterleaved) {
   EXPECT_EQ(stats.submitted, stats.completed);
   EXPECT_EQ(stats.rejected, 0);
   EXPECT_GT(stats.plan_cache.Hits(), 0);
+}
+
+TEST(ServiceTest, HammerDriftingTenantsInterleaved) {
+  // TSan target: decay-at-merge (epoch ticks re-weighting every live
+  // statement lazily) racing with concurrent tenant submits through the
+  // shared pool and plan cache, plus feedback verbs mid-stream.
+  TestEnv env;
+  constexpr int kTenants = 6;
+  std::vector<std::vector<ServiceOp>> traces;
+  for (int t = 0; t < kTenants; ++t) {
+    traces.push_back(MakeDriftTrace(env, t, /*rounds=*/2, /*overlap_pct=*/50));
+    if (t % 2 == 0) {
+      ServiceOp veto;
+      veto.kind = ServiceOp::Kind::kFeedback;
+      veto.feedback = ServiceOp::Feedback::kVeto;
+      veto.index = t;  // pool ids 0..5 exist once any tenant prepared
+      traces[t].insert(traces[t].end() - 1, veto);
+    }
+  }
+  ServiceOptions so;
+  so.num_threads = 4;
+  so.session.tuning = TestOptions();
+  so.session.drift.half_life_epochs = 1.0;
+  so.session.drift.materialize_after = 2;
+  so.session.drift.drop_after = 2;
+  AdvisorService service(env.sim.get(), &env.pool, so);
+  const std::vector<Recommendation> finals = RunInterleaved(service, traces);
+  service.Drain();
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.num_tenants, kTenants);
+  EXPECT_EQ(stats.submitted, stats.completed);
+  EXPECT_EQ(stats.rejected, 0);
+  for (int t = 0; t < kTenants; t += 2) {
+    EXPECT_FALSE(finals[t].configuration.Contains(t)) << "tenant " << t;
+  }
 }
 
 }  // namespace
